@@ -1,0 +1,122 @@
+//! Ablation benches for the design choices DESIGN.md calls out: each
+//! variant's kernel is timed, and the MPKI comparison itself comes from
+//! `ldis-experiments ablations`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ldis_bench::bench_config;
+use ldis_distill::{
+    DistillCache, DistillConfig, ReverterConfig, ThresholdPolicy, WocReplacement,
+};
+use ldis_experiments::run;
+use ldis_mem::LineGeometry;
+use ldis_workloads::{spec2000, HotSet, Workload, WordsProfile};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion, group: &str, name: &str, mut f: impl FnMut()) {
+    let mut g = c.benchmark_group(group);
+    g.sample_size(10);
+    g.bench_function(name, |b| b.iter(&mut f));
+    g.finish();
+}
+
+/// WOC way split: 1 / 2 / 3 of 8 ways.
+fn ablation_woc_ways(c: &mut Criterion) {
+    let cfg = bench_config();
+    let health = spec2000::by_name("health").unwrap();
+    for ways in [1u32, 2, 3] {
+        bench(c, "ablation_woc_ways", &format!("{ways}_ways"), || {
+            black_box(run(&health, &cfg, || {
+                DistillCache::new(DistillConfig::hpca2007_default().with_woc_ways(ways))
+            }));
+        });
+    }
+}
+
+/// Threshold policy: none / fixed / median.
+fn ablation_threshold(c: &mut Criterion) {
+    let cfg = bench_config();
+    let twolf = spec2000::by_name("twolf").unwrap();
+    for (name, policy) in [
+        ("all", ThresholdPolicy::All),
+        ("fixed4", ThresholdPolicy::Fixed(4)),
+        ("median", ThresholdPolicy::median()),
+    ] {
+        bench(c, "ablation_threshold", name, || {
+            black_box(run(&twolf, &cfg, || {
+                DistillCache::new(DistillConfig::hpca2007_default().with_policy(policy))
+            }));
+        });
+    }
+}
+
+/// WOC replacement selection: random vs. round-robin.
+fn ablation_woc_replacement(c: &mut Criterion) {
+    let cfg = bench_config();
+    let ammp = spec2000::by_name("ammp").unwrap();
+    for (name, policy) in [
+        ("random", WocReplacement::Random),
+        ("round_robin", WocReplacement::RoundRobin),
+    ] {
+        bench(c, "ablation_woc_replacement", name, || {
+            black_box(run(&ammp, &cfg, || {
+                DistillCache::new(
+                    DistillConfig::hpca2007_default().with_woc_replacement(policy),
+                )
+            }));
+        });
+    }
+}
+
+/// Reverter leader-set count.
+fn ablation_leader_sets(c: &mut Criterion) {
+    let cfg = bench_config();
+    let swim = spec2000::by_name("swim").unwrap();
+    for leaders in [8u32, 32, 128] {
+        bench(c, "ablation_leader_sets", &format!("{leaders}_leaders"), || {
+            black_box(run(&swim, &cfg, || {
+                DistillCache::new(DistillConfig::ldis_mt().with_reverter(ReverterConfig {
+                    leader_sets: leaders,
+                    ..ReverterConfig::default()
+                }))
+            }));
+        });
+    }
+}
+
+/// Word size: 8 B (paper) vs. 4 B vs. 16 B words on a 64 B line.
+fn ablation_word_size(c: &mut Criterion) {
+    for word_bytes in [4u32, 8, 16] {
+        let geom = LineGeometry::new(64, word_bytes);
+        bench(
+            c,
+            "ablation_word_size",
+            &format!("{word_bytes}B_words"),
+            || {
+                let mut workload = Workload::builder("chase", 5)
+                    .stream(1.0, HotSet::new(0, 24_000, WordsProfile::sparse(), 1))
+                    .geometry(geom)
+                    .build();
+                let cfg = DistillConfig::new(1 << 20, 8, 2, geom).with_policy(
+                    ThresholdPolicy::median(),
+                );
+                let mut hier =
+                    ldis_cache::Hierarchy::hpca2007(DistillCache::new(cfg));
+                workload.drive(
+                    &mut hier,
+                    ldis_workloads::TraceLength::accesses(60_000),
+                );
+                black_box(hier.mpki());
+            },
+        );
+    }
+}
+
+criterion_group!(
+    ablations,
+    ablation_woc_ways,
+    ablation_threshold,
+    ablation_woc_replacement,
+    ablation_leader_sets,
+    ablation_word_size,
+);
+criterion_main!(ablations);

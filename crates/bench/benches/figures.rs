@@ -1,0 +1,174 @@
+//! One Criterion bench per paper table/figure: times the simulation kernel
+//! that regenerates it. The printed reproduction itself comes from
+//! `ldis-experiments <name>`; these benches keep the kernels honest
+//! (performance regressions in the simulator show up here).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ldis_bench::bench_config;
+use ldis_compress::{fac_cache, CmprCache, CmprConfig, ValueSizeModel};
+use ldis_distill::{DistillCache, DistillConfig};
+use ldis_experiments::{run, run_baseline, run_baseline_with_words, table3};
+use ldis_mem::LineGeometry;
+use ldis_sfp::{SfpCache, SfpConfig};
+use ldis_timing::{workload_factors, L2Timing, SystemConfig, TimingSim};
+use ldis_workloads::spec2000;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion, name: &str, mut f: impl FnMut()) {
+    let mut g = c.benchmark_group(name);
+    g.sample_size(10);
+    g.bench_function("kernel", |b| b.iter(&mut f));
+    g.finish();
+}
+
+/// Figure 1 + Figure 2 + Table 2: the baseline characterization run
+/// (footprint histograms, recency instrumentation, MPKI).
+fn motivation_benches(c: &mut Criterion) {
+    let cfg = bench_config();
+    let twolf = spec2000::by_name("twolf").unwrap();
+    bench(c, "fig1_words_used", || {
+        black_box(run_baseline_with_words(&twolf, &cfg, 1 << 20));
+    });
+    let art = spec2000::by_name("art").unwrap();
+    bench(c, "fig2_recency", || {
+        black_box(run_baseline(&art, &cfg, 1 << 20));
+    });
+    let mcf = spec2000::by_name("mcf").unwrap();
+    bench(c, "table2_summary", || {
+        black_box(run_baseline(&mcf, &cfg, 1 << 20));
+    });
+}
+
+/// Figure 6: the three LDIS configurations.
+fn fig6_ldis_configs(c: &mut Criterion) {
+    let cfg = bench_config();
+    let health = spec2000::by_name("health").unwrap();
+    bench(c, "fig6_ldis_configs", || {
+        black_box(run(&health, &cfg, || {
+            DistillCache::new(DistillConfig::ldis_mt_rc())
+        }));
+    });
+}
+
+/// Figure 7: distill-cache outcome breakdown.
+fn fig7_breakdown(c: &mut Criterion) {
+    let cfg = bench_config();
+    let art = spec2000::by_name("art").unwrap();
+    bench(c, "fig7_breakdown", || {
+        let r = run(&art, &cfg, || {
+            DistillCache::new(DistillConfig::hpca2007_default())
+        });
+        black_box((r.l2.woc_hits, r.l2.hole_misses));
+    });
+}
+
+/// Figure 8: capacity comparison against larger traditional caches.
+fn fig8_capacity(c: &mut Criterion) {
+    let cfg = bench_config();
+    let ammp = spec2000::by_name("ammp").unwrap();
+    bench(c, "fig8_capacity", || {
+        black_box(run_baseline(&ammp, &cfg, 2 << 20));
+    });
+}
+
+/// Figure 9: the timed system (baseline + distill latency adders).
+fn fig9_ipc(c: &mut Criterion) {
+    let cfg = bench_config();
+    let health = spec2000::by_name("health").unwrap();
+    let (dep, br) = workload_factors("health");
+    bench(c, "fig9_ipc", || {
+        let sys = SystemConfig::hpca2007_baseline().with_workload_factors(dep, br);
+        let dc = DistillCache::new(DistillConfig::hpca2007_default());
+        let mut sim = TimingSim::new(dc, sys, L2Timing::distill());
+        black_box(sim.run(&mut (health.make)(cfg.seed), cfg.accesses));
+    });
+}
+
+/// Table 3: the storage-overhead model (pure arithmetic, nanoseconds).
+fn table3_overhead(c: &mut Criterion) {
+    bench(c, "table3_overhead", || {
+        black_box(table3::data());
+    });
+}
+
+/// Figure 10: compressibility classification over cache contents.
+fn fig10_compressibility(c: &mut Criterion) {
+    let cfg = bench_config();
+    let mcf = spec2000::by_name("mcf").unwrap();
+    let model = ValueSizeModel::new(
+        (mcf.make)(cfg.seed).values(),
+        LineGeometry::default(),
+        cfg.seed,
+    );
+    bench(c, "fig10_compressibility", || {
+        let mut bytes = 0u64;
+        for line in 0..2000u64 {
+            bytes += model.compressed_bytes(ldis_mem::LineAddr::new(line), None) as u64;
+        }
+        black_box(bytes);
+    });
+}
+
+/// Figure 11: CMPR and FAC organizations.
+fn fig11_fac(c: &mut Criterion) {
+    let cfg = bench_config();
+    let mcf = spec2000::by_name("mcf").unwrap();
+    let model = ValueSizeModel::new(
+        (mcf.make)(cfg.seed).values(),
+        LineGeometry::default(),
+        cfg.seed,
+    );
+    bench(c, "fig11_cmpr", || {
+        black_box(run(&mcf, &cfg, || {
+            CmprCache::new(CmprConfig::cmpr_4x_tags(), model)
+        }));
+    });
+    bench(c, "fig11_fac", || {
+        black_box(run(&mcf, &cfg, || {
+            fac_cache(DistillConfig::hpca2007_default().with_woc_ways(3), model)
+        }));
+    });
+}
+
+/// Figure 13: the SFP comparator.
+fn fig13_sfp(c: &mut Criterion) {
+    let cfg = bench_config();
+    let twolf = spec2000::by_name("twolf").unwrap();
+    bench(c, "fig13_sfp", || {
+        black_box(run(&twolf, &cfg, || SfpCache::new(SfpConfig::sfp_16k())));
+    });
+}
+
+/// Table 5: a cache-insensitive benchmark at 4 MB.
+fn table5_insensitive(c: &mut Criterion) {
+    let cfg = bench_config();
+    let equake = spec2000::by_name("equake").unwrap();
+    bench(c, "table5_insensitive", || {
+        black_box(run_baseline(&equake, &cfg, 4 << 20));
+    });
+}
+
+/// Table 6: words-used at an off-default cache size.
+fn table6_words_vs_size(c: &mut Criterion) {
+    let cfg = bench_config();
+    let art = spec2000::by_name("art").unwrap();
+    bench(c, "table6_words_vs_size", || {
+        black_box(run_baseline_with_words(&art, &cfg, 1280 << 10));
+    });
+}
+
+criterion_group!(
+    figures,
+    motivation_benches,
+    fig6_ldis_configs,
+    fig7_breakdown,
+    fig8_capacity,
+    fig9_ipc,
+    table3_overhead,
+    fig10_compressibility,
+    fig11_fac,
+    fig13_sfp,
+    table5_insensitive,
+    table6_words_vs_size,
+);
+criterion_main!(figures);

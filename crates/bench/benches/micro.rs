@@ -1,0 +1,162 @@
+//! Micro-benchmarks of the core data structures: the raw operation costs
+//! behind every experiment.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ldis_cache::{BaselineL2, CacheConfig, Hierarchy, L2Request, SecondLevel, SetAssocCache};
+use ldis_distill::{DistillCache, DistillConfig, Woc};
+use ldis_mem::{Access, Addr, Footprint, LineAddr, LineGeometry, SimRng, WordIndex};
+use ldis_workloads::spec2000;
+use std::hint::black_box;
+
+/// Raw set-associative cache accesses (hit-dominated).
+fn cache_access(c: &mut Criterion) {
+    let mut g = c.benchmark_group("micro_cache_access");
+    g.throughput(Throughput::Elements(1024));
+    g.bench_function("set_assoc_hits", |b| {
+        let mut cache = SetAssocCache::new(CacheConfig::new(1 << 20, 8, LineGeometry::default()));
+        for i in 0..1024u64 {
+            cache.install(LineAddr::new(i), Some(WordIndex::new(0)), false, false);
+        }
+        b.iter(|| {
+            for i in 0..1024u64 {
+                black_box(cache.access(LineAddr::new(i), Some(WordIndex::new(1)), false));
+            }
+        });
+    });
+    g.finish();
+}
+
+/// Distill-cache accesses across the four outcome classes.
+fn distill_access(c: &mut Criterion) {
+    let mut g = c.benchmark_group("micro_distill_access");
+    g.throughput(Throughput::Elements(4096));
+    g.bench_function("mixed_outcomes", |b| {
+        let mut dc = DistillCache::new(DistillConfig::hpca2007_default());
+        let mut rng = SimRng::new(1);
+        b.iter(|| {
+            for _ in 0..4096 {
+                let line = LineAddr::new(rng.range(40_000));
+                let word = WordIndex::new(rng.range(8) as u8);
+                black_box(dc.access(L2Request::data(line, word, false)));
+            }
+        });
+    });
+    g.finish();
+}
+
+/// WOC install with evictions (the most intricate hot path).
+fn woc_install(c: &mut Criterion) {
+    let mut g = c.benchmark_group("micro_woc_install");
+    g.throughput(Throughput::Elements(2048));
+    g.bench_function("install_evict", |b| {
+        let mut woc = Woc::new(64, 2, 8, 9);
+        let mut rng = SimRng::new(2);
+        let mut tag = 0u64;
+        b.iter(|| {
+            for _ in 0..2048 {
+                let set = rng.index(64);
+                let bits = ((rng.next_u64() & 0xff) as u16).max(1);
+                if woc.lookup(set, tag).is_none() {
+                    black_box(woc.install(set, tag, Footprint::from_bits(bits), false));
+                }
+                tag += 1;
+            }
+        });
+    });
+    g.finish();
+}
+
+/// Full hierarchy throughput on a real benchmark model (accesses/second —
+/// the number that bounds every experiment's wall-clock).
+fn hierarchy_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("micro_hierarchy_throughput");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(50_000));
+    g.bench_function("baseline_mcf", |b| {
+        b.iter(|| {
+            let l2 = BaselineL2::new(CacheConfig::new(1 << 20, 8, LineGeometry::default()));
+            let mut hier = Hierarchy::hpca2007(l2);
+            spec2000::mcf(3).drive(
+                &mut hier,
+                ldis_workloads::TraceLength::accesses(50_000),
+            );
+            black_box(hier.mpki())
+        });
+    });
+    g.bench_function("distill_mcf", |b| {
+        b.iter(|| {
+            let dc = DistillCache::new(DistillConfig::hpca2007_default());
+            let mut hier = Hierarchy::hpca2007(dc);
+            spec2000::mcf(3).drive(
+                &mut hier,
+                ldis_workloads::TraceLength::accesses(50_000),
+            );
+            black_box(hier.mpki())
+        });
+    });
+    g.finish();
+}
+
+/// Footprint bit-vector operations.
+fn footprint_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("micro_footprint");
+    g.throughput(Throughput::Elements(4096));
+    g.bench_function("touch_merge_count", |b| {
+        let mut rng = SimRng::new(3);
+        b.iter(|| {
+            let mut acc = 0u32;
+            for _ in 0..4096 {
+                let mut fp = Footprint::from_bits((rng.next_u64() & 0xff) as u16);
+                fp.touch(WordIndex::new(rng.range(8) as u8));
+                fp.merge(Footprint::from_bits((rng.next_u64() & 0xff) as u16));
+                acc += fp.used_words() as u32 + fp.woc_slots() as u32;
+            }
+            black_box(acc)
+        });
+    });
+    g.finish();
+}
+
+/// Workload generation alone (how much of a run is the generator?).
+fn workload_generation(c: &mut Criterion) {
+    use ldis_mem::TraceSource;
+    let mut g = c.benchmark_group("micro_workload_generation");
+    g.throughput(Throughput::Elements(50_000));
+    g.bench_function("health_generate", |b| {
+        b.iter(|| {
+            let mut w = spec2000::health(5);
+            let mut sum = 0u64;
+            for _ in 0..50_000 {
+                sum = sum.wrapping_add(w.next_access().unwrap().addr.raw());
+            }
+            black_box(sum)
+        });
+    });
+    g.finish();
+}
+
+/// A single hierarchy access end to end (latency, not throughput).
+fn single_access_latency(c: &mut Criterion) {
+    let mut g = c.benchmark_group("micro_single_access");
+    g.bench_function("l1_hit_path", |b| {
+        let l2 = BaselineL2::new(CacheConfig::new(1 << 20, 8, LineGeometry::default()));
+        let mut hier = Hierarchy::hpca2007(l2);
+        hier.access(Access::load(Addr::new(64), 8));
+        b.iter(|| {
+            hier.access(black_box(Access::load(Addr::new(64), 8)));
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    micro,
+    cache_access,
+    distill_access,
+    woc_install,
+    hierarchy_throughput,
+    footprint_ops,
+    workload_generation,
+    single_access_latency,
+);
+criterion_main!(micro);

@@ -1,0 +1,11 @@
+//! Benchmark support: shared tiny run configurations so `cargo bench`
+//! exercises every table/figure kernel in bounded time. The full-length
+//! regeneration lives in the `ldis-experiments` binary.
+
+use ldis_experiments::RunConfig;
+
+/// A bench-sized run: long enough to exercise every mechanism (LOC
+/// evictions, WOC traffic, reverter updates), short enough for Criterion.
+pub fn bench_config() -> RunConfig {
+    RunConfig::quick().with_accesses(60_000)
+}

@@ -1,0 +1,316 @@
+//! A traditional set-associative cache with LRU replacement, footprint
+//! tracking and recency instrumentation.
+
+use crate::{CacheConfig, CacheSet, TagEntry};
+use ldis_mem::{Footprint, LineAddr, WordIndex};
+
+/// A line evicted from a [`SetAssocCache`], carrying everything the
+/// distillation machinery and the statistics need.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EvictedLine {
+    /// The evicted line's address.
+    pub line: LineAddr,
+    /// Whether the line was dirty.
+    pub dirty: bool,
+    /// Whether the line held instructions.
+    pub is_instr: bool,
+    /// The line's accumulated footprint.
+    pub footprint: Footprint,
+    /// The maximum recency position attained before the last footprint
+    /// change (Figure 2 instrumentation).
+    pub recency_at_last_change: u8,
+}
+
+/// A traditional set-associative cache with true-LRU replacement.
+///
+/// Serves as the paper's baseline L2, the LOC of the distill cache, the
+/// L1 instruction cache and the reverter circuit's auxiliary tag directory.
+/// Tracks a [`Footprint`] per line (updated on demand accesses and by
+/// L1D eviction merges) and the Figure 2 recency bookkeeping.
+///
+/// # Example
+///
+/// ```
+/// use ldis_cache::{CacheConfig, SetAssocCache};
+/// use ldis_mem::{LineAddr, LineGeometry, WordIndex};
+///
+/// let mut c = SetAssocCache::new(CacheConfig::new(1 << 20, 8, LineGeometry::default()));
+/// let line = LineAddr::new(42);
+/// assert!(!c.access(line, Some(WordIndex::new(0)), false));
+/// c.install(line, Some(WordIndex::new(0)), false, false);
+/// assert!(c.access(line, Some(WordIndex::new(1)), false));
+/// ```
+#[derive(Clone, Debug)]
+pub struct SetAssocCache {
+    cfg: CacheConfig,
+    sets: Vec<CacheSet>,
+}
+
+impl SetAssocCache {
+    /// Creates an empty cache.
+    pub fn new(cfg: CacheConfig) -> Self {
+        let sets = (0..cfg.num_sets())
+            .map(|_| CacheSet::new(cfg.ways()))
+            .collect();
+        SetAssocCache { cfg, sets }
+    }
+
+    /// The cache's configuration.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Whether `line` is resident (no recency update).
+    pub fn contains(&self, line: LineAddr) -> bool {
+        let set = &self.sets[self.cfg.set_index(line)];
+        set.find(self.cfg.tag(line)).is_some()
+    }
+
+    /// The current recency position of `line` (0 = MRU), if resident.
+    pub fn position_of(&self, line: LineAddr) -> Option<u8> {
+        let set = &self.sets[self.cfg.set_index(line)];
+        set.find(self.cfg.tag(line)).map(|w| set.position_of(w))
+    }
+
+    /// Looks up `line`; on a hit promotes it to MRU, updates the recency
+    /// bookkeeping, marks `word` used (if given) and sets the dirty bit for
+    /// writes. Returns whether the access hit.
+    pub fn access(&mut self, line: LineAddr, word: Option<WordIndex>, write: bool) -> bool {
+        let set_idx = self.cfg.set_index(line);
+        let tag = self.cfg.tag(line);
+        let set = &mut self.sets[set_idx];
+        match set.find(tag) {
+            Some(way) => {
+                let pos = set.promote(way);
+                let entry = set.entry_mut(way);
+                entry.observe_position(pos);
+                if let Some(w) = word {
+                    entry.touch_word(w);
+                }
+                entry.dirty |= write;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Installs `line` at MRU, evicting the LRU (or using an invalid way).
+    /// The demanded `word` (if any) becomes the first footprint bit; a
+    /// write-allocate sets the dirty bit. Returns the evicted line, if a
+    /// valid line was displaced.
+    pub fn install(
+        &mut self,
+        line: LineAddr,
+        word: Option<WordIndex>,
+        write: bool,
+        is_instr: bool,
+    ) -> Option<EvictedLine> {
+        let set_idx = self.cfg.set_index(line);
+        let tag = self.cfg.tag(line);
+        let set = &mut self.sets[set_idx];
+        debug_assert!(set.find(tag).is_none(), "installing a resident line");
+        let way = set.victim_way();
+        let victim = Self::snapshot_eviction(&self.cfg, set_idx, set.entry(way));
+        let entry = set.entry_mut(way);
+        entry.install(tag, write, is_instr);
+        if let Some(w) = word {
+            entry.touch_word(w);
+        }
+        set.promote(way);
+        victim
+    }
+
+    /// OR-merges `fp` into `line`'s footprint if resident (the L1D → LOC
+    /// merge of Section 4.1), optionally marking it dirty. Returns whether
+    /// the line was resident. Does **not** update recency.
+    pub fn merge_footprint(&mut self, line: LineAddr, fp: Footprint, dirty: bool) -> bool {
+        let set_idx = self.cfg.set_index(line);
+        let tag = self.cfg.tag(line);
+        let set = &mut self.sets[set_idx];
+        match set.find(tag) {
+            Some(way) => {
+                let entry = set.entry_mut(way);
+                entry.merge_footprint(fp);
+                entry.dirty |= dirty;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Invalidates `line` if resident, returning its eviction snapshot.
+    pub fn invalidate(&mut self, line: LineAddr) -> Option<EvictedLine> {
+        let set_idx = self.cfg.set_index(line);
+        let tag = self.cfg.tag(line);
+        let set = &mut self.sets[set_idx];
+        let way = set.find(tag)?;
+        let snapshot = Self::snapshot_eviction(&self.cfg, set_idx, set.entry(way));
+        set.entry_mut(way).valid = false;
+        snapshot
+    }
+
+    /// Iterates over every valid line with its entry — used by the
+    /// compression analysis (Figure 10), which samples cache contents.
+    pub fn iter_lines(&self) -> impl Iterator<Item = (LineAddr, &TagEntry)> + '_ {
+        self.sets.iter().enumerate().flat_map(move |(set_idx, set)| {
+            set.iter().filter_map(move |entry| {
+                if entry.valid {
+                    Some((self.cfg.line_of(set_idx, entry.tag), entry))
+                } else {
+                    None
+                }
+            })
+        })
+    }
+
+    /// Number of valid lines currently resident.
+    pub fn occupancy(&self) -> u64 {
+        self.sets
+            .iter()
+            .map(|s| s.iter().filter(|e| e.valid).count() as u64)
+            .sum()
+    }
+
+    /// Direct access to a set, for organizations (distill cache) that embed
+    /// this type and need set-level control.
+    pub fn set(&self, index: usize) -> &CacheSet {
+        &self.sets[index]
+    }
+
+    /// Exclusive access to a set.
+    pub fn set_mut(&mut self, index: usize) -> &mut CacheSet {
+        &mut self.sets[index]
+    }
+
+    fn snapshot_eviction(
+        cfg: &CacheConfig,
+        set_idx: usize,
+        entry: &TagEntry,
+    ) -> Option<EvictedLine> {
+        if !entry.valid {
+            return None;
+        }
+        Some(EvictedLine {
+            line: cfg.line_of(set_idx, entry.tag),
+            dirty: entry.dirty,
+            is_instr: entry.is_instr,
+            footprint: entry.footprint,
+            recency_at_last_change: entry.max_pos_at_change,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldis_mem::LineGeometry;
+
+    fn small_cache(ways: u32) -> SetAssocCache {
+        // 4 sets, `ways` ways, 64 B lines.
+        SetAssocCache::new(CacheConfig::with_sets(4, ways, LineGeometry::default()))
+    }
+
+    fn line_in_set0(i: u64) -> LineAddr {
+        LineAddr::new(i * 4)
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = small_cache(2);
+        let l = LineAddr::new(7);
+        assert!(!c.access(l, None, false));
+        assert!(c.install(l, None, false, false).is_none());
+        assert!(c.access(l, None, false));
+        assert!(c.contains(l));
+        assert_eq!(c.occupancy(), 1);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = small_cache(2);
+        let (a, b, d) = (line_in_set0(0), line_in_set0(1), line_in_set0(2));
+        c.install(a, None, false, false);
+        c.install(b, None, false, false);
+        // Touch a so b becomes LRU.
+        assert!(c.access(a, None, false));
+        let evicted = c.install(d, None, false, false).expect("must evict");
+        assert_eq!(evicted.line, b);
+        assert!(c.contains(a) && c.contains(d) && !c.contains(b));
+    }
+
+    #[test]
+    fn eviction_carries_footprint_and_dirty() {
+        let mut c = small_cache(1);
+        let a = line_in_set0(0);
+        c.install(a, Some(WordIndex::new(2)), true, false);
+        c.merge_footprint(a, Footprint::from_bits(0b1000_0000), true);
+        let evicted = c.install(line_in_set0(1), None, false, false).unwrap();
+        assert!(evicted.dirty);
+        assert_eq!(evicted.footprint.used_words(), 2);
+        assert!(evicted.footprint.is_used(WordIndex::new(2)));
+        assert!(evicted.footprint.is_used(WordIndex::new(7)));
+    }
+
+    #[test]
+    fn recency_positions_update_on_access() {
+        let mut c = small_cache(4);
+        let lines: Vec<LineAddr> = (0..4).map(line_in_set0).collect();
+        for &l in &lines {
+            c.install(l, Some(WordIndex::new(0)), false, false);
+        }
+        assert_eq!(c.position_of(lines[3]), Some(0));
+        assert_eq!(c.position_of(lines[0]), Some(3));
+        // Access the LRU line with a NEW word: footprint change at pos 3.
+        c.access(lines[0], Some(WordIndex::new(5)), false);
+        let evicted_line = lines[1]; // now LRU
+        assert_eq!(c.position_of(evicted_line), Some(3));
+        // Evict lines[0] eventually and check its recency record.
+        for i in 4..7 {
+            c.install(line_in_set0(i), Some(WordIndex::new(0)), false, false);
+        }
+        let ev = c.install(line_in_set0(7), None, false, false).unwrap();
+        assert_eq!(ev.line, lines[0]);
+        assert_eq!(ev.recency_at_last_change, 3);
+    }
+
+    #[test]
+    fn merge_footprint_misses_nonresident_lines() {
+        let mut c = small_cache(2);
+        assert!(!c.merge_footprint(LineAddr::new(9), Footprint::full(8), false));
+    }
+
+    #[test]
+    fn invalidate_removes_line() {
+        let mut c = small_cache(2);
+        let l = LineAddr::new(3);
+        c.install(l, None, true, false);
+        let ev = c.invalidate(l).expect("was resident");
+        assert_eq!(ev.line, l);
+        assert!(ev.dirty);
+        assert!(!c.contains(l));
+        assert!(c.invalidate(l).is_none());
+    }
+
+    #[test]
+    fn iter_lines_reports_resident_lines() {
+        let mut c = small_cache(2);
+        c.install(LineAddr::new(1), Some(WordIndex::new(0)), false, false);
+        c.install(LineAddr::new(2), Some(WordIndex::new(1)), false, true);
+        let mut lines: Vec<u64> = c.iter_lines().map(|(l, _)| l.raw()).collect();
+        lines.sort_unstable();
+        assert_eq!(lines, vec![1, 2]);
+        let instr_count = c.iter_lines().filter(|(_, e)| e.is_instr).count();
+        assert_eq!(instr_count, 1);
+    }
+
+    #[test]
+    fn install_prefers_invalid_ways() {
+        let mut c = small_cache(4);
+        c.install(line_in_set0(0), None, false, false);
+        // Three invalid ways remain: installing must not evict.
+        assert!(c.install(line_in_set0(1), None, false, false).is_none());
+        assert!(c.install(line_in_set0(2), None, false, false).is_none());
+        assert!(c.install(line_in_set0(3), None, false, false).is_none());
+        assert!(c.install(line_in_set0(4), None, false, false).is_some());
+    }
+}

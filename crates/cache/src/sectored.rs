@@ -1,0 +1,311 @@
+//! The sectored first-level data cache (Section 4.2).
+//!
+//! To accommodate the variable number of valid words returned by the WOC,
+//! the paper uses a sectored L1D: each line carries per-word valid bits.
+//! An access to an invalid word of a resident line is a *sector miss* and
+//! triggers a request to the L2 for the missing sector.
+
+use crate::{CacheConfig, CacheSet};
+use ldis_mem::{Footprint, LineAddr, WordIndex};
+
+/// The result of an L1D lookup.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum L1Lookup {
+    /// Line resident and every requested word valid.
+    Hit,
+    /// Line resident but at least one requested word invalid (Section 4.2:
+    /// "If an invalid word in the line is accessed by the processor, a
+    /// request for the line is sent to the distill-cache").
+    SectorMiss,
+    /// Line not resident.
+    Miss,
+}
+
+/// A line evicted from the sectored L1D, carrying the footprint that is
+/// sent to the LOC (Section 4.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EvictedL1Line {
+    /// The evicted line's address.
+    pub line: LineAddr,
+    /// Words of the line the processor actually accessed while resident.
+    pub footprint: Footprint,
+    /// Whether the line was written.
+    pub dirty: bool,
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct SectorEntry {
+    valid_words: u16,
+    footprint: Footprint,
+    dirty: bool,
+}
+
+/// A sectored set-associative data cache with per-word valid bits, per-line
+/// footprints and LRU replacement.
+///
+/// # Example
+///
+/// ```
+/// use ldis_cache::{CacheConfig, L1Lookup, SectoredCache};
+/// use ldis_mem::{Footprint, LineAddr, LineGeometry, WordIndex};
+///
+/// let mut l1 = SectoredCache::new(CacheConfig::new(16 << 10, 2, LineGeometry::default()));
+/// let line = LineAddr::new(5);
+/// assert_eq!(l1.lookup(line, WordIndex::new(0), WordIndex::new(0)), L1Lookup::Miss);
+/// l1.fill(line, Footprint::from_bits(0b0001)); // only word 0 valid
+/// assert_eq!(l1.access(line, WordIndex::new(0), WordIndex::new(0), false), L1Lookup::Hit);
+/// assert_eq!(l1.access(line, WordIndex::new(3), WordIndex::new(3), false), L1Lookup::SectorMiss);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SectoredCache {
+    cfg: CacheConfig,
+    sets: Vec<CacheSet>,
+    sectors: Vec<Vec<SectorEntry>>,
+}
+
+impl SectoredCache {
+    /// Creates an empty sectored cache.
+    pub fn new(cfg: CacheConfig) -> Self {
+        let sets = (0..cfg.num_sets())
+            .map(|_| CacheSet::new(cfg.ways()))
+            .collect();
+        let sectors = (0..cfg.num_sets())
+            .map(|_| vec![SectorEntry::default(); cfg.ways() as usize])
+            .collect();
+        SectoredCache { cfg, sets, sectors }
+    }
+
+    /// The cache's configuration.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Classifies an access to words `first..=last` of `line` without
+    /// changing any state.
+    pub fn lookup(&self, line: LineAddr, first: WordIndex, last: WordIndex) -> L1Lookup {
+        let set = &self.sets[self.cfg.set_index(line)];
+        match set.find(self.cfg.tag(line)) {
+            None => L1Lookup::Miss,
+            Some(way) => {
+                let sector = &self.sectors[self.cfg.set_index(line)][way];
+                if span_mask(first, last) & !sector.valid_words == 0 {
+                    L1Lookup::Hit
+                } else {
+                    L1Lookup::SectorMiss
+                }
+            }
+        }
+    }
+
+    /// Performs an access to words `first..=last`: on a full hit, promotes
+    /// the line, records the words in the footprint and sets the dirty bit
+    /// for writes. On a sector miss the footprint/dirty update still happens
+    /// (the processor *will* use the words once the sector arrives) but the
+    /// caller must fetch the missing words via [`fill_words`].
+    ///
+    /// [`fill_words`]: SectoredCache::fill_words
+    pub fn access(
+        &mut self,
+        line: LineAddr,
+        first: WordIndex,
+        last: WordIndex,
+        write: bool,
+    ) -> L1Lookup {
+        let set_idx = self.cfg.set_index(line);
+        let set = &mut self.sets[set_idx];
+        match set.find(self.cfg.tag(line)) {
+            None => L1Lookup::Miss,
+            Some(way) => {
+                set.promote(way);
+                let sector = &mut self.sectors[set_idx][way];
+                sector.footprint.touch_span(first, last);
+                sector.dirty |= write;
+                if span_mask(first, last) & !sector.valid_words == 0 {
+                    L1Lookup::Hit
+                } else {
+                    L1Lookup::SectorMiss
+                }
+            }
+        }
+    }
+
+    /// Installs `line` with the given valid words (a fill from the L2),
+    /// evicting the LRU line if needed. The footprint starts empty — the
+    /// caller records the demand words with [`access`](SectoredCache::access).
+    pub fn fill(&mut self, line: LineAddr, valid_words: Footprint) -> Option<EvictedL1Line> {
+        let set_idx = self.cfg.set_index(line);
+        let tag = self.cfg.tag(line);
+        let set = &mut self.sets[set_idx];
+        debug_assert!(set.find(tag).is_none(), "filling a resident line");
+        let way = set.victim_way();
+        let victim = {
+            let entry = set.entry(way);
+            if entry.valid {
+                let sector = &self.sectors[set_idx][way];
+                Some(EvictedL1Line {
+                    line: self.cfg.line_of(set_idx, entry.tag),
+                    footprint: sector.footprint,
+                    dirty: sector.dirty,
+                })
+            } else {
+                None
+            }
+        };
+        set.entry_mut(way).install(tag, false, false);
+        set.promote(way);
+        self.sectors[set_idx][way] = SectorEntry {
+            valid_words: valid_words.bits(),
+            footprint: Footprint::empty(),
+            dirty: false,
+        };
+        victim
+    }
+
+    /// Adds valid words to a resident line (a sector fill). Returns whether
+    /// the line was resident.
+    pub fn fill_words(&mut self, line: LineAddr, valid_words: Footprint) -> bool {
+        let set_idx = self.cfg.set_index(line);
+        let set = &self.sets[set_idx];
+        match set.find(self.cfg.tag(line)) {
+            Some(way) => {
+                self.sectors[set_idx][way].valid_words |= valid_words.bits();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Whether every word in `first..=last` of `line` is valid.
+    pub fn words_valid(&self, line: LineAddr, first: WordIndex, last: WordIndex) -> bool {
+        self.lookup(line, first, last) == L1Lookup::Hit
+    }
+
+    /// Invalidates `line` if resident, returning its eviction record.
+    pub fn invalidate(&mut self, line: LineAddr) -> Option<EvictedL1Line> {
+        let set_idx = self.cfg.set_index(line);
+        let set = &mut self.sets[set_idx];
+        let way = set.find(self.cfg.tag(line))?;
+        let sector = self.sectors[set_idx][way];
+        set.entry_mut(way).valid = false;
+        Some(EvictedL1Line {
+            line,
+            footprint: sector.footprint,
+            dirty: sector.dirty,
+        })
+    }
+
+    /// Number of resident lines.
+    pub fn occupancy(&self) -> u64 {
+        self.sets
+            .iter()
+            .map(|s| s.iter().filter(|e| e.valid).count() as u64)
+            .sum()
+    }
+}
+
+fn span_mask(first: WordIndex, last: WordIndex) -> u16 {
+    debug_assert!(first <= last);
+    let width = last.get() - first.get() + 1;
+    let ones = if width >= 16 { u16::MAX } else { (1u16 << width) - 1 };
+    ones << first.get()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldis_mem::LineGeometry;
+
+    fn l1() -> SectoredCache {
+        SectoredCache::new(CacheConfig::new(16 << 10, 2, LineGeometry::default()))
+    }
+
+    fn w(i: u8) -> WordIndex {
+        WordIndex::new(i)
+    }
+
+    #[test]
+    fn span_mask_math() {
+        assert_eq!(span_mask(w(0), w(0)), 0b1);
+        assert_eq!(span_mask(w(1), w(3)), 0b1110);
+        assert_eq!(span_mask(w(7), w(7)), 0b1000_0000);
+    }
+
+    #[test]
+    fn full_fill_hits_all_words() {
+        let mut c = l1();
+        let line = LineAddr::new(9);
+        c.fill(line, Footprint::full(8));
+        for i in 0..8 {
+            assert_eq!(c.access(line, w(i), w(i), false), L1Lookup::Hit);
+        }
+    }
+
+    #[test]
+    fn partial_fill_sector_misses_on_holes() {
+        let mut c = l1();
+        let line = LineAddr::new(9);
+        c.fill(line, Footprint::from_bits(0b0000_0101));
+        assert_eq!(c.access(line, w(0), w(0), false), L1Lookup::Hit);
+        assert_eq!(c.access(line, w(2), w(2), false), L1Lookup::Hit);
+        assert_eq!(c.access(line, w(1), w(1), false), L1Lookup::SectorMiss);
+        // Filling the missing word turns it into a hit.
+        assert!(c.fill_words(line, Footprint::from_bits(0b0000_0010)));
+        assert_eq!(c.access(line, w(1), w(1), false), L1Lookup::Hit);
+    }
+
+    #[test]
+    fn eviction_carries_footprint_not_valid_bits() {
+        let mut c = l1();
+        let set_stride = c.config().num_sets();
+        let a = LineAddr::new(3);
+        let b = LineAddr::new(3 + set_stride);
+        let d = LineAddr::new(3 + 2 * set_stride);
+        c.fill(a, Footprint::full(8));
+        c.access(a, w(0), w(0), false);
+        c.access(a, w(5), w(5), true);
+        c.fill(b, Footprint::full(8));
+        let ev = c.fill(d, Footprint::full(8)).expect("a is LRU, must evict");
+        assert_eq!(ev.line, a);
+        assert!(ev.dirty);
+        assert_eq!(ev.footprint.used_words(), 2, "only touched words count");
+    }
+
+    #[test]
+    fn lru_respects_access_order() {
+        let mut c = l1();
+        let s = c.config().num_sets();
+        let (a, b, d) = (LineAddr::new(1), LineAddr::new(1 + s), LineAddr::new(1 + 2 * s));
+        c.fill(a, Footprint::full(8));
+        c.fill(b, Footprint::full(8));
+        c.access(a, w(0), w(0), false); // b becomes LRU
+        let ev = c.fill(d, Footprint::full(8)).unwrap();
+        assert_eq!(ev.line, b);
+    }
+
+    #[test]
+    fn sector_miss_still_records_footprint() {
+        let mut c = l1();
+        let line = LineAddr::new(2);
+        c.fill(line, Footprint::from_bits(0b1));
+        assert_eq!(c.access(line, w(4), w(4), true), L1Lookup::SectorMiss);
+        c.fill_words(line, Footprint::from_bits(0b1_0000));
+        let ev = c.invalidate(line).unwrap();
+        assert!(ev.dirty);
+        assert!(ev.footprint.is_used(w(4)));
+    }
+
+    #[test]
+    fn invalidate_nonresident_is_none() {
+        let mut c = l1();
+        assert!(c.invalidate(LineAddr::new(77)).is_none());
+    }
+
+    #[test]
+    fn multi_word_span_requires_all_words() {
+        let mut c = l1();
+        let line = LineAddr::new(4);
+        c.fill(line, Footprint::from_bits(0b0011));
+        assert_eq!(c.lookup(line, w(0), w(1)), L1Lookup::Hit);
+        assert_eq!(c.lookup(line, w(1), w(2)), L1Lookup::SectorMiss);
+    }
+}

@@ -1,0 +1,183 @@
+//! Statistics shared by every second-level cache organization.
+
+use ldis_mem::stats::{mpki, Histogram};
+use ldis_mem::LineAddr;
+use std::collections::HashSet;
+use std::fmt;
+
+/// Hit/miss and instrumentation counters for a second-level cache.
+///
+/// The four outcome counters mirror Section 5.2's taxonomy. A traditional
+/// cache only ever reports `loc_hits` and `line_misses`; the distill cache
+/// uses all four.
+#[derive(Clone, Debug, Default)]
+pub struct L2Stats {
+    /// Total demand accesses (L1 misses plus L1 sector misses).
+    pub accesses: u64,
+    /// Hits in the line-organized portion (all hits, for a traditional cache).
+    pub loc_hits: u64,
+    /// Hits in the word-organized cache (distill cache only).
+    pub woc_hits: u64,
+    /// Line hit but word miss in the WOC (distill cache only).
+    pub hole_misses: u64,
+    /// Misses in both structures (plain misses for a traditional cache).
+    pub line_misses: u64,
+    /// Demand misses to lines never seen before by this cache (Table 2).
+    pub compulsory_misses: u64,
+    /// Lines evicted from the line-organized store.
+    pub evictions: u64,
+    /// Dirty lines (or dirty distilled words) written back to memory.
+    pub writebacks: u64,
+    /// Lines installed into the WOC after distillation.
+    pub woc_installs: u64,
+    /// Lines evicted from the LOC whose words were all unused or that were
+    /// filtered out by the distillation threshold.
+    pub distill_filtered: u64,
+    /// Histogram of used words per *data* line at eviction from the
+    /// line-organized store: bin `k` = lines evicted with `k` words used
+    /// (Figure 1, Table 6).
+    pub words_used_at_evict: Histogram,
+    /// Histogram of the maximum recency position attained before the last
+    /// footprint change, recorded at eviction of data lines (Figure 2).
+    pub recency_before_change: Histogram,
+}
+
+impl L2Stats {
+    /// Creates zeroed statistics for a cache with `words_per_line` words
+    /// per line and `ways` recency positions.
+    pub fn new(words_per_line: u8, ways: u32) -> Self {
+        L2Stats {
+            words_used_at_evict: Histogram::new(words_per_line as usize + 1),
+            recency_before_change: Histogram::new(ways as usize),
+            ..L2Stats::default()
+        }
+    }
+
+    /// All hits (LOC + WOC).
+    pub fn hits(&self) -> u64 {
+        self.loc_hits + self.woc_hits
+    }
+
+    /// All demand misses (hole misses + line misses).
+    pub fn demand_misses(&self) -> u64 {
+        self.hole_misses + self.line_misses
+    }
+
+    /// Misses per kilo-instruction given the trace's instruction count.
+    pub fn mpki(&self, instructions: u64) -> f64 {
+        mpki(self.demand_misses(), instructions)
+    }
+
+    /// Hit rate over all demand accesses (0 if there were none).
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.hits() as f64 / self.accesses as f64
+        }
+    }
+
+    /// Fraction of demand misses that were compulsory.
+    pub fn compulsory_fraction(&self) -> f64 {
+        let misses = self.demand_misses();
+        if misses == 0 {
+            0.0
+        } else {
+            self.compulsory_misses as f64 / misses as f64
+        }
+    }
+}
+
+impl fmt::Display for L2Stats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "accesses {} | LOC hits {} | WOC hits {} | hole misses {} | \
+             line misses {} (compulsory {}) | evictions {} | writebacks {}",
+            self.accesses,
+            self.loc_hits,
+            self.woc_hits,
+            self.hole_misses,
+            self.line_misses,
+            self.compulsory_misses,
+            self.evictions,
+            self.writebacks,
+        )
+    }
+}
+
+/// Tracks which lines have ever been requested, to classify compulsory
+/// misses (Table 2). Shared by all second-level implementations.
+#[derive(Clone, Debug, Default)]
+pub struct CompulsoryTracker {
+    seen: HashSet<LineAddr>,
+}
+
+impl CompulsoryTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        CompulsoryTracker::default()
+    }
+
+    /// Records a demand miss to `line`; returns `true` if this is the first
+    /// time the line has ever been requested (a compulsory miss).
+    pub fn record_miss(&mut self, line: LineAddr) -> bool {
+        self.seen.insert(line)
+    }
+
+    /// Number of distinct lines ever requested.
+    pub fn distinct_lines(&self) -> usize {
+        self.seen.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_counters() {
+        let mut s = L2Stats::new(8, 8);
+        s.accesses = 10;
+        s.loc_hits = 4;
+        s.woc_hits = 2;
+        s.hole_misses = 1;
+        s.line_misses = 3;
+        s.compulsory_misses = 2;
+        assert_eq!(s.hits(), 6);
+        assert_eq!(s.demand_misses(), 4);
+        assert!((s.hit_rate() - 0.6).abs() < 1e-12);
+        assert!((s.compulsory_fraction() - 0.5).abs() < 1e-12);
+        assert!((s.mpki(1_000_000) - 0.004).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = L2Stats::new(8, 8);
+        assert_eq!(s.hit_rate(), 0.0);
+        assert_eq!(s.compulsory_fraction(), 0.0);
+        assert_eq!(s.words_used_at_evict.len(), 9);
+        assert_eq!(s.recency_before_change.len(), 8);
+    }
+
+    #[test]
+    fn display_shows_all_outcome_classes() {
+        let mut s = L2Stats::new(8, 8);
+        s.accesses = 5;
+        s.woc_hits = 2;
+        s.hole_misses = 1;
+        let text = s.to_string();
+        assert!(text.contains("WOC hits 2"));
+        assert!(text.contains("hole misses 1"));
+        assert!(text.contains("accesses 5"));
+    }
+
+    #[test]
+    fn compulsory_tracker_first_touch_only() {
+        let mut t = CompulsoryTracker::new();
+        assert!(t.record_miss(LineAddr::new(1)));
+        assert!(!t.record_miss(LineAddr::new(1)));
+        assert!(t.record_miss(LineAddr::new(2)));
+        assert_eq!(t.distinct_lines(), 2);
+    }
+}

@@ -1,0 +1,573 @@
+//! The distill cache: LOC + WOC with line distillation (Sections 4–5).
+
+use crate::{DistillConfig, MedianTracker, Reverter, ThresholdPolicy, Woc, WordStore};
+use ldis_cache::{
+    EvictedLine, L2Outcome, L2Request, L2Response, L2Stats, SecondLevel, SetAssocCache,
+};
+use ldis_cache::CompulsoryTracker;
+use ldis_mem::{Footprint, LineAddr, LineGeometry};
+
+/// The paper's distill cache.
+///
+/// Incoming lines are installed in the Line-Organized Cache (LOC, LRU).
+/// When a data line is evicted from the LOC, *line distillation* transfers
+/// its used words to the Word-Organized Cache (WOC) and discards the rest.
+/// An access can therefore end in one of four ways (Section 5.2): LOC-hit,
+/// WOC-hit, hole-miss (line in WOC but the demanded word absent) or
+/// line-miss.
+///
+/// Median-threshold filtering (Section 5.4) and the reverter circuit
+/// (Section 5.5) are both optional and controlled by [`DistillConfig`].
+/// With the reverter disabled-state active, follower sets install the
+/// *full* evicted line into the WOC, making the set behave like the 8-way
+/// traditional baseline.
+///
+/// # Example
+///
+/// ```
+/// use ldis_cache::{L2Outcome, L2Request, SecondLevel};
+/// use ldis_distill::{DistillCache, DistillConfig};
+/// use ldis_mem::{LineAddr, WordIndex};
+///
+/// let mut dc = DistillCache::new(DistillConfig::ldis_base());
+/// let req = L2Request::data(LineAddr::new(3), WordIndex::new(0), false);
+/// assert_eq!(dc.access(req).outcome, L2Outcome::LineMiss);
+/// assert_eq!(dc.access(req).outcome, L2Outcome::LocHit);
+/// ```
+#[derive(Clone, Debug)]
+pub struct DistillCache<W = Woc> {
+    cfg: DistillConfig,
+    loc: SetAssocCache,
+    woc: W,
+    median: MedianTracker,
+    reverter: Option<Reverter>,
+    stats: L2Stats,
+    compulsory: CompulsoryTracker,
+    label: String,
+}
+
+impl DistillCache {
+    /// Creates an empty distill cache with the paper's word-organized
+    /// store.
+    pub fn new(cfg: DistillConfig) -> Self {
+        let woc = Woc::new(
+            cfg.num_sets(),
+            cfg.woc_ways(),
+            cfg.geometry().words_per_line(),
+            cfg.seed(),
+        )
+        .with_replacement(cfg.woc_replacement());
+        DistillCache::with_word_store(cfg, woc)
+    }
+
+    /// Creates a distill cache with a custom report label.
+    pub fn with_label(cfg: DistillConfig, label: impl Into<String>) -> Self {
+        let mut dc = DistillCache::new(cfg);
+        dc.label = label.into();
+        dc
+    }
+}
+
+impl<W: WordStore> DistillCache<W> {
+    /// Creates a distill cache around a custom word store (footprint-aware
+    /// compression uses this to store compressed words).
+    pub fn with_word_store(cfg: DistillConfig, woc: W) -> Self {
+        let wpl = cfg.geometry().words_per_line();
+        let median_interval = match cfg.policy() {
+            ThresholdPolicy::Median { interval } => interval,
+            _ => 4096,
+        };
+        let label = match (cfg.policy(), cfg.reverter().is_some()) {
+            (ThresholdPolicy::All, false) => "LDIS-Base",
+            (ThresholdPolicy::All, true) => "LDIS-RC",
+            (ThresholdPolicy::Median { .. }, false) => "LDIS-MT",
+            (ThresholdPolicy::Median { .. }, true) => "LDIS-MT-RC",
+            (ThresholdPolicy::Fixed(_), false) => "LDIS-Fixed",
+            (ThresholdPolicy::Fixed(_), true) => "LDIS-Fixed-RC",
+        };
+        DistillCache {
+            loc: SetAssocCache::new(cfg.loc_config()),
+            woc,
+            median: MedianTracker::new(wpl, median_interval),
+            reverter: cfg
+                .reverter()
+                .map(|rc| Reverter::new(rc, cfg.num_sets(), cfg.total_ways())),
+            stats: L2Stats::new(wpl, cfg.loc_ways()),
+            compulsory: CompulsoryTracker::new(),
+            label: label.to_owned(),
+            cfg,
+        }
+    }
+
+    /// Overrides the report label.
+    pub fn set_label(&mut self, label: impl Into<String>) {
+        self.label = label.into();
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &DistillConfig {
+        &self.cfg
+    }
+
+    /// The line-organized half (for content inspection).
+    pub fn loc(&self) -> &SetAssocCache {
+        &self.loc
+    }
+
+    /// The word-organized half (for occupancy inspection).
+    pub fn woc(&self) -> &W {
+        &self.woc
+    }
+
+    /// The median tracker driving threshold-based distillation.
+    pub fn median(&self) -> &MedianTracker {
+        &self.median
+    }
+
+    /// The reverter circuit, if configured.
+    pub fn reverter(&self) -> Option<&Reverter> {
+        self.reverter.as_ref()
+    }
+
+    /// Forces the reverter's decision; a no-op without a reverter. Used by
+    /// tests and the policy-extreme property checks.
+    pub fn force_ldis(&mut self, enabled: bool) {
+        if let Some(r) = self.reverter.as_mut() {
+            r.force_enabled(enabled);
+        }
+    }
+
+    /// Whether line distillation is active for `set` right now.
+    pub fn ldis_active_for(&self, set: usize) -> bool {
+        match &self.reverter {
+            None => true,
+            Some(r) => r.is_leader(set) || r.ldis_enabled(),
+        }
+    }
+
+    fn set_and_tag(&self, line: LineAddr) -> (usize, u64) {
+        let cfg = self.loc.config();
+        (cfg.set_index(line), cfg.tag(line))
+    }
+
+    /// Installs a fetched line into the LOC, distilling the victim.
+    fn install_in_loc(&mut self, req: &L2Request, extra_dirty: bool) {
+        let word = if req.is_instr { None } else { Some(req.word) };
+        let dirty = req.write || extra_dirty;
+        if let Some(ev) = self.loc.install(req.line, word, dirty, req.is_instr) {
+            self.record_loc_eviction(&ev);
+            let (set, _) = self.set_and_tag(ev.line);
+            self.distill(set, ev);
+        }
+    }
+
+    fn record_loc_eviction(&mut self, ev: &EvictedLine) {
+        self.stats.evictions += 1;
+        if !ev.is_instr {
+            self.stats
+                .words_used_at_evict
+                .record(ev.footprint.used_words() as usize);
+            self.stats
+                .recency_before_change
+                .record(ev.recency_at_last_change as usize);
+        }
+    }
+
+    /// Line distillation (Section 5): transfer the used words of a line
+    /// evicted from the LOC into the WOC, or the full line when LDIS is
+    /// disabled for the set.
+    fn distill(&mut self, set: usize, ev: EvictedLine) {
+        if ev.is_instr {
+            // Instruction lines are never distilled (Section 4).
+            if ev.dirty {
+                self.stats.writebacks += 1;
+            }
+            return;
+        }
+        let used = ev.footprint.used_words();
+        self.median.observe(used);
+
+        let (_, tag) = self.set_and_tag(ev.line);
+        if self.ldis_active_for(set) {
+            let threshold = match self.cfg.policy() {
+                ThresholdPolicy::All => self.cfg.geometry().words_per_line(),
+                ThresholdPolicy::Median { .. } => self.median.threshold(),
+                ThresholdPolicy::Fixed(k) => k,
+            };
+            if used == 0 || used > threshold {
+                // Filtered out: the line (and its dirty data) leaves the cache.
+                self.stats.distill_filtered += 1;
+                if ev.dirty {
+                    self.stats.writebacks += 1;
+                }
+                return;
+            }
+            // Discarding unused words of a dirty line is safe: a store
+            // always sets the word's footprint bit, so dirty words are
+            // necessarily used words.
+            self.install_in_woc(set, tag, ev.line, ev.footprint, ev.dirty);
+        } else {
+            // LDIS disabled: keep the whole line so the set behaves like
+            // the traditional 8-way baseline.
+            let full = Footprint::full(self.cfg.geometry().words_per_line());
+            self.install_in_woc(set, tag, ev.line, full, ev.dirty);
+        }
+    }
+
+    fn install_in_woc(
+        &mut self,
+        set: usize,
+        tag: u64,
+        line: LineAddr,
+        words: Footprint,
+        dirty: bool,
+    ) {
+        self.stats.woc_installs += 1;
+        for evicted in self.woc.install(set, tag, line, words, dirty) {
+            if evicted.dirty {
+                self.stats.writebacks += 1;
+            }
+        }
+    }
+
+    fn observe_reverter(&mut self, set: usize, line: LineAddr, distill_missed: bool) {
+        if let Some(r) = self.reverter.as_mut() {
+            if r.is_leader(set) {
+                r.observe_leader_access(set, line, distill_missed);
+            }
+        }
+    }
+}
+
+impl<W: WordStore> SecondLevel for DistillCache<W> {
+    fn access(&mut self, req: L2Request) -> L2Response {
+        self.stats.accesses += 1;
+        let (set, tag) = self.set_and_tag(req.line);
+        let full = Footprint::full(self.cfg.geometry().words_per_line());
+        let word = if req.is_instr { None } else { Some(req.word) };
+
+        // 1. LOC lookup — serviced like a traditional cache.
+        if self.loc.access(req.line, word, req.write) {
+            debug_assert!(
+                self.woc.lookup(set, tag).is_none(),
+                "a line must never be in both LOC and WOC"
+            );
+            self.stats.loc_hits += 1;
+            self.observe_reverter(set, req.line, false);
+            return L2Response {
+                outcome: L2Outcome::LocHit,
+                valid_words: full,
+            };
+        }
+
+        // 2. WOC lookup.
+        if let Some(hit) = self.woc.lookup(set, tag) {
+            if !req.is_instr && hit.valid_words.is_used(req.word) {
+                // WOC-hit: the stored words are rearranged and sent to the
+                // L1D along with their valid bits.
+                self.stats.woc_hits += 1;
+                self.observe_reverter(set, req.line, false);
+                return L2Response {
+                    outcome: L2Outcome::WocHit,
+                    valid_words: hit.valid_words,
+                };
+            }
+            // Hole-miss: invalidate the WOC words (dirty data merges into
+            // the incoming memory line) and install the full line in the LOC.
+            self.stats.hole_misses += 1;
+            self.observe_reverter(set, req.line, true);
+            let dirty = self
+                .woc
+                .invalidate_line(set, tag)
+                .map(|ev| ev.dirty)
+                .unwrap_or(false);
+            self.install_in_loc(&req, dirty);
+            return L2Response {
+                outcome: L2Outcome::HoleMiss,
+                valid_words: full,
+            };
+        }
+
+        // 3. Line-miss: fetch from memory into the LOC.
+        self.stats.line_misses += 1;
+        if self.compulsory.record_miss(req.line) {
+            self.stats.compulsory_misses += 1;
+        }
+        self.observe_reverter(set, req.line, true);
+        self.install_in_loc(&req, false);
+        L2Response {
+            outcome: L2Outcome::LineMiss,
+            valid_words: full,
+        }
+    }
+
+    fn on_l1d_evict(&mut self, line: LineAddr, footprint: Footprint, dirty: bool) {
+        if self.loc.merge_footprint(line, footprint, dirty) {
+            return;
+        }
+        let (set, tag) = self.set_and_tag(line);
+        if dirty && self.woc.mark_dirty(set, tag) {
+            return;
+        }
+        if dirty {
+            // Neither in LOC nor WOC (inclusion is not enforced).
+            self.stats.writebacks += 1;
+        }
+    }
+
+    fn stats(&self) -> &L2Stats {
+        &self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = L2Stats::new(self.cfg.geometry().words_per_line(), self.cfg.loc_ways());
+    }
+
+    fn geometry(&self) -> LineGeometry {
+        self.cfg.geometry()
+    }
+
+    fn name(&self) -> &str {
+        &self.label
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldis_mem::{LineGeometry, WordIndex};
+
+    /// A tiny distill cache: 4 sets, 4 ways (3 LOC + 1 WOC), 64 B lines.
+    fn tiny(policy: ThresholdPolicy) -> DistillCache {
+        let cfg = DistillConfig::new(4 * 4 * 64, 4, 1, LineGeometry::default())
+            .with_policy(policy)
+            .with_seed(7);
+        DistillCache::new(cfg)
+    }
+
+    fn req(line: u64, word: u8) -> L2Request {
+        L2Request::data(LineAddr::new(line), WordIndex::new(word), false)
+    }
+
+    /// Lines 0, 4, 8, … all map to set 0 of the 4-set cache.
+    fn set0(i: u64) -> u64 {
+        i * 4
+    }
+
+    #[test]
+    fn four_outcomes_in_order() {
+        let mut dc = tiny(ThresholdPolicy::All);
+        // Miss, then LOC hit.
+        assert_eq!(dc.access(req(set0(0), 0)).outcome, L2Outcome::LineMiss);
+        assert_eq!(dc.access(req(set0(0), 0)).outcome, L2Outcome::LocHit);
+        // Fill the 3 LOC ways; line 0 is evicted and distilled (word 0 only).
+        for i in 1..=3 {
+            assert_eq!(dc.access(req(set0(i), 0)).outcome, L2Outcome::LineMiss);
+        }
+        assert_eq!(dc.stats().evictions, 1);
+        assert_eq!(dc.stats().woc_installs, 1);
+        // Word 0 of line 0 is in the WOC: a WOC hit…
+        let resp = dc.access(req(set0(0), 0));
+        assert_eq!(resp.outcome, L2Outcome::WocHit);
+        assert_eq!(resp.valid_words, Footprint::from_bits(0b1));
+        // …but word 5 is a hole miss.
+        assert_eq!(dc.access(req(set0(0), 5)).outcome, L2Outcome::HoleMiss);
+        // The hole miss re-installed the full line in the LOC.
+        assert_eq!(dc.access(req(set0(0), 5)).outcome, L2Outcome::LocHit);
+        assert_eq!(dc.access(req(set0(0), 0)).outcome, L2Outcome::LocHit);
+    }
+
+    #[test]
+    fn woc_hit_returns_only_stored_words() {
+        let mut dc = tiny(ThresholdPolicy::All);
+        dc.access(req(set0(0), 1));
+        dc.access(req(set0(0), 6));
+        for i in 1..=3 {
+            dc.access(req(set0(i), 0));
+        }
+        let resp = dc.access(req(set0(0), 6));
+        assert_eq!(resp.outcome, L2Outcome::WocHit);
+        assert_eq!(resp.valid_words, Footprint::from_bits(0b0100_0010));
+    }
+
+    #[test]
+    fn median_threshold_filters_fat_lines() {
+        // Median window of 4; feed two 1-word lines and two 8-word lines.
+        let cfg = DistillConfig::new(4 * 4 * 64, 4, 1, LineGeometry::default())
+            .with_policy(ThresholdPolicy::Median { interval: 4 })
+            .with_seed(7);
+        let mut dc = DistillCache::new(cfg);
+        let mut evictions = 0u64;
+        let make_line = |dc: &mut DistillCache, line: u64, words: u8| {
+            for w in 0..words {
+                dc.access(req(line, w));
+            }
+        };
+        // Warm-up threshold is 8 (permissive). Build 4 evictions:
+        // lines with 1, 8, 1, 8 words used. After the window the median is 1.
+        for (i, words) in [(0u64, 1u8), (1, 8), (2, 1), (3, 8), (4, 1), (5, 1), (6, 1)] {
+            make_line(&mut dc, set0(i), words);
+            evictions += 1;
+        }
+        let _ = evictions;
+        assert_eq!(dc.median().threshold(), 1);
+        // Now evict a line with 2 words used: it must be filtered.
+        let filtered_before = dc.stats().distill_filtered;
+        make_line(&mut dc, set0(7), 2);
+        make_line(&mut dc, set0(8), 1);
+        make_line(&mut dc, set0(9), 1);
+        make_line(&mut dc, set0(10), 1);
+        assert!(dc.stats().distill_filtered > filtered_before);
+    }
+
+    #[test]
+    fn instruction_lines_are_never_distilled() {
+        let mut dc = tiny(ThresholdPolicy::All);
+        dc.access(L2Request::instr(LineAddr::new(set0(0))));
+        for i in 1..=3 {
+            dc.access(L2Request::instr(LineAddr::new(set0(i))));
+        }
+        assert_eq!(dc.stats().evictions, 1);
+        assert_eq!(dc.stats().woc_installs, 0);
+        assert_eq!(dc.woc().occupancy(), 0);
+    }
+
+    #[test]
+    fn dirty_data_survives_distillation_and_writes_back() {
+        let mut dc = tiny(ThresholdPolicy::All);
+        dc.access(L2Request::data(LineAddr::new(set0(0)), WordIndex::new(2), true));
+        for i in 1..=3 {
+            dc.access(req(set0(i), 0));
+        }
+        // Line 0 (dirty, word 2) now lives in the WOC.
+        assert_eq!(dc.stats().writebacks, 0, "still cached, no writeback yet");
+        // Fill the WOC way (8 slots) with enough single-word lines to evict it.
+        for i in 4..=14 {
+            dc.access(req(set0(i), 0));
+        }
+        assert!(dc.stats().writebacks >= 1, "dirty WOC eviction writes back");
+    }
+
+    #[test]
+    fn hole_miss_merges_dirty_into_refetched_line() {
+        let mut dc = tiny(ThresholdPolicy::All);
+        dc.access(L2Request::data(LineAddr::new(set0(0)), WordIndex::new(0), true));
+        for i in 1..=3 {
+            dc.access(req(set0(i), 0));
+        }
+        let wb_before = dc.stats().writebacks;
+        assert_eq!(dc.access(req(set0(0), 5)).outcome, L2Outcome::HoleMiss);
+        assert_eq!(
+            dc.stats().writebacks,
+            wb_before,
+            "dirty data merges into the refetched line, no memory writeback"
+        );
+        // Evict the (dirty) line from LOC and let its distilled words be
+        // evicted: eventually the dirty data must write back exactly once.
+    }
+
+    #[test]
+    fn reverter_disables_ldis_on_hole_miss_storms() {
+        // Leader sets: 1 of 4 → stride 4, set 0 leads. Streaming pattern
+        // where unused words are referenced soon after eviction (swim-like).
+        let cfg = DistillConfig::new(4 * 4 * 64, 4, 1, LineGeometry::default())
+            .with_policy(ThresholdPolicy::All)
+            .with_reverter(crate::ReverterConfig {
+                leader_sets: 1,
+                ..crate::ReverterConfig::default()
+            })
+            .with_seed(7);
+        let mut dc = DistillCache::new(cfg);
+        assert!(dc.reverter().unwrap().ldis_enabled());
+        // Touch word 0 of lines 0..4 (set 0), then come back for word 5 —
+        // every return is a hole miss in the distill cache, while the
+        // 4-way ATD would have held all four lines (hits).
+        for round in 0..200 {
+            for i in 0..4u64 {
+                dc.access(req(set0(i), 0));
+            }
+            for i in 0..4u64 {
+                dc.access(req(set0(i), 5));
+            }
+            if !dc.reverter().unwrap().ldis_enabled() {
+                assert!(round >= 1);
+                return;
+            }
+        }
+        panic!(
+            "reverter never disabled LDIS (psel = {})",
+            dc.reverter().unwrap().psel()
+        );
+    }
+
+    #[test]
+    fn disabled_ldis_installs_full_lines() {
+        let dc = tiny(ThresholdPolicy::All);
+        // No reverter → force has no effect; build one with a reverter.
+        let cfg = DistillConfig::new(4 * 4 * 64, 4, 1, LineGeometry::default())
+            .with_reverter(crate::ReverterConfig {
+                leader_sets: 1,
+                ..crate::ReverterConfig::default()
+            })
+            .with_seed(7);
+        let mut dc2 = DistillCache::new(cfg);
+        dc2.force_ldis(false);
+        // Set 1 is a follower (leader stride 4 → set 0 leads).
+        let line_in_set1 = |i: u64| i * 4 + 1;
+        dc2.access(req(line_in_set1(0), 0));
+        for i in 1..=3 {
+            dc2.access(req(line_in_set1(i), 0));
+        }
+        // Line evicted from LOC went to the WOC whole: word 5 must hit.
+        let resp = dc2.access(req(line_in_set1(0), 5));
+        assert_eq!(resp.outcome, L2Outcome::WocHit);
+        assert_eq!(resp.valid_words, Footprint::full(8));
+        let _ = dc;
+    }
+
+    #[test]
+    fn compulsory_misses_only_on_first_touch() {
+        let mut dc = tiny(ThresholdPolicy::All);
+        dc.access(req(set0(0), 0));
+        for i in 1..=3 {
+            dc.access(req(set0(i), 0));
+        }
+        // Hole miss on line 0 is NOT compulsory.
+        dc.access(req(set0(0), 5));
+        assert_eq!(dc.stats().compulsory_misses, 4);
+        assert_eq!(dc.stats().demand_misses(), 5);
+    }
+
+    #[test]
+    fn l1_evictions_merge_or_mark_dirty() {
+        let mut dc = tiny(ThresholdPolicy::All);
+        dc.access(req(set0(0), 0));
+        // Merge into LOC.
+        dc.on_l1d_evict(LineAddr::new(set0(0)), Footprint::from_bits(0b110), false);
+        for i in 1..=3 {
+            dc.access(req(set0(i), 0));
+        }
+        // Line 0 was distilled with 3 used words.
+        let hit = dc.woc().lookup(0, dc.loc().config().tag(LineAddr::new(set0(0))));
+        assert_eq!(hit.unwrap().valid_words.used_words(), 3);
+        // Dirty eviction landing on the WOC copy marks it dirty.
+        dc.on_l1d_evict(LineAddr::new(set0(0)), Footprint::from_bits(0b1), true);
+        assert_eq!(dc.stats().writebacks, 0);
+        // Dirty eviction of a line in neither structure writes back.
+        dc.on_l1d_evict(LineAddr::new(1999 * 4), Footprint::from_bits(0b1), true);
+        assert_eq!(dc.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn ldis_base_label_and_default_label() {
+        assert_eq!(DistillCache::new(DistillConfig::ldis_base()).name(), "LDIS-Base");
+        assert_eq!(
+            DistillCache::new(DistillConfig::hpca2007_default()).name(),
+            "LDIS-MT-RC"
+        );
+        assert_eq!(
+            DistillCache::with_label(DistillConfig::ldis_base(), "custom").name(),
+            "custom"
+        );
+    }
+}

@@ -1,0 +1,137 @@
+//! Median-threshold tracking (Section 5.4).
+
+use ldis_mem::stats::Histogram;
+
+/// Tracks the median number of used words among lines evicted from the LOC.
+///
+/// The hardware uses one counter per possible used-word count (1..=words)
+/// plus an eviction-sum counter; the median is recomputed once every
+/// `interval` LOC evictions (4096 in the paper) and the counters reset so
+/// the threshold adapts to program phases.
+///
+/// Until the first window completes, the threshold is the full line (every
+/// eviction qualifies), so a cold cache behaves like LDIS-Base.
+///
+/// # Example
+///
+/// ```
+/// use ldis_distill::MedianTracker;
+///
+/// let mut mt = MedianTracker::new(8, 4);
+/// for used in [1, 1, 8, 8] {
+///     mt.observe(used);
+/// }
+/// // Window of 4 complete: median of {1,1,8,8} per the paper's
+/// // cumulative-count rule is 1.
+/// assert_eq!(mt.threshold(), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct MedianTracker {
+    hist: Histogram,
+    interval: u64,
+    seen_in_window: u64,
+    threshold: u8,
+    windows_completed: u64,
+}
+
+impl MedianTracker {
+    /// Creates a tracker for lines of `words_per_line` words, recomputing
+    /// every `interval` observations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    pub fn new(words_per_line: u8, interval: u64) -> Self {
+        assert!(interval > 0, "median interval must be positive");
+        MedianTracker {
+            hist: Histogram::new(words_per_line as usize + 1),
+            interval,
+            seen_in_window: 0,
+            threshold: words_per_line,
+            windows_completed: 0,
+        }
+    }
+
+    /// Records a LOC eviction with `used` words used, recomputing the
+    /// threshold when the window fills.
+    pub fn observe(&mut self, used: u8) {
+        self.hist.record(used as usize);
+        self.seen_in_window += 1;
+        if self.seen_in_window >= self.interval {
+            if let Some(median) = self.hist.median_bin() {
+                self.threshold = median as u8;
+            }
+            self.hist.clear();
+            self.seen_in_window = 0;
+            self.windows_completed += 1;
+        }
+    }
+
+    /// The current distillation threshold: lines with more used words than
+    /// this are not installed in the WOC.
+    pub fn threshold(&self) -> u8 {
+        self.threshold
+    }
+
+    /// How many complete windows have been folded into the threshold.
+    pub fn windows_completed(&self) -> u64 {
+        self.windows_completed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_permissive() {
+        let mt = MedianTracker::new(8, 4096);
+        assert_eq!(mt.threshold(), 8);
+        assert_eq!(mt.windows_completed(), 0);
+    }
+
+    #[test]
+    fn bimodal_distribution_latches_low_median() {
+        // The paper's swim example: ~half the evictions use 1 word, half
+        // use all 8. The cumulative rule reaches half the eviction-sum at
+        // bin 1, so the threshold becomes 1 and the 8-word lines are
+        // filtered out.
+        let mut mt = MedianTracker::new(8, 100);
+        for i in 0..100 {
+            mt.observe(if i % 2 == 0 { 1 } else { 8 });
+        }
+        assert_eq!(mt.windows_completed(), 1);
+        assert_eq!(mt.threshold(), 1);
+    }
+
+    #[test]
+    fn window_reset_adapts_to_phases() {
+        let mut mt = MedianTracker::new(8, 10);
+        for _ in 0..10 {
+            mt.observe(2);
+        }
+        assert_eq!(mt.threshold(), 2);
+        for _ in 0..10 {
+            mt.observe(7);
+        }
+        assert_eq!(mt.threshold(), 7);
+        assert_eq!(mt.windows_completed(), 2);
+    }
+
+    #[test]
+    fn threshold_unchanged_mid_window() {
+        let mut mt = MedianTracker::new(8, 100);
+        for _ in 0..99 {
+            mt.observe(1);
+        }
+        assert_eq!(mt.threshold(), 8, "no update until the window completes");
+        mt.observe(1);
+        assert_eq!(mt.threshold(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_interval() {
+        let _ = MedianTracker::new(8, 0);
+    }
+}

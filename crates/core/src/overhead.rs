@@ -1,0 +1,183 @@
+//! The storage-overhead model of Section 7.5.1 (Table 3).
+//!
+//! Everything is computed from the cache geometry, not copied from the
+//! paper; the unit test checks that the paper's configuration reproduces
+//! Table 3 exactly (133 kB total, 12.2 % of the baseline L2 area).
+
+use crate::DistillConfig;
+use ldis_cache::CacheConfig;
+
+/// Physical address width assumed by the paper (Section 7.5.1).
+pub const PHYSICAL_ADDR_BITS: u32 = 40;
+
+/// Bytes per ATD entry in the reverter circuit (Table 3).
+pub const ATD_ENTRY_BYTES: u64 = 4;
+
+/// Bytes per tag entry of the baseline cache used for the area comparison
+/// (Table 3 charges 64 kB of tags for 16 k lines → 4 B each).
+pub const BASELINE_TAG_BYTES: u64 = 4;
+
+/// The storage breakdown of a distill cache, in bits/bytes, mirroring the
+/// rows of Table 3.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StorageOverhead {
+    /// Bits per WOC tag entry (valid + dirty + head + tag + word-id).
+    pub woc_entry_bits: u64,
+    /// Total WOC tag entries (sets × WOC ways × words per line).
+    pub woc_entries: u64,
+    /// WOC tag overhead in bytes.
+    pub woc_tag_bytes: u64,
+    /// LOC tag entries charged with a footprint field.
+    pub loc_entries: u64,
+    /// LOC footprint overhead in bytes.
+    pub loc_footprint_bytes: u64,
+    /// L1D lines carrying a footprint field.
+    pub l1d_lines: u64,
+    /// L1D footprint overhead in bytes.
+    pub l1d_footprint_bytes: u64,
+    /// Median-threshold counters in bytes (one 2 B counter per used-word
+    /// count plus the eviction-sum).
+    pub median_counter_bytes: u64,
+    /// ATD entries of the reverter circuit (leader sets × ways).
+    pub atd_entries: u64,
+    /// Reverter overhead in bytes.
+    pub reverter_bytes: u64,
+    /// Total overhead in bytes.
+    pub total_bytes: u64,
+    /// Baseline L2 area (tags + data) in bytes, for the percentage row.
+    pub baseline_area_bytes: u64,
+}
+
+impl StorageOverhead {
+    /// Computes the overhead of a distill cache paired with the given L1D,
+    /// following Table 3's accounting:
+    ///
+    /// * WOC tag entry = 3 flag bits + tag bits + word-id bits, where the
+    ///   tag covers the 40-bit physical address minus line-offset and
+    ///   set-index bits;
+    /// * footprint bits are charged for every line frame of the full cache
+    ///   (Table 3 charges `size / line_size` entries) and every L1D line;
+    /// * the median mechanism needs one 2 B counter per possible used-word
+    ///   count plus the eviction-sum;
+    /// * the reverter needs `leader_sets × total_ways` 4 B ATD entries.
+    pub fn compute(cfg: &DistillConfig, l1d: &CacheConfig) -> Self {
+        let geom = cfg.geometry();
+        let wpl = geom.words_per_line() as u64;
+        let sets = cfg.num_sets();
+
+        let line_offset_bits = geom.line_bytes().trailing_zeros();
+        let set_bits = sets.trailing_zeros();
+        let tag_bits = PHYSICAL_ADDR_BITS as u64 - line_offset_bits as u64 - set_bits as u64;
+        let word_id_bits = (geom.words_per_line() as u64).trailing_zeros() as u64;
+        let woc_entry_bits = 3 + tag_bits + word_id_bits; // valid+dirty+head
+
+        let woc_entries = sets * cfg.woc_ways() as u64 * wpl;
+        let woc_tag_bytes = woc_entry_bits * woc_entries / 8;
+
+        let loc_entries = cfg.size_bytes() / geom.line_bytes() as u64;
+        let loc_footprint_bytes = loc_entries * wpl / 8;
+
+        let l1d_lines = l1d.num_lines();
+        let l1d_footprint_bytes = l1d_lines * wpl / 8;
+
+        let median_counter_bytes = (wpl + 1) * 2;
+
+        let (atd_entries, reverter_bytes) = match cfg.reverter() {
+            Some(rc) => {
+                let entries = rc.leader_sets as u64 * cfg.total_ways() as u64;
+                (entries, entries * ATD_ENTRY_BYTES)
+            }
+            None => (0, 0),
+        };
+
+        let total_bytes = woc_tag_bytes
+            + loc_footprint_bytes
+            + l1d_footprint_bytes
+            + median_counter_bytes
+            + reverter_bytes;
+
+        let baseline_area_bytes = cfg.size_bytes() + loc_entries * BASELINE_TAG_BYTES;
+
+        StorageOverhead {
+            woc_entry_bits,
+            woc_entries,
+            woc_tag_bytes,
+            loc_entries,
+            loc_footprint_bytes,
+            l1d_lines,
+            l1d_footprint_bytes,
+            median_counter_bytes,
+            atd_entries,
+            reverter_bytes,
+            total_bytes,
+            baseline_area_bytes,
+        }
+    }
+
+    /// The overhead as a percentage of the baseline L2 area (Table 3's
+    /// bottom row).
+    pub fn percent_of_baseline(&self) -> f64 {
+        self.total_bytes as f64 / self.baseline_area_bytes as f64 * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldis_mem::LineGeometry;
+
+    fn paper_overhead() -> StorageOverhead {
+        let cfg = DistillConfig::hpca2007_default();
+        let l1d = CacheConfig::new(16 << 10, 2, LineGeometry::default());
+        StorageOverhead::compute(&cfg, &l1d)
+    }
+
+    #[test]
+    fn reproduces_table3_exactly() {
+        let o = paper_overhead();
+        assert_eq!(o.woc_entry_bits, 29, "valid+dirty+head+23-bit tag+3-bit word-id");
+        assert_eq!(o.woc_entries, 32 * 1024);
+        assert_eq!(o.woc_tag_bytes, 116 << 10);
+        assert_eq!(o.loc_entries, 16 * 1024);
+        assert_eq!(o.loc_footprint_bytes, 16 << 10);
+        assert_eq!(o.l1d_lines, 256);
+        assert_eq!(o.l1d_footprint_bytes, 256);
+        assert_eq!(o.median_counter_bytes, 18);
+        assert_eq!(o.atd_entries, 256);
+        assert_eq!(o.reverter_bytes, 1 << 10);
+        // 116 kB + 16 kB + 256 B + 18 B + 1 kB
+        assert_eq!(o.total_bytes, (116 << 10) + (16 << 10) + 256 + 18 + (1 << 10));
+        assert_eq!(o.baseline_area_bytes, (1 << 20) + (64 << 10));
+        let pct = o.percent_of_baseline();
+        assert!((12.1..12.3).contains(&pct), "Table 3 reports 12.2 %, got {pct:.2}");
+    }
+
+    #[test]
+    fn overhead_shrinks_with_larger_lines() {
+        // Section 7.5.1: 128 B lines → ~7 %, 256 B lines → ~4 %. Words scale
+        // with the line (8 words per line).
+        let pct_of = |line: u32| {
+            let geom = LineGeometry::new(line, line / 8);
+            let cfg = DistillConfig::new(1 << 20, 8, 2, geom)
+                .with_policy(crate::ThresholdPolicy::median())
+                .with_reverter(crate::ReverterConfig::default());
+            let l1d = CacheConfig::new(16 << 10, 2, geom);
+            StorageOverhead::compute(&cfg, &l1d).percent_of_baseline()
+        };
+        let p64 = pct_of(64);
+        let p128 = pct_of(128);
+        let p256 = pct_of(256);
+        assert!(p64 > p128 && p128 > p256, "{p64:.1} > {p128:.1} > {p256:.1}");
+        assert!((6.0..8.0).contains(&p128), "paper reports ~7 %, got {p128:.1}");
+        assert!((3.0..5.0).contains(&p256), "paper reports ~4 %, got {p256:.1}");
+    }
+
+    #[test]
+    fn no_reverter_no_atd_cost() {
+        let cfg = DistillConfig::ldis_mt();
+        let l1d = CacheConfig::new(16 << 10, 2, LineGeometry::default());
+        let o = StorageOverhead::compute(&cfg, &l1d);
+        assert_eq!(o.atd_entries, 0);
+        assert_eq!(o.reverter_bytes, 0);
+    }
+}

@@ -1,0 +1,522 @@
+//! The Word-Organized Cache (Section 5.1–5.3).
+//!
+//! The WOC's tag store holds one tag entry per *word* of its data ways.
+//! The used words of a line evicted from the LOC are stored in consecutive,
+//! aligned positions within a single way; only power-of-two word counts
+//! (1, 2, 4 or 8) are allowed. A *head bit* marks the first word of each
+//! stored line so whole lines can be evicted together. Replacement picks
+//! uniformly at random among aligned candidates that are invalid or start
+//! a line (Section 5.3's random replacement).
+
+use crate::WocReplacement;
+use ldis_mem::{Footprint, SimRng, WordIndex};
+
+/// One WOC tag entry: 29 bits in hardware (valid + dirty + head + 23-bit
+/// tag + 3-bit word-id, Table 3).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+struct WocEntry {
+    valid: bool,
+    dirty: bool,
+    head: bool,
+    tag: u64,
+    word_id: u8,
+}
+
+/// A line evicted from the WOC: which words it still held and whether any
+/// of them were dirty (those are written back to memory).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WocEviction {
+    /// The tag of the evicted line (the caller knows the set).
+    pub tag: u64,
+    /// The words the WOC held for the line.
+    pub words: Footprint,
+    /// Whether the stored words were dirty.
+    pub dirty: bool,
+}
+
+/// The result of a WOC line lookup.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WocLineHit {
+    /// The words of the line present in the WOC (the valid bits sent to the
+    /// sectored L1D, Section 4.2).
+    pub valid_words: Footprint,
+}
+
+/// The word-organized half of a distill cache.
+///
+/// Indexed externally by set; each set holds `ways * words_per_line`
+/// word-granularity tag entries.
+#[derive(Clone, Debug)]
+pub struct Woc {
+    ways: usize,
+    words_per_line: usize,
+    num_sets: usize,
+    entries: Vec<WocEntry>,
+    rng: SimRng,
+    replacement: WocReplacement,
+    round_robin: u64,
+}
+
+impl Woc {
+    /// Creates an empty WOC with `num_sets` sets of `ways` data ways, each
+    /// way holding `words_per_line` words. `seed` drives the random
+    /// replacement engine.
+    pub fn new(num_sets: u64, ways: u32, words_per_line: u8, seed: u64) -> Self {
+        assert!(ways >= 1, "WOC needs at least one way");
+        Woc {
+            ways: ways as usize,
+            words_per_line: words_per_line as usize,
+            num_sets: num_sets as usize,
+            entries: vec![
+                WocEntry::default();
+                num_sets as usize * ways as usize * words_per_line as usize
+            ],
+            rng: SimRng::new(seed),
+            replacement: WocReplacement::Random,
+            round_robin: 0,
+        }
+    }
+
+    /// Sets the replacement candidate selection policy (default: random).
+    #[must_use]
+    pub fn with_replacement(mut self, replacement: WocReplacement) -> Self {
+        self.replacement = replacement;
+        self
+    }
+
+    fn set_base(&self, set: usize) -> usize {
+        debug_assert!(set < self.num_sets);
+        set * self.ways * self.words_per_line
+    }
+
+    fn way_slice(&self, set: usize, way: usize) -> &[WocEntry] {
+        let base = self.set_base(set) + way * self.words_per_line;
+        &self.entries[base..base + self.words_per_line]
+    }
+
+    fn way_slice_mut(&mut self, set: usize, way: usize) -> &mut [WocEntry] {
+        let base = self.set_base(set) + way * self.words_per_line;
+        &mut self.entries[base..base + self.words_per_line]
+    }
+
+    /// Looks up `tag` in `set`. Returns the words present if any word of
+    /// the line is stored (a *line hit*, Section 5.2).
+    pub fn lookup(&self, set: usize, tag: u64) -> Option<WocLineHit> {
+        let mut words = Footprint::empty();
+        for way in 0..self.ways {
+            for e in self.way_slice(set, way) {
+                if e.valid && e.tag == tag {
+                    words.touch(WordIndex::new(e.word_id));
+                }
+            }
+        }
+        if words.is_empty() {
+            None
+        } else {
+            Some(WocLineHit { valid_words: words })
+        }
+    }
+
+    /// Whether the specific `word` of line `tag` is present in `set`.
+    pub fn contains_word(&self, set: usize, tag: u64, word: WordIndex) -> bool {
+        self.lookup(set, tag)
+            .is_some_and(|hit| hit.valid_words.is_used(word))
+    }
+
+    /// Marks every stored word of line `tag` dirty (a dirty L1D writeback
+    /// landed on a WOC-resident line). Returns whether the line was present.
+    pub fn mark_dirty(&mut self, set: usize, tag: u64) -> bool {
+        let mut found = false;
+        let base = self.set_base(set);
+        let len = self.ways * self.words_per_line;
+        for e in &mut self.entries[base..base + len] {
+            if e.valid && e.tag == tag {
+                e.dirty = true;
+                found = true;
+            }
+        }
+        found
+    }
+
+    /// Invalidates every word of line `tag` in `set` (the hole-miss path,
+    /// Section 5.2: "all words for the requested line in WOC are
+    /// invalidated"). Returns the eviction record if the line was present.
+    pub fn invalidate_line(&mut self, set: usize, tag: u64) -> Option<WocEviction> {
+        let mut words = Footprint::empty();
+        let mut dirty = false;
+        let base = self.set_base(set);
+        let len = self.ways * self.words_per_line;
+        for e in &mut self.entries[base..base + len] {
+            if e.valid && e.tag == tag {
+                words.touch(WordIndex::new(e.word_id));
+                dirty |= e.dirty;
+                *e = WocEntry::default();
+            }
+        }
+        if words.is_empty() {
+            None
+        } else {
+            Some(WocEviction { tag, words, dirty })
+        }
+    }
+
+    /// Installs the used words of line `tag` (its `footprint`) into `set`,
+    /// evicting overlapping lines as needed. Returns the lines displaced.
+    ///
+    /// Placement follows Section 5.1: the used-word count is rounded up to
+    /// a power of two, the words occupy consecutive entries starting at an
+    /// offset aligned to that size within a single way, and a head bit
+    /// marks the first word. Fully-invalid candidates are preferred; among
+    /// occupied candidates the replacement engine picks uniformly at random
+    /// from the eligible (invalid-or-head) aligned offsets (Section 5.3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `footprint` is empty or needs more slots than a way holds,
+    /// or (debug builds) if the line is already present.
+    pub fn install(
+        &mut self,
+        set: usize,
+        tag: u64,
+        footprint: Footprint,
+        dirty: bool,
+    ) -> Vec<WocEviction> {
+        let slots = footprint.woc_slots() as usize;
+        assert!(slots >= 1, "cannot install an empty footprint");
+        assert!(
+            slots <= self.words_per_line,
+            "line needs {slots} slots but a way holds {}",
+            self.words_per_line
+        );
+        debug_assert!(
+            self.lookup(set, tag).is_none(),
+            "line already present in WOC"
+        );
+
+        let (way, offset) = self.choose_position(set, slots);
+        let evicted = self.evict_range(set, way, offset, slots);
+
+        let entries = self.way_slice_mut(set, way);
+        for (i, word) in footprint.iter_used().enumerate() {
+            entries[offset + i] = WocEntry {
+                valid: true,
+                dirty,
+                head: i == 0,
+                tag,
+                word_id: word.get(),
+            };
+        }
+        evicted
+    }
+
+    /// Picks the position for a `slots`-word line: a random fully-invalid
+    /// aligned candidate if one exists, otherwise a random eligible
+    /// (invalid-or-head) aligned candidate.
+    fn choose_position(&mut self, set: usize, slots: usize) -> (usize, usize) {
+        let mut free = Vec::new();
+        let mut eligible = Vec::new();
+        for way in 0..self.ways {
+            let entries = self.way_slice(set, way);
+            for offset in (0..self.words_per_line).step_by(slots) {
+                let first = &entries[offset];
+                if !first.valid || first.head {
+                    eligible.push((way, offset));
+                    if entries[offset..offset + slots].iter().all(|e| !e.valid) {
+                        free.push((way, offset));
+                    }
+                }
+            }
+        }
+        if !free.is_empty() {
+            return free[self.pick(free.len())];
+        }
+        assert!(
+            !eligible.is_empty(),
+            "alignment guarantees at least one eligible candidate per way"
+        );
+        let i = self.pick(eligible.len());
+        eligible[i]
+    }
+
+    fn pick(&mut self, len: usize) -> usize {
+        match self.replacement {
+            WocReplacement::Random => self.rng.index(len),
+            WocReplacement::RoundRobin => {
+                self.round_robin = self.round_robin.wrapping_add(1);
+                (self.round_robin % len as u64) as usize
+            }
+        }
+    }
+
+    /// Evicts every line whose head lies in `offset..offset + slots` of
+    /// `way` (whole-line eviction via the head bit, Section 5.3), clearing
+    /// all of their entries — including any that extend beyond the range.
+    fn evict_range(
+        &mut self,
+        set: usize,
+        way: usize,
+        offset: usize,
+        slots: usize,
+    ) -> Vec<WocEviction> {
+        let words_per_line = self.words_per_line;
+        let entries = self.way_slice_mut(set, way);
+        // Alignment invariant: no line extends into the range from before.
+        debug_assert!(
+            offset == 0 || !entries[offset].valid || entries[offset].head,
+            "chosen offset must not split a line"
+        );
+        let mut evictions: Vec<WocEviction> = Vec::new();
+        let mut i = offset;
+        // A head inside the range may own entries beyond it; walk to the
+        // end of the last overlapped line.
+        while i < words_per_line {
+            let e = entries[i];
+            if !e.valid {
+                if i >= offset + slots {
+                    break;
+                }
+                i += 1;
+                continue;
+            }
+            if e.head {
+                if i >= offset + slots {
+                    break; // next line starts after the range: done
+                }
+                evictions.push(WocEviction {
+                    tag: e.tag,
+                    words: Footprint::empty(),
+                    dirty: false,
+                });
+            }
+            debug_assert!(
+                !evictions.is_empty(),
+                "valid non-head entry before any head in range"
+            );
+            let ev = evictions.last_mut().expect("head seen first");
+            debug_assert_eq!(ev.tag, e.tag, "line words must share a tag");
+            ev.words.touch(WordIndex::new(e.word_id));
+            ev.dirty |= e.dirty;
+            entries[i] = WocEntry::default();
+            i += 1;
+        }
+        evictions
+    }
+
+    /// Number of valid word entries in the whole WOC.
+    pub fn occupancy(&self) -> u64 {
+        self.entries.iter().filter(|e| e.valid).count() as u64
+    }
+
+    /// Number of distinct lines stored in `set`.
+    pub fn lines_in_set(&self, set: usize) -> usize {
+        let base = self.set_base(set);
+        let len = self.ways * self.words_per_line;
+        self.entries[base..base + len]
+            .iter()
+            .filter(|e| e.valid && e.head)
+            .count()
+    }
+
+    /// Checks the structural invariants of one set; used by tests and
+    /// property checks. Returns an error message if violated.
+    pub fn check_invariants(&self, set: usize) -> Result<(), String> {
+        for way in 0..self.ways {
+            let entries = self.way_slice(set, way);
+            let mut i = 0;
+            while i < self.words_per_line {
+                if !entries[i].valid {
+                    i += 1;
+                    continue;
+                }
+                if !entries[i].head {
+                    return Err(format!("way {way} slot {i}: valid entry without a head"));
+                }
+                let tag = entries[i].tag;
+                let start = i;
+                i += 1;
+                while i < self.words_per_line && entries[i].valid && !entries[i].head {
+                    if entries[i].tag != tag {
+                        return Err(format!("way {way} slot {i}: tag mismatch within line"));
+                    }
+                    i += 1;
+                }
+                let len = i - start;
+                let slots = len.next_power_of_two();
+                if start % slots != 0 {
+                    return Err(format!(
+                        "way {way}: line of {len} words at slot {start} is misaligned"
+                    ));
+                }
+                // Word ids must be strictly increasing (stored in order).
+                let ids: Vec<u8> = entries[start..i].iter().map(|e| e.word_id).collect();
+                if !ids.windows(2).all(|w| w[0] < w[1]) {
+                    return Err(format!("way {way}: word ids not increasing: {ids:?}"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl crate::WordStore for Woc {
+    fn lookup(&self, set: usize, tag: u64) -> Option<WocLineHit> {
+        Woc::lookup(self, set, tag)
+    }
+
+    fn install(
+        &mut self,
+        set: usize,
+        tag: u64,
+        _line: ldis_mem::LineAddr,
+        words: Footprint,
+        dirty: bool,
+    ) -> Vec<WocEviction> {
+        Woc::install(self, set, tag, words, dirty)
+    }
+
+    fn invalidate_line(&mut self, set: usize, tag: u64) -> Option<WocEviction> {
+        Woc::invalidate_line(self, set, tag)
+    }
+
+    fn mark_dirty(&mut self, set: usize, tag: u64) -> bool {
+        Woc::mark_dirty(self, set, tag)
+    }
+
+    fn occupancy(&self) -> u64 {
+        Woc::occupancy(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn woc() -> Woc {
+        Woc::new(4, 2, 8, 42)
+    }
+
+    fn fp(bits: u16) -> Footprint {
+        Footprint::from_bits(bits)
+    }
+
+    #[test]
+    fn install_then_lookup() {
+        let mut w = woc();
+        let evicted = w.install(0, 100, fp(0b1000_0001), false);
+        assert!(evicted.is_empty());
+        let hit = w.lookup(0, 100).expect("line hit");
+        assert_eq!(hit.valid_words, fp(0b1000_0001));
+        assert!(w.contains_word(0, 100, WordIndex::new(0)));
+        assert!(w.contains_word(0, 100, WordIndex::new(7)));
+        assert!(!w.contains_word(0, 100, WordIndex::new(3)));
+        assert!(w.lookup(1, 100).is_none(), "other sets unaffected");
+        w.check_invariants(0).unwrap();
+    }
+
+    #[test]
+    fn three_words_occupy_four_aligned_slots() {
+        let mut w = woc();
+        w.install(0, 1, fp(0b0011_1000), false); // 3 words → 4 slots
+        w.check_invariants(0).unwrap();
+        assert_eq!(w.occupancy(), 3);
+        // Fill the rest: capacity is 2 ways * 8 slots = 16; the 3-word line
+        // reserves an aligned 4-slot region, so 4 more 4-slot lines displace
+        // something.
+        for t in 2..=4u64 {
+            w.install(0, t, fp(0b0000_1111), false);
+            w.check_invariants(0).unwrap();
+        }
+        assert_eq!(w.lines_in_set(0), 4);
+        let evicted = w.install(0, 5, fp(0b0000_1111), false);
+        assert_eq!(evicted.len(), 1, "a full WOC must evict exactly one 4-slot line");
+        w.check_invariants(0).unwrap();
+    }
+
+    #[test]
+    fn eviction_returns_whole_lines() {
+        let mut w = Woc::new(1, 1, 8, 7);
+        // Fill the single way with four 2-word lines.
+        for t in 0..4u64 {
+            w.install(0, 10 + t, fp(0b11), true);
+        }
+        assert_eq!(w.lines_in_set(0), 4);
+        // An 8-word install must evict all four lines.
+        let evicted = w.install(0, 99, fp(0xff), false);
+        assert_eq!(evicted.len(), 4);
+        for ev in &evicted {
+            assert_eq!(ev.words.used_words(), 2);
+            assert!(ev.dirty);
+        }
+        assert_eq!(w.lines_in_set(0), 1);
+        w.check_invariants(0).unwrap();
+    }
+
+    #[test]
+    fn single_word_install_into_full_way_evicts_one_line() {
+        let mut w = Woc::new(1, 1, 8, 3);
+        w.install(0, 1, fp(0xff), false); // 8-word line fills the way
+        let evicted = w.install(0, 2, fp(0b1), false);
+        // The only eligible offset for 1 slot is the head at 0; the whole
+        // 8-word line goes.
+        assert_eq!(evicted.len(), 1);
+        assert_eq!(evicted[0].tag, 1);
+        assert_eq!(evicted[0].words.used_words(), 8);
+        assert_eq!(w.occupancy(), 1);
+        w.check_invariants(0).unwrap();
+    }
+
+    #[test]
+    fn invalidate_line_removes_all_words() {
+        let mut w = woc();
+        w.install(2, 50, fp(0b0101), true);
+        let ev = w.invalidate_line(2, 50).expect("present");
+        assert_eq!(ev.words, fp(0b0101));
+        assert!(ev.dirty);
+        assert!(w.lookup(2, 50).is_none());
+        assert!(w.invalidate_line(2, 50).is_none());
+        w.check_invariants(2).unwrap();
+    }
+
+    #[test]
+    fn mark_dirty_hits_all_words() {
+        let mut w = woc();
+        w.install(1, 8, fp(0b11), false);
+        assert!(w.mark_dirty(1, 8));
+        let ev = w.invalidate_line(1, 8).unwrap();
+        assert!(ev.dirty);
+        assert!(!w.mark_dirty(1, 8));
+    }
+
+    #[test]
+    fn words_rearranged_in_increasing_order() {
+        let mut w = woc();
+        w.install(0, 5, fp(0b1001_0010), false); // words 1, 4, 7
+        w.check_invariants(0).unwrap();
+        let hit = w.lookup(0, 5).unwrap();
+        assert_eq!(hit.valid_words, fp(0b1001_0010));
+    }
+
+    #[test]
+    fn stress_random_installs_hold_invariants() {
+        let mut w = Woc::new(8, 2, 8, 1234);
+        let mut rng = SimRng::new(99);
+        for i in 0..2000u64 {
+            let set = rng.index(8);
+            let bits = (rng.next_u64() & 0xff) as u16;
+            if bits == 0 {
+                continue;
+            }
+            let tag = 1000 + i;
+            w.install(set, tag, fp(bits), rng.chance(0.3));
+            w.check_invariants(set)
+                .unwrap_or_else(|e| panic!("iteration {i}: {e}"));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty footprint")]
+    fn rejects_empty_install() {
+        let mut w = woc();
+        w.install(0, 1, Footprint::empty(), false);
+    }
+}

@@ -1,0 +1,100 @@
+//! `ldis-experiments`: regenerate the paper's tables and figures.
+//!
+//! Usage:
+//!
+//! ```text
+//! ldis-experiments [EXPERIMENT...] [--accesses N] [--warmup N] [--seed N] [--quick]
+//!
+//! EXPERIMENT: all fig1 fig2 table2 fig6 fig7 fig8 fig9 table3 fig10
+//!             fig11 fig13 table5 table6 ablations
+//! ```
+
+use ldis_experiments::{
+    ablations, appendix, costs, fig10, fig11, fig13, fig6, fig7, fig8, fig9, linesize,
+    motivation, table3, RunConfig,
+};
+
+const ALL: &[&str] = &[
+    "fig1", "fig2", "table2", "fig6", "fig7", "fig8", "fig9", "table3", "fig10", "fig11",
+    "fig13", "table5", "table6", "costs", "linesize", "ablations",
+];
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: ldis-experiments [EXPERIMENT...] [--accesses N] [--warmup N] [--seed N] [--quick]\n\
+         experiments: all {}",
+        ALL.join(" ")
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut cfg = RunConfig::paper();
+    let mut wanted: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--accesses" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                cfg.accesses = v.parse().unwrap_or_else(|_| usage());
+            }
+            "--warmup" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                cfg.warmup = v.parse().unwrap_or_else(|_| usage());
+            }
+            "--seed" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                cfg.seed = v.parse().unwrap_or_else(|_| usage());
+            }
+            "--quick" => cfg = RunConfig::quick(),
+            "--help" | "-h" => usage(),
+            name if name.starts_with('-') => usage(),
+            name => wanted.push(name.to_owned()),
+        }
+    }
+    if wanted.is_empty() || wanted.iter().any(|w| w == "all") {
+        wanted = ALL.iter().map(|s| (*s).to_owned()).collect();
+    }
+    for w in &wanted {
+        if !ALL.contains(&w.as_str()) {
+            eprintln!("unknown experiment: {w}");
+            usage();
+        }
+    }
+
+    println!(
+        "Line Distillation (HPCA 2007) reproduction — {} accesses per run, seed {}\n",
+        cfg.accesses, cfg.seed
+    );
+
+    // Figure 1 / Figure 2 / Table 2 share one baseline run per benchmark.
+    let needs_motivation = wanted.iter().any(|w| matches!(w.as_str(), "fig1" | "fig2" | "table2"));
+    let profiles = if needs_motivation {
+        Some(motivation::data(&cfg))
+    } else {
+        None
+    };
+
+    for w in &wanted {
+        let out = match w.as_str() {
+            "fig1" => motivation::fig1_report(profiles.as_ref().expect("computed above")),
+            "fig2" => motivation::fig2_report(profiles.as_ref().expect("computed above")),
+            "table2" => motivation::table2_report(profiles.as_ref().expect("computed above")),
+            "fig6" => fig6::report(&fig6::data(&cfg)),
+            "fig7" => fig7::report(&fig7::data(&cfg)),
+            "fig8" => fig8::report(&fig8::data(&cfg)),
+            "fig9" => fig9::report(&fig9::data(&cfg)),
+            "table3" => table3::report(),
+            "fig10" => fig10::report(&fig10::data(&cfg)),
+            "fig11" => fig11::report(&fig11::data(&cfg)),
+            "fig13" => fig13::report(&fig13::data(&cfg)),
+            "costs" => costs::report(&costs::data(&cfg)),
+            "linesize" => linesize::report(&linesize::data(&cfg)),
+            "table5" => appendix::table5_report(&appendix::table5_data(&cfg)),
+            "table6" => appendix::table6_report(&appendix::table6_data(&cfg)),
+            "ablations" => ablations::all(&cfg),
+            _ => unreachable!("validated above"),
+        };
+        println!("{out}");
+    }
+}

@@ -1,0 +1,112 @@
+//! Figure 8: capacity analysis — the distill cache vs. larger traditional
+//! caches.
+
+use crate::report::{fmt_f, fmt_pct, Table};
+use crate::{for_each_benchmark, run, run_baseline, RunConfig};
+use ldis_distill::{DistillCache, DistillConfig};
+use ldis_mem::stats::percent_reduction;
+use ldis_workloads::memory_intensive;
+
+/// MPKI reductions over the 1 MB baseline for the distill cache and for
+/// 1.5 MB / 2 MB traditional caches.
+#[derive(Clone, Debug)]
+pub struct Fig8Row {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Baseline 1 MB MPKI.
+    pub base: f64,
+    /// 1 MB distill-cache reduction (%).
+    pub distill: f64,
+    /// 1.5 MB traditional reduction (%).
+    pub trad_1_5mb: f64,
+    /// 2 MB traditional reduction (%).
+    pub trad_2mb: f64,
+}
+
+/// Runs the Figure 8 matrix.
+pub fn data(cfg: &RunConfig) -> Vec<Fig8Row> {
+    let benches = memory_intensive();
+    for_each_benchmark(&benches, |b| {
+        let base = run_baseline(b, cfg, 1 << 20);
+        let distill = run(b, cfg, || {
+            DistillCache::new(DistillConfig::hpca2007_default())
+        });
+        let t15 = run_baseline(b, cfg, 3 << 19);
+        let t20 = run_baseline(b, cfg, 2 << 20);
+        Fig8Row {
+            benchmark: b.name.to_owned(),
+            base: base.mpki,
+            distill: percent_reduction(base.mpki, distill.mpki),
+            trad_1_5mb: percent_reduction(base.mpki, t15.mpki),
+            trad_2mb: percent_reduction(base.mpki, t20.mpki),
+        }
+    })
+}
+
+/// Renders the Figure 8 report.
+pub fn report(rows: &[Fig8Row]) -> String {
+    let mut t = Table::new(
+        "Figure 8: % MPKI reduction — 1MB distill vs. bigger traditional caches",
+        &["bench", "base-mpki", "DISTILL-1MB", "TRAD-1.5MB", "TRAD-2MB"],
+    );
+    for r in rows {
+        t.row(vec![
+            r.benchmark.clone(),
+            fmt_f(r.base, 2),
+            fmt_pct(r.distill),
+            fmt_pct(r.trad_1_5mb),
+            fmt_pct(r.trad_2mb),
+        ]);
+    }
+    t.note("paper: distill ≈ 1.5MB for facerec/ammp/sixtrack; distill beats 2MB for mcf and health");
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldis_workloads::spec2000;
+
+    #[test]
+    fn bigger_caches_dont_hurt() {
+        let b = spec2000::by_name("twolf").unwrap();
+        let cfg = RunConfig::quick().with_accesses(300_000);
+        let base = run_baseline(&b, &cfg, 1 << 20);
+        let t15 = run_baseline(&b, &cfg, 3 << 19);
+        let t20 = run_baseline(&b, &cfg, 2 << 20);
+        assert!(t15.mpki <= base.mpki * 1.02);
+        assert!(t20.mpki <= t15.mpki * 1.02);
+    }
+
+    #[test]
+    fn distill_beats_doubling_for_sparse_chases() {
+        // health: 33k nodes at ~2.4 words. A 2MB cache holds all 33k lines
+        // though — so run at the default working-set pressure and check the
+        // paper's qualitative claim on mcf, whose set far exceeds 2MB.
+        let b = spec2000::by_name("mcf").unwrap();
+        let cfg = RunConfig::quick().with_accesses(500_000);
+        let base = run_baseline(&b, &cfg, 1 << 20);
+        let distill = run(&b, &cfg, || {
+            DistillCache::new(DistillConfig::hpca2007_default())
+        });
+        let t20 = run_baseline(&b, &cfg, 2 << 20);
+        let red_d = percent_reduction(base.mpki, distill.mpki);
+        let red_2m = percent_reduction(base.mpki, t20.mpki);
+        assert!(
+            red_d > red_2m * 0.8,
+            "mcf: distill {red_d}% should be at least comparable to 2MB {red_2m}%"
+        );
+    }
+
+    #[test]
+    fn report_renders() {
+        let rows = vec![Fig8Row {
+            benchmark: "x".into(),
+            base: 5.0,
+            distill: 30.0,
+            trad_1_5mb: 25.0,
+            trad_2mb: 40.0,
+        }];
+        assert!(report(&rows).contains("TRAD-2MB"));
+    }
+}

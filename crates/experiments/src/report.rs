@@ -1,0 +1,190 @@
+//! Plain-text table rendering for experiment reports.
+
+use std::fmt::Write as _;
+
+/// A simple aligned text table: title, header row, data rows.
+///
+/// # Example
+///
+/// ```
+/// use ldis_experiments::report::Table;
+///
+/// let mut t = Table::new("Demo", &["bench", "mpki"]);
+/// t.row(vec!["art".into(), "38.3".into()]);
+/// let s = t.render();
+/// assert!(s.contains("Demo"));
+/// assert!(s.contains("art"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+    notes: Vec<String>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a data row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count does not match the header count.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match headers"
+        );
+        self.rows.push(cells);
+    }
+
+    /// Appends a free-form note printed below the table.
+    pub fn note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as CSV (header row + data rows; notes omitted).
+    /// Cells containing commas or quotes are quoted per RFC 4180.
+    pub fn to_csv(&self) -> String {
+        let escape = |cell: &str| -> String {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_owned()
+            }
+        };
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.headers.iter().map(|h| escape(h)).collect::<Vec<_>>().join(","));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+        }
+        out
+    }
+
+    /// Renders the table with aligned columns (first column
+    /// left-justified, the rest right-justified).
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        let _ = writeln!(out, "{}", self.title);
+        let _ = writeln!(out, "{}", "=".repeat(self.title.len().max(total.min(100))));
+        let fmt_row = |cells: &[String]| -> String {
+            let mut line = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                if i == 0 {
+                    let _ = write!(line, "{:<width$}", cell, width = widths[i]);
+                } else {
+                    let _ = write!(line, "{:>width$}", cell, width = widths[i]);
+                }
+            }
+            line
+        };
+        let _ = writeln!(out, "{}", fmt_row(&self.headers));
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row));
+        }
+        for note in &self.notes {
+            let _ = writeln!(out, "  note: {note}");
+        }
+        out
+    }
+}
+
+/// Formats a float with `prec` decimals.
+pub fn fmt_f(x: f64, prec: usize) -> String {
+    if x.is_nan() {
+        "-".to_owned()
+    } else {
+        format!("{x:.prec$}")
+    }
+}
+
+/// Formats a percentage with one decimal and sign.
+pub fn fmt_pct(x: f64) -> String {
+    if x.is_nan() {
+        "-".to_owned()
+    } else {
+        format!("{x:+.1}%")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("T", &["a", "value"]);
+        t.row(vec!["longname".into(), "1.0".into()]);
+        t.row(vec!["x".into(), "123.4".into()]);
+        t.note("hello");
+        let s = t.render();
+        assert!(s.contains("longname"));
+        assert!(s.contains("note: hello"));
+        // Right-aligned numeric column: "  1.0" padded to width 5.
+        assert!(s.contains("  1.0"), "{s}");
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn csv_escapes_and_includes_all_rows() {
+        let mut t = Table::new("T", &["name", "v"]);
+        t.row(vec!["plain".into(), "1".into()]);
+        t.row(vec!["with,comma".into(), "quote\"d".into()]);
+        t.note("notes are not exported");
+        let csv = t.to_csv();
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.starts_with("name,v\n"));
+        assert!(csv.contains("\"with,comma\""));
+        assert!(csv.contains("\"quote\"\"d\""));
+        assert!(!csv.contains("notes"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_checked() {
+        let mut t = Table::new("T", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt_f(1.23456, 2), "1.23");
+        assert_eq!(fmt_f(f64::NAN, 2), "-");
+        assert_eq!(fmt_pct(12.34), "+12.3%");
+        assert_eq!(fmt_pct(-3.0), "-3.0%");
+        assert_eq!(fmt_pct(f64::NAN), "-");
+    }
+}

@@ -1,0 +1,249 @@
+//! Shared machinery for running benchmark × cache-configuration matrices.
+
+use ldis_cache::{BaselineL2, CacheConfig, Hierarchy, HierarchyStats, L2Stats, SecondLevel};
+use ldis_mem::LineGeometry;
+use ldis_workloads::{Benchmark, TraceLength};
+
+/// Global knobs for an experiment run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RunConfig {
+    /// Memory accesses per benchmark per cache configuration.
+    pub accesses: u64,
+    /// Warmup accesses excluded from the statistics (the caches stay warm;
+    /// only the counters reset). 0 keeps the published defaults.
+    pub warmup: u64,
+    /// Workload seed (all randomness derives from it).
+    pub seed: u64,
+}
+
+impl RunConfig {
+    /// The default experiment length: long enough for every working set to
+    /// wrap several times and the reverter/median mechanisms to settle.
+    pub fn paper() -> Self {
+        RunConfig {
+            accesses: 2_000_000,
+            warmup: 0,
+            seed: 42,
+        }
+    }
+
+    /// A short configuration for smoke tests.
+    pub fn quick() -> Self {
+        RunConfig {
+            accesses: 150_000,
+            warmup: 0,
+            seed: 42,
+        }
+    }
+
+    /// Returns a copy with a different access budget.
+    #[must_use]
+    pub fn with_accesses(mut self, accesses: u64) -> Self {
+        self.accesses = accesses;
+        self
+    }
+
+    /// Returns a copy with a warmup phase (excluded from statistics).
+    #[must_use]
+    pub fn with_warmup(mut self, warmup: u64) -> Self {
+        self.warmup = warmup;
+        self
+    }
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig::paper()
+    }
+}
+
+/// The distilled outcome of one benchmark × configuration run.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// L2 configuration label.
+    pub config: String,
+    /// Demand misses per kilo-instruction.
+    pub mpki: f64,
+    /// Full second-level statistics.
+    pub l2: L2Stats,
+    /// First-level and trace statistics.
+    pub hierarchy: HierarchyStats,
+}
+
+impl RunResult {
+    /// L2 hit rate over demand accesses.
+    pub fn hit_rate(&self) -> f64 {
+        self.l2.hit_rate()
+    }
+}
+
+/// Runs `benchmark` for `cfg.accesses` accesses against the L2 produced by
+/// `make_l2`, returning the distilled result.
+pub fn run<L2, F>(benchmark: &Benchmark, cfg: &RunConfig, make_l2: F) -> RunResult
+where
+    L2: SecondLevel,
+    F: FnOnce() -> L2,
+{
+    let mut workload = (benchmark.make)(cfg.seed);
+    let l2 = make_l2();
+    let mut hier = Hierarchy::hpca2007(l2);
+    if cfg.warmup > 0 {
+        workload.drive(&mut hier, TraceLength::accesses(cfg.warmup));
+        hier.reset_stats();
+    }
+    workload.drive(&mut hier, TraceLength::accesses(cfg.accesses));
+    RunResult {
+        benchmark: benchmark.name.to_owned(),
+        config: hier.l2().name().to_owned(),
+        mpki: hier.mpki(),
+        l2: hier.l2().stats().clone(),
+        hierarchy: *hier.stats(),
+    }
+}
+
+/// The paper's baseline L2 configuration (Table 1): `size_bytes` with
+/// 8 ways and 64 B lines. Sizes that cannot keep a power-of-two set count
+/// at 8 ways (e.g. 1.5 MB) keep 2048 sets and scale the ways instead, the
+/// standard way such capacities are built.
+pub fn baseline_config(size_bytes: u64) -> CacheConfig {
+    let geom = LineGeometry::default();
+    let lines = size_bytes / geom.line_bytes() as u64;
+    if (lines / 8).is_power_of_two() {
+        CacheConfig::new(size_bytes, 8, geom)
+    } else {
+        let ways = (lines / 2048) as u32;
+        CacheConfig::with_sets(2048, ways, geom)
+    }
+}
+
+/// Runs `benchmark` against a traditional cache of `size_bytes`.
+pub fn run_baseline(benchmark: &Benchmark, cfg: &RunConfig, size_bytes: u64) -> RunResult {
+    run(benchmark, cfg, || {
+        BaselineL2::new(baseline_config(size_bytes))
+    })
+}
+
+/// Runs `benchmark` against a traditional cache of `size_bytes` and also
+/// returns the words-used histogram covering *both* evicted lines and the
+/// lines still resident at the end of the run. When a working set fits the
+/// cache, evictions (where footprints are normally sampled) dry up; the
+/// resident snapshot keeps the Figure 1 / Table 6 measurement meaningful
+/// across cache sizes.
+pub fn run_baseline_with_words(
+    benchmark: &Benchmark,
+    cfg: &RunConfig,
+    size_bytes: u64,
+) -> (RunResult, ldis_mem::stats::Histogram) {
+    let mut workload = (benchmark.make)(cfg.seed);
+    let l2 = BaselineL2::new(baseline_config(size_bytes));
+    let mut hier = Hierarchy::hpca2007(l2);
+    if cfg.warmup > 0 {
+        workload.drive(&mut hier, TraceLength::accesses(cfg.warmup));
+        hier.reset_stats();
+    }
+    workload.drive(&mut hier, TraceLength::accesses(cfg.accesses));
+    let mut words = hier.l2().stats().words_used_at_evict.clone();
+    for (_, entry) in hier.l2().cache().iter_lines() {
+        if !entry.is_instr {
+            words.record(entry.footprint.used_words() as usize);
+        }
+    }
+    let result = RunResult {
+        benchmark: benchmark.name.to_owned(),
+        config: hier.l2().name().to_owned(),
+        mpki: hier.mpki(),
+        l2: hier.l2().stats().clone(),
+        hierarchy: *hier.stats(),
+    };
+    (result, words)
+}
+
+/// Runs one closure per benchmark in parallel and returns the results in
+/// benchmark order. The closure receives the benchmark and must be
+/// self-contained (construct its own workload and caches).
+pub fn for_each_benchmark<T, F>(benchmarks: &[Benchmark], job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(&Benchmark) -> T + Sync,
+{
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = benchmarks
+            .iter()
+            .map(|b| scope.spawn(|| job(b)))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("benchmark job panicked")).collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldis_workloads::spec2000;
+
+    #[test]
+    fn baseline_config_sizes() {
+        assert_eq!(baseline_config(1 << 20).ways(), 8);
+        assert_eq!(baseline_config(1 << 20).num_sets(), 2048);
+        // 1.5 MB keeps 2048 sets with 12 ways.
+        let c = baseline_config(3 << 19);
+        assert_eq!(c.num_sets(), 2048);
+        assert_eq!(c.ways(), 12);
+        assert_eq!(c.size_bytes(), 3 << 19);
+        assert_eq!(baseline_config(2 << 20).ways(), 8);
+    }
+
+    #[test]
+    fn run_produces_consistent_stats() {
+        let b = spec2000::by_name("twolf").unwrap();
+        let r = run_baseline(&b, &RunConfig::quick(), 1 << 20);
+        assert_eq!(r.benchmark, "twolf");
+        assert!(r.l2.accesses > 0);
+        assert!(r.mpki > 0.0);
+        assert_eq!(
+            r.l2.hits() + r.l2.demand_misses(),
+            r.l2.accesses,
+            "every access is a hit or a miss"
+        );
+    }
+
+    #[test]
+    fn identical_runs_are_deterministic() {
+        let b = spec2000::by_name("mcf").unwrap();
+        let cfg = RunConfig::quick();
+        let r1 = run_baseline(&b, &cfg, 1 << 20);
+        let r2 = run_baseline(&b, &cfg, 1 << 20);
+        assert_eq!(r1.mpki, r2.mpki);
+        assert_eq!(r1.l2.line_misses, r2.l2.line_misses);
+    }
+
+    #[test]
+    fn warmup_is_excluded_but_keeps_the_cache_warm() {
+        let b = spec2000::by_name("twolf").unwrap();
+        let cold = run_baseline(&b, &RunConfig::quick(), 1 << 20);
+        let warm = run_baseline(
+            &b,
+            &RunConfig::quick().with_warmup(400_000),
+            1 << 20,
+        );
+        // Same measured length, but the warm run skips the cold-start
+        // misses: measured MPKI must drop.
+        assert!(
+            warm.mpki < cold.mpki,
+            "warm {} should be below cold {}",
+            warm.mpki,
+            cold.mpki
+        );
+        // And the counters really were reset: accesses reflect only the
+        // measured phase (L2 accesses ≤ total accesses issued).
+        assert!(warm.l2.accesses <= RunConfig::quick().accesses);
+    }
+
+    #[test]
+    fn parallel_runner_preserves_order() {
+        let benches = spec2000::memory_intensive();
+        let names = for_each_benchmark(&benches[..4], |b| b.name.to_owned());
+        assert_eq!(names, vec!["art", "mcf", "twolf", "vpr"]);
+    }
+}

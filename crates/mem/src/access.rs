@@ -1,0 +1,152 @@
+//! A single memory reference of a simulated trace.
+
+use crate::Addr;
+use std::fmt;
+
+/// The kind of a memory reference.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum AccessKind {
+    /// A data load.
+    Load,
+    /// A data store.
+    Store,
+    /// An instruction fetch. The distill cache never distills instruction
+    /// lines (Section 4: instruction lines have high spatial locality).
+    InstrFetch,
+}
+
+impl AccessKind {
+    /// Whether this access writes to memory.
+    pub const fn is_write(self) -> bool {
+        matches!(self, AccessKind::Store)
+    }
+
+    /// Whether this access references data (load or store) rather than
+    /// instructions.
+    pub const fn is_data(self) -> bool {
+        !matches!(self, AccessKind::InstrFetch)
+    }
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AccessKind::Load => "load",
+            AccessKind::Store => "store",
+            AccessKind::InstrFetch => "ifetch",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One memory reference of a trace.
+///
+/// `insts` carries the number of instructions retired since the previous
+/// access (inclusive of the instruction performing this access), so that
+/// a trace knows the instruction count needed for MPKI and the timing model
+/// knows how much non-memory work separates consecutive references.
+///
+/// # Example
+///
+/// ```
+/// use ldis_mem::{Access, AccessKind, Addr};
+///
+/// let a = Access::load(Addr::new(0x1000), 8);
+/// assert_eq!(a.kind, AccessKind::Load);
+/// assert_eq!(a.insts, 1);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Access {
+    /// Byte address referenced.
+    pub addr: Addr,
+    /// Access size in bytes (1..=8 for the Alpha-like ISA the paper models).
+    pub size: u8,
+    /// Load, store or instruction fetch.
+    pub kind: AccessKind,
+    /// Instructions retired since the previous access, including this one.
+    pub insts: u32,
+    /// The program counter of the instruction making the access; used by
+    /// the spatial footprint predictor (`ldis-sfp`).
+    pub pc: Addr,
+}
+
+impl Access {
+    /// A load of `size` bytes at `addr` costing one instruction.
+    pub fn load(addr: Addr, size: u8) -> Self {
+        Access {
+            addr,
+            size,
+            kind: AccessKind::Load,
+            insts: 1,
+            pc: Addr::new(0),
+        }
+    }
+
+    /// A store of `size` bytes at `addr` costing one instruction.
+    pub fn store(addr: Addr, size: u8) -> Self {
+        Access {
+            addr,
+            size,
+            kind: AccessKind::Store,
+            insts: 1,
+            pc: Addr::new(0),
+        }
+    }
+
+    /// An instruction fetch at `addr`.
+    pub fn ifetch(addr: Addr) -> Self {
+        Access {
+            addr,
+            size: 4,
+            kind: AccessKind::InstrFetch,
+            insts: 1,
+            pc: addr,
+        }
+    }
+
+    /// Returns a copy with the instruction gap set to `insts`.
+    #[must_use]
+    pub fn with_insts(mut self, insts: u32) -> Self {
+        self.insts = insts;
+        self
+    }
+
+    /// Returns a copy with the program counter set to `pc`.
+    #[must_use]
+    pub fn with_pc(mut self, pc: Addr) -> Self {
+        self.pc = pc;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_fill_defaults() {
+        let l = Access::load(Addr::new(8), 8);
+        assert!(!l.kind.is_write());
+        assert!(l.kind.is_data());
+        let s = Access::store(Addr::new(8), 4);
+        assert!(s.kind.is_write());
+        let f = Access::ifetch(Addr::new(0x400000));
+        assert_eq!(f.kind, AccessKind::InstrFetch);
+        assert!(!f.kind.is_data());
+        assert_eq!(f.pc, f.addr);
+    }
+
+    #[test]
+    fn builder_style_modifiers() {
+        let a = Access::load(Addr::new(8), 8).with_insts(5).with_pc(Addr::new(0x42));
+        assert_eq!(a.insts, 5);
+        assert_eq!(a.pc, Addr::new(0x42));
+    }
+
+    #[test]
+    fn kind_display() {
+        assert_eq!(AccessKind::Load.to_string(), "load");
+        assert_eq!(AccessKind::Store.to_string(), "store");
+        assert_eq!(AccessKind::InstrFetch.to_string(), "ifetch");
+    }
+}

@@ -1,0 +1,44 @@
+//! Memory substrate for the Line Distillation simulator.
+//!
+//! This crate provides the vocabulary types shared by every other crate in
+//! the workspace:
+//!
+//! * [`Addr`], [`LineAddr`] and [`LineGeometry`] — byte addresses, line
+//!   addresses and the line/word geometry arithmetic that connects them;
+//! * [`Access`] and [`AccessKind`] — one memory reference of a trace;
+//! * [`Footprint`] — the per-line used-word bit vector at the heart of the
+//!   paper (one bit per word of a cache line);
+//! * [`SimRng`] — a small, fully deterministic PRNG so that every experiment
+//!   is reproducible bit-for-bit from its seed;
+//! * [`stats`] — histograms and summary helpers used by the experiment
+//!   harness.
+//!
+//! # Example
+//!
+//! ```
+//! use ldis_mem::{Addr, LineGeometry};
+//!
+//! let geom = LineGeometry::default(); // 64 B lines, 8 B words
+//! let addr = Addr::new(0x1234);
+//! assert_eq!(geom.words_per_line(), 8);
+//! assert_eq!(geom.word_index(addr).get(), 6); // byte 0x34 = word 6
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod access;
+mod addr;
+mod footprint;
+mod geometry;
+mod rng;
+pub mod stats;
+mod trace;
+mod trace_io;
+
+pub use access::{Access, AccessKind};
+pub use addr::{Addr, LineAddr, WordIndex};
+pub use footprint::Footprint;
+pub use geometry::LineGeometry;
+pub use rng::SimRng;
+pub use trace::{Trace, TraceSource};

@@ -1,0 +1,255 @@
+//! A small deterministic PRNG for reproducible simulation.
+//!
+//! The simulator needs randomness in exactly two places — workload
+//! generation and the WOC's random replacement (Section 5.3) — and both
+//! must be reproducible bit-for-bit from a seed so that every experiment
+//! and test is deterministic. A local implementation avoids depending on a
+//! particular version of an external RNG crate for reproducibility.
+
+/// A deterministic 64-bit PRNG (xoshiro256\*\* seeded via SplitMix64).
+///
+/// Not cryptographically secure; statistically excellent for simulation.
+///
+/// # Example
+///
+/// ```
+/// use ldis_mem::SimRng;
+///
+/// let mut a = SimRng::new(42);
+/// let mut b = SimRng::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64()); // same seed, same stream
+/// let x = a.range(10);
+/// assert!(x < 10);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SimRng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed. Any seed (including 0) is
+    /// valid; the internal state is expanded with SplitMix64.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        SimRng {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+
+    /// The next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform integer in `0..bound`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is 0.
+    pub fn range(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "range bound must be positive");
+        // Lemire's unbiased multiply-shift rejection method.
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128).wrapping_mul(bound as u128);
+            let lo = m as u64;
+            if lo >= bound || lo >= lo.wrapping_neg() % bound {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// A uniform integer in `0..bound`, as `usize`.
+    pub fn index(&mut self, bound: usize) -> usize {
+        self.range(bound as u64) as usize
+    }
+
+    /// A uniform floating point number in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// Picks a uniformly random element of a non-empty slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` is empty.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "cannot choose from an empty slice");
+        &items[self.index(items.len())]
+    }
+
+    /// Samples an index from a discrete distribution given by non-negative
+    /// `weights`. Returns the last index with positive weight if rounding
+    /// undershoots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty or sums to 0.
+    pub fn weighted_index(&mut self, weights: &[f64]) -> usize {
+        let total: f64 = weights.iter().sum();
+        assert!(
+            !weights.is_empty() && total > 0.0,
+            "weights must be non-empty with a positive sum"
+        );
+        let mut target = self.f64() * total;
+        let mut last_positive = 0;
+        for (i, &w) in weights.iter().enumerate() {
+            if w > 0.0 {
+                last_positive = i;
+                if target < w {
+                    return i;
+                }
+                target -= w;
+            }
+        }
+        last_positive
+    }
+
+    /// Forks an independent generator; the child stream is a deterministic
+    /// function of the parent's state, and the parent advances.
+    pub fn fork(&mut self) -> SimRng {
+        SimRng::new(self.next_u64())
+    }
+
+    /// A geometric-ish positive integer with mean approximately `mean`
+    /// (at least 1). Used for instruction gaps between memory accesses.
+    pub fn geometric(&mut self, mean: f64) -> u32 {
+        if mean <= 1.0 {
+            return 1;
+        }
+        let p = 1.0 / mean;
+        let u = self.f64().max(f64::MIN_POSITIVE);
+        let v = (u.ln() / (1.0 - p).ln()).floor() as u32;
+        v.saturating_add(1).min(1_000_000)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = SimRng::new(7);
+        let mut b = SimRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(2);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    fn range_is_in_bounds_and_covers() {
+        let mut rng = SimRng::new(3);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            let x = rng.range(8) as usize;
+            seen[x] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values of 0..8 should appear");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn range_zero_panics() {
+        SimRng::new(0).range(0);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = SimRng::new(11);
+        for _ in 0..1000 {
+            let x = rng.f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn chance_respects_probability_roughly() {
+        let mut rng = SimRng::new(5);
+        let hits = (0..10_000).filter(|_| rng.chance(0.25)).count();
+        assert!((2000..3000).contains(&hits), "got {hits}");
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut rng = SimRng::new(9);
+        let mut counts = [0usize; 3];
+        for _ in 0..30_000 {
+            counts[rng.weighted_index(&[1.0, 0.0, 2.0])] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        assert!(counts[2] > counts[0]);
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((1.7..2.3).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn choose_picks_from_slice() {
+        let mut rng = SimRng::new(13);
+        let items = [10, 20, 30];
+        for _ in 0..50 {
+            assert!(items.contains(rng.choose(&items)));
+        }
+    }
+
+    #[test]
+    fn geometric_has_requested_mean() {
+        let mut rng = SimRng::new(17);
+        let n = 20_000;
+        let sum: u64 = (0..n).map(|_| rng.geometric(5.0) as u64).sum();
+        let mean = sum as f64 / n as f64;
+        assert!((4.5..5.5).contains(&mean), "mean {mean}");
+    }
+
+    #[test]
+    fn geometric_floor_is_one() {
+        let mut rng = SimRng::new(19);
+        for _ in 0..100 {
+            assert_eq!(rng.geometric(0.5), 1);
+            assert!(rng.geometric(1.5) >= 1);
+        }
+    }
+
+    #[test]
+    fn fork_streams_are_independent() {
+        let mut parent = SimRng::new(23);
+        let mut c1 = parent.fork();
+        let mut c2 = parent.fork();
+        assert_ne!(c1.next_u64(), c2.next_u64());
+    }
+}

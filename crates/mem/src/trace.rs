@@ -1,0 +1,220 @@
+//! Trace abstractions: anything that produces a stream of memory accesses.
+
+use crate::Access;
+
+/// A source of memory accesses, consumed by the simulators.
+///
+/// Workload generators in `ldis-workloads` implement this; a recorded
+/// [`Trace`] also implements it so experiments can replay identical access
+/// streams against multiple cache configurations.
+pub trait TraceSource {
+    /// Produces the next access, or `None` when the trace is exhausted.
+    fn next_access(&mut self) -> Option<Access>;
+
+    /// A short human-readable name for reports.
+    fn name(&self) -> &str {
+        "trace"
+    }
+}
+
+/// An in-memory recorded trace.
+///
+/// Replaying a recorded trace guarantees that every cache configuration in
+/// a comparison sees exactly the same access stream, as in the paper's
+/// trace-driven methodology (Section 6.1).
+///
+/// # Example
+///
+/// ```
+/// use ldis_mem::{Access, Addr, Trace, TraceSource};
+///
+/// let trace = Trace::from_accesses("demo", vec![Access::load(Addr::new(0), 8)]);
+/// let mut replay = trace.replay();
+/// assert!(replay.next_access().is_some());
+/// assert!(replay.next_access().is_none());
+/// assert_eq!(trace.instructions(), 1);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Trace {
+    name: String,
+    accesses: Vec<Access>,
+}
+
+impl Trace {
+    /// Creates an empty trace with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Trace {
+            name: name.into(),
+            accesses: Vec::new(),
+        }
+    }
+
+    /// Creates a trace from pre-built accesses.
+    pub fn from_accesses(name: impl Into<String>, accesses: Vec<Access>) -> Self {
+        Trace {
+            name: name.into(),
+            accesses,
+        }
+    }
+
+    /// Records every access produced by `source`, up to `limit` accesses.
+    pub fn record(source: &mut dyn TraceSource, limit: usize) -> Self {
+        let mut accesses = Vec::with_capacity(limit.min(1 << 20));
+        while accesses.len() < limit {
+            match source.next_access() {
+                Some(a) => accesses.push(a),
+                None => break,
+            }
+        }
+        Trace {
+            name: source.name().to_owned(),
+            accesses,
+        }
+    }
+
+    /// The trace's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of accesses recorded.
+    pub fn len(&self) -> usize {
+        self.accesses.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.accesses.is_empty()
+    }
+
+    /// Total instructions represented by the trace (sum of per-access
+    /// instruction gaps); the denominator of MPKI.
+    pub fn instructions(&self) -> u64 {
+        self.accesses.iter().map(|a| a.insts as u64).sum()
+    }
+
+    /// The recorded accesses.
+    pub fn accesses(&self) -> &[Access] {
+        &self.accesses
+    }
+
+    /// Appends an access.
+    pub fn push(&mut self, access: Access) {
+        self.accesses.push(access);
+    }
+
+    /// An iterator-style replay cursor over this trace.
+    pub fn replay(&self) -> Replay<'_> {
+        Replay {
+            trace: self,
+            pos: 0,
+        }
+    }
+}
+
+impl Extend<Access> for Trace {
+    fn extend<T: IntoIterator<Item = Access>>(&mut self, iter: T) {
+        self.accesses.extend(iter);
+    }
+}
+
+impl FromIterator<Access> for Trace {
+    fn from_iter<T: IntoIterator<Item = Access>>(iter: T) -> Self {
+        Trace {
+            name: "trace".to_owned(),
+            accesses: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// A replay cursor over a recorded [`Trace`]; created by [`Trace::replay`].
+#[derive(Clone, Debug)]
+pub struct Replay<'a> {
+    trace: &'a Trace,
+    pos: usize,
+}
+
+impl TraceSource for Replay<'_> {
+    fn next_access(&mut self) -> Option<Access> {
+        let a = self.trace.accesses.get(self.pos).copied();
+        if a.is_some() {
+            self.pos += 1;
+        }
+        a
+    }
+
+    fn name(&self) -> &str {
+        &self.trace.name
+    }
+}
+
+impl Iterator for Replay<'_> {
+    type Item = Access;
+
+    fn next(&mut self) -> Option<Access> {
+        self.next_access()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Addr;
+
+    struct Counting(u64);
+
+    impl TraceSource for Counting {
+        fn next_access(&mut self) -> Option<Access> {
+            if self.0 == 0 {
+                None
+            } else {
+                self.0 -= 1;
+                Some(Access::load(Addr::new(self.0 * 8), 8).with_insts(2))
+            }
+        }
+        fn name(&self) -> &str {
+            "counting"
+        }
+    }
+
+    #[test]
+    fn record_respects_limit_and_exhaustion() {
+        let t = Trace::record(&mut Counting(10), 4);
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.name(), "counting");
+        let t2 = Trace::record(&mut Counting(3), 100);
+        assert_eq!(t2.len(), 3);
+    }
+
+    #[test]
+    fn instructions_sum_gaps() {
+        let t = Trace::record(&mut Counting(5), 100);
+        assert_eq!(t.instructions(), 10);
+    }
+
+    #[test]
+    fn replay_yields_identical_stream_twice() {
+        let t = Trace::record(&mut Counting(6), 100);
+        let first: Vec<Access> = t.replay().collect();
+        let second: Vec<Access> = t.replay().collect();
+        assert_eq!(first, second);
+        assert_eq!(first.len(), 6);
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let mut t: Trace = vec![Access::load(Addr::new(0), 8)].into_iter().collect();
+        t.extend(vec![Access::store(Addr::new(8), 8)]);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        t.push(Access::load(Addr::new(16), 8));
+        assert_eq!(t.accesses().len(), 3);
+    }
+
+    #[test]
+    fn default_trace_is_empty() {
+        let t = Trace::default();
+        assert!(t.is_empty());
+        assert_eq!(t.instructions(), 0);
+    }
+}

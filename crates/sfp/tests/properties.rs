@@ -1,0 +1,103 @@
+//! Property tests for the SFP comparator.
+
+use ldis_cache::{L2Request, SecondLevel};
+use ldis_mem::{Addr, Footprint, LineAddr, LineGeometry, WordIndex};
+use ldis_sfp::{FootprintPredictor, SfpCache, SfpConfig};
+use proptest::prelude::*;
+
+fn tiny() -> SfpCache {
+    SfpCache::new(SfpConfig {
+        size_bytes: 8 * 8 * 64,
+        ways: 8,
+        tags_per_set: 22,
+        predictor_entries: 4096,
+        geometry: LineGeometry::default(),
+        reverter: None,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Outcome accounting is exact for arbitrary request sequences, and a
+    /// just-requested word always hits immediately afterwards.
+    #[test]
+    fn accounting_and_rereference(
+        reqs in prop::collection::vec((0u64..256, 0u8..8, 0u64..16, any::<bool>()), 1..300),
+    ) {
+        let mut c = tiny();
+        for (line, word, pc, write) in reqs {
+            let req = L2Request::data(LineAddr::new(line), WordIndex::new(word), write)
+                .with_pc(Addr::new(0x1000 + pc * 4));
+            c.access(req);
+            prop_assert!(
+                c.access(req).outcome.is_hit(),
+                "immediate re-reference must hit"
+            );
+        }
+        let s = c.stats();
+        prop_assert_eq!(
+            s.loc_hits + s.woc_hits + s.hole_misses + s.line_misses,
+            s.accesses
+        );
+        prop_assert!(s.compulsory_misses <= s.demand_misses());
+    }
+
+    /// The predictor always includes the demanded word, trained or not.
+    #[test]
+    fn prediction_covers_demand(
+        pc in any::<u64>(),
+        word in 0u8..8,
+        trained_bits in 0u16..256,
+    ) {
+        let mut p = FootprintPredictor::new(1024, 8);
+        let w = WordIndex::new(word);
+        prop_assert!(p.predict(Addr::new(pc), w).is_used(w));
+        p.train(Addr::new(pc), w, Footprint::from_bits(trained_bits));
+        prop_assert!(p.predict(Addr::new(pc), w).is_used(w));
+    }
+
+    /// Training then predicting with the same key returns the trained
+    /// footprint (plus the demand word).
+    #[test]
+    fn train_predict_roundtrip(pc in any::<u64>(), word in 0u8..8, bits in 1u16..256) {
+        let mut p = FootprintPredictor::new(64 * 1024, 8);
+        let w = WordIndex::new(word);
+        p.train(Addr::new(pc), w, Footprint::from_bits(bits));
+        let mut expected = Footprint::from_bits(bits);
+        expected.touch(w);
+        prop_assert_eq!(p.predict(Addr::new(pc), w), expected);
+    }
+
+    /// The SFP cache is deterministic: identical request sequences produce
+    /// identical statistics.
+    #[test]
+    fn sfp_is_deterministic(
+        reqs in prop::collection::vec((0u64..128, 0u8..8, 0u64..8), 1..200),
+    ) {
+        let run = |reqs: &[(u64, u8, u64)]| {
+            let mut c = tiny();
+            for &(line, word, pc) in reqs {
+                c.access(
+                    L2Request::data(LineAddr::new(line), WordIndex::new(word), false)
+                        .with_pc(Addr::new(pc * 8)),
+                );
+            }
+            (c.stats().hits(), c.stats().demand_misses(), c.stats().evictions)
+        };
+        prop_assert_eq!(run(&reqs), run(&reqs));
+    }
+}
+
+/// Reset preserves contents but zeroes counters.
+#[test]
+fn reset_stats_keeps_contents() {
+    let mut c = tiny();
+    let req = L2Request::data(LineAddr::new(5), WordIndex::new(0), false);
+    c.access(req);
+    c.reset_stats();
+    assert_eq!(c.stats().accesses, 0);
+    // Still resident: the next access hits.
+    assert!(c.access(req).outcome.is_hit());
+    assert_eq!(c.stats().accesses, 1);
+}

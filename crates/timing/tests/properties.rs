@@ -1,0 +1,111 @@
+//! Property tests for the timing model.
+
+use ldis_cache::{BaselineL2, CacheConfig};
+use ldis_mem::{LineAddr, LineGeometry};
+use ldis_timing::{L2Timing, MemorySystem, SystemConfig, TimingSim};
+use ldis_workloads::spec2000;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Memory completions never travel back in time, and later issues
+    /// never complete before strictly earlier issues *on the same bank*.
+    #[test]
+    fn memory_completions_are_causal(
+        requests in prop::collection::vec((0u64..10_000, 0u64..512), 1..100),
+    ) {
+        let mut mem = MemorySystem::new(32, 400, 16, 32);
+        let mut cycle = 0u64;
+        let mut per_bank: std::collections::HashMap<u64, u64> = Default::default();
+        for (advance, line) in requests {
+            cycle += advance;
+            let (issue, done) = mem.fetch(cycle, LineAddr::new(line));
+            prop_assert!(issue >= cycle);
+            prop_assert!(done >= issue + 400, "latency floor");
+            let bank = line % 32;
+            if let Some(&prev) = per_bank.get(&bank) {
+                prop_assert!(done > prev, "bank order violated");
+            }
+            per_bank.insert(bank, done);
+        }
+    }
+
+    /// IPC is positive, bounded by the width, and monotone in the branch
+    /// misprediction rate.
+    #[test]
+    fn ipc_bounds_and_branch_monotonicity(rate in 0.0f64..30.0) {
+        let run = |r: f64| {
+            let l2 = BaselineL2::new(CacheConfig::new(1 << 20, 8, LineGeometry::default()));
+            let cfg = SystemConfig::hpca2007_baseline().with_workload_factors(0.3, r);
+            TimingSim::new(l2, cfg, L2Timing::baseline())
+                .run(&mut spec2000::sixtrack(1), 15_000)
+        };
+        let base = run(0.0);
+        let slowed = run(rate);
+        prop_assert!(base.ipc() > 0.0 && base.ipc() <= 8.0);
+        prop_assert!(slowed.cycles >= base.cycles, "mispredicts add cycles");
+        prop_assert_eq!(slowed.instructions, base.instructions);
+    }
+
+    /// Higher dependence never increases IPC (less latency hiding).
+    #[test]
+    fn dependence_is_monotone(dep in 0.0f64..1.0) {
+        let run = |d: f64| {
+            let l2 = BaselineL2::new(CacheConfig::new(1 << 20, 8, LineGeometry::default()));
+            let cfg = SystemConfig::hpca2007_baseline().with_workload_factors(d, 2.0);
+            TimingSim::new(l2, cfg, L2Timing::baseline())
+                .run(&mut spec2000::health(1), 15_000)
+                .ipc()
+        };
+        let free = run(0.0);
+        let bound = run(dep);
+        prop_assert!(bound <= free * 1.001, "dep {dep}: {bound} > {free}");
+    }
+}
+
+/// A slower L2 (the distill latency adders) can only reduce IPC when the
+/// miss counts are identical — isolated by running the *baseline* cache
+/// with both timing models.
+#[test]
+fn latency_adders_alone_cost_ipc() {
+    let run = |timing: L2Timing| {
+        let l2 = BaselineL2::new(CacheConfig::new(1 << 20, 8, LineGeometry::default()));
+        let cfg = SystemConfig::hpca2007_baseline().with_workload_factors(0.6, 2.0);
+        TimingSim::new(l2, cfg, timing)
+            .run(&mut spec2000::twolf(1), 60_000)
+            .ipc()
+    };
+    let fast = run(L2Timing::baseline());
+    let slow = run(L2Timing::distill());
+    assert!(
+        slow < fast,
+        "the +1 tag cycle must cost something: {slow} vs {fast}"
+    );
+    assert!(
+        slow > fast * 0.9,
+        "but only about a cycle's worth: {slow} vs {fast}"
+    );
+}
+
+/// MSHR pressure shows up for miss-heavy streams and is absent with an
+/// enormous MSHR.
+#[test]
+fn mshr_bound_matters() {
+    let run = |mshrs: u32| {
+        let l2 = BaselineL2::new(CacheConfig::new(1 << 20, 8, LineGeometry::default()));
+        let mut cfg = SystemConfig::hpca2007_baseline().with_workload_factors(0.3, 0.0);
+        cfg.mshr_entries = mshrs;
+        TimingSim::new(l2, cfg, L2Timing::baseline()).run(&mut spec2000::wupwise(1), 60_000)
+    };
+    let tight = run(1);
+    let loose = run(1024);
+    assert!(tight.mshr_stall_cycles > 0, "a 1-entry MSHR must stall");
+    // The stalled issues push dependent completions later, costing cycles.
+    assert!(
+        tight.cycles > loose.cycles,
+        "tight {} vs loose {}",
+        tight.cycles,
+        loose.cycles
+    );
+}

@@ -1,0 +1,109 @@
+//! Property tests for the workload generators.
+
+use ldis_mem::{AccessKind, TraceSource};
+use ldis_workloads::{
+    cache_insensitive, memory_intensive, HotSet, PointerChase, SequentialScan, TraceLength,
+    Workload, WordsProfile,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every workload is deterministic per seed and produces word-aligned
+    /// accesses with positive instruction gaps.
+    #[test]
+    fn workloads_are_deterministic_and_well_formed(seed in any::<u64>(), pick in 0usize..16) {
+        let bench = memory_intensive()[pick];
+        let t1 = (bench.make)(seed).record(400);
+        let t2 = (bench.make)(seed).record(400);
+        prop_assert_eq!(t1.accesses(), t2.accesses());
+        for a in t1.accesses() {
+            if a.kind != AccessKind::InstrFetch {
+                prop_assert_eq!(a.addr.raw() % 8, 0, "{} misaligned", bench.name);
+            }
+            prop_assert!(a.insts >= 1);
+            prop_assert!(a.size >= 1 && a.size <= 8);
+        }
+    }
+
+    /// Streams never leave their declared regions.
+    #[test]
+    fn streams_stay_in_their_regions(base in 0u64..1_000_000, lines in 1u64..5_000) {
+        let mut w = Workload::builder("bounded", 3)
+            .stream(1.0, HotSet::new(base, lines, WordsProfile::mixed(), 1))
+            .build();
+        for _ in 0..500 {
+            let a = w.next_access().unwrap();
+            let line = a.addr.raw() / 64;
+            prop_assert!((base..base + lines).contains(&line));
+        }
+    }
+
+    /// A pointer chase visits all nodes before repeating any (single cycle),
+    /// regardless of seed.
+    #[test]
+    fn chase_is_a_permutation_cycle(seed in any::<u64>(), nodes in 2u64..256) {
+        let mut chase = PointerChase::new(0, nodes, WordsProfile::exactly(1), 0, seed);
+        let mut rng = ldis_mem::SimRng::new(1);
+        let mut seen = std::collections::HashSet::new();
+        use ldis_workloads::Stream;
+        for _ in 0..nodes {
+            prop_assert!(seen.insert(chase.next_visit(&mut rng).line));
+        }
+        prop_assert_eq!(seen.len() as u64, nodes);
+    }
+
+    /// Sampled words-used average tracks the profile's analytic mean for
+    /// any valid weight vector.
+    #[test]
+    fn profile_mean_matches_samples(weights in prop::collection::vec(0.0f64..10.0, 8..9)) {
+        let arr: [f64; 8] = weights.clone().try_into().unwrap();
+        prop_assume!(arr.iter().sum::<f64>() > 0.5);
+        let profile = WordsProfile::new(arr);
+        let n = 4000u64;
+        let sum: u64 = (0..n)
+            .map(|i| profile.words_for(ldis_mem::LineAddr::new(i), 1) as u64)
+            .sum();
+        let sampled = sum as f64 / n as f64;
+        prop_assert!(
+            (sampled - profile.mean()).abs() < 0.25,
+            "sampled {sampled} vs analytic {}",
+            profile.mean()
+        );
+    }
+
+    /// Wrapping scans repeat with a period of exactly `lines` visits.
+    #[test]
+    fn scan_period_is_lines(lines in 1u64..500) {
+        use ldis_workloads::Stream;
+        let mut s = SequentialScan::new(7, lines, WordsProfile::exactly(1), 0, true);
+        let mut rng = ldis_mem::SimRng::new(1);
+        let first: Vec<u64> = (0..lines).map(|_| s.next_visit(&mut rng).line.raw()).collect();
+        let second: Vec<u64> = (0..lines).map(|_| s.next_visit(&mut rng).line.raw()).collect();
+        prop_assert_eq!(first, second);
+    }
+}
+
+/// Every model in both suites keeps generating indefinitely (no stream
+/// runs dry or panics deep into a run).
+#[test]
+fn all_models_generate_long_runs() {
+    for b in memory_intensive().into_iter().chain(cache_insensitive()) {
+        let mut w = (b.make)(99);
+        for i in 0..20_000 {
+            assert!(w.next_access().is_some(), "{} dried up at {i}", b.name);
+        }
+    }
+}
+
+/// `TraceLength::instructions` runs at least that many instructions.
+#[test]
+fn instruction_budget_is_met() {
+    use ldis_cache::{BaselineL2, CacheConfig, Hierarchy};
+    let l2 = BaselineL2::new(CacheConfig::new(1 << 20, 8, Default::default()));
+    let mut hier = Hierarchy::hpca2007(l2);
+    let w = memory_intensive()[5].make;
+    w(1).drive(&mut hier, TraceLength::instructions(100_000));
+    assert!(hier.stats().instructions >= 100_000);
+}

@@ -1,0 +1,48 @@
+//! # line-distillation
+//!
+//! A full reproduction of *"Line Distillation: Increasing Cache Capacity by
+//! Filtering Unused Words in Cache Lines"* (Qureshi, Suleman & Patt,
+//! HPCA 2007) as a Rust workspace.
+//!
+//! This facade crate re-exports every member crate under one roof so
+//! examples, integration tests and downstream users can depend on a single
+//! package:
+//!
+//! * [`mem`] — addresses, geometry, accesses, footprints, RNG, statistics;
+//! * [`cache`] — set-associative substrate, sectored L1D, baseline L2,
+//!   hierarchy driver;
+//! * [`distill`] — the paper's contribution: the distill cache (LOC + WOC),
+//!   median-threshold filtering, the reverter circuit, the storage model;
+//! * [`compress`] — the Table-4 encoder, compressed cache (CMPR) and
+//!   footprint-aware compression (FAC);
+//! * [`sfp`] — the spatial-footprint-predictor comparator of Figure 13;
+//! * [`workloads`] — the 16 + 11 synthetic benchmark models;
+//! * [`timing`] — the IPC model (Figure 9);
+//! * [`experiments`] — one entry point per table/figure of the paper.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use line_distillation::distill::{DistillCache, DistillConfig};
+//! use line_distillation::cache::{Hierarchy, SecondLevel};
+//! use line_distillation::workloads::{spec2000, TraceLength};
+//!
+//! let mut workload = spec2000::health(1);
+//! let l2 = DistillCache::new(DistillConfig::hpca2007_default());
+//! let mut hier = Hierarchy::hpca2007(l2);
+//! workload.drive(&mut hier, TraceLength::accesses(300_000));
+//! // Distilled words of evicted lines are served from the WOC.
+//! assert!(hier.l2().stats().woc_hits > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use ldis_cache as cache;
+pub use ldis_compress as compress;
+pub use ldis_distill as distill;
+pub use ldis_experiments as experiments;
+pub use ldis_mem as mem;
+pub use ldis_sfp as sfp;
+pub use ldis_timing as timing;
+pub use ldis_workloads as workloads;

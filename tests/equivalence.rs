@@ -1,0 +1,116 @@
+//! Cross-crate equivalence properties: degenerate configurations of the
+//! distill cache must collapse onto simpler organizations.
+
+use line_distillation::cache::{BaselineL2, CacheConfig, Hierarchy, SecondLevel};
+use line_distillation::compress::{fac_cache, ValueSizeModel};
+use line_distillation::distill::{DistillCache, DistillConfig, ThresholdPolicy};
+use line_distillation::mem::LineGeometry;
+use line_distillation::workloads::{spec2000, TraceLength, ValueProfile};
+
+const ACCESSES: u64 = 400_000;
+
+/// With a distillation threshold of 0, nothing is ever installed in the
+/// WOC, so the distill cache must behave *exactly* like a traditional
+/// cache of the LOC's size (6 ways of the same 2048 sets).
+#[test]
+fn zero_threshold_equals_loc_sized_traditional_cache() {
+    let mut distill_hier = Hierarchy::hpca2007(DistillCache::new(
+        DistillConfig::ldis_base().with_policy(ThresholdPolicy::Fixed(0)),
+    ));
+    spec2000::twolf(3).drive(&mut distill_hier, TraceLength::accesses(ACCESSES));
+
+    let loc_sized = CacheConfig::with_sets(2048, 6, LineGeometry::default());
+    let mut trad_hier = Hierarchy::hpca2007(BaselineL2::new(loc_sized));
+    spec2000::twolf(3).drive(&mut trad_hier, TraceLength::accesses(ACCESSES));
+
+    let d = distill_hier.l2().stats();
+    let t = trad_hier.l2().stats();
+    assert_eq!(d.woc_hits, 0, "threshold 0 must keep the WOC empty");
+    assert_eq!(d.hole_misses, 0);
+    assert_eq!(d.accesses, t.accesses);
+    assert_eq!(d.demand_misses(), t.demand_misses());
+    assert_eq!(d.loc_hits, t.loc_hits);
+}
+
+/// A distill cache whose reverter is forced off must track the 8-way
+/// baseline closely: follower sets keep whole lines in the WOC, making
+/// each set an 8-way cache with a slightly different replacement order
+/// in two of the ways.
+#[test]
+fn forced_off_reverter_tracks_baseline() {
+    let mut distill_hier =
+        Hierarchy::hpca2007(DistillCache::new(DistillConfig::ldis_mt_rc()));
+    distill_hier.l2_mut().force_ldis(false);
+    spec2000::swim(3).drive(&mut distill_hier, TraceLength::accesses(ACCESSES));
+
+    let mut base_hier = Hierarchy::hpca2007(BaselineL2::new(CacheConfig::new(
+        1 << 20,
+        8,
+        LineGeometry::default(),
+    )));
+    spec2000::swim(3).drive(&mut base_hier, TraceLength::accesses(ACCESSES));
+
+    let d = distill_hier.mpki();
+    let b = base_hier.mpki();
+    assert!(
+        (d - b).abs() / b < 0.12,
+        "forced-off distill {d} should track baseline {b}"
+    );
+}
+
+/// A FAC cache over perfectly incompressible values needs exactly the same
+/// slot counts as the plain distill cache, so their miss rates must agree
+/// closely (replacement randomness differs only by seed).
+#[test]
+fn incompressible_fac_matches_plain_distill() {
+    let incompressible =
+        ValueSizeModel::new(ValueProfile::new(0.0, 0.0, 0.0), LineGeometry::default(), 1);
+    let cfg = DistillConfig::hpca2007_default();
+
+    let mut fac_hier = Hierarchy::hpca2007(fac_cache(cfg, incompressible));
+    spec2000::health(3).drive(&mut fac_hier, TraceLength::accesses(ACCESSES));
+
+    let mut ldis_hier = Hierarchy::hpca2007(DistillCache::new(cfg));
+    spec2000::health(3).drive(&mut ldis_hier, TraceLength::accesses(ACCESSES));
+
+    let f = fac_hier.mpki();
+    let l = ldis_hier.mpki();
+    assert!(
+        (f - l).abs() / l < 0.05,
+        "incompressible FAC {f} should match plain LDIS {l}"
+    );
+}
+
+/// The distill cache must never return fewer valid words than a hit
+/// implies and never count an access as both hit and miss: totals add up.
+#[test]
+fn outcome_accounting_is_exact() {
+    let mut hier = Hierarchy::hpca2007(DistillCache::new(DistillConfig::hpca2007_default()));
+    spec2000::art(9).drive(&mut hier, TraceLength::accesses(ACCESSES));
+    let s = hier.l2().stats();
+    assert_eq!(
+        s.loc_hits + s.woc_hits + s.hole_misses + s.line_misses,
+        s.accesses
+    );
+    assert!(s.compulsory_misses <= s.demand_misses());
+}
+
+/// Identical seeds must give bit-identical statistics across independent
+/// constructions (full determinism across the whole stack).
+#[test]
+fn full_stack_determinism() {
+    let run = || {
+        let mut hier =
+            Hierarchy::hpca2007(DistillCache::new(DistillConfig::hpca2007_default()));
+        spec2000::mcf(123).drive(&mut hier, TraceLength::accesses(ACCESSES));
+        (
+            hier.l2().stats().loc_hits,
+            hier.l2().stats().woc_hits,
+            hier.l2().stats().hole_misses,
+            hier.l2().stats().line_misses,
+            hier.l2().stats().writebacks,
+            hier.stats().instructions,
+        )
+    };
+    assert_eq!(run(), run());
+}

@@ -1,0 +1,82 @@
+//! End-to-end dynamics of the reverter circuit (Figure 5's mechanism).
+
+use line_distillation::cache::Hierarchy;
+use line_distillation::distill::{DistillCache, DistillConfig, ReverterConfig};
+use line_distillation::mem::TraceSource;
+use line_distillation::workloads::{spec2000, TraceLength};
+
+/// On swim, PSEL must sink and LDIS must flip to disabled — and stay
+/// there (hysteresis prevents oscillation storms).
+#[test]
+fn psel_sinks_and_disables_on_swim() {
+    let mut hier = Hierarchy::hpca2007(DistillCache::new(DistillConfig::ldis_mt_rc()));
+    let mut workload = spec2000::swim(21);
+    let mut disabled_at = None;
+    for step in 0..20u64 {
+        for _ in 0..50_000 {
+            let a = workload.next_access().expect("endless");
+            hier.access(a);
+        }
+        let r = hier.l2().reverter().expect("configured");
+        if !r.ldis_enabled() && disabled_at.is_none() {
+            disabled_at = Some(step);
+        }
+    }
+    let r = hier.l2().reverter().unwrap();
+    assert!(
+        disabled_at.is_some(),
+        "reverter never disabled LDIS on swim (psel {})",
+        r.psel()
+    );
+    assert!(!r.ldis_enabled(), "must stay disabled on a steady stream");
+    assert!(
+        r.flips <= 4,
+        "hysteresis should prevent thrashing, got {} flips",
+        r.flips
+    );
+}
+
+/// On a distillation-friendly workload, LDIS must stay enabled.
+#[test]
+fn ldis_stays_enabled_on_friendly_workloads() {
+    let mut hier = Hierarchy::hpca2007(DistillCache::new(DistillConfig::ldis_mt_rc()));
+    spec2000::health(21).drive(&mut hier, TraceLength::accesses(800_000));
+    let r = hier.l2().reverter().expect("configured");
+    assert!(r.ldis_enabled());
+    assert!(
+        r.atd_misses > r.distill_leader_misses,
+        "the traditional shadow must miss more: atd {} vs distill {}",
+        r.atd_misses,
+        r.distill_leader_misses
+    );
+}
+
+/// Leader sets always distill, even while followers are disabled, so the
+/// circuit can notice when the workload turns favourable again.
+#[test]
+fn leader_sets_keep_distilling_while_disabled() {
+    let mut hier = Hierarchy::hpca2007(DistillCache::new(DistillConfig::ldis_mt_rc()));
+    hier.l2_mut().force_ldis(false);
+    let leader = 0usize; // stride = 2048/32 = 64; set 0 leads
+    let follower = 1usize;
+    assert!(hier.l2().ldis_active_for(leader));
+    assert!(!hier.l2().ldis_active_for(follower));
+}
+
+/// More leader sets react faster but cost more ATD storage; any power of
+/// two that divides the set count must work.
+#[test]
+fn alternative_leader_counts_work() {
+    for leaders in [8u32, 64, 256] {
+        let cfg = DistillConfig::ldis_mt().with_reverter(ReverterConfig {
+            leader_sets: leaders,
+            ..ReverterConfig::default()
+        });
+        let mut hier = Hierarchy::hpca2007(DistillCache::new(cfg));
+        spec2000::swim(5).drive(&mut hier, TraceLength::accesses(600_000));
+        assert!(
+            !hier.l2().reverter().unwrap().ldis_enabled(),
+            "{leaders} leaders failed to disable LDIS on swim"
+        );
+    }
+}

@@ -21,6 +21,34 @@ pub struct EvictedLine {
     pub recency_at_last_change: u8,
 }
 
+/// Where a modeled footprint-bit flip landed (see
+/// [`SetAssocCache::flip_footprint_bit`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FootprintFault {
+    /// The set containing the affected entry.
+    pub set: usize,
+    /// The way of the affected entry.
+    pub way: usize,
+    /// The word whose footprint bit was flipped.
+    pub word: u8,
+    /// Whether the entry was valid — a flip in an invalid entry's
+    /// footprint is dead state and can never be observed.
+    pub live: bool,
+}
+
+impl std::fmt::Display for FootprintFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "footprint bit flip: set {} way {} word {}{}",
+            self.set,
+            self.way,
+            self.word,
+            if self.live { "" } else { " (dead entry)" }
+        )
+    }
+}
+
 /// A traditional set-associative cache with true-LRU replacement.
 ///
 /// Serves as the paper's baseline L2, the LOC of the distill cache, the
@@ -152,15 +180,18 @@ impl SetAssocCache {
     /// Iterates over every valid line with its entry — used by the
     /// compression analysis (Figure 10), which samples cache contents.
     pub fn iter_lines(&self) -> impl Iterator<Item = (LineAddr, &TagEntry)> + '_ {
-        self.sets.iter().enumerate().flat_map(move |(set_idx, set)| {
-            set.iter().filter_map(move |entry| {
-                if entry.valid {
-                    Some((self.cfg.line_of(set_idx, entry.tag), entry))
-                } else {
-                    None
-                }
+        self.sets
+            .iter()
+            .enumerate()
+            .flat_map(move |(set_idx, set)| {
+                set.iter().filter_map(move |entry| {
+                    if entry.valid {
+                        Some((self.cfg.line_of(set_idx, entry.tag), entry))
+                    } else {
+                        None
+                    }
+                })
             })
-        })
     }
 
     /// Number of valid lines currently resident.
@@ -180,6 +211,50 @@ impl SetAssocCache {
     /// Exclusive access to a set.
     pub fn set_mut(&mut self, index: usize) -> &mut CacheSet {
         &mut self.sets[index]
+    }
+
+    /// Number of modeled footprint bits in the tag store (one per word per
+    /// entry, valid or not) — the exposure surface for footprint faults.
+    pub fn footprint_bits(&self) -> u64 {
+        self.cfg.num_sets() * self.cfg.ways() as u64 * self.cfg.geometry().words_per_line() as u64
+    }
+
+    /// Flips footprint bit `bit` (in `0..footprint_bits()`, interpreted as
+    /// `(set, way, word)` in row-major order) and reports where it landed.
+    /// Used by the fault-injection model; never touches tags or data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit` is out of range.
+    pub fn flip_footprint_bit(&mut self, bit: u64) -> FootprintFault {
+        let wpl = self.cfg.geometry().words_per_line() as u64;
+        let ways = self.cfg.ways() as u64;
+        assert!(bit < self.footprint_bits(), "footprint bit out of range");
+        let entry_idx = bit / wpl;
+        let word = (bit % wpl) as u8;
+        let set = (entry_idx / ways) as usize;
+        let way = (entry_idx % ways) as usize;
+        let entry = self.sets[set].entry_mut(way);
+        let flipped = Footprint::from_bits(entry.footprint.bits() ^ (1 << word));
+        entry.footprint = flipped;
+        FootprintFault {
+            set,
+            way,
+            word,
+            live: entry.valid,
+        }
+    }
+
+    /// Widens the footprint of the entry at `(set, way)` to the full line —
+    /// the conservative recovery after a *detected* footprint corruption
+    /// (every word treated as used, so distillation can never drop a word
+    /// the processor still needs). No-op for invalid entries.
+    pub fn repair_footprint(&mut self, set: usize, way: usize) {
+        let wpl = self.cfg.geometry().words_per_line();
+        let entry = self.sets[set].entry_mut(way);
+        if entry.valid {
+            entry.footprint = Footprint::full(wpl);
+        }
     }
 
     fn snapshot_eviction(
@@ -301,6 +376,47 @@ mod tests {
         assert_eq!(lines, vec![1, 2]);
         let instr_count = c.iter_lines().filter(|(_, e)| e.is_instr).count();
         assert_eq!(instr_count, 1);
+    }
+
+    #[test]
+    fn footprint_fault_flips_exactly_one_bit() {
+        let mut c = small_cache(2);
+        let a = line_in_set0(0);
+        c.install(a, Some(WordIndex::new(2)), false, false);
+        // Entry (set 0, way 0) holds line a with word 2 used. Flip word 5
+        // of that entry: bit = (set * ways + way) * wpl + word.
+        let fault = c.flip_footprint_bit(5);
+        assert_eq!((fault.set, fault.way, fault.word), (0, 0, 5));
+        assert!(fault.live);
+        let (_, entry) = c.iter_lines().next().expect("resident");
+        assert!(
+            entry.footprint.is_used(WordIndex::new(5)),
+            "bit set by flip"
+        );
+        // Flip it back: footprint returns to the original.
+        c.flip_footprint_bit(5);
+        let (_, entry) = c.iter_lines().next().expect("resident");
+        assert!(!entry.footprint.is_used(WordIndex::new(5)));
+        assert_eq!(c.footprint_bits(), 4 * 2 * 8);
+    }
+
+    #[test]
+    fn footprint_fault_in_empty_way_is_dead() {
+        let mut c = small_cache(2);
+        let fault = c.flip_footprint_bit(9); // set 0, way 1, word 1 — invalid
+        assert!(!fault.live);
+        assert!(fault.to_string().contains("dead entry"));
+    }
+
+    #[test]
+    fn repair_widens_to_full_line() {
+        let mut c = small_cache(2);
+        c.install(line_in_set0(0), Some(WordIndex::new(0)), false, false);
+        c.repair_footprint(0, 0);
+        let (_, entry) = c.iter_lines().next().expect("resident");
+        assert_eq!(entry.footprint.used_words(), 8);
+        // Repairing an invalid way is a no-op.
+        c.repair_footprint(0, 1);
     }
 
     #[test]

@@ -1,0 +1,185 @@
+//! Resilience accounting shared by every second-level organization.
+//!
+//! The distill cache (and any other [`SecondLevel`](crate::SecondLevel)
+//! implementation) can model soft errors in its metadata — footprints,
+//! word-organized tag entries, policy counters — protected by one of the
+//! [`ProtectionScheme`]s. This module holds the organization-independent
+//! vocabulary: the fault/detection counters, the structured degradation
+//! log, and the overall [`CacheHealth`] snapshot the experiment harness
+//! reads to build resilience reports.
+
+use std::fmt;
+
+/// How modeled metadata bits are protected against soft errors.
+///
+/// The model injects *single-bit* flips, so the classic coding results
+/// apply exactly: parity detects every flip but corrects none; SECDED
+/// corrects every flip; no protection means every flip lands silently.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum ProtectionScheme {
+    /// No protection: every fault corrupts state silently.
+    #[default]
+    Unprotected,
+    /// One parity bit per protected entry: single-bit flips are detected
+    /// but cannot be corrected — the affected state must be discarded.
+    Parity,
+    /// Single-error-correct, double-error-detect ECC: single-bit flips are
+    /// corrected in place.
+    Secded,
+}
+
+impl fmt::Display for ProtectionScheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ProtectionScheme::Unprotected => "none",
+            ProtectionScheme::Parity => "parity",
+            ProtectionScheme::Secded => "secded",
+        })
+    }
+}
+
+/// Counters for injected faults and their fates. The four fate counters
+/// (`corrected`, `detected`, `silent`, `masked`) partition `injected`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Bit flips injected into modeled state.
+    pub injected: u64,
+    /// Faults corrected in place by SECDED (state unchanged).
+    pub corrected: u64,
+    /// Faults detected but not correctable (parity): the affected state
+    /// was discarded and a degradation event logged.
+    pub detected: u64,
+    /// Faults that corrupted live state with no protection to notice.
+    pub silent: u64,
+    /// Faults that landed in dead state (e.g. an invalid tag entry) and
+    /// can never be observed — benign by construction.
+    pub masked: u64,
+    /// Invariant violations found by the online self-checker (these catch
+    /// silent corruption after the fact).
+    pub check_violations: u64,
+}
+
+impl FaultStats {
+    /// Fraction of *observable* faults (injected minus masked) that the
+    /// protection scheme handled, by correction or detection. 1.0 when
+    /// there were no observable faults.
+    pub fn coverage(&self) -> f64 {
+        let observable = self.injected - self.masked;
+        if observable == 0 {
+            1.0
+        } else {
+            (self.corrected + self.detected) as f64 / observable as f64
+        }
+    }
+}
+
+/// What the cache did about one detected corruption.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecoveryAction {
+    /// SECDED corrected the flipped bit; no state was lost.
+    Corrected,
+    /// The affected state was discarded (a WOC line invalidated, a policy
+    /// counter reset, a footprint widened to full) and execution continued.
+    Discarded,
+    /// The cache force-reverted to traditional (baseline) mode.
+    Degraded,
+}
+
+impl fmt::Display for RecoveryAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            RecoveryAction::Corrected => "corrected",
+            RecoveryAction::Discarded => "discarded",
+            RecoveryAction::Degraded => "degraded",
+        })
+    }
+}
+
+/// One structured entry in the degradation log: what was detected, when
+/// (in accesses since construction), and what the cache did about it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DegradationEvent {
+    /// The access count at which the corruption was detected.
+    pub access: u64,
+    /// Human-readable cause (a detected fault site or a typed invariant
+    /// violation rendered to text).
+    pub cause: String,
+    /// The recovery taken.
+    pub action: RecoveryAction,
+}
+
+impl fmt::Display for DegradationEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "access {}: {} [{}]",
+            self.access, self.cause, self.action
+        )
+    }
+}
+
+/// A cache's resilience state: fault accounting, the degradation log and
+/// whether the organization has fallen back to baseline-cache mode.
+#[derive(Clone, Debug, Default)]
+pub struct CacheHealth {
+    /// Fault and detection counters.
+    pub faults: FaultStats,
+    /// Structured log of every detected corruption and its recovery.
+    pub events: Vec<DegradationEvent>,
+    /// Whether the cache has permanently force-reverted to baseline mode.
+    pub degraded: bool,
+}
+
+impl CacheHealth {
+    /// Creates a healthy, fault-free record.
+    pub fn new() -> Self {
+        CacheHealth::default()
+    }
+
+    /// Records a detected-and-recovered corruption.
+    pub fn log(&mut self, access: u64, cause: impl Into<String>, action: RecoveryAction) {
+        self.events.push(DegradationEvent {
+            access,
+            cause: cause.into(),
+            action,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coverage_partitions_fates() {
+        let s = FaultStats {
+            injected: 10,
+            corrected: 3,
+            detected: 2,
+            silent: 1,
+            masked: 4,
+            check_violations: 0,
+        };
+        assert!((s.coverage() - 5.0 / 6.0).abs() < 1e-12);
+        assert_eq!(FaultStats::default().coverage(), 1.0);
+    }
+
+    #[test]
+    fn event_log_is_ordered_and_displayable() {
+        let mut h = CacheHealth::new();
+        h.log(10, "psel bit flip", RecoveryAction::Discarded);
+        h.log(20, "woc head-bit violation", RecoveryAction::Degraded);
+        assert_eq!(h.events.len(), 2);
+        assert!(h.events[0].access < h.events[1].access);
+        let text = h.events[1].to_string();
+        assert!(text.contains("access 20"));
+        assert!(text.contains("degraded"));
+    }
+
+    #[test]
+    fn scheme_display_names() {
+        assert_eq!(ProtectionScheme::Unprotected.to_string(), "none");
+        assert_eq!(ProtectionScheme::Parity.to_string(), "parity");
+        assert_eq!(ProtectionScheme::Secded.to_string(), "secded");
+    }
+}

@@ -297,7 +297,7 @@ mod tests {
         let target = Addr::new(0);
         h.access(Access::load(target, 8)); // word 0
         h.access(Access::load(target.offset(24), 8)); // word 3
-        // Evict the line from L1D by filling its set (2 ways).
+                                                      // Evict the line from L1D by filling its set (2 ways).
         h.access(Access::load(Addr::new(l1_sets * 64), 8));
         h.access(Access::load(Addr::new(2 * l1_sets * 64), 8));
         // The L2 line's footprint now includes words 0 and 3. Evict it from

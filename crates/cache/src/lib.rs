@@ -16,6 +16,9 @@
 //! * [`SecondLevel`] — the interface every L2 organization in this
 //!   workspace implements (baseline, distill, compressed, SFP), plus
 //!   [`BaselineL2`], the paper's 1 MB 8-way baseline;
+//! * [`CacheHealth`] and friends — the resilience vocabulary (fault
+//!   accounting, protection schemes, the structured degradation log) used
+//!   by organizations that model soft errors in their metadata;
 //! * [`Hierarchy`] — the L1I + L1D + L2 driver that routes footprints from
 //!   the L1D back to the L2 exactly as the paper's framework (Section 4.1).
 //!
@@ -38,15 +41,17 @@
 mod cache;
 mod config;
 mod entry;
+mod health;
 mod hierarchy;
 mod second_level;
 mod sectored;
 mod set;
 mod stats;
 
-pub use cache::{EvictedLine, SetAssocCache};
+pub use cache::{EvictedLine, FootprintFault, SetAssocCache};
 pub use config::CacheConfig;
 pub use entry::TagEntry;
+pub use health::{CacheHealth, DegradationEvent, FaultStats, ProtectionScheme, RecoveryAction};
 pub use hierarchy::{AccessTrace, Hierarchy, HierarchyStats};
 pub use second_level::{BaselineL2, L2Outcome, L2Request, L2Response, SecondLevel};
 pub use sectored::{EvictedL1Line, L1Lookup, SectoredCache};

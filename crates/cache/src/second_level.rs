@@ -121,6 +121,13 @@ pub trait SecondLevel {
     fn name(&self) -> &str {
         "l2"
     }
+
+    /// Resilience state, for organizations that model metadata soft
+    /// errors (fault accounting, degradation log, degraded flag). `None`
+    /// for organizations without a fault model — the default.
+    fn health(&self) -> Option<&crate::CacheHealth> {
+        None
+    }
 }
 
 /// The paper's baseline second-level cache: a traditional set-associative
@@ -273,7 +280,7 @@ mod tests {
     }
 
     #[test]
-    fn eviction_histograms_exclude_instruction_lines(){
+    fn eviction_histograms_exclude_instruction_lines() {
         let mut l2 = tiny();
         l2.access(L2Request::instr(LineAddr::new(0)));
         l2.access(L2Request::data(LineAddr::new(4), WordIndex::new(0), false));

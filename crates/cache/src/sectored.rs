@@ -206,7 +206,11 @@ impl SectoredCache {
 fn span_mask(first: WordIndex, last: WordIndex) -> u16 {
     debug_assert!(first <= last);
     let width = last.get() - first.get() + 1;
-    let ones = if width >= 16 { u16::MAX } else { (1u16 << width) - 1 };
+    let ones = if width >= 16 {
+        u16::MAX
+    } else {
+        (1u16 << width) - 1
+    };
     ones << first.get()
 }
 
@@ -274,7 +278,11 @@ mod tests {
     fn lru_respects_access_order() {
         let mut c = l1();
         let s = c.config().num_sets();
-        let (a, b, d) = (LineAddr::new(1), LineAddr::new(1 + s), LineAddr::new(1 + 2 * s));
+        let (a, b, d) = (
+            LineAddr::new(1),
+            LineAddr::new(1 + s),
+            LineAddr::new(1 + 2 * s),
+        );
         c.fill(a, Footprint::full(8));
         c.fill(b, Footprint::full(8));
         c.access(a, w(0), w(0), false); // b becomes LRU

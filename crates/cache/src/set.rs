@@ -36,9 +36,7 @@ impl CacheSet {
 
     /// The way holding `tag`, if present and valid.
     pub fn find(&self, tag: u64) -> Option<usize> {
-        self.entries
-            .iter()
-            .position(|e| e.valid && e.tag == tag)
+        self.entries.iter().position(|e| e.valid && e.tag == tag)
     }
 
     /// The recency position of `way` (0 = MRU).

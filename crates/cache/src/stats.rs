@@ -10,7 +10,7 @@ use std::fmt;
 /// The four outcome counters mirror Section 5.2's taxonomy. A traditional
 /// cache only ever reports `loc_hits` and `line_misses`; the distill cache
 /// uses all four.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct L2Stats {
     /// Total demand accesses (L1 misses plus L1 sector misses).
     pub accesses: u64,

@@ -1,37 +1,50 @@
-//! Property tests for the cache substrate.
+//! Property tests for the cache substrate, driven by a deterministic
+//! seeded generator (`SimRng`) so every run explores the same cases and
+//! failures reproduce exactly.
 
 use ldis_cache::{CacheConfig, L1Lookup, SectoredCache, SetAssocCache};
-use ldis_mem::{Footprint, LineAddr, LineGeometry, WordIndex};
-use proptest::prelude::*;
+use ldis_mem::{Footprint, LineAddr, LineGeometry, SimRng, WordIndex};
 
 fn small_cfg() -> CacheConfig {
     CacheConfig::with_sets(8, 4, LineGeometry::default())
 }
 
-proptest! {
-    /// Occupancy never exceeds capacity, and a line reported resident is
-    /// found again until something in its set displaces it.
-    #[test]
-    fn occupancy_bounded_and_lookup_consistent(
-        lines in prop::collection::vec(0u64..64, 1..300),
-    ) {
+/// Occupancy never exceeds capacity, and a line reported resident is
+/// found again until something in its set displaces it.
+#[test]
+fn occupancy_bounded_and_lookup_consistent() {
+    let mut rng = SimRng::new(0xcac1);
+    for case in 0..100 {
         let mut c = SetAssocCache::new(small_cfg());
-        for &l in &lines {
-            let line = LineAddr::new(l);
+        let count = 1 + rng.index(299);
+        for _ in 0..count {
+            let line = LineAddr::new(rng.range(64));
             if !c.access(line, Some(WordIndex::new(0)), false) {
                 c.install(line, Some(WordIndex::new(0)), false, false);
             }
-            prop_assert!(c.contains(line), "just-installed line must be resident");
-            prop_assert_eq!(c.position_of(line), Some(0), "just-touched line is MRU");
+            assert!(
+                c.contains(line),
+                "case {case}: just-installed line resident"
+            );
+            assert_eq!(
+                c.position_of(line),
+                Some(0),
+                "case {case}: just-touched line is MRU"
+            );
         }
-        prop_assert!(c.occupancy() <= small_cfg().num_lines());
-        prop_assert_eq!(c.iter_lines().count() as u64, c.occupancy());
+        assert!(c.occupancy() <= small_cfg().num_lines());
+        assert_eq!(c.iter_lines().count() as u64, c.occupancy());
     }
+}
 
-    /// LRU: touching a line always protects it from the very next eviction
-    /// in its set.
-    #[test]
-    fn touched_line_survives_next_eviction(fill in 0u64..8, extra in 8u64..64) {
+/// LRU: touching a line always protects it from the very next eviction
+/// in its set.
+#[test]
+fn touched_line_survives_next_eviction() {
+    let mut rng = SimRng::new(0xcac2);
+    for case in 0..200 {
+        let fill = rng.range(8);
+        let extra = 8 + rng.range(56);
         let mut c = SetAssocCache::new(small_cfg());
         // Fill one set (set 0: lines ≡ 0 mod 8) with 4 lines.
         for i in 0..4u64 {
@@ -44,48 +57,67 @@ proptest! {
         let newcomer = LineAddr::new((extra % 56 + 8) * 8);
         if !c.contains(newcomer) {
             let evicted = c.install(newcomer, None, false, false);
-            prop_assert!(evicted.is_some());
-            prop_assert_ne!(evicted.unwrap().line, protect);
+            let evicted = evicted.expect("full set must evict");
+            assert_ne!(evicted.line, protect, "case {case}");
         }
-        prop_assert!(c.contains(protect));
+        assert!(c.contains(protect), "case {case}");
     }
+}
 
-    /// The eviction footprint equals the union of all touches and merges.
-    #[test]
-    fn eviction_footprint_is_union(
-        words in prop::collection::vec(0u8..8, 1..20),
-        merge_bits in 0u16..256,
-    ) {
+/// The eviction footprint equals the union of all touches and merges.
+#[test]
+fn eviction_footprint_is_union() {
+    let mut rng = SimRng::new(0xcac3);
+    for case in 0..200 {
         let mut c = SetAssocCache::new(CacheConfig::with_sets(2, 1, LineGeometry::default()));
         let line = LineAddr::new(0);
         c.install(line, None, false, false);
         let mut expect = Footprint::empty();
-        for &w in &words {
-            c.access(line, Some(WordIndex::new(w)), false);
-            expect.touch(WordIndex::new(w));
+        let touches = 1 + rng.index(19);
+        for _ in 0..touches {
+            let w = WordIndex::new(rng.range(8) as u8);
+            c.access(line, Some(w), false);
+            expect.touch(w);
         }
+        let merge_bits = rng.range(256) as u16;
         c.merge_footprint(line, Footprint::from_bits(merge_bits), false);
         expect.merge(Footprint::from_bits(merge_bits));
-        let ev = c.install(LineAddr::new(2), None, false, false).expect("1-way evicts");
-        prop_assert_eq!(ev.footprint, expect);
+        let ev = c
+            .install(LineAddr::new(2), None, false, false)
+            .expect("1-way evicts");
+        assert_eq!(ev.footprint, expect, "case {case}");
     }
+}
 
-    /// Sectored cache: a word is valid iff it was filled; footprints track
-    /// only touched words.
-    #[test]
-    fn sectored_valid_bits_track_fills(valid in 1u16..256, probe in 0u8..8) {
+/// Sectored cache: a word is valid iff it was filled; footprints track
+/// only touched words.
+#[test]
+fn sectored_valid_bits_track_fills() {
+    let mut rng = SimRng::new(0xcac4);
+    for case in 0..500 {
+        let valid = 1 + rng.range(255) as u16;
+        let probe = rng.range(8) as u8;
         let mut l1 = SectoredCache::new(CacheConfig::with_sets(4, 2, LineGeometry::default()));
         let line = LineAddr::new(1);
         let fp = Footprint::from_bits(valid);
         l1.fill(line, fp);
         let w = WordIndex::new(probe);
-        let expected = if fp.is_used(w) { L1Lookup::Hit } else { L1Lookup::SectorMiss };
-        prop_assert_eq!(l1.lookup(line, w, w), expected);
+        let expected = if fp.is_used(w) {
+            L1Lookup::Hit
+        } else {
+            L1Lookup::SectorMiss
+        };
+        assert_eq!(l1.lookup(line, w, w), expected, "case {case}");
     }
+}
 
-    /// Invalidate returns exactly what was accumulated and empties the slot.
-    #[test]
-    fn invalidate_roundtrip(touch in 1u16..256, dirty in any::<bool>()) {
+/// Invalidate returns exactly what was accumulated and empties the slot.
+#[test]
+fn invalidate_roundtrip() {
+    let mut rng = SimRng::new(0xcac5);
+    for case in 0..500 {
+        let touch = 1 + rng.range(255) as u16;
+        let dirty = rng.chance(0.5);
         let mut l1 = SectoredCache::new(CacheConfig::with_sets(4, 2, LineGeometry::default()));
         let line = LineAddr::new(3);
         l1.fill(line, Footprint::full(8));
@@ -93,8 +125,8 @@ proptest! {
             l1.access(line, w, w, dirty);
         }
         let ev = l1.invalidate(line).expect("resident");
-        prop_assert_eq!(ev.footprint.bits(), touch);
-        prop_assert_eq!(ev.dirty, dirty);
-        prop_assert!(l1.invalidate(line).is_none());
+        assert_eq!(ev.footprint.bits(), touch, "case {case}");
+        assert_eq!(ev.dirty, dirty, "case {case}");
+        assert!(l1.invalidate(line).is_none(), "case {case}");
     }
 }

@@ -8,9 +8,7 @@
 //! the paper's CMPR configuration (Section 8.2).
 
 use crate::ValueSizeModel;
-use ldis_cache::{
-    CompulsoryTracker, L2Outcome, L2Request, L2Response, L2Stats, SecondLevel,
-};
+use ldis_cache::{CompulsoryTracker, L2Outcome, L2Request, L2Response, L2Stats, SecondLevel};
 use ldis_mem::{Footprint, LineAddr, LineGeometry};
 use std::collections::VecDeque;
 
@@ -121,7 +119,10 @@ impl CmprCache {
 
     fn set_and_tag(&self, line: LineAddr) -> (usize, u64) {
         let sets = self.cfg.num_sets();
-        ((line.raw() & (sets - 1)) as usize, line.raw() >> sets.trailing_zeros())
+        (
+            (line.raw() & (sets - 1)) as usize,
+            line.raw() >> sets.trailing_zeros(),
+        )
     }
 
     fn segments_for(&self, line: LineAddr) -> u32 {
@@ -171,7 +172,9 @@ impl SecondLevel for CmprCache {
             if used <= budget && set.len() <= max_tags {
                 break;
             }
-            let victim = self.sets[set_idx].pop_back().expect("set cannot be empty here");
+            let victim = self.sets[set_idx]
+                .pop_back()
+                .expect("set cannot be empty here");
             self.stats.evictions += 1;
             if victim.dirty {
                 self.stats.writebacks += 1;

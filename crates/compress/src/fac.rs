@@ -321,7 +321,10 @@ mod tests {
         // 8 incompressible words: 68 B → 16 slots capped at 8.
         assert_eq!(wi.slots_for(LineAddr::new(0), Footprint::full(8)), 8);
         // 3 incompressible words: ~25.5 B → 4 slots (same as uncompressed).
-        assert_eq!(wi.slots_for(LineAddr::new(0), Footprint::from_bits(0b111)), 4);
+        assert_eq!(
+            wi.slots_for(LineAddr::new(0), Footprint::from_bits(0b111)),
+            4
+        );
     }
 
     #[test]
@@ -387,7 +390,13 @@ mod tests {
             if bits == 0 {
                 continue;
             }
-            w.install(set, 1000 + i, LineAddr::new(1000 + i), Footprint::from_bits(bits), rng.chance(0.3));
+            w.install(
+                set,
+                1000 + i,
+                LineAddr::new(1000 + i),
+                Footprint::from_bits(bits),
+                rng.chance(0.3),
+            );
             w.check_invariants(set)
                 .unwrap_or_else(|e| panic!("iteration {i}: {e}"));
         }

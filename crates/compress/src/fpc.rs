@@ -196,10 +196,16 @@ mod tests {
         assert_eq!(SizeCategory::of(bytes, 64), SizeCategory::Full);
         // Alternating zero/narrow: 8*2 + 8*18 = 160 bits = 20 B → one-half.
         let mixed: Vec<u32> = (0..16).map(|i| if i % 2 == 0 { 0 } else { 7 }).collect();
-        assert_eq!(SizeCategory::of(compressed_bytes(&mixed), 64), SizeCategory::OneHalf);
+        assert_eq!(
+            SizeCategory::of(compressed_bytes(&mixed), 64),
+            SizeCategory::OneHalf
+        );
         // 12 zeros + 4 narrow: 24 + 72 = 96 bits = 12 B → one-fourth.
         let sparse: Vec<u32> = (0..16).map(|i| if i < 12 { 0 } else { 7 }).collect();
-        assert_eq!(SizeCategory::of(compressed_bytes(&sparse), 64), SizeCategory::OneFourth);
+        assert_eq!(
+            SizeCategory::of(compressed_bytes(&sparse), 64),
+            SizeCategory::OneFourth
+        );
     }
 
     #[test]

@@ -65,9 +65,7 @@ impl CostModel {
         EnergyBreakdown {
             tags_mj: stats.accesses as f64 * self.loc_tag_nj * nj_to_mj,
             data_mj: stats.hits() as f64 * self.data_nj * nj_to_mj,
-            dram_mj: (stats.demand_misses() + stats.writebacks) as f64
-                * self.dram_nj
-                * nj_to_mj,
+            dram_mj: (stats.demand_misses() + stats.writebacks) as f64 * self.dram_nj * nj_to_mj,
         }
     }
 
@@ -80,9 +78,7 @@ impl CostModel {
         EnergyBreakdown {
             tags_mj: stats.accesses as f64 * (self.loc_tag_nj + self.woc_tag_nj) * nj_to_mj,
             data_mj: stats.hits() as f64 * self.data_nj * nj_to_mj,
-            dram_mj: (stats.demand_misses() + stats.writebacks) as f64
-                * self.dram_nj
-                * nj_to_mj,
+            dram_mj: (stats.demand_misses() + stats.writebacks) as f64 * self.dram_nj * nj_to_mj,
         }
     }
 }

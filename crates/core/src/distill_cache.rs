@@ -1,10 +1,15 @@
 //! The distill cache: LOC + WOC with line distillation (Sections 4–5).
 
-use crate::{DistillConfig, MedianTracker, Reverter, ThresholdPolicy, Woc, WordStore};
-use ldis_cache::{
-    EvictedLine, L2Outcome, L2Request, L2Response, L2Stats, SecondLevel, SetAssocCache,
+use crate::fault::Resilience;
+use crate::{
+    DistillConfig, LdisError, MedianTracker, ResilienceConfig, Reverter, ThresholdPolicy, Woc,
+    WordStore,
 };
 use ldis_cache::CompulsoryTracker;
+use ldis_cache::{
+    CacheHealth, EvictedLine, L2Outcome, L2Request, L2Response, L2Stats, ProtectionScheme,
+    RecoveryAction, SecondLevel, SetAssocCache,
+};
 use ldis_mem::{Footprint, LineAddr, LineGeometry};
 
 /// The paper's distill cache.
@@ -41,6 +46,7 @@ pub struct DistillCache<W = Woc> {
     woc: W,
     median: MedianTracker,
     reverter: Option<Reverter>,
+    resilience: Option<Resilience>,
     stats: L2Stats,
     compulsory: CompulsoryTracker,
     label: String,
@@ -92,6 +98,7 @@ impl<W: WordStore> DistillCache<W> {
             reverter: cfg
                 .reverter()
                 .map(|rc| Reverter::new(rc, cfg.num_sets(), cfg.total_ways())),
+            resilience: None,
             stats: L2Stats::new(wpl, cfg.loc_ways()),
             compulsory: CompulsoryTracker::new(),
             label: label.to_owned(),
@@ -137,8 +144,29 @@ impl<W: WordStore> DistillCache<W> {
         }
     }
 
-    /// Whether line distillation is active for `set` right now.
+    /// Enables the fault-injection + self-check subsystem. With the
+    /// default config (rate 0) the simulation stays bit-identical while
+    /// the invariant checker runs as a pure self-checking harness.
+    #[must_use]
+    pub fn with_resilience(mut self, rcfg: ResilienceConfig) -> Self {
+        self.resilience = Some(Resilience::new(rcfg));
+        self
+    }
+
+    /// The resilience record (fault accounting, degradation log, degraded
+    /// flag), when the subsystem is enabled.
+    pub fn health(&self) -> Option<&CacheHealth> {
+        self.resilience.as_ref().map(|r| &r.health)
+    }
+
+    /// Whether line distillation is active for `set` right now. Once the
+    /// cache has degraded after detected corruption, distillation is off
+    /// everywhere — including leader sets — so every set behaves like the
+    /// traditional baseline.
     pub fn ldis_active_for(&self, set: usize) -> bool {
+        if self.resilience.as_ref().is_some_and(|r| r.health.degraded) {
+            return false;
+        }
         match &self.reverter {
             None => true,
             Some(r) => r.is_leader(set) || r.ldis_enabled(),
@@ -237,19 +265,200 @@ impl<W: WordStore> DistillCache<W> {
             }
         }
     }
+
+    /// Runs the fault model before servicing an access: injects this
+    /// access's faults and, at the configured cadence, sweeps the
+    /// invariant checker. The subsystem is temporarily taken out of `self`
+    /// so injection can mutate the cache structures it targets.
+    fn pre_access_resilience(&mut self) {
+        let Some(mut res) = self.resilience.take() else {
+            return;
+        };
+        for _ in 0..res.draw_faults() {
+            self.inject_fault(&mut res);
+        }
+        if res.cfg.check_interval > 0 && self.stats.accesses.is_multiple_of(res.cfg.check_interval)
+        {
+            self.self_check(&mut res);
+        }
+        self.resilience = Some(res);
+    }
+
+    /// Injects one single-bit flip at a uniformly random position in the
+    /// modeled metadata, weighting each structure by its physical bit
+    /// count, then applies the protection scheme's semantics: SECDED
+    /// corrects in place, parity detects and discards the affected state,
+    /// no protection lets the corruption land silently. Flips in dead
+    /// state (invalid entries) are masked and reverted.
+    fn inject_fault(&mut self, res: &mut Resilience) {
+        let woc_bits = self.woc.tag_store_bits();
+        let loc_bits = self.loc.footprint_bits();
+        let psel_bits = self.reverter.as_ref().map_or(0, |r| r.psel_bits() as u64);
+        let median_bits = self.median.counter_bits();
+        let total = woc_bits + loc_bits + psel_bits + median_bits;
+        if total == 0 {
+            return;
+        }
+        res.health.faults.injected += 1;
+        let bit = res.rng.range(total);
+        if bit < woc_bits {
+            let Some(fault) = self.woc.flip_tag_bit(bit) else {
+                res.health.faults.masked += 1;
+                return;
+            };
+            if !fault.live {
+                self.woc.flip_tag_bit(bit);
+                res.health.faults.masked += 1;
+                return;
+            }
+            match res.cfg.protection {
+                ProtectionScheme::Secded => {
+                    self.woc.flip_tag_bit(bit);
+                    res.health.faults.corrected += 1;
+                }
+                ProtectionScheme::Parity => {
+                    res.health.faults.detected += 1;
+                    self.woc.clear_way(fault.set, fault.way);
+                    self.record_detected(res, fault.to_string());
+                }
+                ProtectionScheme::Unprotected => res.health.faults.silent += 1,
+            }
+        } else if bit < woc_bits + loc_bits {
+            let fbit = bit - woc_bits;
+            let fault = self.loc.flip_footprint_bit(fbit);
+            if !fault.live {
+                self.loc.flip_footprint_bit(fbit);
+                res.health.faults.masked += 1;
+                return;
+            }
+            match res.cfg.protection {
+                ProtectionScheme::Secded => {
+                    self.loc.flip_footprint_bit(fbit);
+                    res.health.faults.corrected += 1;
+                }
+                ProtectionScheme::Parity => {
+                    res.health.faults.detected += 1;
+                    // A footprint can't be trusted once corrupt: widen it
+                    // to the full line so no used word is ever dropped.
+                    self.loc.repair_footprint(fault.set, fault.way);
+                    self.record_detected(res, fault.to_string());
+                }
+                ProtectionScheme::Unprotected => res.health.faults.silent += 1,
+            }
+        } else if bit < woc_bits + loc_bits + psel_bits {
+            let pbit = (bit - woc_bits - loc_bits) as u32;
+            let r = self
+                .reverter
+                .as_mut()
+                .expect("psel bits modeled only with a reverter");
+            r.flip_psel_bit(pbit);
+            match res.cfg.protection {
+                ProtectionScheme::Secded => {
+                    r.flip_psel_bit(pbit);
+                    res.health.faults.corrected += 1;
+                }
+                ProtectionScheme::Parity => {
+                    res.health.faults.detected += 1;
+                    r.reset_psel();
+                    self.record_detected(res, format!("reverter psel bit {pbit} flip"));
+                }
+                ProtectionScheme::Unprotected => res.health.faults.silent += 1,
+            }
+        } else {
+            let mbit = bit - woc_bits - loc_bits - psel_bits;
+            self.median.flip_counter_bit(mbit);
+            match res.cfg.protection {
+                ProtectionScheme::Secded => {
+                    self.median.flip_counter_bit(mbit);
+                    res.health.faults.corrected += 1;
+                }
+                ProtectionScheme::Parity => {
+                    res.health.faults.detected += 1;
+                    self.median.reset_window();
+                    self.record_detected(res, format!("median counter bit {mbit} flip"));
+                }
+                ProtectionScheme::Unprotected => res.health.faults.silent += 1,
+            }
+        }
+    }
+
+    /// One invariant-checker sweep: one WOC set (rotating so each sweep
+    /// stays O(ways × words)), the PSEL bounds, the median range and the
+    /// outcome-counter bookkeeping. Violations are scrubbed — the set
+    /// cleared, the counter reset — logged, and counted toward the
+    /// degradation trigger.
+    fn self_check(&mut self, res: &mut Resilience) {
+        let num_sets = self.cfg.num_sets();
+        let set = ((self.stats.accesses / res.cfg.check_interval) % num_sets) as usize;
+        let mut violations: Vec<LdisError> = Vec::new();
+        if let Err(e) = self.woc.check_invariants(set) {
+            self.woc.clear_set(set);
+            violations.push(e);
+        }
+        if let Some(r) = self.reverter.as_mut() {
+            if let Err(e) = r.check_invariants() {
+                r.reset_psel();
+                violations.push(e);
+            }
+        }
+        if let Err(e) = self.median.check_invariants() {
+            self.median.reset_window();
+            violations.push(e);
+        }
+        let outcomes = self.stats.loc_hits
+            + self.stats.woc_hits
+            + self.stats.hole_misses
+            + self.stats.line_misses;
+        // The sweep runs with the current access counted but its outcome
+        // not yet recorded, so the counters must sum to accesses - 1.
+        let completed = self.stats.accesses - 1;
+        if outcomes != completed {
+            violations.push(LdisError::StatsMismatch {
+                outcomes,
+                accesses: completed,
+            });
+        }
+        for e in violations {
+            res.health.faults.check_violations += 1;
+            self.record_detected(res, e.to_string());
+        }
+    }
+
+    /// The graceful-degradation policy: every detected corruption is
+    /// logged; once `degrade_after` of them have accumulated, the cache
+    /// force-reverts to traditional mode (sticky) and keeps serving.
+    fn record_detected(&mut self, res: &mut Resilience, cause: String) {
+        res.recoveries += 1;
+        let degrade_now = !res.health.degraded && res.recoveries >= res.cfg.degrade_after;
+        let action = if degrade_now {
+            RecoveryAction::Degraded
+        } else {
+            RecoveryAction::Discarded
+        };
+        res.health.log(self.stats.accesses, cause, action);
+        if degrade_now {
+            res.health.degraded = true;
+            if let Some(r) = self.reverter.as_mut() {
+                r.force_enabled(false);
+            }
+        }
+    }
 }
 
 impl<W: WordStore> SecondLevel for DistillCache<W> {
     fn access(&mut self, req: L2Request) -> L2Response {
         self.stats.accesses += 1;
+        self.pre_access_resilience();
         let (set, tag) = self.set_and_tag(req.line);
         let full = Footprint::full(self.cfg.geometry().words_per_line());
         let word = if req.is_instr { None } else { Some(req.word) };
 
         // 1. LOC lookup — serviced like a traditional cache.
         if self.loc.access(req.line, word, req.write) {
+            // Injected tag faults can resurrect a stale WOC copy of a
+            // LOC-resident line, so exclusivity only holds fault-free.
             debug_assert!(
-                self.woc.lookup(set, tag).is_none(),
+                self.resilience.is_some() || self.woc.lookup(set, tag).is_none(),
                 "a line must never be in both LOC and WOC"
             );
             self.stats.loc_hits += 1;
@@ -329,6 +538,10 @@ impl<W: WordStore> SecondLevel for DistillCache<W> {
 
     fn name(&self) -> &str {
         &self.label
+    }
+
+    fn health(&self) -> Option<&CacheHealth> {
+        DistillCache::health(self)
     }
 }
 
@@ -435,7 +648,11 @@ mod tests {
     #[test]
     fn dirty_data_survives_distillation_and_writes_back() {
         let mut dc = tiny(ThresholdPolicy::All);
-        dc.access(L2Request::data(LineAddr::new(set0(0)), WordIndex::new(2), true));
+        dc.access(L2Request::data(
+            LineAddr::new(set0(0)),
+            WordIndex::new(2),
+            true,
+        ));
         for i in 1..=3 {
             dc.access(req(set0(i), 0));
         }
@@ -451,7 +668,11 @@ mod tests {
     #[test]
     fn hole_miss_merges_dirty_into_refetched_line() {
         let mut dc = tiny(ThresholdPolicy::All);
-        dc.access(L2Request::data(LineAddr::new(set0(0)), WordIndex::new(0), true));
+        dc.access(L2Request::data(
+            LineAddr::new(set0(0)),
+            WordIndex::new(0),
+            true,
+        ));
         for i in 1..=3 {
             dc.access(req(set0(i), 0));
         }
@@ -478,7 +699,12 @@ mod tests {
             })
             .with_seed(7);
         let mut dc = DistillCache::new(cfg);
-        assert!(dc.reverter().unwrap().ldis_enabled());
+        let reverter = |dc: &DistillCache| -> bool {
+            dc.reverter()
+                .expect("configured with a reverter")
+                .ldis_enabled()
+        };
+        assert!(reverter(&dc));
         // Touch word 0 of lines 0..4 (set 0), then come back for word 5 —
         // every return is a hole miss in the distill cache, while the
         // 4-way ATD would have held all four lines (hits).
@@ -489,14 +715,14 @@ mod tests {
             for i in 0..4u64 {
                 dc.access(req(set0(i), 5));
             }
-            if !dc.reverter().unwrap().ldis_enabled() {
+            if !reverter(&dc) {
                 assert!(round >= 1);
                 return;
             }
         }
         panic!(
             "reverter never disabled LDIS (psel = {})",
-            dc.reverter().unwrap().psel()
+            dc.reverter().expect("configured with a reverter").psel()
         );
     }
 
@@ -548,8 +774,11 @@ mod tests {
             dc.access(req(set0(i), 0));
         }
         // Line 0 was distilled with 3 used words.
-        let hit = dc.woc().lookup(0, dc.loc().config().tag(LineAddr::new(set0(0))));
-        assert_eq!(hit.unwrap().valid_words.used_words(), 3);
+        let hit = dc
+            .woc()
+            .lookup(0, dc.loc().config().tag(LineAddr::new(set0(0))))
+            .expect("line was distilled into the WOC");
+        assert_eq!(hit.valid_words.used_words(), 3);
         // Dirty eviction landing on the WOC copy marks it dirty.
         dc.on_l1d_evict(LineAddr::new(set0(0)), Footprint::from_bits(0b1), true);
         assert_eq!(dc.stats().writebacks, 0);
@@ -559,8 +788,130 @@ mod tests {
     }
 
     #[test]
+    fn resilience_rate_zero_is_bit_identical() {
+        let mut plain = tiny(ThresholdPolicy::All);
+        let mut checked = tiny(ThresholdPolicy::All)
+            .with_resilience(ResilienceConfig::default().with_check_interval(16));
+        for i in 0..5000u64 {
+            let r = req(i % 97 * 4, (i % 8) as u8);
+            assert_eq!(plain.access(r), checked.access(r));
+        }
+        assert_eq!(plain.stats(), checked.stats());
+        let health = checked.health().expect("subsystem enabled");
+        assert_eq!(health.faults.injected, 0);
+        assert_eq!(health.faults.check_violations, 0);
+        assert!(!health.degraded);
+        assert!(health.events.is_empty());
+    }
+
+    #[test]
+    fn secded_corrects_every_observable_fault() {
+        let rcfg = ResilienceConfig::default()
+            .with_fault_rate(0.5)
+            .with_protection(ldis_cache::ProtectionScheme::Secded)
+            .with_seed(3);
+        let mut plain = tiny(ThresholdPolicy::All);
+        let mut protected = tiny(ThresholdPolicy::All).with_resilience(rcfg);
+        for i in 0..5000u64 {
+            let r = req(i % 97 * 4, (i % 8) as u8);
+            assert_eq!(plain.access(r), protected.access(r), "access {i}");
+        }
+        let health = protected.health().expect("subsystem enabled");
+        assert!(health.faults.injected > 2000);
+        assert_eq!(
+            health.faults.corrected + health.faults.masked,
+            health.faults.injected,
+            "every fault is corrected or dead under SECDED"
+        );
+        assert_eq!(health.faults.coverage(), 1.0);
+        assert!(!health.degraded, "no corruption ever lands");
+    }
+
+    #[test]
+    fn parity_detects_then_degrades_and_keeps_serving() {
+        let rcfg = ResilienceConfig::default()
+            .with_fault_rate(0.1)
+            .with_protection(ldis_cache::ProtectionScheme::Parity)
+            .with_seed(5)
+            .with_degrade_after(3);
+        let mut dc = tiny(ThresholdPolicy::All).with_resilience(rcfg);
+        for i in 0..5000u64 {
+            dc.access(req(i % 97 * 4, (i % 8) as u8));
+        }
+        let health = dc.health().expect("subsystem enabled");
+        assert_eq!(health.faults.silent, 0, "parity never misses a flip");
+        assert!(health.faults.detected >= 3);
+        assert!(health.degraded, "threshold of 3 detections was crossed");
+        assert_eq!(
+            health.events[2].action,
+            RecoveryAction::Degraded,
+            "the third detection triggers force-reversion"
+        );
+        assert!(!dc.ldis_active_for(0), "degraded: LDIS off even for set 0");
+        assert_eq!(dc.stats().accesses, 5000, "the cache kept serving");
+    }
+
+    #[test]
+    fn unprotected_faults_land_silently_and_checker_catches_some() {
+        let rcfg = ResilienceConfig::default()
+            .with_fault_rate(0.2)
+            .with_seed(11)
+            .with_check_interval(64)
+            .with_degrade_after(u64::MAX); // never degrade: observe scrubbing
+        let mut dc = tiny(ThresholdPolicy::All).with_resilience(rcfg);
+        for i in 0..20_000u64 {
+            dc.access(req(i % 97 * 4, (i % 8) as u8));
+        }
+        let health = dc.health().expect("subsystem enabled");
+        assert!(health.faults.silent > 1000);
+        assert_eq!(
+            health.faults.detected, 0,
+            "no parity to detect at injection"
+        );
+        assert!(
+            health.faults.check_violations > 0,
+            "the online checker must catch structural damage"
+        );
+        assert!(!health.degraded);
+        for ev in &health.events {
+            assert_eq!(ev.action, RecoveryAction::Discarded);
+        }
+    }
+
+    #[test]
+    fn degraded_cache_behaves_like_traditional_everywhere() {
+        let cfg = DistillConfig::new(4 * 4 * 64, 4, 1, LineGeometry::default())
+            .with_reverter(crate::ReverterConfig {
+                leader_sets: 1,
+                ..crate::ReverterConfig::default()
+            })
+            .with_seed(7);
+        let rcfg = ResilienceConfig::default()
+            .with_fault_rate(0.5)
+            .with_protection(ldis_cache::ProtectionScheme::Parity)
+            .with_seed(2);
+        let mut dc = DistillCache::new(cfg).with_resilience(rcfg);
+        for i in 0..200u64 {
+            dc.access(req(i * 4, 0));
+        }
+        let health = dc.health().expect("subsystem enabled");
+        assert!(health.degraded);
+        assert!(
+            !dc.ldis_active_for(0),
+            "set 0 is a leader, yet degradation overrides leadership"
+        );
+        assert!(
+            !dc.reverter().expect("configured").ldis_enabled(),
+            "degradation force-disables via the reverter"
+        );
+    }
+
+    #[test]
     fn ldis_base_label_and_default_label() {
-        assert_eq!(DistillCache::new(DistillConfig::ldis_base()).name(), "LDIS-Base");
+        assert_eq!(
+            DistillCache::new(DistillConfig::ldis_base()).name(),
+            "LDIS-Base"
+        );
         assert_eq!(
             DistillCache::new(DistillConfig::hpca2007_default()).name(),
             "LDIS-MT-RC"

@@ -20,7 +20,11 @@
 //!   power-of-two placement and random replacement (Section 5.1–5.3);
 //! * [`MedianTracker`] — median-threshold filtering (Section 5.4);
 //! * [`Reverter`] — the set-dueling reverter circuit (Section 5.5);
-//! * [`StorageOverhead`] — the Table 3 storage model.
+//! * [`StorageOverhead`] — the Table 3 storage model;
+//! * [`ResilienceConfig`] — the soft-error fault model: deterministic
+//!   seeded bit flips in the metadata (WOC tags, footprints, PSEL, median
+//!   counters), parity/SECDED protection accounting, an online invariant
+//!   checker ([`LdisError`]) and graceful degradation to traditional mode.
 //!
 //! # Example
 //!
@@ -46,6 +50,8 @@
 mod config;
 mod costs;
 mod distill_cache;
+mod error;
+mod fault;
 mod median;
 mod overhead;
 mod reverter;
@@ -55,8 +61,10 @@ mod word_store;
 pub use config::{DistillConfig, ReverterConfig, ThresholdPolicy, WocReplacement};
 pub use costs::{CostModel, EnergyBreakdown};
 pub use distill_cache::DistillCache;
+pub use error::LdisError;
+pub use fault::ResilienceConfig;
 pub use median::MedianTracker;
 pub use overhead::{StorageOverhead, ATD_ENTRY_BYTES, BASELINE_TAG_BYTES, PHYSICAL_ADDR_BITS};
 pub use reverter::Reverter;
-pub use woc::{Woc, WocEviction, WocLineHit};
+pub use woc::{Woc, WocEviction, WocFault, WocField, WocLineHit, WOC_ENTRY_BITS};
 pub use word_store::WordStore;

@@ -135,7 +135,10 @@ mod tests {
     #[test]
     fn reproduces_table3_exactly() {
         let o = paper_overhead();
-        assert_eq!(o.woc_entry_bits, 29, "valid+dirty+head+23-bit tag+3-bit word-id");
+        assert_eq!(
+            o.woc_entry_bits, 29,
+            "valid+dirty+head+23-bit tag+3-bit word-id"
+        );
         assert_eq!(o.woc_entries, 32 * 1024);
         assert_eq!(o.woc_tag_bytes, 116 << 10);
         assert_eq!(o.loc_entries, 16 * 1024);
@@ -146,10 +149,16 @@ mod tests {
         assert_eq!(o.atd_entries, 256);
         assert_eq!(o.reverter_bytes, 1 << 10);
         // 116 kB + 16 kB + 256 B + 18 B + 1 kB
-        assert_eq!(o.total_bytes, (116 << 10) + (16 << 10) + 256 + 18 + (1 << 10));
+        assert_eq!(
+            o.total_bytes,
+            (116 << 10) + (16 << 10) + 256 + 18 + (1 << 10)
+        );
         assert_eq!(o.baseline_area_bytes, (1 << 20) + (64 << 10));
         let pct = o.percent_of_baseline();
-        assert!((12.1..12.3).contains(&pct), "Table 3 reports 12.2 %, got {pct:.2}");
+        assert!(
+            (12.1..12.3).contains(&pct),
+            "Table 3 reports 12.2 %, got {pct:.2}"
+        );
     }
 
     #[test]
@@ -167,9 +176,18 @@ mod tests {
         let p64 = pct_of(64);
         let p128 = pct_of(128);
         let p256 = pct_of(256);
-        assert!(p64 > p128 && p128 > p256, "{p64:.1} > {p128:.1} > {p256:.1}");
-        assert!((6.0..8.0).contains(&p128), "paper reports ~7 %, got {p128:.1}");
-        assert!((3.0..5.0).contains(&p256), "paper reports ~4 %, got {p256:.1}");
+        assert!(
+            p64 > p128 && p128 > p256,
+            "{p64:.1} > {p128:.1} > {p256:.1}"
+        );
+        assert!(
+            (6.0..8.0).contains(&p128),
+            "paper reports ~7 %, got {p128:.1}"
+        );
+        assert!(
+            (3.0..5.0).contains(&p256),
+            "paper reports ~4 %, got {p256:.1}"
+        );
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The reverter circuit (Section 5.5): dynamic set sampling with an
 //! auxiliary tag directory and a hysteretic policy-selection counter.
 
-use crate::ReverterConfig;
+use crate::{LdisError, ReverterConfig};
 use ldis_cache::CacheSet;
 use ldis_mem::LineAddr;
 
@@ -131,15 +131,46 @@ impl Reverter {
         }
     }
 
-    /// Forces the decision (used by tests and the policy-extremes property
-    /// check).
+    /// Forces the decision (used by tests, the policy-extremes property
+    /// check and the graceful-degradation path).
     pub fn force_enabled(&mut self, enabled: bool) {
         self.enabled = enabled;
-        self.psel = if enabled {
-            self.cfg.psel_max
+        self.psel = if enabled { self.cfg.psel_max } else { 0 };
+    }
+
+    /// Modeled PSEL width in bits (8 for the paper's 8-bit counter) — the
+    /// fault injector's address space over this structure.
+    pub fn psel_bits(&self) -> u32 {
+        u16::BITS - self.cfg.psel_max.leading_zeros()
+    }
+
+    /// Flips one PSEL bit. The corrupted value takes effect at the next
+    /// leader-set access, exactly like a soft error in the real counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit` is outside the modeled width.
+    pub fn flip_psel_bit(&mut self, bit: u32) {
+        assert!(bit < self.psel_bits(), "psel bit out of range");
+        self.psel ^= 1 << bit;
+    }
+
+    /// Resets PSEL to its midpoint without changing the current decision —
+    /// the recovery after a detected counter corruption.
+    pub fn reset_psel(&mut self) {
+        self.psel = self.cfg.psel_max.div_ceil(2);
+    }
+
+    /// Checks that PSEL is within its modeled range.
+    pub fn check_invariants(&self) -> Result<(), LdisError> {
+        if self.psel > self.cfg.psel_max {
+            Err(LdisError::PselOutOfBounds {
+                psel: self.psel,
+                max: self.cfg.psel_max,
+            })
         } else {
-            0
-        };
+            Ok(())
+        }
     }
 }
 
@@ -211,6 +242,23 @@ mod tests {
         r.force_enabled(true);
         assert_eq!(r.psel(), 255);
         assert!(r.ldis_enabled());
+    }
+
+    #[test]
+    fn psel_fault_surface_and_recovery() {
+        let mut r = reverter();
+        assert_eq!(r.psel_bits(), 8);
+        r.check_invariants().expect("fresh reverter is consistent");
+        assert_eq!(r.psel(), 128);
+        r.flip_psel_bit(7);
+        assert_eq!(r.psel(), 0, "flipping the MSB of 128 zeroes the counter");
+        r.flip_psel_bit(0);
+        assert_eq!(r.psel(), 1);
+        // Any single flip of an 8-bit counter stays within 0..=255.
+        r.check_invariants().expect("flips stay in range");
+        r.reset_psel();
+        assert_eq!(r.psel(), 128);
+        assert!(r.ldis_enabled(), "reset keeps the current decision");
     }
 
     #[test]

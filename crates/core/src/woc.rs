@@ -8,8 +8,14 @@
 //! uniformly at random among aligned candidates that are invalid or start
 //! a line (Section 5.3's random replacement).
 
-use crate::WocReplacement;
+use crate::{LdisError, WocReplacement};
 use ldis_mem::{Footprint, SimRng, WordIndex};
+use std::fmt;
+
+/// Hardware bits per WOC tag entry (Table 3): valid + dirty + head +
+/// 23-bit tag + 3-bit word id. This is the bit surface the fault model
+/// exposes per entry.
+pub const WOC_ENTRY_BITS: u64 = 29;
 
 /// One WOC tag entry: 29 bits in hardware (valid + dirty + head + 23-bit
 /// tag + 3-bit word-id, Table 3).
@@ -20,6 +26,64 @@ struct WocEntry {
     head: bool,
     tag: u64,
     word_id: u8,
+}
+
+/// Which field of a WOC tag entry a fault landed in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WocField {
+    /// The valid bit.
+    Valid,
+    /// The dirty bit.
+    Dirty,
+    /// The head bit (whole-line eviction bookkeeping).
+    Head,
+    /// Bit `n` of the 23-bit tag.
+    Tag(u8),
+    /// Bit `n` of the 3-bit word id.
+    WordId(u8),
+}
+
+impl fmt::Display for WocField {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            WocField::Valid => f.write_str("valid bit"),
+            WocField::Dirty => f.write_str("dirty bit"),
+            WocField::Head => f.write_str("head bit"),
+            WocField::Tag(b) => write!(f, "tag bit {b}"),
+            WocField::WordId(b) => write!(f, "word-id bit {b}"),
+        }
+    }
+}
+
+/// A bit flip applied to the WOC tag store, located for recovery.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WocFault {
+    /// Set of the affected entry.
+    pub set: usize,
+    /// Way of the affected entry.
+    pub way: usize,
+    /// Slot of the affected entry within the way.
+    pub slot: usize,
+    /// The field the flip landed in.
+    pub field: WocField,
+    /// Whether the flip can be observed: the entry was valid, or the flip
+    /// hit the valid bit itself (resurrecting a stale entry). Flips in
+    /// other fields of invalid entries are dead state.
+    pub live: bool,
+}
+
+impl fmt::Display for WocFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "woc {} flip: set {} way {} slot {}{}",
+            self.field,
+            self.set,
+            self.way,
+            self.slot,
+            if self.live { "" } else { " (dead entry)" }
+        )
+    }
 }
 
 /// A line evicted from the WOC: which words it still held and whether any
@@ -172,8 +236,7 @@ impl Woc {
     ///
     /// # Panics
     ///
-    /// Panics if `footprint` is empty or needs more slots than a way holds,
-    /// or (debug builds) if the line is already present.
+    /// Panics if `footprint` is empty or needs more slots than a way holds.
     pub fn install(
         &mut self,
         set: usize,
@@ -188,10 +251,13 @@ impl Woc {
             "line needs {slots} slots but a way holds {}",
             self.words_per_line
         );
-        debug_assert!(
-            self.lookup(set, tag).is_none(),
-            "line already present in WOC"
-        );
+        // Fault-free operation never installs a line that is already
+        // present (the hole-miss path invalidates first), but corrupted
+        // metadata can resurrect a stale copy; drop it rather than store
+        // the same tag twice.
+        if self.lookup(set, tag).is_some() {
+            self.invalidate_line(set, tag);
+        }
 
         let (way, offset) = self.choose_position(set, slots);
         let evicted = self.evict_range(set, way, offset, slots);
@@ -230,10 +296,14 @@ impl Woc {
         if !free.is_empty() {
             return free[self.pick(free.len())];
         }
-        assert!(
-            !eligible.is_empty(),
-            "alignment guarantees at least one eligible candidate per way"
-        );
+        if eligible.is_empty() {
+            // Alignment guarantees a candidate in fault-free operation
+            // (offset 0 of a way is invalid or a head); corrupted head
+            // bits can void that. Fall back to offset 0 of some way —
+            // `evict_range` clears headless debris tolerantly.
+            let way = self.pick(self.ways);
+            return (way, 0);
+        }
         let i = self.pick(eligible.len());
         eligible[i]
     }
@@ -260,11 +330,6 @@ impl Woc {
     ) -> Vec<WocEviction> {
         let words_per_line = self.words_per_line;
         let entries = self.way_slice_mut(set, way);
-        // Alignment invariant: no line extends into the range from before.
-        debug_assert!(
-            offset == 0 || !entries[offset].valid || entries[offset].head,
-            "chosen offset must not split a line"
-        );
         let mut evictions: Vec<WocEviction> = Vec::new();
         let mut i = offset;
         // A head inside the range may own entries beyond it; walk to the
@@ -278,22 +343,22 @@ impl Woc {
                 i += 1;
                 continue;
             }
-            if e.head {
-                if i >= offset + slots {
-                    break; // next line starts after the range: done
-                }
+            if e.head && i >= offset + slots {
+                break; // next line starts after the range: done
+            }
+            // Fault-free, every line opens with a head and its words share
+            // one tag. Corrupted metadata can present a headless entry or
+            // a tag that differs mid-line; tolerate both by opening a
+            // fresh eviction record so the debris is still cleared and
+            // its dirty words still accounted.
+            if e.head || evictions.last().is_none_or(|ev| ev.tag != e.tag) {
                 evictions.push(WocEviction {
                     tag: e.tag,
                     words: Footprint::empty(),
                     dirty: false,
                 });
             }
-            debug_assert!(
-                !evictions.is_empty(),
-                "valid non-head entry before any head in range"
-            );
-            let ev = evictions.last_mut().expect("head seen first");
-            debug_assert_eq!(ev.tag, e.tag, "line words must share a tag");
+            let ev = evictions.last_mut().expect("record opened above");
             ev.words.touch(WordIndex::new(e.word_id));
             ev.dirty |= e.dirty;
             entries[i] = WocEntry::default();
@@ -317,9 +382,10 @@ impl Woc {
             .count()
     }
 
-    /// Checks the structural invariants of one set; used by tests and
-    /// property checks. Returns an error message if violated.
-    pub fn check_invariants(&self, set: usize) -> Result<(), String> {
+    /// Checks the structural invariants of one set. Used by tests,
+    /// property checks and the online self-checker; the typed error
+    /// pinpoints the violation for degradation logging.
+    pub fn check_invariants(&self, set: usize) -> Result<(), LdisError> {
         for way in 0..self.ways {
             let entries = self.way_slice(set, way);
             let mut i = 0;
@@ -329,32 +395,123 @@ impl Woc {
                     continue;
                 }
                 if !entries[i].head {
-                    return Err(format!("way {way} slot {i}: valid entry without a head"));
+                    return Err(LdisError::WocOrphanEntry { set, way, slot: i });
                 }
                 let tag = entries[i].tag;
                 let start = i;
                 i += 1;
                 while i < self.words_per_line && entries[i].valid && !entries[i].head {
                     if entries[i].tag != tag {
-                        return Err(format!("way {way} slot {i}: tag mismatch within line"));
+                        return Err(LdisError::WocTagMismatch { set, way, slot: i });
                     }
                     i += 1;
                 }
                 let len = i - start;
                 let slots = len.next_power_of_two();
                 if start % slots != 0 {
-                    return Err(format!(
-                        "way {way}: line of {len} words at slot {start} is misaligned"
-                    ));
+                    return Err(LdisError::WocMisaligned {
+                        set,
+                        way,
+                        start,
+                        len,
+                    });
                 }
                 // Word ids must be strictly increasing (stored in order).
-                let ids: Vec<u8> = entries[start..i].iter().map(|e| e.word_id).collect();
-                if !ids.windows(2).all(|w| w[0] < w[1]) {
-                    return Err(format!("way {way}: word ids not increasing: {ids:?}"));
+                let ids = entries[start..i].iter().map(|e| e.word_id);
+                if !ids.clone().zip(ids.skip(1)).all(|(a, b)| a < b) {
+                    return Err(LdisError::WocWordOrder { set, way, start });
                 }
             }
         }
         Ok(())
+    }
+
+    /// Total modeled tag-store bits (29 per entry, Table 3) — the fault
+    /// injector's address space over this structure.
+    pub fn tag_store_bits(&self) -> u64 {
+        self.entries.len() as u64 * WOC_ENTRY_BITS
+    }
+
+    /// Flips one modeled tag-store bit, addressed in `0..tag_store_bits()`
+    /// (29 consecutive bits per entry, entries in (set, way, slot) order).
+    /// Flipping the same bit twice restores the original state, which is
+    /// how the protection models "correct" or decline to apply a fault.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit` is out of range.
+    pub fn flip_tag_bit(&mut self, bit: u64) -> WocFault {
+        assert!(bit < self.tag_store_bits(), "tag-store bit out of range");
+        let idx = (bit / WOC_ENTRY_BITS) as usize;
+        let k = (bit % WOC_ENTRY_BITS) as u32;
+        let per_set = self.ways * self.words_per_line;
+        let set = idx / per_set;
+        let way = (idx % per_set) / self.words_per_line;
+        let slot = idx % self.words_per_line;
+        let e = &mut self.entries[idx];
+        let was_valid = e.valid;
+        let field = match k {
+            0 => {
+                e.valid = !e.valid;
+                WocField::Valid
+            }
+            1 => {
+                e.dirty = !e.dirty;
+                WocField::Dirty
+            }
+            2 => {
+                e.head = !e.head;
+                WocField::Head
+            }
+            3..=25 => {
+                let b = (k - 3) as u8;
+                e.tag ^= 1 << b;
+                WocField::Tag(b)
+            }
+            _ => {
+                let b = (k - 26) as u8;
+                e.word_id ^= 1 << b;
+                WocField::WordId(b)
+            }
+        };
+        WocFault {
+            set,
+            way,
+            slot,
+            field,
+            live: was_valid || field == WocField::Valid,
+        }
+    }
+
+    /// Discards every entry of `way` in `set` — the conservative recovery
+    /// after a detected-but-uncorrectable fault somewhere in that way's
+    /// tag entries (parity localizes no finer than the protected word).
+    /// Returns the number of valid entries discarded.
+    pub fn clear_way(&mut self, set: usize, way: usize) -> u64 {
+        let mut cleared = 0;
+        for e in self.way_slice_mut(set, way) {
+            if e.valid {
+                cleared += 1;
+            }
+            *e = WocEntry::default();
+        }
+        cleared
+    }
+
+    /// Discards every entry of `set` — the recovery when the self-checker
+    /// finds a structural violation it cannot localize to one way.
+    /// Returns the number of valid entries discarded.
+    pub fn clear_set(&mut self, set: usize) -> u64 {
+        let mut cleared = 0;
+        let base = self.set_base(set);
+        let len = self.ways * self.words_per_line;
+        for e in &mut self.entries[base..base + len] {
+            if e.valid {
+                cleared += 1;
+            }
+            *e = WocEntry::default();
+        }
+        cleared
     }
 }
 
@@ -385,6 +542,26 @@ impl crate::WordStore for Woc {
     fn occupancy(&self) -> u64 {
         Woc::occupancy(self)
     }
+
+    fn tag_store_bits(&self) -> u64 {
+        Woc::tag_store_bits(self)
+    }
+
+    fn flip_tag_bit(&mut self, bit: u64) -> Option<WocFault> {
+        Some(Woc::flip_tag_bit(self, bit))
+    }
+
+    fn clear_way(&mut self, set: usize, way: usize) -> u64 {
+        Woc::clear_way(self, set, way)
+    }
+
+    fn clear_set(&mut self, set: usize) -> u64 {
+        Woc::clear_set(self, set)
+    }
+
+    fn check_invariants(&self, set: usize) -> Result<(), LdisError> {
+        Woc::check_invariants(self, set)
+    }
 }
 
 #[cfg(test)]
@@ -410,26 +587,30 @@ mod tests {
         assert!(w.contains_word(0, 100, WordIndex::new(7)));
         assert!(!w.contains_word(0, 100, WordIndex::new(3)));
         assert!(w.lookup(1, 100).is_none(), "other sets unaffected");
-        w.check_invariants(0).unwrap();
+        w.check_invariants(0).expect("invariants hold");
     }
 
     #[test]
     fn three_words_occupy_four_aligned_slots() {
         let mut w = woc();
         w.install(0, 1, fp(0b0011_1000), false); // 3 words → 4 slots
-        w.check_invariants(0).unwrap();
+        w.check_invariants(0).expect("invariants hold");
         assert_eq!(w.occupancy(), 3);
         // Fill the rest: capacity is 2 ways * 8 slots = 16; the 3-word line
         // reserves an aligned 4-slot region, so 4 more 4-slot lines displace
         // something.
         for t in 2..=4u64 {
             w.install(0, t, fp(0b0000_1111), false);
-            w.check_invariants(0).unwrap();
+            w.check_invariants(0).expect("invariants hold");
         }
         assert_eq!(w.lines_in_set(0), 4);
         let evicted = w.install(0, 5, fp(0b0000_1111), false);
-        assert_eq!(evicted.len(), 1, "a full WOC must evict exactly one 4-slot line");
-        w.check_invariants(0).unwrap();
+        assert_eq!(
+            evicted.len(),
+            1,
+            "a full WOC must evict exactly one 4-slot line"
+        );
+        w.check_invariants(0).expect("invariants hold");
     }
 
     #[test]
@@ -448,7 +629,7 @@ mod tests {
             assert!(ev.dirty);
         }
         assert_eq!(w.lines_in_set(0), 1);
-        w.check_invariants(0).unwrap();
+        w.check_invariants(0).expect("invariants hold");
     }
 
     #[test]
@@ -462,7 +643,7 @@ mod tests {
         assert_eq!(evicted[0].tag, 1);
         assert_eq!(evicted[0].words.used_words(), 8);
         assert_eq!(w.occupancy(), 1);
-        w.check_invariants(0).unwrap();
+        w.check_invariants(0).expect("invariants hold");
     }
 
     #[test]
@@ -474,7 +655,7 @@ mod tests {
         assert!(ev.dirty);
         assert!(w.lookup(2, 50).is_none());
         assert!(w.invalidate_line(2, 50).is_none());
-        w.check_invariants(2).unwrap();
+        w.check_invariants(2).expect("invariants hold");
     }
 
     #[test]
@@ -482,7 +663,7 @@ mod tests {
         let mut w = woc();
         w.install(1, 8, fp(0b11), false);
         assert!(w.mark_dirty(1, 8));
-        let ev = w.invalidate_line(1, 8).unwrap();
+        let ev = w.invalidate_line(1, 8).expect("line was installed");
         assert!(ev.dirty);
         assert!(!w.mark_dirty(1, 8));
     }
@@ -491,8 +672,8 @@ mod tests {
     fn words_rearranged_in_increasing_order() {
         let mut w = woc();
         w.install(0, 5, fp(0b1001_0010), false); // words 1, 4, 7
-        w.check_invariants(0).unwrap();
-        let hit = w.lookup(0, 5).unwrap();
+        w.check_invariants(0).expect("invariants hold");
+        let hit = w.lookup(0, 5).expect("line was installed");
         assert_eq!(hit.valid_words, fp(0b1001_0010));
     }
 
@@ -518,5 +699,105 @@ mod tests {
     fn rejects_empty_install() {
         let mut w = woc();
         w.install(0, 1, Footprint::empty(), false);
+    }
+
+    #[test]
+    fn tag_store_exposes_29_bits_per_entry() {
+        let w = woc(); // 4 sets * 2 ways * 8 slots = 64 entries
+        assert_eq!(w.tag_store_bits(), 64 * 29);
+    }
+
+    #[test]
+    fn flip_is_involutory_and_locates_the_site() {
+        let mut w = woc();
+        w.install(1, 77, fp(0b11), true);
+        let before = w.clone();
+        // Entry index for set 1, way 0, slot 0: (1*2*8 + 0) * 29 = bit 464;
+        // +2 selects the head bit.
+        let fault = w.flip_tag_bit(464 + 2);
+        assert_eq!((fault.set, fault.way, fault.slot), (1, 0, 0));
+        assert_eq!(fault.field, WocField::Head);
+        w.flip_tag_bit(464 + 2);
+        assert_eq!(w.entries, before.entries, "double flip restores state");
+    }
+
+    #[test]
+    fn flip_in_invalid_entry_is_dead_unless_valid_bit() {
+        let mut w = woc();
+        let dirty_flip = w.flip_tag_bit(1); // dirty bit of invalid entry 0
+        assert!(!dirty_flip.live);
+        let valid_flip = w.flip_tag_bit(0); // resurrects entry 0
+        assert!(valid_flip.live);
+    }
+
+    #[test]
+    fn corrupted_head_bit_is_caught_and_cleared() {
+        let mut w = woc();
+        w.install(0, 9, fp(0b11), false);
+        let fault = w.flip_tag_bit(2); // head bit of set 0, way 0, slot 0
+        assert!(fault.live);
+        let err = w.check_invariants(0).expect_err("orphan must be flagged");
+        assert!(matches!(
+            err,
+            LdisError::WocOrphanEntry { set: 0, way: 0, .. }
+        ));
+        assert_eq!(w.clear_set(0), 2);
+        w.check_invariants(0).expect("cleared set is consistent");
+        assert_eq!(w.occupancy(), 0);
+    }
+
+    #[test]
+    fn corrupted_tag_splits_line_without_panicking() {
+        let mut w = Woc::new(1, 1, 8, 5);
+        w.install(0, 3, fp(0b1111), true);
+        // Flip tag bit 0 of slot 1: mid-line tag mismatch.
+        w.flip_tag_bit(WOC_ENTRY_BITS + 3);
+        assert!(matches!(
+            w.check_invariants(0),
+            Err(LdisError::WocTagMismatch { .. })
+        ));
+        // Installing over the corrupted range must not panic and must
+        // leave a consistent set behind.
+        let evicted = w.install(0, 8, fp(0xff), false);
+        assert!(!evicted.is_empty());
+        assert!(evicted.iter().any(|ev| ev.dirty), "dirty debris accounted");
+        w.check_invariants(0)
+            .expect("full reinstall scrubs the way");
+    }
+
+    #[test]
+    fn headless_way_still_accepts_installs() {
+        let mut w = Woc::new(1, 1, 8, 11);
+        w.install(0, 4, fp(0xff), false);
+        // Kill the head bit: no eligible candidate remains in the way.
+        w.flip_tag_bit(2);
+        let evicted = w.install(0, 6, fp(0xff), false);
+        assert_eq!(evicted.len(), 1, "debris evicted via the fallback path");
+        w.check_invariants(0)
+            .expect("reinstall leaves a consistent way");
+        assert!(w.lookup(0, 6).is_some());
+    }
+
+    #[test]
+    fn reinstalling_a_resurrected_tag_keeps_one_copy() {
+        let mut w = woc();
+        w.install(0, 5, fp(0b1), false);
+        // Duplicate installs (possible when a valid-bit flip resurrects a
+        // stale copy) must collapse to a single stored line.
+        w.install(0, 5, fp(0b11), false);
+        let hit = w.lookup(0, 5).expect("line present");
+        assert_eq!(hit.valid_words, fp(0b11));
+        w.check_invariants(0).expect("no duplicate tags");
+    }
+
+    #[test]
+    fn clear_way_reports_discarded_entries() {
+        let mut w = woc();
+        w.install(3, 2, fp(0b111), false);
+        let way = (0..2)
+            .find(|&wy| w.way_slice(3, wy).iter().any(|e| e.valid))
+            .expect("line landed in some way");
+        assert_eq!(w.clear_way(3, way), 3);
+        assert!(w.lookup(3, 2).is_none());
     }
 }

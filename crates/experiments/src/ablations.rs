@@ -4,9 +4,7 @@
 
 use crate::report::{fmt_pct, Table};
 use crate::{for_each_benchmark, run, run_baseline, RunConfig};
-use ldis_distill::{
-    DistillCache, DistillConfig, ReverterConfig, ThresholdPolicy, WocReplacement,
-};
+use ldis_distill::{DistillCache, DistillConfig, ReverterConfig, ThresholdPolicy, WocReplacement};
 use ldis_mem::stats::percent_reduction;
 use ldis_workloads::{memory_intensive, Benchmark};
 
@@ -24,7 +22,12 @@ pub struct Ablation {
 fn subset() -> Vec<Benchmark> {
     memory_intensive()
         .into_iter()
-        .filter(|b| matches!(b.name, "health" | "twolf" | "galgel" | "swim" | "ammp" | "art"))
+        .filter(|b| {
+            matches!(
+                b.name,
+                "health" | "twolf" | "galgel" | "swim" | "ammp" | "art"
+            )
+        })
         .collect()
 }
 
@@ -63,9 +66,7 @@ pub fn woc_ways(cfg: &RunConfig) -> Ablation {
 /// Threshold policy: none (LDIS-Base), fixed K in {2, 4, 6}, median.
 pub fn threshold_policy(cfg: &RunConfig) -> Ablation {
     let mut variants = Vec::new();
-    let with_policy = |p: ThresholdPolicy| {
-        DistillConfig::hpca2007_default().with_policy(p)
-    };
+    let with_policy = |p: ThresholdPolicy| DistillConfig::hpca2007_default().with_policy(p);
     variants.push((
         "all (no threshold)".to_owned(),
         mean_reduction(cfg, || DistillCache::new(with_policy(ThresholdPolicy::All))),
@@ -99,9 +100,7 @@ pub fn woc_replacement(cfg: &RunConfig) -> Ablation {
     .iter()
     .map(|(label, policy)| {
         let red = mean_reduction(cfg, || {
-            DistillCache::new(
-                DistillConfig::hpca2007_default().with_woc_replacement(*policy),
-            )
+            DistillCache::new(DistillConfig::hpca2007_default().with_woc_replacement(*policy))
         });
         ((*label).to_owned(), red)
     })

@@ -48,7 +48,14 @@ pub fn table5_data(cfg: &RunConfig) -> Vec<Table5Row> {
 pub fn table5_report(rows: &[Table5Row]) -> String {
     let mut t = Table::new(
         "Table 5: MPKI for cache-insensitive benchmarks (Appendix A)",
-        &["bench", "Trad-1MB", "LDIS-1MB", "Trad-2MB", "Trad-4MB", "paper-1MB"],
+        &[
+            "bench",
+            "Trad-1MB",
+            "LDIS-1MB",
+            "Trad-2MB",
+            "Trad-4MB",
+            "paper-1MB",
+        ],
     );
     for r in rows {
         t.row(vec![
@@ -76,13 +83,7 @@ pub struct Table6Row {
 }
 
 /// The cache sizes of Table 6 in bytes.
-pub const TABLE6_SIZES: [u64; 5] = [
-    768 << 10,
-    1 << 20,
-    1280 << 10,
-    1536 << 10,
-    2 << 20,
-];
+pub const TABLE6_SIZES: [u64; 5] = [768 << 10, 1 << 20, 1280 << 10, 1536 << 10, 2 << 20];
 
 /// Runs the Table 6 sweep over the 16 memory-intensive benchmarks.
 pub fn table6_data(cfg: &RunConfig) -> Vec<Table6Row> {
@@ -105,7 +106,15 @@ pub fn table6_data(cfg: &RunConfig) -> Vec<Table6Row> {
 pub fn table6_report(rows: &[Table6Row]) -> String {
     let mut t = Table::new(
         "Table 6: average words used per evicted line vs. cache size (Appendix B)",
-        &["bench", "0.75MB", "1MB", "1.25MB", "1.5MB", "2MB", "paper@1MB"],
+        &[
+            "bench",
+            "0.75MB",
+            "1MB",
+            "1.25MB",
+            "1.5MB",
+            "2MB",
+            "paper@1MB",
+        ],
     );
     for r in rows {
         let mut cells = vec![r.benchmark.clone()];

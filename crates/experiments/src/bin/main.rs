@@ -6,17 +6,32 @@
 //! ldis-experiments [EXPERIMENT...] [--accesses N] [--warmup N] [--seed N] [--quick]
 //!
 //! EXPERIMENT: all fig1 fig2 table2 fig6 fig7 fig8 fig9 table3 fig10
-//!             fig11 fig13 table5 table6 ablations
+//!             fig11 fig13 table5 table6 ablations resilience
 //! ```
 
 use ldis_experiments::{
-    ablations, appendix, costs, fig10, fig11, fig13, fig6, fig7, fig8, fig9, linesize,
-    motivation, table3, RunConfig,
+    ablations, appendix, costs, fig10, fig11, fig13, fig6, fig7, fig8, fig9, linesize, motivation,
+    resilience, table3, RunConfig,
 };
 
 const ALL: &[&str] = &[
-    "fig1", "fig2", "table2", "fig6", "fig7", "fig8", "fig9", "table3", "fig10", "fig11",
-    "fig13", "table5", "table6", "costs", "linesize", "ablations",
+    "fig1",
+    "fig2",
+    "table2",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "table3",
+    "fig10",
+    "fig11",
+    "fig13",
+    "table5",
+    "table6",
+    "costs",
+    "linesize",
+    "ablations",
+    "resilience",
 ];
 
 fn usage() -> ! {
@@ -68,7 +83,9 @@ fn main() {
     );
 
     // Figure 1 / Figure 2 / Table 2 share one baseline run per benchmark.
-    let needs_motivation = wanted.iter().any(|w| matches!(w.as_str(), "fig1" | "fig2" | "table2"));
+    let needs_motivation = wanted
+        .iter()
+        .any(|w| matches!(w.as_str(), "fig1" | "fig2" | "table2"));
     let profiles = if needs_motivation {
         Some(motivation::data(&cfg))
     } else {
@@ -93,6 +110,7 @@ fn main() {
             "table5" => appendix::table5_report(&appendix::table5_data(&cfg)),
             "table6" => appendix::table6_report(&appendix::table6_data(&cfg)),
             "ablations" => ablations::all(&cfg),
+            "resilience" => resilience::report(&resilience::data(&cfg)),
             _ => unreachable!("validated above"),
         };
         println!("{out}");

@@ -98,8 +98,11 @@ fn info(args: &[String]) {
     println!("loads:         {loads}");
     println!("stores:        {stores}");
     println!("ifetches:      {fetches}");
-    println!("distinct 64B lines: {} ({:.2} MB touched)", lines.len(),
-        lines.len() as f64 * 64.0 / (1024.0 * 1024.0));
+    println!(
+        "distinct 64B lines: {} ({:.2} MB touched)",
+        lines.len(),
+        lines.len() as f64 * 64.0 / (1024.0 * 1024.0)
+    );
 }
 
 fn replay(args: &[String]) {

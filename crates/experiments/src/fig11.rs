@@ -60,7 +60,11 @@ pub fn mean_reductions(rows: &[Fig11Row]) -> (f64, f64, f64, f64) {
     let n = rows.len() as f64;
     let base: f64 = rows.iter().map(|r| r.base).sum::<f64>() / n;
     let mean_of = |f: fn(&Fig11Row) -> f64| {
-        let reduced: f64 = rows.iter().map(|r| r.base * (1.0 - f(r) / 100.0)).sum::<f64>() / n;
+        let reduced: f64 = rows
+            .iter()
+            .map(|r| r.base * (1.0 - f(r) / 100.0))
+            .sum::<f64>()
+            / n;
         percent_reduction(base, reduced)
     };
     (
@@ -137,8 +141,22 @@ mod tests {
     #[test]
     fn mean_reduction_math() {
         let rows = vec![
-            Fig11Row { benchmark: "a".into(), base: 10.0, ldis_3x: 50.0, ldis_4x: 50.0, cmpr_4x: 0.0, fac_4x: 50.0 },
-            Fig11Row { benchmark: "b".into(), base: 30.0, ldis_3x: 0.0, ldis_4x: 0.0, cmpr_4x: 0.0, fac_4x: 50.0 },
+            Fig11Row {
+                benchmark: "a".into(),
+                base: 10.0,
+                ldis_3x: 50.0,
+                ldis_4x: 50.0,
+                cmpr_4x: 0.0,
+                fac_4x: 50.0,
+            },
+            Fig11Row {
+                benchmark: "b".into(),
+                base: 30.0,
+                ldis_3x: 0.0,
+                ldis_4x: 0.0,
+                cmpr_4x: 0.0,
+                fac_4x: 50.0,
+            },
         ];
         let (l3, _, c4, f4) = mean_reductions(&rows);
         assert!((l3 - 12.5).abs() < 1e-9, "{l3}");

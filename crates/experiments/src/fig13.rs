@@ -49,8 +49,11 @@ pub fn mean_reductions(rows: &[Fig13Row]) -> (f64, f64, f64) {
     let n = rows.len() as f64;
     let base: f64 = rows.iter().map(|r| r.base).sum::<f64>() / n;
     let mean_of = |f: fn(&Fig13Row) -> f64| {
-        let reduced: f64 =
-            rows.iter().map(|r| r.base * (1.0 - f(r) / 100.0)).sum::<f64>() / n;
+        let reduced: f64 = rows
+            .iter()
+            .map(|r| r.base * (1.0 - f(r) / 100.0))
+            .sum::<f64>()
+            / n;
         percent_reduction(base, reduced)
     };
     (

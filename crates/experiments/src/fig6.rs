@@ -67,13 +67,7 @@ pub fn mean_mpki_reductions(rows: &[Fig6Row]) -> (f64, f64, f64) {
 pub fn report(rows: &[Fig6Row]) -> String {
     let mut t = Table::new(
         "Figure 6: % reduction in MPKI with three LDIS configurations",
-        &[
-            "bench",
-            "base-mpki",
-            "LDIS-Base",
-            "LDIS-MT",
-            "LDIS-MT-RC",
-        ],
+        &["bench", "base-mpki", "LDIS-Base", "LDIS-MT", "LDIS-MT-RC"],
     );
     for r in rows {
         let (b, mt, rc) = r.reductions();
@@ -86,7 +80,11 @@ pub fn report(rows: &[Fig6Row]) -> String {
         ]);
     }
     let all = mean_mpki_reductions(rows);
-    let no_mcf: Vec<Fig6Row> = rows.iter().filter(|r| r.benchmark != "mcf").cloned().collect();
+    let no_mcf: Vec<Fig6Row> = rows
+        .iter()
+        .filter(|r| r.benchmark != "mcf")
+        .cloned()
+        .collect();
     let nomcf = mean_mpki_reductions(&no_mcf);
     t.row(vec![
         "avg".into(),

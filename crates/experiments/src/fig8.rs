@@ -47,7 +47,13 @@ pub fn data(cfg: &RunConfig) -> Vec<Fig8Row> {
 pub fn report(rows: &[Fig8Row]) -> String {
     let mut t = Table::new(
         "Figure 8: % MPKI reduction — 1MB distill vs. bigger traditional caches",
-        &["bench", "base-mpki", "DISTILL-1MB", "TRAD-1.5MB", "TRAD-2MB"],
+        &[
+            "bench",
+            "base-mpki",
+            "DISTILL-1MB",
+            "TRAD-1.5MB",
+            "TRAD-2MB",
+        ],
     );
     for r in rows {
         t.row(vec![
@@ -58,7 +64,9 @@ pub fn report(rows: &[Fig8Row]) -> String {
             fmt_pct(r.trad_2mb),
         ]);
     }
-    t.note("paper: distill ≈ 1.5MB for facerec/ammp/sixtrack; distill beats 2MB for mcf and health");
+    t.note(
+        "paper: distill ≈ 1.5MB for facerec/ammp/sixtrack; distill beats 2MB for mcf and health",
+    );
     t.render()
 }
 

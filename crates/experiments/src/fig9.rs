@@ -129,8 +129,16 @@ mod tests {
     #[test]
     fn gmean_math() {
         let rows = vec![
-            Fig9Row { benchmark: "a".into(), base_ipc: 1.0, distill_ipc: 1.1 },
-            Fig9Row { benchmark: "b".into(), base_ipc: 2.0, distill_ipc: 2.2 },
+            Fig9Row {
+                benchmark: "a".into(),
+                base_ipc: 1.0,
+                distill_ipc: 1.1,
+            },
+            Fig9Row {
+                benchmark: "b".into(),
+                base_ipc: 2.0,
+                distill_ipc: 2.2,
+            },
         ];
         let g = gmean_improvement(&rows);
         assert!((g - 10.0).abs() < 1e-9, "gmean {g}");

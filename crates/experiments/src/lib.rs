@@ -26,6 +26,7 @@
 //! | [`costs`] | Section 7.5 latency/energy costs |
 //! | [`linesize`] | Section 2 footnote / §7.5.1 line-size sensitivity |
 //! | [`ablations`] | design-choice ablations (DESIGN.md §7) |
+//! | [`resilience`] | fault-injection campaign (DESIGN.md fault model) |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -43,6 +44,7 @@ pub mod fig9;
 pub mod linesize;
 pub mod motivation;
 pub mod report;
+pub mod resilience;
 mod runner;
 pub mod table3;
 

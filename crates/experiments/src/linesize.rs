@@ -73,7 +73,14 @@ pub fn ldis_config_for_line(line_bytes: u32) -> DistillConfig {
 pub fn report(rows: &[LineSizeRow]) -> String {
     let mut t = Table::new(
         "Line-size sensitivity: % MPKI reduction vs. the 64B baseline (negative = worse)",
-        &["bench", "base-64B", "TRAD-32B", "TRAD-128B", "LDIS-64B", "LDIS-128B"],
+        &[
+            "bench",
+            "base-64B",
+            "TRAD-32B",
+            "TRAD-128B",
+            "LDIS-64B",
+            "LDIS-128B",
+        ],
     );
     let mut worse_at_32 = 0;
     for r in rows {
@@ -157,8 +164,22 @@ mod tests {
     #[test]
     fn report_counts_regressions() {
         let rows = vec![
-            LineSizeRow { benchmark: "a".into(), base_64b: 1.0, delta_32b: -10.0, delta_128b: 5.0, delta_ldis: 20.0, delta_ldis_128b: 25.0 },
-            LineSizeRow { benchmark: "b".into(), base_64b: 1.0, delta_32b: 10.0, delta_128b: 5.0, delta_ldis: 20.0, delta_ldis_128b: 25.0 },
+            LineSizeRow {
+                benchmark: "a".into(),
+                base_64b: 1.0,
+                delta_32b: -10.0,
+                delta_128b: 5.0,
+                delta_ldis: 20.0,
+                delta_ldis_128b: 25.0,
+            },
+            LineSizeRow {
+                benchmark: "b".into(),
+                base_64b: 1.0,
+                delta_32b: 10.0,
+                delta_128b: 5.0,
+                delta_ldis: 20.0,
+                delta_ldis_128b: 25.0,
+            },
         ];
         let s = report(&rows);
         assert!(s.contains("1/2 benchmarks"));

@@ -64,7 +64,17 @@ pub fn fig1_report(profiles: &[BaselineProfile]) -> String {
     let mut t = Table::new(
         "Figure 1: words used per evicted 64B line, 1MB 8-way baseline (fraction of lines)",
         &[
-            "bench", "1w", "2w", "3w", "4w", "5w", "6w", "7w", "8w", "avg", "paper-avg",
+            "bench",
+            "1w",
+            "2w",
+            "3w",
+            "4w",
+            "5w",
+            "6w",
+            "7w",
+            "8w",
+            "avg",
+            "paper-avg",
         ],
     );
     for p in profiles {
@@ -122,13 +132,7 @@ pub fn early_change_fraction(profiles: &[BaselineProfile]) -> f64 {
 pub fn table2_report(profiles: &[BaselineProfile]) -> String {
     let mut t = Table::new(
         "Table 2: benchmark summary, 1MB 8-way baseline",
-        &[
-            "bench",
-            "mpki",
-            "paper-mpki",
-            "compulsory%",
-            "paper-comp%",
-        ],
+        &["bench", "mpki", "paper-mpki", "compulsory%", "paper-comp%"],
     );
     for p in profiles {
         t.row(vec![

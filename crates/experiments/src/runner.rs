@@ -169,11 +169,11 @@ where
     F: Fn(&Benchmark) -> T + Sync,
 {
     std::thread::scope(|scope| {
-        let handles: Vec<_> = benchmarks
-            .iter()
-            .map(|b| scope.spawn(|| job(b)))
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("benchmark job panicked")).collect()
+        let handles: Vec<_> = benchmarks.iter().map(|b| scope.spawn(|| job(b))).collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("benchmark job panicked"))
+            .collect()
     })
 }
 
@@ -222,11 +222,7 @@ mod tests {
     fn warmup_is_excluded_but_keeps_the_cache_warm() {
         let b = spec2000::by_name("twolf").unwrap();
         let cold = run_baseline(&b, &RunConfig::quick(), 1 << 20);
-        let warm = run_baseline(
-            &b,
-            &RunConfig::quick().with_warmup(400_000),
-            1 << 20,
-        );
+        let warm = run_baseline(&b, &RunConfig::quick().with_warmup(400_000), 1 << 20);
         // Same measured length, but the warm run skips the cold-start
         // misses: measured MPKI must drop.
         assert!(

@@ -32,14 +32,26 @@ pub fn report() -> String {
         &["item", "value"],
     );
     let kib = |b: u64| format!("{:.2} kB", b as f64 / 1024.0);
-    t.row(vec!["WOC tag-entry size".into(), format!("{} bits", o.woc_entry_bits)]);
+    t.row(vec![
+        "WOC tag-entry size".into(),
+        format!("{} bits", o.woc_entry_bits),
+    ]);
     t.row(vec!["WOC tag entries".into(), format!("{}", o.woc_entries)]);
     t.row(vec!["WOC tag overhead".into(), kib(o.woc_tag_bytes)]);
     t.row(vec!["LOC tag entries".into(), format!("{}", o.loc_entries)]);
-    t.row(vec!["LOC footprint overhead".into(), kib(o.loc_footprint_bytes)]);
+    t.row(vec![
+        "LOC footprint overhead".into(),
+        kib(o.loc_footprint_bytes),
+    ]);
     t.row(vec!["L1D lines".into(), format!("{}", o.l1d_lines)]);
-    t.row(vec!["L1D footprint overhead".into(), format!("{} B", o.l1d_footprint_bytes)]);
-    t.row(vec!["median-threshold counters".into(), format!("{} B", o.median_counter_bytes)]);
+    t.row(vec![
+        "L1D footprint overhead".into(),
+        format!("{} B", o.l1d_footprint_bytes),
+    ]);
+    t.row(vec![
+        "median-threshold counters".into(),
+        format!("{} B", o.median_counter_bytes),
+    ]);
     t.row(vec!["ATD entries".into(), format!("{}", o.atd_entries)]);
     t.row(vec!["reverter overhead".into(), kib(o.reverter_bytes)]);
     t.row(vec!["total overhead".into(), kib(o.total_bytes)]);

@@ -138,7 +138,9 @@ mod tests {
 
     #[test]
     fn builder_style_modifiers() {
-        let a = Access::load(Addr::new(8), 8).with_insts(5).with_pc(Addr::new(0x42));
+        let a = Access::load(Addr::new(8), 8)
+            .with_insts(5)
+            .with_pc(Addr::new(0x42));
         assert_eq!(a.insts, 5);
         assert_eq!(a.pc, Addr::new(0x42));
     }

@@ -187,10 +187,7 @@ mod tests {
         let b = Footprint::from_bits(0b0011);
         a.merge(b);
         assert_eq!(a.bits(), 0b0111);
-        assert_eq!(
-            Footprint::from_bits(0b0101).merged(b).bits(),
-            0b0111
-        );
+        assert_eq!(Footprint::from_bits(0b0101).merged(b).bits(), 0b0111);
     }
 
     #[test]

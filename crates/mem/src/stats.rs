@@ -59,6 +59,16 @@ impl Histogram {
         self.bins[bin]
     }
 
+    /// Overwrites the count in bin `bin`. Used by the fault injector to
+    /// model bit flips in hardware counter banks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bin` is out of range.
+    pub fn set_count(&mut self, bin: usize, count: u64) {
+        self.bins[bin] = count;
+    }
+
     /// Total observations across all bins.
     pub fn total(&self) -> u64 {
         self.bins.iter().sum()
@@ -125,7 +135,11 @@ impl Histogram {
     ///
     /// Panics if the bin counts differ.
     pub fn merge(&mut self, other: &Histogram) {
-        assert_eq!(self.bins.len(), other.bins.len(), "histogram shape mismatch");
+        assert_eq!(
+            self.bins.len(),
+            other.bins.len(),
+            "histogram shape mismatch"
+        );
         for (a, b) in self.bins.iter_mut().zip(&other.bins) {
             *a += b;
         }

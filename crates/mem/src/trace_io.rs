@@ -124,7 +124,9 @@ mod tests {
 
     fn sample() -> Trace {
         let accesses = vec![
-            Access::load(Addr::new(0x1000), 8).with_insts(3).with_pc(Addr::new(0x400000)),
+            Access::load(Addr::new(0x1000), 8)
+                .with_insts(3)
+                .with_pc(Addr::new(0x400000)),
             Access::store(Addr::new(0x2008), 4).with_insts(1),
             Access::ifetch(Addr::new(0x400004)),
         ];

@@ -1,101 +1,146 @@
-//! Property tests for the memory substrate.
+//! Property tests for the memory substrate, driven by a deterministic
+//! seeded generator (`SimRng`) so every run explores the same cases and
+//! failures reproduce exactly.
 
 use ldis_mem::stats::Histogram;
 use ldis_mem::{Addr, Footprint, LineGeometry, SimRng, WordIndex};
-use proptest::prelude::*;
 
-proptest! {
-    /// Line/word decomposition reconstructs the word-aligned address.
-    #[test]
-    fn geometry_roundtrip(addr in 0u64..(1 << 40)) {
-        let geom = LineGeometry::default();
+/// Line/word decomposition reconstructs the word-aligned address.
+#[test]
+fn geometry_roundtrip() {
+    let geom = LineGeometry::default();
+    let mut rng = SimRng::new(0x9e01);
+    for _ in 0..2000 {
+        let addr = rng.range(1 << 40);
         let a = Addr::new(addr);
         let line = geom.line_addr(a);
         let word = geom.word_index(a);
         let rebuilt = geom.word_base(line, word);
-        prop_assert_eq!(rebuilt.raw(), addr & !7, "8-byte word alignment");
-        prop_assert!(word.get() < geom.words_per_line());
+        assert_eq!(rebuilt.raw(), addr & !7, "8-byte word alignment");
+        assert!(word.get() < geom.words_per_line());
     }
+}
 
-    /// Word spans stay within one line and always cover the first byte.
-    #[test]
-    fn word_span_bounds(addr in 0u64..(1 << 30), size in 0u32..64) {
-        let geom = LineGeometry::default();
-        let (first, last) = geom.word_span(Addr::new(addr), size);
-        prop_assert!(first <= last);
-        prop_assert!(last.get() < geom.words_per_line());
-        prop_assert_eq!(first, geom.word_index(Addr::new(addr)));
+/// Word spans stay within one line and always cover the first byte.
+#[test]
+fn word_span_bounds() {
+    let geom = LineGeometry::default();
+    let mut rng = SimRng::new(0x9e02);
+    for _ in 0..2000 {
+        let addr = Addr::new(rng.range(1 << 30));
+        let size = rng.range(64) as u32;
+        let (first, last) = geom.word_span(addr, size);
+        assert!(first <= last);
+        assert!(last.get() < geom.words_per_line());
+        assert_eq!(first, geom.word_index(addr));
     }
+}
 
-    /// Footprint merge is commutative, associative and monotone, and
-    /// `covers` is consistent with merge.
-    #[test]
-    fn footprint_merge_algebra(a in 0u16..256, b in 0u16..256, c in 0u16..256) {
+/// Footprint merge is commutative, associative and monotone, and
+/// `covers` is consistent with merge.
+#[test]
+fn footprint_merge_algebra() {
+    let mut rng = SimRng::new(0x9e03);
+    for _ in 0..2000 {
         let (fa, fb, fc) = (
-            Footprint::from_bits(a),
-            Footprint::from_bits(b),
-            Footprint::from_bits(c),
+            Footprint::from_bits(rng.range(256) as u16),
+            Footprint::from_bits(rng.range(256) as u16),
+            Footprint::from_bits(rng.range(256) as u16),
         );
-        prop_assert_eq!(fa.merged(fb), fb.merged(fa));
-        prop_assert_eq!(fa.merged(fb).merged(fc), fa.merged(fb.merged(fc)));
-        prop_assert!(fa.merged(fb).covers(fa));
-        prop_assert!(fa.merged(fb).covers(fb));
-        prop_assert!(fa.merged(fb).used_words() >= fa.used_words().max(fb.used_words()));
+        assert_eq!(fa.merged(fb), fb.merged(fa));
+        assert_eq!(fa.merged(fb).merged(fc), fa.merged(fb.merged(fc)));
+        assert!(fa.merged(fb).covers(fa));
+        assert!(fa.merged(fb).covers(fb));
+        assert!(fa.merged(fb).used_words() >= fa.used_words().max(fb.used_words()));
         // Idempotence.
-        prop_assert_eq!(fa.merged(fa), fa);
+        assert_eq!(fa.merged(fa), fa);
     }
+}
 
-    /// `woc_slots` is the least power of two at or above the used count.
-    #[test]
-    fn woc_slots_is_minimal_power_of_two(bits in 1u16..256) {
+/// `woc_slots` is the least power of two at or above the used count.
+#[test]
+fn woc_slots_is_minimal_power_of_two() {
+    for bits in 1u16..256 {
         let fp = Footprint::from_bits(bits);
         let slots = fp.woc_slots();
-        prop_assert!(slots.is_power_of_two());
-        prop_assert!(slots >= fp.used_words());
-        prop_assert!(slots / 2 < fp.used_words());
+        assert!(slots.is_power_of_two());
+        assert!(slots >= fp.used_words());
+        assert!(slots / 2 < fp.used_words());
     }
+}
 
-    /// `iter_used` yields exactly the set bits, sorted.
-    #[test]
-    fn iter_used_matches_bits(bits in 0u16..=u16::MAX) {
+/// `iter_used` yields exactly the set bits, sorted — exhaustively over
+/// every possible footprint.
+#[test]
+fn iter_used_matches_bits() {
+    for bits in 0u16..=u16::MAX {
         let fp = Footprint::from_bits(bits);
         let words: Vec<u8> = fp.iter_used().map(WordIndex::get).collect();
-        prop_assert_eq!(words.len(), fp.used_words() as usize);
+        assert_eq!(words.len(), fp.used_words() as usize);
         for w in &words {
-            prop_assert!(fp.is_used(WordIndex::new(*w)));
+            assert!(fp.is_used(WordIndex::new(*w)));
         }
-        prop_assert!(words.windows(2).all(|p| p[0] < p[1]));
+        assert!(words.windows(2).all(|p| p[0] < p[1]));
     }
+}
 
-    /// RNG ranges are always in bounds, and the same seed gives the same
-    /// stream regardless of interleaving with other instances.
-    #[test]
-    fn rng_bounds_and_determinism(seed in any::<u64>(), bound in 1u64..10_000) {
+/// RNG ranges are always in bounds, and the same seed gives the same
+/// stream regardless of interleaving with other instances.
+#[test]
+fn rng_bounds_and_determinism() {
+    let mut meta = SimRng::new(0x9e04);
+    for _ in 0..100 {
+        let seed = meta.next_u64();
+        let bound = 1 + meta.range(10_000);
         let mut a = SimRng::new(seed);
         let mut b = SimRng::new(seed);
         for _ in 0..50 {
             let x = a.range(bound);
-            prop_assert!(x < bound);
-            prop_assert_eq!(x, b.range(bound));
+            assert!(x < bound);
+            assert_eq!(x, b.range(bound));
         }
     }
+}
 
-    /// Histogram median respects the cumulative-half definition.
-    #[test]
-    fn histogram_median_definition(counts in prop::collection::vec(0u64..50, 2..12)) {
-        let mut h = Histogram::new(counts.len());
-        for (i, &c) in counts.iter().enumerate() {
-            h.record_n(i, c);
+/// Histogram median respects the cumulative-half definition.
+#[test]
+fn histogram_median_definition() {
+    let mut rng = SimRng::new(0x9e05);
+    for _ in 0..1000 {
+        let bins = 2 + rng.index(10);
+        let mut h = Histogram::new(bins);
+        for i in 0..bins {
+            h.record_n(i, rng.range(50));
         }
         match h.median_bin() {
-            None => prop_assert_eq!(h.total(), 0),
+            None => assert_eq!(h.total(), 0),
             Some(m) => {
                 let half = h.total().div_ceil(2);
                 let below: u64 = (0..m).map(|i| h.count(i)).sum();
                 let through: u64 = (0..=m).map(|i| h.count(i)).sum();
-                prop_assert!(below < half);
-                prop_assert!(through >= half);
+                assert!(below < half);
+                assert!(through >= half);
             }
+        }
+    }
+}
+
+/// `set_count` overwrites exactly one bin (the fault injector's hook).
+#[test]
+fn set_count_overwrites_one_bin() {
+    let mut rng = SimRng::new(0x9e06);
+    for _ in 0..500 {
+        let mut h = Histogram::new(9);
+        for i in 0..9 {
+            h.record_n(i, rng.range(100));
+        }
+        let snapshot: Vec<u64> = (0..9).map(|i| h.count(i)).collect();
+        let bin = rng.index(9);
+        let flipped = snapshot[bin] ^ (1 << rng.range(16));
+        h.set_count(bin, flipped);
+        for (i, &before) in snapshot.iter().enumerate() {
+            let expect = if i == bin { flipped } else { before };
+            assert_eq!(h.count(i), expect);
         }
     }
 }

@@ -125,8 +125,14 @@ mod tests {
 
     #[test]
     fn storage_matches_paper_figures() {
-        assert_eq!(FootprintPredictor::new(16 * 1024, 8).storage_bytes(), 64 << 10);
-        assert_eq!(FootprintPredictor::new(64 * 1024, 8).storage_bytes(), 256 << 10);
+        assert_eq!(
+            FootprintPredictor::new(16 * 1024, 8).storage_bytes(),
+            64 << 10
+        );
+        assert_eq!(
+            FootprintPredictor::new(64 * 1024, 8).storage_bytes(),
+            256 << 10
+        );
     }
 
     #[test]

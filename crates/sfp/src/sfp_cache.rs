@@ -2,9 +2,7 @@
 //! predictor (the Figure 13 comparator).
 
 use crate::FootprintPredictor;
-use ldis_cache::{
-    CompulsoryTracker, L2Outcome, L2Request, L2Response, L2Stats, SecondLevel,
-};
+use ldis_cache::{CompulsoryTracker, L2Outcome, L2Request, L2Response, L2Stats, SecondLevel};
 use ldis_distill::{Reverter, ReverterConfig};
 use ldis_mem::{Addr, Footprint, LineAddr, LineGeometry, WordIndex};
 use std::collections::VecDeque;
@@ -428,7 +426,10 @@ mod tests {
                 c.sets[set].lines.iter().any(|l| l.tag == tag)
             })
             .count();
-        assert!(resident <= 8, "same-offset lines must not share ways: {resident}");
+        assert!(
+            resident <= 8,
+            "same-offset lines must not share ways: {resident}"
+        );
     }
 
     #[test]

@@ -1,9 +1,10 @@
-//! Property tests for the SFP comparator.
+//! Property tests for the SFP comparator, driven by a deterministic
+//! seeded generator (`SimRng`) so every run explores the same cases and
+//! failures reproduce exactly.
 
 use ldis_cache::{L2Request, SecondLevel};
-use ldis_mem::{Addr, Footprint, LineAddr, LineGeometry, WordIndex};
+use ldis_mem::{Addr, Footprint, LineAddr, LineGeometry, SimRng, WordIndex};
 use ldis_sfp::{FootprintPredictor, SfpCache, SfpConfig};
-use proptest::prelude::*;
 
 fn tiny() -> SfpCache {
     SfpCache::new(SfpConfig {
@@ -16,65 +17,81 @@ fn tiny() -> SfpCache {
     })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Outcome accounting is exact for arbitrary request sequences, and a
-    /// just-requested word always hits immediately afterwards.
-    #[test]
-    fn accounting_and_rereference(
-        reqs in prop::collection::vec((0u64..256, 0u8..8, 0u64..16, any::<bool>()), 1..300),
-    ) {
+/// Outcome accounting is exact for arbitrary request sequences, and a
+/// just-requested word always hits immediately afterwards.
+#[test]
+fn accounting_and_rereference() {
+    let mut rng = SimRng::new(0x5f91);
+    for case in 0..30 {
         let mut c = tiny();
-        for (line, word, pc, write) in reqs {
+        let reqs = 1 + rng.index(299);
+        for _ in 0..reqs {
+            let line = rng.range(256);
+            let word = rng.range(8) as u8;
+            let pc = rng.range(16);
+            let write = rng.chance(0.5);
             let req = L2Request::data(LineAddr::new(line), WordIndex::new(word), write)
                 .with_pc(Addr::new(0x1000 + pc * 4));
             c.access(req);
-            prop_assert!(
+            assert!(
                 c.access(req).outcome.is_hit(),
-                "immediate re-reference must hit"
+                "case {case}: immediate re-reference must hit"
             );
         }
         let s = c.stats();
-        prop_assert_eq!(
+        assert_eq!(
             s.loc_hits + s.woc_hits + s.hole_misses + s.line_misses,
-            s.accesses
+            s.accesses,
+            "case {case}"
         );
-        prop_assert!(s.compulsory_misses <= s.demand_misses());
+        assert!(s.compulsory_misses <= s.demand_misses(), "case {case}");
     }
+}
 
-    /// The predictor always includes the demanded word, trained or not.
-    #[test]
-    fn prediction_covers_demand(
-        pc in any::<u64>(),
-        word in 0u8..8,
-        trained_bits in 0u16..256,
-    ) {
+/// The predictor always includes the demanded word, trained or not.
+#[test]
+fn prediction_covers_demand() {
+    let mut rng = SimRng::new(0x5f92);
+    for case in 0..300 {
+        let pc = rng.next_u64();
+        let word = rng.range(8) as u8;
+        let trained_bits = rng.range(256) as u16;
         let mut p = FootprintPredictor::new(1024, 8);
         let w = WordIndex::new(word);
-        prop_assert!(p.predict(Addr::new(pc), w).is_used(w));
+        assert!(p.predict(Addr::new(pc), w).is_used(w), "case {case}");
         p.train(Addr::new(pc), w, Footprint::from_bits(trained_bits));
-        prop_assert!(p.predict(Addr::new(pc), w).is_used(w));
+        assert!(p.predict(Addr::new(pc), w).is_used(w), "case {case}");
     }
+}
 
-    /// Training then predicting with the same key returns the trained
-    /// footprint (plus the demand word).
-    #[test]
-    fn train_predict_roundtrip(pc in any::<u64>(), word in 0u8..8, bits in 1u16..256) {
+/// Training then predicting with the same key returns the trained
+/// footprint (plus the demand word).
+#[test]
+fn train_predict_roundtrip() {
+    let mut rng = SimRng::new(0x5f93);
+    for case in 0..300 {
+        let pc = rng.next_u64();
+        let word = rng.range(8) as u8;
+        let bits = 1 + rng.range(255) as u16;
         let mut p = FootprintPredictor::new(64 * 1024, 8);
         let w = WordIndex::new(word);
         p.train(Addr::new(pc), w, Footprint::from_bits(bits));
         let mut expected = Footprint::from_bits(bits);
         expected.touch(w);
-        prop_assert_eq!(p.predict(Addr::new(pc), w), expected);
+        assert_eq!(p.predict(Addr::new(pc), w), expected, "case {case}");
     }
+}
 
-    /// The SFP cache is deterministic: identical request sequences produce
-    /// identical statistics.
-    #[test]
-    fn sfp_is_deterministic(
-        reqs in prop::collection::vec((0u64..128, 0u8..8, 0u64..8), 1..200),
-    ) {
+/// The SFP cache is deterministic: identical request sequences produce
+/// identical statistics.
+#[test]
+fn sfp_is_deterministic() {
+    let mut rng = SimRng::new(0x5f94);
+    for case in 0..20 {
+        let count = 1 + rng.index(199);
+        let reqs: Vec<(u64, u8, u64)> = (0..count)
+            .map(|_| (rng.range(128), rng.range(8) as u8, rng.range(8)))
+            .collect();
         let run = |reqs: &[(u64, u8, u64)]| {
             let mut c = tiny();
             for &(line, word, pc) in reqs {
@@ -83,9 +100,13 @@ proptest! {
                         .with_pc(Addr::new(pc * 8)),
                 );
             }
-            (c.stats().hits(), c.stats().demand_misses(), c.stats().evictions)
+            (
+                c.stats().hits(),
+                c.stats().demand_misses(),
+                c.stats().evictions,
+            )
         };
-        prop_assert_eq!(run(&reqs), run(&reqs));
+        assert_eq!(run(&reqs), run(&reqs), "case {case}");
     }
 }
 

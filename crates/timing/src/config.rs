@@ -94,7 +94,11 @@ impl SystemConfig {
 
     /// Returns a copy with workload-specific factors.
     #[must_use]
-    pub fn with_workload_factors(mut self, dependent_fraction: f64, mispredicts_per_kinst: f64) -> Self {
+    pub fn with_workload_factors(
+        mut self,
+        dependent_fraction: f64,
+        mispredicts_per_kinst: f64,
+    ) -> Self {
         assert!((0.0..=1.0).contains(&dependent_fraction));
         assert!(mispredicts_per_kinst >= 0.0);
         self.dependent_fraction = dependent_fraction;

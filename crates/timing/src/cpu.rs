@@ -101,8 +101,8 @@ impl<L2: SecondLevel> TimingSim<L2> {
         // Instruction fetches that miss the L1I stall the front-end, so
         // they are always on the critical path; data accesses are
         // dependent with the workload's probability.
-        let dependent = access.kind == AccessKind::InstrFetch
-            || self.rng.chance(self.cfg.dependent_fraction);
+        let dependent =
+            access.kind == AccessKind::InstrFetch || self.rng.chance(self.cfg.dependent_fraction);
 
         // L2 hit latency: visible only on the dependent path.
         let hit_latency = trace.l2_loc_hits as u64 * self.l2_timing.loc_hit_latency()
@@ -164,9 +164,7 @@ mod tests {
     #[test]
     fn memory_bound_workloads_have_lower_ipc() {
         let mut cache_friendly = baseline_sim();
-        let friendly_ipc = cache_friendly
-            .run(&mut spec2000::apsi(1), 30_000)
-            .ipc();
+        let friendly_ipc = cache_friendly.run(&mut spec2000::apsi(1), 30_000).ipc();
         let mut chaser = {
             let l2 = BaselineL2::new(CacheConfig::new(1 << 20, 8, LineGeometry::default()));
             let cfg = SystemConfig::hpca2007_baseline().with_workload_factors(0.9, 6.0);

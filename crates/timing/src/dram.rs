@@ -1,8 +1,8 @@
 //! The memory system: DRAM banks with conflicts, a split-transaction bus
 //! and an MSHR-limited request window (Table 1).
 
-use std::collections::BinaryHeap;
 use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 use ldis_mem::LineAddr;
 
@@ -33,7 +33,10 @@ impl MemorySystem {
     ///
     /// Panics if `banks` or `mshr_entries` is zero.
     pub fn new(banks: u32, mem_latency: u64, transfer_cycles: u64, mshr_entries: u32) -> Self {
-        assert!(banks > 0 && mshr_entries > 0, "banks and MSHRs must be positive");
+        assert!(
+            banks > 0 && mshr_entries > 0,
+            "banks and MSHRs must be positive"
+        );
         MemorySystem {
             banks: vec![0; banks as usize],
             bus_free: 0,
@@ -134,7 +137,10 @@ mod tests {
         }
         assert_eq!(m.in_flight(), 4);
         let (issue, _) = m.fetch(0, LineAddr::new(100));
-        assert!(issue >= 400, "5th request must wait for an MSHR, got {issue}");
+        assert!(
+            issue >= 400,
+            "5th request must wait for an MSHR, got {issue}"
+        );
         assert!(m.mshr_stall_cycles > 0);
     }
 

@@ -1,66 +1,80 @@
-//! Property tests for the timing model.
+//! Property tests for the timing model, driven by a deterministic
+//! seeded generator (`SimRng`) so every run explores the same cases and
+//! failures reproduce exactly.
 
 use ldis_cache::{BaselineL2, CacheConfig};
-use ldis_mem::{LineAddr, LineGeometry};
+use ldis_mem::{LineAddr, LineGeometry, SimRng};
 use ldis_timing::{L2Timing, MemorySystem, SystemConfig, TimingSim};
 use ldis_workloads::spec2000;
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Memory completions never travel back in time, and later issues
-    /// never complete before strictly earlier issues *on the same bank*.
-    #[test]
-    fn memory_completions_are_causal(
-        requests in prop::collection::vec((0u64..10_000, 0u64..512), 1..100),
-    ) {
+/// Memory completions never travel back in time, and later issues
+/// never complete before strictly earlier issues *on the same bank*.
+#[test]
+fn memory_completions_are_causal() {
+    let mut rng = SimRng::new(0x7a01);
+    for case in 0..30 {
         let mut mem = MemorySystem::new(32, 400, 16, 32);
         let mut cycle = 0u64;
         let mut per_bank: std::collections::HashMap<u64, u64> = Default::default();
-        for (advance, line) in requests {
+        let requests = 1 + rng.index(99);
+        for _ in 0..requests {
+            let advance = rng.range(10_000);
+            let line = rng.range(512);
             cycle += advance;
             let (issue, done) = mem.fetch(cycle, LineAddr::new(line));
-            prop_assert!(issue >= cycle);
-            prop_assert!(done >= issue + 400, "latency floor");
+            assert!(issue >= cycle, "case {case}");
+            assert!(done >= issue + 400, "case {case}: latency floor");
             let bank = line % 32;
             if let Some(&prev) = per_bank.get(&bank) {
-                prop_assert!(done > prev, "bank order violated");
+                assert!(done > prev, "case {case}: bank order violated");
             }
             per_bank.insert(bank, done);
         }
     }
+}
 
-    /// IPC is positive, bounded by the width, and monotone in the branch
-    /// misprediction rate.
-    #[test]
-    fn ipc_bounds_and_branch_monotonicity(rate in 0.0f64..30.0) {
-        let run = |r: f64| {
-            let l2 = BaselineL2::new(CacheConfig::new(1 << 20, 8, LineGeometry::default()));
-            let cfg = SystemConfig::hpca2007_baseline().with_workload_factors(0.3, r);
-            TimingSim::new(l2, cfg, L2Timing::baseline())
-                .run(&mut spec2000::sixtrack(1), 15_000)
-        };
-        let base = run(0.0);
+/// IPC is positive, bounded by the width, and monotone in the branch
+/// misprediction rate.
+#[test]
+fn ipc_bounds_and_branch_monotonicity() {
+    let run = |r: f64| {
+        let l2 = BaselineL2::new(CacheConfig::new(1 << 20, 8, LineGeometry::default()));
+        let cfg = SystemConfig::hpca2007_baseline().with_workload_factors(0.3, r);
+        TimingSim::new(l2, cfg, L2Timing::baseline()).run(&mut spec2000::sixtrack(1), 15_000)
+    };
+    let base = run(0.0);
+    let mut rng = SimRng::new(0x7a02);
+    for case in 0..8 {
+        let rate = rng.f64() * 30.0;
         let slowed = run(rate);
-        prop_assert!(base.ipc() > 0.0 && base.ipc() <= 8.0);
-        prop_assert!(slowed.cycles >= base.cycles, "mispredicts add cycles");
-        prop_assert_eq!(slowed.instructions, base.instructions);
+        assert!(base.ipc() > 0.0 && base.ipc() <= 8.0, "case {case}");
+        assert!(
+            slowed.cycles >= base.cycles,
+            "case {case}: mispredicts add cycles"
+        );
+        assert_eq!(slowed.instructions, base.instructions, "case {case}");
     }
+}
 
-    /// Higher dependence never increases IPC (less latency hiding).
-    #[test]
-    fn dependence_is_monotone(dep in 0.0f64..1.0) {
-        let run = |d: f64| {
-            let l2 = BaselineL2::new(CacheConfig::new(1 << 20, 8, LineGeometry::default()));
-            let cfg = SystemConfig::hpca2007_baseline().with_workload_factors(d, 2.0);
-            TimingSim::new(l2, cfg, L2Timing::baseline())
-                .run(&mut spec2000::health(1), 15_000)
-                .ipc()
-        };
-        let free = run(0.0);
+/// Higher dependence never increases IPC (less latency hiding).
+#[test]
+fn dependence_is_monotone() {
+    let run = |d: f64| {
+        let l2 = BaselineL2::new(CacheConfig::new(1 << 20, 8, LineGeometry::default()));
+        let cfg = SystemConfig::hpca2007_baseline().with_workload_factors(d, 2.0);
+        TimingSim::new(l2, cfg, L2Timing::baseline())
+            .run(&mut spec2000::health(1), 15_000)
+            .ipc()
+    };
+    let free = run(0.0);
+    let mut rng = SimRng::new(0x7a03);
+    for case in 0..8 {
+        let dep = rng.f64();
         let bound = run(dep);
-        prop_assert!(bound <= free * 1.001, "dep {dep}: {bound} > {free}");
+        assert!(
+            bound <= free * 1.001,
+            "case {case}: dep {dep}: {bound} > {free}"
+        );
     }
 }
 

@@ -9,7 +9,7 @@
 //! * *resident*: working sets so small they always fit (mesa, crafty, gap,
 //!   perlbmk, eon).
 
-use crate::{spec2000::Benchmark, HotSet, SequentialScan, ValueProfile, Workload, WordsProfile};
+use crate::{spec2000::Benchmark, HotSet, SequentialScan, ValueProfile, WordsProfile, Workload};
 
 const REGION: u64 = 1 << 24;
 
@@ -23,11 +23,22 @@ fn streaming(name: &'static str, seed: u64, gap: f64, stream_weight: f64) -> Wor
     Workload::builder(name, seed)
         .stream(
             stream_weight,
-            SequentialScan::new(region(seed % 7), u64::MAX / 4, WordsProfile::dense(), seed ^ 1, false),
+            SequentialScan::new(
+                region(seed % 7),
+                u64::MAX / 4,
+                WordsProfile::dense(),
+                seed ^ 1,
+                false,
+            ),
         )
         .stream(
             1.0 - stream_weight,
-            HotSet::new(region(seed % 7 + 10), 2_000, WordsProfile::dense(), seed ^ 2),
+            HotSet::new(
+                region(seed % 7 + 10),
+                2_000,
+                WordsProfile::dense(),
+                seed ^ 2,
+            ),
         )
         .inst_gap(gap)
         .store_fraction(0.2)
@@ -38,7 +49,10 @@ fn streaming(name: &'static str, seed: u64, gap: f64, stream_weight: f64) -> Wor
 /// A benchmark whose working set always fits in the 1 MB cache.
 fn resident(name: &'static str, seed: u64, lines: u64, gap: f64) -> Workload {
     Workload::builder(name, seed)
-        .stream(1.0, HotSet::new(region(20), lines, WordsProfile::dense(), seed ^ 1))
+        .stream(
+            1.0,
+            HotSet::new(region(20), lines, WordsProfile::dense(), seed ^ 1),
+        )
         .inst_gap(gap)
         .store_fraction(0.25)
         .values(ValueProfile::mixed_int())
@@ -106,17 +120,83 @@ pub fn eon(seed: u64) -> Workload {
 /// streaming models use full lines).
 pub fn cache_insensitive() -> Vec<Benchmark> {
     vec![
-        Benchmark { name: "equake", make: equake, paper_mpki: 18.42, paper_compulsory_pct: f64::NAN, paper_avg_words: 8.0 },
-        Benchmark { name: "lucas", make: lucas, paper_mpki: 16.17, paper_compulsory_pct: f64::NAN, paper_avg_words: 8.0 },
-        Benchmark { name: "mgrid", make: mgrid, paper_mpki: 7.73, paper_compulsory_pct: f64::NAN, paper_avg_words: 8.0 },
-        Benchmark { name: "applu", make: applu, paper_mpki: 13.75, paper_compulsory_pct: f64::NAN, paper_avg_words: 8.0 },
-        Benchmark { name: "mesa", make: mesa, paper_mpki: 0.62, paper_compulsory_pct: f64::NAN, paper_avg_words: 8.0 },
-        Benchmark { name: "crafty", make: crafty, paper_mpki: 0.09, paper_compulsory_pct: f64::NAN, paper_avg_words: 8.0 },
-        Benchmark { name: "gap", make: gap, paper_mpki: 1.65, paper_compulsory_pct: f64::NAN, paper_avg_words: 8.0 },
-        Benchmark { name: "gzip", make: gzip, paper_mpki: 1.45, paper_compulsory_pct: f64::NAN, paper_avg_words: 8.0 },
-        Benchmark { name: "fma3d", make: fma3d, paper_mpki: 4.61, paper_compulsory_pct: f64::NAN, paper_avg_words: 8.0 },
-        Benchmark { name: "perlbmk", make: perlbmk, paper_mpki: 0.04, paper_compulsory_pct: f64::NAN, paper_avg_words: 8.0 },
-        Benchmark { name: "eon", make: eon, paper_mpki: 0.01, paper_compulsory_pct: f64::NAN, paper_avg_words: 8.0 },
+        Benchmark {
+            name: "equake",
+            make: equake,
+            paper_mpki: 18.42,
+            paper_compulsory_pct: f64::NAN,
+            paper_avg_words: 8.0,
+        },
+        Benchmark {
+            name: "lucas",
+            make: lucas,
+            paper_mpki: 16.17,
+            paper_compulsory_pct: f64::NAN,
+            paper_avg_words: 8.0,
+        },
+        Benchmark {
+            name: "mgrid",
+            make: mgrid,
+            paper_mpki: 7.73,
+            paper_compulsory_pct: f64::NAN,
+            paper_avg_words: 8.0,
+        },
+        Benchmark {
+            name: "applu",
+            make: applu,
+            paper_mpki: 13.75,
+            paper_compulsory_pct: f64::NAN,
+            paper_avg_words: 8.0,
+        },
+        Benchmark {
+            name: "mesa",
+            make: mesa,
+            paper_mpki: 0.62,
+            paper_compulsory_pct: f64::NAN,
+            paper_avg_words: 8.0,
+        },
+        Benchmark {
+            name: "crafty",
+            make: crafty,
+            paper_mpki: 0.09,
+            paper_compulsory_pct: f64::NAN,
+            paper_avg_words: 8.0,
+        },
+        Benchmark {
+            name: "gap",
+            make: gap,
+            paper_mpki: 1.65,
+            paper_compulsory_pct: f64::NAN,
+            paper_avg_words: 8.0,
+        },
+        Benchmark {
+            name: "gzip",
+            make: gzip,
+            paper_mpki: 1.45,
+            paper_compulsory_pct: f64::NAN,
+            paper_avg_words: 8.0,
+        },
+        Benchmark {
+            name: "fma3d",
+            make: fma3d,
+            paper_mpki: 4.61,
+            paper_compulsory_pct: f64::NAN,
+            paper_avg_words: 8.0,
+        },
+        Benchmark {
+            name: "perlbmk",
+            make: perlbmk,
+            paper_mpki: 0.04,
+            paper_compulsory_pct: f64::NAN,
+            paper_avg_words: 8.0,
+        },
+        Benchmark {
+            name: "eon",
+            make: eon,
+            paper_mpki: 0.01,
+            paper_compulsory_pct: f64::NAN,
+            paper_avg_words: 8.0,
+        },
     ]
 }
 

@@ -22,7 +22,7 @@
 
 use crate::{
     CodeLoop, HotSet, PointerChase, RotatingScan, SequentialScan, TwoPassScan, ValueProfile,
-    Workload, WordsProfile,
+    WordsProfile, Workload,
 };
 
 /// A named benchmark model: its constructor plus the paper's published
@@ -58,7 +58,10 @@ pub fn art(seed: u64) -> Workload {
             0.72,
             RotatingScan::new(region(0), 25_000, seed ^ 1).with_passes_per_word(3),
         )
-        .stream(0.28, HotSet::new(region(1), 5_000, WordsProfile::sparse(), seed ^ 2))
+        .stream(
+            0.28,
+            HotSet::new(region(1), 5_000, WordsProfile::sparse(), seed ^ 2),
+        )
         .inst_gap(17.0)
         .store_fraction(0.12)
         .values(ValueProfile::mixed_int())
@@ -70,9 +73,24 @@ pub fn art(seed: u64) -> Workload {
 /// node. The WOC triples the number of resident nodes (Figure 7).
 pub fn mcf(seed: u64) -> Workload {
     Workload::builder("mcf", seed)
-        .stream(0.55, PointerChase::new(region(0), 24_000, WordsProfile::sparse(), seed ^ 1, seed))
-        .stream(0.35, PointerChase::new(region(1), 110_000, WordsProfile::sparse(), seed ^ 3, seed ^ 7))
-        .stream(0.1, HotSet::new(region(2), 2_000, WordsProfile::sparse(), seed ^ 2))
+        .stream(
+            0.55,
+            PointerChase::new(region(0), 24_000, WordsProfile::sparse(), seed ^ 1, seed),
+        )
+        .stream(
+            0.35,
+            PointerChase::new(
+                region(1),
+                110_000,
+                WordsProfile::sparse(),
+                seed ^ 3,
+                seed ^ 7,
+            ),
+        )
+        .stream(
+            0.1,
+            HotSet::new(region(2), 2_000, WordsProfile::sparse(), seed ^ 2),
+        )
         .inst_gap(6.0)
         .store_fraction(0.2)
         .values(ValueProfile::pointer_heavy())
@@ -83,8 +101,14 @@ pub fn mcf(seed: u64) -> Workload {
 /// ~3.2 words used. Distillation squeezes the working set into the WOC.
 pub fn twolf(seed: u64) -> Workload {
     Workload::builder("twolf", seed)
-        .stream(0.85, HotSet::new(region(0), 23_000, WordsProfile::mixed(), seed ^ 1))
-        .stream(0.15, HotSet::new(region(1), 3_000, WordsProfile::mixed(), seed ^ 2))
+        .stream(
+            0.85,
+            HotSet::new(region(0), 23_000, WordsProfile::mixed(), seed ^ 1),
+        )
+        .stream(
+            0.15,
+            HotSet::new(region(1), 3_000, WordsProfile::mixed(), seed ^ 2),
+        )
         .inst_gap(16.0)
         .store_fraction(0.25)
         .values(ValueProfile::mixed_int())
@@ -95,8 +119,14 @@ pub fn twolf(seed: u64) -> Workload {
 pub fn vpr(seed: u64) -> Workload {
     let words = WordsProfile::new([0.18, 0.18, 0.17, 0.15, 0.12, 0.08, 0.06, 0.06]);
     Workload::builder("vpr", seed)
-        .stream(0.8, HotSet::new(region(0), 23_000, words, seed ^ 1).with_extra_word(0.04))
-        .stream(0.2, HotSet::new(region(1), 4_000, WordsProfile::mixed(), seed ^ 2))
+        .stream(
+            0.8,
+            HotSet::new(region(0), 23_000, words, seed ^ 1).with_extra_word(0.04),
+        )
+        .stream(
+            0.2,
+            HotSet::new(region(1), 4_000, WordsProfile::mixed(), seed ^ 2),
+        )
         .inst_gap(22.0)
         .store_fraction(0.25)
         .values(ValueProfile::mixed_int())
@@ -109,7 +139,10 @@ pub fn ammp(seed: u64) -> Workload {
     let words = WordsProfile::new([0.35, 0.3, 0.15, 0.1, 0.05, 0.03, 0.01, 0.01]);
     Workload::builder("ammp", seed)
         .stream(0.9, HotSet::new(region(0), 26_000, words, seed ^ 1))
-        .stream(0.1, SequentialScan::new(region(1), 4_000, WordsProfile::mixed(), seed ^ 2, true))
+        .stream(
+            0.1,
+            SequentialScan::new(region(1), 4_000, WordsProfile::mixed(), seed ^ 2, true),
+        )
         .inst_gap(19.0)
         .store_fraction(0.3)
         .values(ValueProfile::mixed_int())
@@ -120,8 +153,14 @@ pub fn ammp(seed: u64) -> Workload {
 /// line matters, so distillation has little to offer (Figure 6).
 pub fn galgel(seed: u64) -> Workload {
     Workload::builder("galgel", seed)
-        .stream(0.8, HotSet::new(region(0), 19_000, WordsProfile::dense(), seed ^ 1))
-        .stream(0.2, SequentialScan::new(region(1), 8_000, WordsProfile::dense(), seed ^ 2, true))
+        .stream(
+            0.8,
+            HotSet::new(region(0), 19_000, WordsProfile::dense(), seed ^ 1),
+        )
+        .stream(
+            0.2,
+            SequentialScan::new(region(1), 8_000, WordsProfile::dense(), seed ^ 2, true),
+        )
         .inst_gap(10.0)
         .store_fraction(0.2)
         // galgel's matrices hold many zero/narrow values: compression
@@ -137,8 +176,20 @@ pub fn galgel(seed: u64) -> Workload {
 pub fn bzip2(seed: u64) -> Workload {
     let words = WordsProfile::new([0.12, 0.15, 0.18, 0.18, 0.14, 0.1, 0.07, 0.06]);
     Workload::builder("bzip2", seed)
-        .stream(0.8, HotSet::new(region(0), 15_000, words, seed ^ 1).with_extra_word(0.35))
-        .stream(0.2, SequentialScan::new(region(1), u64::MAX / 4, WordsProfile::dense(), seed ^ 2, false))
+        .stream(
+            0.8,
+            HotSet::new(region(0), 15_000, words, seed ^ 1).with_extra_word(0.35),
+        )
+        .stream(
+            0.2,
+            SequentialScan::new(
+                region(1),
+                u64::MAX / 4,
+                WordsProfile::dense(),
+                seed ^ 2,
+                false,
+            ),
+        )
         .inst_gap(24.0)
         .store_fraction(0.3)
         .values(ValueProfile::mixed_int())
@@ -152,9 +203,21 @@ pub fn bzip2(seed: u64) -> Workload {
 pub fn facerec(seed: u64) -> Workload {
     let sparse3 = WordsProfile::new([0.15, 0.3, 0.35, 0.15, 0.05, 0.0, 0.0, 0.0]);
     Workload::builder("facerec", seed)
-        .stream(0.55, HotSet::new(region(0), 12_000, WordsProfile::dense(), seed ^ 1))
+        .stream(
+            0.55,
+            HotSet::new(region(0), 12_000, WordsProfile::dense(), seed ^ 1),
+        )
         .stream(0.35, HotSet::new(region(1), 16_000, sparse3, seed ^ 3))
-        .stream(0.1, SequentialScan::new(region(2), u64::MAX / 4, WordsProfile::dense(), seed ^ 2, false))
+        .stream(
+            0.1,
+            SequentialScan::new(
+                region(2),
+                u64::MAX / 4,
+                WordsProfile::dense(),
+                seed ^ 2,
+                false,
+            ),
+        )
         .inst_gap(11.0)
         .store_fraction(0.15)
         .values(ValueProfile::float_heavy())
@@ -166,8 +229,14 @@ pub fn facerec(seed: u64) -> Workload {
 pub fn parser(seed: u64) -> Workload {
     let words = WordsProfile::new([0.05, 0.06, 0.08, 0.1, 0.12, 0.16, 0.2, 0.23]);
     Workload::builder("parser", seed)
-        .stream(0.75, HotSet::new(region(0), 15_500, words, seed ^ 1).with_extra_word(0.12))
-        .stream(0.25, SequentialScan::new(region(1), u64::MAX / 4, words, seed ^ 2, false))
+        .stream(
+            0.75,
+            HotSet::new(region(0), 15_500, words, seed ^ 1).with_extra_word(0.12),
+        )
+        .stream(
+            0.25,
+            SequentialScan::new(region(1), u64::MAX / 4, words, seed ^ 2, false),
+        )
         .inst_gap(34.0)
         .store_fraction(0.25)
         .values(ValueProfile::pointer_heavy())
@@ -190,8 +259,14 @@ pub fn sixtrack(seed: u64) -> Workload {
 /// `apsi`: dense meteorology kernel (7.8 words), tiny MPKI.
 pub fn apsi(seed: u64) -> Workload {
     Workload::builder("apsi", seed)
-        .stream(0.85, HotSet::new(region(0), 17_500, WordsProfile::dense(), seed ^ 1))
-        .stream(0.15, SequentialScan::new(region(1), 6_000, WordsProfile::dense(), seed ^ 2, true))
+        .stream(
+            0.85,
+            HotSet::new(region(0), 17_500, WordsProfile::dense(), seed ^ 1),
+        )
+        .stream(
+            0.15,
+            SequentialScan::new(region(1), 6_000, WordsProfile::dense(), seed ^ 2, true),
+        )
         .inst_gap(110.0)
         .store_fraction(0.2)
         .values(ValueProfile::float_heavy())
@@ -218,7 +293,10 @@ pub fn vortex(seed: u64) -> Workload {
     let words = WordsProfile::new([0.25, 0.25, 0.18, 0.12, 0.08, 0.05, 0.04, 0.03]);
     Workload::builder("vortex", seed)
         .stream(0.5, HotSet::new(region(0), 10_000, words, seed ^ 1))
-        .stream(0.5, SequentialScan::new(region(1), u64::MAX / 4, words, seed ^ 2, false))
+        .stream(
+            0.5,
+            SequentialScan::new(region(1), u64::MAX / 4, words, seed ^ 2, false),
+        )
         .inst_gap(75.0)
         .store_fraction(0.3)
         .values(ValueProfile::pointer_heavy())
@@ -231,8 +309,14 @@ pub fn gcc(seed: u64) -> Workload {
     let words = WordsProfile::new([0.05, 0.06, 0.08, 0.1, 0.12, 0.15, 0.2, 0.24]);
     Workload::builder("gcc", seed)
         .stream(0.62, CodeLoop::new(region(0), 3_000))
-        .stream(0.18, HotSet::new(region(1), 17_500, WordsProfile::mixed(), seed ^ 1))
-        .stream(0.2, SequentialScan::new(region(2), u64::MAX / 4, words, seed ^ 2, false))
+        .stream(
+            0.18,
+            HotSet::new(region(1), 17_500, WordsProfile::mixed(), seed ^ 1),
+        )
+        .stream(
+            0.2,
+            SequentialScan::new(region(2), u64::MAX / 4, words, seed ^ 2, false),
+        )
         .inst_gap(55.0)
         .store_fraction(0.25)
         .values(ValueProfile::pointer_heavy())
@@ -243,8 +327,20 @@ pub fn gcc(seed: u64) -> Workload {
 /// extra capacity can remove compulsory misses.
 pub fn wupwise(seed: u64) -> Workload {
     Workload::builder("wupwise", seed)
-        .stream(0.9, SequentialScan::new(region(0), u64::MAX / 4, WordsProfile::dense(), seed ^ 1, false))
-        .stream(0.1, HotSet::new(region(1), 4_000, WordsProfile::dense(), seed ^ 2))
+        .stream(
+            0.9,
+            SequentialScan::new(
+                region(0),
+                u64::MAX / 4,
+                WordsProfile::dense(),
+                seed ^ 1,
+                false,
+            ),
+        )
+        .stream(
+            0.1,
+            HotSet::new(region(1), 4_000, WordsProfile::dense(), seed ^ 2),
+        )
         .inst_gap(26.0)
         .store_fraction(0.2)
         .values(ValueProfile::float_heavy())
@@ -258,7 +354,10 @@ pub fn wupwise(seed: u64) -> Workload {
 pub fn health(seed: u64) -> Workload {
     let words = WordsProfile::new([0.3, 0.3, 0.2, 0.12, 0.05, 0.02, 0.005, 0.005]);
     Workload::builder("health", seed)
-        .stream(1.0, PointerChase::new(region(0), 38_000, words, seed ^ 1, seed))
+        .stream(
+            1.0,
+            PointerChase::new(region(0), 38_000, words, seed ^ 1, seed),
+        )
         .inst_gap(5.5)
         .store_fraction(0.25)
         .values(ValueProfile::pointer_heavy())
@@ -268,22 +367,118 @@ pub fn health(seed: u64) -> Workload {
 /// The 16 memory-intensive benchmarks in the paper's order (Table 2).
 pub fn memory_intensive() -> Vec<Benchmark> {
     vec![
-        Benchmark { name: "art", make: art, paper_mpki: 38.3, paper_compulsory_pct: 0.5, paper_avg_words: 1.81 },
-        Benchmark { name: "mcf", make: mcf, paper_mpki: 136.0, paper_compulsory_pct: 2.2, paper_avg_words: 1.83 },
-        Benchmark { name: "twolf", make: twolf, paper_mpki: 3.6, paper_compulsory_pct: 2.9, paper_avg_words: 3.24 },
-        Benchmark { name: "vpr", make: vpr, paper_mpki: 2.2, paper_compulsory_pct: 4.3, paper_avg_words: 3.71 },
-        Benchmark { name: "ammp", make: ammp, paper_mpki: 2.8, paper_compulsory_pct: 5.1, paper_avg_words: 2.40 },
-        Benchmark { name: "galgel", make: galgel, paper_mpki: 4.7, paper_compulsory_pct: 5.9, paper_avg_words: 7.60 },
-        Benchmark { name: "bzip2", make: bzip2, paper_mpki: 2.4, paper_compulsory_pct: 15.5, paper_avg_words: 4.13 },
-        Benchmark { name: "facerec", make: facerec, paper_mpki: 4.8, paper_compulsory_pct: 18.0, paper_avg_words: 7.01 },
-        Benchmark { name: "parser", make: parser, paper_mpki: 1.6, paper_compulsory_pct: 20.3, paper_avg_words: 6.42 },
-        Benchmark { name: "sixtrack", make: sixtrack, paper_mpki: 0.4, paper_compulsory_pct: 20.6, paper_avg_words: 4.34 },
-        Benchmark { name: "apsi", make: apsi, paper_mpki: 0.3, paper_compulsory_pct: 22.8, paper_avg_words: 7.80 },
-        Benchmark { name: "swim", make: swim, paper_mpki: 26.6, paper_compulsory_pct: 50.4, paper_avg_words: 6.91 },
-        Benchmark { name: "vortex", make: vortex, paper_mpki: 0.7, paper_compulsory_pct: 53.4, paper_avg_words: 3.04 },
-        Benchmark { name: "gcc", make: gcc, paper_mpki: 0.4, paper_compulsory_pct: 77.4, paper_avg_words: 6.38 },
-        Benchmark { name: "wupwise", make: wupwise, paper_mpki: 2.3, paper_compulsory_pct: 83.0, paper_avg_words: 7.01 },
-        Benchmark { name: "health", make: health, paper_mpki: 62.0, paper_compulsory_pct: 0.73, paper_avg_words: 2.44 },
+        Benchmark {
+            name: "art",
+            make: art,
+            paper_mpki: 38.3,
+            paper_compulsory_pct: 0.5,
+            paper_avg_words: 1.81,
+        },
+        Benchmark {
+            name: "mcf",
+            make: mcf,
+            paper_mpki: 136.0,
+            paper_compulsory_pct: 2.2,
+            paper_avg_words: 1.83,
+        },
+        Benchmark {
+            name: "twolf",
+            make: twolf,
+            paper_mpki: 3.6,
+            paper_compulsory_pct: 2.9,
+            paper_avg_words: 3.24,
+        },
+        Benchmark {
+            name: "vpr",
+            make: vpr,
+            paper_mpki: 2.2,
+            paper_compulsory_pct: 4.3,
+            paper_avg_words: 3.71,
+        },
+        Benchmark {
+            name: "ammp",
+            make: ammp,
+            paper_mpki: 2.8,
+            paper_compulsory_pct: 5.1,
+            paper_avg_words: 2.40,
+        },
+        Benchmark {
+            name: "galgel",
+            make: galgel,
+            paper_mpki: 4.7,
+            paper_compulsory_pct: 5.9,
+            paper_avg_words: 7.60,
+        },
+        Benchmark {
+            name: "bzip2",
+            make: bzip2,
+            paper_mpki: 2.4,
+            paper_compulsory_pct: 15.5,
+            paper_avg_words: 4.13,
+        },
+        Benchmark {
+            name: "facerec",
+            make: facerec,
+            paper_mpki: 4.8,
+            paper_compulsory_pct: 18.0,
+            paper_avg_words: 7.01,
+        },
+        Benchmark {
+            name: "parser",
+            make: parser,
+            paper_mpki: 1.6,
+            paper_compulsory_pct: 20.3,
+            paper_avg_words: 6.42,
+        },
+        Benchmark {
+            name: "sixtrack",
+            make: sixtrack,
+            paper_mpki: 0.4,
+            paper_compulsory_pct: 20.6,
+            paper_avg_words: 4.34,
+        },
+        Benchmark {
+            name: "apsi",
+            make: apsi,
+            paper_mpki: 0.3,
+            paper_compulsory_pct: 22.8,
+            paper_avg_words: 7.80,
+        },
+        Benchmark {
+            name: "swim",
+            make: swim,
+            paper_mpki: 26.6,
+            paper_compulsory_pct: 50.4,
+            paper_avg_words: 6.91,
+        },
+        Benchmark {
+            name: "vortex",
+            make: vortex,
+            paper_mpki: 0.7,
+            paper_compulsory_pct: 53.4,
+            paper_avg_words: 3.04,
+        },
+        Benchmark {
+            name: "gcc",
+            make: gcc,
+            paper_mpki: 0.4,
+            paper_compulsory_pct: 77.4,
+            paper_avg_words: 6.38,
+        },
+        Benchmark {
+            name: "wupwise",
+            make: wupwise,
+            paper_mpki: 2.3,
+            paper_compulsory_pct: 83.0,
+            paper_avg_words: 7.01,
+        },
+        Benchmark {
+            name: "health",
+            make: health,
+            paper_mpki: 62.0,
+            paper_compulsory_pct: 0.73,
+            paper_avg_words: 2.44,
+        },
     ]
 }
 

@@ -449,8 +449,7 @@ mod tests {
         let lag = 4;
         let mut s = TwoPassScan::new(0, lag);
         let mut r = rng();
-        let mut front: std::collections::HashMap<u64, Footprint> =
-            std::collections::HashMap::new();
+        let mut front: std::collections::HashMap<u64, Footprint> = std::collections::HashMap::new();
         for _ in 0..40 {
             let v = s.next_visit(&mut r);
             match front.get(&v.line.raw()) {

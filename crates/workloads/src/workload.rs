@@ -161,9 +161,8 @@ impl Workload {
         match visit.kind {
             VisitKind::Instr => {
                 let addr = geom.line_base(visit.line);
-                self.queue.push_back(
-                    Access::ifetch(addr).with_insts(self.rng.geometric(self.inst_gap)),
-                );
+                self.queue
+                    .push_back(Access::ifetch(addr).with_insts(self.rng.geometric(self.inst_gap)));
             }
             VisitKind::Data => {
                 // One access per touched word; the PC is stable per
@@ -243,7 +242,10 @@ impl WorkloadBuilder {
     ///
     /// Panics if no stream was added.
     pub fn build(self) -> Workload {
-        assert!(!self.streams.is_empty(), "a workload needs at least one stream");
+        assert!(
+            !self.streams.is_empty(),
+            "a workload needs at least one stream"
+        );
         Workload {
             name: self.name,
             streams: self.streams,
@@ -268,7 +270,10 @@ mod tests {
     fn simple(seed: u64) -> Workload {
         Workload::builder("test", seed)
             .stream(1.0, HotSet::new(0, 64, WordsProfile::mixed(), 1))
-            .stream(2.0, SequentialScan::new(10_000, 256, WordsProfile::exactly(8), 2, true))
+            .stream(
+                2.0,
+                SequentialScan::new(10_000, 256, WordsProfile::exactly(8), 2, true),
+            )
             .inst_gap(4.0)
             .store_fraction(0.3)
             .build()
@@ -323,10 +328,7 @@ mod tests {
         let l2 = BaselineL2::new(CacheConfig::new(1 << 20, 8, Default::default()));
         let mut hier = Hierarchy::hpca2007(l2);
         w.drive(&mut hier, TraceLength::accesses(5_000));
-        assert_eq!(
-            hier.stats().l1d_accesses + hier.stats().l1i_accesses,
-            5_000
-        );
+        assert_eq!(hier.stats().l1d_accesses + hier.stats().l1i_accesses, 5_000);
         let mut w2 = simple(12);
         let before = hier.stats().instructions;
         w2.drive(&mut hier, TraceLength::instructions(10_000));
@@ -336,7 +338,10 @@ mod tests {
     #[test]
     fn pc_is_stable_per_line() {
         let mut w = Workload::builder("pc", 1)
-            .stream(1.0, PointerChase::new(0, 32, WordsProfile::exactly(1), 0, 1))
+            .stream(
+                1.0,
+                PointerChase::new(0, 32, WordsProfile::exactly(1), 0, 1),
+            )
             .build();
         let t = w.record(64);
         let mut pcs = std::collections::HashMap::new();

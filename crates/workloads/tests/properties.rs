@@ -1,87 +1,117 @@
-//! Property tests for the workload generators.
+//! Property tests for the workload generators, driven by a deterministic
+//! seeded generator (`SimRng`) so every run explores the same cases and
+//! failures reproduce exactly.
 
-use ldis_mem::{AccessKind, TraceSource};
+use ldis_mem::{AccessKind, SimRng, TraceSource};
 use ldis_workloads::{
-    cache_insensitive, memory_intensive, HotSet, PointerChase, SequentialScan, TraceLength,
-    Workload, WordsProfile,
+    cache_insensitive, memory_intensive, HotSet, PointerChase, SequentialScan, Stream, TraceLength,
+    WordsProfile, Workload,
 };
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Every workload is deterministic per seed and produces word-aligned
-    /// accesses with positive instruction gaps.
-    #[test]
-    fn workloads_are_deterministic_and_well_formed(seed in any::<u64>(), pick in 0usize..16) {
-        let bench = memory_intensive()[pick];
+/// Every workload is deterministic per seed and produces word-aligned
+/// accesses with positive instruction gaps.
+#[test]
+fn workloads_are_deterministic_and_well_formed() {
+    let mut rng = SimRng::new(0x3011);
+    for case in 0..16 {
+        let seed = rng.next_u64();
+        let bench = memory_intensive()[case % 16];
         let t1 = (bench.make)(seed).record(400);
         let t2 = (bench.make)(seed).record(400);
-        prop_assert_eq!(t1.accesses(), t2.accesses());
+        assert_eq!(t1.accesses(), t2.accesses(), "case {case}");
         for a in t1.accesses() {
             if a.kind != AccessKind::InstrFetch {
-                prop_assert_eq!(a.addr.raw() % 8, 0, "{} misaligned", bench.name);
+                assert_eq!(
+                    a.addr.raw() % 8,
+                    0,
+                    "case {case}: {} misaligned",
+                    bench.name
+                );
             }
-            prop_assert!(a.insts >= 1);
-            prop_assert!(a.size >= 1 && a.size <= 8);
+            assert!(a.insts >= 1, "case {case}");
+            assert!(a.size >= 1 && a.size <= 8, "case {case}");
         }
     }
+}
 
-    /// Streams never leave their declared regions.
-    #[test]
-    fn streams_stay_in_their_regions(base in 0u64..1_000_000, lines in 1u64..5_000) {
+/// Streams never leave their declared regions.
+#[test]
+fn streams_stay_in_their_regions() {
+    let mut rng = SimRng::new(0x3012);
+    for case in 0..20 {
+        let base = rng.range(1_000_000);
+        let lines = 1 + rng.range(4_999);
         let mut w = Workload::builder("bounded", 3)
             .stream(1.0, HotSet::new(base, lines, WordsProfile::mixed(), 1))
             .build();
         for _ in 0..500 {
-            let a = w.next_access().unwrap();
+            let a = w.next_access().expect("workload streams are endless");
             let line = a.addr.raw() / 64;
-            prop_assert!((base..base + lines).contains(&line));
+            assert!((base..base + lines).contains(&line), "case {case}");
         }
     }
+}
 
-    /// A pointer chase visits all nodes before repeating any (single cycle),
-    /// regardless of seed.
-    #[test]
-    fn chase_is_a_permutation_cycle(seed in any::<u64>(), nodes in 2u64..256) {
+/// A pointer chase visits all nodes before repeating any (single cycle),
+/// regardless of seed.
+#[test]
+fn chase_is_a_permutation_cycle() {
+    let mut meta = SimRng::new(0x3013);
+    for case in 0..30 {
+        let seed = meta.next_u64();
+        let nodes = 2 + meta.range(254);
         let mut chase = PointerChase::new(0, nodes, WordsProfile::exactly(1), 0, seed);
-        let mut rng = ldis_mem::SimRng::new(1);
+        let mut rng = SimRng::new(1);
         let mut seen = std::collections::HashSet::new();
-        use ldis_workloads::Stream;
         for _ in 0..nodes {
-            prop_assert!(seen.insert(chase.next_visit(&mut rng).line));
+            assert!(seen.insert(chase.next_visit(&mut rng).line), "case {case}");
         }
-        prop_assert_eq!(seen.len() as u64, nodes);
+        assert_eq!(seen.len() as u64, nodes, "case {case}");
     }
+}
 
-    /// Sampled words-used average tracks the profile's analytic mean for
-    /// any valid weight vector.
-    #[test]
-    fn profile_mean_matches_samples(weights in prop::collection::vec(0.0f64..10.0, 8..9)) {
-        let arr: [f64; 8] = weights.clone().try_into().unwrap();
-        prop_assume!(arr.iter().sum::<f64>() > 0.5);
+/// Sampled words-used average tracks the profile's analytic mean for
+/// any valid weight vector.
+#[test]
+fn profile_mean_matches_samples() {
+    let mut rng = SimRng::new(0x3014);
+    for case in 0..30 {
+        let mut arr = [0.0f64; 8];
+        for slot in arr.iter_mut() {
+            *slot = rng.f64() * 10.0;
+        }
+        if arr.iter().sum::<f64>() <= 0.5 {
+            continue;
+        }
         let profile = WordsProfile::new(arr);
         let n = 4000u64;
         let sum: u64 = (0..n)
             .map(|i| profile.words_for(ldis_mem::LineAddr::new(i), 1) as u64)
             .sum();
         let sampled = sum as f64 / n as f64;
-        prop_assert!(
+        assert!(
             (sampled - profile.mean()).abs() < 0.25,
-            "sampled {sampled} vs analytic {}",
+            "case {case}: sampled {sampled} vs analytic {}",
             profile.mean()
         );
     }
+}
 
-    /// Wrapping scans repeat with a period of exactly `lines` visits.
-    #[test]
-    fn scan_period_is_lines(lines in 1u64..500) {
-        use ldis_workloads::Stream;
+/// Wrapping scans repeat with a period of exactly `lines` visits.
+#[test]
+fn scan_period_is_lines() {
+    let mut meta = SimRng::new(0x3015);
+    for case in 0..30 {
+        let lines = 1 + meta.range(499);
         let mut s = SequentialScan::new(7, lines, WordsProfile::exactly(1), 0, true);
-        let mut rng = ldis_mem::SimRng::new(1);
-        let first: Vec<u64> = (0..lines).map(|_| s.next_visit(&mut rng).line.raw()).collect();
-        let second: Vec<u64> = (0..lines).map(|_| s.next_visit(&mut rng).line.raw()).collect();
-        prop_assert_eq!(first, second);
+        let mut rng = SimRng::new(1);
+        let first: Vec<u64> = (0..lines)
+            .map(|_| s.next_visit(&mut rng).line.raw())
+            .collect();
+        let second: Vec<u64> = (0..lines)
+            .map(|_| s.next_visit(&mut rng).line.raw())
+            .collect();
+        assert_eq!(first, second, "case {case}");
     }
 }
 

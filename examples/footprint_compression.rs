@@ -6,9 +6,7 @@
 //! ```
 
 use line_distillation::cache::{BaselineL2, CacheConfig, Hierarchy};
-use line_distillation::compress::{
-    class_of, fac_cache, CmprCache, CmprConfig, ValueSizeModel,
-};
+use line_distillation::compress::{class_of, fac_cache, CmprCache, CmprConfig, ValueSizeModel};
 use line_distillation::distill::{DistillCache, DistillConfig};
 use line_distillation::mem::{Addr, LineGeometry};
 use line_distillation::workloads::{spec2000, TraceLength, WordClass};
@@ -38,7 +36,10 @@ fn main() {
     println!();
 
     let run = |name: &str, mpki: f64, base: f64| {
-        println!("  {name:<22} MPKI {mpki:>7.3}   ({:+.1}%)", (base - mpki) / base * 100.0);
+        println!(
+            "  {name:<22} MPKI {mpki:>7.3}   ({:+.1}%)",
+            (base - mpki) / base * 100.0
+        );
     };
 
     let drive_base = || {

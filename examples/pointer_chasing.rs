@@ -18,7 +18,11 @@ const ACCESSES: u64 = 2_000_000;
 
 fn run_traditional(size_bytes: u64) -> f64 {
     let lines = size_bytes / 64;
-    let ways = if (lines / 8).is_power_of_two() { 8 } else { (lines / 2048) as u32 };
+    let ways = if (lines / 8).is_power_of_two() {
+        8
+    } else {
+        (lines / 2048) as u32
+    };
     let cfg = CacheConfig::with_sets(lines / ways as u64, ways, LineGeometry::default());
     let mut hier = Hierarchy::hpca2007(BaselineL2::new(cfg));
     spec2000::health(7).drive(&mut hier, TraceLength::accesses(ACCESSES));
@@ -37,8 +41,14 @@ fn main() {
     println!("distill cache (1MB) access breakdown:");
     println!("  LOC hits:    {:>6.1}%", d.loc_hits as f64 / total * 100.0);
     println!("  WOC hits:    {:>6.1}%", d.woc_hits as f64 / total * 100.0);
-    println!("  hole misses: {:>6.1}%", d.hole_misses as f64 / total * 100.0);
-    println!("  line misses: {:>6.1}%", d.line_misses as f64 / total * 100.0);
+    println!(
+        "  hole misses: {:>6.1}%",
+        d.hole_misses as f64 / total * 100.0
+    );
+    println!(
+        "  line misses: {:>6.1}%",
+        d.line_misses as f64 / total * 100.0
+    );
 
     // WOC occupancy: how many word slots hold live data, and how many
     // lines fit in a few sample sets.
@@ -51,7 +61,10 @@ fn main() {
         woc.occupancy() as f64 / capacity as f64 * 100.0
     );
     for set in [0usize, 512, 1024] {
-        println!("  set {set:>4}: {} distilled lines resident", woc.lines_in_set(set));
+        println!(
+            "  set {set:>4}: {} distilled lines resident",
+            woc.lines_in_set(set)
+        );
     }
     println!(
         "\nmedian-threshold: current threshold = {} words ({} windows)",

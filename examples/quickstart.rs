@@ -8,7 +8,7 @@
 use line_distillation::cache::{BaselineL2, CacheConfig, Hierarchy, SecondLevel};
 use line_distillation::distill::{DistillCache, DistillConfig};
 use line_distillation::mem::LineGeometry;
-use line_distillation::workloads::{HotSet, PointerChase, TraceLength, Workload, WordsProfile};
+use line_distillation::workloads::{HotSet, PointerChase, TraceLength, WordsProfile, Workload};
 
 fn main() {
     // A workload with poor spatial locality: a pointer chase over 30k
@@ -17,7 +17,10 @@ fn main() {
     // words that are never read.
     let make_workload = || {
         Workload::builder("quickstart", 42)
-            .stream(0.8, PointerChase::new(0, 30_000, WordsProfile::sparse(), 1, 42))
+            .stream(
+                0.8,
+                PointerChase::new(0, 30_000, WordsProfile::sparse(), 1, 42),
+            )
             .stream(0.2, HotSet::new(1 << 24, 2_000, WordsProfile::mixed(), 2))
             .inst_gap(8.0)
             .build()
@@ -40,7 +43,11 @@ fn main() {
     println!("=== Line Distillation quickstart ===\n");
     println!("baseline 1MB 8-way:");
     println!("  L2 accesses: {:>9}", b.accesses);
-    println!("  hits:        {:>9}  ({:.1}%)", b.hits(), b.hit_rate() * 100.0);
+    println!(
+        "  hits:        {:>9}  ({:.1}%)",
+        b.hits(),
+        b.hit_rate() * 100.0
+    );
     println!("  misses:      {:>9}", b.demand_misses());
     println!("  MPKI:        {:>9.3}\n", base_hier.mpki());
 

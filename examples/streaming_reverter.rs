@@ -21,7 +21,10 @@ fn main() {
 
     println!("=== swim: streaming with a trailing second pass ===\n");
     println!("Running {total} accesses; sampling the reverter every {step}:\n");
-    println!("{:>10}  {:>5}  {:>8}  {:>12}  {:>12}", "accesses", "PSEL", "LDIS", "distill-miss", "ATD-miss");
+    println!(
+        "{:>10}  {:>5}  {:>8}  {:>12}  {:>12}",
+        "accesses", "PSEL", "LDIS", "distill-miss", "ATD-miss"
+    );
 
     let mut with_rc = Hierarchy::hpca2007(DistillCache::new(DistillConfig::ldis_mt_rc()));
     let mut workload = spec2000::swim(11);
@@ -37,7 +40,11 @@ fn main() {
             "{:>10}  {:>5}  {:>8}  {:>12}  {:>12}",
             done,
             r.psel(),
-            if r.ldis_enabled() { "enabled" } else { "DISABLED" },
+            if r.ldis_enabled() {
+                "enabled"
+            } else {
+                "DISABLED"
+            },
             r.distill_leader_misses,
             r.atd_misses
         );
@@ -46,7 +53,10 @@ fn main() {
     // Compare the three configurations end to end.
     let run = |mk: &dyn Fn() -> DistillCache| {
         let mut h = Hierarchy::hpca2007(mk());
-        spec2000::swim(11).drive(&mut h, line_distillation::workloads::TraceLength::accesses(total));
+        spec2000::swim(11).drive(
+            &mut h,
+            line_distillation::workloads::TraceLength::accesses(total),
+        );
         h.mpki()
     };
     let mut base_h = Hierarchy::hpca2007(BaselineL2::new(CacheConfig::new(
@@ -64,8 +74,14 @@ fn main() {
 
     println!("\nMPKI:");
     println!("  traditional baseline : {base:>7.3}");
-    println!("  LDIS-MT (no reverter): {no_rc:>7.3}  ({:+.1}%)", (base - no_rc) / base * 100.0);
-    println!("  LDIS-MT-RC           : {rc:>7.3}  ({:+.1}%)", (base - rc) / base * 100.0);
+    println!(
+        "  LDIS-MT (no reverter): {no_rc:>7.3}  ({:+.1}%)",
+        (base - no_rc) / base * 100.0
+    );
+    println!(
+        "  LDIS-MT-RC           : {rc:>7.3}  ({:+.1}%)",
+        (base - rc) / base * 100.0
+    );
     println!("\nWithout the reverter, distillation nearly doubles swim's misses;");
     println!("with it, the distill cache tracks the baseline (paper, Section 7.1).");
 }

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-48c764585c03bd3a.d: tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-48c764585c03bd3a: tests/end_to_end.rs
+
+tests/end_to_end.rs:

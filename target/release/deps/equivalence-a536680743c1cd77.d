@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/equivalence-a536680743c1cd77.d: tests/equivalence.rs
+
+/root/repo/target/release/deps/equivalence-a536680743c1cd77: tests/equivalence.rs
+
+tests/equivalence.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/equivalence-af2442a38e7dc651.d: tests/equivalence.rs Cargo.toml
+
+/root/repo/target/release/deps/libequivalence-af2442a38e7dc651.rmeta: tests/equivalence.rs Cargo.toml
+
+tests/equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fault_injection-00d5a3a53296f150.d: tests/fault_injection.rs
+
+/root/repo/target/release/deps/fault_injection-00d5a3a53296f150: tests/fault_injection.rs
+
+tests/fault_injection.rs:

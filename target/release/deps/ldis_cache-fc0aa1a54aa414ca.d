@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/ldis_cache-fc0aa1a54aa414ca.d: crates/cache/src/lib.rs crates/cache/src/cache.rs crates/cache/src/config.rs crates/cache/src/entry.rs crates/cache/src/health.rs crates/cache/src/hierarchy.rs crates/cache/src/second_level.rs crates/cache/src/sectored.rs crates/cache/src/set.rs crates/cache/src/stats.rs Cargo.toml
+
+/root/repo/target/release/deps/libldis_cache-fc0aa1a54aa414ca.rmeta: crates/cache/src/lib.rs crates/cache/src/cache.rs crates/cache/src/config.rs crates/cache/src/entry.rs crates/cache/src/health.rs crates/cache/src/hierarchy.rs crates/cache/src/second_level.rs crates/cache/src/sectored.rs crates/cache/src/set.rs crates/cache/src/stats.rs Cargo.toml
+
+crates/cache/src/lib.rs:
+crates/cache/src/cache.rs:
+crates/cache/src/config.rs:
+crates/cache/src/entry.rs:
+crates/cache/src/health.rs:
+crates/cache/src/hierarchy.rs:
+crates/cache/src/second_level.rs:
+crates/cache/src/sectored.rs:
+crates/cache/src/set.rs:
+crates/cache/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/ldis_compress-015154bae9dc22fa.d: crates/compress/src/lib.rs crates/compress/src/cmpr.rs crates/compress/src/fac.rs crates/compress/src/fpc.rs
+
+/root/repo/target/release/deps/ldis_compress-015154bae9dc22fa: crates/compress/src/lib.rs crates/compress/src/cmpr.rs crates/compress/src/fac.rs crates/compress/src/fpc.rs
+
+crates/compress/src/lib.rs:
+crates/compress/src/cmpr.rs:
+crates/compress/src/fac.rs:
+crates/compress/src/fpc.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/ldis_compress-239d2313254dbd9b.d: crates/compress/src/lib.rs crates/compress/src/cmpr.rs crates/compress/src/fac.rs crates/compress/src/fpc.rs
+
+/root/repo/target/release/deps/libldis_compress-239d2313254dbd9b.rlib: crates/compress/src/lib.rs crates/compress/src/cmpr.rs crates/compress/src/fac.rs crates/compress/src/fpc.rs
+
+/root/repo/target/release/deps/libldis_compress-239d2313254dbd9b.rmeta: crates/compress/src/lib.rs crates/compress/src/cmpr.rs crates/compress/src/fac.rs crates/compress/src/fpc.rs
+
+crates/compress/src/lib.rs:
+crates/compress/src/cmpr.rs:
+crates/compress/src/fac.rs:
+crates/compress/src/fpc.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/ldis_compress-91a1b257960ccbac.d: crates/compress/src/lib.rs crates/compress/src/cmpr.rs crates/compress/src/fac.rs crates/compress/src/fpc.rs Cargo.toml
+
+/root/repo/target/release/deps/libldis_compress-91a1b257960ccbac.rmeta: crates/compress/src/lib.rs crates/compress/src/cmpr.rs crates/compress/src/fac.rs crates/compress/src/fpc.rs Cargo.toml
+
+crates/compress/src/lib.rs:
+crates/compress/src/cmpr.rs:
+crates/compress/src/fac.rs:
+crates/compress/src/fpc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

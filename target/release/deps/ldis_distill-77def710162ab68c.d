@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/ldis_distill-77def710162ab68c.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/costs.rs crates/core/src/distill_cache.rs crates/core/src/error.rs crates/core/src/fault.rs crates/core/src/median.rs crates/core/src/overhead.rs crates/core/src/reverter.rs crates/core/src/woc.rs crates/core/src/word_store.rs
+
+/root/repo/target/release/deps/libldis_distill-77def710162ab68c.rlib: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/costs.rs crates/core/src/distill_cache.rs crates/core/src/error.rs crates/core/src/fault.rs crates/core/src/median.rs crates/core/src/overhead.rs crates/core/src/reverter.rs crates/core/src/woc.rs crates/core/src/word_store.rs
+
+/root/repo/target/release/deps/libldis_distill-77def710162ab68c.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/costs.rs crates/core/src/distill_cache.rs crates/core/src/error.rs crates/core/src/fault.rs crates/core/src/median.rs crates/core/src/overhead.rs crates/core/src/reverter.rs crates/core/src/woc.rs crates/core/src/word_store.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/costs.rs:
+crates/core/src/distill_cache.rs:
+crates/core/src/error.rs:
+crates/core/src/fault.rs:
+crates/core/src/median.rs:
+crates/core/src/overhead.rs:
+crates/core/src/reverter.rs:
+crates/core/src/woc.rs:
+crates/core/src/word_store.rs:

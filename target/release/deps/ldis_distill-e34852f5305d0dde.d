@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/ldis_distill-e34852f5305d0dde.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/costs.rs crates/core/src/distill_cache.rs crates/core/src/error.rs crates/core/src/fault.rs crates/core/src/median.rs crates/core/src/overhead.rs crates/core/src/reverter.rs crates/core/src/woc.rs crates/core/src/word_store.rs Cargo.toml
+
+/root/repo/target/release/deps/libldis_distill-e34852f5305d0dde.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/costs.rs crates/core/src/distill_cache.rs crates/core/src/error.rs crates/core/src/fault.rs crates/core/src/median.rs crates/core/src/overhead.rs crates/core/src/reverter.rs crates/core/src/woc.rs crates/core/src/word_store.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/costs.rs:
+crates/core/src/distill_cache.rs:
+crates/core/src/error.rs:
+crates/core/src/fault.rs:
+crates/core/src/median.rs:
+crates/core/src/overhead.rs:
+crates/core/src/reverter.rs:
+crates/core/src/woc.rs:
+crates/core/src/word_store.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,25 @@
+/root/repo/target/release/deps/ldis_experiments-0893169aa4a93978.d: crates/experiments/src/lib.rs crates/experiments/src/ablations.rs crates/experiments/src/appendix.rs crates/experiments/src/costs.rs crates/experiments/src/fig10.rs crates/experiments/src/fig11.rs crates/experiments/src/fig13.rs crates/experiments/src/fig6.rs crates/experiments/src/fig7.rs crates/experiments/src/fig8.rs crates/experiments/src/fig9.rs crates/experiments/src/linesize.rs crates/experiments/src/motivation.rs crates/experiments/src/report.rs crates/experiments/src/resilience.rs crates/experiments/src/runner.rs crates/experiments/src/table3.rs Cargo.toml
+
+/root/repo/target/release/deps/libldis_experiments-0893169aa4a93978.rmeta: crates/experiments/src/lib.rs crates/experiments/src/ablations.rs crates/experiments/src/appendix.rs crates/experiments/src/costs.rs crates/experiments/src/fig10.rs crates/experiments/src/fig11.rs crates/experiments/src/fig13.rs crates/experiments/src/fig6.rs crates/experiments/src/fig7.rs crates/experiments/src/fig8.rs crates/experiments/src/fig9.rs crates/experiments/src/linesize.rs crates/experiments/src/motivation.rs crates/experiments/src/report.rs crates/experiments/src/resilience.rs crates/experiments/src/runner.rs crates/experiments/src/table3.rs Cargo.toml
+
+crates/experiments/src/lib.rs:
+crates/experiments/src/ablations.rs:
+crates/experiments/src/appendix.rs:
+crates/experiments/src/costs.rs:
+crates/experiments/src/fig10.rs:
+crates/experiments/src/fig11.rs:
+crates/experiments/src/fig13.rs:
+crates/experiments/src/fig6.rs:
+crates/experiments/src/fig7.rs:
+crates/experiments/src/fig8.rs:
+crates/experiments/src/fig9.rs:
+crates/experiments/src/linesize.rs:
+crates/experiments/src/motivation.rs:
+crates/experiments/src/report.rs:
+crates/experiments/src/resilience.rs:
+crates/experiments/src/runner.rs:
+crates/experiments/src/table3.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

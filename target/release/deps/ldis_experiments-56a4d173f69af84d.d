@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ldis_experiments-56a4d173f69af84d.d: crates/experiments/src/bin/main.rs Cargo.toml
+
+/root/repo/target/release/deps/libldis_experiments-56a4d173f69af84d.rmeta: crates/experiments/src/bin/main.rs Cargo.toml
+
+crates/experiments/src/bin/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ldis_experiments-7cd6f8e7162d9f97.d: crates/experiments/src/bin/main.rs Cargo.toml
+
+/root/repo/target/release/deps/libldis_experiments-7cd6f8e7162d9f97.rmeta: crates/experiments/src/bin/main.rs Cargo.toml
+
+crates/experiments/src/bin/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ldis_experiments-831489ecfd3f2509.d: crates/experiments/src/bin/main.rs
+
+/root/repo/target/release/deps/ldis_experiments-831489ecfd3f2509: crates/experiments/src/bin/main.rs
+
+crates/experiments/src/bin/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ldis_experiments-9f48bb80c0606f7d.d: crates/experiments/src/bin/main.rs
+
+/root/repo/target/release/deps/ldis_experiments-9f48bb80c0606f7d: crates/experiments/src/bin/main.rs
+
+crates/experiments/src/bin/main.rs:

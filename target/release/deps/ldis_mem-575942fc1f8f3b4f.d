@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/ldis_mem-575942fc1f8f3b4f.d: crates/mem/src/lib.rs crates/mem/src/access.rs crates/mem/src/addr.rs crates/mem/src/footprint.rs crates/mem/src/geometry.rs crates/mem/src/rng.rs crates/mem/src/stats.rs crates/mem/src/trace.rs crates/mem/src/trace_io.rs Cargo.toml
+
+/root/repo/target/release/deps/libldis_mem-575942fc1f8f3b4f.rmeta: crates/mem/src/lib.rs crates/mem/src/access.rs crates/mem/src/addr.rs crates/mem/src/footprint.rs crates/mem/src/geometry.rs crates/mem/src/rng.rs crates/mem/src/stats.rs crates/mem/src/trace.rs crates/mem/src/trace_io.rs Cargo.toml
+
+crates/mem/src/lib.rs:
+crates/mem/src/access.rs:
+crates/mem/src/addr.rs:
+crates/mem/src/footprint.rs:
+crates/mem/src/geometry.rs:
+crates/mem/src/rng.rs:
+crates/mem/src/stats.rs:
+crates/mem/src/trace.rs:
+crates/mem/src/trace_io.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/ldis_mem-870f56eacae32e95.d: crates/mem/src/lib.rs crates/mem/src/access.rs crates/mem/src/addr.rs crates/mem/src/footprint.rs crates/mem/src/geometry.rs crates/mem/src/rng.rs crates/mem/src/stats.rs crates/mem/src/trace.rs crates/mem/src/trace_io.rs
+
+/root/repo/target/release/deps/libldis_mem-870f56eacae32e95.rlib: crates/mem/src/lib.rs crates/mem/src/access.rs crates/mem/src/addr.rs crates/mem/src/footprint.rs crates/mem/src/geometry.rs crates/mem/src/rng.rs crates/mem/src/stats.rs crates/mem/src/trace.rs crates/mem/src/trace_io.rs
+
+/root/repo/target/release/deps/libldis_mem-870f56eacae32e95.rmeta: crates/mem/src/lib.rs crates/mem/src/access.rs crates/mem/src/addr.rs crates/mem/src/footprint.rs crates/mem/src/geometry.rs crates/mem/src/rng.rs crates/mem/src/stats.rs crates/mem/src/trace.rs crates/mem/src/trace_io.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/access.rs:
+crates/mem/src/addr.rs:
+crates/mem/src/footprint.rs:
+crates/mem/src/geometry.rs:
+crates/mem/src/rng.rs:
+crates/mem/src/stats.rs:
+crates/mem/src/trace.rs:
+crates/mem/src/trace_io.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/ldis_sfp-6ab858dd0a9098f5.d: crates/sfp/src/lib.rs crates/sfp/src/predictor.rs crates/sfp/src/sfp_cache.rs Cargo.toml
+
+/root/repo/target/release/deps/libldis_sfp-6ab858dd0a9098f5.rmeta: crates/sfp/src/lib.rs crates/sfp/src/predictor.rs crates/sfp/src/sfp_cache.rs Cargo.toml
+
+crates/sfp/src/lib.rs:
+crates/sfp/src/predictor.rs:
+crates/sfp/src/sfp_cache.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

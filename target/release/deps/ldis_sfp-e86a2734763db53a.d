@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ldis_sfp-e86a2734763db53a.d: crates/sfp/src/lib.rs crates/sfp/src/predictor.rs crates/sfp/src/sfp_cache.rs
+
+/root/repo/target/release/deps/libldis_sfp-e86a2734763db53a.rlib: crates/sfp/src/lib.rs crates/sfp/src/predictor.rs crates/sfp/src/sfp_cache.rs
+
+/root/repo/target/release/deps/libldis_sfp-e86a2734763db53a.rmeta: crates/sfp/src/lib.rs crates/sfp/src/predictor.rs crates/sfp/src/sfp_cache.rs
+
+crates/sfp/src/lib.rs:
+crates/sfp/src/predictor.rs:
+crates/sfp/src/sfp_cache.rs:

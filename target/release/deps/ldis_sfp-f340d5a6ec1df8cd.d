@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ldis_sfp-f340d5a6ec1df8cd.d: crates/sfp/src/lib.rs crates/sfp/src/predictor.rs crates/sfp/src/sfp_cache.rs
+
+/root/repo/target/release/deps/ldis_sfp-f340d5a6ec1df8cd: crates/sfp/src/lib.rs crates/sfp/src/predictor.rs crates/sfp/src/sfp_cache.rs
+
+crates/sfp/src/lib.rs:
+crates/sfp/src/predictor.rs:
+crates/sfp/src/sfp_cache.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/ldis_timing-2d00dca07313f56c.d: crates/timing/src/lib.rs crates/timing/src/config.rs crates/timing/src/cpu.rs crates/timing/src/dram.rs
+
+/root/repo/target/release/deps/libldis_timing-2d00dca07313f56c.rlib: crates/timing/src/lib.rs crates/timing/src/config.rs crates/timing/src/cpu.rs crates/timing/src/dram.rs
+
+/root/repo/target/release/deps/libldis_timing-2d00dca07313f56c.rmeta: crates/timing/src/lib.rs crates/timing/src/config.rs crates/timing/src/cpu.rs crates/timing/src/dram.rs
+
+crates/timing/src/lib.rs:
+crates/timing/src/config.rs:
+crates/timing/src/cpu.rs:
+crates/timing/src/dram.rs:

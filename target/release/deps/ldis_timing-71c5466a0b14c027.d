@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/ldis_timing-71c5466a0b14c027.d: crates/timing/src/lib.rs crates/timing/src/config.rs crates/timing/src/cpu.rs crates/timing/src/dram.rs
+
+/root/repo/target/release/deps/ldis_timing-71c5466a0b14c027: crates/timing/src/lib.rs crates/timing/src/config.rs crates/timing/src/cpu.rs crates/timing/src/dram.rs
+
+crates/timing/src/lib.rs:
+crates/timing/src/config.rs:
+crates/timing/src/cpu.rs:
+crates/timing/src/dram.rs:

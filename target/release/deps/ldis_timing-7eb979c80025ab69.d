@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/ldis_timing-7eb979c80025ab69.d: crates/timing/src/lib.rs crates/timing/src/config.rs crates/timing/src/cpu.rs crates/timing/src/dram.rs Cargo.toml
+
+/root/repo/target/release/deps/libldis_timing-7eb979c80025ab69.rmeta: crates/timing/src/lib.rs crates/timing/src/config.rs crates/timing/src/cpu.rs crates/timing/src/dram.rs Cargo.toml
+
+crates/timing/src/lib.rs:
+crates/timing/src/config.rs:
+crates/timing/src/cpu.rs:
+crates/timing/src/dram.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

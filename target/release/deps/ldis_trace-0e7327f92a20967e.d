@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ldis_trace-0e7327f92a20967e.d: crates/experiments/src/bin/trace.rs Cargo.toml
+
+/root/repo/target/release/deps/libldis_trace-0e7327f92a20967e.rmeta: crates/experiments/src/bin/trace.rs Cargo.toml
+
+crates/experiments/src/bin/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

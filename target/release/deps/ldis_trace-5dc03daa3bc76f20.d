@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ldis_trace-5dc03daa3bc76f20.d: crates/experiments/src/bin/trace.rs
+
+/root/repo/target/release/deps/ldis_trace-5dc03daa3bc76f20: crates/experiments/src/bin/trace.rs
+
+crates/experiments/src/bin/trace.rs:

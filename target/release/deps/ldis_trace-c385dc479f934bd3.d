@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ldis_trace-c385dc479f934bd3.d: crates/experiments/src/bin/trace.rs
+
+/root/repo/target/release/deps/ldis_trace-c385dc479f934bd3: crates/experiments/src/bin/trace.rs
+
+crates/experiments/src/bin/trace.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/ldis_workloads-63cfed69dd20da49.d: crates/workloads/src/lib.rs crates/workloads/src/insensitive.rs crates/workloads/src/profile.rs crates/workloads/src/spec2000.rs crates/workloads/src/streams.rs crates/workloads/src/workload.rs
+
+/root/repo/target/release/deps/ldis_workloads-63cfed69dd20da49: crates/workloads/src/lib.rs crates/workloads/src/insensitive.rs crates/workloads/src/profile.rs crates/workloads/src/spec2000.rs crates/workloads/src/streams.rs crates/workloads/src/workload.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/insensitive.rs:
+crates/workloads/src/profile.rs:
+crates/workloads/src/spec2000.rs:
+crates/workloads/src/streams.rs:
+crates/workloads/src/workload.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/ldis_workloads-6b6779292eaf5f11.d: crates/workloads/src/lib.rs crates/workloads/src/insensitive.rs crates/workloads/src/profile.rs crates/workloads/src/spec2000.rs crates/workloads/src/streams.rs crates/workloads/src/workload.rs Cargo.toml
+
+/root/repo/target/release/deps/libldis_workloads-6b6779292eaf5f11.rmeta: crates/workloads/src/lib.rs crates/workloads/src/insensitive.rs crates/workloads/src/profile.rs crates/workloads/src/spec2000.rs crates/workloads/src/streams.rs crates/workloads/src/workload.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/insensitive.rs:
+crates/workloads/src/profile.rs:
+crates/workloads/src/spec2000.rs:
+crates/workloads/src/streams.rs:
+crates/workloads/src/workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/ldis_workloads-b6f370c167268b7f.d: crates/workloads/src/lib.rs crates/workloads/src/insensitive.rs crates/workloads/src/profile.rs crates/workloads/src/spec2000.rs crates/workloads/src/streams.rs crates/workloads/src/workload.rs
+
+/root/repo/target/release/deps/libldis_workloads-b6f370c167268b7f.rlib: crates/workloads/src/lib.rs crates/workloads/src/insensitive.rs crates/workloads/src/profile.rs crates/workloads/src/spec2000.rs crates/workloads/src/streams.rs crates/workloads/src/workload.rs
+
+/root/repo/target/release/deps/libldis_workloads-b6f370c167268b7f.rmeta: crates/workloads/src/lib.rs crates/workloads/src/insensitive.rs crates/workloads/src/profile.rs crates/workloads/src/spec2000.rs crates/workloads/src/streams.rs crates/workloads/src/workload.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/insensitive.rs:
+crates/workloads/src/profile.rs:
+crates/workloads/src/spec2000.rs:
+crates/workloads/src/streams.rs:
+crates/workloads/src/workload.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/line_distillation-6790a12e16532fd4.d: src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libline_distillation-6790a12e16532fd4.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/line_distillation-a221e628deb3ff9a.d: src/lib.rs
+
+/root/repo/target/release/deps/line_distillation-a221e628deb3ff9a: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/line_distillation-e3f01470b29544e8.d: src/lib.rs
+
+/root/repo/target/release/deps/libline_distillation-e3f01470b29544e8.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libline_distillation-e3f01470b29544e8.rmeta: src/lib.rs
+
+src/lib.rs:

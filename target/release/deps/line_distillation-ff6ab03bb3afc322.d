@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/line_distillation-ff6ab03bb3afc322.d: src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libline_distillation-ff6ab03bb3afc322.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

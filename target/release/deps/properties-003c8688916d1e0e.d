@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/properties-003c8688916d1e0e.d: crates/workloads/tests/properties.rs Cargo.toml
+
+/root/repo/target/release/deps/libproperties-003c8688916d1e0e.rmeta: crates/workloads/tests/properties.rs Cargo.toml
+
+crates/workloads/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-18ba345f2534102b.d: crates/cache/tests/properties.rs
+
+/root/repo/target/release/deps/properties-18ba345f2534102b: crates/cache/tests/properties.rs
+
+crates/cache/tests/properties.rs:

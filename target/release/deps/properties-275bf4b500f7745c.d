@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-275bf4b500f7745c.d: crates/compress/tests/properties.rs
+
+/root/repo/target/release/deps/properties-275bf4b500f7745c: crates/compress/tests/properties.rs
+
+crates/compress/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-2dbb281da0bf0a1c.d: crates/core/tests/properties.rs
+
+/root/repo/target/release/deps/properties-2dbb281da0bf0a1c: crates/core/tests/properties.rs
+
+crates/core/tests/properties.rs:

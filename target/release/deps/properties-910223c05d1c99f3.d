@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/properties-910223c05d1c99f3.d: crates/mem/tests/properties.rs Cargo.toml
+
+/root/repo/target/release/deps/libproperties-910223c05d1c99f3.rmeta: crates/mem/tests/properties.rs Cargo.toml
+
+crates/mem/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

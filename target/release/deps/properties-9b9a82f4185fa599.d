@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/properties-9b9a82f4185fa599.d: crates/core/tests/properties.rs Cargo.toml
+
+/root/repo/target/release/deps/libproperties-9b9a82f4185fa599.rmeta: crates/core/tests/properties.rs Cargo.toml
+
+crates/core/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

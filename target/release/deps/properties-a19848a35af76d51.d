@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-a19848a35af76d51.d: crates/mem/tests/properties.rs
+
+/root/repo/target/release/deps/properties-a19848a35af76d51: crates/mem/tests/properties.rs
+
+crates/mem/tests/properties.rs:

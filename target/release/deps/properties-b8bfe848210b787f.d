@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-b8bfe848210b787f.d: crates/timing/tests/properties.rs
+
+/root/repo/target/release/deps/properties-b8bfe848210b787f: crates/timing/tests/properties.rs
+
+crates/timing/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/properties-bebd5dce9b55e2a2.d: crates/timing/tests/properties.rs Cargo.toml
+
+/root/repo/target/release/deps/libproperties-bebd5dce9b55e2a2.rmeta: crates/timing/tests/properties.rs Cargo.toml
+
+crates/timing/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

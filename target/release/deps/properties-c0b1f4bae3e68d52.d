@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/properties-c0b1f4bae3e68d52.d: crates/compress/tests/properties.rs Cargo.toml
+
+/root/repo/target/release/deps/libproperties-c0b1f4bae3e68d52.rmeta: crates/compress/tests/properties.rs Cargo.toml
+
+crates/compress/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

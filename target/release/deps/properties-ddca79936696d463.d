@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/properties-ddca79936696d463.d: crates/sfp/tests/properties.rs Cargo.toml
+
+/root/repo/target/release/deps/libproperties-ddca79936696d463.rmeta: crates/sfp/tests/properties.rs Cargo.toml
+
+crates/sfp/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

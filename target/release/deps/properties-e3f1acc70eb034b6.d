@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-e3f1acc70eb034b6.d: crates/sfp/tests/properties.rs
+
+/root/repo/target/release/deps/properties-e3f1acc70eb034b6: crates/sfp/tests/properties.rs
+
+crates/sfp/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-f0c3ec5fc31444ea.d: crates/workloads/tests/properties.rs
+
+/root/repo/target/release/deps/properties-f0c3ec5fc31444ea: crates/workloads/tests/properties.rs
+
+crates/workloads/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/properties-ffa867de509899e4.d: crates/cache/tests/properties.rs Cargo.toml
+
+/root/repo/target/release/deps/libproperties-ffa867de509899e4.rmeta: crates/cache/tests/properties.rs Cargo.toml
+
+crates/cache/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

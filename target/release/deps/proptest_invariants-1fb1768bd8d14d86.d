@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/proptest_invariants-1fb1768bd8d14d86.d: tests/proptest_invariants.rs Cargo.toml
+
+/root/repo/target/release/deps/libproptest_invariants-1fb1768bd8d14d86.rmeta: tests/proptest_invariants.rs Cargo.toml
+
+tests/proptest_invariants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

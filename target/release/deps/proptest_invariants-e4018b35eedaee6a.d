@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest_invariants-e4018b35eedaee6a.d: tests/proptest_invariants.rs
+
+/root/repo/target/release/deps/proptest_invariants-e4018b35eedaee6a: tests/proptest_invariants.rs
+
+tests/proptest_invariants.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/reverter_dynamics-4a842cc4ad99143a.d: tests/reverter_dynamics.rs
+
+/root/repo/target/release/deps/reverter_dynamics-4a842cc4ad99143a: tests/reverter_dynamics.rs
+
+tests/reverter_dynamics.rs:

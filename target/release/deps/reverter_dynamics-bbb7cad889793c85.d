@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/reverter_dynamics-bbb7cad889793c85.d: tests/reverter_dynamics.rs Cargo.toml
+
+/root/repo/target/release/deps/libreverter_dynamics-bbb7cad889793c85.rmeta: tests/reverter_dynamics.rs Cargo.toml
+
+tests/reverter_dynamics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

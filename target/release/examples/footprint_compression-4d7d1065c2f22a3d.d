@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/footprint_compression-4d7d1065c2f22a3d.d: examples/footprint_compression.rs
+
+/root/repo/target/release/examples/footprint_compression-4d7d1065c2f22a3d: examples/footprint_compression.rs
+
+examples/footprint_compression.rs:

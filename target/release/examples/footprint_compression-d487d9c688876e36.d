@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/footprint_compression-d487d9c688876e36.d: examples/footprint_compression.rs Cargo.toml
+
+/root/repo/target/release/examples/libfootprint_compression-d487d9c688876e36.rmeta: examples/footprint_compression.rs Cargo.toml
+
+examples/footprint_compression.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/pointer_chasing-6d6b5fadb51cb9a2.d: examples/pointer_chasing.rs
+
+/root/repo/target/release/examples/pointer_chasing-6d6b5fadb51cb9a2: examples/pointer_chasing.rs
+
+examples/pointer_chasing.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/pointer_chasing-a0a2104224fab917.d: examples/pointer_chasing.rs Cargo.toml
+
+/root/repo/target/release/examples/libpointer_chasing-a0a2104224fab917.rmeta: examples/pointer_chasing.rs Cargo.toml
+
+examples/pointer_chasing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

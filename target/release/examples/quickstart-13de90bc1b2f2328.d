@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-13de90bc1b2f2328.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-13de90bc1b2f2328: examples/quickstart.rs
+
+examples/quickstart.rs:

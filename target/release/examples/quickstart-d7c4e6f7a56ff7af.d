@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/quickstart-d7c4e6f7a56ff7af.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/release/examples/libquickstart-d7c4e6f7a56ff7af.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/readme_resilience_probe-be99814d02f35148.d: examples/readme_resilience_probe.rs
+
+/root/repo/target/release/examples/readme_resilience_probe-be99814d02f35148: examples/readme_resilience_probe.rs
+
+examples/readme_resilience_probe.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/streaming_reverter-2036de6a42c3d962.d: examples/streaming_reverter.rs Cargo.toml
+
+/root/repo/target/release/examples/libstreaming_reverter-2036de6a42c3d962.rmeta: examples/streaming_reverter.rs Cargo.toml
+
+examples/streaming_reverter.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/streaming_reverter-c6f12104fd255e29.d: examples/streaming_reverter.rs
+
+/root/repo/target/release/examples/streaming_reverter-c6f12104fd255e29: examples/streaming_reverter.rs
+
+examples/streaming_reverter.rs:

@@ -38,8 +38,7 @@ fn zero_threshold_equals_loc_sized_traditional_cache() {
 /// in two of the ways.
 #[test]
 fn forced_off_reverter_tracks_baseline() {
-    let mut distill_hier =
-        Hierarchy::hpca2007(DistillCache::new(DistillConfig::ldis_mt_rc()));
+    let mut distill_hier = Hierarchy::hpca2007(DistillCache::new(DistillConfig::ldis_mt_rc()));
     distill_hier.l2_mut().force_ldis(false);
     spec2000::swim(3).drive(&mut distill_hier, TraceLength::accesses(ACCESSES));
 
@@ -100,8 +99,7 @@ fn outcome_accounting_is_exact() {
 #[test]
 fn full_stack_determinism() {
     let run = || {
-        let mut hier =
-            Hierarchy::hpca2007(DistillCache::new(DistillConfig::hpca2007_default()));
+        let mut hier = Hierarchy::hpca2007(DistillCache::new(DistillConfig::hpca2007_default()));
         spec2000::mcf(123).drive(&mut hier, TraceLength::accesses(ACCESSES));
         (
             hier.l2().stats().loc_hits,

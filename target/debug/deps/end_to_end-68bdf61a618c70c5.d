@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-68bdf61a618c70c5.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-68bdf61a618c70c5: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/equivalence-c270f5b2d6042b41.d: tests/equivalence.rs
+
+/root/repo/target/debug/deps/equivalence-c270f5b2d6042b41: tests/equivalence.rs
+
+tests/equivalence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_injection-88aa14c37228473b.d: tests/fault_injection.rs
+
+/root/repo/target/debug/deps/fault_injection-88aa14c37228473b: tests/fault_injection.rs
+
+tests/fault_injection.rs:

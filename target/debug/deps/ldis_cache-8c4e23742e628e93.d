@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/ldis_cache-8c4e23742e628e93.d: crates/cache/src/lib.rs crates/cache/src/cache.rs crates/cache/src/config.rs crates/cache/src/entry.rs crates/cache/src/health.rs crates/cache/src/hierarchy.rs crates/cache/src/second_level.rs crates/cache/src/sectored.rs crates/cache/src/set.rs crates/cache/src/stats.rs
+
+/root/repo/target/debug/deps/libldis_cache-8c4e23742e628e93.rlib: crates/cache/src/lib.rs crates/cache/src/cache.rs crates/cache/src/config.rs crates/cache/src/entry.rs crates/cache/src/health.rs crates/cache/src/hierarchy.rs crates/cache/src/second_level.rs crates/cache/src/sectored.rs crates/cache/src/set.rs crates/cache/src/stats.rs
+
+/root/repo/target/debug/deps/libldis_cache-8c4e23742e628e93.rmeta: crates/cache/src/lib.rs crates/cache/src/cache.rs crates/cache/src/config.rs crates/cache/src/entry.rs crates/cache/src/health.rs crates/cache/src/hierarchy.rs crates/cache/src/second_level.rs crates/cache/src/sectored.rs crates/cache/src/set.rs crates/cache/src/stats.rs
+
+crates/cache/src/lib.rs:
+crates/cache/src/cache.rs:
+crates/cache/src/config.rs:
+crates/cache/src/entry.rs:
+crates/cache/src/health.rs:
+crates/cache/src/hierarchy.rs:
+crates/cache/src/second_level.rs:
+crates/cache/src/sectored.rs:
+crates/cache/src/set.rs:
+crates/cache/src/stats.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ldis_compress-6dbcaeae7fe3fac2.d: crates/compress/src/lib.rs crates/compress/src/cmpr.rs crates/compress/src/fac.rs crates/compress/src/fpc.rs
+
+/root/repo/target/debug/deps/libldis_compress-6dbcaeae7fe3fac2.rlib: crates/compress/src/lib.rs crates/compress/src/cmpr.rs crates/compress/src/fac.rs crates/compress/src/fpc.rs
+
+/root/repo/target/debug/deps/libldis_compress-6dbcaeae7fe3fac2.rmeta: crates/compress/src/lib.rs crates/compress/src/cmpr.rs crates/compress/src/fac.rs crates/compress/src/fpc.rs
+
+crates/compress/src/lib.rs:
+crates/compress/src/cmpr.rs:
+crates/compress/src/fac.rs:
+crates/compress/src/fpc.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/ldis_distill-f0e9a8192c2811c3.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/costs.rs crates/core/src/distill_cache.rs crates/core/src/error.rs crates/core/src/fault.rs crates/core/src/median.rs crates/core/src/overhead.rs crates/core/src/reverter.rs crates/core/src/woc.rs crates/core/src/word_store.rs
+
+/root/repo/target/debug/deps/libldis_distill-f0e9a8192c2811c3.rlib: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/costs.rs crates/core/src/distill_cache.rs crates/core/src/error.rs crates/core/src/fault.rs crates/core/src/median.rs crates/core/src/overhead.rs crates/core/src/reverter.rs crates/core/src/woc.rs crates/core/src/word_store.rs
+
+/root/repo/target/debug/deps/libldis_distill-f0e9a8192c2811c3.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/costs.rs crates/core/src/distill_cache.rs crates/core/src/error.rs crates/core/src/fault.rs crates/core/src/median.rs crates/core/src/overhead.rs crates/core/src/reverter.rs crates/core/src/woc.rs crates/core/src/word_store.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/costs.rs:
+crates/core/src/distill_cache.rs:
+crates/core/src/error.rs:
+crates/core/src/fault.rs:
+crates/core/src/median.rs:
+crates/core/src/overhead.rs:
+crates/core/src/reverter.rs:
+crates/core/src/woc.rs:
+crates/core/src/word_store.rs:

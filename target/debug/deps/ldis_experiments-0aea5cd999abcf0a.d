@@ -1,0 +1,23 @@
+/root/repo/target/debug/deps/ldis_experiments-0aea5cd999abcf0a.d: crates/experiments/src/lib.rs crates/experiments/src/ablations.rs crates/experiments/src/appendix.rs crates/experiments/src/costs.rs crates/experiments/src/fig10.rs crates/experiments/src/fig11.rs crates/experiments/src/fig13.rs crates/experiments/src/fig6.rs crates/experiments/src/fig7.rs crates/experiments/src/fig8.rs crates/experiments/src/fig9.rs crates/experiments/src/linesize.rs crates/experiments/src/motivation.rs crates/experiments/src/report.rs crates/experiments/src/resilience.rs crates/experiments/src/runner.rs crates/experiments/src/table3.rs
+
+/root/repo/target/debug/deps/libldis_experiments-0aea5cd999abcf0a.rlib: crates/experiments/src/lib.rs crates/experiments/src/ablations.rs crates/experiments/src/appendix.rs crates/experiments/src/costs.rs crates/experiments/src/fig10.rs crates/experiments/src/fig11.rs crates/experiments/src/fig13.rs crates/experiments/src/fig6.rs crates/experiments/src/fig7.rs crates/experiments/src/fig8.rs crates/experiments/src/fig9.rs crates/experiments/src/linesize.rs crates/experiments/src/motivation.rs crates/experiments/src/report.rs crates/experiments/src/resilience.rs crates/experiments/src/runner.rs crates/experiments/src/table3.rs
+
+/root/repo/target/debug/deps/libldis_experiments-0aea5cd999abcf0a.rmeta: crates/experiments/src/lib.rs crates/experiments/src/ablations.rs crates/experiments/src/appendix.rs crates/experiments/src/costs.rs crates/experiments/src/fig10.rs crates/experiments/src/fig11.rs crates/experiments/src/fig13.rs crates/experiments/src/fig6.rs crates/experiments/src/fig7.rs crates/experiments/src/fig8.rs crates/experiments/src/fig9.rs crates/experiments/src/linesize.rs crates/experiments/src/motivation.rs crates/experiments/src/report.rs crates/experiments/src/resilience.rs crates/experiments/src/runner.rs crates/experiments/src/table3.rs
+
+crates/experiments/src/lib.rs:
+crates/experiments/src/ablations.rs:
+crates/experiments/src/appendix.rs:
+crates/experiments/src/costs.rs:
+crates/experiments/src/fig10.rs:
+crates/experiments/src/fig11.rs:
+crates/experiments/src/fig13.rs:
+crates/experiments/src/fig6.rs:
+crates/experiments/src/fig7.rs:
+crates/experiments/src/fig8.rs:
+crates/experiments/src/fig9.rs:
+crates/experiments/src/linesize.rs:
+crates/experiments/src/motivation.rs:
+crates/experiments/src/report.rs:
+crates/experiments/src/resilience.rs:
+crates/experiments/src/runner.rs:
+crates/experiments/src/table3.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/ldis_mem-22c840ba21b6f11b.d: crates/mem/src/lib.rs crates/mem/src/access.rs crates/mem/src/addr.rs crates/mem/src/footprint.rs crates/mem/src/geometry.rs crates/mem/src/rng.rs crates/mem/src/stats.rs crates/mem/src/trace.rs crates/mem/src/trace_io.rs
+
+/root/repo/target/debug/deps/libldis_mem-22c840ba21b6f11b.rlib: crates/mem/src/lib.rs crates/mem/src/access.rs crates/mem/src/addr.rs crates/mem/src/footprint.rs crates/mem/src/geometry.rs crates/mem/src/rng.rs crates/mem/src/stats.rs crates/mem/src/trace.rs crates/mem/src/trace_io.rs
+
+/root/repo/target/debug/deps/libldis_mem-22c840ba21b6f11b.rmeta: crates/mem/src/lib.rs crates/mem/src/access.rs crates/mem/src/addr.rs crates/mem/src/footprint.rs crates/mem/src/geometry.rs crates/mem/src/rng.rs crates/mem/src/stats.rs crates/mem/src/trace.rs crates/mem/src/trace_io.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/access.rs:
+crates/mem/src/addr.rs:
+crates/mem/src/footprint.rs:
+crates/mem/src/geometry.rs:
+crates/mem/src/rng.rs:
+crates/mem/src/stats.rs:
+crates/mem/src/trace.rs:
+crates/mem/src/trace_io.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ldis_sfp-fa32d6fbde304269.d: crates/sfp/src/lib.rs crates/sfp/src/predictor.rs crates/sfp/src/sfp_cache.rs
+
+/root/repo/target/debug/deps/libldis_sfp-fa32d6fbde304269.rlib: crates/sfp/src/lib.rs crates/sfp/src/predictor.rs crates/sfp/src/sfp_cache.rs
+
+/root/repo/target/debug/deps/libldis_sfp-fa32d6fbde304269.rmeta: crates/sfp/src/lib.rs crates/sfp/src/predictor.rs crates/sfp/src/sfp_cache.rs
+
+crates/sfp/src/lib.rs:
+crates/sfp/src/predictor.rs:
+crates/sfp/src/sfp_cache.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ldis_timing-ac473f4f7a9c0193.d: crates/timing/src/lib.rs crates/timing/src/config.rs crates/timing/src/cpu.rs crates/timing/src/dram.rs
+
+/root/repo/target/debug/deps/libldis_timing-ac473f4f7a9c0193.rlib: crates/timing/src/lib.rs crates/timing/src/config.rs crates/timing/src/cpu.rs crates/timing/src/dram.rs
+
+/root/repo/target/debug/deps/libldis_timing-ac473f4f7a9c0193.rmeta: crates/timing/src/lib.rs crates/timing/src/config.rs crates/timing/src/cpu.rs crates/timing/src/dram.rs
+
+crates/timing/src/lib.rs:
+crates/timing/src/config.rs:
+crates/timing/src/cpu.rs:
+crates/timing/src/dram.rs:

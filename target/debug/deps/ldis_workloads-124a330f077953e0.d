@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ldis_workloads-124a330f077953e0.d: crates/workloads/src/lib.rs crates/workloads/src/insensitive.rs crates/workloads/src/profile.rs crates/workloads/src/spec2000.rs crates/workloads/src/streams.rs crates/workloads/src/workload.rs
+
+/root/repo/target/debug/deps/libldis_workloads-124a330f077953e0.rlib: crates/workloads/src/lib.rs crates/workloads/src/insensitive.rs crates/workloads/src/profile.rs crates/workloads/src/spec2000.rs crates/workloads/src/streams.rs crates/workloads/src/workload.rs
+
+/root/repo/target/debug/deps/libldis_workloads-124a330f077953e0.rmeta: crates/workloads/src/lib.rs crates/workloads/src/insensitive.rs crates/workloads/src/profile.rs crates/workloads/src/spec2000.rs crates/workloads/src/streams.rs crates/workloads/src/workload.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/insensitive.rs:
+crates/workloads/src/profile.rs:
+crates/workloads/src/spec2000.rs:
+crates/workloads/src/streams.rs:
+crates/workloads/src/workload.rs:

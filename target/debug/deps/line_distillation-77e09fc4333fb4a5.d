@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/line_distillation-77e09fc4333fb4a5.d: src/lib.rs
+
+/root/repo/target/debug/deps/libline_distillation-77e09fc4333fb4a5.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libline_distillation-77e09fc4333fb4a5.rmeta: src/lib.rs
+
+src/lib.rs:

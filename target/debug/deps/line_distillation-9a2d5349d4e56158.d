@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/line_distillation-9a2d5349d4e56158.d: src/lib.rs
+
+/root/repo/target/debug/deps/line_distillation-9a2d5349d4e56158: src/lib.rs
+
+src/lib.rs:

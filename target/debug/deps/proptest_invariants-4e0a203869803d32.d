@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_invariants-4e0a203869803d32.d: tests/proptest_invariants.rs
+
+/root/repo/target/debug/deps/proptest_invariants-4e0a203869803d32: tests/proptest_invariants.rs
+
+tests/proptest_invariants.rs:

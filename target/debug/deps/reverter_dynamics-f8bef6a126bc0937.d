@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reverter_dynamics-f8bef6a126bc0937.d: tests/reverter_dynamics.rs
+
+/root/repo/target/debug/deps/reverter_dynamics-f8bef6a126bc0937: tests/reverter_dynamics.rs
+
+tests/reverter_dynamics.rs:

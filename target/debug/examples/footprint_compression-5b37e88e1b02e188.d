@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/footprint_compression-5b37e88e1b02e188.d: examples/footprint_compression.rs
+
+/root/repo/target/debug/examples/footprint_compression-5b37e88e1b02e188: examples/footprint_compression.rs
+
+examples/footprint_compression.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/pointer_chasing-9be08baffc18d1a1.d: examples/pointer_chasing.rs
+
+/root/repo/target/debug/examples/pointer_chasing-9be08baffc18d1a1: examples/pointer_chasing.rs
+
+examples/pointer_chasing.rs:

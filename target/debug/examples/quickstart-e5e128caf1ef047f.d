@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-e5e128caf1ef047f.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-e5e128caf1ef047f: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/streaming_reverter-9c856c19b714e541.d: examples/streaming_reverter.rs
+
+/root/repo/target/debug/examples/streaming_reverter-9c856c19b714e541: examples/streaming_reverter.rs
+
+examples/streaming_reverter.rs:

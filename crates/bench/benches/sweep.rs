@@ -1,0 +1,47 @@
+//! Sweep-engine benches: the same benchmark × configuration matrix at one
+//! worker and at the machine's parallelism. The ratio between the two
+//! `kernel` times is the parallel speedup on the quick experiment matrix;
+//! the results themselves are bit-identical (asserted by
+//! `tests/parallel_determinism.rs`, not here — Criterion only times).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ldis_bench::bench_config;
+use ldis_distill::{DistillCache, DistillConfig};
+use ldis_experiments::{parallel, run, run_baseline, run_matrix_with_threads};
+use ldis_workloads::memory_intensive;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion, name: &str, mut f: impl FnMut()) {
+    let mut g = c.benchmark_group(name);
+    g.sample_size(10);
+    g.bench_function("kernel", |b| b.iter(&mut f));
+    g.finish();
+}
+
+fn matrix(threads: usize) {
+    let cfg = bench_config();
+    let benches = memory_intensive();
+    black_box(run_matrix_with_threads(threads, &benches, 3, |b, config| {
+        match config {
+            0 => run_baseline(b, &cfg, 1 << 20),
+            1 => run(b, &cfg, || DistillCache::new(DistillConfig::ldis_base())),
+            _ => run(b, &cfg, || {
+                DistillCache::new(DistillConfig::hpca2007_default())
+            }),
+        }
+    }));
+}
+
+/// The 16 × 3 quick matrix, serial: the reference cost.
+fn sweep_serial(c: &mut Criterion) {
+    bench(c, "sweep_serial", || matrix(1));
+}
+
+/// The same matrix on the full worker pool.
+fn sweep_parallel(c: &mut Criterion) {
+    let threads = parallel::available_threads();
+    bench(c, &format!("sweep_parallel_{threads}t"), || matrix(threads));
+}
+
+criterion_group!(benches, sweep_serial, sweep_parallel);
+criterion_main!(benches);

@@ -2,10 +2,20 @@
 //! exercises every table/figure kernel in bounded time. The full-length
 //! regeneration lives in the `ldis-experiments` binary.
 
+use ldis_experiments::golden::golden_config;
 use ldis_experiments::RunConfig;
 
-/// A bench-sized run: long enough to exercise every mechanism (LOC
-/// evictions, WOC traffic, reverter updates), short enough for Criterion.
+/// A bench-sized run: the canonical golden-snapshot configuration
+/// ([`golden_config`], i.e. [`RunConfig::quick`]) shortened to stay inside
+/// Criterion's sample budget. Deriving from the golden configuration keeps
+/// bench numbers and `tests/golden/` snapshots describing the same work:
+/// same seed, same derived per-cell streams, fewer accesses.
 pub fn bench_config() -> RunConfig {
-    RunConfig::quick().with_accesses(60_000)
+    golden_config().with_accesses(60_000)
+}
+
+/// The golden-snapshot configuration itself, for benches that time exactly
+/// what the regression harness pins (`benches/sweep.rs`).
+pub fn snapshot_config() -> RunConfig {
+    golden_config()
 }

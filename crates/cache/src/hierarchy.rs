@@ -37,7 +37,7 @@ impl AccessTrace {
 }
 
 /// Counters for the first-level caches and the trace.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct HierarchyStats {
     /// Instructions represented by the accesses run so far.
     pub instructions: u64,

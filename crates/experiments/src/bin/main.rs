@@ -3,15 +3,20 @@
 //! Usage:
 //!
 //! ```text
-//! ldis-experiments [EXPERIMENT...] [--accesses N] [--warmup N] [--seed N] [--quick]
+//! ldis-experiments [EXPERIMENT...] [--accesses N] [--warmup N] [--seed N]
+//!                  [--threads N] [--quick]
 //!
 //! EXPERIMENT: all fig1 fig2 table2 fig6 fig7 fig8 fig9 table3 fig10
 //!             fig11 fig13 table5 table6 ablations resilience
 //! ```
+//!
+//! Sweeps run on a worker pool sized by `--threads`, the `LDIS_THREADS`
+//! environment variable, or the machine's available parallelism (in that
+//! priority order). Results are bit-identical for every thread count.
 
 use ldis_experiments::{
     ablations, appendix, costs, fig10, fig11, fig13, fig6, fig7, fig8, fig9, linesize, motivation,
-    resilience, table3, RunConfig,
+    parallel, resilience, table3, RunConfig,
 };
 
 const ALL: &[&str] = &[
@@ -36,8 +41,11 @@ const ALL: &[&str] = &[
 
 fn usage() -> ! {
     eprintln!(
-        "usage: ldis-experiments [EXPERIMENT...] [--accesses N] [--warmup N] [--seed N] [--quick]\n\
-         experiments: all {}",
+        "usage: ldis-experiments [EXPERIMENT...] [--accesses N] [--warmup N] [--seed N] \
+         [--threads N] [--quick]\n\
+         experiments: all {}\n\
+         threads default to LDIS_THREADS or the available parallelism; results are\n\
+         bit-identical for every thread count",
         ALL.join(" ")
     );
     std::process::exit(2);
@@ -61,6 +69,14 @@ fn main() {
                 let v = args.next().unwrap_or_else(|| usage());
                 cfg.seed = v.parse().unwrap_or_else(|_| usage());
             }
+            "--threads" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                let n: usize = v.parse().unwrap_or_else(|_| usage());
+                if n == 0 {
+                    usage();
+                }
+                parallel::set_thread_override(Some(n));
+            }
             "--quick" => cfg = RunConfig::quick(),
             "--help" | "-h" => usage(),
             name if name.starts_with('-') => usage(),
@@ -78,8 +94,11 @@ fn main() {
     }
 
     println!(
-        "Line Distillation (HPCA 2007) reproduction — {} accesses per run, seed {}\n",
-        cfg.accesses, cfg.seed
+        "Line Distillation (HPCA 2007) reproduction — {} accesses per run, seed {}, \
+         {} worker thread(s)\n",
+        cfg.accesses,
+        cfg.seed,
+        parallel::configured_threads()
     );
 
     // Figure 1 / Figure 2 / Table 2 share one baseline run per benchmark.

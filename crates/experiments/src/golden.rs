@@ -1,0 +1,151 @@
+//! Golden-snapshot regression harness.
+//!
+//! Committed JSON snapshots under `tests/golden/` (repository root) pin
+//! the quick-config results of the wired experiments — `motivation`,
+//! `table3`, `linesize` and `resilience` — so any change to the simulator,
+//! the workload models or the sweep engine that moves a number fails the
+//! test suite with a line-level diff instead of silently shifting the
+//! paper reproduction.
+//!
+//! Workflow:
+//!
+//! * `cargo test` compares freshly computed snapshots against the
+//!   committed files and fails on any byte difference;
+//! * `UPDATE_GOLDEN=1 cargo test` regenerates the files in place; commit
+//!   the diff together with the change that motivated it.
+//!
+//! Snapshots are rendered with the canonical serializer
+//! ([`Json::render_pretty`]), which is byte-stable: the same results
+//! always produce the same file, so regeneration without a real change is
+//! a no-op and `git diff --exit-code tests/golden` can gate CI.
+
+use crate::report::Json;
+use crate::RunConfig;
+use std::fs;
+use std::path::PathBuf;
+
+/// The canonical configuration every golden snapshot is computed with:
+/// [`RunConfig::quick`]. The criterion benches in `crates/bench` run the
+/// same configuration so benchmark numbers and snapshots describe the
+/// same work.
+pub fn golden_config() -> RunConfig {
+    RunConfig::quick()
+}
+
+/// The snapshot directory: `LDIS_GOLDEN_DIR` if set (tests use a
+/// temporary directory to exercise the update path), else `tests/golden/`
+/// at the repository root.
+pub fn dir() -> PathBuf {
+    match std::env::var_os("LDIS_GOLDEN_DIR") {
+        Some(d) => PathBuf::from(d),
+        None => PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden"),
+    }
+}
+
+/// Whether `UPDATE_GOLDEN=1` is in effect.
+pub fn update_requested() -> bool {
+    std::env::var("UPDATE_GOLDEN").is_ok_and(|v| v == "1")
+}
+
+/// What [`verify`] did.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GoldenStatus {
+    /// The computed snapshot matched the committed file byte for byte.
+    Matched,
+    /// `UPDATE_GOLDEN=1`: the file was (re)written.
+    Updated,
+}
+
+/// Compares the rendered `snapshot` against `tests/golden/<name>.json`,
+/// or rewrites the file when `UPDATE_GOLDEN=1`.
+///
+/// # Errors
+///
+/// Returns a human-readable message when the file is missing, unreadable,
+/// unwritable, or differs from the computed snapshot. The mismatch
+/// message names the first differing line and the regeneration command.
+pub fn verify(name: &str, snapshot: &Json) -> Result<GoldenStatus, String> {
+    let path = dir().join(format!("{name}.json"));
+    let rendered = snapshot.render_pretty();
+    if update_requested() {
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)
+                .map_err(|e| format!("golden '{name}': cannot create {}: {e}", parent.display()))?;
+        }
+        fs::write(&path, &rendered)
+            .map_err(|e| format!("golden '{name}': cannot write {}: {e}", path.display()))?;
+        return Ok(GoldenStatus::Updated);
+    }
+    let committed = fs::read_to_string(&path).map_err(|e| {
+        format!(
+            "golden '{name}': cannot read {} ({e}); run `UPDATE_GOLDEN=1 cargo test` \
+             to generate it",
+            path.display()
+        )
+    })?;
+    if committed == rendered {
+        return Ok(GoldenStatus::Matched);
+    }
+    let diff_line = committed
+        .lines()
+        .zip(rendered.lines())
+        .position(|(a, b)| a != b)
+        .map_or_else(
+            || committed.lines().count().min(rendered.lines().count()) + 1,
+            |i| i + 1,
+        );
+    Err(format!(
+        "golden '{name}' differs from {} starting at line {diff_line}:\n  committed: {}\n  \
+         computed:  {}\nIf the change is intentional, regenerate with `UPDATE_GOLDEN=1 cargo \
+         test` and commit the diff.",
+        path.display(),
+        committed.lines().nth(diff_line - 1).unwrap_or("<eof>"),
+        rendered.lines().nth(diff_line - 1).unwrap_or("<eof>"),
+    ))
+}
+
+/// [`verify`] that panics on error — the form used by golden tests.
+///
+/// # Panics
+///
+/// Panics with the [`verify`] error message on any mismatch or IO error.
+pub fn assert_matches(name: &str, snapshot: &Json) {
+    if let Err(msg) = verify(name, snapshot) {
+        panic!("{msg}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn golden_config_is_quick() {
+        assert_eq!(golden_config(), RunConfig::quick());
+    }
+
+    #[test]
+    fn default_dir_points_at_repo_root_tests() {
+        // Sibling tests may set LDIS_GOLDEN_DIR; compute the default
+        // directly to stay independent of env ordering.
+        let d = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden");
+        assert!(d.ends_with("tests/golden"));
+    }
+
+    #[test]
+    fn mismatch_error_names_line_and_remedy() {
+        if update_requested() {
+            // Regeneration runs exercise the update path instead.
+            return;
+        }
+        let tmp = std::env::temp_dir().join("ldis-golden-unit");
+        fs::create_dir_all(&tmp).unwrap();
+        fs::write(tmp.join("unit_mismatch.json"), "{\n  \"v\": 1\n}\n").unwrap();
+        // Point verify at the temp dir just for this check.
+        std::env::set_var("LDIS_GOLDEN_DIR", &tmp);
+        let err = verify("unit_mismatch", &Json::obj([("v", Json::uint(2))])).unwrap_err();
+        std::env::remove_var("LDIS_GOLDEN_DIR");
+        assert!(err.contains("line 2"), "{err}");
+        assert!(err.contains("UPDATE_GOLDEN=1"), "{err}");
+    }
+}

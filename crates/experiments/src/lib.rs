@@ -41,14 +41,16 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod golden;
 pub mod linesize;
 pub mod motivation;
+pub mod parallel;
 pub mod report;
 pub mod resilience;
 mod runner;
 pub mod table3;
 
 pub use runner::{
-    baseline_config, for_each_benchmark, run, run_baseline, run_baseline_with_words, RunConfig,
-    RunResult,
+    baseline_config, for_each_benchmark, run, run_baseline, run_baseline_with_words, run_matrix,
+    run_matrix_with_threads, RunConfig, RunResult,
 };

@@ -6,8 +6,8 @@
 //! experiment reproduces that claim and contrasts it with LDIS at 64 B,
 //! which gets the best of both.
 
-use crate::report::{fmt_f, fmt_pct, Table};
-use crate::{for_each_benchmark, run, RunConfig};
+use crate::report::{fmt_f, fmt_pct, Json, Table};
+use crate::{run, run_matrix, RunConfig};
 use ldis_cache::{BaselineL2, CacheConfig};
 use ldis_distill::{DistillCache, DistillConfig, ReverterConfig, ThresholdPolicy};
 use ldis_mem::stats::percent_reduction;
@@ -37,27 +37,61 @@ fn baseline_with_lines(line_bytes: u32) -> BaselineL2 {
     BaselineL2::new(CacheConfig::new(1 << 20, 8, geom))
 }
 
+/// The five configurations of the line-size matrix, in column order.
+const CONFIGS: usize = 5;
+
 /// Runs the line-size matrix (1 MB 8-way at 32 B / 64 B / 128 B, plus
-/// LDIS-MT-RC at 64 B).
+/// LDIS-MT-RC at 64 B and 128 B). Every one of the 16 × 5 cells is an
+/// independent unit of parallel work on the sweep pool, so a single slow
+/// benchmark cannot serialize its whole row.
 pub fn data(cfg: &RunConfig) -> Vec<LineSizeRow> {
     let benches = memory_intensive();
-    for_each_benchmark(&benches, |b| {
-        let b64 = run(b, cfg, || baseline_with_lines(64));
-        let b32 = run(b, cfg, || baseline_with_lines(32));
-        let b128 = run(b, cfg, || baseline_with_lines(128));
-        let ldis = run(b, cfg, || {
+    let matrix = run_matrix(&benches, CONFIGS, |b, config| match config {
+        0 => run(b, cfg, || baseline_with_lines(64)),
+        1 => run(b, cfg, || baseline_with_lines(32)),
+        2 => run(b, cfg, || baseline_with_lines(128)),
+        3 => run(b, cfg, || {
             DistillCache::new(DistillConfig::hpca2007_default())
-        });
-        let ldis128 = run(b, cfg, || DistillCache::new(ldis_config_for_line(128)));
-        LineSizeRow {
-            benchmark: b.name.to_owned(),
-            base_64b: b64.mpki,
-            delta_32b: percent_reduction(b64.mpki, b32.mpki),
-            delta_128b: percent_reduction(b64.mpki, b128.mpki),
-            delta_ldis: percent_reduction(b64.mpki, ldis.mpki),
-            delta_ldis_128b: percent_reduction(b64.mpki, ldis128.mpki),
-        }
-    })
+        }),
+        _ => run(b, cfg, || DistillCache::new(ldis_config_for_line(128))),
+    });
+    benches
+        .iter()
+        .zip(matrix)
+        .map(|(b, cells)| {
+            let base = cells[0].mpki;
+            LineSizeRow {
+                benchmark: b.name.to_owned(),
+                base_64b: base,
+                delta_32b: percent_reduction(base, cells[1].mpki),
+                delta_128b: percent_reduction(base, cells[2].mpki),
+                delta_ldis: percent_reduction(base, cells[3].mpki),
+                delta_ldis_128b: percent_reduction(base, cells[4].mpki),
+            }
+        })
+        .collect()
+}
+
+/// The golden snapshot: the full line-size sensitivity matrix (base MPKI
+/// and all four deltas per benchmark) at the given configuration.
+/// Compared against `tests/golden/linesize.json`.
+pub fn snapshot(cfg: &RunConfig) -> Json {
+    let rows = data(cfg).into_iter().map(|r| {
+        Json::obj([
+            ("benchmark", Json::str(r.benchmark)),
+            ("base_64b_mpki", Json::num(r.base_64b)),
+            ("delta_32b_pct", Json::num(r.delta_32b)),
+            ("delta_128b_pct", Json::num(r.delta_128b)),
+            ("delta_ldis_pct", Json::num(r.delta_ldis)),
+            ("delta_ldis_128b_pct", Json::num(r.delta_ldis_128b)),
+        ])
+    });
+    Json::obj([
+        ("experiment", Json::str("linesize")),
+        ("accesses", Json::uint(cfg.accesses)),
+        ("seed", Json::uint(cfg.seed)),
+        ("rows", Json::arr(rows)),
+    ])
 }
 
 /// Builds an LDIS configuration for a non-default line size (used by the

@@ -2,9 +2,11 @@
 //! benchmark: Figure 1 (words-used histogram), Figure 2 (recency position
 //! before footprint change) and Table 2 (MPKI + compulsory misses).
 
-use crate::report::{fmt_f, Table};
-use crate::{for_each_benchmark, run_baseline_with_words, RunConfig, RunResult};
+use crate::report::{fmt_f, Json, Table};
+use crate::{baseline_config, for_each_benchmark, run_baseline_with_words, RunConfig, RunResult};
+use ldis_cache::BaselineL2;
 use ldis_mem::stats::Histogram;
+use ldis_timing::{workload_factors, L2Timing, SystemConfig, TimingSim};
 use ldis_workloads::{memory_intensive, Benchmark};
 
 /// One benchmark's baseline characterization.
@@ -57,6 +59,51 @@ pub fn data(cfg: &RunConfig) -> Vec<BaselineProfile> {
         let (r, words) = run_baseline_with_words(b, cfg, 1 << 20);
         profile_of(b, &r, &words)
     })
+}
+
+/// The golden snapshot: per-benchmark baseline MPKI, timed-baseline IPC,
+/// compulsory share and the full words-used footprint histogram, plus the
+/// raw L2 counters, at the given configuration. Byte-stable for a given
+/// seed; compared against `tests/golden/motivation.json`.
+pub fn snapshot(cfg: &RunConfig) -> Json {
+    let benches = memory_intensive();
+    let rows = for_each_benchmark(&benches, |b| {
+        let (r, words) = run_baseline_with_words(b, cfg, 1 << 20);
+        let p = profile_of(b, &r, &words);
+        // IPC of the timed baseline system (Figure 9's reference side),
+        // on the same derived-seed convention as every sweep cell.
+        let (dep, br) = workload_factors(b.name);
+        let sys = SystemConfig::hpca2007_baseline().with_workload_factors(dep, br);
+        let l2 = BaselineL2::new(baseline_config(1 << 20));
+        let mut sim = TimingSim::new(l2, sys, L2Timing::baseline());
+        let timed = sim.run(
+            &mut (b.make)(cfg.seed_for(b, "baseline-timed")),
+            cfg.accesses,
+        );
+        Json::obj([
+            ("benchmark", Json::str(b.name)),
+            ("mpki", Json::num(p.mpki)),
+            ("ipc", Json::num(timed.ipc())),
+            ("avg_words_used", Json::num(p.avg_words_used)),
+            ("compulsory_pct", Json::num(p.compulsory_pct)),
+            (
+                "words_used_fraction",
+                Json::arr(p.words_used_fraction.iter().copied().map(Json::num)),
+            ),
+            ("l2_accesses", Json::uint(r.l2.accesses)),
+            ("l2_hits", Json::uint(r.l2.hits())),
+            ("l2_line_misses", Json::uint(r.l2.line_misses)),
+            ("l2_evictions", Json::uint(r.l2.evictions)),
+            ("l2_writebacks", Json::uint(r.l2.writebacks)),
+            ("instructions", Json::uint(r.hierarchy.instructions)),
+        ])
+    });
+    Json::obj([
+        ("experiment", Json::str("motivation")),
+        ("accesses", Json::uint(cfg.accesses)),
+        ("seed", Json::uint(cfg.seed)),
+        ("rows", Json::Arr(rows)),
+    ])
 }
 
 /// Figure 1: distribution of the words used in a cache line.

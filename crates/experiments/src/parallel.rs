@@ -1,0 +1,170 @@
+//! Deterministic parallel sweep engine.
+//!
+//! Every paper figure walks a benchmark × cache-configuration matrix whose
+//! cells are mutually independent: each cell constructs its own workload
+//! and caches, and draws its randomness from a seed derived with
+//! [`SimRng::derive`](ldis_mem::SimRng::derive) rather than from any
+//! shared stream. That independence is what makes the sweep
+//! embarrassingly parallel *and* reproducible — cells may execute in any
+//! order on any number of threads, and the merged result is bit-identical
+//! because results are always written back into canonical matrix order.
+//!
+//! The worker count resolves, in priority order:
+//!
+//! 1. an explicit [`set_thread_override`] (the binary's `--threads` flag);
+//! 2. the `LDIS_THREADS` environment variable;
+//! 3. [`std::thread::available_parallelism`].
+//!
+//! Workers are plain scoped threads pulling cell indices from an atomic
+//! counter (work stealing without a queue): long cells — mcf's pointer
+//! chases take several times longer than eon's resident hot set — never
+//! stall short ones behind a static partition.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// `--threads` override; 0 means "not set".
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Installs (or clears, with `None`) a process-wide worker-count override
+/// that takes precedence over `LDIS_THREADS` and the detected parallelism.
+/// Used by the `ldis-experiments` binary's `--threads` flag.
+pub fn set_thread_override(threads: Option<usize>) {
+    THREAD_OVERRIDE.store(threads.unwrap_or(0), Ordering::Relaxed);
+}
+
+/// The machine's available parallelism (at least 1).
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// The worker count sweeps will use: the [`set_thread_override`] value if
+/// set, else `LDIS_THREADS` if set and parseable, else
+/// [`available_threads`]. Always at least 1.
+pub fn configured_threads() -> usize {
+    let forced = THREAD_OVERRIDE.load(Ordering::Relaxed);
+    if forced > 0 {
+        return forced;
+    }
+    if let Ok(v) = std::env::var("LDIS_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    available_threads()
+}
+
+/// Runs `job` over every item on the configured worker pool and returns
+/// the results in item order. Equivalent to
+/// `items.iter().map(job).collect()` up to wall-clock time: the output is
+/// bit-identical for every thread count as long as each job is a pure
+/// function of its item.
+pub fn sweep<I, T, F>(items: &[I], job: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(&I) -> T + Sync,
+{
+    sweep_with_threads(configured_threads(), items, job)
+}
+
+/// [`sweep`] with an explicit worker count (used by the serial-vs-parallel
+/// equivalence tests and benchmarks).
+///
+/// # Panics
+///
+/// Propagates the first panic of any job after all workers have drained.
+pub fn sweep_with_threads<I, T, F>(threads: usize, items: &[I], job: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(&I) -> T + Sync,
+{
+    let threads = threads.clamp(1, items.len().max(1));
+    if threads == 1 {
+        return items.iter().map(job).collect();
+    }
+    // Each completed cell lands in its own slot, so the merge below is a
+    // plain in-order unwrap no matter which worker finished it when.
+    let slots: Vec<Mutex<Option<T>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                let result = job(item);
+                *slots[i].lock().expect("sweep slot poisoned") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("sweep slot poisoned")
+                .expect("every sweep cell completes")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_preserves_item_order() {
+        let items: Vec<usize> = (0..97).collect();
+        for threads in [1, 2, 4, 16, 200] {
+            let out = sweep_with_threads(threads, &items, |&i| i * 3);
+            let expect: Vec<usize> = items.iter().map(|&i| i * 3).collect();
+            assert_eq!(out, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn sweep_handles_empty_and_single_item() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(sweep_with_threads(4, &empty, |&i| i).is_empty());
+        assert_eq!(sweep_with_threads(4, &[9u32], |&i| i + 1), vec![10]);
+    }
+
+    #[test]
+    fn uneven_cell_costs_do_not_reorder_results() {
+        // Early cells sleep, late cells finish first; the merge must still
+        // return canonical order.
+        let items: Vec<u64> = (0..16).collect();
+        let out = sweep_with_threads(8, &items, |&i| {
+            if i < 4 {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            i
+        });
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    fn configured_threads_is_positive_and_override_wins() {
+        assert!(configured_threads() >= 1);
+        set_thread_override(Some(3));
+        assert_eq!(configured_threads(), 3);
+        set_thread_override(None);
+        assert!(configured_threads() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "scoped thread panicked")]
+    fn job_panics_propagate() {
+        let items: Vec<u32> = (0..8).collect();
+        sweep_with_threads(4, &items, |&i| {
+            if i == 5 {
+                panic!("boom");
+            }
+            i
+        });
+    }
+}

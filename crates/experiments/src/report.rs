@@ -1,4 +1,5 @@
-//! Plain-text table rendering for experiment reports.
+//! Plain-text table rendering for experiment reports, plus the canonical
+//! JSON value used by the golden-snapshot harness (`crate::golden`).
 
 use std::fmt::Write as _;
 
@@ -133,6 +134,177 @@ impl Table {
     }
 }
 
+/// A canonical JSON value for golden snapshots.
+///
+/// The workspace is dependency-free, so this is a small hand-rolled
+/// serializer with one hard requirement: **byte-stable rendering**.
+/// Object keys keep insertion order, floats render with Rust's
+/// shortest-roundtrip formatting (bit-identical for bit-identical values),
+/// and non-finite floats canonicalize to `null`. Two snapshots render to
+/// the same bytes if and only if their values are identical, which is what
+/// lets `tests/golden/` diffs gate regressions.
+///
+/// # Example
+///
+/// ```
+/// use ldis_experiments::report::Json;
+///
+/// let j = Json::obj([("bench", Json::str("art")), ("mpki", Json::num(38.25))]);
+/// assert_eq!(j.render(), "{\"bench\": \"art\", \"mpki\": 38.25}");
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null` (also the canonical form of NaN/infinite floats).
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer counter (u64 counters never lose precision).
+    Uint(u64),
+    /// A finite float.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// A float value; NaN and infinities canonicalize to `Null`.
+    pub fn num(x: f64) -> Json {
+        if x.is_finite() {
+            Json::Num(x)
+        } else {
+            Json::Null
+        }
+    }
+
+    /// An unsigned integer value.
+    pub fn uint(x: u64) -> Json {
+        Json::Uint(x)
+    }
+
+    /// A string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// An array value.
+    pub fn arr(items: impl IntoIterator<Item = Json>) -> Json {
+        Json::Arr(items.into_iter().collect())
+    }
+
+    /// An object value with insertion-ordered keys.
+    pub fn obj<K: Into<String>>(fields: impl IntoIterator<Item = (K, Json)>) -> Json {
+        Json::Obj(fields.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Renders the value compactly (objects and arrays on one line with a
+    /// space after `:` and `,`).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0, false);
+        out
+    }
+
+    /// Renders the value with each top- and second-level entry on its own
+    /// line — the golden-snapshot format, tuned so `git diff` pinpoints
+    /// the exact experiment row that moved.
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0, true);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, depth: usize, pretty: bool) {
+        // Pretty mode expands the two outer levels; deeper rows stay
+        // compact one-liners so a snapshot diff is one line per row.
+        let expand = pretty && depth < 2;
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Json::Uint(u) => {
+                let _ = write!(out, "{u}");
+            }
+            Json::Num(x) if !x.is_finite() => out.push_str("null"),
+            Json::Num(x) => {
+                let s = format!("{x}");
+                out.push_str(&s);
+                // "1" would read back as an integer; keep the float type
+                // visible so snapshots distinguish counters from metrics.
+                if !s.contains('.') && !s.contains('e') {
+                    out.push_str(".0");
+                }
+            }
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\r' => out.push_str("\\r"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => {
+                            let _ = write!(out, "\\u{:04x}", c as u32);
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                        if !expand {
+                            out.push(' ');
+                        }
+                    }
+                    if expand {
+                        out.push('\n');
+                        out.push_str(&"  ".repeat(depth + 1));
+                    }
+                    item.write(out, depth + 1, pretty);
+                }
+                if expand && !items.is_empty() {
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(depth));
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                        if !expand {
+                            out.push(' ');
+                        }
+                    }
+                    if expand {
+                        out.push('\n');
+                        out.push_str(&"  ".repeat(depth + 1));
+                    }
+                    Json::Str(k.clone()).write(out, depth + 1, false);
+                    out.push_str(": ");
+                    v.write(out, depth + 1, pretty);
+                }
+                if expand && !fields.is_empty() {
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(depth));
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
 /// Formats a float with `prec` decimals.
 pub fn fmt_f(x: f64, prec: usize) -> String {
     if x.is_nan() {
@@ -189,6 +361,52 @@ mod tests {
     fn row_width_checked() {
         let mut t = Table::new("T", &["a", "b"]);
         t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn json_renders_canonically() {
+        let j = Json::obj([
+            ("name", Json::str("quick")),
+            ("count", Json::uint(42)),
+            ("mpki", Json::num(1.5)),
+            ("whole", Json::num(2.0)),
+            ("bad", Json::num(f64::NAN)),
+            ("flag", Json::Bool(true)),
+            ("rows", Json::arr([Json::uint(1), Json::uint(2)])),
+        ]);
+        assert_eq!(
+            j.render(),
+            "{\"name\": \"quick\", \"count\": 42, \"mpki\": 1.5, \"whole\": 2.0, \
+             \"bad\": null, \"flag\": true, \"rows\": [1, 2]}"
+        );
+    }
+
+    #[test]
+    fn json_escapes_strings() {
+        let j = Json::str("a\"b\\c\nd\u{1}");
+        assert_eq!(j.render(), "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn json_pretty_is_one_line_per_row_and_stable() {
+        let row = |n: u64| Json::obj([("id", Json::uint(n))]);
+        let j = Json::obj([("rows", Json::arr([row(1), row(2)]))]);
+        let p = j.render_pretty();
+        assert_eq!(
+            p,
+            "{\n  \"rows\": [\n    {\"id\": 1},\n    {\"id\": 2}\n  ]\n}\n"
+        );
+        assert_eq!(p, j.render_pretty(), "rendering must be byte-stable");
+        assert_eq!(Json::obj::<String>([]).render_pretty(), "{}\n");
+    }
+
+    #[test]
+    fn json_shortest_roundtrip_floats_are_exact() {
+        // The renderer must not round: distinct bit patterns give
+        // distinct text, so any numeric drift shows up in a golden diff.
+        let a = 0.1f64;
+        let b = 0.1f64 + f64::EPSILON;
+        assert_ne!(Json::num(a).render(), Json::num(b).render());
     }
 
     #[test]

@@ -8,9 +8,9 @@
 //! from the run seed: the same seed and rate reproduce the campaign
 //! byte for byte.
 
-use crate::report::{fmt_f, Table};
+use crate::report::{fmt_f, Json, Table};
 use crate::{for_each_benchmark, RunConfig};
-use ldis_cache::{FaultStats, Hierarchy, ProtectionScheme};
+use ldis_cache::{FaultStats, Hierarchy, ProtectionScheme, SecondLevel as _};
 use ldis_distill::{DistillCache, DistillConfig, ResilienceConfig};
 use ldis_workloads::{memory_intensive, Benchmark, TraceLength};
 
@@ -71,11 +71,14 @@ fn run_point(
     cfg: &RunConfig,
     resilience: Option<ResilienceConfig>,
 ) -> (f64, FaultStats, u64, bool) {
-    let mut workload = (benchmark.make)(cfg.seed);
     let mut dc = DistillCache::new(DistillConfig::hpca2007_default());
     if let Some(rcfg) = resilience {
         dc = dc.with_resilience(rcfg);
     }
+    // The workload seed derives from the cache label only — every scheme ×
+    // rate point of a benchmark replays the *same* trace, so Δmpki always
+    // compares like with like.
+    let mut workload = (benchmark.make)(cfg.seed_for(benchmark, dc.name()));
     let mut hier = Hierarchy::hpca2007(dc);
     if cfg.warmup > 0 {
         workload.drive(&mut hier, TraceLength::accesses(cfg.warmup));
@@ -118,6 +121,34 @@ pub fn data(cfg: &RunConfig) -> Vec<ResiliencePoint> {
         points
     });
     per_bench.into_iter().flatten().collect()
+}
+
+/// The golden snapshot: every campaign point's MPKI, fault accounting and
+/// degradation outcome at the given configuration. Compared against
+/// `tests/golden/resilience.json`.
+pub fn snapshot(cfg: &RunConfig) -> Json {
+    let rows = data(cfg).into_iter().map(|p| {
+        Json::obj([
+            ("benchmark", Json::str(p.benchmark.clone())),
+            ("scheme", Json::str(p.scheme.to_string())),
+            ("fault_rate", Json::num(p.fault_rate)),
+            ("mpki", Json::num(p.mpki)),
+            ("mpki_fault_free", Json::num(p.mpki_fault_free)),
+            ("injected", Json::uint(p.faults.injected)),
+            ("corrected", Json::uint(p.faults.corrected)),
+            ("detected", Json::uint(p.faults.detected)),
+            ("silent", Json::uint(p.faults.silent)),
+            ("masked", Json::uint(p.faults.masked)),
+            ("events", Json::uint(p.events)),
+            ("degraded", Json::Bool(p.degraded)),
+        ])
+    });
+    Json::obj([
+        ("experiment", Json::str("resilience")),
+        ("accesses", Json::uint(cfg.accesses)),
+        ("seed", Json::uint(cfg.seed)),
+        ("rows", Json::arr(rows)),
+    ])
 }
 
 /// Renders the campaign as a resilience report.

@@ -1,7 +1,15 @@
 //! Shared machinery for running benchmark × cache-configuration matrices.
+//!
+//! Every cell of a matrix is an independent simulation: the cell's
+//! workload seed is derived from `RunConfig.seed`, the benchmark's stable
+//! id and the cache configuration's label via
+//! [`SimRng::derive`](ldis_mem::SimRng::derive). Cells therefore execute
+//! on the [`parallel`](crate::parallel) worker pool in any order while the
+//! merged matrix stays bit-identical for every thread count.
 
+use crate::parallel;
 use ldis_cache::{BaselineL2, CacheConfig, Hierarchy, HierarchyStats, L2Stats, SecondLevel};
-use ldis_mem::LineGeometry;
+use ldis_mem::{stable_id, LineGeometry, SimRng};
 use ldis_workloads::{Benchmark, TraceLength};
 
 /// Global knobs for an experiment run.
@@ -49,6 +57,15 @@ impl RunConfig {
         self.warmup = warmup;
         self
     }
+
+    /// The workload seed of one (benchmark, configuration) sweep cell:
+    /// a deterministic split of `self.seed` by the benchmark's stable id
+    /// and the configuration label's stable hash. Every cell draws from
+    /// its own stream, so a sweep's cells are statistically independent
+    /// and may run on any number of threads in any order.
+    pub fn seed_for(&self, benchmark: &Benchmark, config_label: &str) -> u64 {
+        SimRng::derive_seed(self.seed, u64::from(benchmark.id), stable_id(config_label))
+    }
 }
 
 impl Default for RunConfig {
@@ -58,7 +75,10 @@ impl Default for RunConfig {
 }
 
 /// The distilled outcome of one benchmark × configuration run.
-#[derive(Clone, Debug)]
+///
+/// `PartialEq` compares every counter and statistic bit for bit — it is
+/// what the serial-vs-parallel equivalence tests assert on.
+#[derive(Clone, Debug, PartialEq)]
 pub struct RunResult {
     /// Benchmark name.
     pub benchmark: String,
@@ -80,14 +100,16 @@ impl RunResult {
 }
 
 /// Runs `benchmark` for `cfg.accesses` accesses against the L2 produced by
-/// `make_l2`, returning the distilled result.
+/// `make_l2`, returning the distilled result. The workload seed is the
+/// cell's derived seed ([`RunConfig::seed_for`]), so each (benchmark,
+/// configuration) cell of a sweep reproduces independently of every other.
 pub fn run<L2, F>(benchmark: &Benchmark, cfg: &RunConfig, make_l2: F) -> RunResult
 where
     L2: SecondLevel,
     F: FnOnce() -> L2,
 {
-    let mut workload = (benchmark.make)(cfg.seed);
     let l2 = make_l2();
+    let mut workload = (benchmark.make)(cfg.seed_for(benchmark, l2.name()));
     let mut hier = Hierarchy::hpca2007(l2);
     if cfg.warmup > 0 {
         workload.drive(&mut hier, TraceLength::accesses(cfg.warmup));
@@ -136,8 +158,8 @@ pub fn run_baseline_with_words(
     cfg: &RunConfig,
     size_bytes: u64,
 ) -> (RunResult, ldis_mem::stats::Histogram) {
-    let mut workload = (benchmark.make)(cfg.seed);
     let l2 = BaselineL2::new(baseline_config(size_bytes));
+    let mut workload = (benchmark.make)(cfg.seed_for(benchmark, l2.name()));
     let mut hier = Hierarchy::hpca2007(l2);
     if cfg.warmup > 0 {
         workload.drive(&mut hier, TraceLength::accesses(cfg.warmup));
@@ -160,21 +182,58 @@ pub fn run_baseline_with_words(
     (result, words)
 }
 
-/// Runs one closure per benchmark in parallel and returns the results in
-/// benchmark order. The closure receives the benchmark and must be
-/// self-contained (construct its own workload and caches).
+/// Runs one closure per benchmark on the configured worker pool and
+/// returns the results in benchmark order. The closure receives the
+/// benchmark and must be self-contained (construct its own workload and
+/// caches).
 pub fn for_each_benchmark<T, F>(benchmarks: &[Benchmark], job: F) -> Vec<T>
 where
     T: Send,
     F: Fn(&Benchmark) -> T + Sync,
 {
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = benchmarks.iter().map(|b| scope.spawn(|| job(b))).collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("benchmark job panicked"))
-            .collect()
-    })
+    parallel::sweep(benchmarks, job)
+}
+
+/// Runs a full benchmark × configuration matrix with every *cell* as one
+/// unit of parallel work, and returns one `Vec` of `configs` cell results
+/// per benchmark, in canonical (benchmark-major, configuration-minor)
+/// order. Compared to [`for_each_benchmark`], which parallelizes only
+/// across benchmarks, this keeps all workers busy even when one benchmark
+/// dominates the matrix cost.
+///
+/// `job` receives the benchmark and the configuration index `0..configs`
+/// and must be a pure function of the pair.
+pub fn run_matrix<T, F>(benchmarks: &[Benchmark], configs: usize, job: F) -> Vec<Vec<T>>
+where
+    T: Send,
+    F: Fn(&Benchmark, usize) -> T + Sync,
+{
+    run_matrix_with_threads(parallel::configured_threads(), benchmarks, configs, job)
+}
+
+/// [`run_matrix`] with an explicit worker count (used by the
+/// serial-vs-parallel equivalence tests and benchmarks).
+pub fn run_matrix_with_threads<T, F>(
+    threads: usize,
+    benchmarks: &[Benchmark],
+    configs: usize,
+    job: F,
+) -> Vec<Vec<T>>
+where
+    T: Send,
+    F: Fn(&Benchmark, usize) -> T + Sync,
+{
+    let cells: Vec<(usize, usize)> = (0..benchmarks.len())
+        .flat_map(|b| (0..configs).map(move |c| (b, c)))
+        .collect();
+    let mut flat = parallel::sweep_with_threads(threads, &cells, |&(b, c)| job(&benchmarks[b], c));
+    let mut rows = Vec::with_capacity(benchmarks.len());
+    for _ in 0..benchmarks.len() {
+        let rest = flat.split_off(configs.min(flat.len()));
+        rows.push(flat);
+        flat = rest;
+    }
+    rows
 }
 
 #[cfg(test)]

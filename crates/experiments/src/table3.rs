@@ -1,10 +1,36 @@
 //! Table 3: storage overhead of line distillation, computed from the
 //! structure geometry.
 
-use crate::report::{fmt_f, Table};
+use crate::report::{fmt_f, Json, Table};
 use ldis_cache::CacheConfig;
 use ldis_distill::{DistillConfig, StorageOverhead};
 use ldis_mem::LineGeometry;
+
+/// The golden snapshot: every Table 3 storage-overhead figure plus the
+/// line-size-scaled percentages. Purely geometric (no simulation), so any
+/// drift means the overhead model itself changed. Compared against
+/// `tests/golden/table3.json`.
+pub fn snapshot() -> Json {
+    let o = data();
+    Json::obj([
+        ("experiment", Json::str("table3")),
+        ("woc_entry_bits", Json::uint(o.woc_entry_bits)),
+        ("woc_entries", Json::uint(o.woc_entries)),
+        ("woc_tag_bytes", Json::uint(o.woc_tag_bytes)),
+        ("loc_entries", Json::uint(o.loc_entries)),
+        ("loc_footprint_bytes", Json::uint(o.loc_footprint_bytes)),
+        ("l1d_lines", Json::uint(o.l1d_lines)),
+        ("l1d_footprint_bytes", Json::uint(o.l1d_footprint_bytes)),
+        ("median_counter_bytes", Json::uint(o.median_counter_bytes)),
+        ("atd_entries", Json::uint(o.atd_entries)),
+        ("reverter_bytes", Json::uint(o.reverter_bytes)),
+        ("total_bytes", Json::uint(o.total_bytes)),
+        ("baseline_area_bytes", Json::uint(o.baseline_area_bytes)),
+        ("percent_of_baseline", Json::num(o.percent_of_baseline())),
+        ("percent_at_128b", Json::num(percent_for_line_size(128))),
+        ("percent_at_256b", Json::num(percent_for_line_size(256))),
+    ])
+}
 
 /// Computes the Table 3 breakdown for the paper's configuration.
 pub fn data() -> StorageOverhead {

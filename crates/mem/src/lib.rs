@@ -31,7 +31,7 @@ mod access;
 mod addr;
 mod footprint;
 mod geometry;
-mod rng;
+pub mod rng;
 pub mod stats;
 mod trace;
 mod trace_io;
@@ -40,5 +40,5 @@ pub use access::{Access, AccessKind};
 pub use addr::{Addr, LineAddr, WordIndex};
 pub use footprint::Footprint;
 pub use geometry::LineGeometry;
-pub use rng::SimRng;
+pub use rng::{stable_id, SimRng};
 pub use trace::{Trace, TraceSource};

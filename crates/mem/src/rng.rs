@@ -6,6 +6,28 @@
 //! and test is deterministic. A local implementation avoids depending on a
 //! particular version of an external RNG crate for reproducibility.
 
+/// A stable 64-bit FNV-1a hash of a name, for deriving sweep-cell seeds
+/// from configuration labels. The constant offset basis and prime are the
+/// published FNV-1a parameters, so the id of a given string never changes
+/// across runs, platforms or compiler versions.
+///
+/// # Example
+///
+/// ```
+/// use ldis_mem::rng::stable_id;
+///
+/// assert_eq!(stable_id("LDIS-MT-RC"), stable_id("LDIS-MT-RC"));
+/// assert_ne!(stable_id("LDIS-MT"), stable_id("LDIS-MT-RC"));
+/// ```
+pub fn stable_id(name: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in name.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
 /// A deterministic 64-bit PRNG (xoshiro256\*\* seeded via SplitMix64).
 ///
 /// Not cryptographically secure; statistically excellent for simulation.
@@ -138,6 +160,41 @@ impl SimRng {
         SimRng::new(self.next_u64())
     }
 
+    /// Derives the seed of one (benchmark, configuration) sweep cell from a
+    /// root seed. Each cell of an experiment matrix draws its randomness
+    /// from its own derived stream, so cells can execute in any order — on
+    /// any number of threads — and still reproduce bit for bit.
+    ///
+    /// The derivation chains one SplitMix64 finalization per component.
+    /// Every round is a bijection of the 64-bit state, so for a fixed root
+    /// seed, distinct `benchmark_id`s are guaranteed to produce distinct
+    /// intermediate states, and collisions between full (benchmark, config)
+    /// cells are no more likely than for a random function.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use ldis_mem::SimRng;
+    ///
+    /// let a = SimRng::derive_seed(42, 0, 7);
+    /// assert_eq!(a, SimRng::derive_seed(42, 0, 7)); // stable across calls
+    /// assert_ne!(a, SimRng::derive_seed(42, 1, 7)); // cells are split
+    /// ```
+    pub fn derive_seed(seed: u64, benchmark_id: u64, config_id: u64) -> u64 {
+        let mut s = seed;
+        let h = splitmix64(&mut s);
+        s = h ^ benchmark_id;
+        let h = splitmix64(&mut s);
+        s = h ^ config_id;
+        splitmix64(&mut s)
+    }
+
+    /// Derives an independent generator for one (benchmark, configuration)
+    /// sweep cell; see [`SimRng::derive_seed`].
+    pub fn derive(seed: u64, benchmark_id: u64, config_id: u64) -> SimRng {
+        SimRng::new(SimRng::derive_seed(seed, benchmark_id, config_id))
+    }
+
     /// A geometric-ish positive integer with mean approximately `mean`
     /// (at least 1). Used for instruction gaps between memory accesses.
     pub fn geometric(&mut self, mean: f64) -> u32 {
@@ -251,5 +308,69 @@ mod tests {
         let mut c1 = parent.fork();
         let mut c2 = parent.fork();
         assert_ne!(c1.next_u64(), c2.next_u64());
+    }
+
+    #[test]
+    fn derived_seeds_never_collide_across_10k_cells() {
+        // 100 benchmarks × 100 configurations, with config ids both small
+        // integers and realistic label hashes.
+        let mut seen = std::collections::HashSet::new();
+        for bench in 0..100u64 {
+            for config in 0..100u64 {
+                let cell = SimRng::derive_seed(42, bench, config);
+                assert!(
+                    seen.insert(cell),
+                    "collision at bench {bench} config {config}"
+                );
+            }
+        }
+        assert_eq!(seen.len(), 10_000);
+
+        let labels = ["TRAD-1MB", "LDIS-Base", "LDIS-MT", "LDIS-MT-RC", "SFP"];
+        let mut seen = std::collections::HashSet::new();
+        for bench in 0..2000u64 {
+            for label in labels {
+                assert!(
+                    seen.insert(SimRng::derive_seed(7, bench, stable_id(label))),
+                    "collision at bench {bench} label {label}"
+                );
+            }
+        }
+        assert_eq!(seen.len(), 10_000);
+    }
+
+    #[test]
+    fn derivation_is_stable_across_calls_and_instances() {
+        for (seed, bench, config) in [(0u64, 0u64, 0u64), (42, 3, 7), (u64::MAX, 15, 1 << 40)] {
+            let first = SimRng::derive_seed(seed, bench, config);
+            for _ in 0..100 {
+                assert_eq!(first, SimRng::derive_seed(seed, bench, config));
+            }
+            let mut a = SimRng::derive(seed, bench, config);
+            let mut b = SimRng::derive(seed, bench, config);
+            for _ in 0..32 {
+                assert_eq!(a.next_u64(), b.next_u64());
+            }
+        }
+    }
+
+    #[test]
+    fn derivation_separates_every_coordinate() {
+        // Moving any one coordinate must move the derived seed, and the
+        // benchmark/config axes must not be interchangeable.
+        let base = SimRng::derive_seed(42, 1, 2);
+        assert_ne!(base, SimRng::derive_seed(43, 1, 2));
+        assert_ne!(base, SimRng::derive_seed(42, 2, 2));
+        assert_ne!(base, SimRng::derive_seed(42, 1, 3));
+        assert_ne!(base, SimRng::derive_seed(42, 2, 1), "axes must not commute");
+    }
+
+    #[test]
+    fn stable_id_is_the_published_fnv1a() {
+        // FNV-1a test vectors: the empty string hashes to the offset
+        // basis; "a" to the basis xor 0x61 times the prime.
+        assert_eq!(stable_id(""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(stable_id("a"), 0xaf63_dc4c_8601_ec8c);
+        assert_ne!(stable_id("TRAD-1MB"), stable_id("TRAD-2MB"));
     }
 }

@@ -122,6 +122,7 @@ pub fn cache_insensitive() -> Vec<Benchmark> {
     vec![
         Benchmark {
             name: "equake",
+            id: 100,
             make: equake,
             paper_mpki: 18.42,
             paper_compulsory_pct: f64::NAN,
@@ -129,6 +130,7 @@ pub fn cache_insensitive() -> Vec<Benchmark> {
         },
         Benchmark {
             name: "lucas",
+            id: 101,
             make: lucas,
             paper_mpki: 16.17,
             paper_compulsory_pct: f64::NAN,
@@ -136,6 +138,7 @@ pub fn cache_insensitive() -> Vec<Benchmark> {
         },
         Benchmark {
             name: "mgrid",
+            id: 102,
             make: mgrid,
             paper_mpki: 7.73,
             paper_compulsory_pct: f64::NAN,
@@ -143,6 +146,7 @@ pub fn cache_insensitive() -> Vec<Benchmark> {
         },
         Benchmark {
             name: "applu",
+            id: 103,
             make: applu,
             paper_mpki: 13.75,
             paper_compulsory_pct: f64::NAN,
@@ -150,6 +154,7 @@ pub fn cache_insensitive() -> Vec<Benchmark> {
         },
         Benchmark {
             name: "mesa",
+            id: 104,
             make: mesa,
             paper_mpki: 0.62,
             paper_compulsory_pct: f64::NAN,
@@ -157,6 +162,7 @@ pub fn cache_insensitive() -> Vec<Benchmark> {
         },
         Benchmark {
             name: "crafty",
+            id: 105,
             make: crafty,
             paper_mpki: 0.09,
             paper_compulsory_pct: f64::NAN,
@@ -164,6 +170,7 @@ pub fn cache_insensitive() -> Vec<Benchmark> {
         },
         Benchmark {
             name: "gap",
+            id: 106,
             make: gap,
             paper_mpki: 1.65,
             paper_compulsory_pct: f64::NAN,
@@ -171,6 +178,7 @@ pub fn cache_insensitive() -> Vec<Benchmark> {
         },
         Benchmark {
             name: "gzip",
+            id: 107,
             make: gzip,
             paper_mpki: 1.45,
             paper_compulsory_pct: f64::NAN,
@@ -178,6 +186,7 @@ pub fn cache_insensitive() -> Vec<Benchmark> {
         },
         Benchmark {
             name: "fma3d",
+            id: 108,
             make: fma3d,
             paper_mpki: 4.61,
             paper_compulsory_pct: f64::NAN,
@@ -185,6 +194,7 @@ pub fn cache_insensitive() -> Vec<Benchmark> {
         },
         Benchmark {
             name: "perlbmk",
+            id: 109,
             make: perlbmk,
             paper_mpki: 0.04,
             paper_compulsory_pct: f64::NAN,
@@ -192,6 +202,7 @@ pub fn cache_insensitive() -> Vec<Benchmark> {
         },
         Benchmark {
             name: "eon",
+            id: 110,
             make: eon,
             paper_mpki: 0.01,
             paper_compulsory_pct: f64::NAN,

@@ -31,6 +31,13 @@ use crate::{
 pub struct Benchmark {
     /// Benchmark name as it appears in the paper.
     pub name: &'static str,
+    /// A stable numeric identity used to derive per-cell seeds in sweep
+    /// matrices (`SimRng::derive`). Ids are fixed forever: memory-intensive
+    /// benchmarks occupy 0–15 in the paper's Table 2 order, the
+    /// cache-insensitive suite occupies 100–110. Renaming or reordering a
+    /// benchmark must never change its id, or committed golden snapshots
+    /// would shift.
+    pub id: u32,
     /// Constructs the workload with the given seed.
     pub make: fn(u64) -> Workload,
     /// MPKI of the 1 MB baseline reported in Table 2 (for reports only).
@@ -369,6 +376,7 @@ pub fn memory_intensive() -> Vec<Benchmark> {
     vec![
         Benchmark {
             name: "art",
+            id: 0,
             make: art,
             paper_mpki: 38.3,
             paper_compulsory_pct: 0.5,
@@ -376,6 +384,7 @@ pub fn memory_intensive() -> Vec<Benchmark> {
         },
         Benchmark {
             name: "mcf",
+            id: 1,
             make: mcf,
             paper_mpki: 136.0,
             paper_compulsory_pct: 2.2,
@@ -383,6 +392,7 @@ pub fn memory_intensive() -> Vec<Benchmark> {
         },
         Benchmark {
             name: "twolf",
+            id: 2,
             make: twolf,
             paper_mpki: 3.6,
             paper_compulsory_pct: 2.9,
@@ -390,6 +400,7 @@ pub fn memory_intensive() -> Vec<Benchmark> {
         },
         Benchmark {
             name: "vpr",
+            id: 3,
             make: vpr,
             paper_mpki: 2.2,
             paper_compulsory_pct: 4.3,
@@ -397,6 +408,7 @@ pub fn memory_intensive() -> Vec<Benchmark> {
         },
         Benchmark {
             name: "ammp",
+            id: 4,
             make: ammp,
             paper_mpki: 2.8,
             paper_compulsory_pct: 5.1,
@@ -404,6 +416,7 @@ pub fn memory_intensive() -> Vec<Benchmark> {
         },
         Benchmark {
             name: "galgel",
+            id: 5,
             make: galgel,
             paper_mpki: 4.7,
             paper_compulsory_pct: 5.9,
@@ -411,6 +424,7 @@ pub fn memory_intensive() -> Vec<Benchmark> {
         },
         Benchmark {
             name: "bzip2",
+            id: 6,
             make: bzip2,
             paper_mpki: 2.4,
             paper_compulsory_pct: 15.5,
@@ -418,6 +432,7 @@ pub fn memory_intensive() -> Vec<Benchmark> {
         },
         Benchmark {
             name: "facerec",
+            id: 7,
             make: facerec,
             paper_mpki: 4.8,
             paper_compulsory_pct: 18.0,
@@ -425,6 +440,7 @@ pub fn memory_intensive() -> Vec<Benchmark> {
         },
         Benchmark {
             name: "parser",
+            id: 8,
             make: parser,
             paper_mpki: 1.6,
             paper_compulsory_pct: 20.3,
@@ -432,6 +448,7 @@ pub fn memory_intensive() -> Vec<Benchmark> {
         },
         Benchmark {
             name: "sixtrack",
+            id: 9,
             make: sixtrack,
             paper_mpki: 0.4,
             paper_compulsory_pct: 20.6,
@@ -439,6 +456,7 @@ pub fn memory_intensive() -> Vec<Benchmark> {
         },
         Benchmark {
             name: "apsi",
+            id: 10,
             make: apsi,
             paper_mpki: 0.3,
             paper_compulsory_pct: 22.8,
@@ -446,6 +464,7 @@ pub fn memory_intensive() -> Vec<Benchmark> {
         },
         Benchmark {
             name: "swim",
+            id: 11,
             make: swim,
             paper_mpki: 26.6,
             paper_compulsory_pct: 50.4,
@@ -453,6 +472,7 @@ pub fn memory_intensive() -> Vec<Benchmark> {
         },
         Benchmark {
             name: "vortex",
+            id: 12,
             make: vortex,
             paper_mpki: 0.7,
             paper_compulsory_pct: 53.4,
@@ -460,6 +480,7 @@ pub fn memory_intensive() -> Vec<Benchmark> {
         },
         Benchmark {
             name: "gcc",
+            id: 13,
             make: gcc,
             paper_mpki: 0.4,
             paper_compulsory_pct: 77.4,
@@ -467,6 +488,7 @@ pub fn memory_intensive() -> Vec<Benchmark> {
         },
         Benchmark {
             name: "wupwise",
+            id: 14,
             make: wupwise,
             paper_mpki: 2.3,
             paper_compulsory_pct: 83.0,
@@ -474,6 +496,7 @@ pub fn memory_intensive() -> Vec<Benchmark> {
         },
         Benchmark {
             name: "health",
+            id: 15,
             make: health,
             paper_mpki: 62.0,
             paper_compulsory_pct: 0.73,
@@ -516,6 +539,26 @@ mod tests {
                 assert!(w.next_access().is_some(), "{} stalled", b.name);
             }
         }
+    }
+
+    #[test]
+    fn ids_are_stable_and_unique_across_suites() {
+        let all: Vec<Benchmark> = memory_intensive()
+            .into_iter()
+            .chain(crate::cache_insensitive())
+            .collect();
+        let mut ids: Vec<u32> = all.iter().map(|b| b.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), all.len(), "benchmark ids must be unique");
+        // Spot-check the frozen assignment: Table 2 order is 0-15, the
+        // insensitive suite starts at 100. These must never change (golden
+        // snapshots derive per-cell seeds from them).
+        assert_eq!(by_name("art").unwrap().id, 0);
+        assert_eq!(by_name("swim").unwrap().id, 11);
+        assert_eq!(by_name("health").unwrap().id, 15);
+        assert_eq!(by_name("equake").unwrap().id, 100);
+        assert_eq!(by_name("eon").unwrap().id, 110);
     }
 
     #[test]

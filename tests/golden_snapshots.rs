@@ -1,0 +1,33 @@
+//! Golden-snapshot regression tests.
+//!
+//! Each test recomputes one experiment at the canonical quick
+//! configuration and compares the canonical JSON rendering byte for byte
+//! against the committed file under `tests/golden/`. A mismatch means a
+//! simulator, workload or sweep change moved a published number: if that
+//! was intentional, regenerate with `UPDATE_GOLDEN=1 cargo test` and
+//! commit the diff alongside the change.
+
+use line_distillation::experiments::{golden, linesize, motivation, resilience, table3};
+
+#[test]
+fn motivation_matches_golden() {
+    let cfg = golden::golden_config();
+    golden::assert_matches("motivation", &motivation::snapshot(&cfg));
+}
+
+#[test]
+fn table3_matches_golden() {
+    golden::assert_matches("table3", &table3::snapshot());
+}
+
+#[test]
+fn linesize_matches_golden() {
+    let cfg = golden::golden_config();
+    golden::assert_matches("linesize", &linesize::snapshot(&cfg));
+}
+
+#[test]
+fn resilience_matches_golden() {
+    let cfg = golden::golden_config();
+    golden::assert_matches("resilience", &resilience::snapshot(&cfg));
+}

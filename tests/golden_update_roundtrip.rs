@@ -1,0 +1,50 @@
+//! `UPDATE_GOLDEN=1` must round-trip: regenerating a snapshot that did
+//! not change writes byte-identical files, so an update run with no real
+//! change leaves `git diff tests/golden` empty.
+//!
+//! This test mutates process environment (`UPDATE_GOLDEN`,
+//! `LDIS_GOLDEN_DIR`), so it lives alone in its own integration-test
+//! binary — separate test binaries run as separate processes, keeping the
+//! compare tests in `golden_snapshots.rs` unaffected.
+
+use line_distillation::experiments::golden::{self, GoldenStatus};
+use line_distillation::experiments::table3;
+use std::fs;
+
+#[test]
+fn update_golden_round_trips_to_identical_json() {
+    let tmp = std::env::temp_dir().join(format!("ldis-golden-roundtrip-{}", std::process::id()));
+    fs::create_dir_all(&tmp).unwrap();
+    std::env::set_var("LDIS_GOLDEN_DIR", &tmp);
+
+    let snap = table3::snapshot();
+
+    // First update creates the file.
+    std::env::set_var("UPDATE_GOLDEN", "1");
+    assert_eq!(
+        golden::verify("roundtrip", &snap),
+        Ok(GoldenStatus::Updated)
+    );
+    let first = fs::read_to_string(tmp.join("roundtrip.json")).unwrap();
+
+    // A second update of a freshly recomputed snapshot is a byte no-op.
+    assert_eq!(
+        golden::verify("roundtrip", &table3::snapshot()),
+        Ok(GoldenStatus::Updated)
+    );
+    let second = fs::read_to_string(tmp.join("roundtrip.json")).unwrap();
+    assert_eq!(
+        first, second,
+        "regeneration without a change must not move a byte"
+    );
+
+    // And without UPDATE_GOLDEN the fresh file verifies clean.
+    std::env::remove_var("UPDATE_GOLDEN");
+    assert_eq!(
+        golden::verify("roundtrip", &snap),
+        Ok(GoldenStatus::Matched)
+    );
+
+    std::env::remove_var("LDIS_GOLDEN_DIR");
+    let _ = fs::remove_dir_all(&tmp);
+}

@@ -2,7 +2,7 @@
 
 use ldis_mem::stats::{mpki, Histogram};
 use ldis_mem::LineAddr;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::fmt;
 
 /// Hit/miss and instrumentation counters for a second-level cache.
@@ -110,7 +110,7 @@ impl fmt::Display for L2Stats {
 /// misses (Table 2). Shared by all second-level implementations.
 #[derive(Clone, Debug, Default)]
 pub struct CompulsoryTracker {
-    seen: HashSet<LineAddr>,
+    seen: BTreeSet<LineAddr>,
 }
 
 impl CompulsoryTracker {

@@ -141,8 +141,11 @@ impl SecondLevel for CmprCache {
         let full = Footprint::full(self.cfg.geometry.words_per_line());
         let set = &mut self.sets[set_idx];
 
-        if let Some(pos) = set.iter().position(|l| l.tag == tag) {
-            let mut line = set.remove(pos).expect("position just found");
+        if let Some(mut line) = set
+            .iter()
+            .position(|l| l.tag == tag)
+            .and_then(|pos| set.remove(pos))
+        {
             line.dirty |= req.write;
             set.push_front(line);
             self.stats.loc_hits += 1;
@@ -172,9 +175,11 @@ impl SecondLevel for CmprCache {
             if used <= budget && set.len() <= max_tags {
                 break;
             }
-            let victim = self.sets[set_idx]
-                .pop_back()
-                .expect("set cannot be empty here");
+            // The freshly inserted line keeps the set non-empty whenever
+            // the budgets are exceeded; stop if that ever fails to hold.
+            let Some(victim) = self.sets[set_idx].pop_back() else {
+                break;
+            };
             self.stats.evictions += 1;
             if victim.dirty {
                 self.stats.writebacks += 1;

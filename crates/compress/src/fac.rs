@@ -173,9 +173,20 @@ impl CompressedWoc {
                     dirty: e.dirty,
                 });
             } else {
-                let ev = evictions.last_mut().expect("head seen before body");
-                debug_assert_eq!(ev.tag, e.tag);
-                ev.dirty |= e.dirty;
+                // Well-formed ways open with a head; corrupted metadata can
+                // present a headless body entry. Open a fresh record for it
+                // so the debris is still cleared and its dirtiness kept.
+                match evictions.last_mut() {
+                    Some(ev) => {
+                        debug_assert_eq!(ev.tag, e.tag);
+                        ev.dirty |= e.dirty;
+                    }
+                    None => evictions.push(WocEviction {
+                        tag: e.tag,
+                        words: e.words,
+                        dirty: e.dirty,
+                    }),
+                }
             }
             entries[i] = FacEntry::default();
             i += 1;

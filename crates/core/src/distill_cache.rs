@@ -347,10 +347,12 @@ impl<W: WordStore> DistillCache<W> {
             }
         } else if bit < woc_bits + loc_bits + psel_bits {
             let pbit = (bit - woc_bits - loc_bits) as u32;
-            let r = self
-                .reverter
-                .as_mut()
-                .expect("psel bits modeled only with a reverter");
+            // `psel_bits > 0` implies a reverter; if that ever regresses,
+            // the flip has no target and counts as masked.
+            let Some(r) = self.reverter.as_mut() else {
+                res.health.faults.masked += 1;
+                return;
+            };
             r.flip_psel_bit(pbit);
             match res.cfg.protection {
                 ProtectionScheme::Secded => {

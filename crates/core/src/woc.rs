@@ -358,9 +358,10 @@ impl Woc {
                     dirty: false,
                 });
             }
-            let ev = evictions.last_mut().expect("record opened above");
-            ev.words.touch(WordIndex::new(e.word_id));
-            ev.dirty |= e.dirty;
+            if let Some(ev) = evictions.last_mut() {
+                ev.words.touch(WordIndex::new(e.word_id));
+                ev.dirty |= e.dirty;
+            }
             entries[i] = WocEntry::default();
             i += 1;
         }

@@ -83,7 +83,7 @@ fn info(args: &[String]) {
     let trace = load(path);
     let geom = LineGeometry::default();
     let (mut loads, mut stores, mut fetches) = (0u64, 0u64, 0u64);
-    let mut lines = std::collections::HashSet::new();
+    let mut lines = std::collections::BTreeSet::new();
     for a in trace.accesses() {
         match a.kind {
             AccessKind::Load => loads += 1,

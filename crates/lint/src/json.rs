@@ -1,0 +1,250 @@
+//! A minimal JSON reader for validating golden snapshots.
+//!
+//! The golden files under `tests/golden/` are emitted by the workspace's
+//! own canonical-JSON writer (`ldis-experiments::report`), so this reader
+//! only needs to parse well-formed JSON; it exists because the offline
+//! toolchain has no serde. Numbers are kept as their source text so the
+//! C1 rule can distinguish integers from floats without precision games.
+
+/// A parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A number, kept as its literal source text.
+    Num(String),
+    /// A string (escapes decoded).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source key order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Looks up `key` in an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string content, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The literal number text, if this is a number.
+    pub fn as_num(&self) -> Option<&str> {
+        match self {
+            Json::Num(n) => Some(n),
+            _ => None,
+        }
+    }
+}
+
+/// Parses a complete JSON document; trailing garbage is an error.
+pub fn parse(src: &str) -> Result<Json, String> {
+    let chars: Vec<char> = src.chars().collect();
+    let mut pos = 0usize;
+    let value = parse_value(&chars, &mut pos)?;
+    skip_ws(&chars, &mut pos);
+    if pos != chars.len() {
+        return Err(format!("trailing content at offset {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(chars: &[char], pos: &mut usize) {
+    while matches!(chars.get(*pos), Some(' ' | '\t' | '\n' | '\r')) {
+        *pos += 1;
+    }
+}
+
+fn expect(chars: &[char], pos: &mut usize, c: char) -> Result<(), String> {
+    if chars.get(*pos) == Some(&c) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected `{c}` at offset {pos}", pos = *pos))
+    }
+}
+
+fn parse_value(chars: &[char], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(chars, pos);
+    match chars.get(*pos) {
+        Some('{') => parse_obj(chars, pos),
+        Some('[') => parse_arr(chars, pos),
+        Some('"') => parse_str(chars, pos).map(Json::Str),
+        Some('t') => parse_lit(chars, pos, "true", Json::Bool(true)),
+        Some('f') => parse_lit(chars, pos, "false", Json::Bool(false)),
+        Some('n') => parse_lit(chars, pos, "null", Json::Null),
+        Some(c) if *c == '-' || c.is_ascii_digit() => parse_num(chars, pos),
+        other => Err(format!("unexpected {other:?} at offset {pos}", pos = *pos)),
+    }
+}
+
+fn parse_lit(chars: &[char], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
+    for c in lit.chars() {
+        expect(chars, pos, c)?;
+    }
+    Ok(value)
+}
+
+fn parse_num(chars: &[char], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    if chars.get(*pos) == Some(&'-') {
+        *pos += 1;
+    }
+    while matches!(chars.get(*pos), Some(c) if c.is_ascii_digit() || "+-.eE".contains(*c)) {
+        *pos += 1;
+    }
+    if *pos == start {
+        return Err(format!("empty number at offset {start}"));
+    }
+    Ok(Json::Num(chars[start..*pos].iter().collect()))
+}
+
+fn parse_str(chars: &[char], pos: &mut usize) -> Result<String, String> {
+    expect(chars, pos, '"')?;
+    let mut s = String::new();
+    loop {
+        match chars.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some('"') => {
+                *pos += 1;
+                return Ok(s);
+            }
+            Some('\\') => {
+                *pos += 1;
+                match chars.get(*pos) {
+                    Some('n') => s.push('\n'),
+                    Some('t') => s.push('\t'),
+                    Some('r') => s.push('\r'),
+                    Some('"') => s.push('"'),
+                    Some('\\') => s.push('\\'),
+                    Some('/') => s.push('/'),
+                    Some('b') => s.push('\u{8}'),
+                    Some('f') => s.push('\u{c}'),
+                    Some('u') => {
+                        let hex: String = chars.iter().skip(*pos + 1).take(4).collect();
+                        let code = u32::from_str_radix(&hex, 16)
+                            .map_err(|_| format!("bad \\u escape `{hex}`"))?;
+                        s.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                }
+                *pos += 1;
+            }
+            Some(c) => {
+                s.push(*c);
+                *pos += 1;
+            }
+        }
+    }
+}
+
+fn parse_arr(chars: &[char], pos: &mut usize) -> Result<Json, String> {
+    expect(chars, pos, '[')?;
+    let mut items = Vec::new();
+    skip_ws(chars, pos);
+    if chars.get(*pos) == Some(&']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(chars, pos)?);
+        skip_ws(chars, pos);
+        match chars.get(*pos) {
+            Some(',') => {
+                *pos += 1;
+            }
+            Some(']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            other => return Err(format!("expected `,` or `]`, got {other:?}")),
+        }
+    }
+}
+
+fn parse_obj(chars: &[char], pos: &mut usize) -> Result<Json, String> {
+    expect(chars, pos, '{')?;
+    let mut pairs = Vec::new();
+    skip_ws(chars, pos);
+    if chars.get(*pos) == Some(&'}') {
+        *pos += 1;
+        return Ok(Json::Obj(pairs));
+    }
+    loop {
+        skip_ws(chars, pos);
+        let key = parse_str(chars, pos)?;
+        skip_ws(chars, pos);
+        expect(chars, pos, ':')?;
+        let value = parse_value(chars, pos)?;
+        pairs.push((key, value));
+        skip_ws(chars, pos);
+        match chars.get(*pos) {
+            Some(',') => {
+                *pos += 1;
+            }
+            Some('}') => {
+                *pos += 1;
+                return Ok(Json::Obj(pairs));
+            }
+            other => return Err(format!("expected `,` or `}}`, got {other:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_documents() {
+        let doc = parse(
+            r#"{"experiment": "motivation", "seed": 42, "rows": [{"mpki": 1.5, "ok": true}], "none": null}"#,
+        )
+        .expect("parses");
+        assert_eq!(
+            doc.get("experiment").and_then(Json::as_str),
+            Some("motivation")
+        );
+        assert_eq!(doc.get("seed").and_then(Json::as_num), Some("42"));
+        let rows = doc.get("rows").and_then(Json::as_arr).expect("rows");
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].get("mpki").and_then(Json::as_num), Some("1.5"));
+        assert_eq!(rows[0].get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(doc.get("none"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn decodes_escapes() {
+        let doc = parse(r#"{"s": "a\"b\\c\ndA"}"#).expect("parses");
+        assert_eq!(doc.get("s").and_then(Json::as_str), Some("a\"b\\c\ndA"));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1, 2,]").is_err());
+        assert!(parse("{} extra").is_err());
+        assert!(parse(r#"{"k" 1}"#).is_err());
+    }
+}

@@ -1,0 +1,156 @@
+//! CLI for `ldis-lint`.
+//!
+//! ```text
+//! cargo run -p ldis-lint [-- [lint] [OPTIONS]]
+//! cargo xtask lint [OPTIONS]            # alias in .cargo/config.toml
+//!
+//! OPTIONS:
+//!   --deny             CI mode: also fail on stale baseline entries
+//!   --warn             report only; always exit 0
+//!   --show-warnings    print warn-tier findings in full (default: count)
+//!   --update-baseline  rewrite lint.toml from the live findings
+//!   --baseline <path>  baseline file (default: <root>/lint.toml)
+//!   --root <path>      workspace root (default: discovered from cwd)
+//! ```
+//!
+//! Exit status: 0 clean, 1 findings (or stale baseline under `--deny`),
+//! 2 usage or I/O error.
+
+use ldis_lint::report::render;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Options {
+    deny: bool,
+    warn: bool,
+    show_warnings: bool,
+    update_baseline: bool,
+    baseline: Option<PathBuf>,
+    root: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        deny: false,
+        warn: false,
+        show_warnings: false,
+        update_baseline: false,
+        baseline: None,
+        root: None,
+    };
+    let mut args = std::env::args().skip(1).peekable();
+    // Tolerate a leading `lint` so `cargo xtask lint` works.
+    if args.peek().is_some_and(|a| a == "lint") {
+        args.next();
+    }
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny" => opts.deny = true,
+            "--warn" => opts.warn = true,
+            "--show-warnings" => opts.show_warnings = true,
+            "--update-baseline" => opts.update_baseline = true,
+            "--baseline" => {
+                opts.baseline = Some(PathBuf::from(args.next().ok_or("--baseline needs a path")?));
+            }
+            "--root" => {
+                opts.root = Some(PathBuf::from(args.next().ok_or("--root needs a path")?));
+            }
+            "--help" | "-h" => {
+                return Err("usage: ldis-lint [--deny|--warn] [--show-warnings] \
+                            [--update-baseline] [--baseline <path>] [--root <path>]"
+                    .into());
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    if opts.deny && opts.warn {
+        return Err("--deny and --warn are mutually exclusive".into());
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("ldis-lint: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let root = opts.root.clone().unwrap_or_else(|| {
+        let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+        ldis_lint::find_root(&cwd)
+    });
+    let baseline_path = opts
+        .baseline
+        .clone()
+        .unwrap_or_else(|| root.join("lint.toml"));
+    let baseline = match ldis_lint::load_baseline(&baseline_path) {
+        Ok(b) => b,
+        Err(msg) => {
+            eprintln!("ldis-lint: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let outcome = match ldis_lint::scan_workspace(&root, &baseline) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("ldis-lint: scanning {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.update_baseline {
+        let entries = ldis_lint::regenerate_baseline(&outcome, &baseline);
+        let text = ldis_lint::report::write_baseline(&entries);
+        if let Err(e) = std::fs::write(&baseline_path, text) {
+            eprintln!("ldis-lint: writing {}: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "ldis-lint: wrote {} with {} entr{} — re-justify any TODOs",
+            baseline_path.display(),
+            entries.len(),
+            if entries.len() == 1 { "y" } else { "ies" },
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    for f in &outcome.errors {
+        print!("{}", render(f));
+    }
+    if opts.show_warnings {
+        for f in &outcome.warnings {
+            print!("{}", render(f));
+        }
+    }
+    for s in &outcome.stale {
+        println!(
+            "stale baseline: [[allow]] {} {} tolerates {} finding(s) but only {} remain — shrink the entry",
+            s.rule, s.path, s.allowed, s.live
+        );
+    }
+    println!(
+        "ldis-lint: {} error(s), {} warning(s){}, {} baselined, {} stale baseline entr{}",
+        outcome.errors.len(),
+        outcome.warnings.len(),
+        if opts.show_warnings {
+            ""
+        } else {
+            " (use --show-warnings for details)"
+        },
+        outcome.baselined.len(),
+        outcome.stale.len(),
+        if outcome.stale.len() == 1 { "y" } else { "ies" },
+    );
+
+    if opts.warn {
+        return ExitCode::SUCCESS;
+    }
+    let failed = !outcome.errors.is_empty() || (opts.deny && !outcome.stale.is_empty());
+    if failed {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

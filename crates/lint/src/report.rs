@@ -1,0 +1,335 @@
+//! Findings, the committed baseline, and rustc-style rendering.
+
+use crate::toml;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Severity tier of a rule or finding.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Level {
+    /// Reported, never fails the run (tracked debt).
+    Warn,
+    /// Fails the run unless baselined in `lint.toml`.
+    Deny,
+}
+
+/// One diagnostic produced by a rule.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Rule identifier (`D1`, `D2`, `P1`, `P1X`, `C1`).
+    pub rule: &'static str,
+    /// Severity tier.
+    pub level: Level,
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// What is wrong and what to do instead.
+    pub message: String,
+    /// The offending source line, for the caret display.
+    pub snippet: String,
+}
+
+/// One `[[allow]]` entry from `lint.toml`.
+#[derive(Clone, Debug)]
+pub struct AllowEntry {
+    /// Rule the entry baselines.
+    pub rule: String,
+    /// Workspace-relative file path.
+    pub path: String,
+    /// Number of findings tolerated in that file.
+    pub count: usize,
+    /// Why the debt is acceptable. Required: un-justified debt is debt
+    /// nobody can ever retire.
+    pub justification: String,
+}
+
+/// The committed debt baseline (`lint.toml`).
+#[derive(Clone, Debug, Default)]
+pub struct Baseline {
+    /// All `[[allow]]` entries in file order.
+    pub allows: Vec<AllowEntry>,
+}
+
+impl Baseline {
+    /// Parses a baseline document.
+    pub fn parse(src: &str) -> Result<Baseline, String> {
+        let doc = toml::parse(src)?;
+        let mut allows = Vec::new();
+        for (idx, table) in doc.arrays.get("allow").into_iter().flatten().enumerate() {
+            let field = |name: &str| -> Result<&toml::Value, String> {
+                table
+                    .get(name)
+                    .ok_or_else(|| format!("[[allow]] #{}: missing `{name}`", idx + 1))
+            };
+            let rule = field("rule")?
+                .as_str()
+                .ok_or_else(|| format!("[[allow]] #{}: `rule` must be a string", idx + 1))?
+                .to_string();
+            let path = field("path")?
+                .as_str()
+                .ok_or_else(|| format!("[[allow]] #{}: `path` must be a string", idx + 1))?
+                .to_string();
+            let count = field("count")?.as_int().filter(|n| *n > 0).ok_or_else(|| {
+                format!("[[allow]] #{}: `count` must be a positive integer", idx + 1)
+            })? as usize;
+            let justification = field("justification")?
+                .as_str()
+                .filter(|s| !s.trim().is_empty())
+                .ok_or_else(|| {
+                    format!(
+                        "[[allow]] #{}: `justification` must be a non-empty string",
+                        idx + 1
+                    )
+                })?
+                .to_string();
+            allows.push(AllowEntry {
+                rule,
+                path,
+                count,
+                justification,
+            });
+        }
+        Ok(Baseline { allows })
+    }
+
+    /// Tolerated finding count per (rule, path).
+    pub fn counts(&self) -> BTreeMap<(String, String), usize> {
+        let mut map = BTreeMap::new();
+        for a in &self.allows {
+            *map.entry((a.rule.clone(), a.path.clone())).or_insert(0) += a.count;
+        }
+        map
+    }
+}
+
+/// A baseline entry whose debt has (partially) been paid down: the live
+/// finding count is below the allowed count, so the entry should shrink.
+#[derive(Clone, Debug)]
+pub struct StaleEntry {
+    /// Rule of the stale entry.
+    pub rule: String,
+    /// File of the stale entry.
+    pub path: String,
+    /// Count recorded in `lint.toml`.
+    pub allowed: usize,
+    /// Findings actually present.
+    pub live: usize,
+}
+
+/// The classified result of a lint run.
+#[derive(Debug, Default)]
+pub struct Outcome {
+    /// Deny-tier findings not covered by the baseline. Non-empty ⇒ fail.
+    pub errors: Vec<Finding>,
+    /// Warn-tier findings (tracked, never failing).
+    pub warnings: Vec<Finding>,
+    /// Deny-tier findings covered by the baseline.
+    pub baselined: Vec<Finding>,
+    /// Baseline entries exceeding the live count (fail under `--deny`).
+    pub stale: Vec<StaleEntry>,
+}
+
+/// Splits raw findings into errors / warnings / baselined debt and
+/// detects stale baseline entries.
+///
+/// Baselining is per `(rule, path)` *count*, not per line: line numbers
+/// churn with every edit, counts only change when debt is added or
+/// retired. If a file exceeds its allowance, every finding in it is
+/// reported so the offender is visible regardless of which edit pushed
+/// the file over.
+pub fn classify(findings: Vec<Finding>, baseline: &Baseline) -> Outcome {
+    let mut out = Outcome::default();
+    let allowed = baseline.counts();
+    let mut by_key: BTreeMap<(String, String), Vec<Finding>> = BTreeMap::new();
+    for f in findings {
+        match f.level {
+            Level::Warn => out.warnings.push(f),
+            Level::Deny => by_key
+                .entry((f.rule.to_string(), f.path.clone()))
+                .or_default()
+                .push(f),
+        }
+    }
+    for (key, group) in &by_key {
+        let budget = allowed.get(key).copied().unwrap_or(0);
+        if group.len() <= budget {
+            out.baselined.extend(group.iter().cloned());
+        } else {
+            out.errors.extend(group.iter().cloned());
+        }
+    }
+    for (key, budget) in &allowed {
+        let live = by_key.get(key).map_or(0, Vec::len);
+        if live < *budget {
+            out.stale.push(StaleEntry {
+                rule: key.0.clone(),
+                path: key.1.clone(),
+                allowed: *budget,
+                live,
+            });
+        }
+    }
+    out.errors.sort_by(finding_order);
+    out.warnings.sort_by(finding_order);
+    out.baselined.sort_by(finding_order);
+    out
+}
+
+fn finding_order(a: &Finding, b: &Finding) -> std::cmp::Ordering {
+    (a.path.as_str(), a.line, a.col, a.rule).cmp(&(b.path.as_str(), b.line, b.col, b.rule))
+}
+
+/// Renders one finding in rustc style.
+pub fn render(f: &Finding) -> String {
+    let label = match f.level {
+        Level::Deny => "error",
+        Level::Warn => "warning",
+    };
+    let mut s = String::new();
+    let _ = writeln!(s, "{label}[{}]: {}", f.rule, f.message);
+    let _ = writeln!(s, "  --> {}:{}:{}", f.path, f.line, f.col);
+    let gutter = format!("{}", f.line).len().max(3);
+    let _ = writeln!(s, "{:gutter$} |", "");
+    let _ = writeln!(s, "{:>gutter$} | {}", f.line, f.snippet.trim_end());
+    // The snippet is printed as-is, so the caret column is the finding
+    // column as long as the line has no tabs; fall back gracefully.
+    let caret_pad = f
+        .snippet
+        .chars()
+        .take(f.col.saturating_sub(1) as usize)
+        .map(|c| if c == '\t' { '\t' } else { ' ' })
+        .collect::<String>();
+    let _ = writeln!(s, "{:gutter$} | {caret_pad}^", "");
+    s
+}
+
+/// Serializes a baseline back to `lint.toml` form (used by
+/// `--update-baseline`). Entries are sorted by rule then path.
+pub fn write_baseline(entries: &[AllowEntry]) -> String {
+    let mut sorted: Vec<&AllowEntry> = entries.iter().collect();
+    sorted.sort_by(|a, b| (&a.rule, &a.path).cmp(&(&b.rule, &b.path)));
+    let mut s = String::from(
+        "# ldis-lint debt baseline.\n\
+         #\n\
+         # Each [[allow]] entry tolerates `count` findings of `rule` in `path`,\n\
+         # with a justification for why the debt is acceptable. The count is\n\
+         # exact: paying debt down without shrinking the entry fails `--deny`\n\
+         # (stale baseline), and adding debt fails any mode. Regenerate with\n\
+         # `cargo run -p ldis-lint -- --update-baseline` and then re-justify\n\
+         # any `TODO` entries it leaves behind.\n",
+    );
+    for e in sorted {
+        let _ = write!(
+            s,
+            "\n[[allow]]\nrule = \"{}\"\npath = \"{}\"\ncount = {}\njustification = \"{}\"\n",
+            toml::escape(&e.rule),
+            toml::escape(&e.path),
+            e.count,
+            toml::escape(&e.justification),
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &'static str, path: &str, line: u32, level: Level) -> Finding {
+        Finding {
+            rule,
+            level,
+            path: path.into(),
+            line,
+            col: 1,
+            message: format!("{rule} fired"),
+            snippet: "x".into(),
+        }
+    }
+
+    #[test]
+    fn classify_baselines_exact_counts() {
+        let baseline = Baseline::parse(
+            "[[allow]]\nrule = \"P1\"\npath = \"a.rs\"\ncount = 2\njustification = \"j\"\n",
+        )
+        .expect("parses");
+        let out = classify(
+            vec![
+                finding("P1", "a.rs", 1, Level::Deny),
+                finding("P1", "a.rs", 2, Level::Deny),
+                finding("P1", "b.rs", 3, Level::Deny),
+                finding("P1X", "a.rs", 4, Level::Warn),
+            ],
+            &baseline,
+        );
+        assert_eq!(out.baselined.len(), 2);
+        assert_eq!(out.errors.len(), 1);
+        assert_eq!(out.errors[0].path, "b.rs");
+        assert_eq!(out.warnings.len(), 1);
+        assert!(out.stale.is_empty());
+    }
+
+    #[test]
+    fn exceeding_the_budget_reports_every_finding() {
+        let baseline = Baseline::parse(
+            "[[allow]]\nrule = \"P1\"\npath = \"a.rs\"\ncount = 1\njustification = \"j\"\n",
+        )
+        .expect("parses");
+        let out = classify(
+            vec![
+                finding("P1", "a.rs", 1, Level::Deny),
+                finding("P1", "a.rs", 2, Level::Deny),
+            ],
+            &baseline,
+        );
+        assert_eq!(out.errors.len(), 2, "whole group surfaces on overflow");
+        assert!(out.baselined.is_empty());
+    }
+
+    #[test]
+    fn paid_down_debt_is_stale() {
+        let baseline = Baseline::parse(
+            "[[allow]]\nrule = \"P1\"\npath = \"a.rs\"\ncount = 3\njustification = \"j\"\n",
+        )
+        .expect("parses");
+        let out = classify(vec![finding("P1", "a.rs", 1, Level::Deny)], &baseline);
+        assert_eq!(out.stale.len(), 1);
+        assert_eq!(out.stale[0].allowed, 3);
+        assert_eq!(out.stale[0].live, 1);
+    }
+
+    #[test]
+    fn baseline_requires_justifications() {
+        let err = Baseline::parse("[[allow]]\nrule = \"P1\"\npath = \"a.rs\"\ncount = 1\n");
+        assert!(err.is_err());
+        let err = Baseline::parse(
+            "[[allow]]\nrule = \"P1\"\npath = \"a.rs\"\ncount = 1\njustification = \" \"\n",
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn render_is_rustc_shaped() {
+        let text = render(&finding("D1", "crates/mem/src/rng.rs", 7, Level::Deny));
+        assert!(text.starts_with("error[D1]: D1 fired"));
+        assert!(text.contains("--> crates/mem/src/rng.rs:7:1"));
+        assert!(text.contains("^"));
+    }
+
+    #[test]
+    fn write_baseline_round_trips() {
+        let entries = vec![AllowEntry {
+            rule: "P1".into(),
+            path: "a.rs".into(),
+            count: 2,
+            justification: "says \"why\"".into(),
+        }];
+        let text = write_baseline(&entries);
+        let back = Baseline::parse(&text).expect("round trip");
+        assert_eq!(back.allows.len(), 1);
+        assert_eq!(back.allows[0].justification, "says \"why\"");
+    }
+}

@@ -1,0 +1,1008 @@
+//! The rule set: determinism (D1), ordered iteration (D2), panic safety
+//! (P1/P1X) and config invariants (C1).
+//!
+//! All rules work on the token stream from [`crate::lexer`]. Findings can
+//! be waived inline with `// ldis: allow(RULE, "why")` on the offending
+//! line or the line above; larger debts belong in the `lint.toml`
+//! baseline instead so they stay counted.
+
+use crate::lexer::{self, Comment, Token};
+use crate::report::{Finding, Level};
+use std::collections::BTreeMap;
+
+/// A lintable rule.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Rule {
+    /// No ambient entropy or wall-clock state in simulator crates: all
+    /// randomness must flow through `SimRng` / `SimRng::derive`.
+    D1,
+    /// No `HashMap`/`HashSet`: iteration order would depend on the hasher
+    /// seed, which breaks byte-stable reports. Use `BTreeMap`/`BTreeSet`.
+    D2,
+    /// No `unwrap`/`expect`/`panic!`-family calls in simulator core code;
+    /// failures route through `LdisError` or checked accessors.
+    P1,
+    /// Raw `[...]` indexing in simulator core code (warn tier: tracked,
+    /// not failing — bounds are usually geometry-guaranteed).
+    P1X,
+    /// Config literals in examples/benches and golden snapshots must
+    /// describe possible geometries and the paper's PSEL rails.
+    C1,
+}
+
+impl Rule {
+    /// The rule's identifier as it appears in diagnostics and `lint.toml`.
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::D1 => "D1",
+            Rule::D2 => "D2",
+            Rule::P1 => "P1",
+            Rule::P1X => "P1X",
+            Rule::C1 => "C1",
+        }
+    }
+
+    /// Default severity tier.
+    pub fn level(self) -> Level {
+        match self {
+            Rule::P1X => Level::Warn,
+            _ => Level::Deny,
+        }
+    }
+}
+
+/// Index of `// ldis: allow(RULE, "why")` comments by line.
+pub struct AllowIndex {
+    by_line: BTreeMap<u32, Vec<String>>,
+}
+
+impl AllowIndex {
+    /// Builds the index from a file's comments. A block comment indexes at
+    /// its starting line.
+    pub fn build(comments: &[Comment]) -> Self {
+        let mut by_line: BTreeMap<u32, Vec<String>> = BTreeMap::new();
+        for c in comments {
+            let mut rest = c.text.as_str();
+            while let Some(at) = rest.find("ldis: allow(") {
+                rest = &rest[at + "ldis: allow(".len()..];
+                let rule: String = rest
+                    .chars()
+                    .take_while(|ch| ch.is_ascii_alphanumeric())
+                    .collect();
+                if !rule.is_empty() {
+                    by_line.entry(c.line).or_default().push(rule);
+                }
+            }
+        }
+        AllowIndex { by_line }
+    }
+
+    /// Does an allow comment on this line or the line above waive `rule`?
+    pub fn allows(&self, rule: Rule, line: u32) -> bool {
+        [line, line.saturating_sub(1)].iter().any(|l| {
+            self.by_line
+                .get(l)
+                .is_some_and(|rules| rules.iter().any(|r| r == rule.id()))
+        })
+    }
+}
+
+/// Everything a rule needs about one source file.
+pub struct FileContext<'a> {
+    /// Workspace-relative path (`/` separators).
+    pub path: &'a str,
+    /// Source lines, for snippets.
+    pub lines: Vec<&'a str>,
+    /// Lexed tokens.
+    pub tokens: Vec<Token>,
+    /// Allow-comment index.
+    pub allows: AllowIndex,
+    /// `#[cfg(test)]` line ranges.
+    pub test_regions: Vec<(u32, u32)>,
+}
+
+impl<'a> FileContext<'a> {
+    /// Lexes `src` and prepares the indexes.
+    pub fn new(path: &'a str, src: &'a str) -> Self {
+        let lexed = lexer::lex(src);
+        let allows = AllowIndex::build(&lexed.comments);
+        let test_regions = lexer::test_regions(&lexed.tokens);
+        FileContext {
+            path,
+            lines: src.lines().collect(),
+            tokens: lexed.tokens,
+            allows,
+            test_regions,
+        }
+    }
+
+    fn snippet(&self, line: u32) -> String {
+        self.lines
+            .get(line.saturating_sub(1) as usize)
+            .map_or_else(String::new, |l| (*l).to_string())
+    }
+
+    fn finding(&self, rule: Rule, tok: &Token, message: String) -> Finding {
+        Finding {
+            rule: rule.id(),
+            level: rule.level(),
+            path: self.path.to_string(),
+            line: tok.line,
+            col: tok.col,
+            message,
+            snippet: self.snippet(tok.line),
+        }
+    }
+
+    fn in_tests(&self, line: u32) -> bool {
+        lexer::in_regions(&self.test_regions, line)
+    }
+}
+
+/// Runs `rules` over one Rust source file.
+pub fn scan_rust(ctx: &FileContext<'_>, rules: &[Rule]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for rule in rules {
+        match rule {
+            Rule::D1 => d1(ctx, &mut findings),
+            Rule::D2 => d2(ctx, &mut findings),
+            Rule::P1 => p1(ctx, &mut findings),
+            Rule::P1X => p1x(ctx, &mut findings),
+            Rule::C1 => c1(ctx, &mut findings),
+        }
+    }
+    findings
+}
+
+// --- D1: determinism -----------------------------------------------------
+
+const D1_IDENTS: &[(&str, &str)] = &[
+    (
+        "Instant",
+        "`std::time::Instant` reads the wall clock; simulator state must derive from simulated cycles",
+    ),
+    (
+        "SystemTime",
+        "`std::time::SystemTime` reads the wall clock; simulator state must derive from simulated cycles",
+    ),
+    (
+        "UNIX_EPOCH",
+        "wall-clock timestamps are nondeterministic; simulator state must derive from simulated cycles",
+    ),
+    (
+        "thread_rng",
+        "ambient RNGs are seeded from OS entropy; all randomness must flow through `SimRng`/`SimRng::derive`",
+    ),
+    (
+        "OsRng",
+        "OS entropy is nondeterministic; all randomness must flow through `SimRng`/`SimRng::derive`",
+    ),
+    (
+        "from_entropy",
+        "entropy-seeded RNG construction is nondeterministic; derive seeds with `SimRng::derive`",
+    ),
+    (
+        "getrandom",
+        "OS entropy is nondeterministic; all randomness must flow through `SimRng`/`SimRng::derive`",
+    ),
+];
+
+fn d1(ctx: &FileContext<'_>, findings: &mut Vec<Finding>) {
+    for (i, tok) in ctx.tokens.iter().enumerate() {
+        if tok.kind != lexer::TokKind::Ident {
+            continue;
+        }
+        if let Some((_, why)) = D1_IDENTS.iter().find(|(name, _)| tok.is_ident(name)) {
+            if !ctx.allows.allows(Rule::D1, tok.line) {
+                findings.push(ctx.finding(Rule::D1, tok, format!("`{}`: {why}", tok.text)));
+            }
+            continue;
+        }
+        // `env::var*` / `env::args*`: environment reads make sim behavior
+        // host-dependent. (The experiments driver is out of D1 scope.)
+        if tok.is_ident("env")
+            && ctx.tokens.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && ctx.tokens.get(i + 2).is_some_and(|t| t.is_punct(':'))
+            && ctx.tokens.get(i + 3).is_some_and(|t| {
+                t.kind == lexer::TokKind::Ident
+                    && (t.text.starts_with("var") || t.text.starts_with("args"))
+            })
+            && !ctx.allows.allows(Rule::D1, tok.line)
+        {
+            findings.push(ctx.finding(
+                Rule::D1,
+                tok,
+                "environment reads make simulation behavior host-dependent; thread configuration through config structs".into(),
+            ));
+        }
+    }
+}
+
+// --- D2: ordered iteration ----------------------------------------------
+
+fn d2(ctx: &FileContext<'_>, findings: &mut Vec<Finding>) {
+    for tok in &ctx.tokens {
+        let hashed =
+            tok.is_ident("HashMap") || tok.is_ident("HashSet") || tok.is_ident("RandomState");
+        if hashed && !ctx.allows.allows(Rule::D2, tok.line) {
+            findings.push(ctx.finding(
+                Rule::D2,
+                tok,
+                format!(
+                    "`{}` iteration order depends on the hasher seed; use `BTreeMap`/`BTreeSet` (or waive membership-only uses with `// ldis: allow(D2, \"why\")`)",
+                    tok.text
+                ),
+            ));
+        }
+    }
+}
+
+// --- P1: panic safety ----------------------------------------------------
+
+const P1_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+fn p1(ctx: &FileContext<'_>, findings: &mut Vec<Finding>) {
+    for (i, tok) in ctx.tokens.iter().enumerate() {
+        if tok.kind != lexer::TokKind::Ident
+            || ctx.in_tests(tok.line)
+            || ctx.allows.allows(Rule::P1, tok.line)
+        {
+            continue;
+        }
+        // `.unwrap(` / `.expect(`.
+        if (tok.is_ident("unwrap") || tok.is_ident("expect"))
+            && i > 0
+            && ctx.tokens[i - 1].is_punct('.')
+            && ctx.tokens.get(i + 1).is_some_and(|t| t.is_punct('('))
+        {
+            findings.push(ctx.finding(
+                Rule::P1,
+                tok,
+                format!(
+                    "`.{}()` panics in simulator core code; return `LdisError` or use a checked accessor (`unwrap_or`, `let-else`, `match`)",
+                    tok.text
+                ),
+            ));
+            continue;
+        }
+        // panic!-family macros.
+        if P1_MACROS.iter().any(|m| tok.is_ident(m))
+            && ctx.tokens.get(i + 1).is_some_and(|t| t.is_punct('!'))
+        {
+            findings.push(ctx.finding(
+                Rule::P1,
+                tok,
+                format!(
+                    "`{}!` aborts the simulation; degrade gracefully via `LdisError` instead",
+                    tok.text
+                ),
+            ));
+        }
+    }
+}
+
+/// Keywords that can directly precede a `[` without forming an index
+/// expression (slice patterns, array literals in statements, ...).
+const NON_INDEX_KEYWORDS: &[&str] = &[
+    "let", "mut", "ref", "in", "return", "if", "else", "match", "move", "box", "dyn", "impl",
+    "for", "while", "loop", "break", "continue", "where", "as", "use", "pub", "fn", "type",
+    "const", "static", "enum", "struct", "trait", "mod", "unsafe", "async", "await", "yield",
+];
+
+fn p1x(ctx: &FileContext<'_>, findings: &mut Vec<Finding>) {
+    for (i, tok) in ctx.tokens.iter().enumerate() {
+        if !tok.is_punct('[') || i == 0 {
+            continue;
+        }
+        let prev = &ctx.tokens[i - 1];
+        let indexes = match prev.kind {
+            lexer::TokKind::Ident => !NON_INDEX_KEYWORDS.iter().any(|k| prev.is_ident(k)),
+            lexer::TokKind::Punct => prev.is_punct(')') || prev.is_punct(']'),
+            _ => false,
+        };
+        if indexes && !ctx.in_tests(tok.line) && !ctx.allows.allows(Rule::P1X, tok.line) {
+            findings.push(ctx.finding(
+                Rule::P1X,
+                tok,
+                "raw indexing can panic on out-of-range values; prefer `.get()` where bounds are not structurally guaranteed".into(),
+            ));
+        }
+    }
+}
+
+// --- C1: config invariants ----------------------------------------------
+
+/// The paper's PSEL hysteresis rails (Section 5.5): disable below 64,
+/// enable above 192 on an 8-bit counter.
+const PSEL_RAILS: (i128, i128) = (64, 192);
+const DEFAULT_REVERTER: [(&str, i128); 4] = [
+    ("leader_sets", 32),
+    ("disable_below", 64),
+    ("enable_above", 192),
+    ("psel_max", 255),
+];
+
+fn c1(ctx: &FileContext<'_>, findings: &mut Vec<Finding>) {
+    let toks = &ctx.tokens;
+    for i in 0..toks.len() {
+        if ctx.allows.allows(Rule::C1, toks[i].line) {
+            continue;
+        }
+        if path_call_at(toks, i, "LineGeometry", "new") {
+            if let Some((args, _)) = split_args(toks, i + 4) {
+                check_geometry_literal(ctx, &toks[i], &args, findings);
+            }
+        } else if path_call_at(toks, i, "CacheConfig", "new") {
+            if let Some((args, _)) = split_args(toks, i + 4) {
+                check_cache_config(ctx, &toks[i], &args, findings);
+            }
+        } else if path_call_at(toks, i, "DistillConfig", "new") {
+            if let Some((args, _)) = split_args(toks, i + 4) {
+                check_distill_config(ctx, &toks[i], &args, findings);
+            }
+        } else if toks[i].is_ident("ReverterConfig")
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('{'))
+        {
+            check_reverter_literal(ctx, i, findings);
+        }
+    }
+}
+
+/// Matches `Type :: method (` starting at `i` (the type identifier).
+fn path_call_at(toks: &[Token], i: usize, ty: &str, method: &str) -> bool {
+    toks[i].is_ident(ty)
+        && toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+        && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+        && toks.get(i + 3).is_some_and(|t| t.is_ident(method))
+        && toks.get(i + 4).is_some_and(|t| t.is_punct('('))
+}
+
+/// Splits the argument list of the call whose `(` is at `open` into
+/// top-level comma-separated token ranges. Returns the ranges and the
+/// index of the closing `)`.
+fn split_args(toks: &[Token], open: usize) -> Option<(Vec<std::ops::Range<usize>>, usize)> {
+    let mut depth = 0i32;
+    let mut args = Vec::new();
+    let mut start = open + 1;
+    let mut i = open;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                if i > start {
+                    args.push(start..i);
+                }
+                return Some((args, i));
+            }
+        } else if depth == 1 && t.is_punct(',') {
+            args.push(start..i);
+            start = i + 1;
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Evaluates an integer constant expression over `+ - * / % << >> & | ^`
+/// and parentheses. Returns `None` when the expression references
+/// variables or anything else non-literal.
+pub fn const_eval(toks: &[Token]) -> Option<i128> {
+    let mut pos = 0usize;
+    let v = eval_bin(toks, &mut pos, 0)?;
+    (pos == toks.len()).then_some(v)
+}
+
+/// Binary operators from loosest to tightest, mirroring Rust precedence.
+const BIN_LEVELS: &[&[&str]] = &[
+    &["|"],
+    &["^"],
+    &["&"],
+    &["<<", ">>"],
+    &["+", "-"],
+    &["*", "/", "%"],
+];
+
+fn eval_bin(toks: &[Token], pos: &mut usize, level: usize) -> Option<i128> {
+    if level == BIN_LEVELS.len() {
+        return eval_atom(toks, pos);
+    }
+    let mut lhs = eval_bin(toks, pos, level + 1)?;
+    loop {
+        let Some(op) = match_op(toks, *pos, BIN_LEVELS[level]) else {
+            return Some(lhs);
+        };
+        *pos += op.len(); // one token per character
+        let rhs = eval_bin(toks, pos, level + 1)?;
+        lhs = match op {
+            "|" => lhs | rhs,
+            "^" => lhs ^ rhs,
+            "&" => lhs & rhs,
+            "<<" => lhs.checked_shl(u32::try_from(rhs).ok()?)?,
+            ">>" => lhs.checked_shr(u32::try_from(rhs).ok()?)?,
+            "+" => lhs.checked_add(rhs)?,
+            "-" => lhs.checked_sub(rhs)?,
+            "*" => lhs.checked_mul(rhs)?,
+            "/" => lhs.checked_div(rhs)?,
+            "%" => lhs.checked_rem(rhs)?,
+            _ => return None,
+        };
+    }
+}
+
+/// Matches a (possibly multi-character) operator at `pos`; operators are
+/// lexed one `Punct` per character.
+fn match_op<'a>(toks: &[Token], pos: usize, ops: &[&'a str]) -> Option<&'a str> {
+    ops.iter().copied().find(|op| {
+        op.chars()
+            .enumerate()
+            .all(|(k, c)| toks.get(pos + k).is_some_and(|t| t.is_punct(c)))
+    })
+}
+
+fn eval_atom(toks: &[Token], pos: &mut usize) -> Option<i128> {
+    let t = toks.get(*pos)?;
+    if t.is_punct('(') {
+        *pos += 1;
+        let v = eval_bin(toks, pos, 0)?;
+        if !toks.get(*pos)?.is_punct(')') {
+            return None;
+        }
+        *pos += 1;
+        return Some(v);
+    }
+    if t.is_punct('-') {
+        *pos += 1;
+        return Some(-eval_atom(toks, pos)?);
+    }
+    if t.kind != lexer::TokKind::Int {
+        return None;
+    }
+    *pos += 1;
+    parse_int(&t.text)
+}
+
+/// Parses a Rust integer literal: underscores, radix prefixes, suffixes.
+pub fn parse_int(text: &str) -> Option<i128> {
+    let clean: String = text.chars().filter(|c| *c != '_').collect();
+    let (digits, radix) = if let Some(rest) = clean.strip_prefix("0x") {
+        (rest, 16)
+    } else if let Some(rest) = clean.strip_prefix("0o") {
+        (rest, 8)
+    } else if let Some(rest) = clean.strip_prefix("0b") {
+        (rest, 2)
+    } else {
+        (clean.as_str(), 10)
+    };
+    // Strip a type suffix (u8/u16/.../i128/usize/isize).
+    let end = digits
+        .find(|c: char| !c.is_digit(radix))
+        .unwrap_or(digits.len());
+    i128::from_str_radix(&digits[..end], radix).ok()
+}
+
+/// Geometry of one cache line, when statically resolvable.
+#[derive(Clone, Copy, Debug)]
+struct Geometry {
+    line_bytes: i128,
+    word_bytes: i128,
+}
+
+impl Geometry {
+    const DEFAULT: Geometry = Geometry {
+        line_bytes: 64,
+        word_bytes: 8,
+    };
+}
+
+/// Resolves a geometry argument: `LineGeometry::default()`,
+/// `Default::default()` or `LineGeometry::new(lit, lit)`.
+fn resolve_geometry(toks: &[Token]) -> Option<Geometry> {
+    if toks.is_empty() {
+        return None;
+    }
+    if path_call_at(toks, 0, "LineGeometry", "default")
+        || path_call_at(toks, 0, "Default", "default")
+    {
+        return Some(Geometry::DEFAULT);
+    }
+    if path_call_at(toks, 0, "LineGeometry", "new") {
+        let (args, _) = split_args(toks, 4)?;
+        if args.len() == 2 {
+            return Some(Geometry {
+                line_bytes: const_eval(&toks[args[0].clone()])?,
+                word_bytes: const_eval(&toks[args[1].clone()])?,
+            });
+        }
+    }
+    None
+}
+
+fn geometry_violation(g: Geometry) -> Option<String> {
+    if g.line_bytes <= 0 || !i128_pow2(g.line_bytes) {
+        return Some(format!("line size {} is not a power of two", g.line_bytes));
+    }
+    if g.word_bytes <= 0 || !i128_pow2(g.word_bytes) {
+        return Some(format!("word size {} is not a power of two", g.word_bytes));
+    }
+    if g.word_bytes >= g.line_bytes {
+        return Some(format!(
+            "word size {} does not subdivide line size {}",
+            g.word_bytes, g.line_bytes
+        ));
+    }
+    let words = g.line_bytes / g.word_bytes;
+    if !(2..=16).contains(&words) {
+        return Some(format!("a line must hold 2..=16 words, got {words}"));
+    }
+    None
+}
+
+fn i128_pow2(v: i128) -> bool {
+    v > 0 && v & (v - 1) == 0
+}
+
+fn check_geometry_literal(
+    ctx: &FileContext<'_>,
+    at: &Token,
+    args: &[std::ops::Range<usize>],
+    findings: &mut Vec<Finding>,
+) {
+    if args.len() != 2 {
+        return;
+    }
+    let (Some(line_bytes), Some(word_bytes)) = (
+        const_eval(&ctx.tokens[args[0].clone()]),
+        const_eval(&ctx.tokens[args[1].clone()]),
+    ) else {
+        return;
+    };
+    if let Some(why) = geometry_violation(Geometry {
+        line_bytes,
+        word_bytes,
+    }) {
+        findings.push(ctx.finding(Rule::C1, at, format!("impossible line geometry: {why}")));
+    }
+}
+
+/// Shared set-count check: `size / (line_bytes * ways)` must be a
+/// positive power of two.
+fn check_sets(
+    ctx: &FileContext<'_>,
+    at: &Token,
+    what: &str,
+    size: i128,
+    ways: i128,
+    geometry: Option<Geometry>,
+    findings: &mut Vec<Finding>,
+) {
+    if ways <= 0 {
+        findings.push(ctx.finding(Rule::C1, at, format!("impossible {what}: {ways} ways")));
+        return;
+    }
+    let Some(g) = geometry else { return };
+    if geometry_violation(g).is_some() {
+        return; // already reported at the geometry literal
+    }
+    let line_capacity = g.line_bytes * ways;
+    let sets = size / line_capacity;
+    if sets < 1 || sets * line_capacity != size || !i128_pow2(sets) {
+        findings.push(ctx.finding(
+            Rule::C1,
+            at,
+            format!(
+                "impossible {what}: {size} B / ({} B lines × {ways} ways) must give a power-of-two set count, got {sets}",
+                g.line_bytes
+            ),
+        ));
+    }
+}
+
+fn check_cache_config(
+    ctx: &FileContext<'_>,
+    at: &Token,
+    args: &[std::ops::Range<usize>],
+    findings: &mut Vec<Finding>,
+) {
+    if args.len() != 3 {
+        return;
+    }
+    let (Some(size), Some(ways)) = (
+        const_eval(&ctx.tokens[args[0].clone()]),
+        const_eval(&ctx.tokens[args[1].clone()]),
+    ) else {
+        return;
+    };
+    let geometry = resolve_geometry(&ctx.tokens[args[2].clone()]);
+    check_sets(ctx, at, "cache geometry", size, ways, geometry, findings);
+}
+
+fn check_distill_config(
+    ctx: &FileContext<'_>,
+    at: &Token,
+    args: &[std::ops::Range<usize>],
+    findings: &mut Vec<Finding>,
+) {
+    if args.len() != 4 {
+        return;
+    }
+    let size = const_eval(&ctx.tokens[args[0].clone()]);
+    let total = const_eval(&ctx.tokens[args[1].clone()]);
+    let woc = const_eval(&ctx.tokens[args[2].clone()]);
+    if let (Some(total), Some(woc)) = (total, woc) {
+        // The LOC/WOC split must partition the associativity: at least
+        // one WOC way and at least one LOC way (LOC ways = total - WOC).
+        if !(1..total).contains(&woc) {
+            findings.push(ctx.finding(
+                Rule::C1,
+                at,
+                format!(
+                    "impossible LOC/WOC split: {woc} WOC ways of {total} total (need 1 ≤ WOC < total so LOC+WOC = associativity)"
+                ),
+            ));
+        }
+    }
+    if let (Some(size), Some(total)) = (size, total) {
+        let geometry = resolve_geometry(&ctx.tokens[args[3].clone()]);
+        check_sets(
+            ctx,
+            at,
+            "distill-cache geometry",
+            size,
+            total,
+            geometry,
+            findings,
+        );
+    }
+}
+
+fn check_reverter_literal(ctx: &FileContext<'_>, i: usize, findings: &mut Vec<Finding>) {
+    let toks = &ctx.tokens;
+    let at = &toks[i];
+    // Parse `ReverterConfig { field: expr, ..rest }` up to the matching
+    // brace; nested braces end the literal-field scan conservatively.
+    let Some((fields, has_rest)) = parse_struct_fields(toks, i + 1) else {
+        return;
+    };
+    let mut values: BTreeMap<&str, Option<i128>> = BTreeMap::new();
+    for (name, default) in DEFAULT_REVERTER {
+        values.insert(name, has_rest.then_some(default));
+    }
+    for (name, range) in &fields {
+        if let Some(slot) = values.get_mut(name.as_str()) {
+            *slot = const_eval(&toks[range.clone()]);
+        }
+    }
+    let get = |name: &str| values.get(name).copied().flatten();
+    if let Some(leaders) = get("leader_sets") {
+        if !i128_pow2(leaders) {
+            findings.push(ctx.finding(
+                Rule::C1,
+                at,
+                format!("reverter leader_sets must be a positive power of two, got {leaders}"),
+            ));
+        }
+    }
+    let disable = get("disable_below");
+    let enable = get("enable_above");
+    let max = get("psel_max");
+    if let (Some(d), Some(e)) = (disable, enable) {
+        if d >= e {
+            findings.push(ctx.finding(
+                Rule::C1,
+                at,
+                format!(
+                    "reverter hysteresis inverted: disable_below {d} must be < enable_above {e}"
+                ),
+            ));
+        }
+    }
+    if let (Some(e), Some(m)) = (enable, max) {
+        if e > m {
+            findings.push(ctx.finding(
+                Rule::C1,
+                at,
+                format!("reverter enable_above {e} exceeds psel_max {m}"),
+            ));
+        }
+    }
+    // The paper's rails: deviating thresholds are usually a typo; a
+    // deliberate threshold sweep carries an allow comment.
+    if let Some(d) = disable {
+        if d != PSEL_RAILS.0 {
+            findings.push(ctx.finding(
+                Rule::C1,
+                at,
+                format!(
+                    "disable_below {d} is off the paper's 64/192 hysteresis rails (waive deliberate sweeps with `// ldis: allow(C1, \"why\")`)"
+                ),
+            ));
+        }
+    }
+    if let Some(e) = enable {
+        if e != PSEL_RAILS.1 {
+            findings.push(ctx.finding(
+                Rule::C1,
+                at,
+                format!(
+                    "enable_above {e} is off the paper's 64/192 hysteresis rails (waive deliberate sweeps with `// ldis: allow(C1, \"why\")`)"
+                ),
+            ));
+        }
+    }
+}
+
+/// A struct-literal field: its name and the token range of its value.
+type StructField = (String, std::ops::Range<usize>);
+
+/// Parses `{ name: expr, name: expr, ..rest }` starting at the `{`.
+/// Returns the named fields with their value token ranges, plus whether a
+/// `..rest` tail was present. Bails out (`None`) on nested braces inside
+/// field values — those are not literal configs.
+fn parse_struct_fields(toks: &[Token], open: usize) -> Option<(Vec<StructField>, bool)> {
+    if !toks.get(open)?.is_punct('{') {
+        return None;
+    }
+    let mut fields = Vec::new();
+    let mut has_rest = false;
+    let mut i = open + 1;
+    loop {
+        let t = toks.get(i)?;
+        if t.is_punct('}') {
+            return Some((fields, has_rest));
+        }
+        if t.is_punct('.') && toks.get(i + 1)?.is_punct('.') {
+            has_rest = true;
+            // Skip the rest-expression to the closing brace.
+            let mut depth = 0i32;
+            while let Some(t2) = toks.get(i) {
+                if t2.is_punct('(') {
+                    depth += 1;
+                } else if t2.is_punct(')') {
+                    depth -= 1;
+                } else if depth == 0 && t2.is_punct('}') {
+                    return Some((fields, has_rest));
+                }
+                i += 1;
+            }
+            return None;
+        }
+        // `name : value` up to a top-level `,` or `}`.
+        if t.kind != lexer::TokKind::Ident || !toks.get(i + 1)?.is_punct(':') {
+            return None;
+        }
+        let name = t.text.clone();
+        let start = i + 2;
+        let mut depth = 0i32;
+        let mut j = start;
+        loop {
+            let t2 = toks.get(j)?;
+            if t2.is_punct('(') || t2.is_punct('[') || t2.is_punct('{') {
+                if t2.is_punct('{') {
+                    return None; // nested struct literal: not a literal config
+                }
+                depth += 1;
+            } else if t2.is_punct(')') || t2.is_punct(']') {
+                depth -= 1;
+            } else if depth == 0 && (t2.is_punct(',') || t2.is_punct('}')) {
+                fields.push((name, start..j));
+                i = if t2.is_punct(',') { j + 1 } else { j };
+                break;
+            }
+            j += 1;
+        }
+    }
+}
+
+// --- C1 over golden snapshots -------------------------------------------
+
+/// Validates one golden snapshot (`tests/golden/<stem>.json`).
+pub fn scan_golden(path: &str, stem: &str, src: &str) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut push = |line: u32, message: String| {
+        findings.push(Finding {
+            rule: Rule::C1.id(),
+            level: Level::Deny,
+            path: path.to_string(),
+            line,
+            col: 1,
+            message,
+            snippet: src
+                .lines()
+                .nth(line.saturating_sub(1) as usize)
+                .unwrap_or("")
+                .to_string(),
+        });
+    };
+    let doc = match crate::json::parse(src) {
+        Ok(doc) => doc,
+        Err(e) => {
+            push(1, format!("golden snapshot is not valid JSON: {e}"));
+            return findings;
+        }
+    };
+    match doc.get("experiment").and_then(crate::json::Json::as_str) {
+        None => push(1, "golden snapshot has no `experiment` field".into()),
+        Some(name) if name != stem => push(
+            1,
+            format!("golden snapshot `experiment` is \"{name}\" but the file is named {stem}.json"),
+        ),
+        Some(_) => {}
+    }
+    if let Some(rows) = doc.get("rows") {
+        match rows.as_arr() {
+            None => push(1, "golden `rows` must be an array".into()),
+            Some([]) => push(
+                1,
+                "golden `rows` is empty: the snapshot pins nothing".into(),
+            ),
+            Some(_) => {}
+        }
+    }
+    if let Some(seed) = doc.get("seed") {
+        let ok = seed
+            .as_num()
+            .is_some_and(|n| n.chars().all(|c| c.is_ascii_digit()));
+        if !ok {
+            push(1, "golden `seed` must be a non-negative integer".into());
+        }
+    }
+    if let Some(accesses) = doc.get("accesses") {
+        let ok = accesses
+            .as_num()
+            .and_then(|n| n.parse::<u64>().ok())
+            .is_some_and(|n| n > 0);
+        if !ok {
+            push(1, "golden `accesses` must be a positive integer".into());
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(path: &str, src: &str, rules: &[Rule]) -> Vec<Finding> {
+        let ctx = FileContext::new(path, src);
+        scan_rust(&ctx, rules)
+    }
+
+    #[test]
+    fn d1_flags_entropy_and_clocks() {
+        let found = scan(
+            "x.rs",
+            "fn f() { let t = Instant::now(); let r = rand::thread_rng(); }",
+            &[Rule::D1],
+        );
+        assert_eq!(found.len(), 2);
+        assert!(found.iter().all(|f| f.rule == "D1"));
+    }
+
+    #[test]
+    fn d1_respects_allow_comments() {
+        let found = scan(
+            "x.rs",
+            "fn f() { let t = Instant::now(); } // ldis: allow(D1, \"test fixture\")",
+            &[Rule::D1],
+        );
+        assert!(found.is_empty());
+    }
+
+    #[test]
+    fn d1_env_reads() {
+        let found = scan("x.rs", "fn f() { std::env::var(\"X\"); }", &[Rule::D1]);
+        assert_eq!(found.len(), 1);
+        // Duration alone is fine.
+        assert!(scan("x.rs", "use std::time::Duration;", &[Rule::D1]).is_empty());
+    }
+
+    #[test]
+    fn d2_flags_hashed_collections_not_strings() {
+        let found = scan(
+            "x.rs",
+            "use std::collections::HashMap; fn f() { println!(\"HashMap\"); }",
+            &[Rule::D2],
+        );
+        assert_eq!(found.len(), 1);
+    }
+
+    #[test]
+    fn p1_flags_unwrap_outside_tests_only() {
+        let src = "fn f(v: Option<u8>) -> u8 { v.unwrap() }\n\
+                   #[cfg(test)]\n\
+                   mod tests { fn t(v: Option<u8>) { v.unwrap(); panic!(\"x\"); } }\n";
+        let found = scan("x.rs", src, &[Rule::P1]);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].line, 1);
+    }
+
+    #[test]
+    fn p1_ignores_unwrap_or_and_should_panic() {
+        let src = "fn f(v: Option<u8>) -> u8 { v.unwrap_or(0) }\n\
+                   fn g() { let expected = 3; }\n";
+        assert!(scan("x.rs", src, &[Rule::P1]).is_empty());
+    }
+
+    #[test]
+    fn p1x_warns_on_indexing_but_not_types_or_patterns() {
+        let src = "fn f(v: &[u8], i: usize) -> u8 { v[i] }\n\
+                   fn g(x: [u8; 4]) { let [a, _b, _c, _d] = x; let _ = a; }\n";
+        let found = scan("x.rs", src, &[Rule::P1X]);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].line, 1);
+        assert_eq!(found[0].level, Level::Warn);
+    }
+
+    #[test]
+    fn const_eval_handles_rust_literals() {
+        let lexed = crate::lexer::lex("1 << 20");
+        assert_eq!(const_eval(&lexed.tokens), Some(1 << 20));
+        let lexed = crate::lexer::lex("16 * 4 * 64");
+        assert_eq!(const_eval(&lexed.tokens), Some(4096));
+        let lexed = crate::lexer::lex("0x1f_u32 + 1");
+        assert_eq!(const_eval(&lexed.tokens), Some(32));
+        let lexed = crate::lexer::lex("(768 << 10) / 64");
+        assert_eq!(const_eval(&lexed.tokens), Some(12288));
+        let lexed = crate::lexer::lex("size * 2");
+        assert_eq!(const_eval(&lexed.tokens), None);
+    }
+
+    #[test]
+    fn c1_rejects_impossible_geometry_and_splits() {
+        let src = "fn main() {\n\
+                   let g = LineGeometry::new(64, 12);\n\
+                   let c = DistillConfig::new(1 << 20, 8, 8, LineGeometry::default());\n\
+                   }\n";
+        let found = scan("x.rs", src, &[Rule::C1]);
+        assert_eq!(found.len(), 2);
+        assert!(found[0].message.contains("power of two"));
+        assert!(found[1].message.contains("LOC/WOC split"));
+    }
+
+    #[test]
+    fn c1_accepts_paper_configs() {
+        let src = "fn main() {\n\
+                   let g = LineGeometry::new(64, 8);\n\
+                   let c = DistillConfig::new(1 << 20, 8, 2, LineGeometry::default());\n\
+                   let b = CacheConfig::new(1 << 20, 8, LineGeometry::default());\n\
+                   let r = ReverterConfig { leader_sets: 8, ..ReverterConfig::default() };\n\
+                   }\n";
+        assert!(scan("x.rs", src, &[Rule::C1]).is_empty());
+    }
+
+    #[test]
+    fn c1_checks_reverter_rails_and_ordering() {
+        let src = "fn main() { let r = ReverterConfig { leader_sets: 33, disable_below: 200, enable_above: 100, psel_max: 255 }; }";
+        let found = scan("x.rs", src, &[Rule::C1]);
+        // 33 not pow2; 200 >= 100 inverted; both thresholds off the rails.
+        assert_eq!(found.len(), 4);
+    }
+
+    #[test]
+    fn c1_skips_unresolvable_values() {
+        let src = "fn f(ways: u32) { let c = DistillConfig::new(1 << 20, ways, woc, geom); }";
+        assert!(scan("x.rs", src, &[Rule::C1]).is_empty());
+    }
+
+    #[test]
+    fn golden_checks_fire() {
+        let good = scan_golden(
+            "tests/golden/demo.json",
+            "demo",
+            r#"{"experiment": "demo", "seed": 42, "accesses": 100, "rows": [{"x": 1}]}"#,
+        );
+        assert!(good.is_empty());
+        let bad = scan_golden(
+            "tests/golden/demo.json",
+            "demo",
+            r#"{"experiment": "other", "seed": -3, "accesses": 0, "rows": []}"#,
+        );
+        assert_eq!(bad.len(), 4);
+        let broken = scan_golden("tests/golden/demo.json", "demo", "{");
+        assert_eq!(broken.len(), 1);
+        assert!(broken[0].message.contains("not valid JSON"));
+    }
+}

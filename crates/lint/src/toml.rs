@@ -1,0 +1,230 @@
+//! A minimal TOML-subset reader for `lint.toml`.
+//!
+//! The offline toolchain has no `toml` crate, and the baseline file only
+//! needs a sliver of the format: comments, `[table]` headers, `[[array]]`
+//! headers, and `key = "string" | integer | true | false` pairs. Anything
+//! outside that subset is a hard error so a malformed baseline can never
+//! silently allow new debt.
+
+use std::collections::BTreeMap;
+
+/// A scalar value in the supported TOML subset.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// A double-quoted string (supports `\"`, `\\`, `\n`, `\t`).
+    Str(String),
+    /// A decimal integer.
+    Int(i64),
+    /// A boolean.
+    Bool(bool),
+}
+
+impl Value {
+    /// The string content, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The integer, if this is an integer.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+/// One `[[name]]` entry (or the implicit root/`[name]` table): ordered
+/// key → value pairs.
+pub type Table = BTreeMap<String, Value>;
+
+/// A parsed document: the root table, named `[table]`s and `[[array]]`s.
+#[derive(Debug, Default)]
+pub struct Document {
+    /// Keys defined before any header.
+    pub root: Table,
+    /// `[name]` tables.
+    pub tables: BTreeMap<String, Table>,
+    /// `[[name]]` arrays-of-tables, in file order.
+    pub arrays: BTreeMap<String, Vec<Table>>,
+}
+
+/// Parses the supported subset; returns a message with a line number on
+/// any construct outside it.
+pub fn parse(src: &str) -> Result<Document, String> {
+    let mut doc = Document::default();
+    // Where new keys currently go.
+    enum Target {
+        Root,
+        Table(String),
+        Array(String),
+    }
+    let mut target = Target::Root;
+
+    for (idx, raw) in src.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(name) = line.strip_prefix("[[").and_then(|r| r.strip_suffix("]]")) {
+            let name = name.trim().to_string();
+            doc.arrays
+                .entry(name.clone())
+                .or_default()
+                .push(Table::new());
+            target = Target::Array(name);
+            continue;
+        }
+        if let Some(name) = line.strip_prefix('[').and_then(|r| r.strip_suffix(']')) {
+            let name = name.trim().to_string();
+            doc.tables.entry(name.clone()).or_default();
+            target = Target::Table(name);
+            continue;
+        }
+        let Some(eq) = line.find('=') else {
+            return Err(format!("line {lineno}: expected `key = value`"));
+        };
+        let key = line[..eq].trim();
+        if key.is_empty()
+            || !key
+                .chars()
+                .all(|c| c.is_alphanumeric() || c == '_' || c == '-')
+        {
+            return Err(format!("line {lineno}: bad key `{key}`"));
+        }
+        let value =
+            parse_value(line[eq + 1..].trim()).map_err(|e| format!("line {lineno}: {e}"))?;
+        let table = match &target {
+            Target::Root => &mut doc.root,
+            Target::Table(name) => doc
+                .tables
+                .get_mut(name)
+                .ok_or_else(|| format!("line {lineno}: unknown table"))?,
+            Target::Array(name) => doc
+                .arrays
+                .get_mut(name)
+                .and_then(|v| v.last_mut())
+                .ok_or_else(|| format!("line {lineno}: unknown array table"))?,
+        };
+        table.insert(key.to_string(), value);
+    }
+    Ok(doc)
+}
+
+/// Strips a `#` comment that is not inside a double-quoted string.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_str => escaped = true,
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_value(text: &str) -> Result<Value, String> {
+    if text == "true" {
+        return Ok(Value::Bool(true));
+    }
+    if text == "false" {
+        return Ok(Value::Bool(false));
+    }
+    if let Some(rest) = text.strip_prefix('"') {
+        let Some(body) = rest.strip_suffix('"') else {
+            return Err("unterminated string".into());
+        };
+        let mut s = String::new();
+        let mut chars = body.chars();
+        while let Some(c) = chars.next() {
+            if c != '\\' {
+                s.push(c);
+                continue;
+            }
+            match chars.next() {
+                Some('n') => s.push('\n'),
+                Some('t') => s.push('\t'),
+                Some('"') => s.push('"'),
+                Some('\\') => s.push('\\'),
+                other => return Err(format!("unsupported escape `\\{:?}`", other)),
+            }
+        }
+        return Ok(Value::Str(s));
+    }
+    text.replace('_', "")
+        .parse::<i64>()
+        .map(Value::Int)
+        .map_err(|_| format!("unsupported value `{text}`"))
+}
+
+/// Escapes a string for emission inside double quotes.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_arrays_of_tables() {
+        let doc = parse(
+            "# header comment\n\
+             version = 1\n\n\
+             [[allow]]\n\
+             rule = \"P1\"\n\
+             path = \"crates/cache/src/set.rs\"\n\
+             count = 2\n\
+             justification = \"documented # panic\"\n\n\
+             [[allow]]\n\
+             rule = \"P1\"\n\
+             count = 1\n",
+        )
+        .expect("parses");
+        assert_eq!(doc.root["version"], Value::Int(1));
+        let allows = &doc.arrays["allow"];
+        assert_eq!(allows.len(), 2);
+        assert_eq!(allows[0]["rule"].as_str(), Some("P1"));
+        assert_eq!(allows[0]["count"].as_int(), Some(2));
+        assert_eq!(
+            allows[0]["justification"].as_str(),
+            Some("documented # panic")
+        );
+        assert_eq!(allows[1]["count"].as_int(), Some(1));
+    }
+
+    #[test]
+    fn rejects_unsupported_constructs() {
+        assert!(parse("key = [1, 2]").is_err());
+        assert!(parse("just a line").is_err());
+        assert!(parse("key = \"unterminated").is_err());
+    }
+
+    #[test]
+    fn escape_round_trips() {
+        let original = "say \"hi\"\\path\nnext";
+        let doc = parse(&format!("k = \"{}\"", escape(original))).expect("parses");
+        assert_eq!(doc.root["k"].as_str(), Some(original));
+    }
+}

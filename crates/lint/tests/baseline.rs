@@ -1,0 +1,62 @@
+//! Live-workspace lint check: the committed `lint.toml` baseline must
+//! match the actual findings exactly — no unbaselined errors (new debt)
+//! and no stale entries (paid-down debt whose allowance wasn't shrunk).
+//! This is the same contract CI enforces with `ldis-lint --deny`, run as
+//! a plain test so `cargo test` catches drift too.
+
+use std::path::PathBuf;
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves")
+}
+
+#[test]
+fn baseline_matches_live_findings() {
+    let root = workspace_root();
+    let baseline = ldis_lint::load_baseline(&root.join("lint.toml")).expect("lint.toml parses");
+    let outcome = ldis_lint::scan_workspace(&root, &baseline).expect("workspace scans");
+
+    let errors: Vec<String> = outcome
+        .errors
+        .iter()
+        .map(|f| format!("{}:{} {}[{}]", f.path, f.line, f.message, f.rule))
+        .collect();
+    assert!(
+        errors.is_empty(),
+        "unbaselined lint findings (fix them or justify in lint.toml):\n{}",
+        errors.join("\n")
+    );
+
+    let stale: Vec<String> = outcome
+        .stale
+        .iter()
+        .map(|s| {
+            format!(
+                "{} {}: allows {} but only {} remain",
+                s.rule, s.path, s.allowed, s.live
+            )
+        })
+        .collect();
+    assert!(
+        stale.is_empty(),
+        "stale lint.toml entries (shrink them):\n{}",
+        stale.join("\n")
+    );
+}
+
+#[test]
+fn baseline_entries_are_justified() {
+    let root = workspace_root();
+    let baseline = ldis_lint::load_baseline(&root.join("lint.toml")).expect("lint.toml parses");
+    for entry in &baseline.allows {
+        assert!(
+            !entry.justification.contains("TODO"),
+            "{} {}: baseline entry still carries a TODO justification",
+            entry.rule,
+            entry.path
+        );
+    }
+}

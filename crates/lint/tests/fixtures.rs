@@ -1,0 +1,124 @@
+//! Fixture self-tests: every rule fires on its `fail/` fixture and is
+//! silent on its `pass/` fixture. The fixtures live under
+//! `tests/fixtures/{pass,fail}/` and are excluded from the workspace
+//! scan itself (`rules_for` skips them), so the deliberate violations
+//! never pollute the real lint run.
+
+use std::path::PathBuf;
+
+fn fixture(kind: &str, name: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(kind)
+        .join(name);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("reading fixture {}: {e}", path.display()))
+}
+
+/// Scans a Rust fixture as if it lived at `as_path`, returning only the
+/// deny-tier findings of `rule`.
+fn deny_findings(rule: &str, as_path: &str, src: &str) -> Vec<ldis_lint::report::Finding> {
+    ldis_lint::scan_file(as_path, src)
+        .into_iter()
+        .filter(|f| f.rule == rule && f.level == ldis_lint::report::Level::Deny)
+        .collect()
+}
+
+/// Each rule with its fixture stem and the synthetic in-scope path the
+/// fixture is scanned under (sim-crate source for D1/D2/P1, an example
+/// for C1 — matching the real scope map).
+const RUST_CASES: &[(&str, &str, &str)] = &[
+    ("D1", "d1.rs", "crates/mem/src/fixture.rs"),
+    ("D2", "d2.rs", "crates/mem/src/fixture.rs"),
+    ("P1", "p1.rs", "crates/mem/src/fixture.rs"),
+    ("C1", "c1.rs", "examples/fixture.rs"),
+];
+
+#[test]
+fn every_rule_fires_on_its_fail_fixture() {
+    for (rule, name, as_path) in RUST_CASES {
+        let src = fixture("fail", name);
+        let found = deny_findings(rule, as_path, &src);
+        assert!(
+            !found.is_empty(),
+            "{rule} did not fire on fixtures/fail/{name}"
+        );
+        for f in &found {
+            assert_eq!(f.path, *as_path);
+            assert!(f.line > 0 && f.col > 0, "{rule} finding lacks a location");
+            assert!(!f.message.is_empty());
+        }
+    }
+}
+
+#[test]
+fn every_rule_is_silent_on_its_pass_fixture() {
+    for (rule, name, as_path) in RUST_CASES {
+        let src = fixture("pass", name);
+        let found = deny_findings(rule, as_path, &src);
+        assert!(
+            found.is_empty(),
+            "{rule} fired on fixtures/pass/{name}: {:?}",
+            found
+                .iter()
+                .map(|f| format!("{}:{} {}", f.line, f.col, f.message))
+                .collect::<Vec<_>>()
+        );
+    }
+}
+
+#[test]
+fn fail_fixture_counts_are_exact() {
+    // Pin the exact counts so a regression in any sub-check (e.g. the
+    // env-read detector or a macro in the panic family) is caught, not
+    // just total silence.
+    let cases = [
+        ("D1", "d1.rs", "crates/mem/src/fixture.rs", 4),
+        ("D2", "d2.rs", "crates/mem/src/fixture.rs", 3),
+        ("P1", "p1.rs", "crates/mem/src/fixture.rs", 4),
+        ("C1", "c1.rs", "examples/fixture.rs", 5),
+    ];
+    for (rule, name, as_path, expected) in cases {
+        let src = fixture("fail", name);
+        let found = deny_findings(rule, as_path, &src);
+        assert_eq!(
+            found.len(),
+            expected,
+            "{rule} on fixtures/fail/{name}: {:?}",
+            found
+                .iter()
+                .map(|f| format!("{}:{} {}", f.line, f.col, f.message))
+                .collect::<Vec<_>>()
+        );
+    }
+}
+
+#[test]
+fn golden_fixtures_validate() {
+    let bad = fixture("fail", "golden_bad.json");
+    let found = ldis_lint::scan_file("tests/golden/golden_bad.json", &bad);
+    let messages: Vec<&str> = found.iter().map(|f| f.message.as_str()).collect();
+    assert_eq!(found.len(), 4, "{messages:?}");
+    assert!(messages.iter().any(|m| m.contains("named golden_bad.json")));
+    assert!(messages.iter().any(|m| m.contains("`rows` is empty")));
+    assert!(messages.iter().any(|m| m.contains("`seed`")));
+    assert!(messages.iter().any(|m| m.contains("`accesses`")));
+
+    let ok = fixture("pass", "golden_ok.json");
+    let found = ldis_lint::scan_file("tests/golden/golden_ok.json", &ok);
+    assert!(
+        found.is_empty(),
+        "{:?}",
+        found.iter().map(|f| &f.message).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn fixtures_are_out_of_workspace_scope() {
+    for kind in ["pass", "fail"] {
+        for name in ["d1.rs", "d2.rs", "p1.rs", "c1.rs"] {
+            let rel = format!("crates/lint/tests/fixtures/{kind}/{name}");
+            assert_eq!(ldis_lint::rules_for(&rel), None, "{rel} must be skipped");
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! C1 fail fixture: impossible geometries and off-rail thresholds.
+
+fn main() {
+    // 48 is not a power of two.
+    let geometry = LineGeometry::new(48, 8);
+    let _ = geometry;
+    // 1 MiB / (64 B × 6 ways) is not a power-of-two set count.
+    let cache = CacheConfig::new(1 << 20, 6, LineGeometry::default());
+    let _ = cache;
+    // Inverted hysteresis and thresholds off the 64/192 rails.
+    let reverter = ReverterConfig {
+        leader_sets: 32,
+        disable_below: 200,
+        enable_above: 100,
+        psel_max: 255,
+    };
+    let _ = reverter;
+}

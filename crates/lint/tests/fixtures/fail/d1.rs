@@ -1,0 +1,17 @@
+//! D1 fail fixture: wall clocks, ambient RNGs and environment reads.
+
+pub fn wall_clock_seed() -> u64 {
+    let now = std::time::Instant::now();
+    let _ = std::time::SystemTime::now();
+    let _ = now;
+    0
+}
+
+pub fn ambient_rng() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}
+
+pub fn host_dependent() -> Option<String> {
+    std::env::var("LDIS_SECRET_KNOB").ok()
+}

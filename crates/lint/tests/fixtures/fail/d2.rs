@@ -1,0 +1,21 @@
+//! D2 fail fixture: hashed collections whose iteration order leaks into
+//! output.
+
+use std::collections::HashMap;
+
+pub fn report(rows: &[(String, u64)]) -> String {
+    let mut by_name = HashMap::new();
+    for (name, value) in rows {
+        by_name.insert(name.clone(), *value);
+    }
+    let mut out = String::new();
+    for (name, value) in &by_name {
+        out.push_str(&format!("{name}={value}\n"));
+    }
+    out
+}
+
+pub fn seen_lines(addrs: &[u64]) -> usize {
+    let set: std::collections::HashSet<u64> = addrs.iter().copied().collect();
+    set.len()
+}

@@ -1,0 +1,17 @@
+//! P1 fail fixture: panicking constructs in simulator core code.
+
+pub fn head(values: &[u64]) -> u64 {
+    values.first().copied().unwrap()
+}
+
+pub fn head_or_die(values: &[u64]) -> u64 {
+    values.first().copied().expect("must be non-empty")
+}
+
+pub fn abort(reason: &str) -> ! {
+    panic!("simulation died: {reason}");
+}
+
+pub fn not_written() -> u64 {
+    todo!()
+}

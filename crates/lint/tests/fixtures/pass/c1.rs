@@ -1,0 +1,26 @@
+//! C1 pass fixture: configurations on the paper's rails. 1 MiB, 8-way,
+//! 64 B lines of 8 B words give 2048 sets; the reverter sits on the
+//! 64/192 hysteresis rails; a deliberate sweep carries a waiver.
+
+fn main() {
+    let geometry = LineGeometry::new(64, 8);
+    let _ = geometry;
+    let baseline = CacheConfig::new(1 << 20, 8, LineGeometry::default());
+    let _ = baseline;
+    let distilled = DistillConfig::new(1 << 20, 8, 2, LineGeometry::new(64, 8));
+    let _ = distilled;
+    let reverter = ReverterConfig {
+        leader_sets: 32,
+        disable_below: 64,
+        enable_above: 192,
+        psel_max: 255,
+    };
+    let _ = reverter;
+    // ldis: allow(C1, "deliberate threshold sweep away from the rails")
+    let sweep = ReverterConfig {
+        disable_below: 32,
+        enable_above: 224,
+        ..ReverterConfig::default()
+    };
+    let _ = sweep;
+}

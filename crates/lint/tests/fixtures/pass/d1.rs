@@ -1,0 +1,23 @@
+//! D1 pass fixture: all randomness flows through `SimRng`, and time is
+//! simulated cycles, not the wall clock.
+
+pub struct SimRng(u64);
+
+impl SimRng {
+    pub fn derive(&self, salt: u64) -> SimRng {
+        SimRng(self.0 ^ salt)
+    }
+
+    pub fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1);
+        self.0
+    }
+}
+
+pub fn advance(cycle: u64, latency: u64) -> u64 {
+    cycle + latency
+}
+
+pub fn shuffle_seed(root: &SimRng) -> SimRng {
+    root.derive(0x5eed)
+}

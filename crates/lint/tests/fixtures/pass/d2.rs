@@ -1,0 +1,24 @@
+//! D2 pass fixture: ordered collections everywhere a report could
+//! observe iteration order, and an explicit waiver for a membership-only
+//! set.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+pub fn histogram(values: &[u64]) -> BTreeMap<u64, u64> {
+    let mut h = BTreeMap::new();
+    for v in values {
+        *h.entry(*v).or_insert(0) += 1;
+    }
+    h
+}
+
+pub fn distinct(values: &[u64]) -> usize {
+    let set: BTreeSet<u64> = values.iter().copied().collect();
+    set.len()
+}
+
+pub fn membership_only(values: &[u64]) -> bool {
+    // ldis: allow(D2, "membership-only set; iteration order is never observed")
+    let seen: std::collections::HashSet<u64> = values.iter().copied().collect();
+    seen.contains(&42)
+}

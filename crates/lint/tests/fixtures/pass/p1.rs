@@ -1,0 +1,34 @@
+//! P1 pass fixture: panic-free simulator code. Test modules and
+//! explicitly waived lines may still panic.
+
+pub fn checked_head(values: &[u64]) -> Option<u64> {
+    values.first().copied()
+}
+
+pub fn fallback(values: &[u64]) -> u64 {
+    values.first().copied().unwrap_or(0)
+}
+
+pub fn guarded(values: &[u64], i: usize) -> u64 {
+    let Some(v) = values.get(i) else {
+        return 0;
+    };
+    *v
+}
+
+pub fn waived(values: &[u64]) -> u64 {
+    // ldis: allow(P1, "fixture: demonstrates the waiver syntax")
+    values.first().copied().expect("non-empty by contract")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_panic() {
+        let v = vec![1u64];
+        assert_eq!(v.first().copied().unwrap(), 1);
+        if v.is_empty() {
+            panic!("impossible");
+        }
+    }
+}

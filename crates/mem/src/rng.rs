@@ -314,7 +314,7 @@ mod tests {
     fn derived_seeds_never_collide_across_10k_cells() {
         // 100 benchmarks × 100 configurations, with config ids both small
         // integers and realistic label hashes.
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for bench in 0..100u64 {
             for config in 0..100u64 {
                 let cell = SimRng::derive_seed(42, bench, config);
@@ -327,7 +327,7 @@ mod tests {
         assert_eq!(seen.len(), 10_000);
 
         let labels = ["TRAD-1MB", "LDIS-Base", "LDIS-MT", "LDIS-MT-RC", "SFP"];
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for bench in 0..2000u64 {
             for label in labels {
                 assert!(

@@ -196,10 +196,11 @@ impl SfpCache {
     }
 
     fn evict_lru(&mut self, set_idx: usize) {
-        let victim = self.sets[set_idx]
-            .lines
-            .pop_back()
-            .expect("eviction requires a resident line");
+        // Callers only evict from sets they just found full; an empty set
+        // simply has nothing to evict.
+        let Some(victim) = self.sets[set_idx].lines.pop_back() else {
+            return;
+        };
         self.sets[set_idx].masks[victim.way] &= !victim.stored.bits();
         self.stats.evictions += 1;
         if victim.dirty {
@@ -218,16 +219,6 @@ impl SfpCache {
             },
         );
     }
-
-    /// Removes a resident line, clearing its way occupancy.
-    fn remove_line(&mut self, set_idx: usize, pos: usize) -> SfpLine {
-        let line = self.sets[set_idx]
-            .lines
-            .remove(pos)
-            .expect("position just found");
-        self.sets[set_idx].masks[line.way] &= !line.stored.bits();
-        line
-    }
 }
 
 impl SecondLevel for SfpCache {
@@ -236,14 +227,15 @@ impl SecondLevel for SfpCache {
         let (set_idx, tag) = self.set_and_tag(req.line);
         let full = Footprint::full(self.cfg.geometry.words_per_line());
 
-        if let Some(pos) = self.sets[set_idx].lines.iter().position(|l| l.tag == tag) {
-            if req.is_instr || self.sets[set_idx].lines[pos].stored.is_used(req.word) {
+        let resident = self.sets[set_idx]
+            .lines
+            .iter()
+            .position(|l| l.tag == tag)
+            .and_then(|pos| self.sets[set_idx].lines.remove(pos));
+        if let Some(mut line) = resident {
+            if req.is_instr || line.stored.is_used(req.word) {
                 // Word present: a hit. Count instruction hits as LOC-style
                 // hits and data word hits as WOC-style hits for reporting.
-                let mut line = self.sets[set_idx]
-                    .lines
-                    .remove(pos)
-                    .expect("position just found");
                 line.observed.touch(req.word);
                 line.dirty |= req.write;
                 let stored = line.stored;
@@ -264,13 +256,13 @@ impl SecondLevel for SfpCache {
                     valid_words: valid,
                 };
             }
-            // Demanded word was not predicted: a hole miss. Remove the
-            // stale copy and refetch with a widened prediction
-            // (observed ∪ stored ∪ demand); dirty words merge into the
-            // refetched line.
+            // Demanded word was not predicted: a hole miss. Drop the stale
+            // copy (clearing its way occupancy) and refetch with a widened
+            // prediction (observed ∪ stored ∪ demand); dirty words merge
+            // into the refetched line.
             self.stats.hole_misses += 1;
             self.observe_reverter(set_idx, req.line, true);
-            let line = self.remove_line(set_idx, pos);
+            self.sets[set_idx].masks[line.way] &= !line.stored.bits();
             let mut stored = line.stored.merged(line.observed);
             stored.touch(req.word);
             self.install(set_idx, tag, &req, stored);

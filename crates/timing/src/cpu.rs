@@ -127,7 +127,10 @@ impl<L2: SecondLevel> TimingSim<L2> {
     pub fn run(&mut self, workload: &mut Workload, accesses: u64) -> TimingResult {
         use ldis_mem::TraceSource;
         for _ in 0..accesses {
-            let a = workload.next_access().expect("workloads are endless");
+            // Workloads are endless generators; stop early if one isn't.
+            let Some(a) = workload.next_access() else {
+                break;
+            };
             self.step(a);
         }
         TimingResult {

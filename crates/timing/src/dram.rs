@@ -66,10 +66,11 @@ impl MemorySystem {
         // MSHR bound: wait for the earliest completion if full.
         let mut issue = cycle;
         if self.in_flight.len() >= self.mshr_entries {
-            let Reverse(earliest) = self.in_flight.pop().expect("full means non-empty");
-            if earliest > issue {
-                self.mshr_stall_cycles += earliest - issue;
-                issue = earliest;
+            if let Some(Reverse(earliest)) = self.in_flight.pop() {
+                if earliest > issue {
+                    self.mshr_stall_cycles += earliest - issue;
+                    issue = earliest;
+                }
             }
         }
         // Bank conflict: the bank serves one request at a time.

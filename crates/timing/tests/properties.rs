@@ -15,7 +15,7 @@ fn memory_completions_are_causal() {
     for case in 0..30 {
         let mut mem = MemorySystem::new(32, 400, 16, 32);
         let mut cycle = 0u64;
-        let mut per_bank: std::collections::HashMap<u64, u64> = Default::default();
+        let mut per_bank: std::collections::BTreeMap<u64, u64> = Default::default();
         let requests = 1 + rng.index(99);
         for _ in 0..requests {
             let advance = rng.range(10_000);

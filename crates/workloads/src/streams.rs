@@ -405,7 +405,7 @@ mod tests {
     fn pointer_chase_is_a_single_cycle() {
         let mut s = PointerChase::new(0, 64, WordsProfile::exactly(1), 0, 5);
         let mut r = rng();
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for _ in 0..64 {
             let v = s.next_visit(&mut r);
             assert!(seen.insert(v.line), "cycle revisited {v:?} early");
@@ -421,8 +421,8 @@ mod tests {
     fn pointer_chase_footprints_are_sticky_across_cycles() {
         let mut s = PointerChase::new(0, 16, WordsProfile::sparse(), 3, 5);
         let mut r = rng();
-        let mut first: std::collections::HashMap<LineAddr, Footprint> =
-            std::collections::HashMap::new();
+        let mut first: std::collections::BTreeMap<LineAddr, Footprint> =
+            std::collections::BTreeMap::new();
         for _ in 0..16 {
             let v = s.next_visit(&mut r);
             first.insert(v.line, v.words);
@@ -449,7 +449,8 @@ mod tests {
         let lag = 4;
         let mut s = TwoPassScan::new(0, lag);
         let mut r = rng();
-        let mut front: std::collections::HashMap<u64, Footprint> = std::collections::HashMap::new();
+        let mut front: std::collections::BTreeMap<u64, Footprint> =
+            std::collections::BTreeMap::new();
         for _ in 0..40 {
             let v = s.next_visit(&mut r);
             match front.get(&v.line.raw()) {

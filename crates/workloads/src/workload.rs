@@ -344,7 +344,7 @@ mod tests {
             )
             .build();
         let t = w.record(64);
-        let mut pcs = std::collections::HashMap::new();
+        let mut pcs = std::collections::BTreeMap::new();
         for a in t.accesses() {
             let line = a.addr.raw() / 64;
             let pc = pcs.entry(line).or_insert(a.pc);

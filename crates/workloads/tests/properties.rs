@@ -62,7 +62,7 @@ fn chase_is_a_permutation_cycle() {
         let nodes = 2 + meta.range(254);
         let mut chase = PointerChase::new(0, nodes, WordsProfile::exactly(1), 0, seed);
         let mut rng = SimRng::new(1);
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for _ in 0..nodes {
             assert!(seen.insert(chase.next_visit(&mut rng).line), "case {case}");
         }

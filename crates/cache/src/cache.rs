@@ -90,13 +90,14 @@ impl SetAssocCache {
 
     /// Whether `line` is resident (no recency update).
     pub fn contains(&self, line: LineAddr) -> bool {
-        let set = &self.sets[self.cfg.set_index(line)];
-        set.find(self.cfg.tag(line)).is_some()
+        self.sets
+            .get(self.cfg.set_index(line))
+            .is_some_and(|set| set.find(self.cfg.tag(line)).is_some())
     }
 
     /// The current recency position of `line` (0 = MRU), if resident.
     pub fn position_of(&self, line: LineAddr) -> Option<u8> {
-        let set = &self.sets[self.cfg.set_index(line)];
+        let set = self.sets.get(self.cfg.set_index(line))?;
         set.find(self.cfg.tag(line)).map(|w| set.position_of(w))
     }
 
@@ -106,7 +107,10 @@ impl SetAssocCache {
     pub fn access(&mut self, line: LineAddr, word: Option<WordIndex>, write: bool) -> bool {
         let set_idx = self.cfg.set_index(line);
         let tag = self.cfg.tag(line);
-        let set = &mut self.sets[set_idx];
+        let Some(set) = self.sets.get_mut(set_idx) else {
+            // Unreachable: set_index masks into 0..num_sets.
+            return false;
+        };
         match set.find(tag) {
             Some(way) => {
                 let pos = set.promote(way);
@@ -135,7 +139,7 @@ impl SetAssocCache {
     ) -> Option<EvictedLine> {
         let set_idx = self.cfg.set_index(line);
         let tag = self.cfg.tag(line);
-        let set = &mut self.sets[set_idx];
+        let set = self.sets.get_mut(set_idx)?;
         debug_assert!(set.find(tag).is_none(), "installing a resident line");
         let way = set.victim_way();
         let victim = Self::snapshot_eviction(&self.cfg, set_idx, set.entry(way));
@@ -154,7 +158,9 @@ impl SetAssocCache {
     pub fn merge_footprint(&mut self, line: LineAddr, fp: Footprint, dirty: bool) -> bool {
         let set_idx = self.cfg.set_index(line);
         let tag = self.cfg.tag(line);
-        let set = &mut self.sets[set_idx];
+        let Some(set) = self.sets.get_mut(set_idx) else {
+            return false;
+        };
         match set.find(tag) {
             Some(way) => {
                 let entry = set.entry_mut(way);
@@ -170,7 +176,7 @@ impl SetAssocCache {
     pub fn invalidate(&mut self, line: LineAddr) -> Option<EvictedLine> {
         let set_idx = self.cfg.set_index(line);
         let tag = self.cfg.tag(line);
-        let set = &mut self.sets[set_idx];
+        let set = self.sets.get_mut(set_idx)?;
         let way = set.find(tag)?;
         let snapshot = Self::snapshot_eviction(&self.cfg, set_idx, set.entry(way));
         set.entry_mut(way).valid = false;
@@ -204,13 +210,22 @@ impl SetAssocCache {
 
     /// Direct access to a set, for organizations (distill cache) that embed
     /// this type and need set-level control.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range — an out-of-range set index is a
+    /// caller bug, never a data-dependent condition.
     pub fn set(&self, index: usize) -> &CacheSet {
-        &self.sets[index]
+        &self.sets[index] // ldis: allow(P1X, "documented panic contract of the set accessor")
     }
 
     /// Exclusive access to a set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
     pub fn set_mut(&mut self, index: usize) -> &mut CacheSet {
-        &mut self.sets[index]
+        &mut self.sets[index] // ldis: allow(P1X, "documented panic contract of the set accessor")
     }
 
     /// Number of modeled footprint bits in the tag store (one per word per
@@ -234,14 +249,17 @@ impl SetAssocCache {
         let word = (bit % wpl) as u8;
         let set = (entry_idx / ways) as usize;
         let way = (entry_idx % ways) as usize;
-        let entry = self.sets[set].entry_mut(way);
-        let flipped = Footprint::from_bits(entry.footprint.bits() ^ (1 << word));
-        entry.footprint = flipped;
+        let mut live = false;
+        // The range assert above guarantees the set exists.
+        if let Some(entry) = self.sets.get_mut(set).map(|s| s.entry_mut(way)) {
+            entry.footprint = Footprint::from_bits(entry.footprint.bits() ^ (1 << word));
+            live = entry.valid;
+        }
         FootprintFault {
             set,
             way,
             word,
-            live: entry.valid,
+            live,
         }
     }
 
@@ -251,9 +269,10 @@ impl SetAssocCache {
     /// the processor still needs). No-op for invalid entries.
     pub fn repair_footprint(&mut self, set: usize, way: usize) {
         let wpl = self.cfg.geometry().words_per_line();
-        let entry = self.sets[set].entry_mut(way);
-        if entry.valid {
-            entry.footprint = Footprint::full(wpl);
+        if let Some(entry) = self.sets.get_mut(set).map(|s| s.entry_mut(way)) {
+            if entry.valid {
+                entry.footprint = Footprint::full(wpl);
+            }
         }
     }
 

@@ -70,13 +70,22 @@ impl CacheSet {
     }
 
     /// Shared access to the entry in `way`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `way` is out of range — an out-of-range way is a caller
+    /// bug, never a data-dependent condition.
     pub fn entry(&self, way: usize) -> &TagEntry {
-        &self.entries[way]
+        &self.entries[way] // ldis: allow(P1X, "documented panic contract of the way accessor")
     }
 
     /// Exclusive access to the entry in `way`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `way` is out of range.
     pub fn entry_mut(&mut self, way: usize) -> &mut TagEntry {
-        &mut self.entries[way]
+        &mut self.entries[way] // ldis: allow(P1X, "documented panic contract of the way accessor")
     }
 
     /// Iterates over all entries (valid and invalid).
@@ -85,8 +94,12 @@ impl CacheSet {
     }
 
     /// The way index at recency position `pos` (0 = MRU).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos` is not a valid recency position.
     pub fn way_at_position(&self, pos: u8) -> usize {
-        self.order[pos as usize] as usize
+        self.order[pos as usize] as usize // ldis: allow(P1X, "documented panic contract of the recency accessor")
     }
 
     /// Returns the recency order as way indices, MRU first. Primarily for

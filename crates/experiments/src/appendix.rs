@@ -1,10 +1,15 @@
 //! Appendix experiments: Table 5 (cache-insensitive benchmarks) and
 //! Table 6 (average words used vs. cache size).
 
-use crate::report::{fmt_f, Table};
-use crate::{for_each_benchmark, run, run_baseline, run_baseline_with_words, RunConfig};
+use crate::report::{fmt_f, Json, Table};
+use crate::{
+    for_each_benchmark, run, run_baseline, run_baseline_with_words, run_capacity_sweep, RunConfig,
+};
 use ldis_distill::{DistillCache, DistillConfig};
 use ldis_workloads::{cache_insensitive, memory_intensive};
+
+/// The traditional sizes of Table 5: 1, 2 and 4 MB.
+const TABLE5_SIZES: [u64; 3] = [1 << 20, 2 << 20, 4 << 20];
 
 /// Table 5: MPKI of the insensitive benchmarks under four configurations.
 #[derive(Clone, Debug)]
@@ -24,7 +29,32 @@ pub struct Table5Row {
 }
 
 /// Runs the Table 5 matrix over the 11 cache-insensitive benchmarks.
+/// The three traditional sizes come from one Mattson capacity sweep per
+/// benchmark; only the distill point simulates directly. Bit-identical
+/// to [`table5_data_direct`] with two simulations per benchmark instead
+/// of four.
 pub fn table5_data(cfg: &RunConfig) -> Vec<Table5Row> {
+    let benches = cache_insensitive();
+    for_each_benchmark(&benches, |b| {
+        let sweep = run_capacity_sweep(b, cfg, &TABLE5_SIZES);
+        let l1 = run(b, cfg, || {
+            DistillCache::new(DistillConfig::hpca2007_default())
+        });
+        Table5Row {
+            benchmark: b.name.to_owned(),
+            trad_1mb: sweep.mpki_at(1 << 20),
+            ldis_1mb: l1.mpki,
+            trad_2mb: sweep.mpki_at(2 << 20),
+            trad_4mb: sweep.mpki_at(4 << 20),
+            paper_trad_1mb: b.paper_mpki,
+        }
+    })
+}
+
+/// The pre-rewire Table 5 matrix: one direct baseline simulation per
+/// traditional size. Kept as the reference side of the sweep-equivalence
+/// tests and the CI byte-identity gate.
+pub fn table5_data_direct(cfg: &RunConfig) -> Vec<Table5Row> {
     let benches = cache_insensitive();
     for_each_benchmark(&benches, |b| {
         let t1 = run_baseline(b, cfg, 1 << 20);
@@ -71,6 +101,39 @@ pub fn table5_report(rows: &[Table5Row]) -> String {
     t.render()
 }
 
+fn table5_snapshot_of(rows: &[Table5Row], cfg: &RunConfig) -> Json {
+    let rows = rows
+        .iter()
+        .map(|r| {
+            Json::obj([
+                ("benchmark", Json::str(&r.benchmark)),
+                ("trad_1mb_mpki", Json::num(r.trad_1mb)),
+                ("ldis_1mb_mpki", Json::num(r.ldis_1mb)),
+                ("trad_2mb_mpki", Json::num(r.trad_2mb)),
+                ("trad_4mb_mpki", Json::num(r.trad_4mb)),
+            ])
+        })
+        .collect::<Vec<_>>();
+    Json::obj([
+        ("experiment", Json::str("table5")),
+        ("accesses", Json::uint(cfg.accesses)),
+        ("seed", Json::uint(cfg.seed)),
+        ("rows", Json::Arr(rows)),
+    ])
+}
+
+/// The Table 5 golden snapshot (`tests/golden/table5.json`), computed
+/// through the single-pass capacity sweep.
+pub fn table5_snapshot(cfg: &RunConfig) -> Json {
+    table5_snapshot_of(&table5_data(cfg), cfg)
+}
+
+/// [`table5_snapshot`] computed through the pre-rewire direct
+/// simulations; must render byte-identically.
+pub fn table5_snapshot_direct(cfg: &RunConfig) -> Json {
+    table5_snapshot_of(&table5_data_direct(cfg), cfg)
+}
+
 /// Table 6: average words used per evicted line as cache size varies.
 #[derive(Clone, Debug)]
 pub struct Table6Row {
@@ -85,14 +148,20 @@ pub struct Table6Row {
 /// The cache sizes of Table 6 in bytes.
 pub const TABLE6_SIZES: [u64; 5] = [768 << 10, 1 << 20, 1280 << 10, 1536 << 10, 2 << 20];
 
-/// Runs the Table 6 sweep over the 16 memory-intensive benchmarks.
+/// Runs the Table 6 sweep over the 16 memory-intensive benchmarks: all
+/// five sizes' words-used histograms (evicted plus resident lines) from
+/// one Mattson pass per benchmark. Bit-identical to
+/// [`table6_data_direct`] with one simulation per benchmark instead of
+/// five.
 pub fn table6_data(cfg: &RunConfig) -> Vec<Table6Row> {
     let benches = memory_intensive();
     for_each_benchmark(&benches, |b| {
+        let sweep = run_capacity_sweep(b, cfg, &TABLE6_SIZES);
         let mut avg_words = [0.0; 5];
-        for (i, &size) in TABLE6_SIZES.iter().enumerate() {
-            let (_, words) = run_baseline_with_words(b, cfg, size);
-            avg_words[i] = words.mean();
+        for (slot, &size) in avg_words.iter_mut().zip(&TABLE6_SIZES) {
+            *slot = sweep
+                .point(size)
+                .map_or(f64::NAN, |p| p.result.words_used_with_resident.mean());
         }
         Table6Row {
             benchmark: b.name.to_owned(),
@@ -100,6 +169,62 @@ pub fn table6_data(cfg: &RunConfig) -> Vec<Table6Row> {
             paper_1mb: b.paper_avg_words,
         }
     })
+}
+
+/// The pre-rewire Table 6 sweep: one direct simulation per size. Kept as
+/// the reference side of the sweep-equivalence tests and the CI
+/// byte-identity gate.
+pub fn table6_data_direct(cfg: &RunConfig) -> Vec<Table6Row> {
+    let benches = memory_intensive();
+    for_each_benchmark(&benches, |b| {
+        let mut avg_words = [0.0; 5];
+        for (slot, &size) in avg_words.iter_mut().zip(&TABLE6_SIZES) {
+            let (_, words) = run_baseline_with_words(b, cfg, size);
+            *slot = words.mean();
+        }
+        Table6Row {
+            benchmark: b.name.to_owned(),
+            avg_words,
+            paper_1mb: b.paper_avg_words,
+        }
+    })
+}
+
+fn table6_snapshot_of(rows: &[Table6Row], cfg: &RunConfig) -> Json {
+    let rows = rows
+        .iter()
+        .map(|r| {
+            Json::obj([
+                ("benchmark", Json::str(&r.benchmark)),
+                (
+                    "avg_words",
+                    Json::arr(r.avg_words.iter().copied().map(Json::num)),
+                ),
+            ])
+        })
+        .collect::<Vec<_>>();
+    Json::obj([
+        ("experiment", Json::str("table6")),
+        ("accesses", Json::uint(cfg.accesses)),
+        ("seed", Json::uint(cfg.seed)),
+        (
+            "sizes_kb",
+            Json::arr(TABLE6_SIZES.iter().map(|&s| Json::uint(s >> 10))),
+        ),
+        ("rows", Json::Arr(rows)),
+    ])
+}
+
+/// The Table 6 golden snapshot (`tests/golden/table6.json`), computed
+/// through the single-pass capacity sweep.
+pub fn table6_snapshot(cfg: &RunConfig) -> Json {
+    table6_snapshot_of(&table6_data(cfg), cfg)
+}
+
+/// [`table6_snapshot`] computed through the pre-rewire direct
+/// simulations; must render byte-identically.
+pub fn table6_snapshot_direct(cfg: &RunConfig) -> Json {
+    table6_snapshot_of(&table6_data_direct(cfg), cfg)
 }
 
 /// Renders Table 6.

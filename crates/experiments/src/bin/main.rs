@@ -7,7 +7,7 @@
 //!                  [--threads N] [--quick]
 //!
 //! EXPERIMENT: all fig1 fig2 table2 fig6 fig7 fig8 fig9 table3 fig10
-//!             fig11 fig13 table5 table6 ablations resilience
+//!             fig11 fig13 table5 table6 mrc ablations resilience
 //! ```
 //!
 //! Sweeps run on a worker pool sized by `--threads`, the `LDIS_THREADS`
@@ -16,7 +16,7 @@
 
 use ldis_experiments::{
     ablations, appendix, costs, fig10, fig11, fig13, fig6, fig7, fig8, fig9, linesize, motivation,
-    parallel, resilience, table3, RunConfig,
+    mrc, parallel, resilience, table3, RunConfig,
 };
 
 const ALL: &[&str] = &[
@@ -33,6 +33,7 @@ const ALL: &[&str] = &[
     "fig13",
     "table5",
     "table6",
+    "mrc",
     "costs",
     "linesize",
     "ablations",
@@ -128,6 +129,7 @@ fn main() {
             "linesize" => linesize::report(&linesize::data(&cfg)),
             "table5" => appendix::table5_report(&appendix::table5_data(&cfg)),
             "table6" => appendix::table6_report(&appendix::table6_data(&cfg)),
+            "mrc" => mrc::report(&mrc::data(&cfg)),
             "ablations" => ablations::all(&cfg),
             "resilience" => resilience::report(&resilience::data(&cfg)),
             _ => unreachable!("validated above"),

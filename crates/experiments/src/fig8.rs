@@ -1,11 +1,14 @@
 //! Figure 8: capacity analysis — the distill cache vs. larger traditional
 //! caches.
 
-use crate::report::{fmt_f, fmt_pct, Table};
-use crate::{for_each_benchmark, run, run_baseline, RunConfig};
+use crate::report::{fmt_f, fmt_pct, Json, Table};
+use crate::{for_each_benchmark, run, run_baseline, run_capacity_sweep, RunConfig};
 use ldis_distill::{DistillCache, DistillConfig};
 use ldis_mem::stats::percent_reduction;
 use ldis_workloads::memory_intensive;
+
+/// The traditional sizes of the Figure 8 comparison: 1, 1.5 and 2 MB.
+const FIG8_SIZES: [u64; 3] = [1 << 20, 3 << 19, 2 << 20];
 
 /// MPKI reductions over the 1 MB baseline for the distill cache and for
 /// 1.5 MB / 2 MB traditional caches.
@@ -23,8 +26,34 @@ pub struct Fig8Row {
     pub trad_2mb: f64,
 }
 
-/// Runs the Figure 8 matrix.
+/// Runs the Figure 8 matrix. All three traditional sizes come from one
+/// Mattson capacity sweep per benchmark
+/// ([`run_capacity_sweep`](crate::run_capacity_sweep)); only the distill
+/// point simulates directly. Bit-identical to [`data_direct`] — the
+/// sweep-equivalence tests and the golden snapshot enforce it — with two
+/// simulations per benchmark instead of four.
 pub fn data(cfg: &RunConfig) -> Vec<Fig8Row> {
+    let benches = memory_intensive();
+    for_each_benchmark(&benches, |b| {
+        let sweep = run_capacity_sweep(b, cfg, &FIG8_SIZES);
+        let distill = run(b, cfg, || {
+            DistillCache::new(DistillConfig::hpca2007_default())
+        });
+        let base = sweep.mpki_at(1 << 20);
+        Fig8Row {
+            benchmark: b.name.to_owned(),
+            base,
+            distill: percent_reduction(base, distill.mpki),
+            trad_1_5mb: percent_reduction(base, sweep.mpki_at(3 << 19)),
+            trad_2mb: percent_reduction(base, sweep.mpki_at(2 << 20)),
+        }
+    })
+}
+
+/// The pre-rewire Figure 8 matrix: one direct baseline simulation per
+/// traditional size. Kept as the reference side of the sweep-equivalence
+/// tests (`tests/mrc_oracle.rs`) and the CI byte-identity gate.
+pub fn data_direct(cfg: &RunConfig) -> Vec<Fig8Row> {
     let benches = memory_intensive();
     for_each_benchmark(&benches, |b| {
         let base = run_baseline(b, cfg, 1 << 20);
@@ -41,6 +70,40 @@ pub fn data(cfg: &RunConfig) -> Vec<Fig8Row> {
             trad_2mb: percent_reduction(base.mpki, t20.mpki),
         }
     })
+}
+
+fn snapshot_of(rows: &[Fig8Row], cfg: &RunConfig) -> Json {
+    let rows = rows
+        .iter()
+        .map(|r| {
+            Json::obj([
+                ("benchmark", Json::str(&r.benchmark)),
+                ("base_mpki", Json::num(r.base)),
+                ("distill_reduction_pct", Json::num(r.distill)),
+                ("trad_1_5mb_reduction_pct", Json::num(r.trad_1_5mb)),
+                ("trad_2mb_reduction_pct", Json::num(r.trad_2mb)),
+            ])
+        })
+        .collect::<Vec<_>>();
+    Json::obj([
+        ("experiment", Json::str("fig8")),
+        ("accesses", Json::uint(cfg.accesses)),
+        ("seed", Json::uint(cfg.seed)),
+        ("rows", Json::Arr(rows)),
+    ])
+}
+
+/// The golden snapshot (compared against `tests/golden/fig8.json`),
+/// computed through the single-pass capacity sweep.
+pub fn snapshot(cfg: &RunConfig) -> Json {
+    snapshot_of(&data(cfg), cfg)
+}
+
+/// The same snapshot computed through the pre-rewire direct simulations;
+/// must render byte-identically to [`snapshot`] (the CI sweep-equivalence
+/// gate asserts it).
+pub fn snapshot_direct(cfg: &RunConfig) -> Json {
+    snapshot_of(&data_direct(cfg), cfg)
 }
 
 /// Renders the Figure 8 report.

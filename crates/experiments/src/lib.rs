@@ -23,6 +23,7 @@
 //! | [`fig11`] | Figure 11 (LDIS / CMPR / FAC) |
 //! | [`fig13`] | Figure 13 (SFP comparison) |
 //! | [`appendix`] | Table 5, Table 6 |
+//! | [`mrc`] | miss-ratio curves (single-pass Mattson capacity sweep) |
 //! | [`costs`] | Section 7.5 latency/energy costs |
 //! | [`linesize`] | Section 2 footnote / §7.5.1 line-size sensitivity |
 //! | [`ablations`] | design-choice ablations (DESIGN.md §7) |
@@ -44,6 +45,7 @@ pub mod fig9;
 pub mod golden;
 pub mod linesize;
 pub mod motivation;
+pub mod mrc;
 pub mod parallel;
 pub mod report;
 pub mod resilience;
@@ -51,6 +53,7 @@ mod runner;
 pub mod table3;
 
 pub use runner::{
-    baseline_config, for_each_benchmark, run, run_baseline, run_baseline_with_words, run_matrix,
-    run_matrix_with_threads, RunConfig, RunResult,
+    baseline_config, for_each_benchmark, run, run_baseline, run_baseline_with_words,
+    run_capacity_sweep, run_matrix, run_matrix_with_threads, CapacityPoint, CapacitySweep,
+    RunConfig, RunResult,
 };

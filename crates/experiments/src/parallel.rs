@@ -98,7 +98,10 @@ where
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(item) = items.get(i) else { break };
                 let result = job(item);
-                *slots[i].lock().expect("sweep slot poisoned") = Some(result);
+                // slots and items have the same length, so the slot exists.
+                if let Some(slot) = slots.get(i) {
+                    *slot.lock().expect("sweep slot poisoned") = Some(result);
+                }
             });
         }
     });

@@ -10,6 +10,7 @@
 use crate::parallel;
 use ldis_cache::{BaselineL2, CacheConfig, Hierarchy, HierarchyStats, L2Stats, SecondLevel};
 use ldis_mem::{stable_id, LineGeometry, SimRng};
+use ldis_mrc::{ConfigResult, MattsonL2};
 use ldis_workloads::{Benchmark, TraceLength};
 
 /// Global knobs for an experiment run.
@@ -182,6 +183,97 @@ pub fn run_baseline_with_words(
     (result, words)
 }
 
+/// One traditional cache size's reconstructed statistics within a
+/// [`run_capacity_sweep`] pass.
+#[derive(Clone, Debug)]
+pub struct CapacityPoint {
+    /// Cache capacity in bytes.
+    pub size_bytes: u64,
+    /// The concrete geometry ([`baseline_config`] of `size_bytes`).
+    pub config: CacheConfig,
+    /// Demand misses per kilo-instruction, through the same
+    /// [`mpki`](ldis_mem::stats::mpki) float path as a direct run.
+    pub mpki: f64,
+    /// The full reconstructed counters for this size.
+    pub result: ConfigResult,
+}
+
+/// Every traditional-cache size of a capacity sweep, answered from one
+/// Mattson profiling pass over the benchmark's trace.
+///
+/// The reconstruction is exact, not approximate: because every direct
+/// baseline run of a given benchmark derives the same workload seed
+/// (the configuration label is always `"baseline"` regardless of size)
+/// and the L1s' behavior does not depend on the L2's capacity, the L2
+/// request stream is identical across sizes — so a stack-distance pass
+/// over that one stream reproduces each size's counters bit for bit.
+/// The differential-oracle suite (`tests/mrc_oracle.rs`) enforces this
+/// equality against direct simulation for the whole quick matrix.
+#[derive(Clone, Debug)]
+pub struct CapacitySweep {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// First-level and trace statistics (identical for every size).
+    pub hierarchy: HierarchyStats,
+    /// One point per requested size, in the order given.
+    pub points: Vec<CapacityPoint>,
+}
+
+impl CapacitySweep {
+    /// The point for `size_bytes`, if it was part of the sweep.
+    pub fn point(&self, size_bytes: u64) -> Option<&CapacityPoint> {
+        self.points.iter().find(|p| p.size_bytes == size_bytes)
+    }
+
+    /// The MPKI at `size_bytes` (`NaN` if the size was not swept, which
+    /// the golden snapshots would immediately surface).
+    pub fn mpki_at(&self, size_bytes: u64) -> f64 {
+        self.point(size_bytes).map_or(f64::NAN, |p| p.mpki)
+    }
+}
+
+/// Runs `benchmark` once and reconstructs a traditional LRU baseline of
+/// every size in `sizes` from that single pass, via the Mattson
+/// stack-distance profiler ([`MattsonL2`]). Equivalent to calling
+/// [`run_baseline`] once per size — bit for bit, including the words-used
+/// histograms of [`run_baseline_with_words`] — at the cost of one
+/// simulation instead of `sizes.len()`.
+pub fn run_capacity_sweep(benchmark: &Benchmark, cfg: &RunConfig, sizes: &[u64]) -> CapacitySweep {
+    let configs: Vec<CacheConfig> = sizes.iter().map(|&s| baseline_config(s)).collect();
+    let l2 = MattsonL2::for_configs(&configs);
+    let mut workload = (benchmark.make)(cfg.seed_for(benchmark, l2.name()));
+    let mut hier = Hierarchy::hpca2007(l2);
+    if cfg.warmup > 0 {
+        workload.drive(&mut hier, TraceLength::accesses(cfg.warmup));
+        hier.reset_stats();
+    }
+    workload.drive(&mut hier, TraceLength::accesses(cfg.accesses));
+    let instructions = hier.stats().instructions;
+    let points: Vec<CapacityPoint> = sizes
+        .iter()
+        .zip(&configs)
+        .filter_map(|(&size_bytes, config)| {
+            let result = hier.l2().result_for(config)?;
+            Some(CapacityPoint {
+                size_bytes,
+                config: *config,
+                mpki: ldis_mem::stats::mpki(result.line_misses, instructions),
+                result,
+            })
+        })
+        .collect();
+    assert_eq!(
+        points.len(),
+        sizes.len(),
+        "every requested size is covered by construction"
+    );
+    CapacitySweep {
+        benchmark: benchmark.name.to_owned(),
+        hierarchy: *hier.stats(),
+        points,
+    }
+}
+
 /// Runs one closure per benchmark on the configured worker pool and
 /// returns the results in benchmark order. The closure receives the
 /// benchmark and must be self-contained (construct its own workload and
@@ -223,10 +315,11 @@ where
     T: Send,
     F: Fn(&Benchmark, usize) -> T + Sync,
 {
-    let cells: Vec<(usize, usize)> = (0..benchmarks.len())
+    let cells: Vec<(&Benchmark, usize)> = benchmarks
+        .iter()
         .flat_map(|b| (0..configs).map(move |c| (b, c)))
         .collect();
-    let mut flat = parallel::sweep_with_threads(threads, &cells, |&(b, c)| job(&benchmarks[b], c));
+    let mut flat = parallel::sweep_with_threads(threads, &cells, |&(b, c)| job(b, c));
     let mut rows = Vec::with_capacity(benchmarks.len());
     for _ in 0..benchmarks.len() {
         let rest = flat.split_off(configs.min(flat.len()));
@@ -293,6 +386,43 @@ mod tests {
         // And the counters really were reset: accesses reflect only the
         // measured phase (L2 accesses ≤ total accesses issued).
         assert!(warm.l2.accesses <= RunConfig::quick().accesses);
+    }
+
+    #[test]
+    fn capacity_sweep_matches_direct_baseline_runs_bit_for_bit() {
+        let b = spec2000::by_name("twolf").unwrap();
+        let cfg = RunConfig::quick();
+        let sizes = [1 << 20, 3 << 19, 2 << 20];
+        let sweep = run_capacity_sweep(&b, &cfg, &sizes);
+        for &size in &sizes {
+            let (direct, words) = run_baseline_with_words(&b, &cfg, size);
+            let p = sweep.point(size).unwrap();
+            assert_eq!(p.mpki.to_bits(), direct.mpki.to_bits(), "mpki at {size}");
+            assert_eq!(p.result.accesses, direct.l2.accesses);
+            assert_eq!(p.result.line_misses, direct.l2.line_misses);
+            assert_eq!(p.result.hits, direct.l2.loc_hits);
+            assert_eq!(p.result.compulsory_misses, direct.l2.compulsory_misses);
+            assert_eq!(p.result.evictions, direct.l2.evictions);
+            assert_eq!(p.result.writebacks, direct.l2.writebacks);
+            assert_eq!(p.result.words_used_at_evict, direct.l2.words_used_at_evict);
+            assert_eq!(
+                p.result.words_used_with_resident, words,
+                "resident at {size}"
+            );
+            assert_eq!(sweep.hierarchy, direct.hierarchy);
+        }
+    }
+
+    #[test]
+    fn capacity_sweep_respects_warmup() {
+        let b = spec2000::by_name("mcf").unwrap();
+        let cfg = RunConfig::quick().with_warmup(100_000);
+        let sweep = run_capacity_sweep(&b, &cfg, &[1 << 20]);
+        let direct = run_baseline(&b, &cfg, 1 << 20);
+        let p = sweep.point(1 << 20).unwrap();
+        assert_eq!(p.mpki.to_bits(), direct.mpki.to_bits());
+        assert_eq!(p.result.line_misses, direct.l2.line_misses);
+        assert_eq!(p.result.compulsory_misses, direct.l2.compulsory_misses);
     }
 
     #[test]

@@ -48,6 +48,7 @@ pub const SIM_CRATES: &[&str] = &[
     "sfp",
     "timing",
     "workloads",
+    "mrc",
 ];
 
 /// The rules that apply to one workspace-relative path, or `None` when
@@ -240,6 +241,10 @@ mod tests {
     fn scope_map_matches_the_design() {
         assert_eq!(
             rules_for("crates/mem/src/rng.rs"),
+            Some(vec![Rule::D1, Rule::D2, Rule::P1, Rule::P1X])
+        );
+        assert_eq!(
+            rules_for("crates/mrc/src/profiler.rs"),
             Some(vec![Rule::D1, Rule::D2, Rule::P1, Rule::P1X])
         );
         assert_eq!(

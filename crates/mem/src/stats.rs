@@ -46,17 +46,28 @@ impl Histogram {
     ///
     /// Panics if `bin` is out of range.
     pub fn record(&mut self, bin: usize) {
-        self.bins[bin] += 1;
+        self.record_n(bin, 1);
     }
 
     /// Adds `count` observations to bin `bin`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bin` is out of range.
     pub fn record_n(&mut self, bin: usize, count: u64) {
-        self.bins[bin] += count;
+        assert!(
+            bin < self.bins.len(),
+            "histogram bin {bin} out of range ({} bins)",
+            self.bins.len()
+        );
+        if let Some(b) = self.bins.get_mut(bin) {
+            *b += count;
+        }
     }
 
-    /// The count in bin `bin`.
+    /// The count in bin `bin` (0 for bins beyond the histogram).
     pub fn count(&self, bin: usize) -> u64 {
-        self.bins[bin]
+        self.bins.get(bin).copied().unwrap_or(0)
     }
 
     /// Overwrites the count in bin `bin`. Used by the fault injector to
@@ -66,7 +77,14 @@ impl Histogram {
     ///
     /// Panics if `bin` is out of range.
     pub fn set_count(&mut self, bin: usize, count: u64) {
-        self.bins[bin] = count;
+        assert!(
+            bin < self.bins.len(),
+            "histogram bin {bin} out of range ({} bins)",
+            self.bins.len()
+        );
+        if let Some(b) = self.bins.get_mut(bin) {
+            *b = count;
+        }
     }
 
     /// Total observations across all bins.
@@ -80,7 +98,7 @@ impl Histogram {
         if total == 0 {
             0.0
         } else {
-            self.bins[bin] as f64 / total as f64
+            self.count(bin) as f64 / total as f64
         }
     }
 

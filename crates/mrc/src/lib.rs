@@ -1,0 +1,61 @@
+//! Single-pass Mattson miss-ratio-curve (MRC) profiler.
+//!
+//! The capacity studies of the paper (Figure 8, Table 5, Table 6) compare
+//! the distill cache against *traditional LRU caches of several sizes*.
+//! Simulating each size separately repeats the same work: for a fixed line
+//! geometry, every traditional configuration of a given set count can be
+//! answered from **one** pass over the trace using Mattson's classic
+//! stack-distance construction — LRU's inclusion property guarantees that
+//! an `A`-way cache holds exactly the `A` most recently used lines of each
+//! set, so an access hits in every associativity strictly greater than its
+//! per-set stack distance.
+//!
+//! This crate provides that construction in two layers:
+//!
+//! * [`MattsonProfiler`] — per-set LRU stacks plus a stack-distance
+//!   histogram for one set count, with per-associativity *tier* state
+//!   (footprints, evictions, writebacks) so the Table 6 words-used
+//!   measurements are reproduced exactly, not just the miss counts;
+//! * [`MattsonL2`] — a [`SecondLevel`](ldis_cache::SecondLevel)
+//!   organization wrapping one profiler per distinct set count, so the
+//!   same `ldis-mem` trace stream that drives a real simulation drives
+//!   the profiler through the unmodified L1 hierarchy.
+//!
+//! Because the profiler is derived independently from the simulator in
+//! `ldis-cache`, it doubles as a *differential oracle*: the test suite
+//! asserts its miss counts equal direct [`BaselineL2`](ldis_cache::BaselineL2)
+//! simulations bit for bit for every benchmark and size of the quick
+//! matrix (`tests/mrc_oracle.rs` at the workspace root).
+//!
+//! # Example
+//!
+//! One pass answering three cache sizes at once:
+//!
+//! ```
+//! use ldis_cache::{CacheConfig, Hierarchy, SecondLevel};
+//! use ldis_mem::{Access, Addr, LineGeometry};
+//! use ldis_mrc::MattsonL2;
+//!
+//! let g = LineGeometry::default();
+//! let configs = [
+//!     CacheConfig::new(1 << 20, 8, g),  // 1 MB, 2048 sets
+//!     CacheConfig::with_sets(2048, 12, g), // 1.5 MB
+//!     CacheConfig::new(2 << 20, 8, g),  // 2 MB, 4096 sets
+//! ];
+//! let mut hier = Hierarchy::hpca2007(MattsonL2::for_configs(&configs));
+//! for i in 0..10_000u64 {
+//!     hier.access(Access::load(Addr::new((i % 40_000) * 64), 8));
+//! }
+//! let small = hier.l2().result_for(&configs[0]).map(|r| r.line_misses);
+//! let large = hier.l2().result_for(&configs[2]).map(|r| r.line_misses);
+//! assert!(small >= large, "misses are non-increasing in capacity");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod l2;
+mod profiler;
+
+pub use l2::{ConfigResult, MattsonL2};
+pub use profiler::MattsonProfiler;

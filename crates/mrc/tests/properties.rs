@@ -1,0 +1,249 @@
+//! Property tests for the Mattson profiler, driven by seeded `SimRng`
+//! traces: MRC monotonicity, the LRU inclusion property, histogram
+//! accounting, and a randomized differential check against the direct
+//! `BaselineL2` simulator.
+
+use ldis_cache::{BaselineL2, CacheConfig, L2Request, SecondLevel};
+use ldis_mem::rng::SimRng;
+use ldis_mem::{Footprint, LineAddr, LineGeometry, WordIndex};
+use ldis_mrc::{MattsonL2, MattsonProfiler};
+use std::collections::BTreeSet;
+
+/// One random L2-level event: a demand access or an L1D eviction
+/// notification, the two entry points of the `SecondLevel` trait.
+#[derive(Clone, Copy, Debug)]
+enum Event {
+    Access(L2Request),
+    L1dEvict(LineAddr, u16, bool),
+}
+
+/// A seeded random event stream with enough locality (small line space,
+/// skewed reuse) to exercise hits, evictions, merges and writebacks.
+fn trace(seed: u64, len: usize, lines: u64) -> Vec<Event> {
+    let mut rng = SimRng::new(seed);
+    let mut recent: Vec<LineAddr> = Vec::new();
+    (0..len)
+        .map(|_| {
+            let line = if !recent.is_empty() && rng.chance(0.6) {
+                *rng.choose(&recent)
+            } else {
+                LineAddr::new(rng.range(lines))
+            };
+            recent.push(line);
+            if recent.len() > 24 {
+                recent.remove(0);
+            }
+            if rng.chance(0.15) {
+                Event::L1dEvict(line, (rng.next_u64() & 0xff) as u16, rng.chance(0.5))
+            } else {
+                let req = L2Request {
+                    line,
+                    word: WordIndex::new(rng.range(8) as u8),
+                    write: rng.chance(0.3),
+                    is_instr: rng.chance(0.2),
+                    pc: ldis_mem::Addr::new(rng.range(1 << 20) * 4),
+                };
+                Event::Access(req)
+            }
+        })
+        .collect()
+}
+
+fn drive<L2: SecondLevel>(l2: &mut L2, events: &[Event]) {
+    for ev in events {
+        match *ev {
+            Event::Access(req) => {
+                l2.access(req);
+            }
+            Event::L1dEvict(line, bits, dirty) => {
+                l2.on_l1d_evict(line, Footprint::from_bits(bits), dirty);
+            }
+        }
+    }
+}
+
+#[test]
+fn misses_are_non_increasing_in_associativity_and_size() {
+    let g = LineGeometry::default();
+    // 4..64 kB at fixed 16 sets (associativity axis) plus growing set
+    // counts at fixed 4 ways (size axis).
+    let configs: Vec<CacheConfig> = [1u32, 2, 4, 8]
+        .iter()
+        .map(|&w| CacheConfig::with_sets(16, w, g))
+        .chain(
+            [16u64, 32, 64]
+                .iter()
+                .map(|&s| CacheConfig::with_sets(s, 4, g)),
+        )
+        .collect();
+    for seed in 0..8u64 {
+        let mut l2 = MattsonL2::for_configs(&configs);
+        drive(&mut l2, &trace(0xA5EED ^ seed, 20_000, 4_000));
+        let miss = |c: &CacheConfig| {
+            l2.result_for(c)
+                .unwrap_or_else(|| panic!("config {c:?} profiled"))
+                .line_misses
+        };
+        for pair in configs[..4].windows(2) {
+            assert!(
+                miss(&pair[0]) >= miss(&pair[1]),
+                "seed {seed}: misses increased from {} ways to {} ways",
+                pair[0].ways(),
+                pair[1].ways()
+            );
+        }
+        for pair in configs[4..].windows(2) {
+            assert!(
+                miss(&pair[0]) >= miss(&pair[1]),
+                "seed {seed}: misses increased from {} to {} sets",
+                pair[0].num_sets(),
+                pair[1].num_sets()
+            );
+        }
+    }
+}
+
+#[test]
+fn lru_stacks_satisfy_the_inclusion_property() {
+    // An A-way cache's contents must be a subset of the (A+k)-way
+    // cache's contents at every point; checking at the end of several
+    // seeded traces (with interior churn) covers the interesting states.
+    for seed in 0..8u64 {
+        let mut p = MattsonProfiler::new(8, &[1, 2, 4, 8], 8);
+        let mut rng = SimRng::new(0x1AC1 ^ seed);
+        let mut seen = BTreeSet::new();
+        for _ in 0..5_000 {
+            let line = LineAddr::new(rng.range(600));
+            let first = seen.insert(line);
+            p.record(
+                line,
+                Some(WordIndex::new(rng.range(8) as u8)),
+                rng.chance(0.3),
+                false,
+                first,
+            );
+        }
+        let mut prev: Option<BTreeSet<LineAddr>> = None;
+        for ways in [1u32, 2, 4, 8] {
+            let resident: BTreeSet<LineAddr> = p.resident_lines(ways).into_iter().collect();
+            if let Some(smaller) = &prev {
+                assert!(
+                    smaller.is_subset(&resident),
+                    "seed {seed}: {}-way contents not included in {ways}-way",
+                    smaller.len()
+                );
+            }
+            prev = Some(resident);
+        }
+    }
+}
+
+#[test]
+fn distance_histogram_and_miss_classes_partition_the_accesses() {
+    for seed in 0..8u64 {
+        let mut p = MattsonProfiler::new(4, &[2, 6], 8);
+        let mut rng = SimRng::new(0xC0DE ^ seed);
+        let mut seen = BTreeSet::new();
+        for _ in 0..10_000 {
+            let line = LineAddr::new(rng.range(200));
+            let first = seen.insert(line);
+            p.record(line, Some(WordIndex::new(0)), false, false, first);
+        }
+        assert_eq!(
+            p.distance_histogram().total() + p.beyond() + p.compulsory(),
+            p.accesses(),
+            "seed {seed}: every access is a profiled reuse, a deep reuse, \
+             or a first touch"
+        );
+        assert_eq!(p.compulsory() as usize, seen.len(), "seed {seed}");
+        // hits + misses == accesses at every profiled associativity.
+        for ways in [2u32, 6] {
+            assert_eq!(p.hits_at(ways) + p.misses_at(ways), p.accesses());
+        }
+    }
+}
+
+/// The core differential property: a `MattsonL2` profiling several
+/// configurations at once reproduces, for each of them, the *entire*
+/// statistics block a dedicated `BaselineL2` produces on the same event
+/// stream — misses, compulsory classification, evictions, writebacks and
+/// the words-used-at-eviction histogram, bit for bit.
+#[test]
+fn profiler_matches_direct_simulation_on_random_traces() {
+    let g = LineGeometry::default();
+    let configs = [
+        CacheConfig::with_sets(16, 1, g),
+        CacheConfig::with_sets(16, 2, g),
+        CacheConfig::with_sets(16, 8, g),
+        CacheConfig::with_sets(64, 4, g),
+    ];
+    for seed in 0..12u64 {
+        let events = trace(0xD1FF ^ (seed * 7919), 30_000, 2_500);
+        let mut mattson = MattsonL2::for_configs(&configs);
+        drive(&mut mattson, &events);
+        for cfg in &configs {
+            let mut direct = BaselineL2::new(*cfg);
+            drive(&mut direct, &events);
+            let got = mattson
+                .result_for(cfg)
+                .unwrap_or_else(|| panic!("config {cfg:?} profiled"));
+            let want = direct.stats();
+            let ctx = format!("seed {seed}, {} sets x {} ways", cfg.num_sets(), cfg.ways());
+            assert_eq!(got.accesses, want.accesses, "{ctx}: accesses");
+            assert_eq!(got.line_misses, want.line_misses, "{ctx}: misses");
+            assert_eq!(got.hits, want.loc_hits, "{ctx}: hits");
+            assert_eq!(
+                got.compulsory_misses, want.compulsory_misses,
+                "{ctx}: compulsory"
+            );
+            assert_eq!(got.evictions, want.evictions, "{ctx}: evictions");
+            assert_eq!(got.writebacks, want.writebacks, "{ctx}: writebacks");
+            assert_eq!(
+                got.words_used_at_evict, want.words_used_at_evict,
+                "{ctx}: words-used histogram"
+            );
+        }
+    }
+}
+
+/// Warmup-reset differential: resetting stats mid-stream (the
+/// `TraceLength::warmup` path of the experiment runner) must leave the
+/// profiler and the direct simulator in agreement on the measured tail.
+#[test]
+fn profiler_matches_direct_simulation_across_a_stats_reset() {
+    let g = LineGeometry::default();
+    let configs = [
+        CacheConfig::with_sets(16, 2, g),
+        CacheConfig::with_sets(16, 4, g),
+    ];
+    for seed in 0..6u64 {
+        let events = trace(0x3E5E7 ^ seed, 24_000, 2_000);
+        let (warm, measured) = events.split_at(events.len() / 3);
+        let mut mattson = MattsonL2::for_configs(&configs);
+        drive(&mut mattson, warm);
+        mattson.reset_stats();
+        drive(&mut mattson, measured);
+        for cfg in &configs {
+            let mut direct = BaselineL2::new(*cfg);
+            drive(&mut direct, warm);
+            direct.reset_stats();
+            drive(&mut direct, measured);
+            let got = mattson
+                .result_for(cfg)
+                .unwrap_or_else(|| panic!("config {cfg:?} profiled"));
+            let want = direct.stats();
+            let ctx = format!("seed {seed}, {} ways", cfg.ways());
+            assert_eq!(got.line_misses, want.line_misses, "{ctx}: misses");
+            assert_eq!(
+                got.compulsory_misses, want.compulsory_misses,
+                "{ctx}: compulsory"
+            );
+            assert_eq!(got.evictions, want.evictions, "{ctx}: evictions");
+            assert_eq!(got.writebacks, want.writebacks, "{ctx}: writebacks");
+            assert_eq!(
+                got.words_used_at_evict, want.words_used_at_evict,
+                "{ctx}: words-used histogram"
+            );
+        }
+    }
+}

@@ -16,6 +16,8 @@
 //! * [`compress`] — the Table-4 encoder, compressed cache (CMPR) and
 //!   footprint-aware compression (FAC);
 //! * [`sfp`] — the spatial-footprint-predictor comparator of Figure 13;
+//! * [`mrc`] — the single-pass Mattson miss-ratio-curve profiler used by
+//!   the capacity sweeps and the differential-oracle tests;
 //! * [`workloads`] — the 16 + 11 synthetic benchmark models;
 //! * [`timing`] — the IPC model (Figure 9);
 //! * [`experiments`] — one entry point per table/figure of the paper.
@@ -43,6 +45,7 @@ pub use ldis_compress as compress;
 pub use ldis_distill as distill;
 pub use ldis_experiments as experiments;
 pub use ldis_mem as mem;
+pub use ldis_mrc as mrc;
 pub use ldis_sfp as sfp;
 pub use ldis_timing as timing;
 pub use ldis_workloads as workloads;

@@ -7,7 +7,9 @@
 //! was intentional, regenerate with `UPDATE_GOLDEN=1 cargo test` and
 //! commit the diff alongside the change.
 
-use line_distillation::experiments::{golden, linesize, motivation, resilience, table3};
+use line_distillation::experiments::{
+    appendix, fig8, golden, linesize, motivation, mrc, resilience, table3,
+};
 
 #[test]
 fn motivation_matches_golden() {
@@ -30,4 +32,28 @@ fn linesize_matches_golden() {
 fn resilience_matches_golden() {
     let cfg = golden::golden_config();
     golden::assert_matches("resilience", &resilience::snapshot(&cfg));
+}
+
+#[test]
+fn fig8_matches_golden() {
+    let cfg = golden::golden_config();
+    golden::assert_matches("fig8", &fig8::snapshot(&cfg));
+}
+
+#[test]
+fn table5_matches_golden() {
+    let cfg = golden::golden_config();
+    golden::assert_matches("table5", &appendix::table5_snapshot(&cfg));
+}
+
+#[test]
+fn table6_matches_golden() {
+    let cfg = golden::golden_config();
+    golden::assert_matches("table6", &appendix::table6_snapshot(&cfg));
+}
+
+#[test]
+fn mrc_matches_golden() {
+    let cfg = golden::golden_config();
+    golden::assert_matches("mrc", &mrc::snapshot(&cfg));
 }

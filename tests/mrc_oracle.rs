@@ -1,0 +1,102 @@
+//! Differential-oracle tests: the single-pass Mattson profiler
+//! (`crates/mrc`) against direct `ldis-cache` simulation.
+//!
+//! The profiler and the simulator are independently derived models of the
+//! same LRU cache, so their agreement cross-validates both: a bug in
+//! either the stack-distance construction or the set-associative
+//! substrate breaks the equality. Every comparison here is bit-for-bit —
+//! integer counters, f64 MPKI bit patterns and whole histograms — for
+//! every benchmark of the paper (16 memory-intensive + 11
+//! cache-insensitive) at every capacity of the MRC sweep, at the
+//! canonical quick configuration. The suite runs under `LDIS_THREADS=1`
+//! and `=4` in CI; the derived-seed scheme keeps both byte-identical.
+
+use line_distillation::experiments::{
+    appendix, fig8, for_each_benchmark, golden, mrc, run_baseline_with_words, run_capacity_sweep,
+    run_matrix,
+};
+
+/// Oracle-vs-simulator equality over the full quick matrix: all 27
+/// benchmarks × {0.5, 0.75, 1, 1.5, 2, 4} MB. One Mattson pass per
+/// benchmark answers what 6 direct simulations compute.
+#[test]
+fn oracle_matches_direct_simulation_for_every_benchmark_and_size() {
+    let cfg = golden::golden_config();
+    let benches = mrc::all_benchmarks();
+    let sweeps = for_each_benchmark(&benches, |b| run_capacity_sweep(b, &cfg, &mrc::MRC_SIZES));
+    let direct = run_matrix(&benches, mrc::MRC_SIZES.len(), |b, i| {
+        run_baseline_with_words(b, &cfg, mrc::MRC_SIZES[i])
+    });
+    assert_eq!(sweeps.len(), benches.len());
+    for (sweep, row) in sweeps.iter().zip(&direct) {
+        for (&size, (r, words)) in mrc::MRC_SIZES.iter().zip(row) {
+            let ctx = format!("{} at {} kB", sweep.benchmark, size >> 10);
+            let p = sweep
+                .point(size)
+                .unwrap_or_else(|| panic!("{ctx}: size missing from sweep"));
+            assert_eq!(sweep.benchmark, r.benchmark, "{ctx}: benchmark order");
+            assert_eq!(
+                p.mpki.to_bits(),
+                r.mpki.to_bits(),
+                "{ctx}: mpki {} vs {}",
+                p.mpki,
+                r.mpki
+            );
+            assert_eq!(p.result.accesses, r.l2.accesses, "{ctx}: accesses");
+            assert_eq!(p.result.hits, r.l2.loc_hits, "{ctx}: hits");
+            assert_eq!(p.result.line_misses, r.l2.line_misses, "{ctx}: misses");
+            assert_eq!(
+                p.result.compulsory_misses, r.l2.compulsory_misses,
+                "{ctx}: compulsory misses"
+            );
+            assert_eq!(p.result.evictions, r.l2.evictions, "{ctx}: evictions");
+            assert_eq!(p.result.writebacks, r.l2.writebacks, "{ctx}: writebacks");
+            assert_eq!(
+                p.result.words_used_at_evict, r.l2.words_used_at_evict,
+                "{ctx}: words-used-at-evict histogram"
+            );
+            assert_eq!(
+                p.result.words_used_with_resident, *words,
+                "{ctx}: words-used histogram including resident lines"
+            );
+            assert_eq!(sweep.hierarchy, r.hierarchy, "{ctx}: L1/trace statistics");
+        }
+    }
+}
+
+/// The rewired Figure 8 must render byte-identically to the pre-rewire
+/// per-size simulations (the committed golden was generated from the
+/// direct path).
+#[test]
+fn rewired_fig8_is_byte_identical_to_direct_simulations() {
+    let cfg = golden::golden_config();
+    assert_eq!(
+        fig8::snapshot(&cfg).render_pretty(),
+        fig8::snapshot_direct(&cfg).render_pretty(),
+        "single-pass Figure 8 diverged from per-size simulation"
+    );
+}
+
+/// The rewired Table 5 must render byte-identically to the pre-rewire
+/// per-size simulations.
+#[test]
+fn rewired_table5_is_byte_identical_to_direct_simulations() {
+    let cfg = golden::golden_config();
+    assert_eq!(
+        appendix::table5_snapshot(&cfg).render_pretty(),
+        appendix::table5_snapshot_direct(&cfg).render_pretty(),
+        "single-pass Table 5 diverged from per-size simulation"
+    );
+}
+
+/// The rewired Table 6 words-used sweep must render byte-identically to
+/// the pre-rewire per-size simulations.
+#[test]
+fn rewired_table6_is_byte_identical_to_direct_simulations() {
+    let cfg = golden::golden_config();
+    assert_eq!(
+        appendix::table6_snapshot(&cfg).render_pretty(),
+        appendix::table6_snapshot_direct(&cfg).render_pretty(),
+        "single-pass Table 6 diverged from per-size simulation"
+    );
+}

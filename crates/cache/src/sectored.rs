@@ -83,12 +83,21 @@ impl SectoredCache {
     /// Classifies an access to words `first..=last` of `line` without
     /// changing any state.
     pub fn lookup(&self, line: LineAddr, first: WordIndex, last: WordIndex) -> L1Lookup {
-        let set = &self.sets[self.cfg.set_index(line)];
+        // `set_index` masks into `0..num_sets` and `way < ways()`, so the
+        // checked lookups cannot miss; a miss classifies as `Miss`.
+        let set_idx = self.cfg.set_index(line);
+        let Some(set) = self.sets.get(set_idx) else {
+            return L1Lookup::Miss;
+        };
         match set.find(self.cfg.tag(line)) {
             None => L1Lookup::Miss,
             Some(way) => {
-                let sector = &self.sectors[self.cfg.set_index(line)][way];
-                if span_mask(first, last) & !sector.valid_words == 0 {
+                let valid = self
+                    .sectors
+                    .get(set_idx)
+                    .and_then(|s| s.get(way))
+                    .map_or(0, |sector| sector.valid_words);
+                if span_mask(first, last) & !valid == 0 {
                     L1Lookup::Hit
                 } else {
                     L1Lookup::SectorMiss
@@ -112,12 +121,17 @@ impl SectoredCache {
         write: bool,
     ) -> L1Lookup {
         let set_idx = self.cfg.set_index(line);
-        let set = &mut self.sets[set_idx];
+        let Some(set) = self.sets.get_mut(set_idx) else {
+            return L1Lookup::Miss;
+        };
         match set.find(self.cfg.tag(line)) {
             None => L1Lookup::Miss,
             Some(way) => {
                 set.promote(way);
-                let sector = &mut self.sectors[set_idx][way];
+                let Some(sector) = self.sectors.get_mut(set_idx).and_then(|s| s.get_mut(way))
+                else {
+                    return L1Lookup::Miss;
+                };
                 sector.footprint.touch_span(first, last);
                 sector.dirty |= write;
                 if span_mask(first, last) & !sector.valid_words == 0 {
@@ -135,29 +149,33 @@ impl SectoredCache {
     pub fn fill(&mut self, line: LineAddr, valid_words: Footprint) -> Option<EvictedL1Line> {
         let set_idx = self.cfg.set_index(line);
         let tag = self.cfg.tag(line);
-        let set = &mut self.sets[set_idx];
+        let set = self.sets.get_mut(set_idx)?;
         debug_assert!(set.find(tag).is_none(), "filling a resident line");
         let way = set.victim_way();
         let victim = {
             let entry = set.entry(way);
             if entry.valid {
-                let sector = &self.sectors[set_idx][way];
-                Some(EvictedL1Line {
-                    line: self.cfg.line_of(set_idx, entry.tag),
-                    footprint: sector.footprint,
-                    dirty: sector.dirty,
-                })
+                self.sectors
+                    .get(set_idx)
+                    .and_then(|s| s.get(way))
+                    .map(|sector| EvictedL1Line {
+                        line: self.cfg.line_of(set_idx, entry.tag),
+                        footprint: sector.footprint,
+                        dirty: sector.dirty,
+                    })
             } else {
                 None
             }
         };
         set.entry_mut(way).install(tag, false, false);
         set.promote(way);
-        self.sectors[set_idx][way] = SectorEntry {
-            valid_words: valid_words.bits(),
-            footprint: Footprint::empty(),
-            dirty: false,
-        };
+        if let Some(slot) = self.sectors.get_mut(set_idx).and_then(|s| s.get_mut(way)) {
+            *slot = SectorEntry {
+                valid_words: valid_words.bits(),
+                footprint: Footprint::empty(),
+                dirty: false,
+            };
+        }
         victim
     }
 
@@ -165,10 +183,15 @@ impl SectoredCache {
     /// the line was resident.
     pub fn fill_words(&mut self, line: LineAddr, valid_words: Footprint) -> bool {
         let set_idx = self.cfg.set_index(line);
-        let set = &self.sets[set_idx];
-        match set.find(self.cfg.tag(line)) {
+        let found = self
+            .sets
+            .get(set_idx)
+            .and_then(|set| set.find(self.cfg.tag(line)));
+        match found {
             Some(way) => {
-                self.sectors[set_idx][way].valid_words |= valid_words.bits();
+                if let Some(sector) = self.sectors.get_mut(set_idx).and_then(|s| s.get_mut(way)) {
+                    sector.valid_words |= valid_words.bits();
+                }
                 true
             }
             None => false,
@@ -183,9 +206,14 @@ impl SectoredCache {
     /// Invalidates `line` if resident, returning its eviction record.
     pub fn invalidate(&mut self, line: LineAddr) -> Option<EvictedL1Line> {
         let set_idx = self.cfg.set_index(line);
-        let set = &mut self.sets[set_idx];
+        let set = self.sets.get_mut(set_idx)?;
         let way = set.find(self.cfg.tag(line))?;
-        let sector = self.sectors[set_idx][way];
+        let sector = self
+            .sectors
+            .get(set_idx)
+            .and_then(|s| s.get(way))
+            .copied()
+            .unwrap_or_default();
         set.entry_mut(way).valid = false;
         Some(EvictedL1Line {
             line,

@@ -107,14 +107,16 @@ impl CmprCache {
         &self.cfg
     }
 
-    /// Number of lines currently stored in `set`.
+    /// Number of lines currently stored in `set` (0 if out of range).
     pub fn lines_in_set(&self, set: usize) -> usize {
-        self.sets[set].len()
+        self.sets.get(set).map_or(0, |s| s.len())
     }
 
-    /// Segments currently occupied in `set`.
+    /// Segments currently occupied in `set` (0 if out of range).
     pub fn segments_in_set(&self, set: usize) -> u32 {
-        self.sets[set].iter().map(|l| l.segments).sum()
+        self.sets
+            .get(set)
+            .map_or(0, |s| s.iter().map(|l| l.segments).sum())
     }
 
     fn set_and_tag(&self, line: LineAddr) -> (usize, u64) {
@@ -139,20 +141,22 @@ impl SecondLevel for CmprCache {
         self.stats.accesses += 1;
         let (set_idx, tag) = self.set_and_tag(req.line);
         let full = Footprint::full(self.cfg.geometry.words_per_line());
-        let set = &mut self.sets[set_idx];
-
-        if let Some(mut line) = set
-            .iter()
-            .position(|l| l.tag == tag)
-            .and_then(|pos| set.remove(pos))
-        {
-            line.dirty |= req.write;
-            set.push_front(line);
-            self.stats.loc_hits += 1;
-            return L2Response {
-                outcome: L2Outcome::LocHit,
-                valid_words: full,
-            };
+        // `set_idx` is masked to `0..num_sets` by `set_and_tag`, so the
+        // `get_mut` lookups cannot miss.
+        if let Some(set) = self.sets.get_mut(set_idx) {
+            if let Some(mut line) = set
+                .iter()
+                .position(|l| l.tag == tag)
+                .and_then(|pos| set.remove(pos))
+            {
+                line.dirty |= req.write;
+                set.push_front(line);
+                self.stats.loc_hits += 1;
+                return L2Response {
+                    outcome: L2Outcome::LocHit,
+                    valid_words: full,
+                };
+            }
         }
 
         self.stats.line_misses += 1;
@@ -160,29 +164,30 @@ impl SecondLevel for CmprCache {
             self.stats.compulsory_misses += 1;
         }
         let segments = self.segments_for(req.line);
-        self.sets[set_idx].push_front(CmprLine {
-            tag,
-            segments,
-            dirty: req.write,
-        });
         // Perfect LRU: evict from the tail until both the segment budget
         // and the tag budget hold.
         let budget = self.cfg.segments_per_set();
         let max_tags = self.cfg.tags_per_set() as usize;
-        loop {
-            let set = &self.sets[set_idx];
-            let used: u32 = set.iter().map(|l| l.segments).sum();
-            if used <= budget && set.len() <= max_tags {
-                break;
-            }
-            // The freshly inserted line keeps the set non-empty whenever
-            // the budgets are exceeded; stop if that ever fails to hold.
-            let Some(victim) = self.sets[set_idx].pop_back() else {
-                break;
-            };
-            self.stats.evictions += 1;
-            if victim.dirty {
-                self.stats.writebacks += 1;
+        if let Some(set) = self.sets.get_mut(set_idx) {
+            set.push_front(CmprLine {
+                tag,
+                segments,
+                dirty: req.write,
+            });
+            loop {
+                let used: u32 = set.iter().map(|l| l.segments).sum();
+                if used <= budget && set.len() <= max_tags {
+                    break;
+                }
+                // The freshly inserted line keeps the set non-empty whenever
+                // the budgets are exceeded; stop if that ever fails to hold.
+                let Some(victim) = set.pop_back() else {
+                    break;
+                };
+                self.stats.evictions += 1;
+                if victim.dirty {
+                    self.stats.writebacks += 1;
+                }
             }
         }
         L2Response {
@@ -196,7 +201,11 @@ impl SecondLevel for CmprCache {
             return;
         }
         let (set_idx, tag) = self.set_and_tag(line);
-        match self.sets[set_idx].iter_mut().find(|l| l.tag == tag) {
+        match self
+            .sets
+            .get_mut(set_idx)
+            .and_then(|s| s.iter_mut().find(|l| l.tag == tag))
+        {
             Some(l) => l.dirty = true,
             None => self.stats.writebacks += 1,
         }

@@ -109,12 +109,23 @@ impl CompressedWoc {
 
     fn way_slice(&self, set: usize, way: usize) -> &[FacEntry] {
         let base = self.set_base(set) + way * self.words_per_line;
-        &self.entries[base..base + self.words_per_line]
+        self.entries
+            .get(base..base + self.words_per_line)
+            .unwrap_or_default()
     }
 
     fn way_slice_mut(&mut self, set: usize, way: usize) -> &mut [FacEntry] {
         let base = self.set_base(set) + way * self.words_per_line;
-        &mut self.entries[base..base + self.words_per_line]
+        self.entries
+            .get_mut(base..base + self.words_per_line)
+            .unwrap_or_default()
+    }
+
+    /// All `ways * words_per_line` entries of one set.
+    fn set_slice_mut(&mut self, set: usize) -> &mut [FacEntry] {
+        let base = self.set_base(set);
+        let len = self.ways * self.words_per_line;
+        self.entries.get_mut(base..base + len).unwrap_or_default()
     }
 
     fn choose_position(&mut self, set: usize, slots: usize) -> (usize, usize) {
@@ -123,20 +134,30 @@ impl CompressedWoc {
         for way in 0..self.ways {
             let entries = self.way_slice(set, way);
             for offset in (0..self.words_per_line).step_by(slots) {
-                let first = &entries[offset];
+                let Some(first) = entries.get(offset) else {
+                    continue;
+                };
                 if !first.valid || first.head {
                     eligible.push((way, offset));
-                    if entries[offset..offset + slots].iter().all(|e| !e.valid) {
+                    let window_free = entries
+                        .get(offset..offset + slots)
+                        .is_some_and(|w| w.iter().all(|e| !e.valid));
+                    if window_free {
                         free.push((way, offset));
                     }
                 }
             }
         }
+        // `index(len) < len`, so the lookups cannot miss on non-empty lists.
         if !free.is_empty() {
-            return free[self.rng.index(free.len())];
+            let i = self.rng.index(free.len());
+            if let Some(&pos) = free.get(i) {
+                return pos;
+            }
         }
         assert!(!eligible.is_empty(), "alignment guarantees a candidate");
-        eligible[self.rng.index(eligible.len())]
+        let i = self.rng.index(eligible.len());
+        eligible.get(i).copied().unwrap_or((0, 0))
     }
 
     fn evict_range(
@@ -149,13 +170,15 @@ impl CompressedWoc {
         let words_per_line = self.words_per_line;
         let entries = self.way_slice_mut(set, way);
         debug_assert!(
-            offset == 0 || !entries[offset].valid || entries[offset].head,
+            offset == 0 || !entries.get(offset).is_some_and(|e| e.valid && !e.head),
             "chosen offset must not split a line"
         );
         let mut evictions: Vec<WocEviction> = Vec::new();
         let mut i = offset;
         while i < words_per_line {
-            let e = entries[i];
+            let Some(e) = entries.get(i).copied() else {
+                break;
+            };
             if !e.valid {
                 if i >= offset + slots {
                     break;
@@ -188,7 +211,9 @@ impl CompressedWoc {
                     }),
                 }
             }
-            entries[i] = FacEntry::default();
+            if let Some(slot) = entries.get_mut(i) {
+                *slot = FacEntry::default();
+            }
             i += 1;
         }
         evictions
@@ -199,19 +224,19 @@ impl CompressedWoc {
         for way in 0..self.ways {
             let entries = self.way_slice(set, way);
             let mut i = 0;
-            while i < self.words_per_line {
-                if !entries[i].valid {
+            while let Some(e) = entries.get(i) {
+                if !e.valid {
                     i += 1;
                     continue;
                 }
-                if !entries[i].head {
+                if !e.head {
                     return Err(format!("way {way} slot {i}: valid entry without head"));
                 }
-                let tag = entries[i].tag;
+                let tag = e.tag;
                 let start = i;
                 i += 1;
-                while i < self.words_per_line && entries[i].valid && !entries[i].head {
-                    if entries[i].tag != tag {
+                while let Some(next) = entries.get(i).filter(|e| e.valid && !e.head) {
+                    if next.tag != tag {
                         return Err(format!("way {way} slot {i}: tag mismatch"));
                     }
                     i += 1;
@@ -254,7 +279,8 @@ impl WordStore for CompressedWoc {
         let (way, offset) = self.choose_position(set, slots);
         let evicted = self.evict_range(set, way, offset, slots);
         let entries = self.way_slice_mut(set, way);
-        for (i, slot) in entries[offset..offset + slots].iter_mut().enumerate() {
+        let window = entries.get_mut(offset..offset + slots).unwrap_or_default();
+        for (i, slot) in window.iter_mut().enumerate() {
             *slot = FacEntry {
                 valid: true,
                 dirty,
@@ -267,10 +293,8 @@ impl WordStore for CompressedWoc {
     }
 
     fn invalidate_line(&mut self, set: usize, tag: u64) -> Option<WocEviction> {
-        let base = self.set_base(set);
-        let len = self.ways * self.words_per_line;
         let mut record: Option<WocEviction> = None;
-        for e in &mut self.entries[base..base + len] {
+        for e in self.set_slice_mut(set) {
             if e.valid && e.tag == tag {
                 let rec = record.get_or_insert(WocEviction {
                     tag,
@@ -288,10 +312,8 @@ impl WordStore for CompressedWoc {
     }
 
     fn mark_dirty(&mut self, set: usize, tag: u64) -> bool {
-        let base = self.set_base(set);
-        let len = self.ways * self.words_per_line;
         let mut found = false;
-        for e in &mut self.entries[base..base + len] {
+        for e in self.set_slice_mut(set) {
             if e.valid && e.tag == tag {
                 e.dirty = true;
                 found = true;

@@ -92,7 +92,12 @@ impl Reverter {
     pub fn observe_leader_access(&mut self, set: usize, line: LineAddr, distill_missed: bool) {
         debug_assert!(self.is_leader(set));
         let leader = set / self.stride;
-        let atd_set = &mut self.atd[leader];
+        // Leader sets are `0, stride, 2*stride, ...`, so `leader` is in
+        // bounds whenever the caller honours the contract; a non-leader
+        // access is ignored rather than sampled into the wrong ATD set.
+        let Some(atd_set) = self.atd.get_mut(leader) else {
+            return;
+        };
         let tag = line.raw();
         let atd_missed = match atd_set.find(tag) {
             Some(way) => {

@@ -153,14 +153,28 @@ impl Woc {
         set * self.ways * self.words_per_line
     }
 
+    /// The `words_per_line` entries of one way of one set. `set` and `way`
+    /// are in range for every caller, so the empty-slice fallback is dead;
+    /// it merely turns a latent out-of-bounds into a no-op.
     fn way_slice(&self, set: usize, way: usize) -> &[WocEntry] {
         let base = self.set_base(set) + way * self.words_per_line;
-        &self.entries[base..base + self.words_per_line]
+        self.entries
+            .get(base..base + self.words_per_line)
+            .unwrap_or_default()
     }
 
     fn way_slice_mut(&mut self, set: usize, way: usize) -> &mut [WocEntry] {
         let base = self.set_base(set) + way * self.words_per_line;
-        &mut self.entries[base..base + self.words_per_line]
+        self.entries
+            .get_mut(base..base + self.words_per_line)
+            .unwrap_or_default()
+    }
+
+    /// All `ways * words_per_line` entries of one set.
+    fn set_slice_mut(&mut self, set: usize) -> &mut [WocEntry] {
+        let base = self.set_base(set);
+        let len = self.ways * self.words_per_line;
+        self.entries.get_mut(base..base + len).unwrap_or_default()
     }
 
     /// Looks up `tag` in `set`. Returns the words present if any word of
@@ -191,9 +205,7 @@ impl Woc {
     /// landed on a WOC-resident line). Returns whether the line was present.
     pub fn mark_dirty(&mut self, set: usize, tag: u64) -> bool {
         let mut found = false;
-        let base = self.set_base(set);
-        let len = self.ways * self.words_per_line;
-        for e in &mut self.entries[base..base + len] {
+        for e in self.set_slice_mut(set) {
             if e.valid && e.tag == tag {
                 e.dirty = true;
                 found = true;
@@ -208,9 +220,7 @@ impl Woc {
     pub fn invalidate_line(&mut self, set: usize, tag: u64) -> Option<WocEviction> {
         let mut words = Footprint::empty();
         let mut dirty = false;
-        let base = self.set_base(set);
-        let len = self.ways * self.words_per_line;
-        for e in &mut self.entries[base..base + len] {
+        for e in self.set_slice_mut(set) {
             if e.valid && e.tag == tag {
                 words.touch(WordIndex::new(e.word_id));
                 dirty |= e.dirty;
@@ -264,13 +274,15 @@ impl Woc {
 
         let entries = self.way_slice_mut(set, way);
         for (i, word) in footprint.iter_used().enumerate() {
-            entries[offset + i] = WocEntry {
-                valid: true,
-                dirty,
-                head: i == 0,
-                tag,
-                word_id: word.get(),
-            };
+            if let Some(slot) = entries.get_mut(offset + i) {
+                *slot = WocEntry {
+                    valid: true,
+                    dirty,
+                    head: i == 0,
+                    tag,
+                    word_id: word.get(),
+                };
+            }
         }
         evicted
     }
@@ -284,17 +296,26 @@ impl Woc {
         for way in 0..self.ways {
             let entries = self.way_slice(set, way);
             for offset in (0..self.words_per_line).step_by(slots) {
-                let first = &entries[offset];
+                let Some(first) = entries.get(offset) else {
+                    continue;
+                };
                 if !first.valid || first.head {
                     eligible.push((way, offset));
-                    if entries[offset..offset + slots].iter().all(|e| !e.valid) {
+                    let window_free = entries
+                        .get(offset..offset + slots)
+                        .is_some_and(|w| w.iter().all(|e| !e.valid));
+                    if window_free {
                         free.push((way, offset));
                     }
                 }
             }
         }
+        // `pick(len) < len`, so the lookups cannot miss on non-empty lists.
         if !free.is_empty() {
-            return free[self.pick(free.len())];
+            let i = self.pick(free.len());
+            if let Some(&pos) = free.get(i) {
+                return pos;
+            }
         }
         if eligible.is_empty() {
             // Alignment guarantees a candidate in fault-free operation
@@ -305,7 +326,7 @@ impl Woc {
             return (way, 0);
         }
         let i = self.pick(eligible.len());
-        eligible[i]
+        eligible.get(i).copied().unwrap_or((0, 0))
     }
 
     fn pick(&mut self, len: usize) -> usize {
@@ -335,7 +356,9 @@ impl Woc {
         // A head inside the range may own entries beyond it; walk to the
         // end of the last overlapped line.
         while i < words_per_line {
-            let e = entries[i];
+            let Some(e) = entries.get(i).copied() else {
+                break;
+            };
             if !e.valid {
                 if i >= offset + slots {
                     break;
@@ -362,7 +385,9 @@ impl Woc {
                 ev.words.touch(WordIndex::new(e.word_id));
                 ev.dirty |= e.dirty;
             }
-            entries[i] = WocEntry::default();
+            if let Some(slot) = entries.get_mut(i) {
+                *slot = WocEntry::default();
+            }
             i += 1;
         }
         evictions
@@ -377,7 +402,9 @@ impl Woc {
     pub fn lines_in_set(&self, set: usize) -> usize {
         let base = self.set_base(set);
         let len = self.ways * self.words_per_line;
-        self.entries[base..base + len]
+        self.entries
+            .get(base..base + len)
+            .unwrap_or_default()
             .iter()
             .filter(|e| e.valid && e.head)
             .count()
@@ -390,19 +417,19 @@ impl Woc {
         for way in 0..self.ways {
             let entries = self.way_slice(set, way);
             let mut i = 0;
-            while i < self.words_per_line {
-                if !entries[i].valid {
+            while let Some(e) = entries.get(i) {
+                if !e.valid {
                     i += 1;
                     continue;
                 }
-                if !entries[i].head {
+                if !e.head {
                     return Err(LdisError::WocOrphanEntry { set, way, slot: i });
                 }
-                let tag = entries[i].tag;
+                let tag = e.tag;
                 let start = i;
                 i += 1;
-                while i < self.words_per_line && entries[i].valid && !entries[i].head {
-                    if entries[i].tag != tag {
+                while let Some(next) = entries.get(i).filter(|e| e.valid && !e.head) {
+                    if next.tag != tag {
                         return Err(LdisError::WocTagMismatch { set, way, slot: i });
                     }
                     i += 1;
@@ -418,7 +445,8 @@ impl Woc {
                     });
                 }
                 // Word ids must be strictly increasing (stored in order).
-                let ids = entries[start..i].iter().map(|e| e.word_id);
+                let run = entries.get(start..i).unwrap_or_default();
+                let ids = run.iter().map(|e| e.word_id);
                 if !ids.clone().zip(ids.skip(1)).all(|(a, b)| a < b) {
                     return Err(LdisError::WocWordOrder { set, way, start });
                 }
@@ -449,6 +477,7 @@ impl Woc {
         let set = idx / per_set;
         let way = (idx % per_set) / self.words_per_line;
         let slot = idx % self.words_per_line;
+        // ldis: allow(P1X, "idx < entries.len() by the bit-range assert above")
         let e = &mut self.entries[idx];
         let was_valid = e.valid;
         let field = match k {
@@ -504,9 +533,7 @@ impl Woc {
     /// Returns the number of valid entries discarded.
     pub fn clear_set(&mut self, set: usize) -> u64 {
         let mut cleared = 0;
-        let base = self.set_base(set);
-        let len = self.ways * self.words_per_line;
-        for e in &mut self.entries[base..base + len] {
+        for e in self.set_slice_mut(set) {
             if e.valid {
                 cleared += 1;
             }

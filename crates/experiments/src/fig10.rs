@@ -23,12 +23,14 @@ pub struct Fig10Row {
 impl Fig10Row {
     /// Fraction of lines compressible (anything better than full size).
     pub fn compressible_all(&self) -> f64 {
-        1.0 - self.all_words[3]
+        let [.., full] = self.all_words;
+        1.0 - full
     }
 
     /// Fraction compressible when only used words are stored.
     pub fn compressible_used(&self) -> f64 {
-        1.0 - self.used_words[3]
+        let [.., full] = self.used_words;
+        1.0 - full
     }
 }
 
@@ -56,16 +58,21 @@ pub fn data_for(benches: &[ldis_workloads::Benchmark], cfg: &RunConfig) -> Vec<F
                 continue;
             }
             lines += 1;
-            all[model.category(line, None).index()] += 1;
+            if let Some(slot) = all.get_mut(model.category(line, None).index()) {
+                *slot += 1;
+            }
             // Used-words size, still relative to the full line.
             let bytes = model.compressed_bytes(line, Some(entry.footprint));
-            used[SizeCategory::of(bytes, hier.l2().geometry().line_bytes()).index()] += 1;
+            let cat = SizeCategory::of(bytes, hier.l2().geometry().line_bytes());
+            if let Some(slot) = used.get_mut(cat.index()) {
+                *slot += 1;
+            }
         }
         let frac = |c: [u64; 4]| {
             let mut f = [0.0; 4];
             if lines > 0 {
-                for i in 0..4 {
-                    f[i] = c[i] as f64 / lines as f64;
+                for (slot, count) in f.iter_mut().zip(c) {
+                    *slot = count as f64 / lines as f64;
                 }
             }
             f

@@ -59,14 +59,17 @@ pub fn data(cfg: &RunConfig) -> Vec<LineSizeRow> {
         .iter()
         .zip(matrix)
         .map(|(b, cells)| {
-            let base = cells[0].mpki;
+            // The sweep produced exactly one cell per configuration above;
+            // a missing cell would mean the matrix shape itself is broken.
+            let mpki = |i: usize| cells.get(i).map_or(0.0, |c| c.mpki);
+            let base = mpki(0);
             LineSizeRow {
                 benchmark: b.name.to_owned(),
                 base_64b: base,
-                delta_32b: percent_reduction(base, cells[1].mpki),
-                delta_128b: percent_reduction(base, cells[2].mpki),
-                delta_ldis: percent_reduction(base, cells[3].mpki),
-                delta_ldis_128b: percent_reduction(base, cells[4].mpki),
+                delta_32b: percent_reduction(base, mpki(1)),
+                delta_128b: percent_reduction(base, mpki(2)),
+                delta_ldis: percent_reduction(base, mpki(3)),
+                delta_ldis_128b: percent_reduction(base, mpki(4)),
             }
         })
         .collect()

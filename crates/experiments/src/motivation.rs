@@ -127,7 +127,10 @@ pub fn fig1_report(profiles: &[BaselineProfile]) -> String {
     for p in profiles {
         let mut cells = vec![p.benchmark.clone()];
         for k in 1..=8 {
-            cells.push(fmt_f(p.words_used_fraction[k], 2));
+            cells.push(fmt_f(
+                p.words_used_fraction.get(k).copied().unwrap_or(0.0),
+                2,
+            ));
         }
         cells.push(fmt_f(p.avg_words_used, 2));
         cells.push(fmt_f(p.paper_avg_words, 2));
@@ -150,9 +153,12 @@ pub fn fig2_report(profiles: &[BaselineProfile]) -> String {
     for p in profiles {
         let mut cells = vec![p.benchmark.clone()];
         for pos in 0..8 {
-            cells.push(fmt_f(p.recency_fraction[pos], 2));
+            cells.push(fmt_f(
+                p.recency_fraction.get(pos).copied().unwrap_or(0.0),
+                2,
+            ));
         }
-        let early: f64 = p.recency_fraction[..4].iter().sum();
+        let early: f64 = p.recency_fraction.iter().take(4).sum();
         early_sum += early;
         cells.push(fmt_f(early, 2));
         t.row(cells);
@@ -170,7 +176,7 @@ pub fn fig2_report(profiles: &[BaselineProfile]) -> String {
 pub fn early_change_fraction(profiles: &[BaselineProfile]) -> f64 {
     let sum: f64 = profiles
         .iter()
-        .map(|p| p.recency_fraction[..4].iter().sum::<f64>())
+        .map(|p| p.recency_fraction.iter().take(4).sum::<f64>())
         .sum();
     sum / profiles.len() as f64
 }

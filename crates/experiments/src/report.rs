@@ -100,8 +100,12 @@ impl Table {
         let cols = self.headers.len();
         let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
         for row in &self.rows {
+            // Cells beyond the header count render unaligned rather than
+            // growing a phantom column.
             for (i, cell) in row.iter().enumerate() {
-                widths[i] = widths[i].max(cell.len());
+                if let Some(w) = widths.get_mut(i) {
+                    *w = (*w).max(cell.len());
+                }
             }
         }
         let mut out = String::new();
@@ -114,10 +118,11 @@ impl Table {
                 if i > 0 {
                     line.push_str("  ");
                 }
+                let width = widths.get(i).copied().unwrap_or(0);
                 if i == 0 {
-                    let _ = write!(line, "{:<width$}", cell, width = widths[i]);
+                    let _ = write!(line, "{cell:<width$}");
                 } else {
-                    let _ = write!(line, "{:>width$}", cell, width = widths[i]);
+                    let _ = write!(line, "{cell:>width$}");
                 }
             }
             line

@@ -1,0 +1,1207 @@
+//! The interprocedural passes: P2 (panic-reachability), U1 (unit
+//! safety) and D3 (float determinism), run over the workspace model
+//! built by [`crate::model`].
+//!
+//! * **P2** proves every `pub fn` of the sim-core crates transitively
+//!   panic-free. Panic *sources* are the same sites the token-level P1
+//!   rule flags (`.unwrap()`, `.expect(`, `panic!`-family), minus
+//!   `#[cfg(test)]` code, inline waivers, and the files whose panic
+//!   contract is justified in `lint.toml`. Reachability runs over the
+//!   conservative call graph; the diagnostic renders the shortest call
+//!   path from the public entry point to the panic site.
+//! * **U1** assigns *units* — byte address, 8 B word index, line
+//!   address, set index — to integer-valued expressions from two
+//!   provenance sources: `LineGeometry`/`CacheConfig` accessor chains
+//!   (`geom.word_index(a).get()` is word-valued; `line.raw()` on a
+//!   `LineAddr` is line-valued) and the workspace naming convention for
+//!   integer parameters (`addr`, `line`, `word_idx`, `set_idx`). It
+//!   flags cross-unit arithmetic, comparisons, raw indexing by a
+//!   byte/line-valued integer, wrong-unit newtype construction, and
+//!   call arguments whose unit contradicts every resolved callee.
+//! * **D3** flags floating-point accumulation that merges parallel-sweep
+//!   cell results outside the canonical-order merge: shared
+//!   `Mutex<f64>`-style accumulators, and float `+=`/`sum::<f64>`
+//!   reductions inside closures handed to `sweep`/`spawn`.
+
+use crate::lexer::{TokKind, Token};
+use crate::model::{Callee, FnId, Workspace};
+use crate::report::Finding;
+use crate::rules::Rule;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::ops::Range;
+
+/// Crates whose public API the paper's headline numbers rest on: P2
+/// requires every `pub fn` here to be transitively panic-free.
+pub const P2_CRATES: &[&str] = &["cache", "core", "compress", "sfp", "mem", "mrc", "timing"];
+
+/// Configuration for the interprocedural pass.
+#[derive(Default)]
+pub struct AnalysisConfig {
+    /// Files whose panic sites are justified by a `P1` (or `P2`) entry in
+    /// `lint.toml`; their sites do not count as P2 panic sources.
+    pub justified_panic_paths: BTreeSet<String>,
+}
+
+impl AnalysisConfig {
+    /// Derives the justified-path set from a parsed baseline.
+    pub fn from_baseline(baseline: &crate::report::Baseline) -> Self {
+        AnalysisConfig {
+            justified_panic_paths: baseline
+                .allows
+                .iter()
+                .filter(|a| a.rule == "P1" || a.rule == "P2")
+                .map(|a| a.path.clone())
+                .collect(),
+        }
+    }
+}
+
+/// Runs all interprocedural rules over `files` (pairs of
+/// workspace-relative path and source text).
+pub fn scan_model(files: &[(String, String)], cfg: &AnalysisConfig) -> Vec<Finding> {
+    let ws = Workspace::build(files);
+    let mut findings = Vec::new();
+    p2(&ws, cfg, &mut findings);
+    u1(&ws, &mut findings);
+    d3(&ws, &mut findings);
+    findings
+}
+
+fn finding(
+    ws: &Workspace,
+    rule: Rule,
+    file: usize,
+    line: u32,
+    col: u32,
+    message: String,
+) -> Finding {
+    Finding {
+        rule: rule.id(),
+        level: rule.level(),
+        path: ws.files[file].path.clone(),
+        line,
+        col,
+        message,
+        snippet: ws.files[file].snippet(line),
+    }
+}
+
+// --- P2: interprocedural panic-reachability ------------------------------
+
+/// Is this file's code held to the no-panic contract? Mirrors the P1
+/// scope: sim-crate sources and experiments library sources.
+fn in_panic_scope(path: &str) -> bool {
+    let Some(rest) = path.strip_prefix("crates/") else {
+        return false;
+    };
+    let Some((krate, sub)) = rest.split_once('/') else {
+        return false;
+    };
+    (crate::SIM_CRATES.contains(&krate) && sub.starts_with("src/"))
+        || (krate == "experiments" && sub.starts_with("src/") && !sub.starts_with("src/bin/"))
+}
+
+fn p2(ws: &Workspace, cfg: &AnalysisConfig, findings: &mut Vec<Finding>) {
+    // Which functions contain a live (unjustified) panic site?
+    let live_panic: Vec<bool> = (0..ws.fns.len())
+        .map(|id| {
+            let f = &ws.fns[id];
+            let file = &ws.files[f.file];
+            if f.in_test
+                || !in_panic_scope(&file.path)
+                || cfg.justified_panic_paths.contains(&file.path)
+            {
+                return false;
+            }
+            ws.panics[id].iter().any(|p| {
+                !file.allows.allows(Rule::P1, p.line) && !file.allows.allows(Rule::P2, p.line)
+            })
+        })
+        .collect();
+
+    // Entry points: public functions of the sim-core crates.
+    for entry in 0..ws.fns.len() {
+        let f = &ws.fns[entry];
+        let file = &ws.files[f.file];
+        let Some(rest) = file.path.strip_prefix("crates/") else {
+            continue;
+        };
+        let Some((krate, sub)) = rest.split_once('/') else {
+            continue;
+        };
+        if !P2_CRATES.contains(&krate) || !sub.starts_with("src/") {
+            continue;
+        }
+        if !f.item.is_pub || f.in_test || file.allows.allows(Rule::P2, f.item.line) {
+            continue;
+        }
+        if let Some(path) = shortest_panic_path(ws, entry, &live_panic) {
+            let hops: Vec<String> = path.iter().map(|&id| ws.label(id)).collect();
+            let last = *path.last().unwrap_or(&entry);
+            let site = ws.panics[last]
+                .iter()
+                .find(|p| {
+                    let lf = &ws.files[ws.fns[last].file];
+                    !lf.allows.allows(Rule::P1, p.line) && !lf.allows.allows(Rule::P2, p.line)
+                })
+                .map(|p| {
+                    format!(
+                        "`{}` at {}:{}",
+                        p.what, ws.files[ws.fns[last].file].path, p.line
+                    )
+                })
+                .unwrap_or_else(|| "a panic site".to_string());
+            findings.push(finding(
+                ws,
+                Rule::P2,
+                f.file,
+                f.item.line,
+                f.item.col,
+                format!(
+                    "public `{}` can reach a panic: {} -> {}",
+                    f.item.qual,
+                    hops.join(" -> "),
+                    site
+                ),
+            ));
+        }
+    }
+}
+
+/// BFS over the call graph from `entry`; returns the shortest path (as
+/// function ids, entry first) to a function with a live panic site.
+fn shortest_panic_path(ws: &Workspace, entry: FnId, live_panic: &[bool]) -> Option<Vec<FnId>> {
+    let mut parent: BTreeMap<FnId, FnId> = BTreeMap::new();
+    let mut seen: BTreeSet<FnId> = BTreeSet::new();
+    let mut queue = VecDeque::new();
+    seen.insert(entry);
+    queue.push_back(entry);
+    while let Some(id) = queue.pop_front() {
+        if live_panic[id] {
+            let mut path = vec![id];
+            let mut cur = id;
+            while let Some(&p) = parent.get(&cur) {
+                path.push(p);
+                cur = p;
+            }
+            path.reverse();
+            return Some(path);
+        }
+        for call in &ws.calls[id] {
+            for &t in &call.targets {
+                if seen.insert(t) {
+                    parent.insert(t, id);
+                    queue.push_back(t);
+                }
+            }
+        }
+    }
+    None
+}
+
+// --- U1: unit safety ------------------------------------------------------
+
+/// The unit of an integer-valued expression.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Unit {
+    /// A byte address in the simulated physical address space.
+    Byte,
+    /// A word index within a line (0..words_per_line).
+    Word,
+    /// A line address (byte address / line size).
+    Line,
+    /// A set index (line address masked to 0..num_sets).
+    Set,
+}
+
+impl Unit {
+    fn describe(self) -> &'static str {
+        match self {
+            Unit::Byte => "byte-address",
+            Unit::Word => "word-index",
+            Unit::Line => "line-address",
+            Unit::Set => "set-index",
+        }
+    }
+}
+
+/// What the operand tracker knows about a value.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Tracked {
+    /// A unit-bearing newtype (`Addr`, `LineAddr`, `WordIndex`): safe by
+    /// construction until `.raw()`/`.get()` unwraps it.
+    Typed(Newtype),
+    /// A bare integer carrying a unit.
+    Int(Unit),
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Newtype {
+    Addr,
+    LineAddr,
+    WordIndex,
+}
+
+impl Newtype {
+    fn unit(self) -> Unit {
+        match self {
+            Newtype::Addr => Unit::Byte,
+            Newtype::LineAddr => Unit::Line,
+            Newtype::WordIndex => Unit::Word,
+        }
+    }
+
+    fn of_type_name(name: &str) -> Option<Newtype> {
+        match name {
+            "Addr" => Some(Newtype::Addr),
+            "LineAddr" => Some(Newtype::LineAddr),
+            "WordIndex" => Some(Newtype::WordIndex),
+            _ => None,
+        }
+    }
+}
+
+const INT_TYPES: &[&str] = &[
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize",
+];
+
+/// Unit implied by an identifier per the workspace naming convention.
+/// Matches whole `_`-separated parts, so `offset` never matches `set`.
+pub fn name_unit(name: &str) -> Option<Unit> {
+    let lower = name.to_ascii_lowercase();
+    let parts: Vec<&str> = lower.split('_').collect();
+    let has = |p: &str| parts.contains(&p);
+    if has("word") && (has("idx") || has("index") || has("i")) || lower == "widx" {
+        return Some(Unit::Word);
+    }
+    if has("set") && (has("idx") || has("index")) {
+        return Some(Unit::Set);
+    }
+    if has("line") {
+        return Some(Unit::Line);
+    }
+    if has("addr") || has("address") || has("byte") {
+        return Some(Unit::Byte);
+    }
+    None
+}
+
+/// Is U1 in force for this path? Sim-crate sources only: that is where
+/// the address algebra lives; experiments code consumes reports, not
+/// addresses.
+fn in_unit_scope(path: &str) -> bool {
+    let Some(rest) = path.strip_prefix("crates/") else {
+        return false;
+    };
+    let Some((krate, sub)) = rest.split_once('/') else {
+        return false;
+    };
+    crate::SIM_CRATES.contains(&krate) && sub.starts_with("src/")
+}
+
+/// Per-function variable table: name → tracked provenance.
+type VarMap = BTreeMap<String, Tracked>;
+
+fn u1(ws: &Workspace, findings: &mut Vec<Finding>) {
+    for id in 0..ws.fns.len() {
+        let f = &ws.fns[id];
+        let file = &ws.files[f.file];
+        if !in_unit_scope(&file.path) || f.in_test {
+            continue;
+        }
+        let toks = &file.tokens;
+        let mut vars = VarMap::new();
+        for p in &f.item.params {
+            let ty_last = p.ty.rsplit(' ').next().unwrap_or(&p.ty);
+            if let Some(nt) = Newtype::of_type_name(ty_last) {
+                vars.insert(p.name.clone(), Tracked::Typed(nt));
+            } else if INT_TYPES.contains(&ty_last) {
+                if let Some(u) = name_unit(&p.name) {
+                    vars.insert(p.name.clone(), Tracked::Int(u));
+                }
+            }
+        }
+        let body = f.item.body.clone();
+        collect_lets(toks, body.clone(), &mut vars);
+        check_body(ws, id, &vars, findings);
+    }
+}
+
+/// Walks a body once, recording `let` bindings whose declared type or
+/// initializer has known provenance. Shadowing keeps the latest binding;
+/// that is the reaching definition for everything after it, which is the
+/// only place the checks look.
+fn collect_lets(toks: &[Token], body: Range<usize>, vars: &mut VarMap) {
+    let mut i = body.start;
+    while i < body.end {
+        if !toks[i].is_ident("let") {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        if toks.get(j).is_some_and(|t| t.is_ident("mut")) {
+            j += 1;
+        }
+        let Some(name_tok) = toks.get(j) else { break };
+        if name_tok.kind != TokKind::Ident {
+            i = j;
+            continue;
+        }
+        let name = name_tok.text.clone();
+        j += 1;
+        // Optional `: Type`.
+        let mut declared: Option<Tracked> = None;
+        if toks.get(j).is_some_and(|t| t.is_punct(':')) {
+            let ty_start = j + 1;
+            let mut k = ty_start;
+            while k < body.end && !toks[k].is_punct('=') && !toks[k].is_punct(';') {
+                k += 1;
+            }
+            if let Some(last_ident) = toks[ty_start..k]
+                .iter()
+                .rev()
+                .find(|t| t.kind == TokKind::Ident)
+            {
+                if let Some(nt) = Newtype::of_type_name(&last_ident.text) {
+                    declared = Some(Tracked::Typed(nt));
+                } else if INT_TYPES.contains(&last_ident.text.as_str()) {
+                    declared = name_unit(&name).map(Tracked::Int);
+                }
+            }
+            j = k;
+        }
+        if !toks.get(j).is_some_and(|t| t.is_punct('=')) {
+            i = j;
+            continue;
+        }
+        // Initializer runs to the `;` at depth 0; bail on `{` (block
+        // initializers are not simple operands anyway).
+        let init_start = j + 1;
+        let mut depth = 0i32;
+        let mut k = init_start;
+        let mut end = None;
+        while k < body.end {
+            let t = &toks[k];
+            if t.is_punct('(') || t.is_punct('[') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') {
+                depth -= 1;
+            } else if t.is_punct('{') {
+                break;
+            } else if depth == 0 && t.is_punct(';') {
+                end = Some(k);
+                break;
+            }
+            k += 1;
+        }
+        if let Some(end) = end {
+            let inferred = operand_unit(toks, init_start..end, vars);
+            match declared.or(inferred) {
+                Some(tr) => {
+                    vars.insert(name, tr);
+                }
+                None => {
+                    // Unknown provenance shadows any previous binding.
+                    vars.remove(&name);
+                }
+            }
+            i = end + 1;
+        } else {
+            if let Some(tr) = declared {
+                vars.insert(name, tr);
+            }
+            i = k + 1;
+        }
+    }
+}
+
+/// Accessor methods that produce a known newtype regardless of receiver.
+fn accessor_newtype(name: &str) -> Option<Newtype> {
+    match name {
+        "word_index" => Some(Newtype::WordIndex),
+        "line_addr" => Some(Newtype::LineAddr),
+        "line_base" | "word_base" => Some(Newtype::Addr),
+        _ => None,
+    }
+}
+
+/// The unit of a *simple operand*: an identifier or `Type::new(...)`
+/// base followed by a method chain, with an optional trailing `as <int>`
+/// cast. Anything else — literals, arithmetic, unknown methods — is
+/// untracked (`None`), which keeps the rule quiet rather than clever.
+fn operand_unit(toks: &[Token], range: Range<usize>, vars: &VarMap) -> Option<Tracked> {
+    let mut end = range.end;
+    // Strip `as <type ident>` suffixes (casts preserve units).
+    while end >= range.start + 2
+        && toks[end - 1].kind == TokKind::Ident
+        && toks[end - 2].is_ident("as")
+    {
+        end -= 2;
+    }
+    if end <= range.start {
+        return None;
+    }
+    let mut i = range.start;
+    // Base: `ident`, `Type::new(...)` or `Type::default()`.
+    let base_tok = &toks[i];
+    if base_tok.kind != TokKind::Ident {
+        return None;
+    }
+    let mut state: Option<Tracked>;
+    if i + 1 < end && toks[i + 1].is_punct(':') {
+        // `Type::method(...)` base.
+        if i + 3 >= end || !toks[i + 2].is_punct(':') || toks[i + 3].kind != TokKind::Ident {
+            return None;
+        }
+        let ty = Newtype::of_type_name(&base_tok.text);
+        let method = &toks[i + 3].text;
+        if i + 4 >= end || !toks[i + 4].is_punct('(') {
+            return None;
+        }
+        let close = matching_close(toks, i + 4, end)?;
+        state = match (ty, method.as_str()) {
+            (Some(nt), "new") => Some(Tracked::Typed(nt)),
+            _ => None,
+        };
+        state?;
+        i = close + 1;
+    } else {
+        state = vars.get(&base_tok.text).copied();
+        // An untracked base still matters when a chain follows: the chain
+        // may establish provenance (`geom.word_index(a).get()`).
+        i += 1;
+    }
+    // Method chain.
+    while i < end {
+        if !toks[i].is_punct('.') {
+            return None; // not a simple operand
+        }
+        let name_tok = toks.get(i + 1)?;
+        if name_tok.kind != TokKind::Ident {
+            return None;
+        }
+        let method = name_tok.text.as_str();
+        if !toks.get(i + 2).is_some_and(|t| t.is_punct('(')) {
+            // Field access: drop tracking but keep walking.
+            state = None;
+            i += 2;
+            continue;
+        }
+        let close = matching_close(toks, i + 2, end)?;
+        state = match method {
+            m if accessor_newtype(m).is_some() => accessor_newtype(m).map(Tracked::Typed),
+            "set_index" => Some(Tracked::Int(Unit::Set)),
+            "raw" => match state {
+                Some(Tracked::Typed(nt)) => Some(Tracked::Int(nt.unit())),
+                _ => None,
+            },
+            "get" | "as_usize" => match state {
+                Some(Tracked::Typed(Newtype::WordIndex)) => Some(Tracked::Int(Unit::Word)),
+                Some(Tracked::Typed(_)) => None,
+                other => other,
+            },
+            _ => None,
+        };
+        i = close + 1;
+    }
+    state
+}
+
+/// Index of the `)`/`]` matching the opener at `open`, bounded by `end`.
+fn matching_close(toks: &[Token], open: usize, end: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (k, t) in toks.iter().enumerate().take(end).skip(open) {
+        if t.is_punct('(') || t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+/// The largest simple operand ending at token index `end` (exclusive).
+fn operand_before(toks: &[Token], end: usize) -> Option<Range<usize>> {
+    let mut i = end;
+    // Optional cast: `... as u64` — the cast's type ident sits at end-1.
+    while i >= 2 && toks[i - 1].kind == TokKind::Ident && toks[i - 2].is_ident("as") {
+        i -= 2;
+    }
+    let mut start = i;
+    loop {
+        if start == 0 {
+            break;
+        }
+        let t = &toks[start - 1];
+        if t.is_punct(')') || t.is_punct(']') {
+            // Walk back over the balanced group.
+            let mut depth = 0i32;
+            let mut k = start - 1;
+            loop {
+                let t2 = &toks[k];
+                if t2.is_punct(')') || t2.is_punct(']') {
+                    depth += 1;
+                } else if t2.is_punct('(') || t2.is_punct('[') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                if k == 0 {
+                    return None;
+                }
+                k -= 1;
+            }
+            start = k;
+            continue;
+        }
+        if t.kind == TokKind::Ident {
+            start -= 1;
+            // Keep going over `.` / `::` chains.
+            if start >= 1 && toks[start - 1].is_punct('.') {
+                start -= 1;
+                continue;
+            }
+            if start >= 2 && toks[start - 1].is_punct(':') && toks[start - 2].is_punct(':') {
+                start -= 2;
+                continue;
+            }
+            break;
+        }
+        break;
+    }
+    (start < end).then_some(start..end)
+}
+
+/// The largest simple operand starting at token index `start`.
+fn operand_after(toks: &[Token], start: usize, limit: usize) -> Option<Range<usize>> {
+    let mut i = start;
+    if i >= limit || toks[i].kind != TokKind::Ident {
+        return None;
+    }
+    i += 1;
+    loop {
+        if i + 1 < limit && toks[i].is_punct(':') && toks[i + 1].is_punct(':') {
+            if i + 2 < limit && toks[i + 2].kind == TokKind::Ident {
+                i += 3;
+                continue;
+            }
+            return None;
+        }
+        if i < limit && (toks[i].is_punct('(') || toks[i].is_punct('[')) {
+            let close = matching_close(toks, i, limit)?;
+            i = close + 1;
+            continue;
+        }
+        if i + 1 < limit && toks[i].is_punct('.') && toks[i + 1].kind == TokKind::Ident {
+            i += 2;
+            continue;
+        }
+        if i + 1 < limit && toks[i].is_ident("as") {
+            // handled by caller? no: `x as u64` — consume the cast.
+            i += 1;
+            continue;
+        }
+        break;
+    }
+    Some(start..i)
+}
+
+/// Binary operators U1 checks for cross-unit mixing. `(text, tokens)`
+/// where tokens is how many `Punct` tokens the operator spans.
+fn binary_op_at(toks: &[Token], i: usize) -> Option<(&'static str, usize)> {
+    let t = &toks[i];
+    let next = toks.get(i + 1);
+    let is = |c: char| t.is_punct(c);
+    let next_is = |c: char| next.is_some_and(|n| n.is_punct(c));
+    if is('+') {
+        return Some(if next_is('=') { ("+=", 2) } else { ("+", 1) });
+    }
+    if is('-') {
+        if next_is('>') {
+            return None;
+        }
+        return Some(if next_is('=') { ("-=", 2) } else { ("-", 1) });
+    }
+    if is('=') && next_is('=') {
+        return Some(("==", 2));
+    }
+    if is('!') && next_is('=') {
+        return Some(("!=", 2));
+    }
+    if is('<') {
+        if next_is('<') {
+            return None; // shifts change units legitimately
+        }
+        return Some(if next_is('=') { ("<=", 2) } else { ("<", 1) });
+    }
+    if is('>') {
+        if next_is('>') {
+            return None;
+        }
+        return Some(if next_is('=') { (">=", 2) } else { (">", 1) });
+    }
+    None
+}
+
+fn check_body(ws: &Workspace, id: FnId, vars: &VarMap, findings: &mut Vec<Finding>) {
+    let f = &ws.fns[id];
+    let file = &ws.files[f.file];
+    let toks = &file.tokens;
+    let int_unit = |range: Range<usize>| -> Option<Unit> {
+        match operand_unit(toks, range, vars) {
+            Some(Tracked::Int(u)) => Some(u),
+            _ => None,
+        }
+    };
+    let body = f.item.body.clone();
+    let mut i = body.start;
+    while i < body.end {
+        let t = &toks[i];
+        let line = t.line;
+        // 1. Cross-unit binary arithmetic / comparison.
+        if t.kind == TokKind::Punct {
+            if let Some((op, width)) = binary_op_at(toks, i) {
+                // Binary use needs a left operand; unary minus and
+                // pattern contexts have none.
+                let binary = i > body.start
+                    && (toks[i - 1].kind == TokKind::Ident
+                        || toks[i - 1].is_punct(')')
+                        || toks[i - 1].is_punct(']'));
+                if binary {
+                    let lhs = operand_before(toks, i).and_then(&int_unit);
+                    let rhs = operand_after(toks, i + width, body.end).and_then(&int_unit);
+                    if let (Some(a), Some(b)) = (lhs, rhs) {
+                        if a != b && !file.allows.allows(Rule::U1, line) {
+                            findings.push(finding(
+                                ws,
+                                Rule::U1,
+                                f.file,
+                                line,
+                                t.col,
+                                format!(
+                                    "cross-unit `{op}`: {} value mixed with {} value without a geometry conversion",
+                                    a.describe(),
+                                    b.describe()
+                                ),
+                            ));
+                        }
+                    }
+                    i += width;
+                    continue;
+                }
+            }
+            // 2. Raw indexing by a byte/line-valued integer.
+            if t.is_punct('[') && i > body.start {
+                let prev = &toks[i - 1];
+                let indexes =
+                    prev.kind == TokKind::Ident || prev.is_punct(')') || prev.is_punct(']');
+                if indexes {
+                    if let Some(close) = matching_close(toks, i, body.end) {
+                        if let Some(u) = int_unit(i + 1..close) {
+                            if matches!(u, Unit::Byte | Unit::Line)
+                                && !file.allows.allows(Rule::U1, line)
+                            {
+                                findings.push(finding(
+                                    ws,
+                                    Rule::U1,
+                                    f.file,
+                                    line,
+                                    t.col,
+                                    format!(
+                                        "indexing with a {} value; convert through the geometry (`word_index`/`set_index`) first",
+                                        u.describe()
+                                    ),
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // 3. Wrong-unit newtype construction: `Addr::new(line_valued)`.
+        if t.kind == TokKind::Ident {
+            if let Some(nt) = Newtype::of_type_name(&t.text) {
+                if toks.get(i + 1).is_some_and(|x| x.is_punct(':'))
+                    && toks.get(i + 2).is_some_and(|x| x.is_punct(':'))
+                    && toks.get(i + 3).is_some_and(|x| x.is_ident("new"))
+                    && toks.get(i + 4).is_some_and(|x| x.is_punct('('))
+                {
+                    if let Some(close) = matching_close(toks, i + 4, body.end) {
+                        if let Some(u) = int_unit(i + 5..close) {
+                            if u != nt.unit() && !file.allows.allows(Rule::U1, line) {
+                                findings.push(finding(
+                                    ws,
+                                    Rule::U1,
+                                    f.file,
+                                    line,
+                                    t.col,
+                                    format!(
+                                        "`{}::new` called with a {} value (expects a {} value); use the geometry conversion instead",
+                                        t.text,
+                                        u.describe(),
+                                        nt.unit().describe()
+                                    ),
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+    // 4. Call arguments whose unit contradicts every resolved callee.
+    for call in &ws.calls[id] {
+        let Some((args, _)) = crate::rules::split_args(toks, call.tok + 1) else {
+            continue;
+        };
+        if call.targets.is_empty() || file.allows.allows(Rule::U1, call.line) {
+            continue;
+        }
+        for (k, arg) in args.iter().enumerate() {
+            let Some(arg_unit) = int_unit(arg.clone()) else {
+                continue;
+            };
+            // The call graph over-approximates: a method call resolves to
+            // every same-name method in the workspace. Only flag when the
+            // argument's unit contradicts EVERY candidate that has a
+            // parameter in this position — a candidate whose parameter
+            // carries no unit is compatible and vetoes the finding.
+            let mut expected: BTreeSet<Unit> = BTreeSet::new();
+            let mut param_name = String::new();
+            let mut any_candidate = false;
+            let mut compatible = false;
+            for &target in &call.targets {
+                let tf = &ws.fns[target];
+                // UFCS method calls pass the receiver as argument 0.
+                let shift =
+                    usize::from(matches!(call.callee, Callee::Path(..)) && tf.item.has_self);
+                let Some(p) = k.checked_sub(shift).and_then(|pk| tf.item.params.get(pk)) else {
+                    continue;
+                };
+                any_candidate = true;
+                let ty_last = p.ty.rsplit(' ').next().unwrap_or(&p.ty);
+                match name_unit(&p.name).filter(|_| INT_TYPES.contains(&ty_last)) {
+                    Some(u) if u != arg_unit => {
+                        expected.insert(u);
+                        param_name = p.name.clone();
+                    }
+                    _ => compatible = true,
+                }
+            }
+            if any_candidate && !compatible && !expected.is_empty() {
+                let wanted: Vec<&str> = expected.iter().map(|u| u.describe()).collect();
+                findings.push(finding(
+                    ws,
+                    Rule::U1,
+                    f.file,
+                    call.line,
+                    call.col,
+                    format!(
+                        "`{}` expects a {} value for `{param_name}`, got a {} value",
+                        call.callee.name(),
+                        wanted.join("/"),
+                        arg_unit.describe()
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+// --- D3: float determinism ------------------------------------------------
+
+/// Files D3 applies to: experiments library sources (minus the canonical
+/// merge itself) and sim-crate sources.
+fn in_d3_scope(path: &str) -> bool {
+    if path == "crates/experiments/src/parallel.rs" {
+        return false; // the canonical-order merge lives here
+    }
+    in_panic_scope(path)
+}
+
+/// Entry points whose closures run on worker threads: accumulating
+/// floats inside them merges cells in completion order.
+const D3_PARALLEL_CALLS: &[&str] = &["sweep", "sweep_with_threads", "spawn"];
+
+fn d3(ws: &Workspace, findings: &mut Vec<Finding>) {
+    for (idx, file) in ws.files.iter().enumerate() {
+        if !in_d3_scope(&file.path) {
+            continue;
+        }
+        let toks = &file.tokens;
+        // Float-typed let bindings, for the accumulation check.
+        let float_vars = collect_float_vars(toks);
+        for i in 0..toks.len() {
+            let t = &toks[i];
+            if t.kind != TokKind::Ident || file.in_tests(t.line) {
+                continue;
+            }
+            // Shared float accumulators: Mutex<f64>, RwLock<f32>,
+            // Mutex::new(0.0).
+            if (t.is_ident("Mutex") || t.is_ident("RwLock"))
+                && !file.allows.allows(Rule::D3, t.line)
+            {
+                let generic_float = toks.get(i + 1).is_some_and(|n| n.is_punct('<'))
+                    && generic_contains_float(toks, i + 1);
+                let ctor_float = toks.get(i + 1).is_some_and(|n| n.is_punct(':'))
+                    && toks.get(i + 3).is_some_and(|n| n.is_ident("new"))
+                    && toks.get(i + 4).is_some_and(|n| n.is_punct('('))
+                    && matching_close(toks, i + 4, toks.len())
+                        .is_some_and(|c| toks[i + 5..c].iter().any(is_floatish));
+                if generic_float || ctor_float {
+                    findings.push(finding(
+                        ws,
+                        Rule::D3,
+                        idx,
+                        t.line,
+                        t.col,
+                        format!(
+                            "shared `{}` over a float merges parallel cell results in completion order; collect per-cell results and reduce after the canonical-order merge (`parallel::sweep`)",
+                            t.text
+                        ),
+                    ));
+                }
+                continue;
+            }
+            // Float accumulation inside a worker closure.
+            if D3_PARALLEL_CALLS.iter().any(|c| t.is_ident(c))
+                && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+            {
+                let Some(close) = matching_close(toks, i + 1, toks.len()) else {
+                    continue;
+                };
+                scan_closure_accumulation(ws, idx, i + 2..close, &float_vars, findings);
+            }
+        }
+    }
+}
+
+fn is_floatish(t: &Token) -> bool {
+    t.kind == TokKind::Float || t.is_ident("f64") || t.is_ident("f32")
+}
+
+fn generic_contains_float(toks: &[Token], open: usize) -> bool {
+    let mut depth = 0i32;
+    for t in &toks[open..] {
+        if t.is_punct('<') {
+            depth += 1;
+        } else if t.is_punct('>') {
+            depth -= 1;
+            if depth == 0 {
+                return false;
+            }
+        } else if t.is_punct(';') || t.is_punct('{') {
+            return false;
+        } else if is_floatish(t) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Names of `let`-bound variables with float provenance (declared
+/// `f64`/`f32` or initialized from a float literal).
+fn collect_float_vars(toks: &[Token]) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    let mut i = 0usize;
+    while i + 2 < toks.len() {
+        if toks[i].is_ident("let") {
+            let mut j = i + 1;
+            if toks[j].is_ident("mut") {
+                j += 1;
+            }
+            if toks[j].kind == TokKind::Ident {
+                let name = toks[j].text.clone();
+                // Look ahead to the end of the statement for float signs.
+                let mut k = j + 1;
+                let mut floaty = false;
+                let mut depth = 0i32;
+                while k < toks.len() {
+                    let t = &toks[k];
+                    if t.is_punct('(') || t.is_punct('[') {
+                        depth += 1;
+                    } else if t.is_punct(')') || t.is_punct(']') {
+                        depth -= 1;
+                    } else if t.is_punct('{') || (depth == 0 && t.is_punct(';')) {
+                        break;
+                    } else if is_floatish(t) {
+                        floaty = true;
+                    }
+                    k += 1;
+                }
+                if floaty {
+                    out.insert(name);
+                }
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Flags float compound assignment and `sum::<f64>` reductions inside a
+/// worker-closure token range.
+fn scan_closure_accumulation(
+    ws: &Workspace,
+    file_idx: usize,
+    range: Range<usize>,
+    float_vars: &BTreeSet<String>,
+    findings: &mut Vec<Finding>,
+) {
+    let file = &ws.files[file_idx];
+    let toks = &file.tokens;
+    // Only closures merge results in completion order; a plain
+    // `sweep(&items, job)` where `job` is a named fn cannot capture an
+    // accumulator. Require a `|` inside the args before flagging.
+    if !toks[range.clone()].iter().any(|t| t.is_punct('|')) {
+        return;
+    }
+    let mut i = range.start;
+    while i < range.end {
+        let t = &toks[i];
+        // `lhs += rhs` (and -=, *=, /=) with float evidence on either side.
+        if t.kind == TokKind::Punct
+            && ["+", "-", "*", "/"].iter().any(|c| t.text == *c)
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('='))
+        {
+            let lhs_float = operand_before(toks, i).is_some_and(|r| {
+                toks[r.clone()].iter().any(|x| {
+                    is_floatish(x)
+                        || (x.kind == TokKind::Ident && float_vars.contains(&x.text))
+                        || x.is_ident("lock")
+                })
+            });
+            let rhs_float = {
+                let mut k = i + 2;
+                let mut found = false;
+                let mut depth = 0i32;
+                while k < range.end {
+                    let x = &toks[k];
+                    if x.is_punct('(') || x.is_punct('[') {
+                        depth += 1;
+                    } else if x.is_punct(')') || x.is_punct(']') {
+                        if depth == 0 {
+                            break;
+                        }
+                        depth -= 1;
+                    } else if depth == 0 && (x.is_punct(';') || x.is_punct(',')) {
+                        break;
+                    } else if is_floatish(x)
+                        || (x.kind == TokKind::Ident && float_vars.contains(&x.text))
+                    {
+                        found = true;
+                    }
+                    k += 1;
+                }
+                found
+            };
+            if (lhs_float || rhs_float)
+                && !file.in_tests(t.line)
+                && !file.allows.allows(Rule::D3, t.line)
+            {
+                findings.push(finding(
+                    ws,
+                    Rule::D3,
+                    file_idx,
+                    t.line,
+                    t.col,
+                    format!(
+                        "float `{}=` inside a parallel worker closure accumulates cells in completion order; return the value and reduce after the canonical-order merge",
+                        t.text
+                    ),
+                ));
+            }
+            i += 2;
+            continue;
+        }
+        // `.sum::<f64>()` / `.product::<f32>()` inside the closure.
+        if (t.is_ident("sum") || t.is_ident("product"))
+            && i > range.start
+            && toks[i - 1].is_punct('.')
+            && toks.get(i + 1).is_some_and(|n| n.is_punct(':'))
+            && generic_contains_float(toks, i + 3)
+            && !file.in_tests(t.line)
+            && !file.allows.allows(Rule::D3, t.line)
+        {
+            findings.push(finding(
+                ws,
+                Rule::D3,
+                file_idx,
+                t.line,
+                t.col,
+                format!(
+                    "float `.{}()` reduction inside a parallel worker closure; reduce after the canonical-order merge",
+                    t.text
+                ),
+            ));
+        }
+        i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(files: &[(&str, &str)]) -> Vec<Finding> {
+        let owned: Vec<(String, String)> = files
+            .iter()
+            .map(|(p, s)| ((*p).to_string(), (*s).to_string()))
+            .collect();
+        scan_model(&owned, &AnalysisConfig::default())
+    }
+
+    fn rules_of(findings: &[Finding]) -> Vec<&str> {
+        findings.iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn p2_reports_the_shortest_transitive_path() {
+        let found = scan(&[(
+            "crates/sfp/src/lib.rs",
+            "fn deep(v: Option<u8>) -> u8 { v.unwrap() }\n\
+             fn mid(v: Option<u8>) -> u8 { deep(v) }\n\
+             pub fn entry(v: Option<u8>) -> u8 { mid(v) }\n",
+        )]);
+        let p2: Vec<&Finding> = found.iter().filter(|f| f.rule == "P2").collect();
+        assert_eq!(p2.len(), 1);
+        assert_eq!(p2[0].line, 3);
+        assert!(p2[0].message.contains("entry (crates/sfp/src/lib.rs:3)"));
+        assert!(p2[0].message.contains("mid (crates/sfp/src/lib.rs:2)"));
+        assert!(p2[0].message.contains("deep (crates/sfp/src/lib.rs:1)"));
+        assert!(p2[0]
+            .message
+            .contains("`.unwrap()` at crates/sfp/src/lib.rs:1"));
+    }
+
+    #[test]
+    fn p2_respects_waivers_and_test_code() {
+        let clean = scan(&[(
+            "crates/sfp/src/lib.rs",
+            "fn deep(v: Option<u8>) -> u8 { v.unwrap() } // ldis: allow(P1, \"guarded by caller\")\n\
+             pub fn entry(v: Option<u8>) -> u8 { deep(v) }\n\
+             #[cfg(test)]\n\
+             mod tests { pub fn t(v: Option<u8>) -> u8 { v.unwrap() } }\n",
+        )]);
+        assert!(rules_of(&clean).iter().all(|r| *r != "P2"), "{clean:?}");
+    }
+
+    #[test]
+    fn p2_ignores_panics_outside_sim_core_entry_crates() {
+        // A panic in the experiments crate is in panic scope, but only
+        // sim-core pub fns are entry points; a pub fn in workloads (not a
+        // P2 crate) reaching it is not reported.
+        let found = scan(&[(
+            "crates/workloads/src/lib.rs",
+            "pub fn entry(v: Option<u8>) -> u8 { v.unwrap() }\n",
+        )]);
+        assert!(rules_of(&found).iter().all(|r| *r != "P2"));
+    }
+
+    #[test]
+    fn u1_flags_cross_unit_arithmetic_and_indexing() {
+        let found = scan(&[(
+            "crates/mem/src/fixture.rs",
+            "pub fn f(addr: u64, line_addr: u64, words: &[u64]) -> u64 {\n\
+             let x = addr + line_addr;\n\
+             let w = words[addr as usize];\n\
+             x + w\n\
+             }\n",
+        )]);
+        let u1: Vec<&Finding> = found.iter().filter(|f| f.rule == "U1").collect();
+        assert_eq!(u1.len(), 2, "{u1:?}");
+        assert!(u1[0].message.contains("cross-unit `+`"));
+        assert!(u1[1].message.contains("indexing with a byte-address"));
+    }
+
+    #[test]
+    fn u1_tracks_geometry_chains_and_newtype_misuse() {
+        let found = scan(&[(
+            "crates/mem/src/fixture.rs",
+            "pub fn f(geom: &LineGeometry, addr: Addr, store: &[u64]) -> u64 {\n\
+             let byte = addr.raw();\n\
+             let _bad = LineAddr::new(byte);\n\
+             store[addr.raw() as usize]\n\
+             }\n",
+        )]);
+        let u1: Vec<&Finding> = found.iter().filter(|f| f.rule == "U1").collect();
+        assert_eq!(u1.len(), 2, "{u1:?}");
+        assert!(u1[0]
+            .message
+            .contains("`LineAddr::new` called with a byte-address"));
+        assert!(u1[1].message.contains("indexing with a byte-address"));
+    }
+
+    #[test]
+    fn u1_accepts_proper_conversions() {
+        let found = scan(&[(
+            "crates/mem/src/fixture.rs",
+            "pub fn f(geom: &LineGeometry, addr: Addr, store: &[u64]) -> u64 {\n\
+             let w = geom.word_index(addr).as_usize();\n\
+             let line = geom.line_addr(addr);\n\
+             let _back = geom.line_base(line);\n\
+             store[w]\n\
+             }\n",
+        )]);
+        assert!(rules_of(&found).iter().all(|r| *r != "U1"), "{found:?}");
+    }
+
+    #[test]
+    fn u1_checks_call_argument_units() {
+        let found = scan(&[(
+            "crates/mem/src/fixture.rs",
+            "fn lookup(word_idx: usize) -> u64 { word_idx as u64 }\n\
+             pub fn f(addr: u64) -> u64 { lookup(addr as usize) }\n",
+        )]);
+        let u1: Vec<&Finding> = found.iter().filter(|f| f.rule == "U1").collect();
+        assert_eq!(u1.len(), 1, "{u1:?}");
+        assert!(u1[0].message.contains("expects a word-index"));
+    }
+
+    #[test]
+    fn d3_flags_shared_float_accumulators_and_closure_sums() {
+        let found = scan(&[(
+            "crates/experiments/src/fixture.rs",
+            "pub fn f(cells: &[u64]) -> f64 {\n\
+             let total = Mutex::new(0.0f64);\n\
+             sweep(cells, |c| { let mpki = *c as f64; *total.lock().unwrap() += mpki; });\n\
+             let t = *total.lock().unwrap(); t\n\
+             }\n",
+        )]);
+        let d3: Vec<&Finding> = found.iter().filter(|f| f.rule == "D3").collect();
+        assert_eq!(d3.len(), 2, "{d3:?}");
+        assert!(d3[0].message.contains("shared `Mutex`"));
+        assert!(d3[1].message.contains("float `+=`"));
+    }
+
+    #[test]
+    fn d3_is_silent_on_canonical_order_reduction() {
+        let found = scan(&[(
+            "crates/experiments/src/fixture.rs",
+            "pub fn f(cells: &[u64]) -> f64 {\n\
+             let per_cell: Vec<f64> = sweep(cells, |c| *c as f64);\n\
+             let mut total = 0.0;\n\
+             for v in &per_cell { total += v; }\n\
+             total\n\
+             }\n",
+        )]);
+        assert!(rules_of(&found).iter().all(|r| *r != "D3"), "{found:?}");
+    }
+
+    #[test]
+    fn name_unit_matches_whole_parts_only() {
+        assert_eq!(name_unit("addr"), Some(Unit::Byte));
+        assert_eq!(name_unit("byte_addr"), Some(Unit::Byte));
+        assert_eq!(name_unit("line_addr"), Some(Unit::Line));
+        assert_eq!(name_unit("word_idx"), Some(Unit::Word));
+        assert_eq!(name_unit("set_index"), Some(Unit::Set));
+        assert_eq!(name_unit("offset"), None, "`offset` must not match `set`");
+        assert_eq!(name_unit("deadline"), None);
+        assert_eq!(name_unit("words"), None);
+    }
+}

@@ -28,8 +28,11 @@
 //! crate: the build environment is fully offline, so the crate carries
 //! its own Rust lexer, TOML-subset reader and JSON reader.
 
+pub mod analyze;
 pub mod json;
 pub mod lexer;
+pub mod model;
+pub mod parser;
 pub mod report;
 pub mod rules;
 pub mod toml;
@@ -164,13 +167,21 @@ pub fn scan_file(rel: &str, src: &str) -> Vec<Finding> {
 }
 
 /// Lints the whole workspace rooted at `root` and classifies the
-/// findings against `baseline`.
+/// findings against `baseline`. Runs the per-file token rules first,
+/// then the interprocedural passes (P2/U1/D3) over the call graph of
+/// every in-scope `.rs` file.
 pub fn scan_workspace(root: &Path, baseline: &Baseline) -> std::io::Result<Outcome> {
     let mut findings = Vec::new();
+    let mut sources: Vec<(String, String)> = Vec::new();
     for rel in collect_files(root)? {
         let src = std::fs::read_to_string(root.join(&rel))?;
         findings.extend(scan_file(&rel, &src));
+        if rel.ends_with(".rs") {
+            sources.push((rel, src));
+        }
     }
+    let cfg = analyze::AnalysisConfig::from_baseline(baseline);
+    findings.extend(analyze::scan_model(&sources, &cfg));
     Ok(report::classify(findings, baseline))
 }
 

@@ -11,14 +11,23 @@
 //!   --update-baseline  rewrite lint.toml from the live findings
 //!   --baseline <path>  baseline file (default: <root>/lint.toml)
 //!   --root <path>      workspace root (default: discovered from cwd)
+//!   --format <fmt>     text (default), json (machine-readable document),
+//!                      annotations (GitHub Actions workflow commands)
 //! ```
 //!
 //! Exit status: 0 clean, 1 findings (or stale baseline under `--deny`),
 //! 2 usage or I/O error.
 
-use ldis_lint::report::render;
+use ldis_lint::report::{render, render_annotation, render_json};
 use std::path::PathBuf;
 use std::process::ExitCode;
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Text,
+    Json,
+    Annotations,
+}
 
 struct Options {
     deny: bool,
@@ -27,6 +36,7 @@ struct Options {
     update_baseline: bool,
     baseline: Option<PathBuf>,
     root: Option<PathBuf>,
+    format: Format,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -37,6 +47,7 @@ fn parse_args() -> Result<Options, String> {
         update_baseline: false,
         baseline: None,
         root: None,
+        format: Format::Text,
     };
     let mut args = std::env::args().skip(1).peekable();
     // Tolerate a leading `lint` so `cargo xtask lint` works.
@@ -55,9 +66,26 @@ fn parse_args() -> Result<Options, String> {
             "--root" => {
                 opts.root = Some(PathBuf::from(args.next().ok_or("--root needs a path")?));
             }
+            "--format" => {
+                opts.format = match args.next().as_deref() {
+                    Some("text") => Format::Text,
+                    Some("json") => Format::Json,
+                    Some("annotations") => Format::Annotations,
+                    _ => return Err("--format needs one of: text, json, annotations".into()),
+                };
+            }
+            arg if arg.starts_with("--format=") => {
+                opts.format = match &arg["--format=".len()..] {
+                    "text" => Format::Text,
+                    "json" => Format::Json,
+                    "annotations" => Format::Annotations,
+                    _ => return Err("--format needs one of: text, json, annotations".into()),
+                };
+            }
             "--help" | "-h" => {
                 return Err("usage: ldis-lint [--deny|--warn] [--show-warnings] \
-                            [--update-baseline] [--baseline <path>] [--root <path>]"
+                            [--update-baseline] [--baseline <path>] [--root <path>] \
+                            [--format text|json|annotations]"
                     .into());
             }
             other => return Err(format!("unknown argument `{other}` (try --help)")),
@@ -102,7 +130,7 @@ fn main() -> ExitCode {
 
     if opts.update_baseline {
         let entries = ldis_lint::regenerate_baseline(&outcome, &baseline);
-        let text = ldis_lint::report::write_baseline(&entries);
+        let text = ldis_lint::report::write_baseline(&entries, &baseline.tiers);
         if let Err(e) = std::fs::write(&baseline_path, text) {
             eprintln!("ldis-lint: writing {}: {e}", baseline_path.display());
             return ExitCode::from(2);
@@ -116,33 +144,48 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    for f in &outcome.errors {
-        print!("{}", render(f));
-    }
-    if opts.show_warnings {
-        for f in &outcome.warnings {
-            print!("{}", render(f));
+    match opts.format {
+        Format::Json => print!("{}", render_json(&outcome)),
+        Format::Annotations => {
+            for f in &outcome.errors {
+                print!("{}", render_annotation(f));
+            }
+            if opts.show_warnings {
+                for f in &outcome.warnings {
+                    print!("{}", render_annotation(f));
+                }
+            }
+        }
+        Format::Text => {
+            for f in &outcome.errors {
+                print!("{}", render(f));
+            }
+            if opts.show_warnings {
+                for f in &outcome.warnings {
+                    print!("{}", render(f));
+                }
+            }
+            for s in &outcome.stale {
+                println!(
+                    "stale baseline: [[allow]] {} {} tolerates {} finding(s) but only {} remain — shrink the entry",
+                    s.rule, s.path, s.allowed, s.live
+                );
+            }
+            println!(
+                "ldis-lint: {} error(s), {} warning(s){}, {} baselined, {} stale baseline entr{}",
+                outcome.errors.len(),
+                outcome.warnings.len(),
+                if opts.show_warnings {
+                    ""
+                } else {
+                    " (use --show-warnings for details)"
+                },
+                outcome.baselined.len(),
+                outcome.stale.len(),
+                if outcome.stale.len() == 1 { "y" } else { "ies" },
+            );
         }
     }
-    for s in &outcome.stale {
-        println!(
-            "stale baseline: [[allow]] {} {} tolerates {} finding(s) but only {} remain — shrink the entry",
-            s.rule, s.path, s.allowed, s.live
-        );
-    }
-    println!(
-        "ldis-lint: {} error(s), {} warning(s){}, {} baselined, {} stale baseline entr{}",
-        outcome.errors.len(),
-        outcome.warnings.len(),
-        if opts.show_warnings {
-            ""
-        } else {
-            " (use --show-warnings for details)"
-        },
-        outcome.baselined.len(),
-        outcome.stale.len(),
-        if outcome.stale.len() == 1 { "y" } else { "ies" },
-    );
 
     if opts.warn {
         return ExitCode::SUCCESS;

@@ -51,12 +51,28 @@ pub struct AllowEntry {
 pub struct Baseline {
     /// All `[[allow]]` entries in file order.
     pub allows: Vec<AllowEntry>,
+    /// Per-rule tier overrides from the `[tier]` table. A rule listed
+    /// here runs at the given tier instead of its built-in default —
+    /// this is how P1X is promoted from warn to deny without a code
+    /// change, and the distinction must survive `--update-baseline`.
+    pub tiers: BTreeMap<String, Level>,
 }
 
 impl Baseline {
     /// Parses a baseline document.
     pub fn parse(src: &str) -> Result<Baseline, String> {
         let doc = toml::parse(src)?;
+        let mut tiers = BTreeMap::new();
+        if let Some(table) = doc.tables.get("tier") {
+            for (rule, value) in table {
+                let level = match value.as_str() {
+                    Some("deny") => Level::Deny,
+                    Some("warn") => Level::Warn,
+                    _ => return Err(format!("[tier]: `{rule}` must be \"deny\" or \"warn\"")),
+                };
+                tiers.insert(rule.clone(), level);
+            }
+        }
         let mut allows = Vec::new();
         for (idx, table) in doc.arrays.get("allow").into_iter().flatten().enumerate() {
             let field = |name: &str| -> Result<&toml::Value, String> {
@@ -92,7 +108,13 @@ impl Baseline {
                 justification,
             });
         }
-        Ok(Baseline { allows })
+        Ok(Baseline { allows, tiers })
+    }
+
+    /// The effective tier for a finding: the `[tier]` override when the
+    /// rule has one, the rule's built-in default otherwise.
+    pub fn tier_of(&self, rule: &str, default: Level) -> Level {
+        self.tiers.get(rule).copied().unwrap_or(default)
     }
 
     /// Tolerated finding count per (rule, path).
@@ -144,7 +166,8 @@ pub fn classify(findings: Vec<Finding>, baseline: &Baseline) -> Outcome {
     let mut out = Outcome::default();
     let allowed = baseline.counts();
     let mut by_key: BTreeMap<(String, String), Vec<Finding>> = BTreeMap::new();
-    for f in findings {
+    for mut f in findings {
+        f.level = baseline.tier_of(f.rule, f.level);
         match f.level {
             Level::Warn => out.warnings.push(f),
             Level::Deny => by_key
@@ -206,9 +229,94 @@ pub fn render(f: &Finding) -> String {
     s
 }
 
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn finding_json(f: &Finding) -> String {
+    format!(
+        "{{\"rule\":\"{}\",\"level\":\"{}\",\"path\":\"{}\",\"line\":{},\"col\":{},\"message\":\"{}\"}}",
+        json_escape(f.rule),
+        match f.level {
+            Level::Deny => "deny",
+            Level::Warn => "warn",
+        },
+        json_escape(&f.path),
+        f.line,
+        f.col,
+        json_escape(&f.message),
+    )
+}
+
+/// Renders a whole outcome as a machine-readable JSON document, for CI
+/// consumers (the GitHub-annotation step) and external tooling. The
+/// shape is stable: `errors`/`warnings` are arrays of finding objects,
+/// `stale` is an array of baseline-entry objects, `baselined` is a
+/// count.
+pub fn render_json(outcome: &Outcome) -> String {
+    let list = |fs: &[Finding]| fs.iter().map(finding_json).collect::<Vec<_>>().join(",");
+    let stale = outcome
+        .stale
+        .iter()
+        .map(|s| {
+            format!(
+                "{{\"rule\":\"{}\",\"path\":\"{}\",\"allowed\":{},\"live\":{}}}",
+                json_escape(&s.rule),
+                json_escape(&s.path),
+                s.allowed,
+                s.live
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    format!(
+        "{{\"errors\":[{}],\"warnings\":[{}],\"baselined\":{},\"stale\":[{}]}}\n",
+        list(&outcome.errors),
+        list(&outcome.warnings),
+        outcome.baselined.len(),
+        stale
+    )
+}
+
+/// Renders one finding as a GitHub Actions workflow command, so CI runs
+/// surface findings as inline annotations on the PR diff.
+pub fn render_annotation(f: &Finding) -> String {
+    let kind = match f.level {
+        Level::Deny => "error",
+        Level::Warn => "warning",
+    };
+    // Workflow commands need %, CR and LF escaped in the message body.
+    let msg = f
+        .message
+        .replace('%', "%25")
+        .replace('\r', "%0D")
+        .replace('\n', "%0A");
+    format!(
+        "::{kind} file={},line={},col={},title=ldis-lint {}::{msg}\n",
+        f.path, f.line, f.col, f.rule
+    )
+}
+
 /// Serializes a baseline back to `lint.toml` form (used by
-/// `--update-baseline`). Entries are sorted by rule then path.
-pub fn write_baseline(entries: &[AllowEntry]) -> String {
+/// `--update-baseline`). Entries are sorted by rule then path, and the
+/// `[tier]` table — which `--update-baseline` must never drop, or a
+/// regeneration would silently demote P1X back to warn — is emitted
+/// first.
+pub fn write_baseline(entries: &[AllowEntry], tiers: &BTreeMap<String, Level>) -> String {
     let mut sorted: Vec<&AllowEntry> = entries.iter().collect();
     sorted.sort_by(|a, b| (&a.rule, &a.path).cmp(&(&b.rule, &b.path)));
     let mut s = String::from(
@@ -217,10 +325,25 @@ pub fn write_baseline(entries: &[AllowEntry]) -> String {
          # Each [[allow]] entry tolerates `count` findings of `rule` in `path`,\n\
          # with a justification for why the debt is acceptable. The count is\n\
          # exact: paying debt down without shrinking the entry fails `--deny`\n\
-         # (stale baseline), and adding debt fails any mode. Regenerate with\n\
+         # (stale baseline), and adding debt fails any mode. The [tier] table\n\
+         # overrides a rule's built-in tier. Regenerate with\n\
          # `cargo run -p ldis-lint -- --update-baseline` and then re-justify\n\
          # any `TODO` entries it leaves behind.\n",
     );
+    if !tiers.is_empty() {
+        s.push_str("\n[tier]\n");
+        for (rule, level) in tiers {
+            let _ = writeln!(
+                s,
+                "{} = \"{}\"",
+                toml::escape(rule),
+                match level {
+                    Level::Deny => "deny",
+                    Level::Warn => "warn",
+                }
+            );
+        }
+    }
     for e in sorted {
         let _ = write!(
             s,
@@ -320,6 +443,34 @@ mod tests {
     }
 
     #[test]
+    fn json_output_is_machine_readable() {
+        let out = classify(
+            vec![
+                finding("P1", "a \"b\".rs", 1, Level::Deny),
+                finding("P1X", "c.rs", 2, Level::Warn),
+            ],
+            &Baseline::default(),
+        );
+        let text = render_json(&out);
+        assert!(text.contains("\"errors\":[{\"rule\":\"P1\""));
+        assert!(text.contains("\"path\":\"a \\\"b\\\".rs\""));
+        assert!(text.contains("\"warnings\":[{\"rule\":\"P1X\""));
+        assert!(text.contains("\"baselined\":0"));
+        assert!(text.ends_with("]}\n"));
+    }
+
+    #[test]
+    fn annotations_escape_workflow_commands() {
+        let mut f = finding("P2", "a.rs", 3, Level::Deny);
+        f.message = "path: x -> y\n50% of calls".into();
+        let text = render_annotation(&f);
+        assert_eq!(
+            text,
+            "::error file=a.rs,line=3,col=1,title=ldis-lint P2::path: x -> y%0A50%25 of calls\n"
+        );
+    }
+
+    #[test]
     fn write_baseline_round_trips() {
         let entries = vec![AllowEntry {
             rule: "P1".into(),
@@ -327,9 +478,37 @@ mod tests {
             count: 2,
             justification: "says \"why\"".into(),
         }];
-        let text = write_baseline(&entries);
+        let mut tiers = BTreeMap::new();
+        tiers.insert("P1X".to_string(), Level::Deny);
+        tiers.insert("D9".to_string(), Level::Warn);
+        let text = write_baseline(&entries, &tiers);
         let back = Baseline::parse(&text).expect("round trip");
         assert_eq!(back.allows.len(), 1);
         assert_eq!(back.allows[0].justification, "says \"why\"");
+        // Tier overrides — including the justifications on the entries —
+        // must survive a full write/parse cycle, or --update-baseline
+        // would silently demote promoted rules.
+        assert_eq!(back.tiers, tiers);
+        let again = write_baseline(&back.allows, &back.tiers);
+        assert_eq!(again, text, "regeneration is a fixed point");
+    }
+
+    #[test]
+    fn tier_overrides_promote_and_demote() {
+        let baseline = Baseline::parse("[tier]\nP1X = \"deny\"\nD1 = \"warn\"\n").expect("parses");
+        let out = classify(
+            vec![
+                finding("P1X", "a.rs", 1, Level::Warn),
+                finding("D1", "a.rs", 2, Level::Deny),
+                finding("P1", "a.rs", 3, Level::Deny),
+            ],
+            &baseline,
+        );
+        assert_eq!(out.errors.len(), 2, "{:?}", out.errors);
+        assert_eq!(out.errors[0].rule, "P1X");
+        assert_eq!(out.errors[0].level, Level::Deny);
+        assert_eq!(out.warnings.len(), 1);
+        assert_eq!(out.warnings[0].rule, "D1");
+        assert!(Baseline::parse("[tier]\nP1X = \"loud\"\n").is_err());
     }
 }

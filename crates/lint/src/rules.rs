@@ -28,6 +28,19 @@ pub enum Rule {
     /// Config literals in examples/benches and golden snapshots must
     /// describe possible geometries and the paper's PSEL rails.
     C1,
+    /// Interprocedural panic-reachability: public functions of the
+    /// sim-core crates must be transitively panic-free modulo the
+    /// justified `lint.toml` entries.
+    P2,
+    /// Unit safety: byte addresses, word indices, line addresses and set
+    /// indices must not mix without an explicit conversion.
+    U1,
+    /// Float determinism: no floating-point accumulation that merges
+    /// parallel-sweep cell results outside the canonical-order merge.
+    D3,
+    /// Waiver hygiene: every `// ldis: allow(RULE, "why")` must carry a
+    /// non-empty justification string.
+    W1,
 }
 
 impl Rule {
@@ -39,10 +52,15 @@ impl Rule {
             Rule::P1 => "P1",
             Rule::P1X => "P1X",
             Rule::C1 => "C1",
+            Rule::P2 => "P2",
+            Rule::U1 => "U1",
+            Rule::D3 => "D3",
+            Rule::W1 => "W1",
         }
     }
 
-    /// Default severity tier.
+    /// Default severity tier; `lint.toml`'s `[tier]` table can override
+    /// it per rule (that is how P1X is promoted to deny).
     pub fn level(self) -> Level {
         match self {
             Rule::P1X => Level::Warn,
@@ -52,8 +70,14 @@ impl Rule {
 }
 
 /// Index of `// ldis: allow(RULE, "why")` comments by line.
+///
+/// The waiver grammar is uniform across every rule, and the
+/// justification string is mandatory: a waiver whose `"why"` is missing
+/// or blank does not waive anything and is itself reported (rule `W1`).
 pub struct AllowIndex {
     by_line: BTreeMap<u32, Vec<String>>,
+    /// Waivers missing a justification: (line, rule-as-written).
+    malformed: Vec<(u32, String)>,
 }
 
 impl AllowIndex {
@@ -61,6 +85,7 @@ impl AllowIndex {
     /// its starting line.
     pub fn build(comments: &[Comment]) -> Self {
         let mut by_line: BTreeMap<u32, Vec<String>> = BTreeMap::new();
+        let mut malformed = Vec::new();
         for c in comments {
             let mut rest = c.text.as_str();
             while let Some(at) = rest.find("ldis: allow(") {
@@ -69,21 +94,40 @@ impl AllowIndex {
                     .chars()
                     .take_while(|ch| ch.is_ascii_alphanumeric())
                     .collect();
-                if !rule.is_empty() {
+                if rule.is_empty() {
+                    continue;
+                }
+                // A justification is `, "non-blank"` after the rule.
+                let tail = rest[rule.len()..].trim_start();
+                let justified = tail
+                    .strip_prefix(',')
+                    .map(str::trim_start)
+                    .and_then(|t| t.strip_prefix('"'))
+                    .and_then(|t| t.split('"').next())
+                    .is_some_and(|why| !why.trim().is_empty());
+                if justified {
                     by_line.entry(c.line).or_default().push(rule);
+                } else {
+                    malformed.push((c.line, rule));
                 }
             }
         }
-        AllowIndex { by_line }
+        AllowIndex { by_line, malformed }
     }
 
-    /// Does an allow comment on this line or the line above waive `rule`?
+    /// Does a *justified* allow comment on this line or the line above
+    /// waive `rule`?
     pub fn allows(&self, rule: Rule, line: u32) -> bool {
         [line, line.saturating_sub(1)].iter().any(|l| {
             self.by_line
                 .get(l)
                 .is_some_and(|rules| rules.iter().any(|r| r == rule.id()))
         })
+    }
+
+    /// Waivers with a missing or blank justification: (line, rule).
+    pub fn malformed(&self) -> &[(u32, String)] {
+        &self.malformed
     }
 }
 
@@ -149,7 +193,26 @@ pub fn scan_rust(ctx: &FileContext<'_>, rules: &[Rule]) -> Vec<Finding> {
             Rule::P1 => p1(ctx, &mut findings),
             Rule::P1X => p1x(ctx, &mut findings),
             Rule::C1 => c1(ctx, &mut findings),
+            // Interprocedural rules run in the workspace pass
+            // (`crate::analyze`), not per file.
+            Rule::P2 | Rule::U1 | Rule::D3 | Rule::W1 => {}
         }
+    }
+    // Waiver hygiene applies to every linted file regardless of which
+    // rules its path selects: an unjustified waiver is dead weight that
+    // silently stops waiving the day justifications become load-bearing.
+    for (line, rule) in ctx.allows.malformed() {
+        findings.push(Finding {
+            rule: Rule::W1.id(),
+            level: Rule::W1.level(),
+            path: ctx.path.to_string(),
+            line: *line,
+            col: 1,
+            message: format!(
+                "waiver `ldis: allow({rule}, ...)` has no justification string; write `// ldis: allow({rule}, \"why\")`"
+            ),
+            snippet: ctx.snippet(*line),
+        });
     }
     findings
 }
@@ -360,7 +423,10 @@ fn path_call_at(toks: &[Token], i: usize, ty: &str, method: &str) -> bool {
 /// Splits the argument list of the call whose `(` is at `open` into
 /// top-level comma-separated token ranges. Returns the ranges and the
 /// index of the closing `)`.
-fn split_args(toks: &[Token], open: usize) -> Option<(Vec<std::ops::Range<usize>>, usize)> {
+pub(crate) fn split_args(
+    toks: &[Token],
+    open: usize,
+) -> Option<(Vec<std::ops::Range<usize>>, usize)> {
     let mut depth = 0i32;
     let mut args = Vec::new();
     let mut start = open + 1;
@@ -924,6 +990,31 @@ mod tests {
         let src = "fn f(v: Option<u8>) -> u8 { v.unwrap_or(0) }\n\
                    fn g() { let expected = 3; }\n";
         assert!(scan("x.rs", src, &[Rule::P1]).is_empty());
+    }
+
+    #[test]
+    fn w1_flags_waivers_without_justification() {
+        // No justification at all, and a blank one: both are W1 findings,
+        // and neither waives the P1X site it is attached to.
+        let src = "fn f(v: &[u8], i: usize) -> u8 { v[i] } // ldis: allow(P1X)\n\
+                   fn g(v: &[u8], i: usize) -> u8 { v[i] } // ldis: allow(P1X, \"  \")\n";
+        let found = scan("x.rs", src, &[Rule::P1X]);
+        let w1: Vec<_> = found.iter().filter(|f| f.rule == "W1").collect();
+        let p1x: Vec<_> = found.iter().filter(|f| f.rule == "P1X").collect();
+        assert_eq!(w1.len(), 2, "both malformed waivers reported: {found:?}");
+        assert_eq!(p1x.len(), 2, "malformed waivers must not waive");
+        assert!(w1.iter().all(|f| f.level == Level::Deny));
+        assert!(w1[0].message.contains("no justification"));
+    }
+
+    #[test]
+    fn w1_accepts_justified_waivers_uniformly() {
+        // The same grammar works for every rule, including the
+        // interprocedural ones checked by `crate::analyze`.
+        let src = "fn f(v: &[u8], i: usize) -> u8 { v[i] } // ldis: allow(P1X, \"i < v.len() by contract\")\n\
+                   use std::collections::HashMap; // ldis: allow(D2, \"membership only\")\n";
+        let found = scan("x.rs", src, &[Rule::P1X, Rule::D2]);
+        assert!(found.is_empty(), "justified waivers silence: {found:?}");
     }
 
     #[test]

@@ -93,6 +93,112 @@ fn fail_fixture_counts_are_exact() {
     }
 }
 
+/// Runs the interprocedural pass over one fixture file scanned under a
+/// synthetic in-scope path, returning only findings of `rule`.
+fn model_findings(rule: &str, as_path: &str, src: &str) -> Vec<ldis_lint::report::Finding> {
+    let files = vec![(as_path.to_string(), src.to_string())];
+    ldis_lint::analyze::scan_model(&files, &ldis_lint::analyze::AnalysisConfig::default())
+        .into_iter()
+        .filter(|f| f.rule == rule)
+        .collect()
+}
+
+/// The interprocedural rules with their fixture stems, synthetic paths
+/// and exact fail-fixture finding counts.
+const MODEL_CASES: &[(&str, &str, &str, usize)] = &[
+    ("P2", "p2.rs", "crates/sfp/src/fixture.rs", 2),
+    ("U1", "u1.rs", "crates/mem/src/fixture.rs", 4),
+    ("D3", "d3.rs", "crates/experiments/src/fixture.rs", 3),
+];
+
+#[test]
+fn interprocedural_fail_fixture_counts_are_exact() {
+    for (rule, name, as_path, expected) in MODEL_CASES {
+        let src = fixture("fail", name);
+        let found = model_findings(rule, as_path, &src);
+        assert_eq!(
+            found.len(),
+            *expected,
+            "{rule} on fixtures/fail/{name}: {:?}",
+            found
+                .iter()
+                .map(|f| format!("{}:{} {}", f.line, f.col, f.message))
+                .collect::<Vec<_>>()
+        );
+        for f in &found {
+            assert_eq!(f.path, *as_path);
+            assert!(f.line > 0 && f.col > 0, "{rule} finding lacks a location");
+        }
+    }
+}
+
+#[test]
+fn interprocedural_rules_are_silent_on_pass_fixtures() {
+    for (rule, name, as_path, _) in MODEL_CASES {
+        let src = fixture("pass", name);
+        let found = model_findings(rule, as_path, &src);
+        assert!(
+            found.is_empty(),
+            "{rule} fired on fixtures/pass/{name}: {:?}",
+            found
+                .iter()
+                .map(|f| format!("{}:{} {}", f.line, f.col, f.message))
+                .collect::<Vec<_>>()
+        );
+    }
+}
+
+#[test]
+fn p2_fixture_diagnostic_renders_the_full_call_path() {
+    let src = fixture("fail", "p2.rs");
+    let found = model_findings("P2", "crates/sfp/src/fixture.rs", &src);
+    let entry = found
+        .iter()
+        .find(|f| f.message.contains("`entry`"))
+        .expect("finding for `entry`");
+    for hop in ["entry", "mid", "deep"] {
+        assert!(
+            entry
+                .message
+                .contains(&format!("{hop} (crates/sfp/src/fixture.rs:")),
+            "missing hop {hop}: {}",
+            entry.message
+        );
+    }
+    assert!(entry
+        .message
+        .contains("`.unwrap()` at crates/sfp/src/fixture.rs:"));
+}
+
+#[test]
+fn call_graph_snapshot_is_byte_identical() {
+    let files = vec![
+        (
+            "crates/mem/src/lib.rs".to_string(),
+            fixture("callgraph", "mem.rs"),
+        ),
+        (
+            "crates/cache/src/lib.rs".to_string(),
+            fixture("callgraph", "cache.rs"),
+        ),
+    ];
+    let ws = ldis_lint::model::Workspace::build(&files);
+    let rendered = ws.render();
+    let snap_path =
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/callgraph/graph.snap");
+    if std::env::var_os("UPDATE_SNAPSHOTS").is_some() {
+        std::fs::write(&snap_path, &rendered).expect("writing snapshot");
+        return;
+    }
+    let expected = std::fs::read_to_string(&snap_path)
+        .unwrap_or_else(|e| panic!("reading {}: {e}", snap_path.display()));
+    assert_eq!(
+        rendered, expected,
+        "call-graph render drifted from tests/fixtures/callgraph/graph.snap; \
+         if the change is intended, regenerate with UPDATE_SNAPSHOTS=1"
+    );
+}
+
 #[test]
 fn golden_fixtures_validate() {
     let bad = fixture("fail", "golden_bad.json");
@@ -116,7 +222,9 @@ fn golden_fixtures_validate() {
 #[test]
 fn fixtures_are_out_of_workspace_scope() {
     for kind in ["pass", "fail"] {
-        for name in ["d1.rs", "d2.rs", "p1.rs", "c1.rs"] {
+        for name in [
+            "d1.rs", "d2.rs", "p1.rs", "c1.rs", "p2.rs", "u1.rs", "d3.rs",
+        ] {
             let rel = format!("crates/lint/tests/fixtures/{kind}/{name}");
             assert_eq!(ldis_lint::rules_for(&rel), None, "{rel} must be skipped");
         }

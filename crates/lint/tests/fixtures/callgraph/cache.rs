@@ -1,0 +1,22 @@
+//! Call-graph snapshot fixture: the caller side (`crates/cache`),
+//! with a cross-crate edge, a panic site, and a `#[cfg(test)]` caller.
+
+pub fn lookup(addr: u64) -> u64 {
+    index_of(addr)
+}
+
+fn index_of(addr: u64) -> u64 {
+    word_index(addr) % 64
+}
+
+fn boom() {
+    panic!("fixture panic");
+}
+
+#[cfg(test)]
+mod tests {
+    pub fn drives_lookup() {
+        lookup(64);
+        boom();
+    }
+}

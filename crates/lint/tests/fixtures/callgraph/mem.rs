@@ -1,0 +1,9 @@
+//! Call-graph snapshot fixture: the callee side (`crates/mem`).
+
+pub fn word_index(addr: u64) -> u64 {
+    addr / 8
+}
+
+pub fn must_word(addr: Option<u64>) -> u64 {
+    word_index(addr.unwrap())
+}

@@ -1,0 +1,22 @@
+//! P2 fail fixture: public sim-core functions that can transitively
+//! reach a panic site. Scanned as `crates/sfp/src/fixture.rs`.
+//!
+//! Expected findings: 2 (one per public entry point).
+
+fn deep(v: Option<u8>) -> u8 {
+    v.unwrap()
+}
+
+fn mid(v: Option<u8>) -> u8 {
+    deep(v)
+}
+
+/// Reaches the panic through two hops: entry -> mid -> deep.
+pub fn entry(v: Option<u8>) -> u8 {
+    mid(v)
+}
+
+/// Panics directly, no intermediate frame.
+pub fn direct(v: Option<u8>) -> u8 {
+    v.expect("present")
+}

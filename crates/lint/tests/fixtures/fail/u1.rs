@@ -1,0 +1,28 @@
+//! U1 fail fixture: one specimen per cross-unit defect class. Scanned
+//! as `crates/mem/src/fixture.rs`.
+//!
+//! Expected findings: 4 — cross-unit arithmetic, raw indexing by a
+//! byte-address, wrong-unit newtype construction, and a call argument
+//! whose unit contradicts the callee's parameter.
+
+fn lookup(word_idx: usize) -> u64 {
+    word_idx as u64
+}
+
+pub fn cross(addr: u64, line_addr: u64) -> u64 {
+    let x = addr + line_addr;
+    x
+}
+
+pub fn index(addr: u64, words: &[u64]) -> u64 {
+    words[addr as usize]
+}
+
+pub fn construct(addr: Addr) -> LineAddr {
+    let byte = addr.raw();
+    LineAddr::new(byte)
+}
+
+pub fn call(addr: u64) -> u64 {
+    lookup(addr as usize)
+}

@@ -1,0 +1,24 @@
+//! U1 pass fixture: the same shapes as the fail fixture, but every
+//! value crosses units through a geometry conversion (or carries its
+//! unit in a newtype). Scanned as `crates/mem/src/fixture.rs`.
+//! Expected findings: 0.
+
+fn lookup(word_idx: usize) -> u64 {
+    word_idx as u64
+}
+
+pub fn convert(geom: &LineGeometry, addr: Addr, store: &[u64]) -> u64 {
+    let w = geom.word_index(addr).as_usize();
+    let line = geom.line_addr(addr);
+    let _back = geom.line_base(line);
+    store[w]
+}
+
+pub fn call(geom: &LineGeometry, addr: Addr) -> u64 {
+    lookup(geom.word_index(addr).as_usize())
+}
+
+pub fn waived(addr: u64, line_addr: u64) -> u64 {
+    // ldis: allow(U1, "line_addr here is pre-scaled to bytes by the trace reader")
+    addr + line_addr
+}

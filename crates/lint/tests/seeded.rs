@@ -1,0 +1,111 @@
+//! Seeded regressions: prove the interprocedural rules actually gate
+//! the workspace by injecting known defects into the *live* sources (in
+//! memory, nothing on disk) and checking each one fails the same
+//! classification `ldis-lint --deny` uses.
+//!
+//! Two seeds, matching the defect classes the rules were built for:
+//! (a) a transitive panic behind a public `crates/sfp` entry point, and
+//! (b) a word-index/byte-address argument swap in `crates/core`.
+
+use std::path::PathBuf;
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves")
+}
+
+/// All live `.rs` sources, as `scan_workspace` would collect them.
+fn live_sources() -> Vec<(String, String)> {
+    let root = workspace_root();
+    ldis_lint::collect_files(&root)
+        .expect("workspace listing")
+        .into_iter()
+        .filter(|rel| rel.ends_with(".rs"))
+        .map(|rel| {
+            let src = std::fs::read_to_string(root.join(&rel))
+                .unwrap_or_else(|e| panic!("reading {rel}: {e}"));
+            (rel, src)
+        })
+        .collect()
+}
+
+/// Appends `seed` to `path`'s source and returns the deny-tier errors
+/// the patched workspace produces under the committed baseline.
+fn errors_with_seed(path: &str, seed: &str) -> Vec<ldis_lint::report::Finding> {
+    let root = workspace_root();
+    let baseline = ldis_lint::load_baseline(&root.join("lint.toml")).expect("lint.toml parses");
+    let mut sources = live_sources();
+    let target = sources
+        .iter_mut()
+        .find(|(rel, _)| rel == path)
+        .unwrap_or_else(|| panic!("{path} not in workspace"));
+    target.1.push_str(seed);
+    let cfg = ldis_lint::analyze::AnalysisConfig::from_baseline(&baseline);
+    let findings = ldis_lint::analyze::scan_model(&sources, &cfg);
+    ldis_lint::report::classify(findings, &baseline).errors
+}
+
+#[test]
+fn unseeded_workspace_is_clean() {
+    // Control: without a seed, the interprocedural pass reports nothing —
+    // so any errors in the seeded tests are attributable to the seed.
+    let root = workspace_root();
+    let baseline = ldis_lint::load_baseline(&root.join("lint.toml")).expect("lint.toml parses");
+    let cfg = ldis_lint::analyze::AnalysisConfig::from_baseline(&baseline);
+    let findings = ldis_lint::analyze::scan_model(&live_sources(), &cfg);
+    let errors = ldis_lint::report::classify(findings, &baseline).errors;
+    assert!(
+        errors.is_empty(),
+        "{:?}",
+        errors
+            .iter()
+            .map(|f| format!("{}:{} {}", f.path, f.line, f.message))
+            .collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn injected_transitive_panic_in_sfp_fails_deny() {
+    let errors = errors_with_seed(
+        "crates/sfp/src/lib.rs",
+        "\nfn seeded_helper(v: Option<u8>) -> u8 {\n    v.unwrap()\n}\n\n\
+         pub fn seeded_entry(v: Option<u8>) -> u8 {\n    seeded_helper(v)\n}\n",
+    );
+    let p2: Vec<_> = errors
+        .iter()
+        .filter(|f| f.rule == "P2" && f.message.contains("seeded_entry"))
+        .collect();
+    assert_eq!(p2.len(), 1, "seeded panic not caught: {errors:?}");
+    let msg = &p2[0].message;
+    assert!(
+        msg.contains("seeded_entry (crates/sfp/src/lib.rs:"),
+        "{msg}"
+    );
+    assert!(
+        msg.contains("seeded_helper (crates/sfp/src/lib.rs:"),
+        "{msg}"
+    );
+    assert!(
+        msg.contains("`.unwrap()` at crates/sfp/src/lib.rs:"),
+        "{msg}"
+    );
+}
+
+#[test]
+fn injected_word_byte_swap_in_core_fails_deny() {
+    let errors = errors_with_seed(
+        "crates/core/src/lib.rs",
+        "\nfn seeded_lookup(word_idx: usize) -> u64 {\n    word_idx as u64\n}\n\n\
+         pub fn seeded_swap(addr: u64) -> u64 {\n    seeded_lookup(addr as usize)\n}\n",
+    );
+    let u1: Vec<_> = errors
+        .iter()
+        .filter(|f| f.rule == "U1" && f.path == "crates/core/src/lib.rs")
+        .collect();
+    assert_eq!(u1.len(), 1, "seeded unit swap not caught: {errors:?}");
+    let msg = &u1[0].message;
+    assert!(msg.contains("expects a word-index"), "{msg}");
+    assert!(msg.contains("got a byte-address"), "{msg}");
+}

@@ -73,14 +73,15 @@ impl SimRng {
 
     /// The next 64 uniformly random bits.
     pub fn next_u64(&mut self) -> u64 {
-        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
-        let t = self.s[1] << 17;
-        self.s[2] ^= self.s[0];
-        self.s[3] ^= self.s[1];
-        self.s[1] ^= self.s[2];
-        self.s[0] ^= self.s[3];
-        self.s[2] ^= t;
-        self.s[3] = self.s[3].rotate_left(45);
+        let [s0, s1, s2, s3] = &mut self.s;
+        let result = s1.wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = *s1 << 17;
+        *s2 ^= *s0;
+        *s3 ^= *s1;
+        *s1 ^= *s2;
+        *s0 ^= *s3;
+        *s2 ^= t;
+        *s3 = s3.rotate_left(45);
         result
     }
 
@@ -124,7 +125,8 @@ impl SimRng {
     /// Panics if `items` is empty.
     pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
         assert!(!items.is_empty(), "cannot choose from an empty slice");
-        &items[self.index(items.len())]
+        let idx = self.index(items.len());
+        &items[idx] // ldis: allow(P1X, "idx < items.len() by Lemire rejection sampling")
     }
 
     /// Samples an index from a discrete distribution given by non-negative

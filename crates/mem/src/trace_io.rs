@@ -106,12 +106,13 @@ impl Trace {
             let insts = u32::from_le_bytes(u32buf);
             let mut tail = [0u8; 2];
             r.read_exact(&mut tail)?;
+            let [size, kind_byte] = tail;
             trace.push(Access {
                 addr: Addr::new(addr),
                 pc: Addr::new(pc),
                 insts,
-                size: tail[0],
-                kind: kind_from(tail[1])?,
+                size,
+                kind: kind_from(kind_byte)?,
             });
         }
         Ok(trace)

@@ -74,10 +74,11 @@ impl FootprintPredictor {
     /// miss PC and demanded word. Always includes the demanded word.
     pub fn predict(&self, pc: Addr, word: WordIndex) -> Footprint {
         let idx = self.index(pc, word);
-        let mut fp = if self.trained[idx] {
-            Footprint::from_bits(self.table[idx])
-        } else {
-            Footprint::full(self.words_per_line)
+        // `idx < entries == table.len()` by the modulo in `index`, so the
+        // untrained fallback also covers the impossible misses.
+        let mut fp = match (self.trained.get(idx), self.table.get(idx)) {
+            (Some(true), Some(bits)) => Footprint::from_bits(*bits),
+            _ => Footprint::full(self.words_per_line),
         };
         fp.touch(word);
         fp
@@ -87,8 +88,12 @@ impl FootprintPredictor {
     /// over the line's residency.
     pub fn train(&mut self, pc: Addr, word: WordIndex, observed: Footprint) {
         let idx = self.index(pc, word);
-        self.table[idx] = observed.bits();
-        self.trained[idx] = true;
+        if let Some(slot) = self.table.get_mut(idx) {
+            *slot = observed.bits();
+        }
+        if let Some(flag) = self.trained.get_mut(idx) {
+            *flag = true;
+        }
     }
 }
 

@@ -169,8 +169,12 @@ impl SfpCache {
     /// victim's observed footprint.
     fn install(&mut self, set_idx: usize, tag: u64, req: &L2Request, stored: Footprint) {
         let max_tags = self.cfg.tags_per_set as usize;
+        // `set_idx` is masked to `0..num_sets` by `set_and_tag`, so the
+        // `get` lookups cannot miss.
         let way = loop {
-            let set = &self.sets[set_idx];
+            let Some(set) = self.sets.get(set_idx) else {
+                return;
+            };
             if set.lines.len() < max_tags {
                 if let Some(way) = set.masks.iter().position(|&m| m & stored.bits() == 0) {
                     break way;
@@ -178,8 +182,12 @@ impl SfpCache {
             }
             self.evict_lru(set_idx);
         };
-        let set = &mut self.sets[set_idx];
-        set.masks[way] |= stored.bits();
+        let Some(set) = self.sets.get_mut(set_idx) else {
+            return;
+        };
+        if let Some(mask) = set.masks.get_mut(way) {
+            *mask |= stored.bits();
+        }
         let mut observed = Footprint::empty();
         if !req.is_instr {
             observed.touch(req.word);
@@ -198,10 +206,15 @@ impl SfpCache {
     fn evict_lru(&mut self, set_idx: usize) {
         // Callers only evict from sets they just found full; an empty set
         // simply has nothing to evict.
-        let Some(victim) = self.sets[set_idx].lines.pop_back() else {
+        let Some(set) = self.sets.get_mut(set_idx) else {
             return;
         };
-        self.sets[set_idx].masks[victim.way] &= !victim.stored.bits();
+        let Some(victim) = set.lines.pop_back() else {
+            return;
+        };
+        if let Some(mask) = set.masks.get_mut(victim.way) {
+            *mask &= !victim.stored.bits();
+        }
         self.stats.evictions += 1;
         if victim.dirty {
             self.stats.writebacks += 1;
@@ -227,11 +240,12 @@ impl SecondLevel for SfpCache {
         let (set_idx, tag) = self.set_and_tag(req.line);
         let full = Footprint::full(self.cfg.geometry.words_per_line());
 
-        let resident = self.sets[set_idx]
-            .lines
-            .iter()
-            .position(|l| l.tag == tag)
-            .and_then(|pos| self.sets[set_idx].lines.remove(pos));
+        let resident = self.sets.get_mut(set_idx).and_then(|set| {
+            set.lines
+                .iter()
+                .position(|l| l.tag == tag)
+                .and_then(|pos| set.lines.remove(pos))
+        });
         if let Some(mut line) = resident {
             if req.is_instr || line.stored.is_used(req.word) {
                 // Word present: a hit. Count instruction hits as LOC-style
@@ -239,7 +253,9 @@ impl SecondLevel for SfpCache {
                 line.observed.touch(req.word);
                 line.dirty |= req.write;
                 let stored = line.stored;
-                self.sets[set_idx].lines.push_front(line);
+                if let Some(set) = self.sets.get_mut(set_idx) {
+                    set.lines.push_front(line);
+                }
                 if req.is_instr {
                     self.stats.loc_hits += 1;
                 } else {
@@ -262,12 +278,22 @@ impl SecondLevel for SfpCache {
             // into the refetched line.
             self.stats.hole_misses += 1;
             self.observe_reverter(set_idx, req.line, true);
-            self.sets[set_idx].masks[line.way] &= !line.stored.bits();
+            if let Some(mask) = self
+                .sets
+                .get_mut(set_idx)
+                .and_then(|s| s.masks.get_mut(line.way))
+            {
+                *mask &= !line.stored.bits();
+            }
             let mut stored = line.stored.merged(line.observed);
             stored.touch(req.word);
             self.install(set_idx, tag, &req, stored);
             if line.dirty {
-                if let Some(l) = self.sets[set_idx].lines.iter_mut().find(|l| l.tag == tag) {
+                if let Some(l) = self
+                    .sets
+                    .get_mut(set_idx)
+                    .and_then(|s| s.lines.iter_mut().find(|l| l.tag == tag))
+                {
                     l.dirty = true;
                 }
             }
@@ -297,7 +323,11 @@ impl SecondLevel for SfpCache {
 
     fn on_l1d_evict(&mut self, line: LineAddr, footprint: Footprint, dirty: bool) {
         let (set_idx, tag) = self.set_and_tag(line);
-        match self.sets[set_idx].lines.iter_mut().find(|l| l.tag == tag) {
+        match self
+            .sets
+            .get_mut(set_idx)
+            .and_then(|s| s.lines.iter_mut().find(|l| l.tag == tag))
+        {
             Some(l) => {
                 l.observed.merge(footprint);
                 l.dirty |= dirty;

@@ -74,11 +74,15 @@ impl MemorySystem {
             }
         }
         // Bank conflict: the bank serves one request at a time.
+        // `bank < banks.len()` by the modulo, so the `get` fallbacks are
+        // dead; an idle (0) busy-time leaves `issue` unchanged.
         let bank = (line.raw() % self.banks.len() as u64) as usize;
-        let bank_start = issue.max(self.banks[bank]);
+        let bank_start = issue.max(self.banks.get(bank).copied().unwrap_or(0));
         self.bank_conflict_cycles += bank_start - issue;
         let data_ready = bank_start + self.mem_latency;
-        self.banks[bank] = data_ready;
+        if let Some(slot) = self.banks.get_mut(bank) {
+            *slot = data_ready;
+        }
         // Bus: one line transfer at a time (split-transaction).
         let bus_start = data_ready.max(self.bus_free);
         let completion = bus_start + self.transfer_cycles;

@@ -58,7 +58,10 @@ impl WordsProfile {
             acc += w / total;
             *c = acc;
         }
-        cumulative[7] = 1.0;
+        // Pin the final bucket to exactly 1.0 against rounding drift.
+        if let Some(last) = cumulative.last_mut() {
+            *last = 1.0;
+        }
         WordsProfile {
             weights,
             cumulative,
@@ -73,7 +76,9 @@ impl WordsProfile {
     pub fn exactly(n: u8) -> Self {
         assert!((1..=8).contains(&n), "word count must be in 1..=8");
         let mut w = [0.0; 8];
-        w[n as usize - 1] = 1.0;
+        if let Some(slot) = w.get_mut(n as usize - 1) {
+            *slot = 1.0;
+        }
         WordsProfile::new(w)
     }
 

@@ -195,9 +195,13 @@ impl PointerChase {
             perm.swap(i, rng.index(i + 1));
         }
         let mut successor = vec![0u32; perm.len()];
-        for w in 0..perm.len() {
-            let next = perm[(w + 1) % perm.len()];
-            successor[perm[w] as usize] = next;
+        for (i, &node) in perm.iter().enumerate() {
+            // The cyclic successor of position i; `perm` is a permutation
+            // of 0..nodes, so both lookups are structurally in bounds.
+            let next = perm.get((i + 1) % perm.len()).copied().unwrap_or(node);
+            if let Some(slot) = successor.get_mut(node as usize) {
+                *slot = next;
+            }
         }
         PointerChase {
             base_line,
@@ -216,7 +220,7 @@ impl PointerChase {
 
 impl Stream for PointerChase {
     fn next_visit(&mut self, _rng: &mut SimRng) -> Visit {
-        self.cur = self.perm[self.cur as usize];
+        self.cur = self.perm.get(self.cur as usize).copied().unwrap_or(0);
         let line = LineAddr::new(self.base_line + self.cur as u64);
         Visit::data(line, self.words.footprint_for(line, self.salt))
     }

@@ -155,7 +155,11 @@ impl Workload {
         };
         let visit = {
             let rng = &mut self.rng;
-            self.streams[idx].next_visit(rng)
+            // `weighted_index` returns an index < streams.len().
+            match self.streams.get_mut(idx) {
+                Some(stream) => stream.next_visit(rng),
+                None => return,
+            }
         };
         let geom = self.geometry;
         match visit.kind {

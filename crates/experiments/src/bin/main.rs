@@ -13,10 +13,27 @@
 //! Sweeps run on a worker pool sized by `--threads`, the `LDIS_THREADS`
 //! environment variable, or the machine's available parallelism (in that
 //! priority order). Results are bit-identical for every thread count.
+//!
+//! Two operational commands run outside the `all` set:
+//!
+//! ```text
+//! ldis-experiments sweep [--journal FILE] [--resume] [--cell N]
+//!                        [--cell-timeout MS] [--max-retries N]
+//!                        [--fault CELL:KIND[:ATTEMPTS],...]
+//!                        [--out FILE] [--quarantine FILE] [--golden-check]
+//! ldis-experiments bench [--out FILE]
+//! ```
+//!
+//! `sweep` runs the full 27-benchmark × 3-configuration matrix on the
+//! crash-safe executor: cells are panic-isolated, retried, watchdogged
+//! and checkpointed; `--resume` replays a checksummed journal and
+//! produces bytes identical to an uninterrupted run. `bench` times the
+//! matrix and writes the `BENCH_sweep.json` trajectory artifact.
 
+use ldis_experiments::exec::FaultPlan;
 use ldis_experiments::{
     ablations, appendix, costs, fig10, fig11, fig13, fig6, fig7, fig8, fig9, linesize, motivation,
-    mrc, parallel, resilience, table3, RunConfig,
+    mrc, parallel, perf, resilience, sweep, table3, RunConfig,
 };
 
 const ALL: &[&str] = &[
@@ -45,6 +62,10 @@ fn usage() -> ! {
         "usage: ldis-experiments [EXPERIMENT...] [--accesses N] [--warmup N] [--seed N] \
          [--threads N] [--quick]\n\
          experiments: all {}\n\
+         crash-safe sweep: sweep [--journal FILE] [--resume] [--cell N] [--cell-timeout MS]\n\
+         \u{20}                  [--max-retries N] [--fault CELL:KIND[:ATTEMPTS],...]\n\
+         \u{20}                  [--out FILE] [--quarantine FILE] [--golden-check]\n\
+         throughput:       bench [--out FILE]\n\
          threads default to LDIS_THREADS or the available parallelism; results are\n\
          bit-identical for every thread count",
         ALL.join(" ")
@@ -55,6 +76,15 @@ fn usage() -> ! {
 fn main() {
     let mut cfg = RunConfig::paper();
     let mut wanted: Vec<String> = Vec::new();
+    let mut journal: Option<std::path::PathBuf> = None;
+    let mut resume = false;
+    let mut only_cell: Option<usize> = None;
+    let mut cell_timeout_ms: Option<u64> = None;
+    let mut max_retries: u32 = 2;
+    let mut faults = FaultPlan::none();
+    let mut out: Option<std::path::PathBuf> = None;
+    let mut quarantine: Option<std::path::PathBuf> = None;
+    let mut golden_check = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -79,11 +109,89 @@ fn main() {
                 parallel::set_thread_override(Some(n));
             }
             "--quick" => cfg = RunConfig::quick(),
+            "--journal" => journal = Some(args.next().unwrap_or_else(|| usage()).into()),
+            "--resume" => resume = true,
+            "--cell" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                only_cell = Some(v.parse().unwrap_or_else(|_| usage()));
+            }
+            "--cell-timeout" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                cell_timeout_ms = Some(v.parse().unwrap_or_else(|_| usage()));
+            }
+            "--max-retries" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                max_retries = v.parse().unwrap_or_else(|_| usage());
+            }
+            "--fault" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                faults = FaultPlan::parse(&v).unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    usage()
+                });
+            }
+            "--out" => out = Some(args.next().unwrap_or_else(|| usage()).into()),
+            "--quarantine" => quarantine = Some(args.next().unwrap_or_else(|| usage()).into()),
+            "--golden-check" => golden_check = true,
             "--help" | "-h" => usage(),
             name if name.starts_with('-') => usage(),
             name => wanted.push(name.to_owned()),
         }
     }
+
+    // `sweep` and `bench` are operational commands dispatched outside the
+    // per-figure loop (and never part of `all`).
+    if wanted.iter().any(|w| w == "sweep") {
+        if wanted.len() > 1 {
+            eprintln!("`sweep` runs alone (it has its own flags)");
+            usage();
+        }
+        let mut opts = sweep::SweepOptions::new(cfg, parallel::configured_threads());
+        opts.max_retries = max_retries;
+        opts.cell_timeout_ms = cell_timeout_ms;
+        opts.faults = faults;
+        opts.journal = journal;
+        opts.resume = resume;
+        opts.out = out;
+        opts.quarantine_out = quarantine;
+        opts.only_cell = only_cell;
+        opts.golden_check = golden_check;
+        match sweep::execute(&opts) {
+            Ok(outcome) => {
+                println!("{}", outcome.text);
+                if outcome.quarantined > 0 {
+                    // Quarantine degrades the run; it does not fail it.
+                    eprintln!(
+                        "{} cell(s) quarantined; see the report above",
+                        outcome.quarantined
+                    );
+                }
+            }
+            Err(e) => {
+                eprintln!("sweep failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+    if wanted.iter().any(|w| w == "bench") {
+        if wanted.len() > 1 {
+            eprintln!("`bench` runs alone");
+            usage();
+        }
+        let points = perf::measure(&cfg, &[1, 4]);
+        println!("{}", perf::report(&cfg, &points));
+        if let Some(path) = out {
+            let rendered = perf::snapshot(&cfg, &points).render_pretty();
+            if let Err(e) = std::fs::write(&path, rendered) {
+                eprintln!("cannot write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+            println!("wrote {}", path.display());
+        }
+        return;
+    }
+
     if wanted.is_empty() || wanted.iter().any(|w| w == "all") {
         wanted = ALL.iter().map(|s| (*s).to_owned()).collect();
     }

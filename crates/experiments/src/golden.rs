@@ -104,6 +104,98 @@ pub fn verify(name: &str, snapshot: &Json) -> Result<GoldenStatus, String> {
     ))
 }
 
+/// The `"rows"` array of a snapshot (the per-cell table every sweep-style
+/// snapshot carries), keyed by each row's `"key"` field.
+fn rows_of<'a>(json: &'a Json, what: &str) -> Result<Vec<(&'a str, &'a Json)>, String> {
+    let Json::Obj(fields) = json else {
+        return Err(format!("{what}: snapshot is not an object"));
+    };
+    let rows = match fields.iter().find(|(k, _)| k == "rows") {
+        Some((_, Json::Arr(rows))) => rows,
+        Some(_) => return Err(format!("{what}: 'rows' is not an array")),
+        None => return Err(format!("{what}: snapshot has no 'rows' array")),
+    };
+    rows.iter()
+        .map(|row| {
+            let Json::Obj(fields) = row else {
+                return Err(format!("{what}: row is not an object"));
+            };
+            match fields.iter().find(|(k, _)| k == "key") {
+                Some((_, Json::Str(key))) => Ok((key.as_str(), row)),
+                _ => Err(format!("{what}: row has no string 'key' field")),
+            }
+        })
+        .collect()
+}
+
+/// [`verify`], degraded to surviving rows: rows named in `skipped`
+/// (quarantined cells of a crash-safe sweep) are exempt from comparison,
+/// every other row must match the committed snapshot exactly.
+///
+/// With an empty `skipped` this is plain [`verify`] — byte-for-byte,
+/// including the header counters. With quarantined cells the committed
+/// file is parsed with the canonical [`Json::parse`] and compared row by
+/// row, so one poisoned cell degrades the check instead of voiding it.
+///
+/// # Errors
+///
+/// Returns a message when the committed snapshot is missing or
+/// unparseable, when a surviving row differs, when a row exists on only
+/// one side, or when `UPDATE_GOLDEN=1` is set (a degraded run must never
+/// overwrite the golden).
+pub fn verify_surviving(
+    name: &str,
+    snapshot: &Json,
+    skipped: &[String],
+) -> Result<GoldenStatus, String> {
+    if skipped.is_empty() {
+        return verify(name, snapshot);
+    }
+    if update_requested() {
+        return Err(format!(
+            "golden '{name}': refusing UPDATE_GOLDEN=1 with {} quarantined row(s); \
+             fix or rerun the quarantined cells first",
+            skipped.len()
+        ));
+    }
+    let path = dir().join(format!("{name}.json"));
+    let committed_text = fs::read_to_string(&path).map_err(|e| {
+        format!(
+            "golden '{name}': cannot read {} ({e}); run `UPDATE_GOLDEN=1 cargo test` \
+             to generate it",
+            path.display()
+        )
+    })?;
+    let committed = Json::parse(&committed_text)
+        .map_err(|e| format!("golden '{name}': committed snapshot is unparseable: {e}"))?;
+    let committed_rows = rows_of(&committed, "committed")?;
+    let computed_rows = rows_of(snapshot, "computed")?;
+    let committed_keys: Vec<&str> = committed_rows.iter().map(|(k, _)| *k).collect();
+    let computed_keys: Vec<&str> = computed_rows.iter().map(|(k, _)| *k).collect();
+    if committed_keys != computed_keys {
+        return Err(format!(
+            "golden '{name}': row sets differ (committed {} rows, computed {} rows); \
+             the matrix shape changed — regenerate the snapshot",
+            committed_keys.len(),
+            computed_keys.len()
+        ));
+    }
+    for ((key, want), (_, got)) in committed_rows.iter().zip(computed_rows) {
+        if skipped.iter().any(|s| s == key) {
+            continue;
+        }
+        if *want != got {
+            return Err(format!(
+                "golden '{name}': surviving row '{key}' differs:\n  committed: {}\n  \
+                 computed:  {}",
+                want.render(),
+                got.render()
+            ));
+        }
+    }
+    Ok(GoldenStatus::Matched)
+}
+
 /// [`verify`] that panics on error — the form used by golden tests.
 ///
 /// # Panics
@@ -119,6 +211,10 @@ pub fn assert_matches(name: &str, snapshot: &Json) {
 mod tests {
     use super::*;
 
+    /// Serializes the tests that point `LDIS_GOLDEN_DIR` at a temp dir;
+    /// the var is process-global and the harness runs tests in parallel.
+    static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
     #[test]
     fn golden_config_is_quick() {
         assert_eq!(golden_config(), RunConfig::quick());
@@ -133,11 +229,78 @@ mod tests {
     }
 
     #[test]
+    fn verify_surviving_skips_exactly_the_quarantined_rows() {
+        if update_requested() {
+            return;
+        }
+        let _env = ENV_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        let tmp = std::env::temp_dir().join("ldis-golden-surviving");
+        fs::create_dir_all(&tmp).unwrap();
+        let row = |key: &str, fields: Json| match fields {
+            Json::Obj(mut f) => {
+                f.insert(0, ("key".to_owned(), Json::str(key)));
+                Json::Obj(f)
+            }
+            other => other,
+        };
+        let committed = Json::obj([
+            ("cells", Json::uint(2)),
+            ("quarantined", Json::uint(0)),
+            (
+                "rows",
+                Json::arr([
+                    row("art/baseline", Json::obj([("mpki", Json::num(38.25))])),
+                    row("mcf/baseline", Json::obj([("mpki", Json::num(120.5))])),
+                ]),
+            ),
+        ]);
+        fs::write(tmp.join("unit_surviving.json"), committed.render_pretty()).unwrap();
+        std::env::set_var("LDIS_GOLDEN_DIR", &tmp);
+        // One quarantined row, surviving row intact: passes.
+        let degraded = Json::obj([
+            ("cells", Json::uint(2)),
+            ("quarantined", Json::uint(1)),
+            (
+                "rows",
+                Json::arr([
+                    row(
+                        "art/baseline",
+                        Json::obj([("quarantined", Json::str("hung"))]),
+                    ),
+                    row("mcf/baseline", Json::obj([("mpki", Json::num(120.5))])),
+                ]),
+            ),
+        ]);
+        let skipped = vec!["art/baseline".to_owned()];
+        let ok = verify_surviving("unit_surviving", &degraded, &skipped);
+        assert_eq!(ok, Ok(GoldenStatus::Matched), "{ok:?}");
+        // A differing *surviving* row still fails.
+        let drifted = Json::obj([
+            ("cells", Json::uint(2)),
+            ("quarantined", Json::uint(1)),
+            (
+                "rows",
+                Json::arr([
+                    row(
+                        "art/baseline",
+                        Json::obj([("quarantined", Json::str("hung"))]),
+                    ),
+                    row("mcf/baseline", Json::obj([("mpki", Json::num(999.0))])),
+                ]),
+            ),
+        ]);
+        let err = verify_surviving("unit_surviving", &drifted, &skipped).unwrap_err();
+        std::env::remove_var("LDIS_GOLDEN_DIR");
+        assert!(err.contains("mcf/baseline"), "{err}");
+    }
+
+    #[test]
     fn mismatch_error_names_line_and_remedy() {
         if update_requested() {
             // Regeneration runs exercise the update path instead.
             return;
         }
+        let _env = ENV_LOCK.lock().unwrap_or_else(|p| p.into_inner());
         let tmp = std::env::temp_dir().join("ldis-golden-unit");
         fs::create_dir_all(&tmp).unwrap();
         fs::write(tmp.join("unit_mismatch.json"), "{\n  \"v\": 1\n}\n").unwrap();

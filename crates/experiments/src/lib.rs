@@ -28,6 +28,8 @@
 //! | [`linesize`] | Section 2 footnote / §7.5.1 line-size sensitivity |
 //! | [`ablations`] | design-choice ablations (DESIGN.md §7) |
 //! | [`resilience`] | fault-injection campaign (DESIGN.md fault model) |
+//! | [`sweep`] | full matrix on the crash-safe executor ([`exec`]) |
+//! | [`perf`] | wall-clock throughput trajectory (`BENCH_sweep.json`) |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -35,6 +37,7 @@
 pub mod ablations;
 pub mod appendix;
 pub mod costs;
+pub mod exec;
 pub mod fig10;
 pub mod fig11;
 pub mod fig13;
@@ -47,9 +50,11 @@ pub mod linesize;
 pub mod motivation;
 pub mod mrc;
 pub mod parallel;
+pub mod perf;
 pub mod report;
 pub mod resilience;
 mod runner;
+pub mod sweep;
 pub mod table3;
 
 pub use runner::{

@@ -1,0 +1,170 @@
+//! Performance-trajectory harness: wall-clock throughput of the quick
+//! sweep matrix.
+//!
+//! `ldis-experiments bench --quick --out BENCH_sweep.json` times the full
+//! 81-cell quick matrix on the crash-safe executor at 1 and 4 worker
+//! threads and writes the committed trajectory artifact. Unlike golden
+//! snapshots the numbers are host-dependent by nature — the artifact
+//! tracks the *trend* across PRs (simulated accesses per second,
+//! nanoseconds per access, parallel speedup), not exact bytes, so it is
+//! exempt from byte-stability checks.
+
+use crate::exec::{run_cells, ExecPolicy};
+use crate::report::{fmt_f, Json, Table};
+use crate::{sweep, RunConfig};
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// One timed configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct BenchPoint {
+    /// Worker threads used.
+    pub threads: usize,
+    /// Wall-clock seconds for the full matrix.
+    pub wall_s: f64,
+    /// Simulated memory accesses per wall-clock second.
+    pub accesses_per_s: f64,
+    /// Wall-clock nanoseconds per simulated access.
+    pub ns_per_access: f64,
+}
+
+/// Times the full sweep matrix once per entry of `thread_counts`.
+pub fn measure(cfg: &RunConfig, thread_counts: &[usize]) -> Vec<BenchPoint> {
+    let total_accesses = cfg.accesses * sweep::cells().len() as u64;
+    thread_counts
+        .iter()
+        .map(|&threads| {
+            let run_cfg = *cfg;
+            let policy = ExecPolicy::with_threads(threads);
+            let start = Instant::now();
+            let report = run_cells(
+                sweep::cells(),
+                move |_cell, spec| sweep::run_cell(spec, &run_cfg),
+                &policy,
+                BTreeMap::new(),
+                |_, _| {},
+            );
+            let wall_s = start.elapsed().as_secs_f64().max(1e-9);
+            debug_assert!(report.all_ok());
+            BenchPoint {
+                threads,
+                wall_s,
+                accesses_per_s: total_accesses as f64 / wall_s,
+                ns_per_access: wall_s * 1e9 / total_accesses as f64,
+            }
+        })
+        .collect()
+}
+
+/// The committed `BENCH_sweep.json` artifact.
+pub fn snapshot(cfg: &RunConfig, points: &[BenchPoint]) -> Json {
+    Json::obj([
+        ("bench", Json::str("sweep")),
+        (
+            "workload",
+            Json::obj([
+                ("cells", Json::uint(sweep::cells().len() as u64)),
+                ("accesses_per_cell", Json::uint(cfg.accesses)),
+                ("seed", Json::uint(cfg.seed)),
+            ]),
+        ),
+        (
+            "results",
+            Json::arr(points.iter().map(|p| {
+                Json::obj([
+                    ("threads", Json::uint(p.threads as u64)),
+                    ("wall_s", Json::num(round3(p.wall_s))),
+                    ("accesses_per_s", Json::num(round3(p.accesses_per_s))),
+                    ("ns_per_access", Json::num(round3(p.ns_per_access))),
+                ])
+            })),
+        ),
+        (
+            "regenerate",
+            Json::str(
+                "cargo build --release --workspace && \
+                 ./target/release/ldis-experiments bench --quick --out BENCH_sweep.json",
+            ),
+        ),
+    ])
+}
+
+/// Rounds to 3 decimals so the artifact diffs stay readable.
+fn round3(x: f64) -> f64 {
+    (x * 1000.0).round() / 1000.0
+}
+
+/// Renders the human-readable bench table.
+pub fn report(cfg: &RunConfig, points: &[BenchPoint]) -> String {
+    let mut t = Table::new(
+        "Sweep throughput (crash-safe executor, full matrix)",
+        &["threads", "wall s", "Maccess/s", "ns/access"],
+    );
+    for p in points {
+        t.row(vec![
+            p.threads.to_string(),
+            fmt_f(p.wall_s, 3),
+            fmt_f(p.accesses_per_s / 1e6, 2),
+            fmt_f(p.ns_per_access, 1),
+        ]);
+    }
+    if let (Some(serial), Some(fastest)) = (points.first(), points.last()) {
+        if fastest.threads > serial.threads {
+            t.note(format!(
+                "speedup at {} threads: {}x over 1 thread",
+                fastest.threads,
+                fmt_f(serial.wall_s / fastest.wall_s.max(1e-9), 2)
+            ));
+        }
+    }
+    t.note(format!(
+        "{} cells x {} accesses; regenerate BENCH_sweep.json with `bench --quick --out`",
+        sweep::cells().len(),
+        cfg.accesses
+    ));
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_snapshot_shape_is_stable() {
+        let cfg = RunConfig::quick();
+        let points = vec![
+            BenchPoint {
+                threads: 1,
+                wall_s: 2.0,
+                accesses_per_s: 6_075_000.0,
+                ns_per_access: 164.6,
+            },
+            BenchPoint {
+                threads: 4,
+                wall_s: 0.55,
+                accesses_per_s: 22_090_909.0,
+                ns_per_access: 45.3,
+            },
+        ];
+        let json = snapshot(&cfg, &points);
+        let text = json.render();
+        assert!(text.contains("\"bench\": \"sweep\""), "{text}");
+        assert!(text.contains("\"threads\": 1"), "{text}");
+        assert!(text.contains("\"regenerate\""), "{text}");
+        let rendered = report(&cfg, &points);
+        assert!(rendered.contains("speedup"), "{rendered}");
+    }
+
+    #[test]
+    fn measure_times_a_tiny_matrix() {
+        // One real (but minuscule) measurement keeps the timing path
+        // honest without slowing the suite.
+        let cfg = RunConfig::quick().with_accesses(500);
+        let points = measure(&cfg, &[1]);
+        assert_eq!(points.len(), 1);
+        let p = points.first().expect("one point");
+        assert!(p.wall_s > 0.0);
+        assert!(p.accesses_per_s > 0.0);
+        assert!(p.ns_per_access > 0.0);
+    }
+}

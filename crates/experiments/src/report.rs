@@ -310,6 +310,208 @@ impl Json {
     }
 }
 
+impl Json {
+    /// Parses a JSON text produced by [`Json::render`] /
+    /// [`Json::render_pretty`] back into a value. The reader accepts any
+    /// standard JSON (whitespace-insensitive, full string escapes), keeps
+    /// object keys in document order, and reads non-negative integers
+    /// without a fraction or exponent as [`Json::Uint`] — so a canonical
+    /// rendering round-trips to an identical value:
+    /// `Json::parse(&j.render()) == Ok(j)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a byte offset and message for malformed input, including
+    /// trailing garbage after the value — which is how the checkpoint
+    /// journal detects truncated records.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing data at byte {pos}"));
+        }
+        Ok(value)
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while bytes
+        .get(*pos)
+        .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+    {
+        *pos += 1;
+    }
+}
+
+fn expect_byte(bytes: &[u8], pos: &mut usize, want: u8) -> Result<(), String> {
+    if bytes.get(*pos) == Some(&want) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected `{}` at byte {}", want as char, *pos))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err(format!("unexpected end of input at byte {}", *pos)),
+        Some(b'n') => parse_keyword(bytes, pos, "null", Json::Null),
+        Some(b't') => parse_keyword(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_keyword(bytes, pos, "false", Json::Bool(false)),
+        Some(b'"') => parse_string(bytes, pos).map(Json::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected `,` or `]` at byte {}", *pos)),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                expect_byte(bytes, pos, b':')?;
+                let value = parse_value(bytes, pos)?;
+                fields.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(fields));
+                    }
+                    _ => return Err(format!("expected `,` or `}}` at byte {}", *pos)),
+                }
+            }
+        }
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_keyword(bytes: &[u8], pos: &mut usize, word: &str, value: Json) -> Result<Json, String> {
+    if bytes
+        .get(*pos..)
+        .is_some_and(|rest| rest.starts_with(word.as_bytes()))
+    {
+        *pos += word.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at byte {}", *pos))
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect_byte(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err(format!("unterminated string at byte {}", *pos)),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or_else(|| format!("bad \\u escape at byte {}", *pos))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| format!("bad \\u escape at byte {}", *pos))?;
+                        // The canonical renderer only emits \u for control
+                        // characters; reject surrogates rather than pair them.
+                        let c = char::from_u32(code)
+                            .ok_or_else(|| format!("invalid \\u code point at byte {}", *pos))?;
+                        out.push(c);
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {}", *pos)),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 character (input is a &str, so the
+                // boundary math is always valid).
+                let rest = bytes.get(*pos..).unwrap_or(&[]);
+                let s = std::str::from_utf8(rest)
+                    .map_err(|_| format!("invalid utf-8 at byte {}", *pos))?;
+                let Some(c) = s.chars().next() else {
+                    return Err(format!("unterminated string at byte {}", *pos));
+                };
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut float = false;
+    while let Some(&b) = bytes.get(*pos) {
+        match b {
+            b'0'..=b'9' => *pos += 1,
+            b'.' | b'e' | b'E' | b'+' | b'-' => {
+                float = true;
+                *pos += 1;
+            }
+            _ => break,
+        }
+    }
+    let digits = bytes.get(start..*pos).unwrap_or(&[]);
+    let text =
+        std::str::from_utf8(digits).map_err(|_| format!("invalid number at byte {start}"))?;
+    if text.is_empty() || text == "-" {
+        return Err(format!("invalid number at byte {start}"));
+    }
+    if !float {
+        if let Ok(u) = text.parse::<u64>() {
+            return Ok(Json::Uint(u));
+        }
+    }
+    text.parse::<f64>()
+        .map(Json::Num)
+        .map_err(|_| format!("invalid number `{text}` at byte {start}"))
+}
+
 /// Formats a float with `prec` decimals.
 pub fn fmt_f(x: f64, prec: usize) -> String {
     if x.is_nan() {
@@ -412,6 +614,65 @@ mod tests {
         let a = 0.1f64;
         let b = 0.1f64 + f64::EPSILON;
         assert_ne!(Json::num(a).render(), Json::num(b).render());
+    }
+
+    #[test]
+    fn json_parse_round_trips_canonical_renderings() {
+        let j = Json::obj([
+            ("name", Json::str("quick \"q\" \\ line\nend\u{1}")),
+            ("count", Json::uint(u64::MAX)),
+            ("mpki", Json::num(38.25)),
+            ("tiny", Json::num(5e-324)),
+            ("neg", Json::num(-5.0)),
+            ("whole", Json::num(2.0)),
+            ("flag", Json::Bool(true)),
+            ("none", Json::Null),
+            (
+                "rows",
+                Json::arr([Json::uint(1), Json::obj([("k", Json::str("v"))])]),
+            ),
+            ("empty_arr", Json::arr([])),
+            ("empty_obj", Json::obj::<String>([])),
+        ]);
+        assert_eq!(Json::parse(&j.render()), Ok(j.clone()));
+        assert_eq!(Json::parse(&j.render_pretty()), Ok(j));
+    }
+
+    #[test]
+    fn json_parse_preserves_float_bits_and_uint_type() {
+        let x = 0.1f64 + f64::EPSILON;
+        match Json::parse(&Json::num(x).render()) {
+            Ok(Json::Num(y)) => assert_eq!(x.to_bits(), y.to_bits()),
+            other => panic!("expected float, got {other:?}"),
+        }
+        assert_eq!(Json::parse("42"), Ok(Json::Uint(42)));
+        assert_eq!(Json::parse("42.0"), Ok(Json::Num(42.0)));
+    }
+
+    #[test]
+    fn json_parse_rejects_malformed_and_truncated_input() {
+        for bad in [
+            "",
+            "{",
+            "{\"a\": 1",
+            "{\"a\" 1}",
+            "[1, 2",
+            "\"unterminated",
+            "nul",
+            "{\"a\": 1} trailing",
+            "1e",
+            "{\"a\": \"b\\u12\"}",
+        ] {
+            assert!(Json::parse(bad).is_err(), "should reject {bad:?}");
+        }
+        // A record cut mid-way by a crash is malformed, not silently empty.
+        let full = Json::obj([("cell", Json::uint(9)), ("seed", Json::uint(7))]).render();
+        for cut in 1..full.len() {
+            assert!(
+                Json::parse(full.get(..cut).unwrap_or("")).is_err(),
+                "truncation at {cut} must not parse"
+            );
+        }
     }
 
     #[test]

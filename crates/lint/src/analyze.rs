@@ -119,7 +119,9 @@ fn p2(ws: &Workspace, cfg: &AnalysisConfig, findings: &mut Vec<Finding>) {
         })
         .collect();
 
-    // Entry points: public functions of the sim-core crates.
+    // Entry points: public functions of the sim-core crates, plus the
+    // crash-safe executor — a quarantine layer that panics is worse than
+    // no quarantine layer at all.
     for entry in 0..ws.fns.len() {
         let f = &ws.fns[entry];
         let file = &ws.files[f.file];
@@ -129,7 +131,9 @@ fn p2(ws: &Workspace, cfg: &AnalysisConfig, findings: &mut Vec<Finding>) {
         let Some((krate, sub)) = rest.split_once('/') else {
             continue;
         };
-        if !P2_CRATES.contains(&krate) || !sub.starts_with("src/") {
+        let core_entry = P2_CRATES.contains(&krate) && sub.starts_with("src/");
+        let exec_entry = krate == "experiments" && sub.starts_with("src/exec");
+        if !core_entry && !exec_entry {
             continue;
         }
         if !f.item.is_pub || f.in_test || file.allows.allows(Rule::P2, f.item.line) {

@@ -62,6 +62,7 @@ pub const SIM_CRATES: &[&str] = &[
 /// | path | rules |
 /// |---|---|
 /// | `crates/<sim>/src/**` | D1 D2 P1 P1X |
+/// | `crates/experiments/src/exec/**` | D1 D2 P1 P1X (crash-safe executor: wall-clock reads must be waived) |
 /// | `crates/experiments/src/**` (not `bin/`) | D2 P1 P1X |
 /// | `crates/experiments/src/bin/**` | D2 |
 /// | `crates/lint/src/**` | D2 |
@@ -90,6 +91,11 @@ pub fn rules_for(rel: &str) -> Option<Vec<Rule>> {
         if krate == "experiments" && sub.starts_with("src/") {
             return Some(if sub.starts_with("src/bin/") {
                 vec![Rule::D2]
+            } else if sub.starts_with("src/exec") {
+                // The crash-safe executor sits between the harness and
+                // the simulator: deterministic-clock discipline applies
+                // (its watchdog wall-clock reads carry inline waivers).
+                vec![Rule::D1, Rule::D2, Rule::P1, Rule::P1X]
             } else {
                 vec![Rule::D2, Rule::P1, Rule::P1X]
             });
@@ -261,6 +267,14 @@ mod tests {
         assert_eq!(
             rules_for("crates/experiments/src/runner.rs"),
             Some(vec![Rule::D2, Rule::P1, Rule::P1X])
+        );
+        assert_eq!(
+            rules_for("crates/experiments/src/exec/mod.rs"),
+            Some(vec![Rule::D1, Rule::D2, Rule::P1, Rule::P1X])
+        );
+        assert_eq!(
+            rules_for("crates/experiments/src/exec/journal.rs"),
+            Some(vec![Rule::D1, Rule::D2, Rule::P1, Rule::P1X])
         );
         assert_eq!(
             rules_for("crates/experiments/src/bin/main.rs"),

@@ -40,5 +40,5 @@ pub use access::{Access, AccessKind};
 pub use addr::{Addr, LineAddr, WordIndex};
 pub use footprint::Footprint;
 pub use geometry::LineGeometry;
-pub use rng::{stable_id, SimRng};
+pub use rng::{fnv1a, stable_id, SimRng};
 pub use trace::{Trace, TraceSource};

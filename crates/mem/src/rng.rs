@@ -20,8 +20,26 @@
 /// assert_ne!(stable_id("LDIS-MT"), stable_id("LDIS-MT-RC"));
 /// ```
 pub fn stable_id(name: &str) -> u64 {
+    fnv1a(name.as_bytes())
+}
+
+/// The 64-bit FNV-1a hash of a byte string — the checksum primitive of the
+/// sweep checkpoint journal (`ldis-experiments`). Stable across runs,
+/// platforms and compiler versions for the same bytes, so a journal written
+/// on one host validates on any other.
+///
+/// # Example
+///
+/// ```
+/// use ldis_mem::rng::{fnv1a, stable_id};
+///
+/// assert_eq!(fnv1a(b"abc"), fnv1a(b"abc"));
+/// assert_ne!(fnv1a(b"abc"), fnv1a(b"abd"));
+/// assert_eq!(fnv1a("label".as_bytes()), stable_id("label"));
+/// ```
+pub fn fnv1a(bytes: &[u8]) -> u64 {
     let mut hash = 0xcbf2_9ce4_8422_2325u64;
-    for byte in name.as_bytes() {
+    for byte in bytes {
         hash ^= u64::from(*byte);
         hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
     }
@@ -183,11 +201,41 @@ impl SimRng {
     /// assert_ne!(a, SimRng::derive_seed(42, 1, 7)); // cells are split
     /// ```
     pub fn derive_seed(seed: u64, benchmark_id: u64, config_id: u64) -> u64 {
+        SimRng::derive_seed_chain(seed, &[benchmark_id, config_id])
+    }
+
+    /// Derives a seed from a root seed and an arbitrary chain of
+    /// components — the generalization of [`SimRng::derive_seed`] used by
+    /// the crash-safe sweep executor, which splits on (matrix id, cell
+    /// index) chains of varying depth. One SplitMix64 finalization is
+    /// chained per component; each round is a bijection of the 64-bit
+    /// state, so for a fixed prefix, distinct next components always
+    /// produce distinct intermediate states.
+    ///
+    /// Replay contract: the derivation depends only on the values, never
+    /// on when or where it runs, so a failed sweep cell replays its exact
+    /// workload from `(root seed, chain)` alone.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use ldis_mem::SimRng;
+    ///
+    /// assert_eq!(
+    ///     SimRng::derive_seed(42, 3, 7),
+    ///     SimRng::derive_seed_chain(42, &[3, 7])
+    /// );
+    /// assert_ne!(
+    ///     SimRng::derive_seed_chain(42, &[3]),
+    ///     SimRng::derive_seed_chain(42, &[3, 0])
+    /// );
+    /// ```
+    pub fn derive_seed_chain(seed: u64, components: &[u64]) -> u64 {
         let mut s = seed;
-        let h = splitmix64(&mut s);
-        s = h ^ benchmark_id;
-        let h = splitmix64(&mut s);
-        s = h ^ config_id;
+        for &component in components {
+            let h = splitmix64(&mut s);
+            s = h ^ component;
+        }
         splitmix64(&mut s)
     }
 
@@ -365,6 +413,53 @@ mod tests {
         assert_ne!(base, SimRng::derive_seed(42, 2, 2));
         assert_ne!(base, SimRng::derive_seed(42, 1, 3));
         assert_ne!(base, SimRng::derive_seed(42, 2, 1), "axes must not commute");
+    }
+
+    #[test]
+    fn derive_seed_chain_matches_and_extends_derive_seed() {
+        // The two-component chain is exactly the historical derivation, so
+        // every committed golden snapshot keeps its seeds.
+        for (seed, b, c) in [(0u64, 0u64, 0u64), (42, 3, 7), (u64::MAX, 15, 1 << 40)] {
+            assert_eq!(
+                SimRng::derive_seed(seed, b, c),
+                SimRng::derive_seed_chain(seed, &[b, c])
+            );
+        }
+        // Chains of different depth never collide trivially, and every
+        // component position matters.
+        let base = SimRng::derive_seed_chain(42, &[1, 2, 3]);
+        assert_ne!(base, SimRng::derive_seed_chain(42, &[1, 2]));
+        assert_ne!(base, SimRng::derive_seed_chain(42, &[1, 2, 4]));
+        assert_ne!(base, SimRng::derive_seed_chain(42, &[2, 1, 3]));
+        assert_ne!(base, SimRng::derive_seed_chain(43, &[1, 2, 3]));
+        // Deep chains stay collision-free across a realistic cell space.
+        let mut seen = std::collections::BTreeSet::new();
+        for matrix in 0..10u64 {
+            for cell in 0..1000u64 {
+                assert!(
+                    seen.insert(SimRng::derive_seed_chain(42, &[matrix, cell])),
+                    "collision at matrix {matrix} cell {cell}"
+                );
+            }
+        }
+        assert_eq!(seen.len(), 10_000);
+    }
+
+    #[test]
+    fn fnv1a_detects_single_byte_corruption() {
+        let record = b"{\"kind\": \"cell\", \"cell\": 3, \"seed\": 99}";
+        let sum = fnv1a(record);
+        for i in 0..record.len() {
+            for flip in 1..8u8 {
+                let mut corrupt = record.to_vec();
+                if let Some(byte) = corrupt.get_mut(i) {
+                    *byte ^= 1 << flip;
+                }
+                assert_ne!(sum, fnv1a(&corrupt), "flip bit {flip} of byte {i}");
+            }
+        }
+        // Truncation is detected too.
+        assert_ne!(sum, fnv1a(&record[..record.len() - 1]));
     }
 
     #[test]

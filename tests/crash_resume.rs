@@ -1,0 +1,228 @@
+//! Seeded fault campaign for the crash-safe sweep.
+//!
+//! Every test drives the full 81-cell matrix (at a reduced access count,
+//! so the campaign stays fast) through `sweep::execute` and asserts the
+//! recovered run is **byte-identical** to an uninterrupted one on the
+//! canonical snapshot rendering — the same bytes `--out` writes and the
+//! golden harness compares. Covered failure classes:
+//!
+//! * a cell that panics on every attempt (quarantined, journal keeps the
+//!   other 80, resume re-executes exactly the missing cell);
+//! * a transient panic that recovers via retry + confirmation replay;
+//! * a journal whose tail was cut mid-record (a SIGKILL mid-append);
+//! * a journal with a flipped checksum byte (bit rot);
+//! * a hung cell resolved by the watchdog;
+//! * graceful-degradation golden comparison over surviving cells.
+
+use line_distillation::experiments::{exec::FaultPlan, golden, sweep, RunConfig};
+use std::fs;
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
+/// The miniature campaign configuration: all 81 cells, short runs.
+fn small() -> RunConfig {
+    let mut cfg = RunConfig::quick();
+    cfg.accesses = 20_000;
+    cfg.warmup = 0;
+    cfg
+}
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("ldis_crash_{}_{name}", std::process::id()))
+}
+
+fn opts(threads: usize) -> sweep::SweepOptions {
+    sweep::SweepOptions::new(small(), threads)
+}
+
+fn run(o: &sweep::SweepOptions) -> sweep::SweepOutcome {
+    sweep::execute(o).expect("sweep must not fail at the CLI level")
+}
+
+/// The uninterrupted reference bytes, computed once per test binary.
+fn clean_bytes() -> &'static str {
+    static CLEAN: OnceLock<String> = OnceLock::new();
+    CLEAN.get_or_init(|| run(&opts(1)).snapshot.render_pretty())
+}
+
+#[test]
+fn clean_sweep_is_thread_count_invariant() {
+    let parallel = run(&opts(4));
+    assert_eq!(parallel.quarantined, 0);
+    assert_eq!(parallel.snapshot.render_pretty(), clean_bytes());
+}
+
+#[test]
+fn permanent_panic_quarantines_then_resume_restores_identical_bytes() {
+    for threads in [1usize, 4] {
+        let journal = tmp(&format!("perm_t{threads}.jsonl"));
+        let _ = fs::remove_file(&journal);
+
+        // The crash: cell 5 panics on every attempt. The run completes,
+        // quarantines it, and journals the other 80 cells.
+        let mut crashed = opts(threads);
+        crashed.journal = Some(journal.clone());
+        crashed.faults = FaultPlan::parse("5:panic:99").expect("valid fault spec");
+        crashed.max_retries = 1;
+        let outcome = run(&crashed);
+        assert_eq!(outcome.quarantined, 1, "threads={threads}");
+        assert!(outcome.text.contains("[panicked]"), "threads={threads}");
+        assert_ne!(outcome.snapshot.render_pretty(), clean_bytes());
+
+        // The recovery: resume without the fault. Only the missing cell
+        // runs, and the final snapshot is bit-identical to a run that
+        // never crashed.
+        let mut resumed = opts(threads);
+        resumed.journal = Some(journal.clone());
+        resumed.resume = true;
+        let outcome = run(&resumed);
+        assert_eq!(outcome.quarantined, 0, "threads={threads}");
+        assert!(
+            outcome.text.contains("80 resumed, 1 executed"),
+            "threads={threads}: {}",
+            outcome.text
+        );
+        assert_eq!(outcome.snapshot.render_pretty(), clean_bytes());
+        let _ = fs::remove_file(&journal);
+    }
+}
+
+#[test]
+fn transient_panic_recovers_via_retry_without_changing_the_bytes() {
+    // Cell 7 panics on its first attempt only; the retry succeeds and a
+    // confirmation replay proves the recovered result is deterministic.
+    let mut o = opts(4);
+    o.faults = FaultPlan::parse("7:panic:1").expect("valid fault spec");
+    let outcome = run(&o);
+    assert_eq!(outcome.quarantined, 0);
+    assert!(outcome.text.contains("1 retried"), "{}", outcome.text);
+    assert_eq!(outcome.snapshot.render_pretty(), clean_bytes());
+}
+
+#[test]
+fn journal_truncated_mid_record_is_discarded_and_reexecuted() {
+    // A SIGKILL mid-append leaves a half-written trailing record. Resume
+    // must keep the valid prefix, drop the torn tail, and re-run the
+    // rest to the exact uninterrupted bytes.
+    let journal = tmp("trunc.jsonl");
+    let _ = fs::remove_file(&journal);
+    let mut o = opts(4);
+    o.journal = Some(journal.clone());
+    run(&o);
+
+    let text = fs::read_to_string(&journal).expect("journal written");
+    let lines: Vec<&str> = text.split_inclusive('\n').collect();
+    assert_eq!(lines.len(), 82, "header + 81 records");
+    let keep: usize = lines[..11].iter().map(|l| l.len()).sum();
+    let cut = keep + lines[11].len() / 2;
+    fs::write(&journal, &text.as_bytes()[..cut]).expect("truncate journal");
+
+    let mut resumed = opts(1);
+    resumed.journal = Some(journal.clone());
+    resumed.resume = true;
+    let outcome = run(&resumed);
+    assert!(
+        outcome.text.contains("10 resumed, 71 executed"),
+        "{}",
+        outcome.text
+    );
+    assert!(outcome.text.contains("discarded"), "{}", outcome.text);
+    assert_eq!(outcome.snapshot.render_pretty(), clean_bytes());
+
+    // The resumed run repaired the journal: full, newline-terminated.
+    let repaired = fs::read_to_string(&journal).expect("journal rewritten");
+    assert_eq!(repaired.split_inclusive('\n').count(), 82);
+    assert!(repaired.ends_with('\n'));
+    let _ = fs::remove_file(&journal);
+}
+
+#[test]
+fn journal_with_flipped_checksum_byte_is_discarded_and_reexecuted() {
+    let journal = tmp("flip.jsonl");
+    let _ = fs::remove_file(&journal);
+    let mut o = opts(1);
+    o.journal = Some(journal.clone());
+    run(&o);
+
+    // Flip one digit inside record 6's checksum (line 0 is the header).
+    let text = fs::read_to_string(&journal).expect("journal written");
+    let lines: Vec<&str> = text.split_inclusive('\n').collect();
+    let line_start: usize = lines[..6].iter().map(|l| l.len()).sum();
+    let field = lines[6]
+        .rfind("\"checksum\":")
+        .expect("record carries a checksum");
+    let digit = line_start + field + "\"checksum\":".len() + 1;
+    let mut bytes = text.into_bytes();
+    assert!(bytes[digit].is_ascii_digit());
+    bytes[digit] = if bytes[digit] == b'9' { b'1' } else { b'9' };
+    fs::write(&journal, &bytes).expect("corrupt journal");
+
+    // Resume keeps the 5 records before the corruption, reports the
+    // discard, re-executes the remaining 76 cells, and converges on the
+    // uninterrupted bytes.
+    let mut resumed = opts(4);
+    resumed.journal = Some(journal.clone());
+    resumed.resume = true;
+    let outcome = run(&resumed);
+    assert!(
+        outcome.text.contains("5 resumed, 76 executed"),
+        "{}",
+        outcome.text
+    );
+    assert!(outcome.text.contains("discarded"), "{}", outcome.text);
+    assert_eq!(outcome.snapshot.render_pretty(), clean_bytes());
+    let _ = fs::remove_file(&journal);
+}
+
+#[test]
+fn hung_cell_is_quarantined_and_the_sweep_still_completes() {
+    let mut o = opts(2);
+    o.faults = FaultPlan::parse("3:hang").expect("valid fault spec");
+    // Generous budget: a real debug-build cell finishes in well under a
+    // second even on a loaded test machine; the injected hang never does.
+    o.cell_timeout_ms = Some(2_000);
+    let outcome = run(&o);
+    assert_eq!(outcome.quarantined, 1);
+    assert!(outcome.text.contains("[hung]"), "{}", outcome.text);
+    assert!(outcome.text.contains("repro:"), "{}", outcome.text);
+}
+
+#[test]
+fn golden_check_degrades_to_surviving_cells() {
+    // Quarantine + UPDATE_GOLDEN is a refused combination by design;
+    // skip this test during regeneration runs.
+    if golden::update_requested() {
+        return;
+    }
+    // This test owns LDIS_GOLDEN_DIR for the whole binary: no other test
+    // here reads the golden directory.
+    let dir = tmp("golden_dir");
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("golden dir");
+    fs::write(dir.join("sweep.json"), clean_bytes()).expect("seed golden");
+    std::env::set_var("LDIS_GOLDEN_DIR", &dir);
+
+    // Quarantined rows are skipped; the surviving 80 match the golden.
+    let mut o = opts(2);
+    o.faults = FaultPlan::parse("5:panic:99").expect("valid fault spec");
+    o.max_retries = 0;
+    o.golden_check = true;
+    let outcome = run(&o);
+    assert_eq!(outcome.quarantined, 1);
+    assert!(
+        outcome
+            .text
+            .contains("skipped quarantined rows: mcf/LDIS-MT-RC"),
+        "{}",
+        outcome.text
+    );
+
+    // A surviving row that drifted still fails the degraded check.
+    let mut drifted = o.clone();
+    drifted.cfg.seed ^= 1;
+    let err = sweep::execute(&drifted).expect_err("drifted rows must fail");
+    assert!(err.contains("sweep"), "{err}");
+
+    std::env::remove_var("LDIS_GOLDEN_DIR");
+    let _ = fs::remove_dir_all(&dir);
+}

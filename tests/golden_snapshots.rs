@@ -8,7 +8,7 @@
 //! commit the diff alongside the change.
 
 use line_distillation::experiments::{
-    appendix, fig8, golden, linesize, motivation, mrc, resilience, table3,
+    appendix, exec, fig8, golden, linesize, motivation, mrc, parallel, resilience, sweep, table3,
 };
 
 #[test]
@@ -56,4 +56,23 @@ fn table6_matches_golden() {
 fn mrc_matches_golden() {
     let cfg = golden::golden_config();
     golden::assert_matches("mrc", &mrc::snapshot(&cfg));
+}
+
+#[test]
+fn sweep_matches_golden() {
+    // The full 81-cell matrix through the crash-safe executor: the
+    // snapshot must be byte-stable whether cells run serially, on a
+    // pool, or resumed from a journal (crash_resume.rs covers the
+    // journal paths against this same committed file).
+    let cfg = golden::golden_config();
+    let policy = exec::ExecPolicy::with_threads(parallel::configured_threads());
+    let report = exec::run_cells(
+        sweep::cells(),
+        move |_cell, spec: &sweep::CellSpec| sweep::run_cell(spec, &cfg),
+        &policy,
+        std::collections::BTreeMap::new(),
+        |_, _| {},
+    );
+    assert!(report.all_ok(), "clean matrix must not quarantine");
+    golden::assert_matches("sweep", &sweep::snapshot(&report.outcomes));
 }

@@ -7,7 +7,7 @@
 //!                  [--threads N] [--quick]
 //!
 //! EXPERIMENT: all fig1 fig2 table2 fig6 fig7 fig8 fig9 table3 fig10
-//!             fig11 fig13 table5 table6 mrc ablations resilience
+//!             fig11 fig13 table5 table6 mrc advisor ablations resilience
 //! ```
 //!
 //! Sweeps run on a worker pool sized by `--threads`, the `LDIS_THREADS`
@@ -22,18 +22,21 @@
 //!                        [--fault CELL:KIND[:ATTEMPTS],...]
 //!                        [--out FILE] [--quarantine FILE] [--golden-check]
 //! ldis-experiments bench [--out FILE]
+//! ldis-experiments bench-mrc [--out FILE]
 //! ```
 //!
 //! `sweep` runs the full 27-benchmark × 3-configuration matrix on the
 //! crash-safe executor: cells are panic-isolated, retried, watchdogged
 //! and checkpointed; `--resume` replays a checksummed journal and
 //! produces bytes identical to an uninterrupted run. `bench` times the
-//! matrix and writes the `BENCH_sweep.json` trajectory artifact.
+//! matrix and writes the `BENCH_sweep.json` trajectory artifact;
+//! `bench-mrc` times the exact Mattson pass against the sampled SHARDS
+//! pass at rates 0.1/0.01/0.001 and writes `BENCH_mrc.json`.
 
 use ldis_experiments::exec::FaultPlan;
 use ldis_experiments::{
-    ablations, appendix, costs, fig10, fig11, fig13, fig6, fig7, fig8, fig9, linesize, motivation,
-    mrc, parallel, perf, resilience, sweep, table3, RunConfig,
+    ablations, advisor, appendix, costs, fig10, fig11, fig13, fig6, fig7, fig8, fig9, linesize,
+    motivation, mrc, parallel, perf, resilience, sweep, table3, RunConfig,
 };
 
 const ALL: &[&str] = &[
@@ -51,6 +54,7 @@ const ALL: &[&str] = &[
     "table5",
     "table6",
     "mrc",
+    "advisor",
     "costs",
     "linesize",
     "ablations",
@@ -65,7 +69,8 @@ fn usage() -> ! {
          crash-safe sweep: sweep [--journal FILE] [--resume] [--cell N] [--cell-timeout MS]\n\
          \u{20}                  [--max-retries N] [--fault CELL:KIND[:ATTEMPTS],...]\n\
          \u{20}                  [--out FILE] [--quarantine FILE] [--golden-check]\n\
-         throughput:       bench [--out FILE]\n\
+         throughput:       bench [--out FILE]  (sweep matrix)\n\
+         \u{20}                  bench-mrc [--out FILE]  (exact vs sampled MRC passes)\n\
          threads default to LDIS_THREADS or the available parallelism; results are\n\
          bit-identical for every thread count",
         ALL.join(" ")
@@ -191,6 +196,23 @@ fn main() {
         }
         return;
     }
+    if wanted.iter().any(|w| w == "bench-mrc") {
+        if wanted.len() > 1 {
+            eprintln!("`bench-mrc` runs alone");
+            usage();
+        }
+        let points = perf::measure_mrc(&cfg, &[0.1, 0.01, 0.001]);
+        println!("{}", perf::mrc_report(&cfg, &points));
+        if let Some(path) = out {
+            let rendered = perf::mrc_snapshot(&cfg, &points).render_pretty();
+            if let Err(e) = std::fs::write(&path, rendered) {
+                eprintln!("cannot write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+            println!("wrote {}", path.display());
+        }
+        return;
+    }
 
     if wanted.is_empty() || wanted.iter().any(|w| w == "all") {
         wanted = ALL.iter().map(|s| (*s).to_owned()).collect();
@@ -238,6 +260,7 @@ fn main() {
             "table5" => appendix::table5_report(&appendix::table5_data(&cfg)),
             "table6" => appendix::table6_report(&appendix::table6_data(&cfg)),
             "mrc" => mrc::report(&mrc::data(&cfg)),
+            "advisor" => advisor::report(&advisor::data(&cfg)),
             "ablations" => ablations::all(&cfg),
             "resilience" => resilience::report(&resilience::data(&cfg)),
             _ => unreachable!("validated above"),

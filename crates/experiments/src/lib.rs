@@ -24,6 +24,7 @@
 //! | [`fig13`] | Figure 13 (SFP comparison) |
 //! | [`appendix`] | Table 5, Table 6 |
 //! | [`mrc`] | miss-ratio curves (single-pass Mattson capacity sweep) |
+//! | [`advisor`] | per-tenant capacity/LOC:WOC advisor (sampled SHARDS MRCs) |
 //! | [`costs`] | Section 7.5 latency/energy costs |
 //! | [`linesize`] | Section 2 footnote / §7.5.1 line-size sensitivity |
 //! | [`ablations`] | design-choice ablations (DESIGN.md §7) |
@@ -35,6 +36,7 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod advisor;
 pub mod appendix;
 pub mod costs;
 pub mod exec;
@@ -59,6 +61,6 @@ pub mod table3;
 
 pub use runner::{
     baseline_config, for_each_benchmark, run, run_baseline, run_baseline_with_words,
-    run_capacity_sweep, run_matrix, run_matrix_with_threads, CapacityPoint, CapacitySweep,
-    RunConfig, RunResult,
+    run_capacity_sweep, run_matrix, run_matrix_with_threads, run_sampled_capacity_sweep,
+    CapacityPoint, CapacitySweep, RunConfig, RunResult, SampledCapacityPoint, SampledCapacitySweep,
 };

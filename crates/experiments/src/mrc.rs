@@ -14,6 +14,13 @@ use ldis_workloads::{cache_insensitive, memory_intensive, Benchmark};
 /// The swept traditional cache sizes: 0.5, 0.75, 1, 1.5, 2 and 4 MB.
 pub const MRC_SIZES: [u64; 6] = [512 << 10, 768 << 10, 1 << 20, 3 << 19, 2 << 20, 4 << 20];
 
+/// Human-readable column labels of [`MRC_SIZES`], index-aligned. One
+/// shared definition — the report, its tests, and both differential
+/// oracles (`tests/mrc_oracle.rs`, `tests/mrc_sampled_oracle.rs`) all
+/// read it, so the exact and sampled size lists cannot drift apart.
+pub const MRC_SIZE_LABELS: [&str; MRC_SIZES.len()] =
+    ["0.5MB", "0.75MB", "1MB", "1.5MB", "2MB", "4MB"];
+
 /// All 16 memory-intensive plus 11 cache-insensitive benchmarks, the
 /// population of the differential-oracle suite.
 pub fn all_benchmarks() -> Vec<Benchmark> {
@@ -31,11 +38,12 @@ pub fn data(cfg: &RunConfig) -> Vec<CapacitySweep> {
 
 /// Renders the miss-ratio-curve table (MPKI per size).
 pub fn report(sweeps: &[CapacitySweep]) -> String {
+    let mut columns: Vec<&str> = vec!["bench"];
+    columns.extend(MRC_SIZE_LABELS);
+    columns.push("sims");
     let mut t = Table::new(
         "MRC: traditional-LRU MPKI vs. capacity, one stack-distance pass per benchmark",
-        &[
-            "bench", "0.5MB", "0.75MB", "1MB", "1.5MB", "2MB", "4MB", "sims",
-        ],
+        &columns,
     );
     for s in sweeps {
         let mut cells = vec![s.benchmark.clone()];
@@ -122,10 +130,18 @@ mod tests {
         let b = spec2000::by_name("mcf").unwrap();
         let sweeps = vec![run_capacity_sweep(&b, &RunConfig::quick(), &MRC_SIZES)];
         let text = report(&sweeps);
-        for col in ["0.5MB", "0.75MB", "1MB", "1.5MB", "2MB", "4MB"] {
+        for col in MRC_SIZE_LABELS {
             assert!(text.contains(col), "missing column {col}");
         }
         assert!(text.contains("mcf"));
+    }
+
+    #[test]
+    fn size_labels_match_the_sizes() {
+        for (&size, label) in MRC_SIZES.iter().zip(MRC_SIZE_LABELS) {
+            let mb = size as f64 / (1 << 20) as f64;
+            assert_eq!(label, format!("{mb}MB"), "label drifted for {size} B");
+        }
     }
 
     #[test]

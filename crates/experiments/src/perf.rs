@@ -11,7 +11,8 @@
 
 use crate::exec::{run_cells, ExecPolicy};
 use crate::report::{fmt_f, Json, Table};
-use crate::{sweep, RunConfig};
+use crate::{mrc, run_capacity_sweep, run_sampled_capacity_sweep, sweep, RunConfig};
+use ldis_mrc::ShardsConfig;
 use std::collections::BTreeMap;
 use std::time::Instant;
 
@@ -92,6 +93,133 @@ pub fn snapshot(cfg: &RunConfig, points: &[BenchPoint]) -> Json {
 /// Rounds to 3 decimals so the artifact diffs stay readable.
 fn round3(x: f64) -> f64 {
     (x * 1000.0).round() / 1000.0
+}
+
+/// One timed MRC pass over the full benchmark population: the exact
+/// Mattson engine or the sampled SHARDS engine at one rate.
+#[derive(Clone, Debug)]
+pub struct MrcBenchPoint {
+    /// `"exact"` or `"shards@<rate>"`.
+    pub label: String,
+    /// The sampling rate (`None` for the exact pass).
+    pub rate: Option<f64>,
+    /// Wall-clock seconds for all benchmarks, serially.
+    pub wall_s: f64,
+    /// Simulated memory accesses per wall-clock second.
+    pub accesses_per_s: f64,
+    /// Maximum sample-set size across benchmarks (`None` for the exact
+    /// pass, whose state is the full per-set stacks instead).
+    pub peak_samples: Option<u64>,
+}
+
+/// Times one exact capacity sweep over every benchmark, then one sampled
+/// sweep per entry of `rates` — all serially on the calling thread, so
+/// the exact:sampled ratios are not confounded by pool scheduling. The
+/// committed artifact is `BENCH_mrc.json`.
+pub fn measure_mrc(cfg: &RunConfig, rates: &[f64]) -> Vec<MrcBenchPoint> {
+    let benches = mrc::all_benchmarks();
+    let total_accesses = cfg.accesses * benches.len() as u64;
+    let mut points = Vec::new();
+    let start = Instant::now();
+    for b in &benches {
+        std::hint::black_box(run_capacity_sweep(b, cfg, &mrc::MRC_SIZES));
+    }
+    let wall_s = start.elapsed().as_secs_f64().max(1e-9);
+    points.push(MrcBenchPoint {
+        label: "exact".to_owned(),
+        rate: None,
+        wall_s,
+        accesses_per_s: total_accesses as f64 / wall_s,
+        peak_samples: None,
+    });
+    for &rate in rates {
+        let shards = ShardsConfig::at_rate(rate);
+        let start = Instant::now();
+        let mut peak = 0u64;
+        for b in &benches {
+            let s = run_sampled_capacity_sweep(b, cfg, &mrc::MRC_SIZES, &shards);
+            peak = peak.max(s.peak_samples as u64);
+        }
+        let wall_s = start.elapsed().as_secs_f64().max(1e-9);
+        points.push(MrcBenchPoint {
+            label: format!("shards@{rate}"),
+            rate: Some(rate),
+            wall_s,
+            accesses_per_s: total_accesses as f64 / wall_s,
+            peak_samples: Some(peak),
+        });
+    }
+    points
+}
+
+/// The committed `BENCH_mrc.json` artifact: exact vs sampled pass
+/// wall-time and peak sample-set size per rate.
+pub fn mrc_snapshot(cfg: &RunConfig, points: &[MrcBenchPoint]) -> Json {
+    Json::obj([
+        ("bench", Json::str("mrc")),
+        (
+            "workload",
+            Json::obj([
+                ("benchmarks", Json::uint(mrc::all_benchmarks().len() as u64)),
+                ("sizes", Json::uint(mrc::MRC_SIZES.len() as u64)),
+                ("accesses_per_benchmark", Json::uint(cfg.accesses)),
+                ("seed", Json::uint(cfg.seed)),
+            ]),
+        ),
+        (
+            "results",
+            Json::arr(points.iter().map(|p| {
+                let mut fields = vec![
+                    ("pass", Json::str(&p.label)),
+                    ("wall_s", Json::num(round3(p.wall_s))),
+                    ("accesses_per_s", Json::num(round3(p.accesses_per_s))),
+                ];
+                if let Some(rate) = p.rate {
+                    fields.push(("rate", Json::num(rate)));
+                }
+                if let Some(peak) = p.peak_samples {
+                    fields.push(("peak_samples", Json::uint(peak)));
+                }
+                Json::obj(fields)
+            })),
+        ),
+        (
+            "regenerate",
+            Json::str(
+                "cargo build --release --workspace && \
+                 ./target/release/ldis-experiments bench-mrc --quick --out BENCH_mrc.json",
+            ),
+        ),
+    ])
+}
+
+/// Renders the human-readable MRC bench table.
+pub fn mrc_report(cfg: &RunConfig, points: &[MrcBenchPoint]) -> String {
+    let mut t = Table::new(
+        "MRC pass throughput (exact Mattson vs sampled SHARDS)",
+        &["pass", "wall s", "Maccess/s", "peak samples", "speedup"],
+    );
+    let exact_wall = points
+        .iter()
+        .find(|p| p.rate.is_none())
+        .map_or(f64::NAN, |p| p.wall_s);
+    for p in points {
+        t.row(vec![
+            p.label.clone(),
+            fmt_f(p.wall_s, 3),
+            fmt_f(p.accesses_per_s / 1e6, 2),
+            p.peak_samples
+                .map_or_else(|| "-".to_owned(), |s| s.to_string()),
+            fmt_f(exact_wall / p.wall_s.max(1e-9), 2),
+        ]);
+    }
+    t.note(format!(
+        "{} benchmarks x {} accesses, serial; regenerate BENCH_mrc.json with \
+         `bench-mrc --quick --out`",
+        mrc::all_benchmarks().len(),
+        cfg.accesses
+    ));
+    t.render()
 }
 
 /// Renders the human-readable bench table.

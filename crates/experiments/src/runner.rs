@@ -10,7 +10,7 @@
 use crate::parallel;
 use ldis_cache::{BaselineL2, CacheConfig, Hierarchy, HierarchyStats, L2Stats, SecondLevel};
 use ldis_mem::{stable_id, LineGeometry, SimRng};
-use ldis_mrc::{ConfigResult, MattsonL2};
+use ldis_mrc::{ConfigResult, MattsonL2, SampledMrc, ShardsConfig, ShardsL2};
 use ldis_workloads::{Benchmark, TraceLength};
 
 /// Global knobs for an experiment run.
@@ -270,6 +270,107 @@ pub fn run_capacity_sweep(benchmark: &Benchmark, cfg: &RunConfig, sizes: &[u64])
     CapacitySweep {
         benchmark: benchmark.name.to_owned(),
         hierarchy: *hier.stats(),
+        points,
+    }
+}
+
+/// One capacity's *estimated* statistics within a
+/// [`run_sampled_capacity_sweep`] pass.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SampledCapacityPoint {
+    /// Cache capacity in bytes.
+    pub size_bytes: u64,
+    /// Capacity in lines (the sampled engine's query unit).
+    pub capacity_lines: u64,
+    /// Estimated miss ratio of the demand stream at this capacity.
+    pub miss_ratio: f64,
+    /// Estimated demand MPKI at this capacity.
+    pub mpki: f64,
+}
+
+/// Every size of a capacity sweep, answered from one constant-memory
+/// SHARDS pass ([`ShardsL2`]) over the benchmark's trace.
+///
+/// Unlike [`CapacitySweep`] the reconstruction is *approximate*: the
+/// sampled profiler models a fully-associative LRU cache over a spatially
+/// hashed sample of the lines. The bounded-error oracle
+/// (`tests/mrc_sampled_oracle.rs`) asserts every point stays within the
+/// per-rate MPKI budget [`ldis_mrc::mpki_tolerance`] of the exact
+/// Mattson reconstruction. Because the adapter also reports its name as
+/// `"baseline"`, the L2 request stream — and therefore `hierarchy` — is
+/// byte-identical to the exact run's.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SampledCapacitySweep {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// First-level and trace statistics (identical to the exact run's).
+    pub hierarchy: HierarchyStats,
+    /// The finished sampled MRC the points were answered from.
+    pub mrc: SampledMrc,
+    /// High-water mark of the sample set during the pass.
+    pub peak_samples: usize,
+    /// Final realized sampling rate (≤ the configured rate).
+    pub final_rate: f64,
+    /// Mean words used per tracked data line (advisor's LOC:WOC signal).
+    pub mean_words_used: f64,
+    /// One point per requested size, in the order given.
+    pub points: Vec<SampledCapacityPoint>,
+}
+
+impl SampledCapacitySweep {
+    /// The point for `size_bytes`, if it was part of the sweep.
+    pub fn point(&self, size_bytes: u64) -> Option<&SampledCapacityPoint> {
+        self.points.iter().find(|p| p.size_bytes == size_bytes)
+    }
+
+    /// The estimated MPKI at `size_bytes` (`NaN` if the size was not
+    /// swept).
+    pub fn mpki_at(&self, size_bytes: u64) -> f64 {
+        self.point(size_bytes).map_or(f64::NAN, |p| p.mpki)
+    }
+}
+
+/// Runs `benchmark` once behind a [`ShardsL2`] sampled profiler and
+/// estimates a traditional LRU baseline of every size in `sizes` from the
+/// finished sampled MRC. The sampled counterpart of
+/// [`run_capacity_sweep`]: same derived seed, same request stream, a
+/// fraction of the memory and work.
+pub fn run_sampled_capacity_sweep(
+    benchmark: &Benchmark,
+    cfg: &RunConfig,
+    sizes: &[u64],
+    shards: &ShardsConfig,
+) -> SampledCapacitySweep {
+    let geom = LineGeometry::default();
+    let l2 = ShardsL2::new(geom, *shards);
+    let mut workload = (benchmark.make)(cfg.seed_for(benchmark, l2.name()));
+    let mut hier = Hierarchy::hpca2007(l2);
+    if cfg.warmup > 0 {
+        workload.drive(&mut hier, TraceLength::accesses(cfg.warmup));
+        hier.reset_stats();
+    }
+    workload.drive(&mut hier, TraceLength::accesses(cfg.accesses));
+    let instructions = hier.stats().instructions;
+    let mrc = hier.l2().mrc();
+    let points: Vec<SampledCapacityPoint> = sizes
+        .iter()
+        .map(|&size_bytes| {
+            let capacity_lines = size_bytes / geom.line_bytes() as u64;
+            SampledCapacityPoint {
+                size_bytes,
+                capacity_lines,
+                miss_ratio: mrc.miss_ratio(capacity_lines),
+                mpki: mrc.estimated_mpki(capacity_lines, instructions),
+            }
+        })
+        .collect();
+    SampledCapacitySweep {
+        benchmark: benchmark.name.to_owned(),
+        hierarchy: *hier.stats(),
+        peak_samples: hier.l2().profiler().peak_samples(),
+        final_rate: hier.l2().profiler().current_rate(),
+        mean_words_used: hier.l2().profiler().mean_words_used(),
+        mrc,
         points,
     }
 }

@@ -264,6 +264,33 @@ mod tests {
             rules_for("crates/mrc/src/profiler.rs"),
             Some(vec![Rule::D1, Rule::D2, Rule::P1, Rule::P1X])
         );
+        // The SHARDS sampler and the multi-tenant stream generator are
+        // simulator sources: full determinism + panic-safety tier.
+        assert_eq!(
+            rules_for("crates/mrc/src/shards.rs"),
+            Some(vec![Rule::D1, Rule::D2, Rule::P1, Rule::P1X])
+        );
+        assert_eq!(
+            rules_for("crates/workloads/src/tenants.rs"),
+            Some(vec![Rule::D1, Rule::D2, Rule::P1, Rule::P1X])
+        );
+        assert_eq!(
+            rules_for("crates/experiments/src/advisor.rs"),
+            Some(vec![Rule::D2, Rule::P1, Rule::P1X])
+        );
+        assert_eq!(
+            rules_for("crates/mrc/tests/shards_properties.rs"),
+            Some(vec![Rule::D2])
+        );
+        assert_eq!(
+            rules_for("tests/mrc_sampled_oracle.rs"),
+            Some(vec![Rule::D2])
+        );
+        assert_eq!(
+            rules_for("examples/sampled_mrc.rs"),
+            Some(vec![Rule::D2, Rule::C1])
+        );
+        assert_eq!(rules_for("tests/golden/advisor.json"), Some(vec![Rule::C1]));
         assert_eq!(
             rules_for("crates/experiments/src/runner.rs"),
             Some(vec![Rule::D2, Rule::P1, Rule::P1X])

@@ -21,6 +21,15 @@
 //!   same `ldis-mem` trace stream that drives a real simulation drives
 //!   the profiler through the unmodified L1 hierarchy.
 //!
+//! A third, *approximate* layer — [`ShardsProfiler`] / [`ShardsL2`] —
+//! answers the same capacity queries at a configurable constant memory
+//! budget via spatially hashed SHARDS sampling, validated against the
+//! exact engine by a bounded-error differential oracle
+//! (`tests/mrc_sampled_oracle.rs`; see the [`shards`-module docs] for
+//! the algorithm and the per-rate error budgets).
+//!
+//! [`shards`-module docs]: ShardsProfiler
+//!
 //! Because the profiler is derived independently from the simulator in
 //! `ldis-cache`, it doubles as a *differential oracle*: the test suite
 //! asserts its miss counts equal direct [`BaselineL2`](ldis_cache::BaselineL2)
@@ -56,6 +65,12 @@
 
 mod l2;
 mod profiler;
+mod shards;
 
 pub use l2::{ConfigResult, MattsonL2};
 pub use profiler::MattsonProfiler;
+pub use shards::{
+    check_bounded_error, epsilon_miss_ratio, mpki_tolerance, spatial_hash, SampleOutcome,
+    SampledMrc, ShardsConfig, ShardsL2, ShardsProfiler, EPSILON_TABLE, SHARDS_MODULUS,
+    SHARDS_MODULUS_BITS,
+};

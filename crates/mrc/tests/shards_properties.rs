@@ -1,0 +1,117 @@
+//! Property tests for the SHARDS sampler, seeded-SimRng style (no
+//! proptest): every trace derives from a fixed root seed via
+//! `SimRng::derive_seed_chain`, so a failure reproduces exactly.
+
+use ldis_mem::{LineAddr, SimRng};
+use ldis_mrc::{spatial_hash, SampleOutcome, ShardsConfig, ShardsProfiler, SHARDS_MODULUS};
+use std::collections::BTreeSet;
+
+const ROOT_SEED: u64 = 0x5A4D_D15A;
+
+fn line(raw_line: u64) -> LineAddr {
+    LineAddr::new(raw_line)
+}
+
+/// Rate adaptation only ever *removes* lines: after any reference, the
+/// threshold has not risen, no tracked line hashes at or above it, and a
+/// threshold drop never admits a line that was not already tracked (the
+/// only admission is the line just referenced, at its pre-drop
+/// threshold).
+#[test]
+fn threshold_monotonicity_lowering_only_evicts_never_admits() {
+    for trace in 0..200u64 {
+        let mut rng = SimRng::new(SimRng::derive_seed_chain(ROOT_SEED, &[1, trace]));
+        let s_max = 8 + rng.index(56);
+        let distinct_lines = 100 + rng.index(400) as u64;
+        let mut p = ShardsProfiler::new(ShardsConfig::at_rate(1.0).with_sample_budget(s_max));
+        for _ in 0..2_000 {
+            let l = line(rng.range(distinct_lines));
+            let before: BTreeSet<LineAddr> = p.sample_lines().into_iter().collect();
+            let threshold_before = p.threshold();
+            let outcome = p.record(l, None, false);
+            let after: BTreeSet<LineAddr> = p.sample_lines().into_iter().collect();
+            assert!(p.threshold() <= threshold_before, "threshold rose");
+            if outcome == SampleOutcome::Cold {
+                assert!(
+                    spatial_hash(l) < threshold_before,
+                    "admitted a line the pre-drop threshold rejects"
+                );
+            }
+            // Nothing but the referenced line is ever admitted.
+            for extra in after.difference(&before) {
+                assert_eq!(*extra, l, "a threshold change admitted a bystander");
+            }
+            for resident in &after {
+                assert!(
+                    spatial_hash(*resident) < p.threshold(),
+                    "tracked line at or above the threshold"
+                );
+            }
+            assert!(after.len() <= s_max, "budget exceeded");
+        }
+    }
+}
+
+/// The sample partition is a pure function of the *set* of lines seen —
+/// never of arrival order: two differently-seeded shuffles of the same
+/// access multiset end with identical membership and threshold. (This is
+/// what makes spatially hashed sampling mergeable across shards.)
+#[test]
+fn hash_partition_is_deterministic_across_derive_seeds() {
+    for trace in 0..50u64 {
+        let mut setup = SimRng::new(SimRng::derive_seed_chain(ROOT_SEED, &[2, trace]));
+        let s_max = 4 + setup.index(28);
+        let count = 200 + setup.index(300) as u64;
+        let accesses: Vec<u64> = (0..count).map(|_| setup.range(1 << 30)).collect();
+        let run = |shuffle_seed: u64| {
+            let mut order = accesses.clone();
+            let mut rng = SimRng::new(shuffle_seed);
+            for i in (1..order.len()).rev() {
+                order.swap(i, rng.index(i + 1));
+            }
+            let mut p = ShardsProfiler::new(ShardsConfig::at_rate(1.0).with_sample_budget(s_max));
+            for &l in &order {
+                p.record(line(l), None, false);
+            }
+            let members: BTreeSet<u64> = p.sample_lines().iter().map(|l| l.raw()).collect();
+            (members, p.threshold())
+        };
+        let a = run(SimRng::derive_seed_chain(ROOT_SEED, &[3, trace]));
+        let b = run(SimRng::derive_seed_chain(ROOT_SEED, &[4, trace]));
+        assert_eq!(a.0, b.0, "membership depends on arrival order");
+        assert_eq!(a.1, b.1, "threshold depends on arrival order");
+    }
+}
+
+/// The fixed-size invariant over 10k random traces: the sample set (and
+/// its high-water mark) never exceeds `S_max`, for any budget, rate or
+/// line population.
+#[test]
+fn s_max_never_exceeded_over_10k_random_traces() {
+    for trace in 0..10_000u64 {
+        let mut rng = SimRng::new(SimRng::derive_seed_chain(ROOT_SEED, &[5, trace]));
+        let s_max = 1 + rng.index(32);
+        let rate = match rng.index(3) {
+            0 => 1.0,
+            1 => 0.5,
+            _ => 0.1,
+        };
+        let population = 1 + rng.range(2_000);
+        let mut p = ShardsProfiler::new(ShardsConfig::at_rate(rate).with_sample_budget(s_max));
+        let len = 1 + rng.index(64);
+        for _ in 0..len {
+            p.record(line(rng.range(population)), None, false);
+            assert!(
+                p.sample_len() <= s_max,
+                "trace {trace}: {} tracked > budget {s_max}",
+                p.sample_len()
+            );
+        }
+        assert!(
+            p.peak_samples() <= s_max,
+            "trace {trace}: peak {} > budget {s_max}",
+            p.peak_samples()
+        );
+        assert!(p.threshold() <= SHARDS_MODULUS);
+    }
+}

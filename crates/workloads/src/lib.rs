@@ -36,6 +36,7 @@ pub mod insensitive;
 mod profile;
 pub mod spec2000;
 mod streams;
+pub mod tenants;
 mod workload;
 
 pub use insensitive::cache_insensitive;
@@ -45,4 +46,5 @@ pub use streams::{
     CodeLoop, HotSet, PointerChase, RotatingScan, SequentialScan, Stream, TwoPassScan, Visit,
     VisitKind,
 };
+pub use tenants::{TenantAccess, TenantMix, TenantMixBuilder};
 pub use workload::{TraceLength, Workload, WorkloadBuilder};

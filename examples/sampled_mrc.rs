@@ -1,0 +1,60 @@
+//! The constant-memory SHARDS sampled-MRC engine vs. the exact Mattson
+//! pass: sweep the {0.5, 0.75, 1, 1.5, 2, 4} MB capacities both ways at
+//! three sampling rates, show the per-rate error against its budget, and
+//! answer per-tenant "what size / LOC:WOC split" queries with the online
+//! advisor.
+//!
+//! Where the Mattson engine keeps every referenced line on a stack, the
+//! sampler tracks only lines whose spatial hash falls under a threshold
+//! and evicts the largest hashes whenever the sample outgrows `S_max` —
+//! memory stays constant no matter how large the trace grows, and the
+//! SHARDS_adj correction keeps the estimated miss ratio within the
+//! per-rate `EPSILON_TABLE` budget of the exact reconstruction.
+//!
+//! ```text
+//! cargo run --release --example sampled_mrc
+//! ```
+
+use line_distillation::experiments::{
+    advisor, mrc, run_capacity_sweep, run_sampled_capacity_sweep, RunConfig,
+};
+use line_distillation::mrc::{epsilon_miss_ratio, mpki_tolerance, ShardsConfig};
+use line_distillation::workloads::spec2000;
+
+fn main() {
+    let cfg = RunConfig::quick();
+    let b = spec2000::by_name("mcf").expect("mcf exists");
+    println!("=== SHARDS sampled MRC: {} at 3 rates ===\n", b.name);
+
+    let exact = run_capacity_sweep(&b, &cfg, &mrc::MRC_SIZES);
+    let accesses = exact.points.first().expect("points").result.accesses;
+    let instructions = exact.hierarchy.instructions;
+
+    for rate in [0.1, 0.01, 0.001] {
+        let s = run_sampled_capacity_sweep(&b, &cfg, &mrc::MRC_SIZES, &ShardsConfig::at_rate(rate));
+        let tolerance = mpki_tolerance(rate, accesses, instructions);
+        println!(
+            "rate {rate}: {} tracked lines at peak (exact pass tracks every line)",
+            s.peak_samples
+        );
+        let mut worst = 0.0f64;
+        for (&size, label) in mrc::MRC_SIZES.iter().zip(mrc::MRC_SIZE_LABELS) {
+            let err = (s.mpki_at(size) - exact.mpki_at(size)).abs();
+            worst = worst.max(err);
+            println!(
+                "  {label:>6}: exact {:7.3} MPKI, sampled {:7.3} MPKI, |err| {err:6.3}",
+                exact.mpki_at(size),
+                s.mpki_at(size)
+            );
+        }
+        assert!(worst <= tolerance, "within the bounded-error oracle budget");
+        println!(
+            "  worst error {worst:.3} MPKI <= budget {tolerance:.3} (epsilon {})\n",
+            epsilon_miss_ratio(rate)
+        );
+    }
+
+    println!("=== Online advisor: 4 interleaved tenants ===\n");
+    let run = advisor::data(&cfg);
+    println!("{}", advisor::report(&run));
+}

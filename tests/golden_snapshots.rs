@@ -8,7 +8,8 @@
 //! commit the diff alongside the change.
 
 use line_distillation::experiments::{
-    appendix, exec, fig8, golden, linesize, motivation, mrc, parallel, resilience, sweep, table3,
+    advisor, appendix, exec, fig8, golden, linesize, motivation, mrc, parallel, resilience, sweep,
+    table3,
 };
 
 #[test]
@@ -56,6 +57,12 @@ fn table6_matches_golden() {
 fn mrc_matches_golden() {
     let cfg = golden::golden_config();
     golden::assert_matches("mrc", &mrc::snapshot(&cfg));
+}
+
+#[test]
+fn advisor_matches_golden() {
+    let cfg = golden::golden_config();
+    golden::assert_matches("advisor", &advisor::snapshot(&cfg));
 }
 
 #[test]

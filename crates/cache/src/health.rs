@@ -68,7 +68,7 @@ impl FaultStats {
         if observable == 0 {
             1.0
         } else {
-            (self.corrected + self.detected) as f64 / observable as f64
+            self.corrected.saturating_add(self.detected) as f64 / observable as f64
         }
     }
 }

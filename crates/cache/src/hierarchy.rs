@@ -3,6 +3,7 @@
 use crate::{
     CacheConfig, L1Lookup, L2Outcome, L2Request, SecondLevel, SectoredCache, SetAssocCache,
 };
+use ldis_mem::stats::Counter;
 use ldis_mem::{Access, AccessKind, Trace, TraceSource, WordIndex};
 
 /// What happened on one access — consumed by the timing model
@@ -154,7 +155,7 @@ impl<L2: SecondLevel> Hierarchy<L2> {
     /// Runs a single access and reports what happened at each level, for
     /// timing models.
     pub fn access_traced(&mut self, access: Access) -> AccessTrace {
-        self.stats.instructions += access.insts as u64;
+        self.stats.instructions.bump_by(access.insts as u64);
         match access.kind {
             AccessKind::InstrFetch => self.ifetch(access),
             AccessKind::Load | AccessKind::Store => self.data_access(access),
@@ -179,9 +180,9 @@ impl<L2: SecondLevel> Hierarchy<L2> {
         let geom = self.l2.geometry();
         let line = geom.line_addr(access.addr);
         let mut trace = AccessTrace::default();
-        self.stats.l1i_accesses += 1;
+        self.stats.l1i_accesses.bump();
         if self.l1i.access(line, None, false) {
-            self.stats.l1i_hits += 1;
+            self.stats.l1i_hits.bump();
             trace.l1_hit = true;
             return trace;
         }
@@ -198,19 +199,19 @@ impl<L2: SecondLevel> Hierarchy<L2> {
         let (first, last) = geom.word_span(access.addr, access.size as u32);
         let write = access.kind.is_write();
         let mut trace = AccessTrace::default();
-        self.stats.l1d_accesses += 1;
+        self.stats.l1d_accesses.bump();
 
         match self.l1d.access(line, first, last, write) {
             L1Lookup::Hit => {
-                self.stats.l1d_hits += 1;
+                self.stats.l1d_hits.bump();
                 trace.l1_hit = true;
             }
             L1Lookup::SectorMiss => {
-                self.stats.l1d_sector_misses += 1;
+                self.stats.l1d_sector_misses.bump();
                 self.fetch_missing_words(line, first, last, write, &mut trace);
             }
             L1Lookup::Miss => {
-                self.stats.l1d_misses += 1;
+                self.stats.l1d_misses.bump();
                 let resp = self
                     .l2
                     .access(L2Request::data(line, first, write).with_pc(access.pc));
@@ -222,7 +223,7 @@ impl<L2: SecondLevel> Hierarchy<L2> {
                 // WOC returned a partial line missing part of the span,
                 // fetch the rest word by word.
                 if self.l1d.access(line, first, last, write) == L1Lookup::SectorMiss {
-                    self.stats.l1d_sector_misses += 1;
+                    self.stats.l1d_sector_misses.bump();
                     self.fetch_missing_words(line, first, last, write, &mut trace);
                 }
             }

@@ -2,6 +2,7 @@
 //! paper's traditional baseline.
 
 use crate::{CacheConfig, CompulsoryTracker, L2Stats, SetAssocCache};
+use ldis_mem::stats::Counter;
 use ldis_mem::{Addr, Footprint, LineAddr, LineGeometry, WordIndex};
 
 /// A demand request from the first-level caches to the L2.
@@ -178,9 +179,9 @@ impl BaselineL2 {
     }
 
     fn record_eviction(stats: &mut L2Stats, ev: &crate::EvictedLine) {
-        stats.evictions += 1;
+        stats.evictions.bump();
         if ev.dirty {
-            stats.writebacks += 1;
+            stats.writebacks.bump();
         }
         if !ev.is_instr {
             stats
@@ -195,19 +196,19 @@ impl BaselineL2 {
 
 impl SecondLevel for BaselineL2 {
     fn access(&mut self, req: L2Request) -> L2Response {
-        self.stats.accesses += 1;
+        self.stats.accesses.bump();
         let word = if req.is_instr { None } else { Some(req.word) };
         let full = Footprint::full(self.geometry().words_per_line());
         if self.cache.access(req.line, word, req.write) {
-            self.stats.loc_hits += 1;
+            self.stats.loc_hits.bump();
             L2Response {
                 outcome: L2Outcome::LocHit,
                 valid_words: full,
             }
         } else {
-            self.stats.line_misses += 1;
+            self.stats.line_misses.bump();
             if self.compulsory.record_miss(req.line) {
-                self.stats.compulsory_misses += 1;
+                self.stats.compulsory_misses.bump();
             }
             if let Some(ev) = self.cache.install(req.line, word, req.write, req.is_instr) {
                 Self::record_eviction(&mut self.stats, &ev);
@@ -222,7 +223,7 @@ impl SecondLevel for BaselineL2 {
     fn on_l1d_evict(&mut self, line: LineAddr, footprint: Footprint, dirty: bool) {
         if !self.cache.merge_footprint(line, footprint, dirty) && dirty {
             // Not resident (inclusion is not enforced): write back to memory.
-            self.stats.writebacks += 1;
+            self.stats.writebacks.bump();
         }
     }
 

@@ -55,12 +55,12 @@ impl L2Stats {
 
     /// All hits (LOC + WOC).
     pub fn hits(&self) -> u64 {
-        self.loc_hits + self.woc_hits
+        self.loc_hits.saturating_add(self.woc_hits)
     }
 
     /// All demand misses (hole misses + line misses).
     pub fn demand_misses(&self) -> u64 {
-        self.hole_misses + self.line_misses
+        self.hole_misses.saturating_add(self.line_misses)
     }
 
     /// Misses per kilo-instruction given the trace's instruction count.

@@ -9,6 +9,7 @@
 
 use crate::ValueSizeModel;
 use ldis_cache::{CompulsoryTracker, L2Outcome, L2Request, L2Response, L2Stats, SecondLevel};
+use ldis_mem::stats::Counter;
 use ldis_mem::{Footprint, LineAddr, LineGeometry};
 use std::collections::VecDeque;
 
@@ -46,12 +47,12 @@ impl CmprConfig {
 
     /// Data budget per set, in segments.
     pub fn segments_per_set(&self) -> u32 {
-        self.ways * self.geometry.line_bytes() / self.segment_bytes
+        self.ways.saturating_mul(self.geometry.line_bytes()) / self.segment_bytes
     }
 
     /// Maximum tags per set.
     pub fn tags_per_set(&self) -> u32 {
-        self.ways * self.tag_factor
+        self.ways.saturating_mul(self.tag_factor)
     }
 }
 
@@ -138,7 +139,7 @@ impl CmprCache {
 
 impl SecondLevel for CmprCache {
     fn access(&mut self, req: L2Request) -> L2Response {
-        self.stats.accesses += 1;
+        self.stats.accesses.bump();
         let (set_idx, tag) = self.set_and_tag(req.line);
         let full = Footprint::full(self.cfg.geometry.words_per_line());
         // `set_idx` is masked to `0..num_sets` by `set_and_tag`, so the
@@ -151,7 +152,7 @@ impl SecondLevel for CmprCache {
             {
                 line.dirty |= req.write;
                 set.push_front(line);
-                self.stats.loc_hits += 1;
+                self.stats.loc_hits.bump();
                 return L2Response {
                     outcome: L2Outcome::LocHit,
                     valid_words: full,
@@ -159,9 +160,9 @@ impl SecondLevel for CmprCache {
             }
         }
 
-        self.stats.line_misses += 1;
+        self.stats.line_misses.bump();
         if self.compulsory.record_miss(req.line) {
-            self.stats.compulsory_misses += 1;
+            self.stats.compulsory_misses.bump();
         }
         let segments = self.segments_for(req.line);
         // Perfect LRU: evict from the tail until both the segment budget
@@ -184,9 +185,9 @@ impl SecondLevel for CmprCache {
                 let Some(victim) = set.pop_back() else {
                     break;
                 };
-                self.stats.evictions += 1;
+                self.stats.evictions.bump();
                 if victim.dirty {
-                    self.stats.writebacks += 1;
+                    self.stats.writebacks.bump();
                 }
             }
         }
@@ -207,7 +208,7 @@ impl SecondLevel for CmprCache {
             .and_then(|s| s.iter_mut().find(|l| l.tag == tag))
         {
             Some(l) => l.dirty = true,
-            None => self.stats.writebacks += 1,
+            None => self.stats.writebacks.bump(),
         }
     }
 

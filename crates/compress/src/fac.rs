@@ -104,7 +104,7 @@ impl CompressedWoc {
 
     fn set_base(&self, set: usize) -> usize {
         debug_assert!(set < self.num_sets);
-        set * self.ways * self.words_per_line
+        set * self.ways.saturating_mul(self.words_per_line)
     }
 
     fn way_slice(&self, set: usize, way: usize) -> &[FacEntry] {
@@ -124,7 +124,7 @@ impl CompressedWoc {
     /// All `ways * words_per_line` entries of one set.
     fn set_slice_mut(&mut self, set: usize) -> &mut [FacEntry] {
         let base = self.set_base(set);
-        let len = self.ways * self.words_per_line;
+        let len = self.ways.saturating_mul(self.words_per_line);
         self.entries.get_mut(base..base + len).unwrap_or_default()
     }
 

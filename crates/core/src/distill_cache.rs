@@ -10,6 +10,7 @@ use ldis_cache::{
     CacheHealth, EvictedLine, L2Outcome, L2Request, L2Response, L2Stats, ProtectionScheme,
     RecoveryAction, SecondLevel, SetAssocCache,
 };
+use ldis_mem::stats::Counter;
 use ldis_mem::{Footprint, LineAddr, LineGeometry};
 
 /// The paper's distill cache.
@@ -190,7 +191,7 @@ impl<W: WordStore> DistillCache<W> {
     }
 
     fn record_loc_eviction(&mut self, ev: &EvictedLine) {
-        self.stats.evictions += 1;
+        self.stats.evictions.bump();
         if !ev.is_instr {
             self.stats
                 .words_used_at_evict
@@ -208,7 +209,7 @@ impl<W: WordStore> DistillCache<W> {
         if ev.is_instr {
             // Instruction lines are never distilled (Section 4).
             if ev.dirty {
-                self.stats.writebacks += 1;
+                self.stats.writebacks.bump();
             }
             return;
         }
@@ -224,9 +225,9 @@ impl<W: WordStore> DistillCache<W> {
             };
             if used == 0 || used > threshold {
                 // Filtered out: the line (and its dirty data) leaves the cache.
-                self.stats.distill_filtered += 1;
+                self.stats.distill_filtered.bump();
                 if ev.dirty {
-                    self.stats.writebacks += 1;
+                    self.stats.writebacks.bump();
                 }
                 return;
             }
@@ -250,10 +251,10 @@ impl<W: WordStore> DistillCache<W> {
         words: Footprint,
         dirty: bool,
     ) {
-        self.stats.woc_installs += 1;
+        self.stats.woc_installs.bump();
         for evicted in self.woc.install(set, tag, line, words, dirty) {
             if evicted.dirty {
-                self.stats.writebacks += 1;
+                self.stats.writebacks.bump();
             }
         }
     }
@@ -299,72 +300,72 @@ impl<W: WordStore> DistillCache<W> {
         if total == 0 {
             return;
         }
-        res.health.faults.injected += 1;
+        res.health.faults.injected.bump();
         let bit = res.rng.range(total);
         if bit < woc_bits {
             let Some(fault) = self.woc.flip_tag_bit(bit) else {
-                res.health.faults.masked += 1;
+                res.health.faults.masked.bump();
                 return;
             };
             if !fault.live {
                 self.woc.flip_tag_bit(bit);
-                res.health.faults.masked += 1;
+                res.health.faults.masked.bump();
                 return;
             }
             match res.cfg.protection {
                 ProtectionScheme::Secded => {
                     self.woc.flip_tag_bit(bit);
-                    res.health.faults.corrected += 1;
+                    res.health.faults.corrected.bump();
                 }
                 ProtectionScheme::Parity => {
-                    res.health.faults.detected += 1;
+                    res.health.faults.detected.bump();
                     self.woc.clear_way(fault.set, fault.way);
                     self.record_detected(res, fault.to_string());
                 }
-                ProtectionScheme::Unprotected => res.health.faults.silent += 1,
+                ProtectionScheme::Unprotected => res.health.faults.silent.bump(),
             }
         } else if bit < woc_bits + loc_bits {
             let fbit = bit - woc_bits;
             let fault = self.loc.flip_footprint_bit(fbit);
             if !fault.live {
                 self.loc.flip_footprint_bit(fbit);
-                res.health.faults.masked += 1;
+                res.health.faults.masked.bump();
                 return;
             }
             match res.cfg.protection {
                 ProtectionScheme::Secded => {
                     self.loc.flip_footprint_bit(fbit);
-                    res.health.faults.corrected += 1;
+                    res.health.faults.corrected.bump();
                 }
                 ProtectionScheme::Parity => {
-                    res.health.faults.detected += 1;
+                    res.health.faults.detected.bump();
                     // A footprint can't be trusted once corrupt: widen it
                     // to the full line so no used word is ever dropped.
                     self.loc.repair_footprint(fault.set, fault.way);
                     self.record_detected(res, fault.to_string());
                 }
-                ProtectionScheme::Unprotected => res.health.faults.silent += 1,
+                ProtectionScheme::Unprotected => res.health.faults.silent.bump(),
             }
         } else if bit < woc_bits + loc_bits + psel_bits {
             let pbit = (bit - woc_bits - loc_bits) as u32;
             // `psel_bits > 0` implies a reverter; if that ever regresses,
             // the flip has no target and counts as masked.
             let Some(r) = self.reverter.as_mut() else {
-                res.health.faults.masked += 1;
+                res.health.faults.masked.bump();
                 return;
             };
             r.flip_psel_bit(pbit);
             match res.cfg.protection {
                 ProtectionScheme::Secded => {
                     r.flip_psel_bit(pbit);
-                    res.health.faults.corrected += 1;
+                    res.health.faults.corrected.bump();
                 }
                 ProtectionScheme::Parity => {
-                    res.health.faults.detected += 1;
+                    res.health.faults.detected.bump();
                     r.reset_psel();
                     self.record_detected(res, format!("reverter psel bit {pbit} flip"));
                 }
-                ProtectionScheme::Unprotected => res.health.faults.silent += 1,
+                ProtectionScheme::Unprotected => res.health.faults.silent.bump(),
             }
         } else {
             let mbit = bit - woc_bits - loc_bits - psel_bits;
@@ -372,14 +373,14 @@ impl<W: WordStore> DistillCache<W> {
             match res.cfg.protection {
                 ProtectionScheme::Secded => {
                     self.median.flip_counter_bit(mbit);
-                    res.health.faults.corrected += 1;
+                    res.health.faults.corrected.bump();
                 }
                 ProtectionScheme::Parity => {
-                    res.health.faults.detected += 1;
+                    res.health.faults.detected.bump();
                     self.median.reset_window();
                     self.record_detected(res, format!("median counter bit {mbit} flip"));
                 }
-                ProtectionScheme::Unprotected => res.health.faults.silent += 1,
+                ProtectionScheme::Unprotected => res.health.faults.silent.bump(),
             }
         }
     }
@@ -407,10 +408,12 @@ impl<W: WordStore> DistillCache<W> {
             self.median.reset_window();
             violations.push(e);
         }
-        let outcomes = self.stats.loc_hits
-            + self.stats.woc_hits
-            + self.stats.hole_misses
-            + self.stats.line_misses;
+        let outcomes = self
+            .stats
+            .loc_hits
+            .saturating_add(self.stats.woc_hits)
+            .saturating_add(self.stats.hole_misses)
+            .saturating_add(self.stats.line_misses);
         // The sweep runs with the current access counted but its outcome
         // not yet recorded, so the counters must sum to accesses - 1.
         let completed = self.stats.accesses - 1;
@@ -421,7 +424,7 @@ impl<W: WordStore> DistillCache<W> {
             });
         }
         for e in violations {
-            res.health.faults.check_violations += 1;
+            res.health.faults.check_violations.bump();
             self.record_detected(res, e.to_string());
         }
     }
@@ -449,7 +452,7 @@ impl<W: WordStore> DistillCache<W> {
 
 impl<W: WordStore> SecondLevel for DistillCache<W> {
     fn access(&mut self, req: L2Request) -> L2Response {
-        self.stats.accesses += 1;
+        self.stats.accesses.bump();
         self.pre_access_resilience();
         let (set, tag) = self.set_and_tag(req.line);
         let full = Footprint::full(self.cfg.geometry().words_per_line());
@@ -463,7 +466,7 @@ impl<W: WordStore> SecondLevel for DistillCache<W> {
                 self.resilience.is_some() || self.woc.lookup(set, tag).is_none(),
                 "a line must never be in both LOC and WOC"
             );
-            self.stats.loc_hits += 1;
+            self.stats.loc_hits.bump();
             self.observe_reverter(set, req.line, false);
             return L2Response {
                 outcome: L2Outcome::LocHit,
@@ -476,7 +479,7 @@ impl<W: WordStore> SecondLevel for DistillCache<W> {
             if !req.is_instr && hit.valid_words.is_used(req.word) {
                 // WOC-hit: the stored words are rearranged and sent to the
                 // L1D along with their valid bits.
-                self.stats.woc_hits += 1;
+                self.stats.woc_hits.bump();
                 self.observe_reverter(set, req.line, false);
                 return L2Response {
                     outcome: L2Outcome::WocHit,
@@ -485,7 +488,7 @@ impl<W: WordStore> SecondLevel for DistillCache<W> {
             }
             // Hole-miss: invalidate the WOC words (dirty data merges into
             // the incoming memory line) and install the full line in the LOC.
-            self.stats.hole_misses += 1;
+            self.stats.hole_misses.bump();
             self.observe_reverter(set, req.line, true);
             let dirty = self
                 .woc
@@ -500,9 +503,9 @@ impl<W: WordStore> SecondLevel for DistillCache<W> {
         }
 
         // 3. Line-miss: fetch from memory into the LOC.
-        self.stats.line_misses += 1;
+        self.stats.line_misses.bump();
         if self.compulsory.record_miss(req.line) {
-            self.stats.compulsory_misses += 1;
+            self.stats.compulsory_misses.bump();
         }
         self.observe_reverter(set, req.line, true);
         self.install_in_loc(&req, false);
@@ -522,7 +525,7 @@ impl<W: WordStore> SecondLevel for DistillCache<W> {
         }
         if dirty {
             // Neither in LOC nor WOC (inclusion is not enforced).
-            self.stats.writebacks += 1;
+            self.stats.writebacks.bump();
         }
     }
 

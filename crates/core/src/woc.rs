@@ -150,7 +150,7 @@ impl Woc {
 
     fn set_base(&self, set: usize) -> usize {
         debug_assert!(set < self.num_sets);
-        set * self.ways * self.words_per_line
+        set * self.ways.saturating_mul(self.words_per_line)
     }
 
     /// The `words_per_line` entries of one way of one set. `set` and `way`
@@ -173,7 +173,7 @@ impl Woc {
     /// All `ways * words_per_line` entries of one set.
     fn set_slice_mut(&mut self, set: usize) -> &mut [WocEntry] {
         let base = self.set_base(set);
-        let len = self.ways * self.words_per_line;
+        let len = self.ways.saturating_mul(self.words_per_line);
         self.entries.get_mut(base..base + len).unwrap_or_default()
     }
 
@@ -401,7 +401,7 @@ impl Woc {
     /// Number of distinct lines stored in `set`.
     pub fn lines_in_set(&self, set: usize) -> usize {
         let base = self.set_base(set);
-        let len = self.ways * self.words_per_line;
+        let len = self.ways.saturating_mul(self.words_per_line);
         self.entries
             .get(base..base + len)
             .unwrap_or_default()
@@ -473,7 +473,7 @@ impl Woc {
         assert!(bit < self.tag_store_bits(), "tag-store bit out of range");
         let idx = (bit / WOC_ENTRY_BITS) as usize;
         let k = (bit % WOC_ENTRY_BITS) as u32;
-        let per_set = self.ways * self.words_per_line;
+        let per_set = self.ways.saturating_mul(self.words_per_line);
         let set = idx / per_set;
         let way = (idx % per_set) / self.words_per_line;
         let slot = idx % self.words_per_line;

@@ -22,7 +22,21 @@
 //!   cell results outside the canonical-order merge: shared
 //!   `Mutex<f64>`-style accumulators, and float `+=`/`sum::<f64>`
 //!   reductions inside closures handed to `sweep`/`spawn`.
+//! * **S1** (flow-sensitive, over [`crate::cfg`] + [`crate::dataflow`])
+//!   proves seed provenance: every `SimRng::new` argument must be
+//!   derived from the root seed on *every* path (must-analysis), salt
+//!   literals must not collide across derive call sites, and a derived
+//!   RNG must not be used again once a parallel region captured it
+//!   (may-analysis).
+//! * **L2** proves lock discipline: the workspace lock-acquisition-order
+//!   graph is acyclic, no lock is re-acquired while held, and nothing
+//!   that can transitively panic (P2's facts) runs under a held lock.
+//! * **O1** requires counter arithmetic — `+`/`*`/`<<` on `u64`/`u32`
+//!   stats-struct fields and `LineGeometry` address math — to be
+//!   `checked_`/`saturating_`/explicitly wrapping or carry a waiver.
 
+use crate::cfg::Cfg;
+use crate::dataflow::{solve_forward, Analysis, GenKill};
 use crate::lexer::{TokKind, Token};
 use crate::model::{Callee, FnId, Workspace};
 use crate::report::Finding;
@@ -64,6 +78,9 @@ pub fn scan_model(files: &[(String, String)], cfg: &AnalysisConfig) -> Vec<Findi
     p2(&ws, cfg, &mut findings);
     u1(&ws, &mut findings);
     d3(&ws, &mut findings);
+    s1(&ws, &mut findings);
+    l2(&ws, cfg, &mut findings);
+    o1(&ws, &mut findings);
     findings
 }
 
@@ -101,9 +118,10 @@ fn in_panic_scope(path: &str) -> bool {
         || (krate == "experiments" && sub.starts_with("src/") && !sub.starts_with("src/bin/"))
 }
 
-fn p2(ws: &Workspace, cfg: &AnalysisConfig, findings: &mut Vec<Finding>) {
-    // Which functions contain a live (unjustified) panic site?
-    let live_panic: Vec<bool> = (0..ws.fns.len())
+/// Which functions contain a live (unjustified, non-test) panic site?
+/// Shared between P2 (reachability proofs) and L2 (panic-under-lock).
+fn live_panic_flags(ws: &Workspace, cfg: &AnalysisConfig) -> Vec<bool> {
+    (0..ws.fns.len())
         .map(|id| {
             let f = &ws.fns[id];
             let file = &ws.files[f.file];
@@ -117,7 +135,35 @@ fn p2(ws: &Workspace, cfg: &AnalysisConfig, findings: &mut Vec<Finding>) {
                 !file.allows.allows(Rule::P1, p.line) && !file.allows.allows(Rule::P2, p.line)
             })
         })
-        .collect();
+        .collect()
+}
+
+/// Transitive closure of [`live_panic_flags`] over the conservative call
+/// graph: which functions can *reach* a live panic site?
+fn reaches_panic_flags(ws: &Workspace, live: &[bool]) -> Vec<bool> {
+    let mut callers: Vec<Vec<FnId>> = vec![Vec::new(); ws.fns.len()];
+    for (id, calls) in ws.calls.iter().enumerate() {
+        for c in calls {
+            for &t in &c.targets {
+                callers[t].push(id);
+            }
+        }
+    }
+    let mut reach = live.to_vec();
+    let mut queue: VecDeque<FnId> = (0..ws.fns.len()).filter(|&i| reach[i]).collect();
+    while let Some(id) = queue.pop_front() {
+        for &caller in &callers[id] {
+            if !reach[caller] {
+                reach[caller] = true;
+                queue.push_back(caller);
+            }
+        }
+    }
+    reach
+}
+
+fn p2(ws: &Workspace, cfg: &AnalysisConfig, findings: &mut Vec<Finding>) {
+    let live_panic = live_panic_flags(ws, cfg);
 
     // Entry points: public functions of the sim-core crates, plus the
     // crash-safe executor — a quarantine layer that panics is worse than
@@ -1048,6 +1094,927 @@ fn scan_closure_accumulation(
     }
 }
 
+// --- S1: seed provenance (flow-sensitive) ---------------------------------
+
+/// Functions that mint a derived seed or RNG stream from the root seed.
+const DERIVE_ORIGINS: &[&str] = &[
+    "derive",
+    "derive_seed",
+    "derive_seed_chain",
+    "stable_id",
+    "fork",
+];
+
+/// Is S1 in force for this path? The determinism crates plus the
+/// experiments library — minus `crates/mem/src/rng.rs`, which implements
+/// the derive primitives themselves (its constructors ARE the origins).
+fn in_seed_scope(path: &str) -> bool {
+    path != "crates/mem/src/rng.rs" && in_panic_scope(path)
+}
+
+/// Does the identifier carry a `seed` component per the workspace naming
+/// convention (whole `_`-separated parts, like [`name_unit`])?
+fn has_seed_part(name: &str) -> bool {
+    name.to_ascii_lowercase()
+        .split('_')
+        .any(|p| p == "seed" || p == "seeds")
+}
+
+/// Is the expression in `range` derived from the root seed, given the
+/// set of variables known-derived on every path to this statement?
+///
+/// Derived means: it contains a call to a derive origin
+/// (`derive`/`derive_seed`/`derive_seed_chain`/`stable_id`/`fork`), or
+/// it is a *simple path* (idents, `.`/`::`/`&` only — no literals, no
+/// arithmetic) naming a derived variable or a `seed`-named component.
+/// `seed ^ 0x123`-style ad-hoc mixing is deliberately NOT derived: xor
+/// folds distinct streams onto each other, which is the exact bug class
+/// the salt-chain discipline exists to prevent.
+fn expr_is_derived(toks: &[Token], range: Range<usize>, derived: &BTreeSet<String>) -> bool {
+    for i in range.clone() {
+        let t = &toks[i];
+        if t.kind == TokKind::Ident
+            && DERIVE_ORIGINS.iter().any(|d| t.is_ident(d))
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+        {
+            return true;
+        }
+    }
+    let mut qualifies = false;
+    for t in &toks[range] {
+        match t.kind {
+            TokKind::Ident => {
+                if derived.contains(&t.text) || has_seed_part(&t.text) {
+                    qualifies = true;
+                }
+            }
+            TokKind::Punct if t.is_punct('.') || t.is_punct(':') || t.is_punct('&') => {}
+            _ => return false,
+        }
+    }
+    qualifies
+}
+
+/// Splits a statement span into an assignment: `let [mut] name ... = rhs`
+/// or `name = rhs`. Returns the bound name and the rhs token range.
+fn assignment_parts(toks: &[Token], span: Range<usize>) -> Option<(String, Range<usize>)> {
+    let mut i = span.start;
+    if toks.get(i)?.is_ident("let") {
+        i += 1;
+        if toks.get(i)?.is_ident("mut") {
+            i += 1;
+        }
+    }
+    let name_tok = toks.get(i)?;
+    if name_tok.kind != TokKind::Ident {
+        return None;
+    }
+    let name = name_tok.text.clone();
+    // Find the `=` at depth 0 that is neither `==` nor part of a
+    // compound/comparison operator.
+    let mut depth = 0i32;
+    let mut j = i + 1;
+    while j < span.end {
+        let t = &toks[j];
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+            depth -= 1;
+        } else if depth == 0 && t.is_punct('=') {
+            let prev_compound = toks.get(j.wrapping_sub(1)).is_some_and(|p| {
+                ["+", "-", "*", "/", "%", "^", "&", "|", "<", ">", "!", "="]
+                    .iter()
+                    .any(|c| p.text == *c && p.kind == TokKind::Punct)
+            });
+            let next_eq = toks.get(j + 1).is_some_and(|n| n.is_punct('='));
+            if !prev_compound && !next_eq {
+                return (j + 1 < span.end).then(|| (name, j + 1..span.end));
+            }
+        }
+        j += 1;
+    }
+    None
+}
+
+/// The must-analysis fact: variables holding a derived seed/RNG on every
+/// path. Transfer interprets one statement-level assignment per node.
+struct SeedTaint<'a> {
+    toks: &'a [Token],
+    cfg: &'a Cfg,
+    boundary: BTreeSet<String>,
+}
+
+impl Analysis for SeedTaint<'_> {
+    type Fact = BTreeSet<String>;
+
+    fn boundary(&self) -> Self::Fact {
+        self.boundary.clone()
+    }
+
+    fn join(&self, a: &Self::Fact, b: &Self::Fact) -> Self::Fact {
+        a.intersection(b).cloned().collect() // must: derived on EVERY path
+    }
+
+    fn transfer(&self, node: usize, input: &Self::Fact) -> Self::Fact {
+        let mut out = input.clone();
+        let span = self.cfg.nodes[node].span.clone();
+        if let Some((name, rhs)) = assignment_parts(self.toks, span) {
+            if expr_is_derived(self.toks, rhs, &out) {
+                out.insert(name);
+            } else {
+                out.remove(&name);
+            }
+        }
+        out
+    }
+}
+
+fn s1(ws: &Workspace, findings: &mut Vec<Finding>) {
+    for id in 0..ws.fns.len() {
+        let f = &ws.fns[id];
+        let file = &ws.files[f.file];
+        if !in_seed_scope(&file.path) || f.in_test {
+            continue;
+        }
+        let toks = &file.tokens;
+        let body = f.item.body.clone();
+        // Cheap relevance gate before building a CFG.
+        if !toks[body.clone()]
+            .iter()
+            .any(|t| t.is_ident("SimRng") || t.is_ident("fork"))
+        {
+            continue;
+        }
+        let graph = Cfg::build(toks, body);
+        s1_non_derived_construction(ws, id, &graph, findings);
+        s1_reuse_after_parallel(ws, id, &graph, findings);
+    }
+    s1_salt_collisions(ws, findings);
+}
+
+/// Flags `SimRng::new(arg)` where `arg` is not derived on every path.
+fn s1_non_derived_construction(ws: &Workspace, id: FnId, graph: &Cfg, findings: &mut Vec<Finding>) {
+    let f = &ws.fns[id];
+    let file = &ws.files[f.file];
+    let toks = &file.tokens;
+    let sites: Vec<&crate::model::CallSite> = ws.calls[id]
+        .iter()
+        .filter(|c| matches!(&c.callee, Callee::Path(q, n) if q == "SimRng" && n == "new"))
+        .collect();
+    if sites.is_empty() {
+        return;
+    }
+    let boundary: BTreeSet<String> = f
+        .item
+        .params
+        .iter()
+        .filter(|p| has_seed_part(&p.name))
+        .map(|p| p.name.clone())
+        .collect();
+    let taint = SeedTaint {
+        toks,
+        cfg: graph,
+        boundary,
+    };
+    let sol = solve_forward(graph, &taint);
+    for site in sites {
+        if file.in_tests(site.line) || file.allows.allows(Rule::S1, site.line) {
+            continue;
+        }
+        let Some((args, _)) = crate::rules::split_args(toks, site.tok + 1) else {
+            continue;
+        };
+        let Some(arg) = args.first() else { continue };
+        // The input fact before the statement containing the call; an
+        // unreachable or unmapped site produces no finding.
+        let Some(fact) = graph.node_at(site.tok).and_then(|n| sol.input[n].clone()) else {
+            continue;
+        };
+        if !expr_is_derived(toks, arg.clone(), &fact) {
+            findings.push(finding(
+                ws,
+                Rule::S1,
+                f.file,
+                site.line,
+                site.col,
+                "`SimRng::new` seeded from a non-derived value; route it through `SimRng::derive`/`derive_seed_chain`/`stable_id` so the stream stays collision-free under the root seed".to_string(),
+            ));
+        }
+    }
+}
+
+/// RHS shapes that produce an RNG value: `SimRng::...`, `.fork()`, or a
+/// `.derive(...)` method call.
+fn rhs_makes_rng(toks: &[Token], rhs: Range<usize>) -> bool {
+    for i in rhs.clone() {
+        let t = &toks[i];
+        if t.is_ident("SimRng") {
+            return true;
+        }
+        if (t.is_ident("fork") || t.is_ident("derive"))
+            && i > 0
+            && toks[i - 1].is_punct('.')
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+        {
+            return true;
+        }
+    }
+    false
+}
+
+/// Does this statement span hand `var` to a parallel-region closure
+/// (`sweep`/`sweep_with_threads`/`spawn` call whose args contain a `|`
+/// closure mentioning `var`)?
+fn captures_in_parallel(toks: &[Token], span: Range<usize>, var: &str) -> bool {
+    for i in span.clone() {
+        let t = &toks[i];
+        if t.kind == TokKind::Ident
+            && D3_PARALLEL_CALLS.iter().any(|c| t.is_ident(c))
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+        {
+            if let Some(close) = matching_close(toks, i + 1, span.end) {
+                let args = &toks[i + 2..close];
+                if args.iter().any(|x| x.is_punct('|')) && args.iter().any(|x| x.is_ident(var)) {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+/// May-analysis: flags a derived RNG used again after a parallel region
+/// captured it — the second use interleaves with the workers' stream,
+/// making the result order-dependent.
+fn s1_reuse_after_parallel(ws: &Workspace, id: FnId, graph: &Cfg, findings: &mut Vec<Finding>) {
+    let f = &ws.fns[id];
+    let file = &ws.files[f.file];
+    let toks = &file.tokens;
+    let mut rng_vars: BTreeSet<String> = BTreeSet::new();
+    for node in &graph.nodes {
+        if let Some((name, rhs)) = assignment_parts(toks, node.span.clone()) {
+            if rhs_makes_rng(toks, rhs) {
+                rng_vars.insert(name);
+            }
+        }
+    }
+    if rng_vars.is_empty() {
+        return;
+    }
+    let n = graph.nodes.len();
+    let mut gen = vec![BTreeSet::new(); n];
+    for (nid, node) in graph.nodes.iter().enumerate() {
+        for v in &rng_vars {
+            if captures_in_parallel(toks, node.span.clone(), v) {
+                gen[nid].insert(v.clone());
+            }
+        }
+    }
+    if gen.iter().all(BTreeSet::is_empty) {
+        return;
+    }
+    let consumed = GenKill {
+        must: false, // may: consumed on SOME path is already a hazard
+        boundary: BTreeSet::new(),
+        gen: gen.clone(),
+        kill: vec![BTreeSet::new(); n],
+    };
+    let sol = solve_forward(graph, &consumed);
+    for (nid, node) in graph.nodes.iter().enumerate() {
+        let Some(before) = &sol.input[nid] else {
+            continue;
+        };
+        for v in before {
+            let Some(use_tok) = node.span.clone().find(|&i| toks[i].is_ident(v)) else {
+                continue;
+            };
+            let t = &toks[use_tok];
+            if file.in_tests(t.line) || file.allows.allows(Rule::S1, t.line) {
+                continue;
+            }
+            let message = if gen[nid].contains(v) {
+                format!(
+                    "derived RNG `{v}` is captured by a second parallel region; fork a fresh stream per region so cell seeds stay collision-free"
+                )
+            } else {
+                format!(
+                    "derived RNG `{v}` is used again after a parallel region captured it; its stream interleaves with the workers' — derive a fresh RNG instead"
+                )
+            };
+            findings.push(finding(ws, Rule::S1, f.file, t.line, t.col, message));
+        }
+    }
+}
+
+/// One statically-resolved component of a derive-salt tuple.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
+enum SaltPart {
+    Int(i128),
+    Id(String),
+}
+
+impl SaltPart {
+    fn describe(&self) -> String {
+        match self {
+            SaltPart::Int(v) => format!("{v:#x}"),
+            SaltPart::Id(s) => format!("stable_id(\"{s}\")"),
+        }
+    }
+}
+
+/// Resolves one salt argument to constant components: an integer
+/// constant expression, a `stable_id("...")` call, or a `&[...]` slice
+/// of such. Returns `false` when anything is non-constant (the site
+/// then does not participate in collision detection).
+fn resolve_salt(toks: &[Token], range: Range<usize>, out: &mut Vec<SaltPart>) -> bool {
+    let mut start = range.start;
+    while toks.get(start).is_some_and(|t| t.is_punct('&')) {
+        start += 1;
+    }
+    if start >= range.end {
+        return false;
+    }
+    if toks[start].is_punct('[') {
+        let Some(close) = matching_close(toks, start, range.end) else {
+            return false;
+        };
+        // Split the slice elements at top-level commas.
+        let mut depth = 0i32;
+        let mut elem_start = start + 1;
+        for i in start + 1..close {
+            let t = &toks[i];
+            if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                depth -= 1;
+            } else if depth == 0 && t.is_punct(',') {
+                if !resolve_salt(toks, elem_start..i, out) {
+                    return false;
+                }
+                elem_start = i + 1;
+            }
+        }
+        return elem_start >= close || resolve_salt(toks, elem_start..close, out);
+    }
+    if toks[start].is_ident("stable_id") && toks.get(start + 1).is_some_and(|t| t.is_punct('(')) {
+        let inner: Vec<&Token> = toks[start + 2..range.end]
+            .iter()
+            .take_while(|t| !t.is_punct(')'))
+            .collect();
+        if let [lit] = inner[..] {
+            if lit.kind == TokKind::Str {
+                out.push(SaltPart::Id(lit.text.trim_matches('"').to_string()));
+                return true;
+            }
+        }
+        return false;
+    }
+    match crate::rules::const_eval(&toks[start..range.end]) {
+        Some(v) => {
+            out.push(SaltPart::Int(v));
+            true
+        }
+        None => false,
+    }
+}
+
+/// Flags two derive call sites whose (base expression, salt tuple) pairs
+/// are identical: the derived streams collide.
+fn s1_salt_collisions(ws: &Workspace, findings: &mut Vec<Finding>) {
+    type Key = (String, String, Vec<SaltPart>);
+    let mut groups: BTreeMap<Key, Vec<(usize, u32, u32)>> = BTreeMap::new();
+    for id in 0..ws.fns.len() {
+        let f = &ws.fns[id];
+        let file = &ws.files[f.file];
+        if f.in_test || !in_seed_scope(&file.path) {
+            continue;
+        }
+        let toks = &file.tokens;
+        for call in &ws.calls[id] {
+            let name = call.callee.name();
+            if !matches!(name, "derive" | "derive_seed" | "derive_seed_chain") {
+                continue;
+            }
+            if file.in_tests(call.line) {
+                continue;
+            }
+            let Some((args, _)) = crate::rules::split_args(toks, call.tok + 1) else {
+                continue;
+            };
+            // The base-seed expression: the receiver for method calls,
+            // the first argument for `SimRng::derive_seed*` forms.
+            let (base, salt_args) = match &call.callee {
+                Callee::Method(_) => {
+                    let recv = call
+                        .tok
+                        .checked_sub(1)
+                        .and_then(|dot| operand_before(toks, dot))
+                        .map(|r| tok_text(toks, r))
+                        .unwrap_or_default();
+                    (recv, &args[..])
+                }
+                _ => {
+                    let Some(first) = args.first() else { continue };
+                    (tok_text(toks, first.clone()), &args[1..])
+                }
+            };
+            let mut salts = Vec::new();
+            if salt_args.is_empty()
+                || !salt_args
+                    .iter()
+                    .all(|a| resolve_salt(toks, a.clone(), &mut salts))
+            {
+                continue;
+            }
+            groups
+                .entry((name.to_string(), base, salts))
+                .or_default()
+                .push((f.file, call.line, call.col));
+        }
+    }
+    for ((name, base, salts), mut sites) in groups {
+        sites.sort_unstable();
+        sites.dedup();
+        if sites.len() < 2 {
+            continue;
+        }
+        let (first_file, first_line, _) = sites[0];
+        let salt_desc: Vec<String> = salts.iter().map(SaltPart::describe).collect();
+        for &(fidx, line, col) in &sites[1..] {
+            let file = &ws.files[fidx];
+            if file.allows.allows(Rule::S1, line) {
+                continue;
+            }
+            findings.push(finding(
+                ws,
+                Rule::S1,
+                fidx,
+                line,
+                col,
+                format!(
+                    "`{name}` from base `{base}` with salt [{}] duplicates the derive at {}:{}; the two derived streams collide — pick a distinct salt",
+                    salt_desc.join(", "),
+                    ws.files[first_file].path,
+                    first_line
+                ),
+            ));
+        }
+    }
+}
+
+/// The source text of a token range, single-space separated.
+fn tok_text(toks: &[Token], range: Range<usize>) -> String {
+    toks[range]
+        .iter()
+        .map(|t| t.text.as_str())
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+// --- L2: lock discipline --------------------------------------------------
+
+/// Macros whose expansion aborts the process (mirrors the model's list;
+/// used for the direct panic-under-lock scan).
+const L2_PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// One `.lock()` acquisition site inside a function body.
+struct LockSite {
+    /// Token index of the `lock` identifier.
+    tok: usize,
+    line: u32,
+    col: u32,
+    /// Lock identity: the identifier the receiver chain ends in
+    /// (`tasks.lock()` → `tasks`, `self.slots[i].lock()` → `slots`).
+    name: String,
+    /// `let <guard> = ...lock()...` binds the guard to a named variable,
+    /// extending the hold to the end of the enclosing block.
+    named_guard: bool,
+}
+
+/// Collects `.lock()` acquisition sites in `body`.
+fn lock_sites(toks: &[Token], body: Range<usize>) -> Vec<LockSite> {
+    let mut out = Vec::new();
+    for i in body.clone() {
+        let t = &toks[i];
+        if !t.is_ident("lock")
+            || i == 0
+            || !toks[i - 1].is_punct('.')
+            || !toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+        {
+            continue;
+        }
+        // Identity: the ident right before the final `.`, hopping back
+        // over one `[...]`/`(...)` group if present.
+        let mut k = i - 1; // the `.`
+        let name = loop {
+            if k == 0 {
+                break "<lock>".to_string();
+            }
+            k -= 1;
+            let p = &toks[k];
+            if p.is_punct(']') || p.is_punct(')') {
+                let mut depth = 0i32;
+                while k > 0 {
+                    let q = &toks[k];
+                    if q.is_punct(']') || q.is_punct(')') {
+                        depth += 1;
+                    } else if q.is_punct('[') || q.is_punct('(') {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    k -= 1;
+                }
+                continue;
+            }
+            if p.kind == TokKind::Ident {
+                break p.text.clone();
+            }
+            break "<lock>".to_string();
+        };
+        // Named guard: `let [mut] <name> = <receiver>.lock()`.
+        let recv_start = operand_before(toks, i - 1).map_or(i - 1, |r| r.start);
+        let named_guard = recv_start >= 3
+            && toks[recv_start - 1].is_punct('=')
+            && toks[recv_start - 2].kind == TokKind::Ident
+            && !toks[recv_start - 2].is_ident("_")
+            && (toks[recv_start - 3].is_ident("let")
+                || (toks[recv_start - 3].is_ident("mut")
+                    && recv_start >= 4
+                    && toks[recv_start - 4].is_ident("let")));
+        out.push(LockSite {
+            tok: i,
+            line: t.line,
+            col: t.col,
+            name,
+            named_guard,
+        });
+    }
+    out
+}
+
+/// The token index where the guard acquired at `site` is released: the
+/// end of the enclosing block for named guards (RAII drop), the end of
+/// the statement for temporaries, truncated at an explicit `drop(..)` of
+/// any guard.
+fn guard_extent(toks: &[Token], site: &LockSite, body_end: usize) -> usize {
+    let mut depth = 0i32;
+    let mut i = site.tok;
+    while i < body_end {
+        let t = &toks[i];
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+            depth -= 1;
+            if depth < 0 {
+                return i; // enclosing block closes: named guard drops
+            }
+        } else if depth == 0 && t.is_punct(';') && !site.named_guard {
+            return i; // temporary guard: dropped at statement end
+        } else if t.is_ident("drop") && toks.get(i + 1).is_some_and(|n| n.is_punct('(')) {
+            return i; // explicit early release (approximate: any drop)
+        }
+        i += 1;
+    }
+    body_end
+}
+
+fn l2(ws: &Workspace, cfg: &AnalysisConfig, findings: &mut Vec<Finding>) {
+    let live = live_panic_flags(ws, cfg);
+    let reaches = reaches_panic_flags(ws, &live);
+    // The workspace lock-order graph: (held, acquired) → first site.
+    let mut edges: BTreeMap<(String, String), (usize, u32, u32)> = BTreeMap::new();
+    for id in 0..ws.fns.len() {
+        let f = &ws.fns[id];
+        let file = &ws.files[f.file];
+        if f.in_test || !in_panic_scope(&file.path) {
+            continue;
+        }
+        let toks = &file.tokens;
+        let body = f.item.body.clone();
+        let sites = lock_sites(toks, body.clone());
+        if sites.is_empty() {
+            continue;
+        }
+        for site in &sites {
+            if file.in_tests(site.line) {
+                continue;
+            }
+            let end = guard_extent(toks, site, body.end);
+            // Nested acquisitions while this guard is held.
+            for inner in &sites {
+                if inner.tok <= site.tok || inner.tok >= end {
+                    continue;
+                }
+                if inner.name == site.name {
+                    if !file.allows.allows(Rule::L2, inner.line) {
+                        findings.push(finding(
+                            ws,
+                            Rule::L2,
+                            f.file,
+                            inner.line,
+                            inner.col,
+                            format!(
+                                "lock `{}` acquired again while already held (acquired at line {}); this self-deadlocks on every path reaching it",
+                                inner.name, site.line
+                            ),
+                        ));
+                    }
+                } else {
+                    edges
+                        .entry((site.name.clone(), inner.name.clone()))
+                        .or_insert((f.file, inner.line, inner.col));
+                }
+            }
+            // Panic-capable calls while the guard is held poison the
+            // mutex for every other worker.
+            for call in &ws.calls[id] {
+                if call.tok <= site.tok || call.tok >= end {
+                    continue;
+                }
+                if file.allows.allows(Rule::L2, call.line) {
+                    continue;
+                }
+                if call.targets.iter().any(|&t| reaches[t]) {
+                    findings.push(finding(
+                        ws,
+                        Rule::L2,
+                        f.file,
+                        call.line,
+                        call.col,
+                        format!(
+                            "call to `{}` can panic while lock `{}` is held (acquired at line {}); a panic here poisons the mutex for every other worker — narrow the guard or make the callee panic-free",
+                            call.callee.name(),
+                            site.name,
+                            site.line
+                        ),
+                    ));
+                }
+            }
+            // Direct panic macros under the guard.
+            for i in site.tok + 1..end {
+                let t = &toks[i];
+                if t.kind == TokKind::Ident
+                    && L2_PANIC_MACROS.iter().any(|m| t.is_ident(m))
+                    && toks.get(i + 1).is_some_and(|n| n.is_punct('!'))
+                    && !file.allows.allows(Rule::L2, t.line)
+                {
+                    findings.push(finding(
+                        ws,
+                        Rule::L2,
+                        f.file,
+                        t.line,
+                        t.col,
+                        format!(
+                            "`{}!` while lock `{}` is held (acquired at line {}); a panic here poisons the mutex for every other worker",
+                            t.text, site.name, site.line
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    // Deadlock freedom: the acquisition-order graph must be acyclic.
+    for cycle in lock_cycles(&edges) {
+        let mut hops = Vec::new();
+        for w in cycle.windows(2) {
+            let (fidx, line, _) = edges[&(w[0].clone(), w[1].clone())];
+            hops.push(format!(
+                "`{}` while holding `{}` at {}:{}",
+                w[1], w[0], ws.files[fidx].path, line
+            ));
+        }
+        let (fidx, line, col) = edges[&(cycle[0].clone(), cycle[1].clone())];
+        if ws.files[fidx].allows.allows(Rule::L2, line) {
+            continue;
+        }
+        findings.push(finding(
+            ws,
+            Rule::L2,
+            fidx,
+            line,
+            col,
+            format!(
+                "lock-order cycle {}: two workers taking the locks in opposite order deadlock ({})",
+                cycle.join(" -> "),
+                hops.join("; ")
+            ),
+        ));
+    }
+}
+
+/// Enumerates cycles in the lock-order graph, canonicalized (rotated to
+/// start at the smallest name, closing edge included: `a -> b -> a`).
+fn lock_cycles(edges: &BTreeMap<(String, String), (usize, u32, u32)>) -> Vec<Vec<String>> {
+    let mut adj: BTreeMap<&String, Vec<&String>> = BTreeMap::new();
+    for (held, acquired) in edges.keys() {
+        adj.entry(held).or_default().push(acquired);
+    }
+    let mut cycles: BTreeSet<Vec<String>> = BTreeSet::new();
+    // DFS from every node; path-based cycle detection is fine at this
+    // scale (a handful of locks).
+    for &start in adj.keys() {
+        let mut stack: Vec<(&String, usize)> = vec![(start, 0)];
+        let mut path: Vec<&String> = vec![start];
+        while let Some((node, next_idx)) = stack.last_mut() {
+            let succs = adj.get(*node).map(Vec::as_slice).unwrap_or(&[]);
+            if let Some(&succ) = succs.get(*next_idx) {
+                *next_idx += 1;
+                if let Some(pos) = path.iter().position(|&p| p == succ) {
+                    // Found a cycle: canonicalize the rotation.
+                    let cyc: Vec<String> = path[pos..].iter().map(|s| (*s).to_string()).collect();
+                    let min = cyc
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, s)| *s)
+                        .map(|(i, _)| i);
+                    if let Some(min) = min {
+                        let mut rot: Vec<String> =
+                            cyc[min..].iter().chain(&cyc[..min]).cloned().collect();
+                        rot.push(rot[0].clone());
+                        cycles.insert(rot);
+                    }
+                } else if path.len() < 16 {
+                    path.push(succ);
+                    stack.push((succ, 0));
+                }
+            } else {
+                stack.pop();
+                path.pop();
+            }
+        }
+    }
+    cycles.into_iter().collect()
+}
+
+// --- O1: counter arithmetic -----------------------------------------------
+
+/// Integer types O1 treats as overflow-prone counters.
+const O1_COUNTER_TYPES: &[&str] = &["u64", "u32"];
+
+/// Field names of every `*Stats` struct in the workspace whose type is a
+/// `u64`/`u32` counter. Field-name based: `self.accesses` on any struct
+/// matches once some stats struct declares `accesses: u64`.
+fn counter_fields(ws: &Workspace) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for file in &ws.files {
+        let toks = &file.tokens;
+        for i in 0..toks.len() {
+            if !toks[i].is_ident("struct")
+                || !toks
+                    .get(i + 1)
+                    .is_some_and(|t| t.kind == TokKind::Ident && t.text.ends_with("Stats"))
+            {
+                continue;
+            }
+            // Find the field block's `{` (stopping at `;` for tuple/unit
+            // structs).
+            let mut j = i + 2;
+            let open = loop {
+                match toks.get(j) {
+                    Some(t) if t.is_punct('{') => break Some(j),
+                    Some(t) if t.is_punct(';') || t.is_punct('(') => break None,
+                    Some(_) => j += 1,
+                    None => break None,
+                }
+            };
+            let Some(open) = open else { continue };
+            let close = crate::parser::brace_end(toks, open);
+            let mut depth = 1i32;
+            let mut k = open + 1;
+            while k + 1 < close {
+                let t = &toks[k];
+                if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                    depth += 1;
+                } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                    depth -= 1;
+                } else if depth == 1
+                    && t.kind == TokKind::Ident
+                    && toks[k + 1].is_punct(':')
+                    && !toks.get(k + 2).is_some_and(|n| n.is_punct(':'))
+                {
+                    // `name : Type` — a counter when Type starts u64/u32.
+                    if toks
+                        .get(k + 2)
+                        .is_some_and(|ty| O1_COUNTER_TYPES.iter().any(|c| ty.is_ident(c)))
+                    {
+                        out.insert(t.text.clone());
+                    }
+                }
+                k += 1;
+            }
+        }
+    }
+    out
+}
+
+/// The unchecked operator at token `i`, if any: `+`, `+=`, `*`, `*=`,
+/// `<<`, `<<=`. Returns the operator text and its token width.
+fn o1_op(toks: &[Token], i: usize) -> Option<(&'static str, usize)> {
+    let t = toks.get(i)?;
+    let next_eq = |at: usize| toks.get(at).is_some_and(|n| n.is_punct('='));
+    if t.is_punct('+') {
+        return Some(if next_eq(i + 1) { ("+=", 2) } else { ("+", 1) });
+    }
+    if t.is_punct('*') {
+        return Some(if next_eq(i + 1) { ("*=", 2) } else { ("*", 1) });
+    }
+    if t.is_punct('<') && toks.get(i + 1).is_some_and(|n| n.is_punct('<')) {
+        return Some(if next_eq(i + 2) {
+            ("<<=", 3)
+        } else {
+            ("<<", 2)
+        });
+    }
+    None
+}
+
+/// `impl LineGeometry { .. }` token ranges in one file.
+fn line_geometry_impls(toks: &[Token]) -> Vec<Range<usize>> {
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if toks[i].is_ident("impl")
+            && toks.get(i + 1).is_some_and(|t| t.is_ident("LineGeometry"))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct('{'))
+        {
+            out.push(i + 3..crate::parser::brace_end(toks, i + 2));
+        }
+    }
+    out
+}
+
+fn o1(ws: &Workspace, findings: &mut Vec<Finding>) {
+    let counters = counter_fields(ws);
+    for (idx, file) in ws.files.iter().enumerate() {
+        if !in_unit_scope(&file.path) {
+            continue;
+        }
+        let toks = &file.tokens;
+        let geom = line_geometry_impls(toks);
+        let mut i = 0usize;
+        while i < toks.len() {
+            let t = &toks[i];
+            // Counter-field arithmetic: `.field +`, `.field +=`, ...
+            if t.is_punct('.')
+                && toks
+                    .get(i + 1)
+                    .is_some_and(|n| n.kind == TokKind::Ident && counters.contains(&n.text))
+            {
+                if let Some((op, width)) = o1_op(toks, i + 2) {
+                    let field = &toks[i + 1];
+                    let op_tok = &toks[i + 2];
+                    if !file.in_tests(op_tok.line) && !file.allows.allows(Rule::O1, op_tok.line) {
+                        let fix = if op.ends_with('=') {
+                            "use a saturating bump (`Counter::bump`/`bump_by`)"
+                        } else {
+                            "use `saturating_add`/`checked_mul`/an explicit wrapping op"
+                        };
+                        findings.push(finding(
+                            ws,
+                            Rule::O1,
+                            idx,
+                            op_tok.line,
+                            op_tok.col,
+                            format!(
+                                "unchecked `{op}` on stats counter `{}`; a saturated counter is a wrong report, a wrapped one is a silently wrong report — {fix}",
+                                field.text
+                            ),
+                        ));
+                    }
+                    i += 2 + width;
+                    continue;
+                }
+            }
+            // LineGeometry address math: any binary `+`/`*`/`<<`.
+            if geom.iter().any(|r| r.contains(&i)) {
+                if let Some((op, width)) = o1_op(toks, i) {
+                    let binary = i > 0
+                        && (toks[i - 1].kind == TokKind::Ident
+                            || toks[i - 1].kind == TokKind::Int
+                            || toks[i - 1].is_punct(')')
+                            || toks[i - 1].is_punct(']'));
+                    if binary && !file.in_tests(t.line) && !file.allows.allows(Rule::O1, t.line) {
+                        findings.push(finding(
+                            ws,
+                            Rule::O1,
+                            idx,
+                            t.line,
+                            t.col,
+                            format!(
+                                "unchecked `{op}` in `LineGeometry` address math; use `checked_`/`saturating_` ops or waive with the construction-time bound"
+                            ),
+                        ));
+                    }
+                    i += width;
+                    continue;
+                }
+            }
+            i += 1;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1207,5 +2174,241 @@ mod tests {
         assert_eq!(name_unit("offset"), None, "`offset` must not match `set`");
         assert_eq!(name_unit("deadline"), None);
         assert_eq!(name_unit("words"), None);
+    }
+
+    #[test]
+    fn s1_flags_literal_seed_and_accepts_derived() {
+        let found = scan(&[(
+            "crates/core/src/fixture.rs",
+            "pub fn bad() -> SimRng { SimRng::new(0x1234) }\n\
+             pub fn good(seed: u64) -> SimRng {\n\
+             SimRng::new(SimRng::derive_seed_chain(seed, &[1]))\n\
+             }\n\
+             pub fn pass_through(cell_seed: u64) -> SimRng { SimRng::new(cell_seed) }\n",
+        )]);
+        let s1: Vec<&Finding> = found.iter().filter(|f| f.rule == "S1").collect();
+        assert_eq!(s1.len(), 1, "{s1:?}");
+        assert_eq!(s1[0].line, 1);
+        assert!(s1[0].message.contains("non-derived"));
+    }
+
+    #[test]
+    fn s1_taint_is_branch_sensitive() {
+        // `s` is rebound to a literal on ONE branch: the must-join at the
+        // merge point kills the taint, so the construction is flagged.
+        let found = scan(&[(
+            "crates/core/src/fixture.rs",
+            "pub fn f(seed: u64, flip: bool) -> SimRng {\n\
+             let mut s = SimRng::derive_seed(seed, 1, 2);\n\
+             if flip { s = 99; }\n\
+             SimRng::new(s)\n\
+             }\n",
+        )]);
+        let s1: Vec<&Finding> = found.iter().filter(|f| f.rule == "S1").collect();
+        assert_eq!(s1.len(), 1, "{s1:?}");
+        assert_eq!(s1[0].line, 4);
+
+        // Rebinding to another derived value on that branch keeps it clean.
+        let clean = scan(&[(
+            "crates/core/src/fixture.rs",
+            "pub fn f(seed: u64, flip: bool) -> SimRng {\n\
+             let mut s = SimRng::derive_seed(seed, 1, 2);\n\
+             if flip { s = SimRng::derive_seed(seed, 3, 4); }\n\
+             SimRng::new(s)\n\
+             }\n",
+        )]);
+        assert!(rules_of(&clean).iter().all(|r| *r != "S1"), "{clean:?}");
+    }
+
+    #[test]
+    fn s1_flags_rng_reuse_after_parallel_capture() {
+        let found = scan(&[(
+            "crates/experiments/src/fixture.rs",
+            "pub fn f(seed: u64, cells: &[u64]) -> u64 {\n\
+             let mut rng = SimRng::new(seed);\n\
+             let out = sweep(cells, |c| c + rng.next_u64());\n\
+             rng.next_u64() + out[0]\n\
+             }\n",
+        )]);
+        let s1: Vec<&Finding> = found.iter().filter(|f| f.rule == "S1").collect();
+        assert_eq!(s1.len(), 1, "{s1:?}");
+        assert_eq!(s1[0].line, 4);
+        assert!(s1[0].message.contains("after a parallel region"));
+
+        // Forking a throwaway stream for the region keeps the parent usable.
+        let clean = scan(&[(
+            "crates/experiments/src/fixture.rs",
+            "pub fn f(seed: u64, cells: &[u64]) -> u64 {\n\
+             let mut rng = SimRng::new(seed);\n\
+             let mut worker = rng.fork();\n\
+             let out = sweep(cells, |c| c + worker.next_u64());\n\
+             rng.next_u64() + out[0]\n\
+             }\n",
+        )]);
+        assert!(rules_of(&clean).iter().all(|r| *r != "S1"), "{clean:?}");
+    }
+
+    #[test]
+    fn s1_flags_salt_collisions_across_files() {
+        let found = scan(&[
+            (
+                "crates/core/src/a.rs",
+                "pub fn a(seed: u64) -> u64 { SimRng::derive_seed_chain(seed, &[3, 0x10 + 1]) }\n",
+            ),
+            (
+                "crates/core/src/b.rs",
+                "pub fn b(seed: u64) -> u64 { SimRng::derive_seed_chain(seed, &[3, 17]) }\n",
+            ),
+            (
+                "crates/core/src/c.rs",
+                "pub fn c(seed: u64) -> u64 { SimRng::derive_seed_chain(seed, &[3, 18]) }\n",
+            ),
+        ]);
+        let s1: Vec<&Finding> = found.iter().filter(|f| f.rule == "S1").collect();
+        assert_eq!(s1.len(), 1, "{s1:?}");
+        assert_eq!(s1[0].path, "crates/core/src/b.rs");
+        assert!(s1[0].message.contains("crates/core/src/a.rs:1"), "{s1:?}");
+    }
+
+    #[test]
+    fn s1_salt_collision_resolves_stable_id_and_skips_dynamic_salts() {
+        // Identical stable_id salts collide; a runtime-variable salt makes
+        // the site unresolvable and exempt rather than a false positive.
+        let found = scan(&[(
+            "crates/core/src/fixture.rs",
+            "pub fn f(seed: u64, i: u64) -> (u64, u64, u64) {\n\
+             let a = SimRng::derive_seed_chain(seed, &[stable_id(\"woc\")]);\n\
+             let b = SimRng::derive_seed_chain(seed, &[stable_id(\"woc\")]);\n\
+             let c = SimRng::derive_seed_chain(seed, &[i]);\n\
+             (a, b, c)\n\
+             }\n",
+        )]);
+        let s1: Vec<&Finding> = found.iter().filter(|f| f.rule == "S1").collect();
+        assert_eq!(s1.len(), 1, "{s1:?}");
+        assert_eq!(s1[0].line, 3);
+        assert!(s1[0].message.contains("stable_id(\"woc\")"));
+    }
+
+    #[test]
+    fn l2_flags_double_acquire_and_lock_order_cycles() {
+        let double = scan(&[(
+            "crates/experiments/src/fixture.rs",
+            "pub fn f(tasks: &Mutex<u64>) -> u64 {\n\
+             let a = tasks.lock().unwrap_or_else(|e| e.into_inner());\n\
+             let b = tasks.lock().unwrap_or_else(|e| e.into_inner());\n\
+             *a + *b\n\
+             }\n",
+        )]);
+        let l2: Vec<&Finding> = double.iter().filter(|f| f.rule == "L2").collect();
+        assert!(
+            l2.iter()
+                .any(|f| f.line == 3 && f.message.contains("acquired again")),
+            "{l2:?}"
+        );
+
+        let cycle = scan(&[(
+            "crates/experiments/src/fixture.rs",
+            "pub fn ab(tasks: &Mutex<u64>, slots: &Mutex<u64>) -> u64 {\n\
+             let a = tasks.lock().unwrap_or_else(|e| e.into_inner());\n\
+             let b = slots.lock().unwrap_or_else(|e| e.into_inner());\n\
+             *a + *b\n\
+             }\n\
+             pub fn ba(tasks: &Mutex<u64>, slots: &Mutex<u64>) -> u64 {\n\
+             let b = slots.lock().unwrap_or_else(|e| e.into_inner());\n\
+             let a = tasks.lock().unwrap_or_else(|e| e.into_inner());\n\
+             *a + *b\n\
+             }\n",
+        )]);
+        let l2: Vec<&Finding> = cycle.iter().filter(|f| f.rule == "L2").collect();
+        assert!(
+            l2.iter().any(|f| f.message.contains("lock-order cycle")),
+            "{l2:?}"
+        );
+    }
+
+    #[test]
+    fn l2_flags_panic_capable_call_under_lock_but_not_after_drop() {
+        let found = scan(&[(
+            "crates/experiments/src/fixture.rs",
+            "fn helper(v: Option<u8>) -> u8 { v.unwrap() }\n\
+             pub fn f(tasks: &Mutex<u64>, v: Option<u8>) -> u8 {\n\
+             let g = tasks.lock().unwrap_or_else(|e| e.into_inner());\n\
+             helper(v)\n\
+             }\n",
+        )]);
+        let l2: Vec<&Finding> = found.iter().filter(|f| f.rule == "L2").collect();
+        assert!(
+            l2.iter()
+                .any(|f| f.line == 4 && f.message.contains("can panic while lock `tasks`")),
+            "{l2:?}"
+        );
+
+        let clean = scan(&[(
+            "crates/experiments/src/fixture.rs",
+            "fn helper(v: Option<u8>) -> u8 { v.unwrap() }\n\
+             pub fn f(tasks: &Mutex<u64>, v: Option<u8>) -> u8 {\n\
+             let g = tasks.lock().unwrap_or_else(|e| e.into_inner());\n\
+             drop(g);\n\
+             helper(v)\n\
+             }\n",
+        )]);
+        assert!(rules_of(&clean).iter().all(|r| *r != "L2"), "{clean:?}");
+    }
+
+    #[test]
+    fn l2_temporary_guard_releases_at_statement_end() {
+        // No named guard: the temporary drops at the `;`, so the later
+        // panic-capable call runs lock-free.
+        let found = scan(&[(
+            "crates/experiments/src/fixture.rs",
+            "fn helper(v: Option<u8>) -> u8 { v.unwrap() }\n\
+             pub fn f(tasks: &Mutex<u64>, v: Option<u8>) -> u8 {\n\
+             *tasks.lock().unwrap_or_else(|e| e.into_inner()) = 7;\n\
+             helper(v)\n\
+             }\n",
+        )]);
+        assert!(rules_of(&found).iter().all(|r| *r != "L2"), "{found:?}");
+    }
+
+    #[test]
+    fn o1_flags_counter_ops_and_respects_waivers() {
+        let found = scan(&[(
+            "crates/cache/src/fixture.rs",
+            "pub struct FixStats { pub hits: u64, pub label: String }\n\
+             pub fn f(s: &mut FixStats, n: u64) -> u64 {\n\
+             s.hits += n;\n\
+             // ldis: allow(O1, \"bounded by the access budget\")\n\
+             s.hits += 1;\n\
+             s.hits + 3\n\
+             }\n",
+        )]);
+        let o1: Vec<&Finding> = found.iter().filter(|f| f.rule == "O1").collect();
+        assert_eq!(o1.len(), 2, "{o1:?}");
+        assert_eq!((o1[0].line, o1[1].line), (3, 6));
+        assert!(o1[0].message.contains("`+=` on stats counter `hits`"));
+
+        // Saturating bumps and non-counter fields stay silent.
+        let clean = scan(&[(
+            "crates/cache/src/fixture.rs",
+            "pub struct FixStats { pub hits: u64 }\n\
+             pub fn f(s: &mut FixStats, widths: &[u64]) -> u64 {\n\
+             s.hits.bump();\n\
+             s.hits.saturating_add(widths[0])\n\
+             }\n",
+        )]);
+        assert!(rules_of(&clean).iter().all(|r| *r != "O1"), "{clean:?}");
+    }
+
+    #[test]
+    fn o1_flags_line_geometry_shift_math() {
+        let found = scan(&[(
+            "crates/mem/src/fixture.rs",
+            "impl LineGeometry {\n\
+             pub fn base(&self, line_addr: u64) -> u64 { line_addr << self.line_shift }\n\
+             }\n",
+        )]);
+        let o1: Vec<&Finding> = found.iter().filter(|f| f.rule == "O1").collect();
+        assert_eq!(o1.len(), 1, "{o1:?}");
+        assert!(o1[0].message.contains("LineGeometry"));
     }
 }

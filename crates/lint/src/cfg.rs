@@ -1,0 +1,697 @@
+//! Per-function control-flow graphs at statement granularity.
+//!
+//! [`Cfg::build`] turns a function-body token range (from
+//! [`crate::parser::FnItem::body`]) into a graph of statement nodes with
+//! branch, loop and match edges — the substrate the flow-sensitive rules
+//! (S1 seed provenance, and anything after it) solve dataflow over via
+//! [`crate::dataflow`].
+//!
+//! The builder follows the same loss-tolerance contract as the item
+//! parser: syntax it does not model (`?` early exits, labeled breaks,
+//! `if let` chains with struct literals in the scrutinee) degrades to a
+//! coarser but still connected graph, never a panic. Over-connecting is
+//! acceptable — a may-analysis gets extra paths, a must-analysis gets
+//! weaker facts — while silently dropping real edges would not be, so
+//! every construct keeps at least its fall-through edge.
+//!
+//! Granularity: one node per statement. An expression statement with an
+//! embedded block (`let x = if c { a } else { b };`) is a single node —
+//! the dataflow rules only need statement-level kill/gen, and the
+//! committed CFG snapshot stays readable.
+
+use crate::lexer::{TokKind, Token};
+use std::ops::Range;
+
+/// Index of a node in [`Cfg::nodes`].
+pub type NodeId = usize;
+
+/// What a CFG node models.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum NodeKind {
+    /// Synthetic function entry (empty span).
+    Entry,
+    /// Synthetic function exit (empty span); `return` edges here.
+    Exit,
+    /// One straight-line statement.
+    Stmt,
+    /// An `if`/`if let` condition; successors are the branch heads.
+    Cond,
+    /// A `while`/`for`/`loop` header; the back edge returns here.
+    Loop,
+    /// A `match` scrutinee; one successor per arm.
+    Match,
+    /// Synthetic merge point after a branch/loop/match (empty span).
+    Join,
+}
+
+impl NodeKind {
+    fn describe(self) -> &'static str {
+        match self {
+            NodeKind::Entry => "entry",
+            NodeKind::Exit => "exit",
+            NodeKind::Stmt => "stmt",
+            NodeKind::Cond => "cond",
+            NodeKind::Loop => "loop",
+            NodeKind::Match => "match",
+            NodeKind::Join => "join",
+        }
+    }
+}
+
+/// One node of a function CFG.
+#[derive(Clone, Debug)]
+pub struct Node {
+    /// What the node models.
+    pub kind: NodeKind,
+    /// Token range of the statement/header (empty for synthetic nodes).
+    /// Node spans never overlap: every token belongs to at most one node.
+    pub span: Range<usize>,
+    /// 1-based source line of the first token (0 for synthetic nodes).
+    pub line: u32,
+    /// Successor nodes.
+    pub succs: Vec<NodeId>,
+    /// Predecessor nodes.
+    pub preds: Vec<NodeId>,
+}
+
+/// A per-function control-flow graph.
+pub struct Cfg {
+    /// All nodes; `entry` and `exit` are always present.
+    pub nodes: Vec<Node>,
+    /// The synthetic entry node.
+    pub entry: NodeId,
+    /// The synthetic exit node.
+    pub exit: NodeId,
+    /// Non-empty spans sorted by start, for [`Cfg::node_at`].
+    spans: Vec<(usize, usize, NodeId)>,
+}
+
+/// Item keywords that open a nested item at statement position; their
+/// bodies belong to the nested item's own CFG, not this one.
+const ITEM_KEYWORDS: &[&str] = &[
+    "fn",
+    "struct",
+    "enum",
+    "union",
+    "impl",
+    "trait",
+    "mod",
+    "macro_rules",
+];
+
+impl Cfg {
+    /// Builds the CFG for one function body token range.
+    pub fn build(toks: &[Token], body: Range<usize>) -> Cfg {
+        let mut b = Builder {
+            toks,
+            nodes: Vec::new(),
+            exit: 0,
+            loops: Vec::new(),
+        };
+        let entry = b.node(NodeKind::Entry, body.start..body.start);
+        let exit = b.node(NodeKind::Exit, body.end..body.end);
+        b.exit = exit;
+        let tail = b.block(body, Some(entry));
+        if let Some(t) = tail {
+            b.edge(t, exit);
+        }
+        let mut spans: Vec<(usize, usize, NodeId)> = b
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| !n.span.is_empty())
+            .map(|(id, n)| (n.span.start, n.span.end, id))
+            .collect();
+        spans.sort_unstable();
+        Cfg {
+            nodes: b.nodes,
+            entry,
+            exit,
+            spans,
+        }
+    }
+
+    /// The node whose span contains token index `tok`, if any. Brace
+    /// tokens and synthetic-node positions belong to no node.
+    pub fn node_at(&self, tok: usize) -> Option<NodeId> {
+        // Spans are disjoint, so the candidate is the last span starting
+        // at or before `tok`.
+        let idx = self.spans.partition_point(|&(start, _, _)| start <= tok);
+        let (start, end, id) = *self.spans.get(idx.checked_sub(1)?)?;
+        (start <= tok && tok < end).then_some(id)
+    }
+
+    /// Renders the graph as stable text for the committed snapshot: one
+    /// line per node with kind, source line, sorted successors and a
+    /// short token preview.
+    pub fn render(&self, toks: &[Token]) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        for (id, n) in self.nodes.iter().enumerate() {
+            let mut succs = n.succs.clone();
+            succs.sort_unstable();
+            succs.dedup();
+            let arrows = succs
+                .iter()
+                .map(|t| format!("n{t}"))
+                .collect::<Vec<_>>()
+                .join(" ");
+            let preview = toks[n.span.clone()]
+                .iter()
+                .take(8)
+                .map(|t| t.text.as_str())
+                .collect::<Vec<_>>()
+                .join(" ");
+            let ellipsis = if n.span.len() > 8 { " ..." } else { "" };
+            let _ = writeln!(
+                s,
+                "  n{id} {} L{} -> [{arrows}] {preview}{ellipsis}",
+                n.kind.describe(),
+                n.line
+            );
+        }
+        s
+    }
+}
+
+struct Builder<'a> {
+    toks: &'a [Token],
+    nodes: Vec<Node>,
+    exit: NodeId,
+    /// Innermost-last stack of `(continue target, break target)`.
+    loops: Vec<(NodeId, NodeId)>,
+}
+
+impl<'a> Builder<'a> {
+    fn node(&mut self, kind: NodeKind, span: Range<usize>) -> NodeId {
+        let line = if span.is_empty() {
+            0
+        } else {
+            self.toks.get(span.start).map_or(0, |t| t.line)
+        };
+        self.nodes.push(Node {
+            kind,
+            span,
+            line,
+            succs: Vec::new(),
+            preds: Vec::new(),
+        });
+        self.nodes.len() - 1
+    }
+
+    fn edge(&mut self, from: NodeId, to: NodeId) {
+        if !self.nodes[from].succs.contains(&to) {
+            self.nodes[from].succs.push(to);
+            self.nodes[to].preds.push(from);
+        }
+    }
+
+    /// Connects `cur` to a fresh node and makes the fresh node current.
+    fn step(&mut self, cur: Option<NodeId>, kind: NodeKind, span: Range<usize>) -> NodeId {
+        let n = self.node(kind, span);
+        if let Some(c) = cur {
+            self.edge(c, n);
+        }
+        n
+    }
+
+    /// The index just past the `}` matching the `{` at `open`, clamped
+    /// to `end`.
+    fn brace_end(&self, open: usize, end: usize) -> usize {
+        crate::parser::brace_end(self.toks, open).min(end)
+    }
+
+    /// First `{` at bracket depth 0 in `range` (for `if cond {`,
+    /// `while cond {`, `match scrutinee {` headers).
+    fn body_open(&self, range: Range<usize>) -> Option<usize> {
+        let mut depth = 0i32;
+        for i in range {
+            let t = &self.toks[i];
+            if t.is_punct('(') || t.is_punct('[') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') {
+                depth -= 1;
+            } else if t.is_punct('{') && depth == 0 {
+                return Some(i);
+            } else if t.is_punct(';') && depth == 0 {
+                return None; // runaway header: bail
+            }
+        }
+        None
+    }
+
+    /// End of a plain statement starting at `start`: the index of the
+    /// `;` at depth 0 (all brackets counted, so embedded block
+    /// expressions are swallowed), or `end` for a trailing expression.
+    fn stmt_end(&self, start: usize, end: usize) -> usize {
+        let mut depth = 0i32;
+        let mut i = start;
+        while i < end {
+            let t = &self.toks[i];
+            if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                depth -= 1;
+            } else if t.is_punct(';') && depth == 0 {
+                return i;
+            }
+            i += 1;
+        }
+        end
+    }
+
+    /// Lowers the statements of one block range. `cur` is the node flow
+    /// enters from (`None` when the block head is unreachable, e.g.
+    /// after a `return`). Returns the node flow leaves from, or `None`
+    /// when every path diverged.
+    fn block(&mut self, range: Range<usize>, mut cur: Option<NodeId>) -> Option<NodeId> {
+        let mut i = range.start;
+        while i < range.end {
+            let t = &self.toks[i];
+            if t.is_punct(';') {
+                i += 1;
+                continue;
+            }
+            if t.is_punct('{') {
+                // Bare block: lower its statements in line.
+                let end = self.brace_end(i, range.end);
+                cur = self.block(i + 1..end.saturating_sub(1), cur);
+                i = end;
+                continue;
+            }
+            if t.kind == TokKind::Ident {
+                if t.is_ident("unsafe") && self.toks.get(i + 1).is_some_and(|n| n.is_punct('{')) {
+                    i += 1; // the `{` case above lowers the block
+                    continue;
+                }
+                if ITEM_KEYWORDS.iter().any(|k| t.is_ident(k)) {
+                    // Nested item: its body belongs to its own CFG.
+                    i = self.skip_item(i, range.end);
+                    continue;
+                }
+                if t.is_ident("if") {
+                    let (tail, next) = self.lower_if(i, range.end, cur);
+                    cur = tail;
+                    i = next;
+                    continue;
+                }
+                if t.is_ident("while") || t.is_ident("for") || t.is_ident("loop") {
+                    let (tail, next) = self.lower_loop(i, range.end, cur);
+                    cur = tail;
+                    i = next;
+                    continue;
+                }
+                if t.is_ident("match") {
+                    if let Some((tail, next)) = self.lower_match(i, range.end, cur) {
+                        cur = tail;
+                        i = next;
+                        continue;
+                    }
+                    // `match` header without a body: fall through to a
+                    // plain statement so the tokens still get a node.
+                }
+                if t.is_ident("return") || t.is_ident("break") || t.is_ident("continue") {
+                    let end = self.stmt_end(i, range.end);
+                    let n = self.step(cur, NodeKind::Stmt, i..end);
+                    let target = if t.is_ident("return") {
+                        Some(self.exit)
+                    } else if t.is_ident("break") {
+                        self.loops.last().map(|&(_, after)| after)
+                    } else {
+                        self.loops.last().map(|&(head, _)| head)
+                    };
+                    self.edge(n, target.unwrap_or(self.exit));
+                    cur = None;
+                    i = end + 1;
+                    continue;
+                }
+            }
+            // Plain statement (covers `let`, expression statements, and a
+            // trailing expression).
+            let end = self.stmt_end(i, range.end);
+            cur = Some(self.step(cur, NodeKind::Stmt, i..end));
+            i = end + 1;
+        }
+        cur
+    }
+
+    /// Skips a nested item starting at its keyword: to the end of its
+    /// braced body, or past its `;` for declarations.
+    fn skip_item(&self, at: usize, end: usize) -> usize {
+        let mut i = at;
+        while i < end {
+            let t = &self.toks[i];
+            if t.is_punct('{') {
+                return self.brace_end(i, end);
+            }
+            if t.is_punct(';') {
+                return i + 1;
+            }
+            i += 1;
+        }
+        end
+    }
+
+    /// Lowers `if cond { .. } [else if .. | else { .. }]`. Returns the
+    /// join node (always created; unreachable when all branches
+    /// diverge) and the index to resume from.
+    fn lower_if(&mut self, at: usize, end: usize, cur: Option<NodeId>) -> (Option<NodeId>, usize) {
+        let Some(open) = self.body_open(at + 1..end) else {
+            // Header never opened a body: degrade to a statement.
+            let stmt_end = self.stmt_end(at, end);
+            let n = self.step(cur, NodeKind::Stmt, at..stmt_end);
+            return (Some(n), stmt_end + 1);
+        };
+        let cond = self.step(cur, NodeKind::Cond, at..open);
+        let then_end = self.brace_end(open, end);
+        let then_tail = self.block(open + 1..then_end.saturating_sub(1), Some(cond));
+        let join = self.node(NodeKind::Join, then_end..then_end);
+        if let Some(t) = then_tail {
+            self.edge(t, join);
+        }
+        let mut next = then_end;
+        if self.toks.get(then_end).is_some_and(|t| t.is_ident("else")) {
+            let else_at = then_end + 1;
+            if self.toks.get(else_at).is_some_and(|t| t.is_ident("if")) {
+                // `else if`: the chained condition is the false branch.
+                let (chain_tail, chain_next) = self.lower_if(else_at, end, Some(cond));
+                if let Some(t) = chain_tail {
+                    self.edge(t, join);
+                }
+                next = chain_next;
+            } else if self.toks.get(else_at).is_some_and(|t| t.is_punct('{')) {
+                let else_end = self.brace_end(else_at, end);
+                let else_tail = self.block(else_at + 1..else_end.saturating_sub(1), Some(cond));
+                if let Some(t) = else_tail {
+                    self.edge(t, join);
+                }
+                next = else_end;
+            } else {
+                // Malformed else: keep the false edge.
+                self.edge(cond, join);
+                next = else_at;
+            }
+        } else {
+            // No else: condition false falls through.
+            self.edge(cond, join);
+        }
+        (Some(join), next)
+    }
+
+    /// Lowers `while cond { .. }`, `for pat in iter { .. }` and
+    /// `loop { .. }`.
+    fn lower_loop(
+        &mut self,
+        at: usize,
+        end: usize,
+        cur: Option<NodeId>,
+    ) -> (Option<NodeId>, usize) {
+        let is_bare_loop = self.toks[at].is_ident("loop");
+        let Some(open) = self.body_open(at + 1..end) else {
+            let stmt_end = self.stmt_end(at, end);
+            let n = self.step(cur, NodeKind::Stmt, at..stmt_end);
+            return (Some(n), stmt_end + 1);
+        };
+        let head = self.step(cur, NodeKind::Loop, at..open);
+        let body_end = self.brace_end(open, end);
+        let after = self.node(NodeKind::Join, body_end..body_end);
+        self.loops.push((head, after));
+        let body_tail = self.block(open + 1..body_end.saturating_sub(1), Some(head));
+        self.loops.pop();
+        if let Some(t) = body_tail {
+            self.edge(t, head); // back edge
+        }
+        if !is_bare_loop {
+            // `while`/`for` may run zero iterations; a bare `loop` only
+            // leaves through its `break` edges.
+            self.edge(head, after);
+        }
+        (Some(after), body_end)
+    }
+
+    /// Lowers `match scrutinee { pat => body, .. }`. Returns `None` when
+    /// the header has no braced body (caller degrades to a statement).
+    fn lower_match(
+        &mut self,
+        at: usize,
+        end: usize,
+        cur: Option<NodeId>,
+    ) -> Option<(Option<NodeId>, usize)> {
+        let open = self.body_open(at + 1..end)?;
+        let head = self.step(cur, NodeKind::Match, at..open);
+        let body_end = self.brace_end(open, end);
+        let after = self.node(NodeKind::Join, body_end..body_end);
+        let inner = open + 1..body_end.saturating_sub(1);
+        let mut i = inner.start;
+        while i < inner.end {
+            // Find the arm's `=>` at depth 0 (pattern braces balance).
+            let mut depth = 0i32;
+            let mut arrow = None;
+            let mut j = i;
+            while j < inner.end {
+                let t = &self.toks[j];
+                if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                    depth += 1;
+                } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                    depth -= 1;
+                } else if depth == 0
+                    && t.is_punct('=')
+                    && self.toks.get(j + 1).is_some_and(|n| n.is_punct('>'))
+                {
+                    arrow = Some(j);
+                    break;
+                }
+                j += 1;
+            }
+            let Some(arrow) = arrow else { break };
+            let body_start = arrow + 2;
+            let (body_range, next) = if self.toks.get(body_start).is_some_and(|t| t.is_punct('{')) {
+                let arm_end = self.brace_end(body_start, inner.end);
+                (body_start + 1..arm_end.saturating_sub(1), arm_end)
+            } else {
+                let arm_end = self.stmt_end_comma(body_start, inner.end);
+                (body_start..arm_end, arm_end)
+            };
+            let arm_tail = self.block(body_range, Some(head));
+            if let Some(t) = arm_tail {
+                self.edge(t, after);
+            }
+            i = next;
+            while i < inner.end && self.toks[i].is_punct(',') {
+                i += 1;
+            }
+        }
+        Some((Some(after), body_end))
+    }
+
+    /// End of an expression match arm: the `,` at depth 0, or `limit`.
+    fn stmt_end_comma(&self, start: usize, limit: usize) -> usize {
+        let mut depth = 0i32;
+        let mut i = start;
+        while i < limit {
+            let t = &self.toks[i];
+            if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                depth -= 1;
+            } else if t.is_punct(',') && depth == 0 {
+                return i;
+            }
+            i += 1;
+        }
+        limit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser;
+
+    fn cfg_of(src: &str) -> (Vec<Token>, Cfg) {
+        let lexed = lex(src);
+        let parsed = parser::parse(&lexed.tokens);
+        let body = parsed.fns[0].body.clone();
+        let cfg = Cfg::build(&lexed.tokens, body);
+        (lexed.tokens, cfg)
+    }
+
+    fn kinds(cfg: &Cfg) -> Vec<NodeKind> {
+        cfg.nodes.iter().map(|n| n.kind).collect()
+    }
+
+    #[test]
+    fn straight_line_chains_to_exit() {
+        let (_, cfg) = cfg_of("fn f() { let a = 1; let b = 2; a + b; }");
+        assert_eq!(
+            kinds(&cfg),
+            [
+                NodeKind::Entry,
+                NodeKind::Exit,
+                NodeKind::Stmt,
+                NodeKind::Stmt,
+                NodeKind::Stmt
+            ]
+        );
+        assert_eq!(cfg.nodes[cfg.entry].succs, [2]);
+        assert_eq!(cfg.nodes[2].succs, [3]);
+        assert_eq!(cfg.nodes[3].succs, [4]);
+        assert_eq!(cfg.nodes[4].succs, [cfg.exit]);
+    }
+
+    #[test]
+    fn if_else_branches_and_joins() {
+        let (_, cfg) = cfg_of("fn f(c: bool) { if c { one(); } else { two(); } after(); }");
+        let cond = cfg
+            .nodes
+            .iter()
+            .position(|n| n.kind == NodeKind::Cond)
+            .unwrap();
+        assert_eq!(cfg.nodes[cond].succs.len(), 2, "then and else heads");
+        let join = cfg
+            .nodes
+            .iter()
+            .position(|n| n.kind == NodeKind::Join)
+            .unwrap();
+        assert_eq!(cfg.nodes[join].preds.len(), 2, "both branches merge");
+        assert_eq!(cfg.nodes[join].succs.len(), 1, "join flows to after()");
+    }
+
+    #[test]
+    fn if_without_else_keeps_the_false_edge() {
+        let (_, cfg) = cfg_of("fn f(c: bool) { if c { one(); } after(); }");
+        let cond = cfg
+            .nodes
+            .iter()
+            .position(|n| n.kind == NodeKind::Cond)
+            .unwrap();
+        let join = cfg
+            .nodes
+            .iter()
+            .position(|n| n.kind == NodeKind::Join)
+            .unwrap();
+        assert!(
+            cfg.nodes[cond].succs.contains(&join),
+            "false path skips the then block"
+        );
+    }
+
+    #[test]
+    fn while_loop_has_back_edge_and_zero_iteration_exit() {
+        let (_, cfg) = cfg_of("fn f(mut n: u32) { while n > 0 { n -= 1; } done(); }");
+        let head = cfg
+            .nodes
+            .iter()
+            .position(|n| n.kind == NodeKind::Loop)
+            .unwrap();
+        let body = cfg
+            .nodes
+            .iter()
+            .enumerate()
+            .find(|(_, n)| n.kind == NodeKind::Stmt && n.preds.contains(&head))
+            .map(|(id, _)| id)
+            .unwrap();
+        assert!(cfg.nodes[body].succs.contains(&head), "back edge");
+        let after = cfg
+            .nodes
+            .iter()
+            .position(|n| n.kind == NodeKind::Join)
+            .unwrap();
+        assert!(
+            cfg.nodes[head].succs.contains(&after),
+            "zero-iteration path"
+        );
+    }
+
+    #[test]
+    fn bare_loop_only_exits_through_break() {
+        let (_, cfg) = cfg_of("fn f() { loop { if done() { break; } step(); } after(); }");
+        let head = cfg
+            .nodes
+            .iter()
+            .position(|n| n.kind == NodeKind::Loop)
+            .unwrap();
+        let loop_after = cfg.nodes[head]
+            .succs
+            .iter()
+            .find(|&&s| cfg.nodes[s].kind == NodeKind::Join);
+        assert!(loop_after.is_none(), "no zero-iteration edge on bare loop");
+        let brk = cfg
+            .nodes
+            .iter()
+            .position(|n| {
+                n.kind == NodeKind::Stmt
+                    && n.succs.iter().any(|&s| {
+                        cfg.nodes[s].kind == NodeKind::Join && cfg.nodes[s].span.start > n.span.end
+                    })
+            })
+            .expect("break edges to the loop's after-join");
+        assert!(!cfg.nodes[brk].span.is_empty());
+    }
+
+    #[test]
+    fn return_diverges_to_exit() {
+        let (_, cfg) = cfg_of("fn f(c: bool) -> u32 { if c { return 1; } 2 }");
+        let ret = cfg
+            .nodes
+            .iter()
+            .position(|n| {
+                n.kind == NodeKind::Stmt && n.succs == vec![cfg.exit] && n.span.len() == 2
+            })
+            .expect("return node edges only to exit");
+        assert_eq!(cfg.nodes[ret].succs, [cfg.exit]);
+    }
+
+    #[test]
+    fn match_fans_out_per_arm() {
+        let (_, cfg) =
+            cfg_of("fn f(x: u32) -> u32 { match x { 0 => zero(), 1 => { one() } _ => other(), } }");
+        let head = cfg
+            .nodes
+            .iter()
+            .position(|n| n.kind == NodeKind::Match)
+            .unwrap();
+        assert_eq!(cfg.nodes[head].succs.len(), 3, "three arms");
+        let join = cfg
+            .nodes
+            .iter()
+            .position(|n| n.kind == NodeKind::Join)
+            .unwrap();
+        assert_eq!(cfg.nodes[join].preds.len(), 3, "all arms merge");
+    }
+
+    #[test]
+    fn nested_fn_bodies_are_not_lowered() {
+        let (_, cfg) = cfg_of("fn f() { fn inner() { a(); b(); c(); } inner(); }");
+        let stmts = cfg
+            .nodes
+            .iter()
+            .filter(|n| n.kind == NodeKind::Stmt)
+            .count();
+        assert_eq!(stmts, 1, "only the inner() call belongs to f");
+    }
+
+    #[test]
+    fn node_at_maps_tokens_to_their_statement() {
+        let (toks, cfg) = cfg_of("fn f() { let a = 1; if a > 0 { b(); } }");
+        let let_tok = toks.iter().position(|t| t.is_ident("a")).unwrap();
+        let node = cfg.node_at(let_tok).unwrap();
+        assert_eq!(cfg.nodes[node].kind, NodeKind::Stmt);
+        let b_tok = toks.iter().position(|t| t.is_ident("b")).unwrap();
+        let bn = cfg.node_at(b_tok).unwrap();
+        assert_eq!(cfg.nodes[bn].kind, NodeKind::Stmt);
+        assert_ne!(node, bn);
+        assert_eq!(cfg.node_at(toks.len() + 5), None);
+    }
+
+    #[test]
+    fn render_is_stable_and_readable() {
+        let (toks, cfg) = cfg_of("fn f(c: bool) { if c { one(); } two(); }");
+        let text = cfg.render(&toks);
+        assert!(text.contains("n0 entry L0"));
+        assert!(text.contains("cond"));
+        assert!(text.contains("if c"));
+        assert_eq!(text, cfg.render(&toks), "rendering is deterministic");
+    }
+}

@@ -1,0 +1,215 @@
+//! Generic forward dataflow over per-function CFGs.
+//!
+//! A classic worklist solver: facts flow from [`crate::cfg::Cfg::entry`]
+//! along successor edges, joined at merge points, until a fixpoint. The
+//! rule author supplies an [`Analysis`] — the fact lattice (via `join`)
+//! and the per-node [`Analysis::transfer`] function — and reads per-node
+//! input facts out of the returned [`Solution`].
+//!
+//! Unreachable nodes (a bare `loop` with no `break`, code after a
+//! diverging `match`) keep `None` facts, which a must-analysis reads as
+//! "vacuously everything" and a may-analysis as "nothing" — either way
+//! the rules skip reporting there, so dead code never produces findings.
+//!
+//! Termination: for a monotone transfer over a finite lattice the
+//! worklist empties on its own. Because transfer functions live in rule
+//! code that evolves, the solver additionally bounds itself at
+//! `nodes × MAX_VISITS_PER_NODE` recomputations and stops joining there
+//! rather than hanging CI; [`Solution::converged`] records which case
+//! occurred and the self-tests pin the honest one.
+
+use crate::cfg::{Cfg, NodeId};
+use std::collections::BTreeSet;
+use std::collections::VecDeque;
+
+/// Safety valve: a monotone analysis over these CFGs converges in a
+/// handful of passes; 64 visits per node is far beyond any honest
+/// fixpoint and cheap to check.
+const MAX_VISITS_PER_NODE: usize = 64;
+
+/// A forward dataflow problem.
+pub trait Analysis {
+    /// The lattice element tracked per program point.
+    type Fact: Clone + PartialEq;
+
+    /// The fact at function entry.
+    fn boundary(&self) -> Self::Fact;
+
+    /// The merge of two facts at a join point.
+    fn join(&self, a: &Self::Fact, b: &Self::Fact) -> Self::Fact;
+
+    /// The fact after executing `node` given the fact before it.
+    fn transfer(&self, node: NodeId, input: &Self::Fact) -> Self::Fact;
+}
+
+/// Per-node facts computed by [`solve_forward`]. `None` means the node
+/// is unreachable from entry.
+pub struct Solution<F> {
+    /// Fact holding immediately before each node executes.
+    pub input: Vec<Option<F>>,
+    /// Fact holding immediately after each node executes.
+    pub output: Vec<Option<F>>,
+    /// False only if the safety valve tripped before fixpoint.
+    pub converged: bool,
+}
+
+/// Runs the worklist to fixpoint and returns the per-node facts.
+pub fn solve_forward<A: Analysis>(cfg: &Cfg, analysis: &A) -> Solution<A::Fact> {
+    let n = cfg.nodes.len();
+    let mut input: Vec<Option<A::Fact>> = vec![None; n];
+    let mut output: Vec<Option<A::Fact>> = vec![None; n];
+    let mut queued = vec![false; n];
+    let mut visits = vec![0usize; n];
+    let mut work: VecDeque<NodeId> = VecDeque::new();
+    let mut converged = true;
+
+    input[cfg.entry] = Some(analysis.boundary());
+    work.push_back(cfg.entry);
+    queued[cfg.entry] = true;
+
+    while let Some(id) = work.pop_front() {
+        queued[id] = false;
+        visits[id] += 1;
+        if visits[id] > MAX_VISITS_PER_NODE {
+            converged = false;
+            continue;
+        }
+        let Some(in_fact) = input[id].clone() else {
+            continue;
+        };
+        let out = analysis.transfer(id, &in_fact);
+        if output[id].as_ref() == Some(&out) {
+            continue;
+        }
+        output[id] = Some(out);
+        for &succ in &cfg.nodes[id].succs {
+            // Recompute the successor's input as the join over every
+            // predecessor that has produced a fact so far.
+            let mut acc: Option<A::Fact> = None;
+            for &pred in &cfg.nodes[succ].preds {
+                if let Some(p_out) = &output[pred] {
+                    acc = Some(match acc {
+                        None => p_out.clone(),
+                        Some(prev) => analysis.join(&prev, p_out),
+                    });
+                }
+            }
+            if acc != input[succ] {
+                input[succ] = acc;
+                if !queued[succ] {
+                    queued[succ] = true;
+                    work.push_back(succ);
+                }
+            }
+        }
+    }
+
+    Solution {
+        input,
+        output,
+        converged,
+    }
+}
+
+/// A ready-made gen/kill analysis over sets of names — the shape both
+/// taint tracking and liveness-style rules reduce to. `must: true`
+/// joins by intersection (a fact holds only if it holds on *every*
+/// path); `must: false` joins by union (it holds on *some* path).
+pub struct GenKill {
+    /// Intersection join (must) vs union join (may).
+    pub must: bool,
+    /// Names holding at function entry.
+    pub boundary: BTreeSet<String>,
+    /// Per-node names the node makes true.
+    pub gen: Vec<BTreeSet<String>>,
+    /// Per-node names the node makes false (applied before gen).
+    pub kill: Vec<BTreeSet<String>>,
+}
+
+impl Analysis for GenKill {
+    type Fact = BTreeSet<String>;
+
+    fn boundary(&self) -> Self::Fact {
+        self.boundary.clone()
+    }
+
+    fn join(&self, a: &Self::Fact, b: &Self::Fact) -> Self::Fact {
+        if self.must {
+            a.intersection(b).cloned().collect()
+        } else {
+            a.union(b).cloned().collect()
+        }
+    }
+
+    fn transfer(&self, node: NodeId, input: &Self::Fact) -> Self::Fact {
+        let mut out = input.clone();
+        if let Some(kill) = self.kill.get(node) {
+            for k in kill {
+                out.remove(k);
+            }
+        }
+        if let Some(gen) = self.gen.get(node) {
+            for g in gen {
+                out.insert(g.clone());
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::Cfg;
+    use crate::lexer::lex;
+    use crate::parser;
+
+    fn cfg_of(src: &str) -> Cfg {
+        let lexed = lex(src);
+        let parsed = parser::parse(&lexed.tokens);
+        Cfg::build(&lexed.tokens, parsed.fns[0].body.clone())
+    }
+
+    fn set(names: &[&str]) -> BTreeSet<String> {
+        names.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn straight_line_accumulates_gen() {
+        let cfg = cfg_of("fn f() { a(); b(); }");
+        let mut gen = vec![BTreeSet::new(); cfg.nodes.len()];
+        // Tag each Stmt node with its own name.
+        for (id, node) in cfg.nodes.iter().enumerate() {
+            if !node.span.is_empty() {
+                gen[id] = set(&[&format!("n{id}")]);
+            }
+        }
+        let gk = GenKill {
+            must: true,
+            boundary: BTreeSet::new(),
+            gen,
+            kill: vec![BTreeSet::new(); cfg.nodes.len()],
+        };
+        let sol = solve_forward(&cfg, &gk);
+        assert!(sol.converged);
+        let exit_in = sol.input[cfg.exit].as_ref().unwrap();
+        assert_eq!(exit_in.len(), 2, "both statements' facts reach exit");
+    }
+
+    #[test]
+    fn unreachable_nodes_keep_none() {
+        let cfg = cfg_of("fn f() -> u32 { return 1; }");
+        // The trailing-expression node after `return` (if any) and any
+        // loop-after joins must stay None; the exit is reachable via the
+        // return edge.
+        let gk = GenKill {
+            must: true,
+            boundary: set(&["seed"]),
+            gen: vec![BTreeSet::new(); cfg.nodes.len()],
+            kill: vec![BTreeSet::new(); cfg.nodes.len()],
+        };
+        let sol = solve_forward(&cfg, &gk);
+        assert!(sol.converged);
+        assert_eq!(sol.input[cfg.exit].as_ref().unwrap(), &set(&["seed"]));
+    }
+}

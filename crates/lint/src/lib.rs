@@ -29,6 +29,8 @@
 //! its own Rust lexer, TOML-subset reader and JSON reader.
 
 pub mod analyze;
+pub mod cfg;
+pub mod dataflow;
 pub mod json;
 pub mod lexer;
 pub mod model;

@@ -292,6 +292,55 @@ pub fn render_json(outcome: &Outcome) -> String {
     )
 }
 
+/// Renders a whole outcome as a SARIF 2.1.0 log, the interchange format
+/// GitHub code scanning ingests. One run, one result per error and
+/// warning (baselined findings are omitted — they are accepted debt),
+/// with the rule metadata listed once under the driver.
+pub fn render_sarif(outcome: &Outcome) -> String {
+    let mut rules: Vec<&str> = outcome
+        .errors
+        .iter()
+        .chain(&outcome.warnings)
+        .map(|f| f.rule)
+        .collect();
+    rules.sort_unstable();
+    rules.dedup();
+    let rule_objs = rules
+        .iter()
+        .map(|r| format!("{{\"id\":\"{}\"}}", json_escape(r)))
+        .collect::<Vec<_>>()
+        .join(",");
+    let result = |f: &Finding| {
+        format!(
+            "{{\"ruleId\":\"{}\",\"level\":\"{}\",\"message\":{{\"text\":\"{}\"}},\
+             \"locations\":[{{\"physicalLocation\":{{\"artifactLocation\":{{\"uri\":\"{}\"}},\
+             \"region\":{{\"startLine\":{},\"startColumn\":{}}}}}}}]}}",
+            json_escape(f.rule),
+            match f.level {
+                Level::Deny => "error",
+                Level::Warn => "warning",
+            },
+            json_escape(&f.message),
+            json_escape(&f.path),
+            f.line,
+            f.col,
+        )
+    };
+    let results = outcome
+        .errors
+        .iter()
+        .chain(&outcome.warnings)
+        .map(result)
+        .collect::<Vec<_>>()
+        .join(",");
+    format!(
+        "{{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",\
+         \"version\":\"2.1.0\",\"runs\":[{{\"tool\":{{\"driver\":{{\
+         \"name\":\"ldis-lint\",\"rules\":[{rule_objs}]}}}},\
+         \"results\":[{results}]}}]}}\n"
+    )
+}
+
 /// Renders one finding as a GitHub Actions workflow command, so CI runs
 /// surface findings as inline annotations on the PR diff.
 pub fn render_annotation(f: &Finding) -> String {
@@ -457,6 +506,28 @@ mod tests {
         assert!(text.contains("\"warnings\":[{\"rule\":\"P1X\""));
         assert!(text.contains("\"baselined\":0"));
         assert!(text.ends_with("]}\n"));
+    }
+
+    #[test]
+    fn sarif_output_lists_rules_once_and_locates_results() {
+        let out = classify(
+            vec![
+                finding("S1", "crates/core/src/a.rs", 9, Level::Deny),
+                finding("S1", "crates/core/src/b.rs", 2, Level::Deny),
+                finding("P1X", "c.rs", 1, Level::Warn),
+            ],
+            &Baseline::default(),
+        );
+        let text = render_sarif(&out);
+        assert!(text.contains("\"version\":\"2.1.0\""));
+        assert!(text.contains("\"name\":\"ldis-lint\""));
+        assert_eq!(text.matches("{\"id\":\"S1\"}").count(), 1);
+        assert!(text.contains("{\"id\":\"P1X\"}"));
+        assert!(text.contains(
+            "\"artifactLocation\":{\"uri\":\"crates/core/src/a.rs\"},\
+             \"region\":{\"startLine\":9,\"startColumn\":1}"
+        ));
+        assert!(text.contains("\"level\":\"warning\""));
     }
 
     #[test]

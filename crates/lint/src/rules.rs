@@ -41,6 +41,21 @@ pub enum Rule {
     /// Waiver hygiene: every `// ldis: allow(RULE, "why")` must carry a
     /// non-empty justification string.
     W1,
+    /// Seed provenance (flow-sensitive): `SimRng` streams must be
+    /// constructed from seeds derived off the root seed
+    /// (`derive`/`derive_seed_chain`/`stable_id`/`fork`), salt literals
+    /// must not collide across derive call sites, and a derived RNG must
+    /// not be reused after a parallel region captured it.
+    S1,
+    /// Lock discipline: the workspace lock-acquisition-order graph must
+    /// be acyclic, no lock may be re-acquired while held, and no
+    /// panic-capable call may run under a held lock.
+    L2,
+    /// Counter arithmetic: unchecked `+`/`*`/`<<` on `u64`/`u32` stats
+    /// counters and `LineGeometry` address math must be
+    /// `checked_`/`saturating_`/explicitly wrapping, or carry a
+    /// justified waiver.
+    O1,
 }
 
 impl Rule {
@@ -56,6 +71,9 @@ impl Rule {
             Rule::U1 => "U1",
             Rule::D3 => "D3",
             Rule::W1 => "W1",
+            Rule::S1 => "S1",
+            Rule::L2 => "L2",
+            Rule::O1 => "O1",
         }
     }
 
@@ -193,9 +211,9 @@ pub fn scan_rust(ctx: &FileContext<'_>, rules: &[Rule]) -> Vec<Finding> {
             Rule::P1 => p1(ctx, &mut findings),
             Rule::P1X => p1x(ctx, &mut findings),
             Rule::C1 => c1(ctx, &mut findings),
-            // Interprocedural rules run in the workspace pass
-            // (`crate::analyze`), not per file.
-            Rule::P2 | Rule::U1 | Rule::D3 | Rule::W1 => {}
+            // Interprocedural and flow-sensitive rules run in the
+            // workspace pass (`crate::analyze`), not per file.
+            Rule::P2 | Rule::U1 | Rule::D3 | Rule::W1 | Rule::S1 | Rule::L2 | Rule::O1 => {}
         }
     }
     // Waiver hygiene applies to every linted file regardless of which

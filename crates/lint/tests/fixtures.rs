@@ -109,6 +109,9 @@ const MODEL_CASES: &[(&str, &str, &str, usize)] = &[
     ("P2", "p2.rs", "crates/sfp/src/fixture.rs", 2),
     ("U1", "u1.rs", "crates/mem/src/fixture.rs", 4),
     ("D3", "d3.rs", "crates/experiments/src/fixture.rs", 3),
+    ("S1", "s1.rs", "crates/core/src/fixture.rs", 4),
+    ("L2", "l2.rs", "crates/experiments/src/fixture.rs", 4),
+    ("O1", "o1.rs", "crates/cache/src/fixture.rs", 7),
 ];
 
 #[test]
@@ -223,7 +226,8 @@ fn golden_fixtures_validate() {
 fn fixtures_are_out_of_workspace_scope() {
     for kind in ["pass", "fail"] {
         for name in [
-            "d1.rs", "d2.rs", "p1.rs", "c1.rs", "p2.rs", "u1.rs", "d3.rs",
+            "d1.rs", "d2.rs", "p1.rs", "c1.rs", "p2.rs", "u1.rs", "d3.rs", "s1.rs", "l2.rs",
+            "o1.rs",
         ] {
             let rel = format!("crates/lint/tests/fixtures/{kind}/{name}");
             assert_eq!(ldis_lint::rules_for(&rel), None, "{rel} must be skipped");

@@ -1,0 +1,90 @@
+//! Control-flow zoo for the CFG snapshot: one function per lowering
+//! shape the builder handles. The rendered graphs are pinned byte-for-
+//! byte in `cfg.snap` (regenerate with `UPDATE_SNAPSHOTS=1`).
+
+pub fn straight(a: u64) -> u64 {
+    let b = a + 1;
+    let c = b * 2;
+    c
+}
+
+pub fn branchy(a: u64, flip: bool) -> u64 {
+    let mut x = a;
+    if flip {
+        x = x + 1;
+    } else {
+        x = x + 2;
+    }
+    x
+}
+
+pub fn else_if_chain(a: u64) -> u64 {
+    if a > 100 {
+        3
+    } else if a > 10 {
+        2
+    } else {
+        1
+    }
+}
+
+pub fn looping(n: u64) -> u64 {
+    let mut total = 0;
+    let mut i = 0;
+    while i < n {
+        total += i;
+        i += 1;
+    }
+    total
+}
+
+pub fn bare_loop_with_break(n: u64) -> u64 {
+    let mut i = 0;
+    loop {
+        i += 1;
+        if i >= n {
+            break;
+        }
+    }
+    i
+}
+
+pub fn early_return(v: Option<u64>) -> u64 {
+    if v.is_none() {
+        return 0;
+    }
+    v.unwrap_or(1)
+}
+
+pub fn matcher(k: u64) -> u64 {
+    match k {
+        0 => 10,
+        1 => {
+            let t = k + 1;
+            t * 2
+        }
+        _ => 0,
+    }
+}
+
+pub fn for_each(items: &[u64]) -> u64 {
+    let mut acc = 0;
+    for it in items {
+        acc += *it;
+    }
+    acc
+}
+
+pub fn continue_and_break(items: &[u64]) -> u64 {
+    let mut acc = 0;
+    for it in items {
+        if *it == 0 {
+            continue;
+        }
+        if *it > 100 {
+            break;
+        }
+        acc += *it;
+    }
+    acc
+}

@@ -1,0 +1,45 @@
+//! Deliberate L2 violations: lock discipline broken four distinct ways.
+//! Scanned as `crates/experiments/src/fixture.rs`; the self-test pins
+//! the exact count.
+
+fn panicky_helper(v: Option<u8>) -> u8 {
+    v.unwrap()
+}
+
+/// Re-acquiring the same mutex while its guard is live self-deadlocks.
+pub fn double_acquire(tasks: &Mutex<u64>) -> u64 {
+    let a = tasks.lock().unwrap_or_else(|e| e.into_inner());
+    let b = tasks.lock().unwrap_or_else(|e| e.into_inner());
+    *a + *b
+}
+
+/// One half of a lock-order cycle: `tasks` before `slots`.
+pub fn order_tasks_then_slots(tasks: &Mutex<u64>, slots: &Mutex<u64>) -> u64 {
+    let a = tasks.lock().unwrap_or_else(|e| e.into_inner());
+    let b = slots.lock().unwrap_or_else(|e| e.into_inner());
+    *a + *b
+}
+
+/// The other half: `slots` before `tasks`. Two workers running these
+/// concurrently deadlock.
+pub fn order_slots_then_tasks(tasks: &Mutex<u64>, slots: &Mutex<u64>) -> u64 {
+    let b = slots.lock().unwrap_or_else(|e| e.into_inner());
+    let a = tasks.lock().unwrap_or_else(|e| e.into_inner());
+    *a + *b
+}
+
+/// A panic-capable callee runs while the guard is held: a panic poisons
+/// the mutex for every other worker.
+pub fn panic_capable_under_lock(tasks: &Mutex<u64>, v: Option<u8>) -> u8 {
+    let g = tasks.lock().unwrap_or_else(|e| e.into_inner());
+    *g as u8 + panicky_helper(v)
+}
+
+/// A direct panic macro under the guard.
+pub fn direct_panic_under_lock(tasks: &Mutex<u64>) -> u64 {
+    let g = tasks.lock().unwrap_or_else(|e| e.into_inner());
+    if *g > 10 {
+        panic!("budget exceeded");
+    }
+    *g
+}

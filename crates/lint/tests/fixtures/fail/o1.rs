@@ -1,0 +1,29 @@
+//! Deliberate O1 violations: unchecked arithmetic on stats counters and
+//! in `LineGeometry` address math. Scanned as
+//! `crates/cache/src/fixture.rs`; the self-test pins the exact count.
+
+pub struct FixtureStats {
+    pub hits: u64,
+    pub misses: u32,
+    pub label: String,
+}
+
+/// Three unchecked counter ops: `+=` on a u64, `+=` on a u32, and a
+/// bare `*` in a read-side expression.
+pub fn unchecked_ops(s: &mut FixtureStats, n: u64) -> u64 {
+    s.hits += n;
+    s.misses += 1;
+    s.hits * 2
+}
+
+impl LineGeometry {
+    /// One unchecked shift.
+    pub fn base(&self, line_addr: u64) -> u64 {
+        line_addr << self.line_shift
+    }
+
+    /// Two unchecked shifts and the `+` combining them.
+    pub fn word(&self, line_addr: u64, w: u64) -> u64 {
+        (line_addr << self.line_shift) + (w << self.word_shift)
+    }
+}

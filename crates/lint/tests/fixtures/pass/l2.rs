@@ -1,0 +1,44 @@
+//! Lock discipline done right: L2 must stay silent on every function
+//! here. Scanned as `crates/experiments/src/fixture.rs`.
+
+fn panicky_helper(v: Option<u8>) -> u8 {
+    v.unwrap()
+}
+
+/// Both functions take the locks in the same order: edges but no cycle.
+pub fn consistent_order_1(tasks: &Mutex<u64>, slots: &Mutex<u64>) -> u64 {
+    let a = tasks.lock().unwrap_or_else(|e| e.into_inner());
+    let b = slots.lock().unwrap_or_else(|e| e.into_inner());
+    *a + *b
+}
+
+/// Same order again — consistent with `consistent_order_1`.
+pub fn consistent_order_2(tasks: &Mutex<u64>, slots: &Mutex<u64>) -> u64 {
+    let a = tasks.lock().unwrap_or_else(|e| e.into_inner());
+    let b = slots.lock().unwrap_or_else(|e| e.into_inner());
+    *a + *b
+}
+
+/// Dropping the guard before the panic-capable call narrows the hold.
+pub fn drop_before_panicky(tasks: &Mutex<u64>, v: Option<u8>) -> u8 {
+    let g = tasks.lock().unwrap_or_else(|e| e.into_inner());
+    let held = *g as u8;
+    drop(g);
+    held + panicky_helper(v)
+}
+
+/// A temporary guard drops at the end of its statement, so the later
+/// panic-capable call runs lock-free.
+pub fn temporary_guard(tasks: &Mutex<u64>, v: Option<u8>) -> u8 {
+    *tasks.lock().unwrap_or_else(|e| e.into_inner()) = 7;
+    panicky_helper(v)
+}
+
+/// The waiver syntax: a justified allow silences a deliberate
+/// re-acquire.
+pub fn waived_reacquire(tasks: &Mutex<u64>) -> u64 {
+    let a = tasks.lock().unwrap_or_else(|e| e.into_inner());
+    // ldis: allow(L2, "fixture: documents the waiver syntax; the guard is dropped by NLL before the re-acquire in real code")
+    let b = tasks.lock().unwrap_or_else(|e| e.into_inner());
+    *a + *b
+}

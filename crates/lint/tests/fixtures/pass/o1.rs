@@ -1,0 +1,33 @@
+//! Counter arithmetic done right: O1 must stay silent on every function
+//! here. Scanned as `crates/cache/src/fixture.rs`.
+
+pub struct FixtureStats {
+    pub hits: u64,
+    pub misses: u32,
+}
+
+/// Saturating bumps and explicit saturating reads.
+pub fn checked_ops(s: &mut FixtureStats, n: u64) -> u64 {
+    s.hits.bump_by(n);
+    s.misses.bump();
+    s.hits.saturating_mul(2)
+}
+
+/// The waiver syntax: a justified allow on the line above.
+pub fn waived(s: &mut FixtureStats) {
+    // ldis: allow(O1, "fixture: bounded by the 16-word line, cannot overflow u64")
+    s.hits += 1;
+}
+
+impl LineGeometry {
+    /// Waived shift with the construction-time bound spelled out.
+    pub fn base(&self, line_addr: u64) -> u64 {
+        // ldis: allow(O1, "fixture: shift count is trailing_zeros of the validated power-of-two line size")
+        line_addr << self.line_shift
+    }
+
+    /// Checked shift needs no waiver.
+    pub fn checked_word(&self, w: u64) -> Option<u64> {
+        w.checked_shl(self.word_shift)
+    }
+}

@@ -3,9 +3,11 @@
 //! memory, nothing on disk) and checking each one fails the same
 //! classification `ldis-lint --deny` uses.
 //!
-//! Two seeds, matching the defect classes the rules were built for:
-//! (a) a transitive panic behind a public `crates/sfp` entry point, and
-//! (b) a word-index/byte-address argument swap in `crates/core`.
+//! Four seeds, matching the defect classes the rules were built for:
+//! (a) a transitive panic behind a public `crates/sfp` entry point,
+//! (b) a word-index/byte-address argument swap in `crates/core`,
+//! (c) a derive-salt collision in `crates/core` (rule S1), and
+//! (d) a lock-order cycle in the experiments executor (rule L2).
 
 use std::path::PathBuf;
 
@@ -108,4 +110,47 @@ fn injected_word_byte_swap_in_core_fails_deny() {
     let msg = &u1[0].message;
     assert!(msg.contains("expects a word-index"), "{msg}");
     assert!(msg.contains("got a byte-address"), "{msg}");
+}
+
+#[test]
+fn injected_salt_collision_in_core_fails_deny() {
+    // Two derive sites with the same base and the same statically-
+    // resolved salt tuple: the derived streams are identical.
+    let errors = errors_with_seed(
+        "crates/core/src/lib.rs",
+        "\nfn seeded_salt_a(seed: u64) -> u64 {\n    \
+         SimRng::derive_seed_chain(seed, &[0x5eed, stable_id(\"seeded\")])\n}\n\n\
+         fn seeded_salt_b(seed: u64) -> u64 {\n    \
+         SimRng::derive_seed_chain(seed, &[0x5eed, stable_id(\"seeded\")])\n}\n",
+    );
+    let s1: Vec<_> = errors
+        .iter()
+        .filter(|f| f.rule == "S1" && f.path == "crates/core/src/lib.rs")
+        .collect();
+    assert_eq!(s1.len(), 1, "seeded salt collision not caught: {errors:?}");
+    let msg = &s1[0].message;
+    assert!(msg.contains("duplicates the derive at"), "{msg}");
+    assert!(msg.contains("stable_id(\"seeded\")"), "{msg}");
+}
+
+#[test]
+fn injected_lock_order_cycle_in_executor_fails_deny() {
+    // Opposite acquisition orders over two fresh mutexes: two workers
+    // running these concurrently deadlock.
+    let errors = errors_with_seed(
+        "crates/experiments/src/exec/mod.rs",
+        "\nfn seeded_order_fb(front: &Mutex<u64>, back: &Mutex<u64>) -> u64 {\n    \
+         let f = front.lock().unwrap_or_else(|e| e.into_inner());\n    \
+         let b = back.lock().unwrap_or_else(|e| e.into_inner());\n    \
+         *f + *b\n}\n\n\
+         fn seeded_order_bf(front: &Mutex<u64>, back: &Mutex<u64>) -> u64 {\n    \
+         let b = back.lock().unwrap_or_else(|e| e.into_inner());\n    \
+         let f = front.lock().unwrap_or_else(|e| e.into_inner());\n    \
+         *f + *b\n}\n",
+    );
+    let l2: Vec<_> = errors.iter().filter(|f| f.rule == "L2").collect();
+    assert_eq!(l2.len(), 1, "seeded lock cycle not caught: {errors:?}");
+    let msg = &l2[0].message;
+    assert!(msg.contains("lock-order cycle"), "{msg}");
+    assert!(msg.contains("front") && msg.contains("back"), "{msg}");
 }

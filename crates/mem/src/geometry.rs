@@ -89,6 +89,7 @@ impl LineGeometry {
 
     /// The first byte address of line `line`.
     pub const fn line_base(&self, line: LineAddr) -> Addr {
+        // ldis: allow(O1, "line addresses are produced by addr >> line_shift, so shifting back cannot overflow; line_shift <= 7 by the power-of-two assert in new()")
         Addr::new(line.raw() << self.line_shift)
     }
 
@@ -100,6 +101,7 @@ impl LineGeometry {
 
     /// The byte address of word `word` of line `line`.
     pub const fn word_base(&self, line: LineAddr, word: WordIndex) -> Addr {
+        // ldis: allow(O1, "shift counts are trailing_zeros of the validated power-of-two sizes (<= 7) and the word offset is below line_bytes, so the sum stays within the line")
         Addr::new((line.raw() << self.line_shift) + ((word.get() as u64) << self.word_shift))
     }
 
@@ -110,7 +112,7 @@ impl LineGeometry {
     pub fn word_span(&self, addr: Addr, size: u32) -> (WordIndex, WordIndex) {
         let first = self.word_index(addr);
         let size = size.max(1);
-        let last_byte = addr.raw() + (size as u64 - 1);
+        let last_byte = addr.raw().saturating_add(size as u64 - 1);
         let last = if self.line_addr(Addr::new(last_byte)) == self.line_addr(addr) {
             self.word_index(Addr::new(last_byte))
         } else {

@@ -2,6 +2,35 @@
 
 use std::fmt;
 
+/// Saturating increment for integer stats counters.
+///
+/// Every simulator counter bumps through this trait so that the failure
+/// mode at the type's ceiling is a visibly pinned value rather than a
+/// silent wrap-around (`ldis-lint` rule O1 rejects bare `+=` on counter
+/// fields). Saturation is unreachable in practice — traces are billions
+/// of accesses, `u64::MAX` is quintillions — so goldens are unaffected.
+pub trait Counter: Copy {
+    /// Adds 1, saturating at the type's maximum.
+    fn bump(&mut self);
+    /// Adds `n`, saturating at the type's maximum.
+    fn bump_by(&mut self, n: Self);
+}
+
+macro_rules! impl_counter {
+    ($($t:ty),*) => {$(
+        impl Counter for $t {
+            fn bump(&mut self) {
+                *self = self.saturating_add(1);
+            }
+            fn bump_by(&mut self, n: Self) {
+                *self = self.saturating_add(n);
+            }
+        }
+    )*};
+}
+
+impl_counter!(u64, u32, usize);
+
 /// A fixed-bin histogram over small non-negative integers (word counts,
 /// recency positions, compression classes, …).
 ///

@@ -4,7 +4,7 @@
 
 use crate::MattsonProfiler;
 use ldis_cache::{CacheConfig, L2Outcome, L2Request, L2Response, L2Stats, SecondLevel};
-use ldis_mem::stats::Histogram;
+use ldis_mem::stats::{Counter, Histogram};
 use ldis_mem::{Footprint, LineAddr, LineGeometry};
 use std::collections::BTreeSet;
 
@@ -184,16 +184,16 @@ impl SecondLevel for MattsonL2 {
             }
         }
         // Primary-configuration bookkeeping, mirroring BaselineL2.
-        self.stats.accesses += 1;
+        self.stats.accesses.bump();
         let primary_ways = self.configs.first().map_or(0, CacheConfig::ways);
         let hit = primary_depth.is_some_and(|d| d < primary_ways as usize);
         let outcome = if hit {
-            self.stats.loc_hits += 1;
+            self.stats.loc_hits.bump();
             L2Outcome::LocHit
         } else {
-            self.stats.line_misses += 1;
+            self.stats.line_misses.bump();
             if first_touch {
-                self.stats.compulsory_misses += 1;
+                self.stats.compulsory_misses.bump();
             }
             L2Outcome::LineMiss
         };

@@ -1,7 +1,7 @@
 //! The per-set Mattson stack-distance profiler for one set count.
 
 use ldis_cache::CacheConfig;
-use ldis_mem::stats::Histogram;
+use ldis_mem::stats::{Counter, Histogram};
 use ldis_mem::{Footprint, LineAddr, WordIndex};
 
 /// Per-associativity state of one stack entry.
@@ -60,9 +60,9 @@ impl TierStats {
     }
 
     fn record_eviction(&mut self, slot: &TierSlot) {
-        self.evictions += 1;
+        self.evictions.bump();
         if slot.dirty {
-            self.writebacks += 1;
+            self.writebacks.bump();
         }
         if !slot.is_instr {
             self.words_used_at_evict
@@ -198,7 +198,7 @@ impl MattsonProfiler {
         is_instr: bool,
         first_touch: bool,
     ) -> Option<usize> {
-        self.accesses += 1;
+        self.accesses.bump();
         let set_idx = self.set_index(line);
         let Some(stack) = self.sets.get_mut(set_idx) else {
             // Unreachable: set_index masks into 0..num_sets. Degrade to
@@ -294,7 +294,7 @@ impl MattsonProfiler {
                     slot.dirty |= dirty;
                 }
             } else if dirty {
-                tier.writebacks += 1;
+                tier.writebacks.bump();
             }
         }
     }

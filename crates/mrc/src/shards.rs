@@ -38,6 +38,7 @@
 //! and the (small, for 8–12 ways) associativity modeling bias.
 
 use ldis_cache::{L2Outcome, L2Request, L2Response, L2Stats, SecondLevel};
+use ldis_mem::stats::Counter;
 use ldis_mem::{Footprint, LineAddr, LineGeometry, WordIndex};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -655,8 +656,8 @@ impl ShardsL2 {
 
 impl SecondLevel for ShardsL2 {
     fn access(&mut self, req: L2Request) -> L2Response {
-        self.stats.accesses += 1;
-        self.stats.line_misses += 1;
+        self.stats.accesses.bump();
+        self.stats.line_misses.bump();
         let word = if req.is_instr { None } else { Some(req.word) };
         self.profiler.record(req.line, word, req.is_instr);
         L2Response {

@@ -4,6 +4,7 @@
 use crate::FootprintPredictor;
 use ldis_cache::{CompulsoryTracker, L2Outcome, L2Request, L2Response, L2Stats, SecondLevel};
 use ldis_distill::{Reverter, ReverterConfig};
+use ldis_mem::stats::Counter;
 use ldis_mem::{Addr, Footprint, LineAddr, LineGeometry, WordIndex};
 use std::collections::VecDeque;
 
@@ -54,7 +55,8 @@ impl SfpConfig {
 
     /// Word-slot budget per set.
     pub fn slots_per_set(&self) -> u32 {
-        self.ways * self.geometry.words_per_line() as u32
+        self.ways
+            .saturating_mul(self.geometry.words_per_line() as u32)
     }
 }
 
@@ -215,9 +217,9 @@ impl SfpCache {
         if let Some(mask) = set.masks.get_mut(victim.way) {
             *mask &= !victim.stored.bits();
         }
-        self.stats.evictions += 1;
+        self.stats.evictions.bump();
         if victim.dirty {
-            self.stats.writebacks += 1;
+            self.stats.writebacks.bump();
         }
         self.stats
             .words_used_at_evict
@@ -236,7 +238,7 @@ impl SfpCache {
 
 impl SecondLevel for SfpCache {
     fn access(&mut self, req: L2Request) -> L2Response {
-        self.stats.accesses += 1;
+        self.stats.accesses.bump();
         let (set_idx, tag) = self.set_and_tag(req.line);
         let full = Footprint::full(self.cfg.geometry.words_per_line());
 
@@ -257,9 +259,9 @@ impl SecondLevel for SfpCache {
                     set.lines.push_front(line);
                 }
                 if req.is_instr {
-                    self.stats.loc_hits += 1;
+                    self.stats.loc_hits.bump();
                 } else {
-                    self.stats.woc_hits += 1;
+                    self.stats.woc_hits.bump();
                 }
                 self.observe_reverter(set_idx, req.line, false);
                 let valid = if req.is_instr { full } else { stored };
@@ -276,7 +278,7 @@ impl SecondLevel for SfpCache {
             // copy (clearing its way occupancy) and refetch with a widened
             // prediction (observed ∪ stored ∪ demand); dirty words merge
             // into the refetched line.
-            self.stats.hole_misses += 1;
+            self.stats.hole_misses.bump();
             self.observe_reverter(set_idx, req.line, true);
             if let Some(mask) = self
                 .sets
@@ -304,9 +306,9 @@ impl SecondLevel for SfpCache {
         }
 
         // Line miss: predict the footprint and install only those words.
-        self.stats.line_misses += 1;
+        self.stats.line_misses.bump();
         if self.compulsory.record_miss(req.line) {
-            self.stats.compulsory_misses += 1;
+            self.stats.compulsory_misses.bump();
         }
         self.observe_reverter(set_idx, req.line, true);
         let stored = if req.is_instr || !self.sfp_active_for(set_idx) {
@@ -334,7 +336,7 @@ impl SecondLevel for SfpCache {
             }
             None => {
                 if dirty {
-                    self.stats.writebacks += 1;
+                    self.stats.writebacks.bump();
                 }
             }
         }

@@ -63,6 +63,7 @@ impl<L2: SecondLevel> TimingSim<L2> {
         TimingSim {
             hier: Hierarchy::hpca2007(l2),
             mem: MemorySystem::new(cfg.dram_banks, cfg.mem_latency, transfer, cfg.mshr_entries),
+            // ldis: allow(S1, "the timing model's internal jitter stream is deliberately fixed (one TimingSim per run, not forked into workers); re-deriving it would shift cycle counts and break the frozen goldens")
             rng: SimRng::new(0x7131),
             cycle: 0,
             mispredict_debt: 0.0,

@@ -1,0 +1,598 @@
+//! Contiguous struct-of-arrays storage for every set of a cache.
+//!
+//! The original layout kept one heap allocation per set (`Vec<Vec<Entry>>`),
+//! so a probe chased two pointers before touching a tag. [`SetArena`] flattens
+//! all sets into parallel arrays — one `Vec` each for tags, metadata bits,
+//! footprints, recency bookkeeping and the LRU order — indexed by
+//! `set * ways + way`. A set probe is then one contiguous scan of at most
+//! `ways` consecutive tags, and the whole tag store lives in a handful of
+//! allocations regardless of cache size.
+//!
+//! The arena reproduces [`CacheSet`](crate::CacheSet) semantics exactly
+//! (same find order, same promotion, same victim choice);
+//! `tests/hotpath_equivalence.rs` drives both against random traces and
+//! asserts identical footprints and eviction order. [`CacheSet`] itself
+//! survives for the reverter's auxiliary tag directory, which probes a
+//! handful of leader sets and is not on the hot path.
+
+use crate::TagEntry;
+use ldis_mem::{Footprint, WordIndex};
+
+/// Flattened per-way state for `num_sets * ways` cache entries.
+///
+/// Metadata is packed one byte per way (valid/dirty/is-instr bits); the
+/// recency order keeps `order[set * ways + pos]` = way index at recency
+/// position `pos` (0 = MRU), the same permutation-per-set invariant as the
+/// old per-set stack. All accessors take `(set, way)` pairs and use checked
+/// indexing; out-of-range coordinates read as an invalid entry and ignore
+/// writes, which callers rule out by masking set indices into range.
+#[derive(Clone, Debug)]
+pub struct SetArena {
+    ways: usize,
+    tags: Vec<u64>,
+    meta: Vec<u8>,
+    footprints: Vec<u16>,
+    pos_seen: Vec<u8>,
+    pos_change: Vec<u8>,
+    /// `order[set * ways + pos]` = way at recency position `pos` (0 = MRU).
+    order: Vec<u8>,
+}
+
+const VALID: u8 = 1 << 0;
+const DIRTY: u8 = 1 << 1;
+const INSTR: u8 = 1 << 2;
+
+impl SetArena {
+    /// Creates an empty arena of `num_sets` sets with `ways` ways each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ways` is 0 or greater than 255.
+    pub fn new(num_sets: usize, ways: u32) -> Self {
+        assert!((1..=255).contains(&ways), "ways must be in 1..=255");
+        let ways = ways as usize;
+        let n = num_sets * ways;
+        let mut order = Vec::with_capacity(n);
+        for _ in 0..num_sets {
+            order.extend(0..ways as u8);
+        }
+        SetArena {
+            ways,
+            tags: vec![0; n],
+            meta: vec![0; n],
+            footprints: vec![0; n],
+            pos_seen: vec![0; n],
+            pos_change: vec![0; n],
+            order,
+        }
+    }
+
+    /// Number of ways per set.
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    #[inline]
+    fn idx(&self, set: usize, way: usize) -> usize {
+        // Explicit wrapping: an (impossible in practice) overflow produces
+        // an out-of-range index, which every accessor treats as inert.
+        set.wrapping_mul(self.ways).wrapping_add(way)
+    }
+
+    /// The way of `set` holding `tag`, if present and valid. Scans ways in
+    /// ascending order — the same tie-break as `CacheSet::find`.
+    #[inline]
+    pub fn find(&self, set: usize, tag: u64) -> Option<usize> {
+        let base = set * self.ways;
+        let tags = self.tags.get(base..base + self.ways)?;
+        let meta = self.meta.get(base..base + self.ways)?;
+        tags.iter()
+            .zip(meta)
+            .position(|(&t, &m)| m & VALID != 0 && t == tag)
+    }
+
+    /// The recency position of `way` in `set` (0 = MRU), if in range.
+    #[inline]
+    pub fn position_of(&self, set: usize, way: usize) -> Option<u8> {
+        let base = set * self.ways;
+        let order = self.order.get(base..base + self.ways)?;
+        order
+            .iter()
+            .position(|&w| w as usize == way)
+            .map(|p| p as u8)
+    }
+
+    /// Promotes `way` of `set` to MRU, returning its recency position
+    /// *before* the promotion (the position an access observes, Section 3).
+    /// Returns 0 without mutating if the coordinates are out of range.
+    #[inline]
+    pub fn promote(&mut self, set: usize, way: usize) -> u8 {
+        let base = set * self.ways;
+        let Some(order) = self.order.get_mut(base..base + self.ways) else {
+            return 0;
+        };
+        let Some(pos) = order.iter().position(|&w| w as usize == way) else {
+            return 0;
+        };
+        if let Some(prefix) = order.get_mut(..=pos) {
+            // Equivalent to remove(pos) + insert(0, way) on the per-set stack.
+            prefix.rotate_right(1);
+        }
+        pos as u8
+    }
+
+    /// The fused hit path: finds `tag` in `set` and, on a hit, promotes the
+    /// way to MRU, ORs `span` into its footprint and sets the dirty bit for
+    /// writes — one base computation and one slice per array instead of a
+    /// find/promote/touch/or_dirty call chain. With `latch` the Figure 2
+    /// recency bookkeeping also runs: the pre-promotion position is
+    /// observed, and newly set footprint bits latch the maximum position,
+    /// exactly like `observe_position` + `touch_word`. Returns the hit way,
+    /// or `None` on a miss (or out-of-range `set`).
+    #[inline]
+    pub fn hit_update(
+        &mut self,
+        set: usize,
+        tag: u64,
+        span: u16,
+        write: bool,
+        latch: bool,
+    ) -> Option<usize> {
+        let base = set.wrapping_mul(self.ways);
+        let end = base.checked_add(self.ways)?;
+        let tags = self.tags.get(base..end)?;
+        let meta = self.meta.get(base..end)?;
+        let way = tags
+            .iter()
+            .zip(meta)
+            .position(|(&t, &m)| m & VALID != 0 && t == tag)?;
+        let i = base.wrapping_add(way);
+        // Promote to MRU, remembering the pre-promotion position.
+        let order = self.order.get_mut(base..end)?;
+        let pos = order.iter().position(|&w| w as usize == way)? as u8;
+        if let Some(prefix) = order.get_mut(..=pos as usize) {
+            prefix.rotate_right(1);
+        }
+        if latch {
+            let seen = match self.pos_seen.get_mut(i) {
+                Some(s) => {
+                    *s = (*s).max(pos);
+                    *s
+                }
+                None => pos,
+            };
+            if let Some(fp) = self.footprints.get_mut(i) {
+                if span & !*fp != 0 {
+                    if let Some(p) = self.pos_change.get_mut(i) {
+                        *p = seen;
+                    }
+                }
+                *fp |= span;
+            }
+        } else if let Some(fp) = self.footprints.get_mut(i) {
+            *fp |= span;
+        }
+        if write {
+            if let Some(m) = self.meta.get_mut(i) {
+                *m |= DIRTY;
+            }
+        }
+        Some(way)
+    }
+
+    /// The fused footprint-merge path (the L1D → LOC merge of Section 4.1):
+    /// finds `tag` in `set` and, on a hit, OR-merges `bits` into the
+    /// footprint (newly set bits latch the max position, exactly like
+    /// `merge_footprint`) and sets the dirty bit when `dirty`. Recency is
+    /// **not** updated. Returns whether the line was resident.
+    #[inline]
+    pub fn merge_update(&mut self, set: usize, tag: u64, bits: u16, dirty: bool) -> bool {
+        let base = set.wrapping_mul(self.ways);
+        let Some(end) = base.checked_add(self.ways) else {
+            return false;
+        };
+        let (Some(tags), Some(meta)) = (self.tags.get(base..end), self.meta.get(base..end)) else {
+            return false;
+        };
+        let Some(way) = tags
+            .iter()
+            .zip(meta)
+            .position(|(&t, &m)| m & VALID != 0 && t == tag)
+        else {
+            return false;
+        };
+        let i = base.wrapping_add(way);
+        if let Some(fp) = self.footprints.get_mut(i) {
+            if *fp & bits != bits {
+                let seen = self.pos_seen.get(i).copied().unwrap_or(0);
+                if let Some(p) = self.pos_change.get_mut(i) {
+                    *p = seen;
+                }
+            }
+            *fp |= bits;
+        }
+        if dirty {
+            if let Some(m) = self.meta.get_mut(i) {
+                *m |= DIRTY;
+            }
+        }
+        true
+    }
+
+    /// The way a new line in `set` should replace: the first invalid way if
+    /// any, otherwise the LRU way — the same policy as `CacheSet::victim_way`.
+    #[inline]
+    pub fn victim_way(&self, set: usize) -> usize {
+        let base = set * self.ways;
+        let Some(meta) = self.meta.get(base..base + self.ways) else {
+            return 0;
+        };
+        if let Some(way) = meta.iter().position(|&m| m & VALID == 0) {
+            return way;
+        }
+        self.order
+            .get(base..base + self.ways)
+            .and_then(|order| order.last())
+            .map_or(0, |&w| w as usize)
+    }
+
+    /// The fused install path: picks the victim way of `set` (first
+    /// invalid way, else LRU), snapshots the displaced entry,
+    /// re-initializes the way for `tag` with `span` as the initial
+    /// footprint (the demand words; the fresh-install latch is position 0,
+    /// exactly like `install` + `touch_word` on an empty footprint) and
+    /// promotes it to MRU — one pass instead of a
+    /// victim/entry/install/touch/promote call chain. Returns the chosen
+    /// way and the displaced entry (invalid if the way was empty). An
+    /// out-of-range `set` mutates nothing and returns way 0.
+    #[inline]
+    pub fn install_evict(
+        &mut self,
+        set: usize,
+        tag: u64,
+        span: u16,
+        write: bool,
+        is_instr: bool,
+    ) -> (usize, TagEntry) {
+        let base = set.wrapping_mul(self.ways);
+        let Some(end) = base.checked_add(self.ways) else {
+            return (0, TagEntry::invalid());
+        };
+        let Some(meta) = self.meta.get(base..end) else {
+            return (0, TagEntry::invalid());
+        };
+        let way = match meta.iter().position(|&m| m & VALID == 0) {
+            Some(w) => w,
+            None => self
+                .order
+                .get(base..end)
+                .and_then(|o| o.last())
+                .map_or(0, |&w| w as usize),
+        };
+        let i = base.wrapping_add(way);
+        let victim = self.entry(set, way);
+        if let Some(t) = self.tags.get_mut(i) {
+            *t = tag;
+        }
+        if let Some(m) = self.meta.get_mut(i) {
+            *m = VALID | if write { DIRTY } else { 0 } | if is_instr { INSTR } else { 0 };
+        }
+        if let Some(fp) = self.footprints.get_mut(i) {
+            *fp = span;
+        }
+        if let Some(p) = self.pos_seen.get_mut(i) {
+            *p = 0;
+        }
+        if let Some(p) = self.pos_change.get_mut(i) {
+            *p = 0;
+        }
+        if let Some(order) = self.order.get_mut(base..end) {
+            if let Some(pos) = order.iter().position(|&w| w as usize == way) {
+                if let Some(prefix) = order.get_mut(..=pos) {
+                    prefix.rotate_right(1);
+                }
+            }
+        }
+        (way, victim)
+    }
+
+    /// Re-initializes `(set, way)` for a newly installed line, resetting
+    /// footprint and recency bookkeeping exactly like `TagEntry::install`.
+    #[inline]
+    pub fn install(&mut self, set: usize, way: usize, tag: u64, write: bool, is_instr: bool) {
+        let i = self.idx(set, way);
+        if let Some(t) = self.tags.get_mut(i) {
+            *t = tag;
+        }
+        if let Some(m) = self.meta.get_mut(i) {
+            *m = VALID | if write { DIRTY } else { 0 } | if is_instr { INSTR } else { 0 };
+        }
+        if let Some(fp) = self.footprints.get_mut(i) {
+            *fp = 0;
+        }
+        if let Some(p) = self.pos_seen.get_mut(i) {
+            *p = 0;
+        }
+        if let Some(p) = self.pos_change.get_mut(i) {
+            *p = 0;
+        }
+    }
+
+    /// Records that `(set, way)` was observed at recency position `pos`
+    /// just before promotion (Figure 2 bookkeeping).
+    #[inline]
+    pub fn observe_position(&mut self, set: usize, way: usize, pos: u8) {
+        let i = self.idx(set, way);
+        if let Some(p) = self.pos_seen.get_mut(i) {
+            *p = (*p).max(pos);
+        }
+    }
+
+    /// Marks `word` used in `(set, way)`. A newly set bit is a
+    /// footprint-change: the current max position is latched (Section 3).
+    #[inline]
+    pub fn touch_word(&mut self, set: usize, way: usize, word: WordIndex) {
+        let i = self.idx(set, way);
+        let Some(fp) = self.footprints.get_mut(i) else {
+            return;
+        };
+        let mask = 1u16 << word.get();
+        if *fp & mask == 0 {
+            *fp |= mask;
+            let seen = self.pos_seen.get(i).copied().unwrap_or(0);
+            if let Some(p) = self.pos_change.get_mut(i) {
+                *p = seen;
+            }
+        }
+    }
+
+    /// OR-merges an external footprint into `(set, way)`; newly set bits
+    /// latch the max position, exactly like `TagEntry::merge_footprint`.
+    #[inline]
+    pub fn merge_footprint(&mut self, set: usize, way: usize, fp: Footprint) {
+        let i = self.idx(set, way);
+        let Some(cur) = self.footprints.get_mut(i) else {
+            return;
+        };
+        if *cur & fp.bits() != fp.bits() {
+            let seen = self.pos_seen.get(i).copied().unwrap_or(0);
+            if let Some(p) = self.pos_change.get_mut(i) {
+                *p = seen;
+            }
+        }
+        *cur |= fp.bits();
+    }
+
+    /// OR-merges raw footprint bits into `(set, way)` without touching the
+    /// recency bookkeeping — the sectored L1's per-access span update,
+    /// where only the accumulated footprint matters (Section 4.2).
+    #[inline]
+    pub fn or_footprint_bits(&mut self, set: usize, way: usize, bits: u16) {
+        let i = self.idx(set, way);
+        if let Some(fp) = self.footprints.get_mut(i) {
+            *fp |= bits;
+        }
+    }
+
+    /// Sets the dirty bit of `(set, way)` when `write` is true.
+    #[inline]
+    pub fn or_dirty(&mut self, set: usize, way: usize, write: bool) {
+        let i = self.idx(set, way);
+        if write {
+            if let Some(m) = self.meta.get_mut(i) {
+                *m |= DIRTY;
+            }
+        }
+    }
+
+    /// Whether `(set, way)` holds a valid line.
+    #[inline]
+    pub fn is_valid(&self, set: usize, way: usize) -> bool {
+        self.meta
+            .get(self.idx(set, way))
+            .is_some_and(|&m| m & VALID != 0)
+    }
+
+    /// Marks `(set, way)` invalid, leaving the other fields in place (the
+    /// same effect as clearing `TagEntry::valid`).
+    #[inline]
+    pub fn invalidate(&mut self, set: usize, way: usize) {
+        let i = self.idx(set, way);
+        if let Some(m) = self.meta.get_mut(i) {
+            *m &= !VALID;
+        }
+    }
+
+    /// The footprint of `(set, way)` (empty if out of range).
+    #[inline]
+    pub fn footprint(&self, set: usize, way: usize) -> Footprint {
+        Footprint::from_bits(
+            self.footprints
+                .get(self.idx(set, way))
+                .copied()
+                .unwrap_or(0),
+        )
+    }
+
+    /// Overwrites the footprint of `(set, way)` without touching the
+    /// recency bookkeeping — the fault-injection/repair entry point.
+    #[inline]
+    pub fn set_footprint(&mut self, set: usize, way: usize, fp: Footprint) {
+        let i = self.idx(set, way);
+        if let Some(cur) = self.footprints.get_mut(i) {
+            *cur = fp.bits();
+        }
+    }
+
+    /// An owned copy of the entry at `(set, way)`, in the classic
+    /// [`TagEntry`] shape (an invalid entry if out of range).
+    #[inline]
+    pub fn entry(&self, set: usize, way: usize) -> TagEntry {
+        let i = self.idx(set, way);
+        let meta = self.meta.get(i).copied().unwrap_or(0);
+        TagEntry {
+            valid: meta & VALID != 0,
+            dirty: meta & DIRTY != 0,
+            is_instr: meta & INSTR != 0,
+            tag: self.tags.get(i).copied().unwrap_or(0),
+            footprint: self.footprint(set, way),
+            max_pos_seen: self.pos_seen.get(i).copied().unwrap_or(0),
+            max_pos_at_change: self.pos_change.get(i).copied().unwrap_or(0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CacheSet;
+
+    #[test]
+    fn find_promote_victim_match_cache_set() {
+        // Drive the arena and the legacy per-set stack through the same
+        // install/promote sequence; every observable must agree.
+        let mut arena = SetArena::new(2, 4);
+        let mut sets = [CacheSet::new(4), CacheSet::new(4)];
+        for step in 0u64..64 {
+            let set = (step % 2) as usize;
+            let tag = step % 6;
+            let legacy = &mut sets[set];
+            assert_eq!(arena.find(set, tag), legacy.find(tag), "step {step}");
+            match legacy.find(tag) {
+                Some(way) => {
+                    assert_eq!(arena.promote(set, way), legacy.promote(way));
+                }
+                None => {
+                    let way = legacy.victim_way();
+                    assert_eq!(arena.victim_way(set), way);
+                    legacy.entry_mut(way).install(tag, false, false);
+                    arena.install(set, way, tag, false, false);
+                    assert_eq!(arena.promote(set, way), legacy.promote(way));
+                }
+            }
+        }
+        for (set, legacy) in sets.iter().enumerate() {
+            for way in 0..4 {
+                assert_eq!(arena.entry(set, way), *legacy.entry(way));
+                assert_eq!(arena.position_of(set, way), Some(legacy.position_of(way)));
+            }
+        }
+    }
+
+    #[test]
+    fn touch_and_merge_latch_positions_like_tag_entry() {
+        let mut arena = SetArena::new(1, 2);
+        let mut reference = TagEntry::invalid();
+        arena.install(0, 0, 9, false, false);
+        reference.install(9, false, false);
+        arena.observe_position(0, 0, 3);
+        reference.observe_position(3);
+        arena.touch_word(0, 0, WordIndex::new(1));
+        reference.touch_word(WordIndex::new(1));
+        arena.observe_position(0, 0, 5);
+        reference.observe_position(5);
+        arena.touch_word(0, 0, WordIndex::new(1)); // not a change
+        reference.touch_word(WordIndex::new(1));
+        assert_eq!(arena.entry(0, 0), reference);
+        arena.merge_footprint(0, 0, Footprint::from_bits(0b110));
+        reference.merge_footprint(Footprint::from_bits(0b110));
+        assert_eq!(arena.entry(0, 0), reference);
+        assert_eq!(arena.entry(0, 0).max_pos_at_change, 5);
+    }
+
+    #[test]
+    fn dirty_and_invalidate_round_trip() {
+        let mut arena = SetArena::new(1, 2);
+        arena.install(0, 1, 7, false, true);
+        assert!(arena.entry(0, 1).is_instr);
+        arena.or_dirty(0, 1, false);
+        assert!(!arena.entry(0, 1).dirty);
+        arena.or_dirty(0, 1, true);
+        assert!(arena.entry(0, 1).dirty);
+        assert!(arena.is_valid(0, 1));
+        arena.invalidate(0, 1);
+        assert!(!arena.is_valid(0, 1));
+        assert_eq!(arena.find(0, 7), None, "invalid entries never match");
+    }
+
+    #[test]
+    fn hit_update_matches_the_unfused_call_chain() {
+        // Drive two arenas through the same random-ish trace: one via the
+        // fused hit path, one via find/promote/observe/touch/or_dirty. Every
+        // entry and the recency order must stay identical.
+        let mut fused = SetArena::new(2, 4);
+        let mut unfused = SetArena::new(2, 4);
+        for step in 0u64..200 {
+            let set = (step % 2) as usize;
+            let tag = step * 7 % 9;
+            let word = WordIndex::new((step % 8) as u8);
+            let write = step % 3 == 0;
+            let got = fused.hit_update(set, tag, 1u16 << word.get(), write, true);
+            match unfused.find(set, tag) {
+                Some(way) => {
+                    let pos = unfused.promote(set, way);
+                    unfused.observe_position(set, way, pos);
+                    unfused.touch_word(set, way, word);
+                    unfused.or_dirty(set, way, write);
+                    assert_eq!(got, Some(way), "step {step}");
+                }
+                None => {
+                    assert_eq!(got, None, "step {step}");
+                    let way = unfused.victim_way(set);
+                    assert_eq!(fused.victim_way(set), way);
+                    unfused.install(set, way, tag, write, false);
+                    unfused.promote(set, way);
+                    fused.install(set, way, tag, write, false);
+                    fused.promote(set, way);
+                }
+            }
+        }
+        for set in 0..2 {
+            for way in 0..4 {
+                assert_eq!(fused.entry(set, way), unfused.entry(set, way));
+                assert_eq!(fused.position_of(set, way), unfused.position_of(set, way));
+            }
+        }
+    }
+
+    #[test]
+    fn hit_update_without_latch_skips_recency_bookkeeping() {
+        let mut arena = SetArena::new(1, 2);
+        arena.install(0, 0, 5, false, false);
+        arena.install(0, 1, 6, false, false);
+        arena.promote(0, 1); // way 0 now at position 1
+        let way = arena.hit_update(0, 5, 0b100, true, false);
+        assert_eq!(way, Some(0));
+        let e = arena.entry(0, 0);
+        assert_eq!(e.footprint.bits(), 0b100);
+        assert!(e.dirty);
+        assert_eq!(e.max_pos_seen, 0, "no observe without latch");
+        assert_eq!(e.max_pos_at_change, 0, "no latch without latch");
+        assert_eq!(arena.position_of(0, 0), Some(0), "promotion still happens");
+        assert_eq!(arena.hit_update(0, 99, 0, false, false), None);
+        assert_eq!(arena.hit_update(7, 5, 0, false, false), None, "oob set");
+    }
+
+    #[test]
+    fn out_of_range_coordinates_are_inert() {
+        let mut arena = SetArena::new(2, 2);
+        assert_eq!(arena.find(5, 0), None);
+        assert_eq!(arena.position_of(5, 0), None);
+        assert_eq!(arena.promote(5, 0), 0);
+        assert_eq!(arena.victim_way(5), 0);
+        arena.install(5, 0, 1, true, true); // must not panic
+        arena.touch_word(5, 0, WordIndex::new(0));
+        assert!(!arena.entry(5, 0).valid);
+    }
+
+    #[test]
+    fn set_footprint_bypasses_recency_latch() {
+        let mut arena = SetArena::new(1, 1);
+        arena.install(0, 0, 1, false, false);
+        arena.observe_position(0, 0, 7);
+        arena.set_footprint(0, 0, Footprint::full(8));
+        let e = arena.entry(0, 0);
+        assert_eq!(e.footprint.used_words(), 8);
+        assert_eq!(e.max_pos_at_change, 0, "repair does not latch positions");
+    }
+}

@@ -1,7 +1,7 @@
 //! A traditional set-associative cache with LRU replacement, footprint
 //! tracking and recency instrumentation.
 
-use crate::{CacheConfig, CacheSet, TagEntry};
+use crate::{CacheConfig, SetArena, TagEntry};
 use ldis_mem::{Footprint, LineAddr, WordIndex};
 
 /// A line evicted from a [`SetAssocCache`], carrying everything the
@@ -56,6 +56,9 @@ impl std::fmt::Display for FootprintFault {
 /// Tracks a [`Footprint`] per line (updated on demand accesses and by
 /// L1D eviction merges) and the Figure 2 recency bookkeeping.
 ///
+/// Storage is a flat [`SetArena`] — struct-of-arrays across all sets — so a
+/// probe scans consecutive tags instead of chasing per-set allocations.
+///
 /// # Example
 ///
 /// ```
@@ -71,16 +74,14 @@ impl std::fmt::Display for FootprintFault {
 #[derive(Clone, Debug)]
 pub struct SetAssocCache {
     cfg: CacheConfig,
-    sets: Vec<CacheSet>,
+    arena: SetArena,
 }
 
 impl SetAssocCache {
     /// Creates an empty cache.
     pub fn new(cfg: CacheConfig) -> Self {
-        let sets = (0..cfg.num_sets())
-            .map(|_| CacheSet::new(cfg.ways()))
-            .collect();
-        SetAssocCache { cfg, sets }
+        let arena = SetArena::new(cfg.num_sets() as usize, cfg.ways());
+        SetAssocCache { cfg, arena }
     }
 
     /// The cache's configuration.
@@ -90,40 +91,26 @@ impl SetAssocCache {
 
     /// Whether `line` is resident (no recency update).
     pub fn contains(&self, line: LineAddr) -> bool {
-        self.sets
-            .get(self.cfg.set_index(line))
-            .is_some_and(|set| set.find(self.cfg.tag(line)).is_some())
+        self.arena
+            .find(self.cfg.set_index(line), self.cfg.tag(line))
+            .is_some()
     }
 
     /// The current recency position of `line` (0 = MRU), if resident.
     pub fn position_of(&self, line: LineAddr) -> Option<u8> {
-        let set = self.sets.get(self.cfg.set_index(line))?;
-        set.find(self.cfg.tag(line)).map(|w| set.position_of(w))
+        let set = self.cfg.set_index(line);
+        let way = self.arena.find(set, self.cfg.tag(line))?;
+        self.arena.position_of(set, way)
     }
 
     /// Looks up `line`; on a hit promotes it to MRU, updates the recency
     /// bookkeeping, marks `word` used (if given) and sets the dirty bit for
     /// writes. Returns whether the access hit.
     pub fn access(&mut self, line: LineAddr, word: Option<WordIndex>, write: bool) -> bool {
-        let set_idx = self.cfg.set_index(line);
+        let set = self.cfg.set_index(line);
         let tag = self.cfg.tag(line);
-        let Some(set) = self.sets.get_mut(set_idx) else {
-            // Unreachable: set_index masks into 0..num_sets.
-            return false;
-        };
-        match set.find(tag) {
-            Some(way) => {
-                let pos = set.promote(way);
-                let entry = set.entry_mut(way);
-                entry.observe_position(pos);
-                if let Some(w) = word {
-                    entry.touch_word(w);
-                }
-                entry.dirty |= write;
-                true
-            }
-            None => false,
-        }
+        let span = word.map_or(0u16, |w| 1u16 << w.get());
+        self.arena.hit_update(set, tag, span, write, true).is_some()
     }
 
     /// Installs `line` at MRU, evicting the LRU (or using an invalid way).
@@ -137,95 +124,62 @@ impl SetAssocCache {
         write: bool,
         is_instr: bool,
     ) -> Option<EvictedLine> {
-        let set_idx = self.cfg.set_index(line);
+        let set = self.cfg.set_index(line);
         let tag = self.cfg.tag(line);
-        let set = self.sets.get_mut(set_idx)?;
-        debug_assert!(set.find(tag).is_none(), "installing a resident line");
-        let way = set.victim_way();
-        let victim = Self::snapshot_eviction(&self.cfg, set_idx, set.entry(way));
-        let entry = set.entry_mut(way);
-        entry.install(tag, write, is_instr);
-        if let Some(w) = word {
-            entry.touch_word(w);
-        }
-        set.promote(way);
-        victim
+        debug_assert!(
+            self.arena.find(set, tag).is_none(),
+            "installing a resident line"
+        );
+        let span = word.map_or(0u16, |w| 1u16 << w.get());
+        let (_, victim) = self.arena.install_evict(set, tag, span, write, is_instr);
+        Self::snapshot_eviction(&self.cfg, set, &victim)
     }
 
     /// OR-merges `fp` into `line`'s footprint if resident (the L1D → LOC
     /// merge of Section 4.1), optionally marking it dirty. Returns whether
     /// the line was resident. Does **not** update recency.
     pub fn merge_footprint(&mut self, line: LineAddr, fp: Footprint, dirty: bool) -> bool {
-        let set_idx = self.cfg.set_index(line);
-        let tag = self.cfg.tag(line);
-        let Some(set) = self.sets.get_mut(set_idx) else {
-            return false;
-        };
-        match set.find(tag) {
-            Some(way) => {
-                let entry = set.entry_mut(way);
-                entry.merge_footprint(fp);
-                entry.dirty |= dirty;
-                true
-            }
-            None => false,
-        }
+        let set = self.cfg.set_index(line);
+        self.arena
+            .merge_update(set, self.cfg.tag(line), fp.bits(), dirty)
     }
 
     /// Invalidates `line` if resident, returning its eviction snapshot.
     pub fn invalidate(&mut self, line: LineAddr) -> Option<EvictedLine> {
-        let set_idx = self.cfg.set_index(line);
-        let tag = self.cfg.tag(line);
-        let set = self.sets.get_mut(set_idx)?;
-        let way = set.find(tag)?;
-        let snapshot = Self::snapshot_eviction(&self.cfg, set_idx, set.entry(way));
-        set.entry_mut(way).valid = false;
+        let set = self.cfg.set_index(line);
+        let way = self.arena.find(set, self.cfg.tag(line))?;
+        let snapshot = Self::snapshot_eviction(&self.cfg, set, &self.arena.entry(set, way));
+        self.arena.invalidate(set, way);
         snapshot
     }
 
-    /// Iterates over every valid line with its entry — used by the
-    /// compression analysis (Figure 10), which samples cache contents.
-    pub fn iter_lines(&self) -> impl Iterator<Item = (LineAddr, &TagEntry)> + '_ {
-        self.sets
-            .iter()
-            .enumerate()
-            .flat_map(move |(set_idx, set)| {
-                set.iter().filter_map(move |entry| {
-                    if entry.valid {
-                        Some((self.cfg.line_of(set_idx, entry.tag), entry))
-                    } else {
-                        None
-                    }
-                })
+    /// Iterates over every valid line with an owned snapshot of its entry —
+    /// used by the compression analysis (Figure 10), which samples cache
+    /// contents.
+    pub fn iter_lines(&self) -> impl Iterator<Item = (LineAddr, TagEntry)> + '_ {
+        let ways = self.arena.ways();
+        (0..self.cfg.num_sets() as usize).flat_map(move |set| {
+            (0..ways).filter_map(move |way| {
+                let entry = self.arena.entry(set, way);
+                if entry.valid {
+                    Some((self.cfg.line_of(set, entry.tag), entry))
+                } else {
+                    None
+                }
             })
+        })
     }
 
     /// Number of valid lines currently resident.
     pub fn occupancy(&self) -> u64 {
-        self.sets
-            .iter()
-            .map(|s| s.iter().filter(|e| e.valid).count() as u64)
+        let ways = self.arena.ways();
+        (0..self.cfg.num_sets() as usize)
+            .map(|set| {
+                (0..ways)
+                    .filter(|&way| self.arena.is_valid(set, way))
+                    .count() as u64
+            })
             .sum()
-    }
-
-    /// Direct access to a set, for organizations (distill cache) that embed
-    /// this type and need set-level control.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `index` is out of range — an out-of-range set index is a
-    /// caller bug, never a data-dependent condition.
-    pub fn set(&self, index: usize) -> &CacheSet {
-        &self.sets[index] // ldis: allow(P1X, "documented panic contract of the set accessor")
-    }
-
-    /// Exclusive access to a set.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `index` is out of range.
-    pub fn set_mut(&mut self, index: usize) -> &mut CacheSet {
-        &mut self.sets[index] // ldis: allow(P1X, "documented panic contract of the set accessor")
     }
 
     /// Number of modeled footprint bits in the tag store (one per word per
@@ -249,17 +203,13 @@ impl SetAssocCache {
         let word = (bit % wpl) as u8;
         let set = (entry_idx / ways) as usize;
         let way = (entry_idx % ways) as usize;
-        let mut live = false;
-        // The range assert above guarantees the set exists.
-        if let Some(entry) = self.sets.get_mut(set).map(|s| s.entry_mut(way)) {
-            entry.footprint = Footprint::from_bits(entry.footprint.bits() ^ (1 << word));
-            live = entry.valid;
-        }
+        let flipped = Footprint::from_bits(self.arena.footprint(set, way).bits() ^ (1 << word));
+        self.arena.set_footprint(set, way, flipped);
         FootprintFault {
             set,
             way,
             word,
-            live,
+            live: self.arena.is_valid(set, way),
         }
     }
 
@@ -268,11 +218,9 @@ impl SetAssocCache {
     /// (every word treated as used, so distillation can never drop a word
     /// the processor still needs). No-op for invalid entries.
     pub fn repair_footprint(&mut self, set: usize, way: usize) {
-        let wpl = self.cfg.geometry().words_per_line();
-        if let Some(entry) = self.sets.get_mut(set).map(|s| s.entry_mut(way)) {
-            if entry.valid {
-                entry.footprint = Footprint::full(wpl);
-            }
+        if self.arena.is_valid(set, way) {
+            let wpl = self.cfg.geometry().words_per_line();
+            self.arena.set_footprint(set, way, Footprint::full(wpl));
         }
     }
 

@@ -216,13 +216,16 @@ impl<L2: SecondLevel> Hierarchy<L2> {
                     .l2
                     .access(L2Request::data(line, first, write).with_pc(access.pc));
                 trace.record(resp.outcome);
-                if let Some(ev) = self.l1d.fill(line, resp.valid_words) {
+                // The fill also records the demand words in the fresh L1
+                // footprint; if the WOC returned a partial line missing
+                // part of the span, fetch the rest word by word.
+                let (evicted, lookup) =
+                    self.l1d
+                        .fill_demand(line, resp.valid_words, first, last, write);
+                if let Some(ev) = evicted {
                     self.l2.on_l1d_evict(ev.line, ev.footprint, ev.dirty);
                 }
-                // Record the demand words in the fresh L1 footprint; if the
-                // WOC returned a partial line missing part of the span,
-                // fetch the rest word by word.
-                if self.l1d.access(line, first, last, write) == L1Lookup::SectorMiss {
+                if lookup == L1Lookup::SectorMiss {
                     self.stats.l1d_sector_misses.bump();
                     self.fetch_missing_words(line, first, last, write, &mut trace);
                 }

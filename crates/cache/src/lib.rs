@@ -38,6 +38,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arena;
 mod cache;
 mod config;
 mod entry;
@@ -48,6 +49,7 @@ mod sectored;
 mod set;
 mod stats;
 
+pub use arena::SetArena;
 pub use cache::{EvictedLine, FootprintFault, SetAssocCache};
 pub use config::CacheConfig;
 pub use entry::TagEntry;

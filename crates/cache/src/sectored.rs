@@ -5,7 +5,8 @@
 //! An access to an invalid word of a resident line is a *sector miss* and
 //! triggers a request to the L2 for the missing sector.
 
-use crate::{CacheConfig, CacheSet};
+use crate::{CacheConfig, SetArena};
+use ldis_mem::bitops::span_mask16;
 use ldis_mem::{Footprint, LineAddr, WordIndex};
 
 /// The result of an L1D lookup.
@@ -33,15 +34,12 @@ pub struct EvictedL1Line {
     pub dirty: bool,
 }
 
-#[derive(Clone, Copy, Debug, Default)]
-struct SectorEntry {
-    valid_words: u16,
-    footprint: Footprint,
-    dirty: bool,
-}
-
 /// A sectored set-associative data cache with per-word valid bits, per-line
 /// footprints and LRU replacement.
+///
+/// Tags, footprints and dirty bits live in the shared flat [`SetArena`];
+/// the per-word valid bits are a parallel flat array indexed the same way
+/// (`set * ways + way`), so an access touches only contiguous storage.
 ///
 /// # Example
 ///
@@ -59,20 +57,22 @@ struct SectorEntry {
 #[derive(Clone, Debug)]
 pub struct SectoredCache {
     cfg: CacheConfig,
-    sets: Vec<CacheSet>,
-    sectors: Vec<Vec<SectorEntry>>,
+    arena: SetArena,
+    /// Per-word valid bits, one `u16` per `(set, way)` (bit *i* = word *i*).
+    valid_words: Vec<u16>,
 }
 
 impl SectoredCache {
     /// Creates an empty sectored cache.
     pub fn new(cfg: CacheConfig) -> Self {
-        let sets = (0..cfg.num_sets())
-            .map(|_| CacheSet::new(cfg.ways()))
-            .collect();
-        let sectors = (0..cfg.num_sets())
-            .map(|_| vec![SectorEntry::default(); cfg.ways() as usize])
-            .collect();
-        SectoredCache { cfg, sets, sectors }
+        let num_sets = cfg.num_sets() as usize;
+        let arena = SetArena::new(num_sets, cfg.ways());
+        let valid_words = vec![0u16; num_sets * cfg.ways() as usize];
+        SectoredCache {
+            cfg,
+            arena,
+            valid_words,
+        }
     }
 
     /// The cache's configuration.
@@ -80,24 +80,24 @@ impl SectoredCache {
         &self.cfg
     }
 
+    #[inline]
+    fn slot(&self, set: usize, way: usize) -> usize {
+        set * self.arena.ways() + way
+    }
+
     /// Classifies an access to words `first..=last` of `line` without
     /// changing any state.
     pub fn lookup(&self, line: LineAddr, first: WordIndex, last: WordIndex) -> L1Lookup {
-        // `set_index` masks into `0..num_sets` and `way < ways()`, so the
-        // checked lookups cannot miss; a miss classifies as `Miss`.
-        let set_idx = self.cfg.set_index(line);
-        let Some(set) = self.sets.get(set_idx) else {
-            return L1Lookup::Miss;
-        };
-        match set.find(self.cfg.tag(line)) {
+        let set = self.cfg.set_index(line);
+        match self.arena.find(set, self.cfg.tag(line)) {
             None => L1Lookup::Miss,
             Some(way) => {
                 let valid = self
-                    .sectors
-                    .get(set_idx)
-                    .and_then(|s| s.get(way))
-                    .map_or(0, |sector| sector.valid_words);
-                if span_mask(first, last) & !valid == 0 {
+                    .valid_words
+                    .get(self.slot(set, way))
+                    .copied()
+                    .unwrap_or(0);
+                if span_mask16(first.get(), last.get()) & !valid == 0 {
                     L1Lookup::Hit
                 } else {
                     L1Lookup::SectorMiss
@@ -120,21 +120,20 @@ impl SectoredCache {
         last: WordIndex,
         write: bool,
     ) -> L1Lookup {
-        let set_idx = self.cfg.set_index(line);
-        let Some(set) = self.sets.get_mut(set_idx) else {
-            return L1Lookup::Miss;
-        };
-        match set.find(self.cfg.tag(line)) {
+        let set = self.cfg.set_index(line);
+        let span = span_mask16(first.get(), last.get());
+        match self
+            .arena
+            .hit_update(set, self.cfg.tag(line), span, write, false)
+        {
             None => L1Lookup::Miss,
             Some(way) => {
-                set.promote(way);
-                let Some(sector) = self.sectors.get_mut(set_idx).and_then(|s| s.get_mut(way))
-                else {
-                    return L1Lookup::Miss;
-                };
-                sector.footprint.touch_span(first, last);
-                sector.dirty |= write;
-                if span_mask(first, last) & !sector.valid_words == 0 {
+                let valid = self
+                    .valid_words
+                    .get(self.slot(set, way))
+                    .copied()
+                    .unwrap_or(0);
+                if span & !valid == 0 {
                     L1Lookup::Hit
                 } else {
                     L1Lookup::SectorMiss
@@ -147,50 +146,81 @@ impl SectoredCache {
     /// evicting the LRU line if needed. The footprint starts empty — the
     /// caller records the demand words with [`access`](SectoredCache::access).
     pub fn fill(&mut self, line: LineAddr, valid_words: Footprint) -> Option<EvictedL1Line> {
-        let set_idx = self.cfg.set_index(line);
+        let set = self.cfg.set_index(line);
         let tag = self.cfg.tag(line);
-        let set = self.sets.get_mut(set_idx)?;
-        debug_assert!(set.find(tag).is_none(), "filling a resident line");
-        let way = set.victim_way();
-        let victim = {
-            let entry = set.entry(way);
-            if entry.valid {
-                self.sectors
-                    .get(set_idx)
-                    .and_then(|s| s.get(way))
-                    .map(|sector| EvictedL1Line {
-                        line: self.cfg.line_of(set_idx, entry.tag),
-                        footprint: sector.footprint,
-                        dirty: sector.dirty,
-                    })
-            } else {
-                None
-            }
+        debug_assert!(
+            self.arena.find(set, tag).is_none(),
+            "filling a resident line"
+        );
+        let (way, entry) = self.arena.install_evict(set, tag, 0, false, false);
+        let victim = if entry.valid {
+            Some(EvictedL1Line {
+                line: self.cfg.line_of(set, entry.tag),
+                footprint: entry.footprint,
+                dirty: entry.dirty,
+            })
+        } else {
+            None
         };
-        set.entry_mut(way).install(tag, false, false);
-        set.promote(way);
-        if let Some(slot) = self.sectors.get_mut(set_idx).and_then(|s| s.get_mut(way)) {
-            *slot = SectorEntry {
-                valid_words: valid_words.bits(),
-                footprint: Footprint::empty(),
-                dirty: false,
-            };
+        let slot = self.slot(set, way);
+        if let Some(v) = self.valid_words.get_mut(slot) {
+            *v = valid_words.bits();
         }
         victim
+    }
+
+    /// Installs `line` with the given valid words *and* records the demand
+    /// access to words `first..=last` in one arena pass — exactly
+    /// [`fill`](SectoredCache::fill) followed by
+    /// [`access`](SectoredCache::access), fused: the fresh footprint is the
+    /// demand span, the dirty bit follows `write`, and the lookup result
+    /// reports whether the delivered words cover the span.
+    pub fn fill_demand(
+        &mut self,
+        line: LineAddr,
+        valid_words: Footprint,
+        first: WordIndex,
+        last: WordIndex,
+        write: bool,
+    ) -> (Option<EvictedL1Line>, L1Lookup) {
+        let set = self.cfg.set_index(line);
+        let tag = self.cfg.tag(line);
+        debug_assert!(
+            self.arena.find(set, tag).is_none(),
+            "filling a resident line"
+        );
+        let span = span_mask16(first.get(), last.get());
+        let (way, entry) = self.arena.install_evict(set, tag, span, write, false);
+        let victim = if entry.valid {
+            Some(EvictedL1Line {
+                line: self.cfg.line_of(set, entry.tag),
+                footprint: entry.footprint,
+                dirty: entry.dirty,
+            })
+        } else {
+            None
+        };
+        let slot = self.slot(set, way);
+        if let Some(v) = self.valid_words.get_mut(slot) {
+            *v = valid_words.bits();
+        }
+        let lookup = if span & !valid_words.bits() == 0 {
+            L1Lookup::Hit
+        } else {
+            L1Lookup::SectorMiss
+        };
+        (victim, lookup)
     }
 
     /// Adds valid words to a resident line (a sector fill). Returns whether
     /// the line was resident.
     pub fn fill_words(&mut self, line: LineAddr, valid_words: Footprint) -> bool {
-        let set_idx = self.cfg.set_index(line);
-        let found = self
-            .sets
-            .get(set_idx)
-            .and_then(|set| set.find(self.cfg.tag(line)));
-        match found {
+        let set = self.cfg.set_index(line);
+        match self.arena.find(set, self.cfg.tag(line)) {
             Some(way) => {
-                if let Some(sector) = self.sectors.get_mut(set_idx).and_then(|s| s.get_mut(way)) {
-                    sector.valid_words |= valid_words.bits();
+                let slot = self.slot(set, way);
+                if let Some(v) = self.valid_words.get_mut(slot) {
+                    *v |= valid_words.bits();
                 }
                 true
             }
@@ -205,41 +235,28 @@ impl SectoredCache {
 
     /// Invalidates `line` if resident, returning its eviction record.
     pub fn invalidate(&mut self, line: LineAddr) -> Option<EvictedL1Line> {
-        let set_idx = self.cfg.set_index(line);
-        let set = self.sets.get_mut(set_idx)?;
-        let way = set.find(self.cfg.tag(line))?;
-        let sector = self
-            .sectors
-            .get(set_idx)
-            .and_then(|s| s.get(way))
-            .copied()
-            .unwrap_or_default();
-        set.entry_mut(way).valid = false;
+        let set = self.cfg.set_index(line);
+        let way = self.arena.find(set, self.cfg.tag(line))?;
+        let entry = self.arena.entry(set, way);
+        self.arena.invalidate(set, way);
         Some(EvictedL1Line {
             line,
-            footprint: sector.footprint,
-            dirty: sector.dirty,
+            footprint: entry.footprint,
+            dirty: entry.dirty,
         })
     }
 
     /// Number of resident lines.
     pub fn occupancy(&self) -> u64 {
-        self.sets
-            .iter()
-            .map(|s| s.iter().filter(|e| e.valid).count() as u64)
+        let ways = self.arena.ways();
+        (0..self.cfg.num_sets() as usize)
+            .map(|set| {
+                (0..ways)
+                    .filter(|&way| self.arena.is_valid(set, way))
+                    .count() as u64
+            })
             .sum()
     }
-}
-
-fn span_mask(first: WordIndex, last: WordIndex) -> u16 {
-    debug_assert!(first <= last);
-    let width = last.get() - first.get() + 1;
-    let ones = if width >= 16 {
-        u16::MAX
-    } else {
-        (1u16 << width) - 1
-    };
-    ones << first.get()
 }
 
 #[cfg(test)]
@@ -257,9 +274,9 @@ mod tests {
 
     #[test]
     fn span_mask_math() {
-        assert_eq!(span_mask(w(0), w(0)), 0b1);
-        assert_eq!(span_mask(w(1), w(3)), 0b1110);
-        assert_eq!(span_mask(w(7), w(7)), 0b1000_0000);
+        assert_eq!(span_mask16(0, 0), 0b1);
+        assert_eq!(span_mask16(1, 3), 0b1110);
+        assert_eq!(span_mask16(7, 7), 0b1000_0000);
     }
 
     #[test]

@@ -2,7 +2,6 @@
 
 use ldis_mem::stats::{mpki, Histogram};
 use ldis_mem::LineAddr;
-use std::collections::BTreeSet;
 use std::fmt;
 
 /// Hit/miss and instrumentation counters for a second-level cache.
@@ -108,9 +107,16 @@ impl fmt::Display for L2Stats {
 
 /// Tracks which lines have ever been requested, to classify compulsory
 /// misses (Table 2). Shared by all second-level implementations.
+///
+/// Runs once per demand miss, so membership is an open-addressing table
+/// with a multiply-shift hash instead of an ordered set — the only
+/// observables (first-time bool and distinct count) are order-free.
 #[derive(Clone, Debug, Default)]
 pub struct CompulsoryTracker {
-    seen: BTreeSet<LineAddr>,
+    /// Power-of-two probe table of seen lines, keyed `raw + 1` so the zero
+    /// word means "empty slot".
+    slots: Vec<u64>,
+    seen: usize,
 }
 
 impl CompulsoryTracker {
@@ -122,12 +128,58 @@ impl CompulsoryTracker {
     /// Records a demand miss to `line`; returns `true` if this is the first
     /// time the line has ever been requested (a compulsory miss).
     pub fn record_miss(&mut self, line: LineAddr) -> bool {
-        self.seen.insert(line)
+        // Keep the load factor under 3/4 so linear probes stay short.
+        if self.seen.saturating_mul(4) >= self.slots.len().saturating_mul(3) {
+            self.grow();
+        }
+        let key = line.raw().wrapping_add(1);
+        debug_assert!(key != 0, "line address saturates the key space");
+        let mask = self.slots.len().wrapping_sub(1);
+        let mut i = Self::hash(key) & mask;
+        loop {
+            match self.slots.get(i).copied() {
+                Some(0) => {
+                    if let Some(slot) = self.slots.get_mut(i) {
+                        *slot = key;
+                    }
+                    self.seen = self.seen.saturating_add(1);
+                    return true;
+                }
+                Some(k) if k == key => return false,
+                _ => i = i.wrapping_add(1) & mask,
+            }
+        }
     }
 
     /// Number of distinct lines ever requested.
     pub fn distinct_lines(&self) -> usize {
-        self.seen.len()
+        self.seen
+    }
+
+    /// Fibonacci multiply-shift: line addresses are near-sequential, the
+    /// multiply spreads them across the high bits the mask keeps.
+    #[inline]
+    fn hash(key: u64) -> usize {
+        (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize
+    }
+
+    /// Doubles the table (1024 slots initially) and re-inserts every key.
+    fn grow(&mut self) {
+        let new_len = (self.slots.len().saturating_mul(2)).max(1024);
+        let old = std::mem::replace(&mut self.slots, vec![0u64; new_len]);
+        let mask = new_len.wrapping_sub(1);
+        for key in old {
+            if key == 0 {
+                continue;
+            }
+            let mut i = Self::hash(key) & mask;
+            while self.slots.get(i).copied().unwrap_or(0) != 0 {
+                i = i.wrapping_add(1) & mask;
+            }
+            if let Some(slot) = self.slots.get_mut(i) {
+                *slot = key;
+            }
+        }
     }
 }
 
@@ -179,5 +231,25 @@ mod tests {
         assert!(!t.record_miss(LineAddr::new(1)));
         assert!(t.record_miss(LineAddr::new(2)));
         assert_eq!(t.distinct_lines(), 2);
+    }
+
+    #[test]
+    fn compulsory_tracker_matches_ordered_set_across_growth() {
+        // Enough distinct lines to force several table doublings, with
+        // revisits mixed in; the probe table must agree with a reference
+        // ordered set on every single answer.
+        let mut t = CompulsoryTracker::new();
+        let mut reference = std::collections::BTreeSet::new();
+        let mut x = 0x1234_5678_9abc_def0u64;
+        for _ in 0..20_000 {
+            // Small xorshift so ~half the draws are repeats.
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let line = LineAddr::new(x % 8192);
+            assert_eq!(t.record_miss(line), reference.insert(line));
+        }
+        assert_eq!(t.distinct_lines(), reference.len());
+        assert!(t.distinct_lines() > 1024, "growth path exercised");
     }
 }

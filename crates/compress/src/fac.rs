@@ -272,12 +272,14 @@ impl WordStore for CompressedWoc {
         line: LineAddr,
         words: Footprint,
         dirty: bool,
-    ) -> Vec<WocEviction> {
+        evicted: &mut Vec<WocEviction>,
+    ) {
         assert!(!words.is_empty(), "cannot install an empty footprint");
         debug_assert!(self.lookup(set, tag).is_none(), "already present");
+        evicted.clear();
         let slots = self.slots_for(line, words).min(self.words_per_line);
         let (way, offset) = self.choose_position(set, slots);
-        let evicted = self.evict_range(set, way, offset, slots);
+        evicted.extend(self.evict_range(set, way, offset, slots));
         let entries = self.way_slice_mut(set, way);
         let window = entries.get_mut(offset..offset + slots).unwrap_or_default();
         for (i, slot) in window.iter_mut().enumerate() {
@@ -289,7 +291,6 @@ impl WordStore for CompressedWoc {
                 words: if i == 0 { words } else { Footprint::empty() },
             };
         }
-        evicted
     }
 
     fn invalidate_line(&mut self, set: usize, tag: u64) -> Option<WocEviction> {
@@ -345,6 +346,20 @@ mod tests {
         CompressedWoc::new(4, 1, 8, 9, model)
     }
 
+    /// Test shim over the out-parameter [`WordStore::install`].
+    fn install(
+        w: &mut CompressedWoc,
+        set: usize,
+        tag: u64,
+        line: LineAddr,
+        words: Footprint,
+        dirty: bool,
+    ) -> Vec<WocEviction> {
+        let mut evicted = Vec::new();
+        w.install(set, tag, line, words, dirty, &mut evicted);
+        evicted
+    }
+
     #[test]
     fn compressible_words_take_fewer_slots() {
         let w = woc(zero_model());
@@ -364,7 +379,7 @@ mod tests {
     fn full_coverage_despite_compression() {
         let mut w = woc(zero_model());
         let fp = Footprint::full(8);
-        w.install(0, 7, LineAddr::new(7), fp, false);
+        install(&mut w, 0, 7, LineAddr::new(7), fp, false);
         w.check_invariants(0).unwrap();
         let hit = w.lookup(0, 7).expect("line hit");
         assert_eq!(hit.valid_words, fp, "all words visible though 1 slot used");
@@ -375,12 +390,26 @@ mod tests {
     fn eight_compressed_full_lines_fit_one_way() {
         let mut w = woc(zero_model());
         for t in 0..8u64 {
-            let ev = w.install(0, t, LineAddr::new(t * 4), Footprint::full(8), false);
+            let ev = install(
+                &mut w,
+                0,
+                t,
+                LineAddr::new(t * 4),
+                Footprint::full(8),
+                false,
+            );
             assert!(ev.is_empty(), "line {t} should fit without eviction");
             w.check_invariants(0).unwrap();
         }
         assert_eq!(w.occupancy(), 8);
-        let ev = w.install(0, 99, LineAddr::new(99 * 4), Footprint::full(8), false);
+        let ev = install(
+            &mut w,
+            0,
+            99,
+            LineAddr::new(99 * 4),
+            Footprint::full(8),
+            false,
+        );
         assert_eq!(ev.len(), 1, "9th line evicts one");
     }
 
@@ -388,7 +417,7 @@ mod tests {
     fn invalidate_returns_words_and_dirty() {
         let mut w = woc(incompressible_model());
         let fp = Footprint::from_bits(0b101);
-        w.install(0, 3, LineAddr::new(3), fp, true);
+        install(&mut w, 0, 3, LineAddr::new(3), fp, true);
         let ev = w.invalidate_line(0, 3).expect("present");
         assert_eq!(ev.words, fp);
         assert!(ev.dirty);
@@ -423,7 +452,8 @@ mod tests {
             if bits == 0 {
                 continue;
             }
-            w.install(
+            install(
+                &mut w,
                 set,
                 1000 + i,
                 LineAddr::new(1000 + i),

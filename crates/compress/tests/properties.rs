@@ -105,6 +105,7 @@ fn compressed_woc_invariants() {
                     LineAddr::new(tag as u64),
                     fp,
                     false,
+                    &mut Vec::new(),
                 );
                 let hit = WordStore::lookup(&woc, set, tag as u64).expect("just installed");
                 assert_eq!(hit.valid_words, fp, "case {case}: coverage preserved");

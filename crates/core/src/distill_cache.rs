@@ -3,7 +3,7 @@
 use crate::fault::Resilience;
 use crate::{
     DistillConfig, LdisError, MedianTracker, ResilienceConfig, Reverter, ThresholdPolicy, Woc,
-    WordStore,
+    WocEviction, WordStore,
 };
 use ldis_cache::CompulsoryTracker;
 use ldis_cache::{
@@ -51,6 +51,9 @@ pub struct DistillCache<W = Woc> {
     stats: L2Stats,
     compulsory: CompulsoryTracker,
     label: String,
+    /// Reused buffer for WOC-install evictions — one allocation for the
+    /// cache's lifetime instead of one per install.
+    woc_evicted: Vec<WocEviction>,
 }
 
 impl DistillCache {
@@ -104,6 +107,7 @@ impl<W: WordStore> DistillCache<W> {
             compulsory: CompulsoryTracker::new(),
             label: label.to_owned(),
             cfg,
+            woc_evicted: Vec::new(),
         }
     }
 
@@ -252,11 +256,15 @@ impl<W: WordStore> DistillCache<W> {
         dirty: bool,
     ) {
         self.stats.woc_installs.bump();
-        for evicted in self.woc.install(set, tag, line, words, dirty) {
-            if evicted.dirty {
+        // Detach the scratch buffer so the store can borrow `self.woc`.
+        let mut evicted = std::mem::take(&mut self.woc_evicted);
+        self.woc.install(set, tag, line, words, dirty, &mut evicted);
+        for ev in &evicted {
+            if ev.dirty {
                 self.stats.writebacks.bump();
             }
         }
+        self.woc_evicted = evicted;
     }
 
     fn observe_reverter(&mut self, set: usize, line: LineAddr, distill_missed: bool) {

@@ -7,8 +7,15 @@
 //! stored line so whole lines can be evicted together. Replacement picks
 //! uniformly at random among aligned candidates that are invalid or start
 //! a line (Section 5.3's random replacement).
+//!
+//! Storage is struct-of-arrays: the valid/dirty/head bits of one way are
+//! packed into a `u64` each (bit *i* = slot *i*), so the run-finder asks
+//! "where does a `slots`-wide aligned window fit?" with a handful of
+//! bitwise ops ([`ldis_mem::bitops`]) instead of scanning entries, and a
+//! line lookup walks only the valid slots via `trailing_zeros`.
 
 use crate::{LdisError, WocReplacement};
+use ldis_mem::bitops::{eligible_aligned_slots, free_aligned_windows, select_nth_one};
 use ldis_mem::{Footprint, SimRng, WordIndex};
 use std::fmt;
 
@@ -16,17 +23,6 @@ use std::fmt;
 /// 23-bit tag + 3-bit word id. This is the bit surface the fault model
 /// exposes per entry.
 pub const WOC_ENTRY_BITS: u64 = 29;
-
-/// One WOC tag entry: 29 bits in hardware (valid + dirty + head + 23-bit
-/// tag + 3-bit word-id, Table 3).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-struct WocEntry {
-    valid: bool,
-    dirty: bool,
-    head: bool,
-    tag: u64,
-    word_id: u8,
-}
 
 /// Which field of a WOC tag entry a fault landed in.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -109,13 +105,24 @@ pub struct WocLineHit {
 /// The word-organized half of a distill cache.
 ///
 /// Indexed externally by set; each set holds `ways * words_per_line`
-/// word-granularity tag entries.
+/// word-granularity tag entries. The per-way valid/dirty/head bits are
+/// packed one `u64` per `(set, way)`; the tags and word ids are flat
+/// per-slot arrays indexed `(set * ways + way) * words_per_line + slot`.
 #[derive(Clone, Debug)]
 pub struct Woc {
     ways: usize,
     words_per_line: usize,
     num_sets: usize,
-    entries: Vec<WocEntry>,
+    /// Per-way valid bits; `valid[set * ways + way]` bit *i* = slot *i*.
+    valid: Vec<u64>,
+    /// Per-way dirty bits, same indexing.
+    dirty: Vec<u64>,
+    /// Per-way head bits, same indexing.
+    head: Vec<u64>,
+    /// Per-slot tags.
+    tags: Vec<u64>,
+    /// Per-slot word ids.
+    word_ids: Vec<u8>,
     rng: SimRng,
     replacement: WocReplacement,
     round_robin: u64,
@@ -127,14 +134,19 @@ impl Woc {
     /// replacement engine.
     pub fn new(num_sets: u64, ways: u32, words_per_line: u8, seed: u64) -> Self {
         assert!(ways >= 1, "WOC needs at least one way");
+        let num_sets = num_sets as usize;
+        let ways = ways as usize;
+        let wpl = words_per_line as usize;
+        let num_ways = num_sets * ways;
         Woc {
-            ways: ways as usize,
-            words_per_line: words_per_line as usize,
-            num_sets: num_sets as usize,
-            entries: vec![
-                WocEntry::default();
-                num_sets as usize * ways as usize * words_per_line as usize
-            ],
+            ways,
+            words_per_line: wpl,
+            num_sets,
+            valid: vec![0; num_ways],
+            dirty: vec![0; num_ways],
+            head: vec![0; num_ways],
+            tags: vec![0; num_ways * wpl],
+            word_ids: vec![0; num_ways * wpl],
             rng: SimRng::new(seed),
             replacement: WocReplacement::Random,
             round_robin: 0,
@@ -148,44 +160,30 @@ impl Woc {
         self
     }
 
-    fn set_base(&self, set: usize) -> usize {
-        debug_assert!(set < self.num_sets);
-        set * self.ways.saturating_mul(self.words_per_line)
-    }
-
-    /// The `words_per_line` entries of one way of one set. `set` and `way`
-    /// are in range for every caller, so the empty-slice fallback is dead;
-    /// it merely turns a latent out-of-bounds into a no-op.
-    fn way_slice(&self, set: usize, way: usize) -> &[WocEntry] {
-        let base = self.set_base(set) + way * self.words_per_line;
-        self.entries
-            .get(base..base + self.words_per_line)
-            .unwrap_or_default()
-    }
-
-    fn way_slice_mut(&mut self, set: usize, way: usize) -> &mut [WocEntry] {
-        let base = self.set_base(set) + way * self.words_per_line;
-        self.entries
-            .get_mut(base..base + self.words_per_line)
-            .unwrap_or_default()
-    }
-
-    /// All `ways * words_per_line` entries of one set.
-    fn set_slice_mut(&mut self, set: usize) -> &mut [WocEntry] {
-        let base = self.set_base(set);
-        let len = self.ways.saturating_mul(self.words_per_line);
-        self.entries.get_mut(base..base + len).unwrap_or_default()
+    /// The mask index of `(set, way)` into the per-way bit vectors.
+    #[inline]
+    fn way_index(&self, set: usize, way: usize) -> usize {
+        debug_assert!(set < self.num_sets && way < self.ways);
+        set.wrapping_mul(self.ways).wrapping_add(way)
     }
 
     /// Looks up `tag` in `set`. Returns the words present if any word of
     /// the line is stored (a *line hit*, Section 5.2).
     pub fn lookup(&self, set: usize, tag: u64) -> Option<WocLineHit> {
+        let wpl = self.words_per_line;
         let mut words = Footprint::empty();
         for way in 0..self.ways {
-            for e in self.way_slice(set, way) {
-                if e.valid && e.tag == tag {
-                    words.touch(WordIndex::new(e.word_id));
+            let wi = self.way_index(set, way);
+            let mut mask = self.valid.get(wi).copied().unwrap_or(0);
+            let slot_base = wi.wrapping_mul(wpl);
+            while mask != 0 {
+                let slot = mask.trailing_zeros() as usize;
+                let idx = slot_base.wrapping_add(slot);
+                if self.tags.get(idx).copied() == Some(tag) {
+                    let id = self.word_ids.get(idx).copied().unwrap_or(0);
+                    words.touch(WordIndex::new(id));
                 }
+                mask &= mask - 1;
             }
         }
         if words.is_empty() {
@@ -204,10 +202,29 @@ impl Woc {
     /// Marks every stored word of line `tag` dirty (a dirty L1D writeback
     /// landed on a WOC-resident line). Returns whether the line was present.
     pub fn mark_dirty(&mut self, set: usize, tag: u64) -> bool {
+        let wpl = self.words_per_line;
         let mut found = false;
-        for e in self.set_slice_mut(set) {
-            if e.valid && e.tag == tag {
-                e.dirty = true;
+        for way in 0..self.ways {
+            let wi = self.way_index(set, way);
+            let mut mask = self.valid.get(wi).copied().unwrap_or(0);
+            let slot_base = wi.wrapping_mul(wpl);
+            let mut hits = 0u64;
+            while mask != 0 {
+                let slot = mask.trailing_zeros();
+                if self
+                    .tags
+                    .get(slot_base.wrapping_add(slot as usize))
+                    .copied()
+                    == Some(tag)
+                {
+                    hits |= 1u64 << slot;
+                }
+                mask &= mask - 1;
+            }
+            if hits != 0 {
+                if let Some(d) = self.dirty.get_mut(wi) {
+                    *d |= hits;
+                }
                 found = true;
             }
         }
@@ -218,13 +235,43 @@ impl Woc {
     /// Section 5.2: "all words for the requested line in WOC are
     /// invalidated"). Returns the eviction record if the line was present.
     pub fn invalidate_line(&mut self, set: usize, tag: u64) -> Option<WocEviction> {
+        let wpl = self.words_per_line;
         let mut words = Footprint::empty();
         let mut dirty = false;
-        for e in self.set_slice_mut(set) {
-            if e.valid && e.tag == tag {
-                words.touch(WordIndex::new(e.word_id));
-                dirty |= e.dirty;
-                *e = WocEntry::default();
+        for way in 0..self.ways {
+            let wi = self.way_index(set, way);
+            let mut mask = self.valid.get(wi).copied().unwrap_or(0);
+            let slot_base = wi.wrapping_mul(wpl);
+            let mut hits = 0u64;
+            while mask != 0 {
+                let slot = mask.trailing_zeros() as usize;
+                let idx = slot_base.wrapping_add(slot);
+                if self.tags.get(idx).copied() == Some(tag) {
+                    hits |= 1u64 << slot;
+                    let id = self.word_ids.get(idx).copied().unwrap_or(0);
+                    words.touch(WordIndex::new(id));
+                    // Clear the slot completely so a later valid-bit flip
+                    // resurrects a zeroed entry, not a stale tag.
+                    if let Some(t) = self.tags.get_mut(idx) {
+                        *t = 0;
+                    }
+                    if let Some(w) = self.word_ids.get_mut(idx) {
+                        *w = 0;
+                    }
+                }
+                mask &= mask - 1;
+            }
+            if hits != 0 {
+                dirty |= self.dirty.get(wi).is_some_and(|d| d & hits != 0);
+                if let Some(v) = self.valid.get_mut(wi) {
+                    *v &= !hits;
+                }
+                if let Some(d) = self.dirty.get_mut(wi) {
+                    *d &= !hits;
+                }
+                if let Some(h) = self.head.get_mut(wi) {
+                    *h &= !hits;
+                }
             }
         }
         if words.is_empty() {
@@ -254,6 +301,23 @@ impl Woc {
         footprint: Footprint,
         dirty: bool,
     ) -> Vec<WocEviction> {
+        let mut evicted = Vec::new();
+        self.install_into(set, tag, footprint, dirty, &mut evicted);
+        evicted
+    }
+
+    /// [`install`](Woc::install) with a caller-owned eviction buffer:
+    /// `out` is cleared and filled with the displaced lines, so the hot
+    /// path reuses one allocation across installs.
+    pub fn install_into(
+        &mut self,
+        set: usize,
+        tag: u64,
+        footprint: Footprint,
+        dirty: bool,
+        out: &mut Vec<WocEviction>,
+    ) {
+        out.clear();
         let slots = footprint.woc_slots() as usize;
         assert!(slots >= 1, "cannot install an empty footprint");
         assert!(
@@ -270,54 +334,85 @@ impl Woc {
         }
 
         let (way, offset) = self.choose_position(set, slots);
-        let evicted = self.evict_range(set, way, offset, slots);
+        self.evict_range(set, way, offset, slots, out);
 
-        let entries = self.way_slice_mut(set, way);
-        for (i, word) in footprint.iter_used().enumerate() {
-            if let Some(slot) = entries.get_mut(offset + i) {
-                *slot = WocEntry {
-                    valid: true,
-                    dirty,
-                    head: i == 0,
-                    tag,
-                    word_id: word.get(),
-                };
+        let wi = self.way_index(set, way);
+        let slot_base = wi.wrapping_mul(self.words_per_line);
+        let mut set_bits = 0u64;
+        let mut head_bit = 0u64;
+        let mut bits = footprint.bits();
+        let mut i = 0usize;
+        // Walk the used words in ascending order (the stored order the
+        // invariant checker demands) straight off the bit vector.
+        while bits != 0 {
+            let word = bits.trailing_zeros() as u8;
+            let slot = offset.wrapping_add(i);
+            let idx = slot_base.wrapping_add(slot);
+            if let Some(t) = self.tags.get_mut(idx) {
+                *t = tag;
+            }
+            if let Some(w) = self.word_ids.get_mut(idx) {
+                *w = word;
+            }
+            if slot < 64 {
+                set_bits |= 1u64 << slot;
+                if i == 0 {
+                    head_bit = 1u64 << slot;
+                }
+            }
+            bits &= bits - 1;
+            i = i.wrapping_add(1);
+        }
+        if let Some(v) = self.valid.get_mut(wi) {
+            *v |= set_bits;
+        }
+        if let Some(d) = self.dirty.get_mut(wi) {
+            if dirty {
+                *d |= set_bits;
+            } else {
+                *d &= !set_bits;
             }
         }
-        evicted
+        if let Some(h) = self.head.get_mut(wi) {
+            *h = (*h & !set_bits) | head_bit;
+        }
     }
 
     /// Picks the position for a `slots`-word line: a random fully-invalid
     /// aligned candidate if one exists, otherwise a random eligible
     /// (invalid-or-head) aligned candidate.
+    ///
+    /// Candidates are counted and selected with the `bitops` run-finder
+    /// masks; the candidate numbering is (way ascending, offset ascending),
+    /// exactly the order the old entry-scanning loop pushed them, so the
+    /// replacement engine sees identical candidate counts and indices and
+    /// the RNG stream is bit-identical to the pre-overhaul code.
     fn choose_position(&mut self, set: usize, slots: usize) -> (usize, usize) {
-        let mut free = Vec::new();
-        let mut eligible = Vec::new();
+        let wpl = self.words_per_line as u32;
+        let slots32 = slots as u32;
+        let mut free_total = 0u32;
+        let mut eligible_total = 0u32;
         for way in 0..self.ways {
-            let entries = self.way_slice(set, way);
-            for offset in (0..self.words_per_line).step_by(slots) {
-                let Some(first) = entries.get(offset) else {
-                    continue;
-                };
-                if !first.valid || first.head {
-                    eligible.push((way, offset));
-                    let window_free = entries
-                        .get(offset..offset + slots)
-                        .is_some_and(|w| w.iter().all(|e| !e.valid));
-                    if window_free {
-                        free.push((way, offset));
-                    }
+            let wi = self.way_index(set, way);
+            let v = self.valid.get(wi).copied().unwrap_or(u64::MAX);
+            let h = self.head.get(wi).copied().unwrap_or(0);
+            free_total += free_aligned_windows(v, wpl, slots32).count_ones();
+            eligible_total += eligible_aligned_slots(v, h, wpl, slots32).count_ones();
+        }
+        if free_total > 0 {
+            let mut rank = self.pick(free_total as usize) as u32;
+            for way in 0..self.ways {
+                let wi = self.way_index(set, way);
+                let v = self.valid.get(wi).copied().unwrap_or(u64::MAX);
+                let mask = free_aligned_windows(v, wpl, slots32);
+                let count = mask.count_ones();
+                if rank < count {
+                    return (way, select_nth_one(mask, rank) as usize);
                 }
+                rank -= count;
             }
         }
-        // `pick(len) < len`, so the lookups cannot miss on non-empty lists.
-        if !free.is_empty() {
-            let i = self.pick(free.len());
-            if let Some(&pos) = free.get(i) {
-                return pos;
-            }
-        }
-        if eligible.is_empty() {
+        if eligible_total == 0 {
             // Alignment guarantees a candidate in fault-free operation
             // (offset 0 of a way is invalid or a head); corrupted head
             // bits can void that. Fall back to offset 0 of some way —
@@ -325,8 +420,19 @@ impl Woc {
             let way = self.pick(self.ways);
             return (way, 0);
         }
-        let i = self.pick(eligible.len());
-        eligible.get(i).copied().unwrap_or((0, 0))
+        let mut rank = self.pick(eligible_total as usize) as u32;
+        for way in 0..self.ways {
+            let wi = self.way_index(set, way);
+            let v = self.valid.get(wi).copied().unwrap_or(u64::MAX);
+            let h = self.head.get(wi).copied().unwrap_or(0);
+            let mask = eligible_aligned_slots(v, h, wpl, slots32);
+            let count = mask.count_ones();
+            if rank < count {
+                return (way, select_nth_one(mask, rank) as usize);
+            }
+            rank -= count;
+        }
+        (0, 0)
     }
 
     fn pick(&mut self, len: usize) -> usize {
@@ -342,101 +448,132 @@ impl Woc {
     /// Evicts every line whose head lies in `offset..offset + slots` of
     /// `way` (whole-line eviction via the head bit, Section 5.3), clearing
     /// all of their entries — including any that extend beyond the range.
+    /// Records the displaced lines by appending to `evictions` (the caller
+    /// clears the buffer; appending keeps `last_mut` coalescing local).
     fn evict_range(
         &mut self,
         set: usize,
         way: usize,
         offset: usize,
         slots: usize,
-    ) -> Vec<WocEviction> {
-        let words_per_line = self.words_per_line;
-        let entries = self.way_slice_mut(set, way);
-        let mut evictions: Vec<WocEviction> = Vec::new();
+        evictions: &mut Vec<WocEviction>,
+    ) {
+        let wpl = self.words_per_line;
+        let wi = self.way_index(set, way);
+        let slot_base = wi.wrapping_mul(wpl);
+        let mut vmask = self.valid.get(wi).copied().unwrap_or(0);
+        let mut dmask = self.dirty.get(wi).copied().unwrap_or(0);
+        let mut hmask = self.head.get(wi).copied().unwrap_or(0);
         let mut i = offset;
         // A head inside the range may own entries beyond it; walk to the
         // end of the last overlapped line.
-        while i < words_per_line {
-            let Some(e) = entries.get(i).copied() else {
-                break;
-            };
-            if !e.valid {
+        while i < wpl.min(64) {
+            let bit = 1u64 << i;
+            if vmask & bit == 0 {
                 if i >= offset + slots {
                     break;
                 }
                 i += 1;
                 continue;
             }
-            if e.head && i >= offset + slots {
+            let is_head = hmask & bit != 0;
+            if is_head && i >= offset + slots {
                 break; // next line starts after the range: done
             }
+            let idx = slot_base.wrapping_add(i);
+            let tag = self.tags.get(idx).copied().unwrap_or(0);
             // Fault-free, every line opens with a head and its words share
             // one tag. Corrupted metadata can present a headless entry or
             // a tag that differs mid-line; tolerate both by opening a
             // fresh eviction record so the debris is still cleared and
             // its dirty words still accounted.
-            if e.head || evictions.last().is_none_or(|ev| ev.tag != e.tag) {
+            if is_head || evictions.last().is_none_or(|ev| ev.tag != tag) {
                 evictions.push(WocEviction {
-                    tag: e.tag,
+                    tag,
                     words: Footprint::empty(),
                     dirty: false,
                 });
             }
             if let Some(ev) = evictions.last_mut() {
-                ev.words.touch(WordIndex::new(e.word_id));
-                ev.dirty |= e.dirty;
+                let id = self.word_ids.get(idx).copied().unwrap_or(0);
+                ev.words.touch(WordIndex::new(id));
+                ev.dirty |= dmask & bit != 0;
             }
-            if let Some(slot) = entries.get_mut(i) {
-                *slot = WocEntry::default();
+            vmask &= !bit;
+            dmask &= !bit;
+            hmask &= !bit;
+            if let Some(t) = self.tags.get_mut(idx) {
+                *t = 0;
+            }
+            if let Some(w) = self.word_ids.get_mut(idx) {
+                *w = 0;
             }
             i += 1;
         }
-        evictions
+        if let Some(v) = self.valid.get_mut(wi) {
+            *v = vmask;
+        }
+        if let Some(d) = self.dirty.get_mut(wi) {
+            *d = dmask;
+        }
+        if let Some(h) = self.head.get_mut(wi) {
+            *h = hmask;
+        }
     }
 
     /// Number of valid word entries in the whole WOC.
     pub fn occupancy(&self) -> u64 {
-        self.entries.iter().filter(|e| e.valid).count() as u64
+        self.valid.iter().map(|m| u64::from(m.count_ones())).sum()
     }
 
     /// Number of distinct lines stored in `set`.
     pub fn lines_in_set(&self, set: usize) -> usize {
-        let base = self.set_base(set);
-        let len = self.ways.saturating_mul(self.words_per_line);
-        self.entries
-            .get(base..base + len)
-            .unwrap_or_default()
-            .iter()
-            .filter(|e| e.valid && e.head)
-            .count()
+        (0..self.ways)
+            .map(|way| {
+                let wi = self.way_index(set, way);
+                let v = self.valid.get(wi).copied().unwrap_or(0);
+                let h = self.head.get(wi).copied().unwrap_or(0);
+                (v & h).count_ones() as usize
+            })
+            .sum()
     }
 
     /// Checks the structural invariants of one set. Used by tests,
     /// property checks and the online self-checker; the typed error
     /// pinpoints the violation for degradation logging.
     pub fn check_invariants(&self, set: usize) -> Result<(), LdisError> {
+        let wpl = self.words_per_line;
         for way in 0..self.ways {
-            let entries = self.way_slice(set, way);
-            let mut i = 0;
-            while let Some(e) = entries.get(i) {
-                if !e.valid {
+            let wi = self.way_index(set, way);
+            let vmask = self.valid.get(wi).copied().unwrap_or(0);
+            let hmask = self.head.get(wi).copied().unwrap_or(0);
+            let slot_base = wi.wrapping_mul(wpl);
+            let mut i = 0usize;
+            while i < wpl.min(64) {
+                let bit = 1u64 << i;
+                if vmask & bit == 0 {
                     i += 1;
                     continue;
                 }
-                if !e.head {
+                if hmask & bit == 0 {
                     return Err(LdisError::WocOrphanEntry { set, way, slot: i });
                 }
-                let tag = e.tag;
+                let tag = self.tags.get(slot_base.wrapping_add(i)).copied();
                 let start = i;
                 i += 1;
-                while let Some(next) = entries.get(i).filter(|e| e.valid && !e.head) {
-                    if next.tag != tag {
+                while i < wpl.min(64) {
+                    let next = 1u64 << i;
+                    if vmask & next == 0 || hmask & next != 0 {
+                        break;
+                    }
+                    if self.tags.get(slot_base.wrapping_add(i)).copied() != tag {
                         return Err(LdisError::WocTagMismatch { set, way, slot: i });
                     }
                     i += 1;
                 }
                 let len = i - start;
                 let slots = len.next_power_of_two();
-                if start % slots != 0 {
+                if !start.is_multiple_of(slots) {
                     return Err(LdisError::WocMisaligned {
                         set,
                         way,
@@ -445,8 +582,11 @@ impl Woc {
                     });
                 }
                 // Word ids must be strictly increasing (stored in order).
-                let run = entries.get(start..i).unwrap_or_default();
-                let ids = run.iter().map(|e| e.word_id);
+                let run = self
+                    .word_ids
+                    .get(slot_base.wrapping_add(start)..slot_base.wrapping_add(i))
+                    .unwrap_or_default();
+                let ids = run.iter();
                 if !ids.clone().zip(ids.skip(1)).all(|(a, b)| a < b) {
                     return Err(LdisError::WocWordOrder { set, way, start });
                 }
@@ -458,7 +598,7 @@ impl Woc {
     /// Total modeled tag-store bits (29 per entry, Table 3) — the fault
     /// injector's address space over this structure.
     pub fn tag_store_bits(&self) -> u64 {
-        self.entries.len() as u64 * WOC_ENTRY_BITS
+        self.tags.len() as u64 * WOC_ENTRY_BITS
     }
 
     /// Flips one modeled tag-store bit, addressed in `0..tag_store_bits()`
@@ -477,30 +617,40 @@ impl Woc {
         let set = idx / per_set;
         let way = (idx % per_set) / self.words_per_line;
         let slot = idx % self.words_per_line;
-        // ldis: allow(P1X, "idx < entries.len() by the bit-range assert above")
-        let e = &mut self.entries[idx];
-        let was_valid = e.valid;
+        let wi = self.way_index(set, way);
+        let slot_bit = 1u64 << (slot as u32 % 64);
+        let was_valid = self.valid.get(wi).is_some_and(|&m| m & slot_bit != 0);
         let field = match k {
             0 => {
-                e.valid = !e.valid;
+                if let Some(m) = self.valid.get_mut(wi) {
+                    *m ^= slot_bit;
+                }
                 WocField::Valid
             }
             1 => {
-                e.dirty = !e.dirty;
+                if let Some(m) = self.dirty.get_mut(wi) {
+                    *m ^= slot_bit;
+                }
                 WocField::Dirty
             }
             2 => {
-                e.head = !e.head;
+                if let Some(m) = self.head.get_mut(wi) {
+                    *m ^= slot_bit;
+                }
                 WocField::Head
             }
             3..=25 => {
                 let b = (k - 3) as u8;
-                e.tag ^= 1 << b;
+                if let Some(t) = self.tags.get_mut(idx) {
+                    *t ^= 1 << b;
+                }
                 WocField::Tag(b)
             }
             _ => {
                 let b = (k - 26) as u8;
-                e.word_id ^= 1 << b;
+                if let Some(w) = self.word_ids.get_mut(idx) {
+                    *w ^= 1 << b;
+                }
                 WocField::WordId(b)
             }
         };
@@ -518,12 +668,27 @@ impl Woc {
     /// tag entries (parity localizes no finer than the protected word).
     /// Returns the number of valid entries discarded.
     pub fn clear_way(&mut self, set: usize, way: usize) -> u64 {
-        let mut cleared = 0;
-        for e in self.way_slice_mut(set, way) {
-            if e.valid {
-                cleared += 1;
-            }
-            *e = WocEntry::default();
+        let wpl = self.words_per_line;
+        let wi = self.way_index(set, way);
+        let cleared = u64::from(self.valid.get(wi).copied().unwrap_or(0).count_ones());
+        if let Some(v) = self.valid.get_mut(wi) {
+            *v = 0;
+        }
+        if let Some(d) = self.dirty.get_mut(wi) {
+            *d = 0;
+        }
+        if let Some(h) = self.head.get_mut(wi) {
+            *h = 0;
+        }
+        let slot_base = wi.wrapping_mul(wpl);
+        if let Some(tags) = self.tags.get_mut(slot_base..slot_base.wrapping_add(wpl)) {
+            tags.fill(0);
+        }
+        if let Some(ids) = self
+            .word_ids
+            .get_mut(slot_base..slot_base.wrapping_add(wpl))
+        {
+            ids.fill(0);
         }
         cleared
     }
@@ -532,14 +697,7 @@ impl Woc {
     /// finds a structural violation it cannot localize to one way.
     /// Returns the number of valid entries discarded.
     pub fn clear_set(&mut self, set: usize) -> u64 {
-        let mut cleared = 0;
-        for e in self.set_slice_mut(set) {
-            if e.valid {
-                cleared += 1;
-            }
-            *e = WocEntry::default();
-        }
-        cleared
+        (0..self.ways).map(|way| self.clear_way(set, way)).sum()
     }
 }
 
@@ -555,8 +713,9 @@ impl crate::WordStore for Woc {
         _line: ldis_mem::LineAddr,
         words: Footprint,
         dirty: bool,
-    ) -> Vec<WocEviction> {
-        Woc::install(self, set, tag, words, dirty)
+        evicted: &mut Vec<WocEviction>,
+    ) {
+        Woc::install_into(self, set, tag, words, dirty, evicted)
     }
 
     fn invalidate_line(&mut self, set: usize, tag: u64) -> Option<WocEviction> {
@@ -746,7 +905,11 @@ mod tests {
         assert_eq!((fault.set, fault.way, fault.slot), (1, 0, 0));
         assert_eq!(fault.field, WocField::Head);
         w.flip_tag_bit(464 + 2);
-        assert_eq!(w.entries, before.entries, "double flip restores state");
+        assert_eq!(w.valid, before.valid, "double flip restores state");
+        assert_eq!(w.dirty, before.dirty);
+        assert_eq!(w.head, before.head);
+        assert_eq!(w.tags, before.tags);
+        assert_eq!(w.word_ids, before.word_ids);
     }
 
     #[test]
@@ -823,7 +986,7 @@ mod tests {
         let mut w = woc();
         w.install(3, 2, fp(0b111), false);
         let way = (0..2)
-            .find(|&wy| w.way_slice(3, wy).iter().any(|e| e.valid))
+            .find(|&wy| w.valid.get(3 * 2 + wy).copied().unwrap_or(0) != 0)
             .expect("line landed in some way");
         assert_eq!(w.clear_way(3, way), 3);
         assert!(w.lookup(3, 2).is_none());

@@ -23,7 +23,10 @@ pub trait WordStore {
 
     /// Installs a line's used words, evicting whole overlapping lines as
     /// needed. `line` is the full line address (size models may need it);
-    /// `tag` identifies it within the set.
+    /// `tag` identifies it within the set. `evicted` is cleared and filled
+    /// with the displaced lines — an out-parameter so the per-install
+    /// scratch allocation lives with the caller and is reused across
+    /// installs on the hot path.
     fn install(
         &mut self,
         set: usize,
@@ -31,7 +34,8 @@ pub trait WordStore {
         line: LineAddr,
         words: Footprint,
         dirty: bool,
-    ) -> Vec<WocEviction>;
+        evicted: &mut Vec<WocEviction>,
+    );
 
     /// Removes all words of a line (the hole-miss path), returning the
     /// eviction record if it was present.

@@ -115,7 +115,7 @@ fn woc_replacement_deterministic() {
 fn word_store_trait_matches_inherent() {
     let mut woc = Woc::new(2, 1, 8, 3);
     let fp = Footprint::from_bits(0b101);
-    WordStore::install(&mut woc, 0, 7, LineAddr::new(7), fp, true);
+    WordStore::install(&mut woc, 0, 7, LineAddr::new(7), fp, true, &mut Vec::new());
     assert!(woc.contains_word(0, 7, WordIndex::new(0)));
     let via_trait = WordStore::lookup(&woc, 0, 7).expect("line was installed");
     assert_eq!(via_trait.valid_words, fp);

@@ -21,7 +21,7 @@
 //!                        [--cell-timeout MS] [--max-retries N]
 //!                        [--fault CELL:KIND[:ATTEMPTS],...]
 //!                        [--out FILE] [--quarantine FILE] [--golden-check]
-//! ldis-experiments bench [--out FILE]
+//! ldis-experiments bench [--out FILE] [--check FILE]
 //! ldis-experiments bench-mrc [--out FILE]
 //! ```
 //!
@@ -29,9 +29,12 @@
 //! crash-safe executor: cells are panic-isolated, retried, watchdogged
 //! and checkpointed; `--resume` replays a checksummed journal and
 //! produces bytes identical to an uninterrupted run. `bench` times the
-//! matrix and writes the `BENCH_sweep.json` trajectory artifact;
-//! `bench-mrc` times the exact Mattson pass against the sampled SHARDS
-//! pass at rates 0.1/0.01/0.001 and writes `BENCH_mrc.json`.
+//! matrix (plus a single-thread generation/simulation phase split) and
+//! writes the `BENCH_sweep.json` trajectory artifact; `--check FILE`
+//! compares the fresh single-thread ns/access against the committed
+//! artifact and exits nonzero on a >10% regression. `bench-mrc` times
+//! the exact Mattson pass against the sampled SHARDS pass at rates
+//! 0.1/0.01/0.001 and writes `BENCH_mrc.json`.
 
 use ldis_experiments::exec::FaultPlan;
 use ldis_experiments::{
@@ -69,7 +72,7 @@ fn usage() -> ! {
          crash-safe sweep: sweep [--journal FILE] [--resume] [--cell N] [--cell-timeout MS]\n\
          \u{20}                  [--max-retries N] [--fault CELL:KIND[:ATTEMPTS],...]\n\
          \u{20}                  [--out FILE] [--quarantine FILE] [--golden-check]\n\
-         throughput:       bench [--out FILE]  (sweep matrix)\n\
+         throughput:       bench [--out FILE] [--check FILE]  (sweep matrix)\n\
          \u{20}                  bench-mrc [--out FILE]  (exact vs sampled MRC passes)\n\
          threads default to LDIS_THREADS or the available parallelism; results are\n\
          bit-identical for every thread count",
@@ -88,6 +91,7 @@ fn main() {
     let mut max_retries: u32 = 2;
     let mut faults = FaultPlan::none();
     let mut out: Option<std::path::PathBuf> = None;
+    let mut check: Option<std::path::PathBuf> = None;
     let mut quarantine: Option<std::path::PathBuf> = None;
     let mut golden_check = false;
     let mut args = std::env::args().skip(1);
@@ -136,6 +140,7 @@ fn main() {
                 });
             }
             "--out" => out = Some(args.next().unwrap_or_else(|| usage()).into()),
+            "--check" => check = Some(args.next().unwrap_or_else(|| usage()).into()),
             "--quarantine" => quarantine = Some(args.next().unwrap_or_else(|| usage()).into()),
             "--golden-check" => golden_check = true,
             "--help" | "-h" => usage(),
@@ -186,13 +191,38 @@ fn main() {
         }
         let points = perf::measure(&cfg, &[1, 4]);
         println!("{}", perf::report(&cfg, &points));
+        let phases = points.first().map(|serial| {
+            let ph = perf::measure_phases(&cfg, serial);
+            println!("  {}", perf::phase_report(&ph));
+            ph
+        });
         if let Some(path) = out {
-            let rendered = perf::snapshot(&cfg, &points).render_pretty();
+            let rendered = perf::snapshot(&cfg, &points, phases.as_ref()).render_pretty();
             if let Err(e) = std::fs::write(&path, rendered) {
                 eprintln!("cannot write {}: {e}", path.display());
                 std::process::exit(1);
             }
             println!("wrote {}", path.display());
+        }
+        if let Some(path) = check {
+            let committed = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+                eprintln!("cannot read {}: {e}", path.display());
+                std::process::exit(1);
+            });
+            let fresh = points.first().unwrap_or_else(|| {
+                eprintln!("no single-thread measurement");
+                std::process::exit(1);
+            });
+            match perf::check_regression_retrying(&committed, fresh, 3, || {
+                eprintln!("  slow window; re-measuring single-thread");
+                perf::measure(&cfg, &[1]).into_iter().next()
+            }) {
+                Ok(verdict) => println!("{verdict}"),
+                Err(e) => {
+                    eprintln!("{e}");
+                    std::process::exit(1);
+                }
+            }
         }
         return;
     }

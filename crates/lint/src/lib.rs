@@ -297,6 +297,21 @@ mod tests {
             rules_for("crates/experiments/src/runner.rs"),
             Some(vec![Rule::D2, Rule::P1, Rule::P1X])
         );
+        // Hot-path helper modules from the arena/bitops overhaul are
+        // simulator sources under the full determinism + panic-safety tier;
+        // their differential suite is a root integration test.
+        assert_eq!(
+            rules_for("crates/mem/src/bitops.rs"),
+            Some(vec![Rule::D1, Rule::D2, Rule::P1, Rule::P1X])
+        );
+        assert_eq!(
+            rules_for("crates/cache/src/arena.rs"),
+            Some(vec![Rule::D1, Rule::D2, Rule::P1, Rule::P1X])
+        );
+        assert_eq!(
+            rules_for("tests/hotpath_equivalence.rs"),
+            Some(vec![Rule::D2])
+        );
         assert_eq!(
             rules_for("crates/experiments/src/exec/mod.rs"),
             Some(vec![Rule::D1, Rule::D2, Rule::P1, Rule::P1X])

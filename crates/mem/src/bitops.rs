@@ -1,0 +1,262 @@
+//! Branch-light bitmask helpers for the simulator hot path.
+//!
+//! The footprint encoding (bit *i* = word *i*, see `DESIGN.md`) makes most
+//! per-word questions answerable with one or two word-sized bitwise
+//! operations instead of a loop over word indices. This module collects
+//! those primitives so the cache, WOC and workload crates share a single
+//! audited implementation:
+//!
+//! * [`span_mask16`] — the inclusive word-range mask used by
+//!   [`Footprint::touch_span`](crate::Footprint::touch_span) and the
+//!   sectored L1;
+//! * [`low_mask`] / [`aligned_stride`] — building blocks for way-wide
+//!   occupancy masks;
+//! * [`free_aligned_windows`] / [`eligible_aligned_slots`] — the WOC
+//!   run-finder: given a way's valid/head bits packed into a `u64`, return
+//!   the bitmask of aligned offsets where a power-of-two run fits.
+//!
+//! All helpers are `const fn` and total over their stated domains; callers
+//! in simulator crates never need raw indexing or panics around them.
+
+/// A `u64` with the low `len` bits set. Saturates at all-ones for
+/// `len >= 64`.
+pub const fn low_mask(len: u32) -> u64 {
+    if len >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << len) - 1
+    }
+}
+
+/// The 16-bit mask with bits `first..=last` set (bit *i* = word *i*).
+/// Returns 0 for an empty span (`first > last`) or out-of-range `first`.
+///
+/// This is the single shift-mask replacement for the historical
+/// `for w in first..=last` loop; `tests/hotpath_equivalence.rs` proves it
+/// equal to the per-word reference for every `(first, last)` pair.
+pub const fn span_mask16(first: u8, last: u8) -> u16 {
+    if first > last || first >= 16 {
+        return 0;
+    }
+    let width = (last - first + 1) as u32;
+    let ones = if width >= 16 {
+        u16::MAX
+    } else {
+        (1u16 << width) - 1
+    };
+    ones << first
+}
+
+/// Test-only mutation hook for the differential equivalence suite: with
+/// `mutate` false this is exactly [`span_mask16`]; with `mutate` true the
+/// mask is deliberately short by one word at the top (a classic off-by-one).
+/// The suite runs itself against the mutated mask to prove it would catch
+/// such a bug. Production code never passes `mutate = true`.
+#[doc(hidden)]
+pub const fn span_mask16_with_mutation(first: u8, last: u8, mutate: bool) -> u16 {
+    if mutate && first < last {
+        span_mask16(first, last - 1)
+    } else {
+        span_mask16(first, last)
+    }
+}
+
+/// A `u64` with a bit set at every multiple of `slots` (bit 0, `slots`,
+/// `2*slots`, ...). `slots` must be a non-zero power of two — the WOC's
+/// run sizes (Section 5.1 stores runs of 1, 2, 4 or 8 words).
+pub const fn aligned_stride(slots: u32) -> u64 {
+    debug_assert!(slots.is_power_of_two());
+    let mut mask = 1u64;
+    let mut step = slots;
+    while step < 64 {
+        mask |= mask << step;
+        step <<= 1;
+    }
+    mask
+}
+
+/// Given the valid bits of one WOC way packed into a `u64` (bit *i* = slot
+/// *i* valid, only the low `words` bits meaningful), returns the bitmask of
+/// aligned offsets at which a `slots`-wide window is entirely invalid —
+/// i.e. where a run of `slots` words can be placed without evicting.
+///
+/// `slots` must be a non-zero power of two and at most `words`. The fold
+/// `m &= m >> s` halves the remaining window width per step, so bit *o* of
+/// the result ends up set iff slots `o..o+slots` are all free; windows that
+/// would cross the end of the way are cleared by the initial `low_mask`.
+pub const fn free_aligned_windows(valid: u64, words: u32, slots: u32) -> u64 {
+    let mut free = !valid & low_mask(words);
+    let mut step = 1;
+    while step < slots {
+        free &= free >> step;
+        step <<= 1;
+    }
+    free & aligned_stride(slots) & low_mask(words)
+}
+
+/// Given the valid and head bits of one WOC way packed into `u64`s, returns
+/// the bitmask of aligned offsets eligible for placement under the paper's
+/// replacement rule: the window's first slot is invalid or holds a run head
+/// (Section 5.3). `slots` must be a non-zero power of two.
+pub const fn eligible_aligned_slots(valid: u64, head: u64, words: u32, slots: u32) -> u64 {
+    (!valid | head) & aligned_stride(slots) & low_mask(words)
+}
+
+/// The position of the `rank`-th set bit of `mask` (rank 0 = lowest).
+/// Returns 64 when `mask` has no such bit — callers guarantee
+/// `rank < mask.count_ones()`, making the 64 unreachable in practice.
+///
+/// Used to turn "pick candidate *i*" (an RNG draw over a candidate count)
+/// into a way offset without materializing the candidate list.
+pub const fn select_nth_one(mask: u64, rank: u32) -> u32 {
+    let mut m = mask;
+    let mut n = rank;
+    while n > 0 && m != 0 {
+        m &= m - 1;
+        n -= 1;
+    }
+    m.trailing_zeros()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The pre-overhaul per-word reference: set each bit in a loop.
+    fn span_mask16_ref(first: u8, last: u8) -> u16 {
+        let mut mask = 0u16;
+        let mut w = first;
+        while w <= last && w < 16 {
+            mask |= 1 << w;
+            w += 1;
+        }
+        mask
+    }
+
+    #[test]
+    fn span_mask_matches_reference_for_all_pairs() {
+        // Exhaustive over the full (first, last) square, including the
+        // empty first > last half and out-of-range indices.
+        for first in 0u8..=17 {
+            for last in 0u8..=17 {
+                assert_eq!(
+                    span_mask16(first, last),
+                    span_mask16_ref(first, last),
+                    "first={first} last={last}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn span_mask_popcount_is_span_length() {
+        for first in 0u8..16 {
+            for last in first..16 {
+                let mask = span_mask16(first, last);
+                assert_eq!(mask.count_ones() as u8, last - first + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn mutated_span_mask_differs_on_multiword_spans() {
+        assert_eq!(span_mask16_with_mutation(2, 5, false), span_mask16(2, 5));
+        assert_ne!(span_mask16_with_mutation(2, 5, true), span_mask16(2, 5));
+        // Single-word spans cannot shrink further; the mutation is a no-op.
+        assert_eq!(span_mask16_with_mutation(3, 3, true), span_mask16(3, 3));
+    }
+
+    #[test]
+    fn low_mask_counts_ones() {
+        assert_eq!(low_mask(0), 0);
+        assert_eq!(low_mask(1), 1);
+        assert_eq!(low_mask(16), 0xffff);
+        assert_eq!(low_mask(64), u64::MAX);
+        assert_eq!(low_mask(200), u64::MAX);
+    }
+
+    #[test]
+    fn aligned_stride_patterns() {
+        assert_eq!(aligned_stride(1), u64::MAX);
+        assert_eq!(aligned_stride(2), 0x5555_5555_5555_5555);
+        assert_eq!(aligned_stride(4), 0x1111_1111_1111_1111);
+        assert_eq!(aligned_stride(8), 0x0101_0101_0101_0101);
+        assert_eq!(aligned_stride(64), 1);
+    }
+
+    /// Naive reference: scan every aligned offset and test each slot.
+    fn free_windows_ref(valid: u64, words: u32, slots: u32) -> u64 {
+        let mut out = 0u64;
+        let mut offset = 0;
+        while offset + slots <= words {
+            let mut all_free = true;
+            for slot in offset..offset + slots {
+                if valid & (1 << slot) != 0 {
+                    all_free = false;
+                }
+            }
+            if all_free {
+                out |= 1 << offset;
+            }
+            offset += slots;
+        }
+        out
+    }
+
+    #[test]
+    fn free_windows_match_naive_scan_for_all_byte_patterns() {
+        // Exhaustive over all 2^8 valid-bit patterns of an 8-word way, for
+        // every power-of-two run size.
+        for valid in 0u64..256 {
+            for slots in [1u32, 2, 4, 8] {
+                assert_eq!(
+                    free_aligned_windows(valid, 8, slots),
+                    free_windows_ref(valid, 8, slots),
+                    "valid={valid:#010b} slots={slots}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn free_windows_respect_way_width() {
+        // A 4-word way never reports offsets past bit 3, even with high
+        // garbage in the valid mask.
+        assert_eq!(free_aligned_windows(0xffff_ff00, 4, 2), 0b0101);
+        assert_eq!(free_aligned_windows(0, 4, 8), 0, "run wider than the way");
+    }
+
+    #[test]
+    fn select_nth_one_walks_bits_in_order() {
+        let mask = 0b1011_0100u64;
+        let positions: Vec<u32> = (0..mask.count_ones())
+            .map(|r| select_nth_one(mask, r))
+            .collect();
+        assert_eq!(positions, vec![2, 4, 5, 7]);
+        assert_eq!(select_nth_one(mask, 4), 64, "past the last set bit");
+        assert_eq!(select_nth_one(0, 0), 64);
+        assert_eq!(select_nth_one(u64::MAX, 63), 63);
+    }
+
+    #[test]
+    fn eligible_slots_are_invalid_or_head() {
+        for valid in 0u64..256 {
+            for head in 0u64..256 {
+                for slots in [1u32, 2, 4, 8] {
+                    let got = eligible_aligned_slots(valid, head, 8, slots);
+                    let mut expect = 0u64;
+                    let mut offset = 0;
+                    while offset < 8 {
+                        let first_invalid = valid & (1 << offset) == 0;
+                        let first_head = head & (1 << offset) != 0;
+                        if first_invalid || first_head {
+                            expect |= 1 << offset;
+                        }
+                        offset += slots;
+                    }
+                    assert_eq!(got, expect, "valid={valid:#b} head={head:#b} slots={slots}");
+                }
+            }
+        }
+    }
+}

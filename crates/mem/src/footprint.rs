@@ -66,13 +66,19 @@ impl Footprint {
     }
 
     /// Marks the inclusive range `first..=last` as used. Returns `true` if
-    /// any bit was newly set.
+    /// any bit was newly set. A single shift-mask expression; the per-word
+    /// loop it replaced survives as the reference implementation in
+    /// `tests/hotpath_equivalence.rs`.
     pub fn touch_span(&mut self, first: WordIndex, last: WordIndex) -> bool {
-        let mut changed = false;
-        for w in first.get()..=last.get() {
-            changed |= self.touch(WordIndex::new(w));
-        }
+        let mask = crate::bitops::span_mask16(first.get(), last.get());
+        let changed = mask & !self.0 != 0;
+        self.0 |= mask;
         changed
+    }
+
+    /// The footprint covering exactly the inclusive range `first..=last`.
+    pub const fn span(first: WordIndex, last: WordIndex) -> Footprint {
+        Footprint(crate::bitops::span_mask16(first.get(), last.get()))
     }
 
     /// Whether word `word` has been used.
@@ -171,6 +177,37 @@ mod tests {
         assert!(fp.is_used(WordIndex::new(2)));
         assert!(fp.is_used(WordIndex::new(4)));
         assert!(!fp.is_used(WordIndex::new(5)));
+    }
+
+    #[test]
+    fn touch_span_matches_per_word_loop_for_all_pairs() {
+        // Exhaustive over the 8-word geometry (64 B lines / 8 B words): for
+        // every (first, last) pair and a spread of pre-existing footprints,
+        // the shift-mask touch_span must leave the same bits and report the
+        // same change flag as the historical per-word loop.
+        for first in 0u8..8 {
+            for last in first..8 {
+                for pre in [0u16, 0b1010_1010, 0b0101_0101, 0xff, 1 << first, 1 << last] {
+                    let mut fast = Footprint::from_bits(pre);
+                    let got = fast.touch_span(WordIndex::new(first), WordIndex::new(last));
+
+                    let mut slow = Footprint::from_bits(pre);
+                    let mut expect = false;
+                    for w in first..=last {
+                        expect |= slow.touch(WordIndex::new(w));
+                    }
+                    assert_eq!(fast, slow, "first={first} last={last} pre={pre:#b}");
+                    assert_eq!(got, expect, "first={first} last={last} pre={pre:#b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn span_builds_inclusive_range() {
+        let fp = Footprint::span(WordIndex::new(2), WordIndex::new(5));
+        assert_eq!(fp.bits(), 0b0011_1100);
+        assert_eq!(fp.used_words(), 4);
     }
 
     #[test]

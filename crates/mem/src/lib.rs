@@ -29,6 +29,7 @@
 
 mod access;
 mod addr;
+pub mod bitops;
 mod footprint;
 mod geometry;
 pub mod rng;

@@ -156,6 +156,19 @@ impl SimRng {
     /// Panics if `weights` is empty or sums to 0.
     pub fn weighted_index(&mut self, weights: &[f64]) -> usize {
         let total: f64 = weights.iter().sum();
+        self.weighted_index_with_total(weights, total)
+    }
+
+    /// [`SimRng::weighted_index`] with the weight sum precomputed by the
+    /// caller — the hot-path form for generators that sample the same
+    /// distribution millions of times. `total` must equal
+    /// `weights.iter().sum()` exactly (same f64 value, same summation
+    /// order) for the draw to match `weighted_index` bit for bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty or `total` is not positive.
+    pub fn weighted_index_with_total(&mut self, weights: &[f64], total: f64) -> usize {
         assert!(
             !weights.is_empty() && total > 0.0,
             "weights must be non-empty with a positive sum"
@@ -248,12 +261,33 @@ impl SimRng {
     /// A geometric-ish positive integer with mean approximately `mean`
     /// (at least 1). Used for instruction gaps between memory accesses.
     pub fn geometric(&mut self, mean: f64) -> u32 {
-        if mean <= 1.0 {
-            return 1;
+        match SimRng::geometric_denom(mean) {
+            None => 1,
+            Some(denom) => self.geometric_with_denom(denom),
         }
-        let p = 1.0 / mean;
+    }
+
+    /// Precomputes the log-denominator for [`SimRng::geometric_with_denom`].
+    /// Returns `None` when `mean <= 1.0`, in which case the sample is the
+    /// constant 1 and — critically for stream reproducibility — *no random
+    /// draw is consumed*, exactly as in [`SimRng::geometric`].
+    pub fn geometric_denom(mean: f64) -> Option<f64> {
+        if mean <= 1.0 {
+            None
+        } else {
+            let p = 1.0 / mean;
+            Some((1.0 - p).ln())
+        }
+    }
+
+    /// [`SimRng::geometric`] with the log-denominator precomputed via
+    /// [`SimRng::geometric_denom`] — the hot-path form for generators that
+    /// draw instruction gaps with a fixed mean. The division by `denom` is
+    /// kept as a division (not a reciprocal multiply) so results match
+    /// `geometric` bit for bit.
+    pub fn geometric_with_denom(&mut self, denom: f64) -> u32 {
         let u = self.f64().max(f64::MIN_POSITIVE);
-        let v = (u.ln() / (1.0 - p).ln()).floor() as u32;
+        let v = (u.ln() / denom).floor() as u32;
         v.saturating_add(1).min(1_000_000)
     }
 }
@@ -323,6 +357,38 @@ mod tests {
         assert!(counts[2] > counts[0]);
         let ratio = counts[2] as f64 / counts[0] as f64;
         assert!((1.7..2.3).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn weighted_index_with_total_matches_weighted_index() {
+        let weights = [0.25, 1.5, 0.0, 3.75];
+        let total: f64 = weights.iter().sum();
+        let mut a = SimRng::new(21);
+        let mut b = SimRng::new(21);
+        for _ in 0..5_000 {
+            assert_eq!(
+                a.weighted_index(&weights),
+                b.weighted_index_with_total(&weights, total)
+            );
+        }
+        assert_eq!(a, b, "both paths must consume one draw per sample");
+    }
+
+    #[test]
+    fn geometric_with_denom_matches_geometric() {
+        for mean in [0.5, 1.0, 1.5, 5.0, 10.0, 100.0] {
+            let mut a = SimRng::new(29);
+            let mut b = SimRng::new(29);
+            let denom = SimRng::geometric_denom(mean);
+            for _ in 0..2_000 {
+                let fast = match denom {
+                    None => 1,
+                    Some(d) => b.geometric_with_denom(d),
+                };
+                assert_eq!(a.geometric(mean), fast, "mean {mean}");
+            }
+            assert_eq!(a, b, "draw counts must match at mean {mean}");
+        }
     }
 
     #[test]

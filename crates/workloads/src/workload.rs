@@ -57,6 +57,12 @@ pub struct Workload {
     values: ValueProfile,
     queue: VecDeque<Access>,
     pcs_per_stream: u64,
+    /// Precomputed `weights.iter().sum()` — the same f64 the per-call sum
+    /// would produce, hoisted out of the per-visit hot path.
+    weight_total: f64,
+    /// Precomputed geometric-draw denominator for `inst_gap` (`None` when
+    /// the gap degenerates to a constant 1 and no draw is consumed).
+    gap_denom: Option<f64>,
 }
 
 impl std::fmt::Debug for Workload {
@@ -114,13 +120,30 @@ impl Workload {
         self.geometry
     }
 
+    /// How many accesses [`drive`](Workload::drive) generates per block
+    /// before handing the block to the hierarchy.
+    pub const DRIVE_BLOCK: usize = 512;
+
     /// Runs `length` of this workload through a cache hierarchy.
+    ///
+    /// In `Accesses` mode the trace is generated in blocks of
+    /// [`DRIVE_BLOCK`](Workload::DRIVE_BLOCK) accesses into a reusable
+    /// buffer and then simulated, so generation and simulation each run
+    /// over warm state instead of ping-ponging per access. The generated
+    /// trace is identical to per-access generation (the block boundary
+    /// only changes *when* accesses are produced, not which).
     pub fn drive<L2: SecondLevel>(&mut self, hier: &mut Hierarchy<L2>, length: TraceLength) {
         match length {
             TraceLength::Accesses(n) => {
-                for _ in 0..n {
-                    let a = self.generate();
-                    hier.access(a);
+                let mut buf = Vec::with_capacity(Self::DRIVE_BLOCK);
+                let mut remaining = n;
+                while remaining > 0 {
+                    let take = remaining.min(Self::DRIVE_BLOCK as u64) as usize;
+                    self.fill_block(&mut buf, take);
+                    for &a in buf.iter() {
+                        hier.access(a);
+                    }
+                    remaining -= take as u64;
                 }
             }
             TraceLength::Instructions(n) => {
@@ -147,11 +170,57 @@ impl Workload {
         }
     }
 
+    /// Clears `buf` and fills it with exactly `n` freshly generated
+    /// accesses, in the same order [`generate`](Workload::generate) would
+    /// return them one by one. Fresh visits are generated straight into
+    /// `buf` — the queue only carries a visit tail across block boundaries.
+    pub fn fill_block(&mut self, buf: &mut Vec<Access>, n: usize) {
+        buf.clear();
+        // Drain any visit tail left over from an earlier block boundary.
+        while buf.len() < n {
+            match self.queue.pop_front() {
+                Some(a) => buf.push(a),
+                None => break,
+            }
+        }
+        // Generate the rest directly into the buffer — no queue round-trip.
+        while buf.len() < n {
+            self.refill_into(buf);
+        }
+        // The last visit may overshoot the block; its tail waits (in order)
+        // for the next block. The queue is empty here, so `extend` keeps
+        // the generated order.
+        if buf.len() > n {
+            self.queue.extend(buf.drain(n..));
+        }
+    }
+
+    /// One instruction-gap draw; bit-identical to
+    /// `rng.geometric(self.inst_gap)` with the log denominator hoisted.
+    #[inline]
+    fn next_gap(&mut self) -> u32 {
+        match self.gap_denom {
+            None => 1,
+            Some(denom) => self.rng.geometric_with_denom(denom),
+        }
+    }
+
     fn refill(&mut self) {
+        // Detach the queue so `refill_into` can borrow the rest of `self`.
+        let mut q = std::mem::take(&mut self.queue);
+        self.refill_into(&mut q);
+        self.queue = q;
+    }
+
+    /// Generates one stream visit's accesses, appending them to `out`. The
+    /// RNG draw sequence is independent of the sink, so filling a block
+    /// buffer directly and filling the queue produce identical traces.
+    fn refill_into(&mut self, out: &mut impl AccessSink) {
         let idx = if self.streams.len() == 1 {
             0
         } else {
-            self.rng.weighted_index(&self.weights)
+            self.rng
+                .weighted_index_with_total(&self.weights, self.weight_total)
         };
         let visit = {
             let rng = &mut self.rng;
@@ -165,8 +234,8 @@ impl Workload {
         match visit.kind {
             VisitKind::Instr => {
                 let addr = geom.line_base(visit.line);
-                self.queue
-                    .push_back(Access::ifetch(addr).with_insts(self.rng.geometric(self.inst_gap)));
+                let insts = self.next_gap();
+                out.push_access(Access::ifetch(addr).with_insts(insts));
             }
             VisitKind::Data => {
                 // One access per touched word; the PC is stable per
@@ -185,13 +254,34 @@ impl Workload {
                         addr: geom.word_base(visit.line, word),
                         size: geom.word_bytes() as u8,
                         kind,
-                        insts: self.rng.geometric(self.inst_gap),
+                        insts: self.next_gap(),
                         pc,
                     };
-                    self.queue.push_back(a);
+                    out.push_access(a);
                 }
             }
         }
+    }
+}
+
+/// An append-only destination for generated accesses — lets
+/// [`Workload::refill_into`] target either the cross-block queue or a
+/// caller's block buffer with the same code path.
+trait AccessSink {
+    fn push_access(&mut self, a: Access);
+}
+
+impl AccessSink for Vec<Access> {
+    #[inline]
+    fn push_access(&mut self, a: Access) {
+        self.push(a);
+    }
+}
+
+impl AccessSink for VecDeque<Access> {
+    #[inline]
+    fn push_access(&mut self, a: Access) {
+        self.push_back(a);
     }
 }
 
@@ -250,6 +340,8 @@ impl WorkloadBuilder {
             !self.streams.is_empty(),
             "a workload needs at least one stream"
         );
+        let weight_total: f64 = self.weights.iter().sum();
+        let gap_denom = SimRng::geometric_denom(self.inst_gap);
         Workload {
             name: self.name,
             streams: self.streams,
@@ -261,6 +353,8 @@ impl WorkloadBuilder {
             values: self.values,
             queue: VecDeque::new(),
             pcs_per_stream: 8,
+            weight_total,
+            gap_denom,
         }
     }
 }
@@ -354,6 +448,22 @@ mod tests {
             let pc = pcs.entry(line).or_insert(a.pc);
             assert_eq!(*pc, a.pc, "line {line} must keep its PC");
         }
+    }
+
+    #[test]
+    fn fill_block_matches_per_access_generation() {
+        let mut blocked_src = simple(21);
+        let mut serial_src = simple(21);
+        let mut buf = Vec::new();
+        let mut blocked = Vec::new();
+        // Odd block sizes exercise visits split across block boundaries.
+        for n in [1usize, 3, 512, 100, 7] {
+            blocked_src.fill_block(&mut buf, n);
+            assert_eq!(buf.len(), n);
+            blocked.extend(buf.iter().copied());
+        }
+        let serial: Vec<_> = (0..blocked.len()).map(|_| serial_src.generate()).collect();
+        assert_eq!(blocked, serial, "blocking must not change the trace");
     }
 
     #[test]

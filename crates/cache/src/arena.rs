@@ -76,6 +76,7 @@ impl SetArena {
     fn idx(&self, set: usize, way: usize) -> usize {
         // Explicit wrapping: an (impossible in practice) overflow produces
         // an out-of-range index, which every accessor treats as inert.
+        // ldis: allow(R1, "new() sizes every array to sets * ways and all callers route the returned index through checked get/get_mut accessors, so an overflowed index is inert")
         set.wrapping_mul(self.ways).wrapping_add(way)
     }
 
@@ -99,6 +100,7 @@ impl SetArena {
         order
             .iter()
             .position(|&w| w as usize == way)
+            // ldis: allow(T1, "position over the per-set order slice, whose length is ways, asserted 1..=255 in new()")
             .map(|p| p as u8)
     }
 
@@ -118,6 +120,7 @@ impl SetArena {
             // Equivalent to remove(pos) + insert(0, way) on the per-set stack.
             prefix.rotate_right(1);
         }
+        // ldis: allow(T1, "position over the per-set order slice, whose length is ways, asserted 1..=255 in new()")
         pos as u8
     }
 
@@ -149,6 +152,7 @@ impl SetArena {
         let i = base.wrapping_add(way);
         // Promote to MRU, remembering the pre-promotion position.
         let order = self.order.get_mut(base..end)?;
+        // ldis: allow(T1, "position over the per-set order slice, whose length is ways, asserted 1..=255 in new()")
         let pos = order.iter().position(|&w| w as usize == way)? as u8;
         if let Some(prefix) = order.get_mut(..=pos as usize) {
             prefix.rotate_right(1);

@@ -48,6 +48,7 @@ impl CacheSet {
         self.order
             .iter()
             .position(|&w| w as usize == way)
+            // ldis: allow(T1, "position over the recency order, whose length is ways, asserted 1..=255 in new()")
             .expect("way must be a member of the recency order") as u8
     }
 

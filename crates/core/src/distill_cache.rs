@@ -355,6 +355,7 @@ impl<W: WordStore> DistillCache<W> {
                 ProtectionScheme::Unprotected => res.health.faults.silent.bump(),
             }
         } else if bit < woc_bits + loc_bits + psel_bits {
+            // ldis: allow(T1, "the else-if chain pins bit below woc_bits + loc_bits + psel_bits, so the subtraction is less than psel_bits (a few tens of bits)")
             let pbit = (bit - woc_bits - loc_bits) as u32;
             // `psel_bits > 0` implies a reverter; if that ever regresses,
             // the flip has no target and counts as masked.

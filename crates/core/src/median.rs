@@ -60,6 +60,7 @@ impl MedianTracker {
         self.seen_in_window += 1;
         if self.seen_in_window >= self.interval {
             if let Some(median) = self.hist.median_bin() {
+                // ldis: allow(T1, "median_bin indexes the histogram's words_per_line + 1 <= 17 bins")
                 self.threshold = median as u8;
             }
             self.hist.clear();
@@ -81,6 +82,7 @@ impl MedianTracker {
 
     /// The line's word count (the largest legal threshold).
     pub fn words_per_line(&self) -> u8 {
+        // ldis: allow(T1, "the histogram is built with words_per_line + 1 <= 17 bins")
         (self.hist.len() - 1) as u8
     }
 

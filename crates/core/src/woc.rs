@@ -164,6 +164,7 @@ impl Woc {
     #[inline]
     fn way_index(&self, set: usize, way: usize) -> usize {
         debug_assert!(set < self.num_sets && way < self.ways);
+        // ldis: allow(R1, "the debug_assert pins set/way below the constructor dimensions and every caller routes the returned index through checked get/get_mut accessors, so an overflowed index is inert")
         set.wrapping_mul(self.ways).wrapping_add(way)
     }
 
@@ -174,7 +175,7 @@ impl Woc {
         let mut words = Footprint::empty();
         for way in 0..self.ways {
             let wi = self.way_index(set, way);
-            let mut mask = self.valid.get(wi).copied().unwrap_or(0);
+            let mut mask: u64 = self.valid.get(wi).copied().unwrap_or(0);
             let slot_base = wi.wrapping_mul(wpl);
             while mask != 0 {
                 let slot = mask.trailing_zeros() as usize;
@@ -206,7 +207,7 @@ impl Woc {
         let mut found = false;
         for way in 0..self.ways {
             let wi = self.way_index(set, way);
-            let mut mask = self.valid.get(wi).copied().unwrap_or(0);
+            let mut mask: u64 = self.valid.get(wi).copied().unwrap_or(0);
             let slot_base = wi.wrapping_mul(wpl);
             let mut hits = 0u64;
             while mask != 0 {
@@ -240,7 +241,7 @@ impl Woc {
         let mut dirty = false;
         for way in 0..self.ways {
             let wi = self.way_index(set, way);
-            let mut mask = self.valid.get(wi).copied().unwrap_or(0);
+            let mut mask: u64 = self.valid.get(wi).copied().unwrap_or(0);
             let slot_base = wi.wrapping_mul(wpl);
             let mut hits = 0u64;
             while mask != 0 {
@@ -389,6 +390,7 @@ impl Woc {
     /// the RNG stream is bit-identical to the pre-overhaul code.
     fn choose_position(&mut self, set: usize, slots: usize) -> (usize, usize) {
         let wpl = self.words_per_line as u32;
+        // ldis: allow(T1, "the field copies LineGeometry::words_per_line(), asserted 2..=16 at construction; struct fields sit outside the interval domain")
         let slots32 = slots as u32;
         let mut free_total = 0u32;
         let mut eligible_total = 0u32;
@@ -618,6 +620,7 @@ impl Woc {
         let way = (idx % per_set) / self.words_per_line;
         let slot = idx % self.words_per_line;
         let wi = self.way_index(set, way);
+        // ldis: allow(T1, "slot is idx modulo the words_per_line field, which copies LineGeometry's asserted 2..=16 word count")
         let slot_bit = 1u64 << (slot as u32 % 64);
         let was_valid = self.valid.get(wi).is_some_and(|&m| m & slot_bit != 0);
         let field = match k {
@@ -647,6 +650,7 @@ impl Woc {
                 WocField::Tag(b)
             }
             _ => {
+                // ldis: allow(T1, "the wildcard arm only sees k >= 26 (prior arms cover 0..=25) and k < WOC_ENTRY_BITS; match-arm negation sits outside the domain")
                 let b = (k - 26) as u8;
                 if let Some(w) = self.word_ids.get_mut(idx) {
                     *w ^= 1 << b;

@@ -1,0 +1,3028 @@
+//! Abstract interpretation over the per-function CFGs: an interval
+//! domain (min/max per integer local) paired with a known-bits domain
+//! (mask of bits provably zero), solved to fixpoint with the
+//! [`crate::dataflow`] worklist engine.
+//!
+//! The B1 (shift safety), R1 (packed-index provenance) and T1 (lossless
+//! truncation) rules in [`crate::analyze`] read per-site environments out
+//! of this module and *prove sites safe to suppress findings*. That
+//! polarity is what makes over-approximation sound here: any value this
+//! module cannot bound evaluates to ⊤ ("could be anything"), which makes
+//! the site unprovable and produces a finding (or requires a justified
+//! waiver) — never a silent pass.
+//!
+//! Facts come from four seeding layers, weakest-first:
+//!
+//! 1. declared parameter types (`x: u8` ⇒ `x ∈ [0, 255]`);
+//! 2. file-level `const` items, evaluated with the same engine;
+//! 3. one level of call-graph propagation: a non-`pub` function's
+//!    parameter is seeded with the hull of the constant arguments at
+//!    every resolved call site (any non-constant site poisons the seed
+//!    back to the declared-type range);
+//! 4. constructor field facts: a field that is never written outside its
+//!    type's constructors carries the join of its constructor values
+//!    into every `self.field` read.
+//!
+//! On top of the seeds, branch refinement narrows ranges along CFG
+//! edges (`if x < 16 { ... }`), at `assert!`/`debug_assert!` statements,
+//! inside match arms with literal or `lo..=hi` patterns, and inside
+//! block expressions embedded in a single statement node
+//! (`let m = if w >= 16 { u16::MAX } else { (1 << w) - 1 };`).
+//!
+//! Documented unsoundnesses (all fail toward findings, not silent
+//! passes, except where noted): variables are tracked by flat name, so
+//! shadowing in an inner scope merges with the outer binding; arithmetic
+//! on unsuffixed literals whose inferred type is unknown is assumed
+//! non-wrapping; a non-`pub` function reachable only through a function
+//! pointer still gets call-site seeds from its named call sites; and a
+//! mutating method reached through auto-ref (`x.clone_from(..)`) is only
+//! caught for the common container-method names listed in
+//! [`MUTATING_METHODS`].
+//!
+//! Termination: the interval lattice is infinite-height, so after
+//! [`WIDEN_AFTER`] visits to a node its bounds are snapped outward to a
+//! fixed [`ANCHORS`] ladder; the known-bits mask only loses bits under
+//! join. Should the safety valve in the solver still trip,
+//! [`FnAbsint::env_at`] degrades every environment to ⊤ — all sites in
+//! the function become unprovable, which is noisy but sound.
+
+use crate::cfg::{Cfg, NodeId, NodeKind};
+use crate::dataflow::{self, Analysis, Solution};
+use crate::lexer::{TokKind, Token};
+use crate::model::{FnId, Workspace};
+use crate::rules;
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet};
+use std::ops::Range;
+
+/// Interval floor standing in for "unbounded below". A quarter of the
+/// `i128` range keeps every transfer function's intermediate arithmetic
+/// overflow-free without checked ops on every line.
+pub const MIN_B: i128 = i128::MIN / 4;
+/// Interval ceiling standing in for "unbounded above".
+pub const MAX_B: i128 = i128::MAX / 4;
+
+/// Number of solver visits to a node before its bounds are widened to
+/// the [`ANCHORS`] ladder.
+const WIDEN_AFTER: u32 = 4;
+
+/// The widening ladder: bounds that have not stabilised after
+/// [`WIDEN_AFTER`] visits snap outward to the nearest anchor. The
+/// anchors are the bit-width landmarks the B1/T1 proofs care about, so
+/// widening rarely costs a provable site.
+const ANCHORS: &[i128] = &[
+    MIN_B,
+    -(1i128 << 63),
+    -(1i128 << 31),
+    -(1i128 << 15),
+    -(1i128 << 7),
+    -1,
+    0,
+    1,
+    3,
+    7,
+    8,
+    15,
+    16,
+    31,
+    32,
+    63,
+    64,
+    127,
+    128,
+    255,
+    256,
+    1023,
+    4095,
+    65535,
+    1i128 << 24,
+    (1i128 << 31) - 1,
+    (1i128 << 32) - 1,
+    (1i128 << 63) - 1,
+    u64::MAX as i128,
+    MAX_B,
+];
+
+/// Container methods that mutate their receiver through auto-ref; an
+/// environment key followed by one of these is killed conservatively.
+const MUTATING_METHODS: &[&str] = &[
+    "push",
+    "pop",
+    "insert",
+    "remove",
+    "clear",
+    "sort",
+    "sort_unstable",
+    "sort_by",
+    "sort_by_key",
+    "rotate_left",
+    "rotate_right",
+    "fill",
+    "extend",
+    "truncate",
+    "resize",
+    "swap",
+    "copy_from_slice",
+    "clone_from",
+    "retain",
+    "drain",
+    "take",
+    "replace",
+];
+
+/// A primitive integer type, as named in source.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum IntTy {
+    U8,
+    U16,
+    U32,
+    U64,
+    U128,
+    Usize,
+    I8,
+    I16,
+    I32,
+    I64,
+    I128,
+    Isize,
+}
+
+impl IntTy {
+    /// Parses a type name; `None` for non-integer types.
+    pub fn from_name(name: &str) -> Option<IntTy> {
+        Some(match name {
+            "u8" => IntTy::U8,
+            "u16" => IntTy::U16,
+            "u32" => IntTy::U32,
+            "u64" => IntTy::U64,
+            "u128" => IntTy::U128,
+            "usize" => IntTy::Usize,
+            "i8" => IntTy::I8,
+            "i16" => IntTy::I16,
+            "i32" => IntTy::I32,
+            "i64" => IntTy::I64,
+            "i128" => IntTy::I128,
+            "isize" => IntTy::Isize,
+            _ => return None,
+        })
+    }
+
+    /// The type's bit width. `usize`/`isize` are modelled as 64-bit —
+    /// the workspace only targets 64-bit hosts and a narrower model
+    /// would be unsound there.
+    pub fn bits(self) -> u32 {
+        match self {
+            IntTy::U8 | IntTy::I8 => 8,
+            IntTy::U16 | IntTy::I16 => 16,
+            IntTy::U32 | IntTy::I32 => 32,
+            IntTy::U64 | IntTy::I64 | IntTy::Usize | IntTy::Isize => 64,
+            IntTy::U128 | IntTy::I128 => 128,
+        }
+    }
+
+    /// Is the type signed?
+    pub fn signed(self) -> bool {
+        matches!(
+            self,
+            IntTy::I8 | IntTy::I16 | IntTy::I32 | IntTy::I64 | IntTy::I128 | IntTy::Isize
+        )
+    }
+
+    /// Smallest representable value (clamped to [`MIN_B`] for `i128`).
+    pub fn min_val(self) -> i128 {
+        if !self.signed() {
+            return 0;
+        }
+        match self.bits() {
+            128 => MIN_B,
+            b => -(1i128 << (b - 1)),
+        }
+    }
+
+    /// Largest representable value (clamped to [`MAX_B`] for 128-bit).
+    pub fn max_val(self) -> i128 {
+        match (self.signed(), self.bits()) {
+            (_, 128) => MAX_B,
+            (true, b) => (1i128 << (b - 1)) - 1,
+            (false, b) => (1i128 << b) - 1,
+        }
+    }
+
+    /// The type name as written in source.
+    pub fn name(self) -> &'static str {
+        match self {
+            IntTy::U8 => "u8",
+            IntTy::U16 => "u16",
+            IntTy::U32 => "u32",
+            IntTy::U64 => "u64",
+            IntTy::U128 => "u128",
+            IntTy::Usize => "usize",
+            IntTy::I8 => "i8",
+            IntTy::I16 => "i16",
+            IntTy::I32 => "i32",
+            IntTy::I64 => "i64",
+            IntTy::I128 => "i128",
+            IntTy::Isize => "isize",
+        }
+    }
+}
+
+/// A `u128` with the low `n` bits set.
+fn low_ones(n: u32) -> u128 {
+    if n >= 128 {
+        u128::MAX
+    } else {
+        (1u128 << n) - 1
+    }
+}
+
+/// Bit length of a non-negative value: the position one past its
+/// highest set bit.
+fn bit_len(v: i128) -> u32 {
+    debug_assert!(v >= 0);
+    128 - (v as u128).leading_zeros()
+}
+
+/// One abstract value: an interval `[min, max]`, a mask of bits
+/// provably zero, and the static type when known.
+///
+/// The `zeros` mask is only meaningful for provably non-negative
+/// values; [`AbsVal::canon`] clears it the moment the interval admits a
+/// negative (two's-complement sign bits would make "provably zero"
+/// claims wrong).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct AbsVal {
+    /// Static type, when derivable from a suffix, annotation or cast.
+    pub ty: Option<IntTy>,
+    /// Inclusive lower bound ([`MIN_B`] = unbounded).
+    pub min: i128,
+    /// Inclusive upper bound ([`MAX_B`] = unbounded).
+    pub max: i128,
+    /// Bits provably zero (0 = no knowledge).
+    pub zeros: u128,
+}
+
+impl AbsVal {
+    /// The unknown value: any type, any bounds.
+    pub fn top() -> AbsVal {
+        AbsVal {
+            ty: None,
+            min: MIN_B,
+            max: MAX_B,
+            zeros: 0,
+        }
+    }
+
+    /// The unknown value of a known type: bounds are the type's range.
+    pub fn ty_top(ty: IntTy) -> AbsVal {
+        AbsVal {
+            ty: Some(ty),
+            min: ty.min_val(),
+            max: ty.max_val(),
+            zeros: 0,
+        }
+        .canon()
+    }
+
+    /// A single known value of optional type.
+    pub fn exact(v: i128, ty: Option<IntTy>) -> AbsVal {
+        AbsVal {
+            ty,
+            min: v,
+            max: v,
+            zeros: 0,
+        }
+        .canon()
+    }
+
+    /// An interval with no type knowledge.
+    pub fn range(min: i128, max: i128) -> AbsVal {
+        AbsVal {
+            ty: None,
+            min,
+            max,
+            zeros: 0,
+        }
+        .canon()
+    }
+
+    /// Restores the representation invariants: bounds clamped to the
+    /// type and the global sentinels, `zeros` cleared when negatives
+    /// are possible and otherwise extended with the high bits implied
+    /// by `max` (and `max` tightened back through the value mask).
+    pub fn canon(mut self) -> AbsVal {
+        if let Some(ty) = self.ty {
+            self.min = self.min.max(ty.min_val());
+            self.max = self.max.min(ty.max_val());
+        }
+        self.min = self.min.clamp(MIN_B, MAX_B);
+        self.max = self.max.clamp(MIN_B, MAX_B);
+        if self.min > self.max {
+            // Contradictory refinement: the program point is
+            // unreachable. Collapse to a single point — any
+            // over-approximation of the empty set is sound for proofs.
+            self.max = self.min;
+        }
+        if self.min < 0 {
+            self.zeros = 0;
+        } else {
+            self.zeros |= !low_ones(bit_len(self.max));
+            let value_mask = !self.zeros;
+            if value_mask < MAX_B as u128 {
+                self.max = self.max.min(value_mask as i128);
+            }
+            if self.min > self.max {
+                self.max = self.min;
+            }
+        }
+        self
+    }
+
+    /// Lattice join (least upper bound): interval hull, intersection of
+    /// known-zero bits, type kept only on agreement.
+    pub fn join(&self, other: &AbsVal) -> AbsVal {
+        AbsVal {
+            ty: if self.ty == other.ty { self.ty } else { None },
+            min: self.min.min(other.min),
+            max: self.max.max(other.max),
+            zeros: self.zeros & other.zeros,
+        }
+        .canon()
+    }
+
+    /// Widening: snap `min` down and `max` up to the [`ANCHORS`]
+    /// ladder, guaranteeing the ascending chain is finite. The
+    /// known-bits mask is dropped rather than kept: a loop-carried
+    /// value can shed one zero bit per iteration (e.g. an increment's
+    /// carry), so an unstable mask would descend 128 rungs and blow
+    /// the solver's visit cap; `canon` re-derives the high zero bits
+    /// the widened `max` still implies.
+    pub fn widen(&self) -> AbsVal {
+        let min = ANCHORS
+            .iter()
+            .rev()
+            .copied()
+            .find(|&a| a <= self.min)
+            .unwrap_or(MIN_B);
+        let max = ANCHORS
+            .iter()
+            .copied()
+            .find(|&a| a >= self.max)
+            .unwrap_or(MAX_B);
+        AbsVal {
+            ty: self.ty,
+            min,
+            max,
+            zeros: 0,
+        }
+        .canon()
+    }
+
+    /// Constrains this value with a declared type: the annotation is a
+    /// typing guarantee, so intersecting is sound.
+    pub fn with_ty(mut self, ty: IntTy) -> AbsVal {
+        self.ty = Some(ty);
+        self.canon()
+    }
+
+    /// Is every value in the interval non-negative?
+    fn nonneg(&self) -> bool {
+        self.min >= 0
+    }
+
+    /// Wrap check: if the ideal result interval exceeds the result
+    /// type's range the operation may have wrapped, so all value
+    /// knowledge is lost (the type range remains).
+    fn wrap_check(self, ty: Option<IntTy>) -> AbsVal {
+        match ty {
+            Some(t) if self.min < t.min_val() || self.max > t.max_val() => AbsVal::ty_top(t),
+            _ => AbsVal {
+                ty: self.ty.or(ty),
+                ..self
+            }
+            .canon(),
+        }
+    }
+
+    /// `self + other` with wrap-to-⊤ on overflow of the common type.
+    pub fn add(&self, other: &AbsVal) -> AbsVal {
+        let ty = common_ty(self.ty, other.ty);
+        AbsVal {
+            ty,
+            min: self.min.saturating_add(other.min),
+            max: self.max.saturating_add(other.max),
+            zeros: 0,
+        }
+        .wrap_check(ty)
+    }
+
+    /// `self - other` with wrap-to-⊤ on overflow of the common type.
+    pub fn sub(&self, other: &AbsVal) -> AbsVal {
+        let ty = common_ty(self.ty, other.ty);
+        AbsVal {
+            ty,
+            min: self.min.saturating_sub(other.max),
+            max: self.max.saturating_sub(other.min),
+            zeros: 0,
+        }
+        .wrap_check(ty)
+    }
+
+    /// `self * other` with wrap-to-⊤ on overflow of the common type.
+    pub fn mul(&self, other: &AbsVal) -> AbsVal {
+        let ty = common_ty(self.ty, other.ty);
+        let corners = [
+            self.min.saturating_mul(other.min),
+            self.min.saturating_mul(other.max),
+            self.max.saturating_mul(other.min),
+            self.max.saturating_mul(other.max),
+        ];
+        AbsVal {
+            ty,
+            min: corners.iter().copied().min().unwrap_or(MIN_B),
+            max: corners.iter().copied().max().unwrap_or(MAX_B),
+            zeros: 0,
+        }
+        .wrap_check(ty)
+    }
+
+    /// `self / other`; only the all-positive divisor, non-negative
+    /// dividend case is modelled (everything the kernels use).
+    pub fn div(&self, other: &AbsVal) -> AbsVal {
+        let ty = common_ty(self.ty, other.ty);
+        if other.min >= 1 && self.nonneg() {
+            AbsVal {
+                ty,
+                min: self.min / other.max.max(1),
+                max: self.max / other.min,
+                zeros: 0,
+            }
+            .canon()
+        } else {
+            top_of(ty)
+        }
+    }
+
+    /// `self % other`: bounded by the divisor when the divisor is
+    /// provably non-zero (Rust `%` keeps the dividend's sign).
+    pub fn rem(&self, other: &AbsVal) -> AbsVal {
+        let ty = common_ty(self.ty, other.ty);
+        if other.min >= 1 {
+            AbsVal {
+                ty,
+                min: self.min.max(-(other.max - 1)).clamp(MIN_B, 0),
+                max: self.max.min(other.max - 1).max(0),
+                zeros: 0,
+            }
+            .canon()
+        } else {
+            top_of(ty)
+        }
+    }
+
+    /// `self & other`. Zero bits of either side are zero in the result
+    /// (sound regardless of sign); the interval is only bounded when at
+    /// least one side is provably non-negative.
+    pub fn bitand(&self, other: &AbsVal) -> AbsVal {
+        let ty = common_ty(self.ty, other.ty);
+        let zeros = self.zeros | other.zeros;
+        let mut nonneg_max = MAX_B;
+        let mut any_nonneg = false;
+        for side in [self, other] {
+            if side.nonneg() {
+                any_nonneg = true;
+                nonneg_max = nonneg_max.min(side.max);
+            }
+        }
+        if any_nonneg {
+            AbsVal {
+                ty,
+                min: 0,
+                max: nonneg_max,
+                zeros,
+            }
+            .canon()
+        } else {
+            AbsVal {
+                zeros,
+                ..top_of(ty)
+            }
+            .canon()
+        }
+    }
+
+    /// `self | other`: needs both sides non-negative for interval
+    /// bounds; the result fits in the combined bit length.
+    pub fn bitor(&self, other: &AbsVal) -> AbsVal {
+        let ty = common_ty(self.ty, other.ty);
+        if self.nonneg() && other.nonneg() {
+            AbsVal {
+                ty,
+                min: self.min.max(other.min),
+                max: low_ones(bit_len(self.max).max(bit_len(other.max))).min(MAX_B as u128) as i128,
+                zeros: self.zeros & other.zeros,
+            }
+            .canon()
+        } else {
+            top_of(ty)
+        }
+    }
+
+    /// `self ^ other`: like `|` but the lower bound drops to zero.
+    pub fn bitxor(&self, other: &AbsVal) -> AbsVal {
+        let ty = common_ty(self.ty, other.ty);
+        if self.nonneg() && other.nonneg() {
+            AbsVal {
+                ty,
+                min: 0,
+                max: low_ones(bit_len(self.max).max(bit_len(other.max))).min(MAX_B as u128) as i128,
+                zeros: self.zeros & other.zeros,
+            }
+            .canon()
+        } else {
+            top_of(ty)
+        }
+    }
+
+    /// `self << other`. The amount must be provably in range for the
+    /// result type or all knowledge drops to the type range. Known-zero
+    /// low bits are introduced by the shift itself.
+    pub fn shl(&self, other: &AbsVal) -> AbsVal {
+        let ty = self.ty;
+        if !self.nonneg() || other.min < 0 || other.max >= 127 {
+            return top_of(ty);
+        }
+        let (amt_min, amt_max) = (other.min as u32, other.max as u32);
+        let min = self.min.checked_shl(amt_min).unwrap_or(MAX_B);
+        let max = self.max.checked_shl(amt_max).unwrap_or(MAX_B);
+        let zeros = if amt_min == amt_max {
+            (self.zeros << amt_min) | low_ones(amt_min)
+        } else {
+            low_ones(amt_min)
+        };
+        AbsVal {
+            ty,
+            min,
+            max,
+            zeros,
+        }
+        .wrap_check(ty)
+    }
+
+    /// `self >> other` for non-negative values and amounts.
+    pub fn shr(&self, other: &AbsVal) -> AbsVal {
+        let ty = self.ty;
+        if !self.nonneg() || other.min < 0 {
+            return top_of(ty);
+        }
+        let amt_max = other.max.clamp(0, 127) as u32;
+        let amt_min = other.min.clamp(0, 127) as u32;
+        AbsVal {
+            ty,
+            min: self.min >> amt_max,
+            max: self.max >> amt_min,
+            zeros: 0,
+        }
+        .canon()
+    }
+
+    /// `-self`.
+    pub fn neg(&self) -> AbsVal {
+        AbsVal {
+            ty: self.ty,
+            min: -self.max,
+            max: -self.min,
+            zeros: 0,
+        }
+        .canon()
+    }
+
+    /// `self as ty`: lossless when the interval fits, otherwise the
+    /// cast truncates/wraps and only the target type range remains.
+    pub fn cast(&self, ty: IntTy) -> AbsVal {
+        if self.min >= ty.min_val() && self.max <= ty.max_val() {
+            AbsVal {
+                ty: Some(ty),
+                min: self.min,
+                max: self.max,
+                zeros: self.zeros,
+            }
+            .canon()
+        } else {
+            AbsVal::ty_top(ty)
+        }
+    }
+}
+
+/// The result type of a homogeneous binary op: kept on agreement or
+/// when only one side knows it (Rust's typing makes both sides equal).
+fn common_ty(a: Option<IntTy>, b: Option<IntTy>) -> Option<IntTy> {
+    match (a, b) {
+        (Some(x), Some(y)) if x == y => Some(x),
+        (Some(x), Some(_)) => Some(x),
+        (Some(x), None) | (None, Some(x)) => Some(x),
+        (None, None) => None,
+    }
+}
+
+/// ⊤ of an optional type.
+fn top_of(ty: Option<IntTy>) -> AbsVal {
+    match ty {
+        Some(t) => AbsVal::ty_top(t),
+        None => AbsVal::top(),
+    }
+}
+
+/// The per-program-point fact: abstract values keyed by variable name
+/// or field chain (`x`, `self.ways`, `pair.0`). A missing key is ⊤.
+pub type Env = BTreeMap<String, AbsVal>;
+
+/// Environment join: keys kept only when present (and joined) on both
+/// sides — a key missing on either side is ⊤ and stays absent.
+pub fn env_join(a: &Env, b: &Env) -> Env {
+    let mut out = Env::new();
+    for (k, va) in a {
+        if let Some(vb) = b.get(k) {
+            out.insert(k.clone(), va.join(vb));
+        }
+    }
+    out
+}
+
+/// Shared inputs of evaluation: the file's tokens and its `const` map.
+pub struct EvalCtx<'a> {
+    /// The file's full token stream (ranges index into it).
+    pub toks: &'a [Token],
+    /// File-level constants by bare name (`Self::X` resolves to `X`).
+    pub consts: &'a BTreeMap<String, AbsVal>,
+}
+
+// ---------------------------------------------------------------------
+// Token helpers
+// ---------------------------------------------------------------------
+
+/// Are two consecutive tokens glued in source (same line, adjacent
+/// columns)? Distinguishes `<<` (one operator) from `< <` and, with
+/// rustfmt-enforced spacing, generics from shifts.
+pub(crate) fn glued(a: &Token, b: &Token) -> bool {
+    a.line == b.line && a.col + a.text.len() as u32 == b.col
+}
+
+/// Is the token at `i` the first `Punct` of the two-character operator
+/// `c c` (e.g. `<<`, `&&`)?
+pub(crate) fn double_punct(toks: &[Token], i: usize, c: char) -> bool {
+    toks[i].is_punct(c)
+        && toks.get(i + 1).is_some_and(|n| n.is_punct(c))
+        && glued(&toks[i], &toks[i + 1])
+}
+
+/// Is the `Punct` at `i` part of a two-character operator with a
+/// neighbour (so it must not be read as a standalone comparison)?
+fn part_of_double(toks: &[Token], i: usize) -> bool {
+    let c = match toks[i].text.chars().next() {
+        Some(c) => c,
+        None => return false,
+    };
+    (i > 0 && toks[i - 1].is_punct(c) && glued(&toks[i - 1], &toks[i]))
+        || toks
+            .get(i + 1)
+            .is_some_and(|n| n.is_punct(c) && glued(&toks[i], &toks[i + 1]))
+}
+
+/// Walks backwards from `end` (exclusive) over one member-chain
+/// operand: `ident`, `self.field`, `pair.0.x` — identifiers joined by
+/// `.` with identifier or tuple-index links. Returns the start index,
+/// or `None` when the tokens before `end` are not a plain chain.
+///
+/// This deliberately replaces `analyze::operand_before` for absint
+/// uses: that helper stops at `. 0` tuple links, which would make
+/// `self.0.count_ones()` evaluate the literal `0` — unsound here.
+fn chain_start(toks: &[Token], end: usize) -> Option<usize> {
+    let mut i = end;
+    loop {
+        let t = toks.get(i.checked_sub(1)?)?;
+        let is_link = t.kind == TokKind::Ident && !is_keyword(&t.text)
+            || t.kind == TokKind::Int && i >= 2 && toks[i - 2].is_punct('.');
+        if !is_link {
+            return None;
+        }
+        i -= 1;
+        if i >= 1 && toks[i - 1].is_punct('.') && i >= 2 {
+            let prev = &toks[i - 2];
+            if prev.kind == TokKind::Ident && !is_keyword(&prev.text) {
+                i -= 1;
+                continue;
+            }
+        }
+        return Some(i);
+    }
+}
+
+/// The environment key of a chain token range (`self . ways` →
+/// `self.ways`), or `None` when the range is not a plain chain.
+fn chain_key(toks: &[Token], range: Range<usize>) -> Option<String> {
+    if range.is_empty() {
+        return None;
+    }
+    let mut key = String::new();
+    let mut want_ident = true;
+    for t in &toks[range] {
+        if want_ident {
+            // An `Int` is only a tuple-index link (`pair.0`), never the
+            // chain head — a literal is not a variable.
+            let ok = t.kind == TokKind::Ident && !is_keyword(&t.text)
+                || t.kind == TokKind::Int && !key.is_empty();
+            if !ok {
+                return None;
+            }
+            key.push_str(&t.text);
+        } else if t.is_punct('.') {
+            key.push('.');
+        } else {
+            return None;
+        }
+        want_ident = !want_ident;
+    }
+    (!want_ident).then_some(key)
+}
+
+/// Keywords that end a chain walk (`return x`, `as`, `if`, ...).
+fn is_keyword(text: &str) -> bool {
+    matches!(
+        text,
+        "as" | "if"
+            | "else"
+            | "match"
+            | "while"
+            | "for"
+            | "loop"
+            | "let"
+            | "mut"
+            | "return"
+            | "break"
+            | "continue"
+            | "in"
+            | "fn"
+            | "move"
+            | "ref"
+            | "const"
+            | "static"
+            | "unsafe"
+            | "where"
+            | "impl"
+            | "dyn"
+    )
+}
+
+/// Index just past the bracket matching the opener at `open`, clamped
+/// to `limit`. All three bracket kinds count toward depth.
+pub(crate) fn close_of(toks: &[Token], open: usize, limit: usize) -> usize {
+    let mut depth = 0i32;
+    let mut i = open;
+    while i < limit {
+        let t = &toks[i];
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return i + 1;
+            }
+        }
+        i += 1;
+    }
+    limit
+}
+
+// ---------------------------------------------------------------------
+// Expression evaluation
+// ---------------------------------------------------------------------
+
+/// Evaluates the expression in `range` to an abstract value. Returns
+/// `None` when the tokens are not a parseable value expression (the
+/// caller treats that as ⊤); a parseable expression over unknown
+/// values returns ⊤ directly.
+pub fn eval(ctx: &EvalCtx, env: &Env, range: Range<usize>) -> Option<AbsVal> {
+    let range = strip_parens(ctx.toks, range);
+    if range.is_empty() {
+        return None;
+    }
+    // A top-level `if c { a } else { b }` expression joins both arms,
+    // each refined by the condition's polarity.
+    if ctx.toks[range.start].is_ident("if") {
+        return eval_if(ctx, env, range);
+    }
+    let mut pos = range.start;
+    let v = eval_bin(ctx, env, &mut pos, range.end, 0)?;
+    (pos == range.end).then_some(v)
+}
+
+/// `if cond { a } else { b }` at value position.
+fn eval_if(ctx: &EvalCtx, env: &Env, range: Range<usize>) -> Option<AbsVal> {
+    let toks = ctx.toks;
+    let open = body_open(toks, range.start + 1..range.end)?;
+    let cond = range.start + 1..open;
+    let then_end = close_of(toks, open, range.end);
+    let then_range = open + 1..then_end.saturating_sub(1);
+    if !toks.get(then_end).is_some_and(|t| t.is_ident("else")) {
+        return None; // no else: not a value expression
+    }
+    let else_open = then_end + 1;
+    if !toks.get(else_open).is_some_and(|t| t.is_punct('{')) {
+        // `else if ...`: evaluate the chain as a nested if-expression.
+        let mut then_env = env.clone();
+        refine_cond(ctx, &mut then_env, cond.clone(), true);
+        let mut else_env = env.clone();
+        refine_cond(ctx, &mut else_env, cond, false);
+        let a = eval_block(ctx, &then_env, then_range)?;
+        let b = eval(ctx, &else_env, else_open..range.end)?;
+        return Some(a.join(&b));
+    }
+    let else_end = close_of(toks, else_open, range.end);
+    if else_end != range.end {
+        return None;
+    }
+    let else_range = else_open + 1..else_end.saturating_sub(1);
+    let mut then_env = env.clone();
+    refine_cond(ctx, &mut then_env, cond.clone(), true);
+    let mut else_env = env.clone();
+    refine_cond(ctx, &mut else_env, cond, false);
+    let a = eval_block(ctx, &then_env, then_range)?;
+    let b = eval_block(ctx, &else_env, else_range)?;
+    Some(a.join(&b))
+}
+
+/// A block at value position: only single-expression blocks (no `;` at
+/// depth 0) are modelled.
+fn eval_block(ctx: &EvalCtx, env: &Env, range: Range<usize>) -> Option<AbsVal> {
+    let mut depth = 0i32;
+    for i in range.clone() {
+        let t = &ctx.toks[i];
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+            depth -= 1;
+        } else if t.is_punct(';') && depth == 0 {
+            return None;
+        }
+    }
+    eval(ctx, env, range)
+}
+
+/// Removes one or more balanced outer parenthesis pairs.
+fn strip_parens(toks: &[Token], mut range: Range<usize>) -> Range<usize> {
+    while range.len() >= 2
+        && toks[range.start].is_punct('(')
+        && close_of(toks, range.start, range.end) == range.end
+        && toks[range.end - 1].is_punct(')')
+    {
+        range = range.start + 1..range.end - 1;
+    }
+    range
+}
+
+/// First `{` at bracket depth 0 in `range`.
+fn body_open(toks: &[Token], range: Range<usize>) -> Option<usize> {
+    let mut depth = 0i32;
+    for i in range {
+        let t = &toks[i];
+        if t.is_punct('(') || t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            depth -= 1;
+        } else if t.is_punct('{') && depth == 0 {
+            return Some(i);
+        }
+    }
+    None
+}
+
+/// Binary operator levels from loosest to tightest (comparison and
+/// lazy-boolean operators are not value operators here — hitting one
+/// ends the expression, and the top-level caller rejects the leftover).
+const LEVELS: &[&[&str]] = &[
+    &["|"],
+    &["^"],
+    &["&"],
+    &["<<", ">>"],
+    &["+", "-"],
+    &["*", "/", "%"],
+];
+
+fn eval_bin(ctx: &EvalCtx, env: &Env, pos: &mut usize, end: usize, level: usize) -> Option<AbsVal> {
+    if level == LEVELS.len() {
+        return eval_atom(ctx, env, pos, end);
+    }
+    let mut lhs = eval_bin(ctx, env, pos, end, level + 1)?;
+    loop {
+        let Some(op) = match_bin_op(ctx.toks, *pos, end, LEVELS[level]) else {
+            return Some(lhs);
+        };
+        *pos += op.len(); // operators lex one Punct per character
+        let rhs = eval_bin(ctx, env, pos, end, level + 1)?;
+        lhs = match op {
+            "|" => lhs.bitor(&rhs),
+            "^" => lhs.bitxor(&rhs),
+            "&" => lhs.bitand(&rhs),
+            "<<" => lhs.shl(&rhs),
+            ">>" => lhs.shr(&rhs),
+            "+" => lhs.add(&rhs),
+            "-" => lhs.sub(&rhs),
+            "*" => lhs.mul(&rhs),
+            "/" => lhs.div(&rhs),
+            "%" => lhs.rem(&rhs),
+            _ => return None,
+        };
+    }
+}
+
+/// Matches one of `ops` at `pos`, refusing single `<`/`>`/`&`/`|` that
+/// are really part of a two-character operator (`<<`, `&&`, `<=`, ...).
+fn match_bin_op<'a>(toks: &[Token], pos: usize, end: usize, ops: &[&'a str]) -> Option<&'a str> {
+    ops.iter().copied().find(|op| {
+        let n = op.len();
+        if pos + n > end {
+            return false;
+        }
+        let all = op.chars().enumerate().all(|(k, c)| {
+            toks[pos + k].is_punct(c) && (k == 0 || glued(&toks[pos + k - 1], &toks[pos + k]))
+        });
+        if !all {
+            return false;
+        }
+        // Reject when the operator continues into a longer one
+        // (`<` of `<<` or `<=`, `&` of `&&`, `|` of `||`).
+        if let Some(next) = toks.get(pos + n) {
+            if glued(&toks[pos + n - 1], next) {
+                let last = op.chars().last().unwrap_or(' ');
+                if next.is_punct(last) || next.is_punct('=') {
+                    return false;
+                }
+            }
+        }
+        if n == 1 {
+            // A lone `<`/`>` would be a comparison; never a value op.
+            let c = op.chars().next().unwrap_or(' ');
+            if c == '<' || c == '>' {
+                return false;
+            }
+        }
+        true
+    })
+}
+
+/// One atom with its postfix chain: literal, path, unary op, call,
+/// method chain, field projection, `as` cast, `?`.
+fn eval_atom(ctx: &EvalCtx, env: &Env, pos: &mut usize, end: usize) -> Option<AbsVal> {
+    let toks = ctx.toks;
+    let t = toks.get(*pos).filter(|_| *pos < end)?;
+    let mut val: AbsVal;
+    if t.is_punct('(') {
+        let close = close_of(toks, *pos, end);
+        val = eval(ctx, env, *pos + 1..close.saturating_sub(1))?;
+        *pos = close;
+    } else if t.is_punct('-') {
+        *pos += 1;
+        let v = eval_atom(ctx, env, pos, end)?;
+        return Some(v.neg());
+    } else if t.is_punct('!') {
+        *pos += 1;
+        let v = eval_atom(ctx, env, pos, end)?;
+        return Some(top_of(v.ty));
+    } else if t.is_punct('&') {
+        // A shared borrow reads through transparently; `&mut` places
+        // are handled by the kill scan, so give up value knowledge.
+        *pos += 1;
+        if toks.get(*pos).is_some_and(|m| m.is_ident("mut")) {
+            *pos += 1;
+            let _ = eval_atom(ctx, env, pos, end)?;
+            return Some(AbsVal::top());
+        }
+        return eval_atom(ctx, env, pos, end);
+    } else if t.is_punct('*') {
+        // Deref: value unknown.
+        *pos += 1;
+        let _ = eval_atom(ctx, env, pos, end)?;
+        return Some(AbsVal::top());
+    } else if t.kind == TokKind::Int {
+        let v = rules::parse_int(&t.text)?;
+        let ty = int_suffix(&t.text);
+        val = AbsVal::exact(v, ty);
+        *pos += 1;
+    } else if t.kind == TokKind::Ident && !is_keyword(&t.text) {
+        val = eval_path(ctx, env, pos, end)?;
+    } else {
+        return None;
+    }
+    // Postfix chain.
+    loop {
+        let Some(t) = toks.get(*pos).filter(|_| *pos < end) else {
+            return Some(val);
+        };
+        if t.is_punct('?') {
+            *pos += 1;
+        } else if t.is_ident("as") {
+            let ty_tok = toks.get(*pos + 1).filter(|_| *pos + 1 < end)?;
+            match IntTy::from_name(&ty_tok.text) {
+                Some(ty) => val = val.cast(ty),
+                None => val = AbsVal::top(),
+            }
+            *pos += 2;
+        } else if t.is_punct('.') {
+            let next = toks.get(*pos + 1).filter(|_| *pos + 1 < end)?;
+            if next.kind == TokKind::Int {
+                // Tuple projection: unknown component.
+                val = AbsVal::top();
+                *pos += 2;
+            } else if next.kind == TokKind::Ident {
+                let name = next.text.clone();
+                let after = *pos + 2;
+                if toks
+                    .get(after)
+                    .filter(|_| after < end)
+                    .is_some_and(|p| p.is_punct('('))
+                {
+                    let close = close_of(toks, after, end);
+                    let (args, _) = rules::split_args(toks, after)?;
+                    val = eval_method(ctx, env, &val, &name, &args)?;
+                    *pos = close;
+                } else {
+                    // Field projection on a non-chain receiver: unknown.
+                    val = AbsVal::top();
+                    *pos += 2;
+                }
+            } else {
+                return None;
+            }
+        } else if t.is_punct('[') {
+            let close = close_of(toks, *pos, end);
+            val = AbsVal::top();
+            *pos = close;
+        } else {
+            return Some(val);
+        }
+    }
+}
+
+/// The integer-literal type suffix, if any.
+fn int_suffix(text: &str) -> Option<IntTy> {
+    [
+        IntTy::U128,
+        IntTy::Usize,
+        IntTy::U16,
+        IntTy::U32,
+        IntTy::U64,
+        IntTy::U8,
+        IntTy::I128,
+        IntTy::Isize,
+        IntTy::I16,
+        IntTy::I32,
+        IntTy::I64,
+        IntTy::I8,
+    ]
+    .into_iter()
+    .find(|ty| text.ends_with(ty.name()))
+}
+
+/// An identifier-headed atom: env/const lookup, `Type::MAX`-style
+/// associated constants, chains with field projections, and calls.
+fn eval_path(ctx: &EvalCtx, env: &Env, pos: &mut usize, end: usize) -> Option<AbsVal> {
+    let toks = ctx.toks;
+    let start = *pos;
+    // `Seg :: Seg :: name` path head.
+    let mut i = start;
+    while i + 2 < end
+        && toks[i].kind == TokKind::Ident
+        && toks[i + 1].is_punct(':')
+        && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+    {
+        i += 3;
+    }
+    if i > start {
+        // Path: `Ty::MAX` / `Ty::BITS`, `Self::CONST`, `Type::new(..)`.
+        let head = &toks[i - 3].text;
+        let name_tok = toks.get(i).filter(|_| i < end)?;
+        if name_tok.kind != TokKind::Ident {
+            return None;
+        }
+        let name = name_tok.text.clone();
+        *pos = i + 1;
+        if let Some(ty) = IntTy::from_name(head) {
+            return Some(match name.as_str() {
+                "MAX" => AbsVal::exact(ty.max_val(), Some(ty)),
+                "MIN" => AbsVal::exact(ty.min_val(), Some(ty)),
+                "BITS" => AbsVal::exact(ty.bits() as i128, Some(IntTy::U32)),
+                _ => {
+                    if toks
+                        .get(*pos)
+                        .filter(|_| *pos < end)
+                        .is_some_and(|p| p.is_punct('('))
+                    {
+                        *pos = close_of(toks, *pos, end);
+                    }
+                    AbsVal::top()
+                }
+            });
+        }
+        let is_call = toks
+            .get(*pos)
+            .filter(|_| *pos < end)
+            .is_some_and(|p| p.is_punct('('));
+        if is_call {
+            let open = *pos;
+            let close = close_of(toks, open, end);
+            *pos = close;
+            if head == "WordIndex" && name == "new" {
+                // `WordIndex::new` has no assert of its own; the
+                // [0, 15] contract is a caller obligation used only as
+                // a parameter seed, so a constructed value is just the
+                // wrapped expression.
+                let (args, _) = rules::split_args(toks, open)?;
+                if args.len() == 1 {
+                    return eval(ctx, env, args[0].clone());
+                }
+            }
+            // `bitops::low_mask(..)`-style qualified calls share the
+            // known-return table with free calls.
+            return Some(known_fn_return(ctx, env, &name, open));
+        }
+        // `Self::CONST` / `Type::CONST`: the const map keys bare names.
+        return Some(ctx.consts.get(&name).copied().unwrap_or_else(AbsVal::top));
+    }
+    // Plain identifier chain: extend greedily through `.field` links
+    // while the extended chain resolves in the environment; stop at a
+    // call or at the longest resolvable chain.
+    let first = &toks[start];
+    if first.kind != TokKind::Ident || is_keyword(&first.text) {
+        return None;
+    }
+    let mut key = first.text.clone();
+    let mut cursor = start + 1;
+    loop {
+        let is_field = cursor + 1 < end
+            && toks[cursor].is_punct('.')
+            && toks[cursor + 1].kind == TokKind::Ident
+            && !is_keyword(&toks[cursor + 1].text)
+            && !toks
+                .get(cursor + 2)
+                .filter(|_| cursor + 2 < end)
+                .is_some_and(|p| p.is_punct('('));
+        let is_tuple =
+            cursor + 1 < end && toks[cursor].is_punct('.') && toks[cursor + 1].kind == TokKind::Int;
+        if is_field || is_tuple {
+            key.push('.');
+            key.push_str(&toks[cursor + 1].text);
+            cursor += 2;
+            continue;
+        }
+        break;
+    }
+    *pos = cursor;
+    if toks
+        .get(*pos)
+        .filter(|_| *pos < end)
+        .is_some_and(|p| p.is_punct('('))
+    {
+        // Free-function call: known bit-kernel returns, else ⊤.
+        let open = *pos;
+        let close = close_of(toks, open, end);
+        *pos = close;
+        return Some(known_fn_return(ctx, env, &key, open));
+    }
+    if let Some(v) = env.get(&key) {
+        return Some(*v);
+    }
+    if !key.contains('.') {
+        if let Some(v) = ctx.consts.get(&key) {
+            return Some(*v);
+        }
+    }
+    Some(AbsVal::top())
+}
+
+/// Return ranges for the audited `bitops` kernels (total functions with
+/// documented output ranges) — called by name, so a same-named local
+/// helper elsewhere would also match; their contracts are generic
+/// enough (`u64`-typed ⊤, etc.) that this stays sound in practice.
+fn known_fn_return(ctx: &EvalCtx, env: &Env, name: &str, open: usize) -> AbsVal {
+    let bare = name.rsplit('.').next().unwrap_or(name);
+    match bare {
+        "low_mask" | "aligned_stride" | "free_aligned_windows" | "eligible_aligned_slots" => {
+            AbsVal::ty_top(IntTy::U64)
+        }
+        "span_mask16" => AbsVal::ty_top(IntTy::U16),
+        "select_nth_one" => AbsVal {
+            ty: Some(IntTy::U32),
+            min: 0,
+            max: 64,
+            zeros: 0,
+        }
+        .canon(),
+        "min" => {
+            // `a.min(b)` parses as a method; this is `cmp::min(a, b)`.
+            match rules::split_args(ctx.toks, open) {
+                Some((args, _)) if args.len() == 2 => {
+                    let a = eval(ctx, env, args[0].clone()).unwrap_or_else(AbsVal::top);
+                    let b = eval(ctx, env, args[1].clone()).unwrap_or_else(AbsVal::top);
+                    AbsVal {
+                        ty: common_ty(a.ty, b.ty),
+                        min: a.min.min(b.min),
+                        max: a.max.min(b.max),
+                        zeros: 0,
+                    }
+                    .canon()
+                }
+                _ => AbsVal::top(),
+            }
+        }
+        _ => AbsVal::top(),
+    }
+}
+
+/// Method-call transfer functions over a receiver value.
+fn eval_method(
+    ctx: &EvalCtx,
+    env: &Env,
+    recv: &AbsVal,
+    name: &str,
+    args: &[Range<usize>],
+) -> Option<AbsVal> {
+    let arg = |k: usize| -> AbsVal {
+        args.get(k)
+            .and_then(|r| eval(ctx, env, r.clone()))
+            .unwrap_or_else(AbsVal::top)
+    };
+    let bits = recv.ty.map_or(128, IntTy::bits);
+    Some(match name {
+        "count_ones" | "count_zeros" => {
+            let mut max = bits as i128;
+            if name == "count_ones" && recv.nonneg() {
+                // Only bits not provably zero can be set.
+                max = max.min((!recv.zeros).count_ones() as i128);
+            }
+            AbsVal {
+                ty: Some(IntTy::U32),
+                min: 0,
+                max,
+                zeros: 0,
+            }
+            .canon()
+        }
+        "trailing_zeros" | "leading_zeros" | "trailing_ones" | "leading_ones" => {
+            let mut max = bits as i128;
+            if recv.min >= 1 && (name == "trailing_zeros" || name == "leading_zeros") {
+                // A non-zero value has at least one set bit.
+                max -= 1;
+            }
+            AbsVal {
+                ty: Some(IntTy::U32),
+                min: 0,
+                max,
+                zeros: 0,
+            }
+            .canon()
+        }
+        "min" => {
+            let b = arg(0);
+            AbsVal {
+                ty: common_ty(recv.ty, b.ty),
+                min: recv.min.min(b.min),
+                max: recv.max.min(b.max),
+                zeros: 0,
+            }
+            .canon()
+        }
+        "max" => {
+            let b = arg(0);
+            AbsVal {
+                ty: common_ty(recv.ty, b.ty),
+                min: recv.min.max(b.min),
+                max: recv.max.max(b.max),
+                zeros: 0,
+            }
+            .canon()
+        }
+        "clamp" => {
+            let lo = arg(0);
+            let hi = arg(1);
+            AbsVal {
+                ty: recv.ty,
+                min: lo.min,
+                max: hi.max,
+                zeros: 0,
+            }
+            .canon()
+        }
+        "wrapping_add" => recv.add(&arg(0)),
+        "wrapping_sub" => recv.sub(&arg(0)),
+        "wrapping_mul" => recv.mul(&arg(0)),
+        "saturating_add" | "checked_add" => recv.add(&arg(0)).clamp_to(recv.ty),
+        "saturating_sub" | "checked_sub" => recv.sub(&arg(0)).clamp_to(recv.ty),
+        "saturating_mul" | "checked_mul" => recv.mul(&arg(0)).clamp_to(recv.ty),
+        "unwrap_or" => recv.join(&arg(0)),
+        "abs" => AbsVal {
+            ty: recv.ty,
+            min: 0,
+            max: recv.max.abs().max(recv.min.saturating_neg()),
+            zeros: 0,
+        }
+        .canon(),
+        "next_power_of_two" => {
+            if recv.nonneg() {
+                AbsVal {
+                    ty: recv.ty,
+                    min: recv.min.max(1),
+                    max: low_ones(bit_len(recv.max)).min(MAX_B as u128) as i128 + 1,
+                    zeros: 0,
+                }
+                .wrap_check(recv.ty)
+            } else {
+                top_of(recv.ty)
+            }
+        }
+        "pow" => top_of(recv.ty),
+        // Projection table for the workspace's newtype accessors: D2
+        // bans hash containers, so a zero-argument `.get()` here is
+        // `WordIndex::get` — bounded to the 16-bit footprint contract
+        // checked by `WordIndex::new`'s debug_assert; `raw`/`bits`/
+        // `as_usize`/`num_sets` follow the same audited accessor set
+        // (`num_sets` is `CacheConfig::num_sets`, a positive power of
+        // two by the constructor assert).
+        "get" if args.is_empty() => AbsVal {
+            ty: Some(IntTy::U8),
+            min: 0,
+            max: 15,
+            zeros: !0xf,
+        },
+        "raw" if args.is_empty() => AbsVal::ty_top(IntTy::U64),
+        "bits" if args.is_empty() => AbsVal::ty_top(IntTy::U16),
+        "as_usize" if args.is_empty() => recv.cast(IntTy::Usize),
+        "num_sets" if args.is_empty() => AbsVal {
+            ty: Some(IntTy::U64),
+            min: 1,
+            max: IntTy::U64.max_val(),
+            zeros: 0,
+        },
+        // `words_per_line` is `LineGeometry::words_per_line` (constructor
+        // asserts 2..=16 words) or the same-named accessors that copy it
+        // (`Woc`, `MedianTracker` sizes its bins as words_per_line + 1 and
+        // caps at 16); every implementation stays within 1..=16.
+        "words_per_line" if args.is_empty() => AbsVal {
+            ty: Some(IntTy::U8),
+            min: 1,
+            max: 16,
+            zeros: !0x1f,
+        },
+        // `Footprint::used_words` is a popcount of a 16-bit mask.
+        "used_words" if args.is_empty() => AbsVal {
+            ty: Some(IntTy::U8),
+            min: 0,
+            max: 16,
+            zeros: !0x1f,
+        },
+        // `SimRng::range(bound)` draws uniformly from `0..bound`
+        // (Lemire rejection; `range_is_in_bounds_and_covers` pins it).
+        "range" if args.len() == 1 => {
+            let b = arg(0);
+            AbsVal {
+                ty: Some(IntTy::U64),
+                min: 0,
+                max: (b.max - 1).max(0),
+                zeros: 0,
+            }
+            .canon()
+        }
+        // `Woc::pick(len)` selects a victim index below `len` (both the
+        // random and round-robin arms reduce modulo `len`).
+        "pick" if args.len() == 1 => {
+            let b = arg(0);
+            AbsVal {
+                ty: Some(IntTy::Usize),
+                min: 0,
+                max: (b.max - 1).max(0),
+                zeros: 0,
+            }
+            .canon()
+        }
+        "len" if args.is_empty() => AbsVal {
+            ty: Some(IntTy::Usize),
+            min: 0,
+            max: MAX_B,
+            zeros: 0,
+        },
+        "rem_euclid" => recv.rem(&arg(0)),
+        "isqrt" | "ilog2" | "ilog10" => top_of(Some(IntTy::U32)),
+        _ => AbsVal::top(),
+    })
+}
+
+impl AbsVal {
+    /// Clamps the interval into a type's range without dropping to ⊤
+    /// (used for `saturating_*`, whose result provably fits).
+    fn clamp_to(mut self, ty: Option<IntTy>) -> AbsVal {
+        if let Some(t) = ty {
+            self.min = self.min.clamp(t.min_val(), t.max_val());
+            self.max = self.max.clamp(t.min_val(), t.max_val());
+            self.ty = Some(t);
+        }
+        self.canon()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Branch refinement
+// ---------------------------------------------------------------------
+
+/// Narrows `env` under the assumption that the condition in `range`
+/// evaluated to `polarity`. Unrecognised conditions refine nothing —
+/// refinement only ever *adds* constraints the program text proves.
+pub fn refine_cond(ctx: &EvalCtx, env: &mut Env, range: Range<usize>, polarity: bool) {
+    let toks = ctx.toks;
+    let mut range = strip_parens(toks, range);
+    let mut polarity = polarity;
+    while !range.is_empty() && toks[range.start].is_punct('!') && !part_of_double(toks, range.start)
+    {
+        polarity = !polarity;
+        range = strip_parens(toks, range.start + 1..range.end);
+    }
+    if range.is_empty() {
+        return;
+    }
+    // `a && b` true refines both; `a || b` false refines both negated.
+    let mut depth = 0i32;
+    let mut parts: Vec<Range<usize>> = Vec::new();
+    let mut part_op: Option<char> = None;
+    let mut start = range.start;
+    let mut i = range.start;
+    while i < range.end {
+        let t = &toks[i];
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+            depth -= 1;
+        } else if depth == 0 && (double_punct(toks, i, '&') || double_punct(toks, i, '|')) {
+            let op = if t.is_punct('&') { '&' } else { '|' };
+            if part_op.is_some_and(|p| p != op) {
+                return; // mixed && / || without parens: give up
+            }
+            part_op = Some(op);
+            parts.push(start..i);
+            start = i + 2;
+            i += 2;
+            continue;
+        }
+        i += 1;
+    }
+    if let Some(op) = part_op {
+        parts.push(start..range.end);
+        let refinable = (op == '&' && polarity) || (op == '|' && !polarity);
+        if refinable {
+            for p in parts {
+                refine_cond(ctx, env, p, polarity);
+            }
+        }
+        return;
+    }
+    // Single condition: comparison, or a recognised predicate method.
+    if let Some((at, op)) = find_comparison(toks, range.clone()) {
+        let lhs = range.start..at;
+        let rhs = at + op.len()..range.end;
+        let op = if polarity { op } else { negate_cmp(op) };
+        refine_cmp(ctx, env, lhs, op, rhs);
+        return;
+    }
+    if polarity {
+        refine_predicate(ctx, env, range);
+    }
+}
+
+/// Finds the depth-0 comparison operator in `range`, skipping shift
+/// pairs and compound tokens.
+fn find_comparison(toks: &[Token], range: Range<usize>) -> Option<(usize, &'static str)> {
+    let mut depth = 0i32;
+    let mut i = range.start;
+    while i < range.end {
+        let t = &toks[i];
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+            depth -= 1;
+        } else if depth == 0 {
+            let next_glued = |c: char| {
+                toks.get(i + 1)
+                    .is_some_and(|n| n.is_punct(c) && glued(t, n))
+            };
+            if t.is_punct('<') || t.is_punct('>') {
+                let c = if t.is_punct('<') { '<' } else { '>' };
+                if next_glued(c) || (i > 0 && toks[i - 1].is_punct(c) && glued(&toks[i - 1], t)) {
+                    i += 1; // shift operator, not a comparison
+                } else if next_glued('=') {
+                    return Some((i, if c == '<' { "<=" } else { ">=" }));
+                } else {
+                    return Some((i, if c == '<' { "<" } else { ">" }));
+                }
+            } else if t.is_punct('=') && next_glued('=') {
+                let second_of_pair = i > 0
+                    && glued(&toks[i - 1], t)
+                    && ['<', '>', '!', '=']
+                        .iter()
+                        .any(|&c| toks[i - 1].is_punct(c));
+                if !second_of_pair {
+                    return Some((i, "=="));
+                }
+            } else if t.is_punct('!') && next_glued('=') {
+                return Some((i, "!="));
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// The comparison holding when `op` is false.
+fn negate_cmp(op: &'static str) -> &'static str {
+    match op {
+        "<" => ">=",
+        "<=" => ">",
+        ">" => "<=",
+        ">=" => "<",
+        "==" => "!=",
+        "!=" => "==",
+        _ => op,
+    }
+}
+
+/// Applies `lhs op rhs` to the environment: each side that is a plain
+/// variable chain is narrowed against the other side's value.
+fn refine_cmp(
+    ctx: &EvalCtx,
+    env: &mut Env,
+    lhs: Range<usize>,
+    op: &'static str,
+    rhs: Range<usize>,
+) {
+    let toks = ctx.toks;
+    let lhs = strip_parens(toks, lhs);
+    let rhs = strip_parens(toks, rhs);
+    let lv = eval(ctx, env, lhs.clone()).unwrap_or_else(AbsVal::top);
+    let rv = eval(ctx, env, rhs.clone()).unwrap_or_else(AbsVal::top);
+    if let Some(key) = chain_key(toks, lhs) {
+        narrow(env, &key, lv, op, &rv);
+    }
+    if let Some(key) = chain_key(toks, rhs) {
+        narrow(env, &key, rv, flip_cmp(op), &lv);
+    }
+}
+
+/// `a op b` seen from `b`'s side (`x < y` tells `y` that `y > x`).
+fn flip_cmp(op: &'static str) -> &'static str {
+    match op {
+        "<" => ">",
+        "<=" => ">=",
+        ">" => "<",
+        ">=" => "<=",
+        _ => op, // == and != are symmetric
+    }
+}
+
+/// Narrows the tracked value of `key` (current value `cur`) knowing
+/// `key op other` holds.
+fn narrow(env: &mut Env, key: &str, cur: AbsVal, op: &'static str, other: &AbsVal) {
+    let mut v = cur;
+    match op {
+        "<" => v.max = v.max.min(other.max.saturating_sub(1)),
+        "<=" => v.max = v.max.min(other.max),
+        ">" => v.min = v.min.max(other.min.saturating_add(1)),
+        ">=" => v.min = v.min.max(other.min),
+        "==" => {
+            v.min = v.min.max(other.min);
+            v.max = v.max.min(other.max);
+            v.zeros |= other.zeros;
+        }
+        "!=" => {
+            if other.min == other.max {
+                if v.min == other.min {
+                    v.min += 1;
+                }
+                if v.max == other.max {
+                    v.max -= 1;
+                }
+            }
+        }
+        _ => return,
+    }
+    env.insert(key.to_string(), v.canon());
+}
+
+/// Predicate conditions that carry range facts when true:
+/// `x.is_power_of_two()` and `(lo..=hi).contains(&x)`.
+fn refine_predicate(ctx: &EvalCtx, env: &mut Env, range: Range<usize>) {
+    let toks = ctx.toks;
+    // Find the final `.name(` call at depth 0.
+    let mut depth = 0i32;
+    let mut call: Option<(usize, usize)> = None; // (name index, open index)
+    let mut i = range.start;
+    while i < range.end {
+        let t = &toks[i];
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+            if depth == 0
+                && t.is_punct('(')
+                && i >= 2
+                && toks[i - 1].kind == TokKind::Ident
+                && toks[i - 2].is_punct('.')
+            {
+                call = Some((i - 1, i));
+            }
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+            depth -= 1;
+        }
+        i += 1;
+    }
+    let Some((name_at, open)) = call else { return };
+    let name = toks[name_at].text.as_str();
+    let recv = range.start..name_at - 1;
+    if name == "is_power_of_two" {
+        if let Some(key) = chain_key(toks, strip_parens(toks, recv)) {
+            let cur = env.get(&key).copied().unwrap_or_else(AbsVal::top);
+            narrow(env, &key, cur, ">=", &AbsVal::exact(1, None));
+        }
+        return;
+    }
+    if name == "contains" {
+        // `(lo .. [=] hi).contains(&x)`.
+        let recv = strip_parens(toks, recv);
+        let Some((dots, inclusive)) = find_range_op(toks, recv.clone()) else {
+            return;
+        };
+        let lo = eval(ctx, env, recv.start..dots).unwrap_or_else(AbsVal::top);
+        let hi_end = if inclusive { dots + 3 } else { dots + 2 };
+        let hi = eval(ctx, env, hi_end..recv.end).unwrap_or_else(AbsVal::top);
+        let Some((args, _)) = rules::split_args(toks, open) else {
+            return;
+        };
+        if args.len() != 1 {
+            return;
+        }
+        let mut arg = args[0].clone();
+        if toks[arg.start].is_punct('&') {
+            arg = arg.start + 1..arg.end;
+        }
+        if let Some(key) = chain_key(toks, arg) {
+            let cur = env.get(&key).copied().unwrap_or_else(AbsVal::top);
+            let hi_bound = if inclusive {
+                hi.max
+            } else {
+                hi.max.saturating_sub(1)
+            };
+            let mut v = cur;
+            v.min = v.min.max(lo.min);
+            v.max = v.max.min(hi_bound);
+            env.insert(key, v.canon());
+        }
+    }
+}
+
+/// The depth-0 `..` / `..=` in `range`: (index of first dot, inclusive).
+fn find_range_op(toks: &[Token], range: Range<usize>) -> Option<(usize, bool)> {
+    let mut depth = 0i32;
+    let mut i = range.start;
+    while i + 1 < range.end {
+        let t = &toks[i];
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+            depth -= 1;
+        } else if depth == 0 && double_punct(toks, i, '.') {
+            let inclusive = toks
+                .get(i + 2)
+                .is_some_and(|n| n.is_punct('=') && glued(&toks[i + 1], n));
+            return Some((i, inclusive));
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Edge refinement: when `node` is reached along exactly one edge out
+/// of a branching predecessor, the branch condition (or loop bound, or
+/// match pattern) constrains the environment at `node` entry.
+pub fn refine_entry(ctx: &EvalCtx, cfg: &Cfg, node: NodeId, env: &mut Env) {
+    let preds = &cfg.nodes[node].preds;
+    if preds.len() != 1 {
+        return;
+    }
+    let p = preds[0];
+    let pred = &cfg.nodes[p];
+    let position: Vec<usize> = pred
+        .succs
+        .iter()
+        .enumerate()
+        .filter(|(_, &s)| s == node)
+        .map(|(k, _)| k)
+        .collect();
+    if position.len() != 1 {
+        return;
+    }
+    let on_true = position[0] == 0;
+    let toks = ctx.toks;
+    match pred.kind {
+        NodeKind::Cond => {
+            let span = pred.span.clone();
+            if span.is_empty() || !toks[span.start].is_ident("if") {
+                return;
+            }
+            if toks.get(span.start + 1).is_some_and(|t| t.is_ident("let")) {
+                return; // `if let`: no interval fact
+            }
+            refine_cond(ctx, env, span.start + 1..span.end, on_true);
+        }
+        NodeKind::Loop => {
+            let span = pred.span.clone();
+            if span.is_empty() {
+                return;
+            }
+            if toks[span.start].is_ident("while") {
+                if toks.get(span.start + 1).is_some_and(|t| t.is_ident("let")) {
+                    return;
+                }
+                refine_cond(ctx, env, span.start + 1..span.end, on_true);
+            } else if toks[span.start].is_ident("for") && on_true {
+                refine_for_binding(ctx, env, span);
+            }
+        }
+        NodeKind::Match => {
+            refine_match_arm(ctx, cfg, p, node, env);
+        }
+        _ => {}
+    }
+}
+
+/// `for x in lo..hi { body }`: inside the body, `x ∈ [lo, hi-1]`
+/// (`..=` keeps `hi`).
+fn refine_for_binding(ctx: &EvalCtx, env: &mut Env, span: Range<usize>) {
+    let toks = ctx.toks;
+    // `for` IDENT `in` RANGE
+    let name_at = span.start + 1;
+    if toks.get(name_at).map(|t| t.kind) != Some(TokKind::Ident) {
+        return;
+    }
+    if !toks.get(name_at + 1).is_some_and(|t| t.is_ident("in")) {
+        return;
+    }
+    let name = toks[name_at].text.clone();
+    let iter = strip_parens(toks, name_at + 2..span.end);
+    let Some((dots, inclusive)) = find_range_op(toks, iter.clone()) else {
+        // Not a literal range: the binding is unknown this iteration.
+        env.remove(&name);
+        return;
+    };
+    let lo = eval(ctx, env, iter.start..dots).unwrap_or_else(AbsVal::top);
+    let hi_start = if inclusive { dots + 3 } else { dots + 2 };
+    let hi = eval(ctx, env, hi_start..iter.end).unwrap_or_else(AbsVal::top);
+    let hi_bound = if inclusive {
+        hi.max
+    } else {
+        hi.max.saturating_sub(1)
+    };
+    env.insert(
+        name,
+        AbsVal {
+            ty: common_ty(lo.ty, hi.ty),
+            min: lo.min,
+            max: hi_bound,
+            zeros: 0,
+        }
+        .canon(),
+    );
+}
+
+/// Match-arm refinement: the arm body head node sits just past its
+/// pattern's `=>`; a literal or `lo..=hi` pattern over a plain-chain
+/// scrutinee narrows the scrutinee.
+fn refine_match_arm(ctx: &EvalCtx, cfg: &Cfg, match_node: NodeId, body: NodeId, env: &mut Env) {
+    let toks = ctx.toks;
+    let head_span = cfg.nodes[match_node].span.clone();
+    let body_span = cfg.nodes[body].span.clone();
+    if head_span.is_empty() || body_span.is_empty() {
+        return;
+    }
+    if !toks[head_span.start].is_ident("match") {
+        return;
+    }
+    let scrut = strip_parens(toks, head_span.start + 1..head_span.end);
+    let Some(key) = chain_key(toks, scrut) else {
+        return;
+    };
+    // Walk back from the body head over any `{` to the `=>` arrow.
+    let mut i = body_span.start;
+    while i > 0 && toks[i - 1].is_punct('{') {
+        i -= 1;
+    }
+    if i < 2 || !toks[i - 1].is_punct('>') || !toks[i - 2].is_punct('=') {
+        return;
+    }
+    let arrow = i - 2;
+    // Pattern start: back to the depth-0 `,` or the match-body `{`.
+    let mut depth = 0i32;
+    let mut j = arrow;
+    let mut pat_start = None;
+    while j > 0 {
+        let t = &toks[j - 1];
+        if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+            depth += 1;
+        } else if t.is_punct('(') || t.is_punct('[') {
+            depth -= 1;
+        } else if t.is_punct('{') {
+            if depth == 0 {
+                pat_start = Some(j);
+                break;
+            }
+            depth -= 1;
+        } else if t.is_punct(',') && depth == 0 {
+            pat_start = Some(j);
+            break;
+        }
+        j -= 1;
+    }
+    let Some(pat_start) = pat_start else { return };
+    let _ = refine_pattern(ctx, env, &key, pat_start..arrow);
+}
+
+/// Narrows `key` by a match pattern: an integer literal, a `lo..=hi`
+/// range, or `|`-alternatives of those. Guards, bindings and `_`
+/// refine nothing.
+fn refine_pattern(ctx: &EvalCtx, env: &mut Env, key: &str, pat: Range<usize>) -> Option<()> {
+    let toks = ctx.toks;
+    if toks[pat.clone()].iter().any(|t| t.is_ident("if")) {
+        return None; // guarded arm: the pattern alone is not the whole truth
+    }
+    // Split depth-0 `|` alternatives.
+    let mut alts: Vec<Range<usize>> = Vec::new();
+    let mut depth = 0i32;
+    let mut start = pat.start;
+    for i in pat.clone() {
+        let t = &toks[i];
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+            depth -= 1;
+        } else if t.is_punct('|') && depth == 0 && !part_of_double(toks, i) {
+            alts.push(start..i);
+            start = i + 1;
+        }
+    }
+    alts.push(start..pat.end);
+    let mut joined: Option<AbsVal> = None;
+    for alt in alts {
+        let alt = strip_parens(toks, alt);
+        let v = if let Some((dots, inclusive)) = find_range_op(toks, alt.clone()) {
+            let lo = eval(ctx, env, alt.start..dots)?;
+            let hi_start = if inclusive { dots + 3 } else { dots + 2 };
+            let hi = eval(ctx, env, hi_start..alt.end)?;
+            AbsVal {
+                ty: common_ty(lo.ty, hi.ty),
+                min: lo.min,
+                max: if inclusive {
+                    hi.max
+                } else {
+                    hi.max.saturating_sub(1)
+                },
+                zeros: 0,
+            }
+            .canon()
+        } else if alt.len() == 1 && toks[alt.start].kind == TokKind::Int {
+            AbsVal::exact(
+                rules::parse_int(&toks[alt.start].text)?,
+                int_suffix(&toks[alt.start].text),
+            )
+        } else {
+            return None; // binding / `_` / structured pattern
+        };
+        joined = Some(match joined {
+            None => v,
+            Some(prev) => prev.join(&v),
+        });
+    }
+    if let Some(v) = joined {
+        let cur = env.get(key).copied().unwrap_or_else(AbsVal::top);
+        let mut out = cur;
+        out.min = out.min.max(v.min);
+        out.max = out.max.min(v.max);
+        env.insert(key.to_string(), out.canon());
+    }
+    Some(())
+}
+
+/// Refinement for a site *inside* a statement node: block expressions
+/// embedded in one statement (`let m = if c { a } else { b };`,
+/// `let v = match k { ... };`) never become CFG edges, so the branch
+/// context is reconstructed syntactically between the statement start
+/// and the site token.
+pub fn refine_within(ctx: &EvalCtx, env: &mut Env, span: Range<usize>, site: usize) {
+    let toks = ctx.toks;
+    let mut i = span.start;
+    let mut end = span.end;
+    while i < site.min(end) {
+        let t = &toks[i];
+        if t.is_ident("if") && !toks.get(i + 1).is_some_and(|n| n.is_ident("let")) {
+            let Some(open) = body_open(toks, i + 1..end) else {
+                i += 1;
+                continue;
+            };
+            let cond = i + 1..open;
+            let then_end = close_of(toks, open, end);
+            if site > open && site < then_end {
+                refine_cond(ctx, env, cond, true);
+                i = open + 1;
+                end = then_end.saturating_sub(1);
+                continue;
+            }
+            if toks.get(then_end).is_some_and(|e| e.is_ident("else")) {
+                let else_at = then_end + 1;
+                if toks.get(else_at).is_some_and(|b| b.is_punct('{')) {
+                    let else_end = close_of(toks, else_at, end);
+                    if site > else_at && site < else_end {
+                        refine_cond(ctx, env, cond, false);
+                        i = else_at + 1;
+                        end = else_end.saturating_sub(1);
+                        continue;
+                    }
+                    i = else_end;
+                    continue;
+                }
+                if toks.get(else_at).is_some_and(|n| n.is_ident("if")) && site >= else_at {
+                    refine_cond(ctx, env, cond, false);
+                    i = else_at;
+                    continue;
+                }
+            }
+            i = then_end;
+            continue;
+        }
+        if t.is_ident("match") {
+            let Some(open) = body_open(toks, i + 1..end) else {
+                i += 1;
+                continue;
+            };
+            let body_end = close_of(toks, open, end);
+            if site > open && site < body_end {
+                refine_embedded_match(ctx, env, i + 1..open, open, body_end, site);
+                return; // refine_embedded_match recurses into the arm
+            }
+            i = body_end;
+            continue;
+        }
+        i += 1;
+    }
+}
+
+/// Locates the arm of an embedded `match` containing `site`, applies
+/// its pattern to the scrutinee, and recurses into the arm body.
+fn refine_embedded_match(
+    ctx: &EvalCtx,
+    env: &mut Env,
+    scrut: Range<usize>,
+    open: usize,
+    body_end: usize,
+    site: usize,
+) {
+    let toks = ctx.toks;
+    let key = chain_key(toks, strip_parens(toks, scrut));
+    let inner = open + 1..body_end.saturating_sub(1);
+    let mut i = inner.start;
+    while i < inner.end {
+        // Arm pattern up to the depth-0 `=>`.
+        let mut depth = 0i32;
+        let mut arrow = None;
+        let mut j = i;
+        while j < inner.end {
+            let t = &toks[j];
+            if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                depth -= 1;
+            } else if depth == 0
+                && t.is_punct('=')
+                && toks.get(j + 1).is_some_and(|n| n.is_punct('>'))
+            {
+                arrow = Some(j);
+                break;
+            }
+            j += 1;
+        }
+        let Some(arrow) = arrow else { return };
+        let body_start = arrow + 2;
+        let (arm_range, next) = if toks.get(body_start).is_some_and(|t| t.is_punct('{')) {
+            let arm_end = close_of(toks, body_start, inner.end);
+            (body_start + 1..arm_end.saturating_sub(1), arm_end)
+        } else {
+            let mut depth = 0i32;
+            let mut k = body_start;
+            while k < inner.end {
+                let t = &toks[k];
+                if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                    depth += 1;
+                } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                    depth -= 1;
+                } else if t.is_punct(',') && depth == 0 {
+                    break;
+                }
+                k += 1;
+            }
+            (body_start..k, k)
+        };
+        if site >= arm_range.start && site < arm_range.end {
+            if let Some(key) = &key {
+                let _ = refine_pattern(ctx, env, key, i..arrow);
+            }
+            refine_within(ctx, env, arm_range, site);
+            return;
+        }
+        i = next;
+        while i < inner.end && toks[i].is_punct(',') {
+            i += 1;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Statement transfer
+// ---------------------------------------------------------------------
+
+/// Applies one statement node's effect to the environment: `&mut`
+/// borrows and mutating container methods kill their targets, `let`
+/// bindings and (compound) assignments write evaluated values,
+/// `assert!`/`debug_assert!` refine.
+pub fn apply_stmt(ctx: &EvalCtx, env: &mut Env, span: Range<usize>) {
+    let toks = ctx.toks;
+    if span.is_empty() {
+        return;
+    }
+    apply_kills(ctx, env, span.clone());
+    let head = &toks[span.start];
+    if head.is_ident("assert") || head.is_ident("debug_assert") {
+        // `assert!(cond, "msg", ...)`: refine by the first macro arg.
+        if toks.get(span.start + 1).is_some_and(|t| t.is_punct('!'))
+            && toks.get(span.start + 2).is_some_and(|t| t.is_punct('('))
+        {
+            let open = span.start + 2;
+            if let Some((args, _)) = rules::split_args(toks, open) {
+                if let Some(cond) = args.first() {
+                    refine_cond(ctx, env, cond.clone(), true);
+                }
+            }
+        }
+        return;
+    }
+    if head.is_ident("let") {
+        apply_let(ctx, env, span);
+        return;
+    }
+    apply_assign(ctx, env, span);
+}
+
+/// Kills for one statement: `&mut chain` borrows, mutating container
+/// methods on a chain, and `*self = ..` whole-struct writes.
+fn apply_kills(ctx: &EvalCtx, env: &mut Env, span: Range<usize>) {
+    let toks = ctx.toks;
+    let mut i = span.start;
+    while i < span.end {
+        let t = &toks[i];
+        if t.is_punct('&')
+            && !part_of_double(toks, i)
+            && toks.get(i + 1).is_some_and(|n| n.is_ident("mut"))
+        {
+            let mut j = i + 2;
+            // `&mut *self` and friends reborrow the whole receiver.
+            while j < span.end && toks[j].is_punct('*') {
+                j += 1;
+            }
+            if let Some(end) = chain_end(toks, j, span.end) {
+                if let Some(key) = chain_key(toks, j..end) {
+                    kill_key(env, &key);
+                }
+            }
+        }
+        if t.kind == TokKind::Ident
+            && i > 0
+            && toks[i - 1].is_punct('.')
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+            && MUTATING_METHODS.contains(&t.text.as_str())
+        {
+            if let Some(start) = chain_start(toks, i - 1) {
+                if let Some(key) = chain_key(toks, start..i - 1) {
+                    kill_key(env, &key);
+                }
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Index just past the longest forward chain starting at `at`, or
+/// `None` when `at` does not start a chain.
+fn chain_end(toks: &[Token], at: usize, limit: usize) -> Option<usize> {
+    let t = toks.get(at).filter(|_| at < limit)?;
+    if t.kind != TokKind::Ident || is_keyword(&t.text) {
+        return None;
+    }
+    let mut i = at + 1;
+    while i + 1 < limit
+        && toks[i].is_punct('.')
+        && (toks[i + 1].kind == TokKind::Int
+            || toks[i + 1].kind == TokKind::Ident && !is_keyword(&toks[i + 1].text))
+    {
+        i += 2;
+    }
+    Some(i)
+}
+
+/// Removes a written key and every tracked sub-field of it.
+fn kill_key(env: &mut Env, key: &str) {
+    env.remove(key);
+    let prefix = format!("{key}.");
+    env.retain(|k, _| !k.starts_with(&prefix));
+}
+
+/// `let [mut] name [: ty] = rhs ;`
+fn apply_let(ctx: &EvalCtx, env: &mut Env, span: Range<usize>) {
+    let toks = ctx.toks;
+    let mut i = span.start + 1;
+    if toks
+        .get(i)
+        .filter(|_| i < span.end)
+        .is_some_and(|t| t.is_ident("mut"))
+    {
+        i += 1;
+    }
+    // Locate the depth-0 `=` (a `let` initialiser's `=` is never part
+    // of a comparison at depth 0).
+    let mut depth = 0i32;
+    let mut eq = None;
+    for k in i..span.end {
+        let t = &toks[k];
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+            depth -= 1;
+        } else if depth == 0
+            && t.is_punct('=')
+            && !toks
+                .get(k + 1)
+                .is_some_and(|n| n.is_punct('=') && glued(t, n))
+            && !(k > 0
+                && ['<', '>', '!', '=']
+                    .iter()
+                    .any(|&c| toks[k - 1].is_punct(c)))
+        {
+            eq = Some(k);
+            break;
+        }
+    }
+    let name_ok = toks.get(i).filter(|_| i < span.end).is_some_and(|t| {
+        t.kind == TokKind::Ident
+            && !is_keyword(&t.text)
+            && toks
+                .get(i + 1)
+                .is_some_and(|n| n.is_punct(':') || n.is_punct('='))
+    });
+    let Some(eq) = eq else {
+        // `let x;` or an unmodelled form: drop any shadowed facts.
+        for t in &toks[i..span.end] {
+            if t.kind == TokKind::Ident && !is_keyword(&t.text) {
+                kill_key(env, &t.text);
+            }
+        }
+        return;
+    };
+    if !name_ok {
+        // Destructuring pattern: every bound identifier becomes ⊤.
+        for t in &toks[i..eq] {
+            if t.kind == TokKind::Ident && !is_keyword(&t.text) {
+                kill_key(env, &t.text);
+            }
+        }
+        return;
+    }
+    let name = toks[i].text.clone();
+    let annot_ty = if toks[i + 1].is_punct(':') && eq == i + 3 {
+        IntTy::from_name(&toks[i + 2].text)
+    } else {
+        None
+    };
+    let mut val = eval(ctx, env, eq + 1..span.end).unwrap_or_else(AbsVal::top);
+    if let Some(ty) = annot_ty {
+        // The annotation is a typing guarantee: the value fits.
+        val = val.with_ty(ty);
+    }
+    kill_key(env, &name);
+    env.insert(name, val.canon());
+}
+
+/// `chain = rhs` / `chain op= rhs`.
+fn apply_assign(ctx: &EvalCtx, env: &mut Env, span: Range<usize>) {
+    let toks = ctx.toks;
+    let Some(chain_close) = chain_end(toks, span.start, span.end) else {
+        return;
+    };
+    let Some(key) = chain_key(toks, span.start..chain_close) else {
+        return;
+    };
+    let Some(t) = toks.get(chain_close).filter(|_| chain_close < span.end) else {
+        return;
+    };
+    let next_is = |k: usize, c: char| {
+        toks.get(k)
+            .filter(|_| k < span.end)
+            .is_some_and(|n| n.is_punct(c) && glued(&toks[k - 1], n))
+    };
+    let (op, rhs_start) = if t.is_punct('=') && !next_is(chain_close + 1, '=') {
+        ("=", chain_close + 1)
+    } else if "+-*/%&|^".contains(t.text.as_str()) && next_is(chain_close + 1, '=') {
+        (t.text.as_str(), chain_close + 2)
+    } else if (double_punct(toks, chain_close, '<') || double_punct(toks, chain_close, '>'))
+        && next_is(chain_close + 2, '=')
+    {
+        (if t.is_punct('<') { "<<" } else { ">>" }, chain_close + 3)
+    } else {
+        return;
+    };
+    let rhs = eval(ctx, env, rhs_start..span.end).unwrap_or_else(AbsVal::top);
+    let out = if op == "=" {
+        rhs
+    } else {
+        let cur = env.get(&key).copied().unwrap_or_else(AbsVal::top);
+        match op {
+            "+" => cur.add(&rhs),
+            "-" => cur.sub(&rhs),
+            "*" => cur.mul(&rhs),
+            "/" => cur.div(&rhs),
+            "%" => cur.rem(&rhs),
+            "&" => cur.bitand(&rhs),
+            "|" => cur.bitor(&rhs),
+            "^" => cur.bitxor(&rhs),
+            "<<" => cur.shl(&rhs),
+            ">>" => cur.shr(&rhs),
+            _ => AbsVal::top(),
+        }
+    };
+    kill_key(env, &key);
+    env.insert(key, out.canon());
+}
+
+// ---------------------------------------------------------------------
+// Operand extraction for the rule checkers
+// ---------------------------------------------------------------------
+
+/// Start index of the postfix expression ending just before `end`: a
+/// literal, a member chain, a call/index with its receiver, a
+/// parenthesised group, or any of those under a chain of `as` casts.
+/// Unlike `analyze::operand_before` this walks over `.0` tuple links,
+/// which matters for `self.0.count_ones() as u8`.
+pub fn operand_start_before(toks: &[Token], end: usize) -> Option<usize> {
+    let mut i = end;
+    loop {
+        let t = toks.get(i.checked_sub(1)?)?;
+        let mut start = if t.is_punct(')') || t.is_punct(']') {
+            // Walk back to the matching opener.
+            let mut depth = 0i32;
+            let mut j = i;
+            loop {
+                let u = toks.get(j.checked_sub(1)?)?;
+                j -= 1;
+                if u.is_punct(')') || u.is_punct(']') || u.is_punct('}') {
+                    depth += 1;
+                } else if u.is_punct('(') || u.is_punct('[') || u.is_punct('{') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+            }
+            // A call's or index's receiver chain extends the operand.
+            match j.checked_sub(1).map(|k| &toks[k]) {
+                Some(p) if p.kind == TokKind::Ident && !is_keyword(&p.text) => {
+                    chain_start(toks, j).unwrap_or(j)
+                }
+                _ => j,
+            }
+        } else if t.kind == TokKind::Int {
+            i - 1
+        } else if t.kind == TokKind::Ident && !is_keyword(&t.text) {
+            chain_start(toks, i)?
+        } else {
+            return None;
+        };
+        // `Seg::name` path heads (`u16::MAX`, `Self::BITS`).
+        while start >= 3
+            && toks[start - 1].is_punct(':')
+            && toks[start - 2].is_punct(':')
+            && toks[start - 3].kind == TokKind::Ident
+        {
+            start -= 3;
+        }
+        // A preceding `as` continues a cast chain (`x as u32 as u8`).
+        if start >= 1 && toks[start - 1].is_ident("as") {
+            i = start - 1;
+            continue;
+        }
+        return Some(start);
+    }
+}
+
+/// End (exclusive) of a shift-amount expression starting at `start`:
+/// everything binding tighter than a shift (`+ - * / %`, casts, calls,
+/// parens), stopping at depth-0 operators of shift-or-looser
+/// precedence, separators and block openers.
+pub fn shift_amount_end(toks: &[Token], start: usize, limit: usize) -> usize {
+    let mut depth = 0i32;
+    let mut i = start;
+    while i < limit {
+        let t = &toks[i];
+        if t.is_punct('{') && depth == 0 {
+            return i;
+        }
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+            depth -= 1;
+            if depth < 0 {
+                return i;
+            }
+        } else if depth == 0 {
+            if t.is_punct(';')
+                || t.is_punct(',')
+                || t.is_punct('=')
+                || t.is_punct('<')
+                || t.is_punct('>')
+                || t.is_punct('&')
+                || t.is_punct('|')
+                || t.is_punct('^')
+            {
+                return i;
+            }
+            if double_punct(toks, i, '.') {
+                return i;
+            }
+            if t.kind == TokKind::Ident && is_keyword(&t.text) && !t.is_ident("as") {
+                return i;
+            }
+        }
+        i += 1;
+    }
+    limit
+}
+
+// ---------------------------------------------------------------------
+// The dataflow analysis and per-function solution
+// ---------------------------------------------------------------------
+
+/// The interval/known-bits analysis plugged into the worklist solver.
+pub struct AbsintAnalysis<'a> {
+    ctx: EvalCtx<'a>,
+    cfg: &'a Cfg,
+    boundary: Env,
+    /// Per-node transfer counts, for widening: interior mutability
+    /// because [`Analysis::transfer`] takes `&self`.
+    visits: RefCell<Vec<u32>>,
+}
+
+impl Analysis for AbsintAnalysis<'_> {
+    type Fact = Env;
+
+    fn boundary(&self) -> Env {
+        self.boundary.clone()
+    }
+
+    fn join(&self, a: &Env, b: &Env) -> Env {
+        env_join(a, b)
+    }
+
+    fn transfer(&self, node: NodeId, input: &Env) -> Env {
+        let mut env = input.clone();
+        refine_entry(&self.ctx, self.cfg, node, &mut env);
+        let n = &self.cfg.nodes[node];
+        if n.kind == NodeKind::Stmt {
+            apply_stmt(&self.ctx, &mut env, n.span.clone());
+        }
+        let mut visits = self.visits.borrow_mut();
+        visits[node] += 1;
+        if visits[node] > WIDEN_AFTER {
+            for v in env.values_mut() {
+                *v = v.widen();
+            }
+        }
+        env
+    }
+}
+
+/// The solved abstract state of one function body.
+pub struct FnAbsint {
+    /// The function's CFG (rebuilt here; spans index the file tokens).
+    pub cfg: Cfg,
+    /// Per-node environments from the worklist solver.
+    pub sol: Solution<Env>,
+}
+
+/// Solves one function body with the given boundary environment.
+pub fn solve_fn(ctx: &EvalCtx, body: Range<usize>, boundary: Env) -> FnAbsint {
+    let cfg = Cfg::build(ctx.toks, body);
+    let analysis = AbsintAnalysis {
+        ctx: EvalCtx {
+            toks: ctx.toks,
+            consts: ctx.consts,
+        },
+        cfg: &cfg,
+        boundary,
+        visits: RefCell::new(vec![0; cfg.nodes.len()]),
+    };
+    let sol = dataflow::solve_forward(&cfg, &analysis);
+    drop(analysis);
+    FnAbsint { cfg, sol }
+}
+
+impl FnAbsint {
+    /// The environment holding at token `tok`, with edge and
+    /// embedded-block refinement re-applied (the solver's stored input
+    /// is pre-refinement). Returns:
+    ///
+    /// * `None` — the token's node is unreachable: the site is dead
+    ///   code and vacuously safe, skip it;
+    /// * `Some(env)` — the facts at the site; an empty map when
+    ///   nothing is known (including the not-converged fallback).
+    pub fn env_at(&self, ctx: &EvalCtx, tok: usize) -> Option<Env> {
+        if !self.sol.converged {
+            return Some(Env::new());
+        }
+        let Some(node) = self.cfg.node_at(tok) else {
+            return Some(Env::new());
+        };
+        let input = self.sol.input[node].as_ref()?;
+        let mut env = input.clone();
+        refine_entry(ctx, &self.cfg, node, &mut env);
+        refine_within(ctx, &mut env, self.cfg.nodes[node].span.clone(), tok);
+        Some(env)
+    }
+
+    /// Renders the per-node output environments as stable text for the
+    /// committed domain snapshot: one line per node with kind, source
+    /// line and the sorted variable states.
+    pub fn render(&self, toks: &[Token]) -> String {
+        use std::fmt::Write as _;
+        let mut s = format!("converged: {}\n", self.sol.converged);
+        for (id, n) in self.cfg.nodes.iter().enumerate() {
+            let kind = match n.kind {
+                NodeKind::Entry => "entry",
+                NodeKind::Exit => "exit",
+                NodeKind::Stmt => "stmt",
+                NodeKind::Cond => "cond",
+                NodeKind::Loop => "loop",
+                NodeKind::Match => "match",
+                NodeKind::Join => "join",
+            };
+            let preview = toks[n.span.clone()]
+                .iter()
+                .take(6)
+                .map(|t| t.text.as_str())
+                .collect::<Vec<_>>()
+                .join(" ");
+            let state = match &self.sol.output[id] {
+                None => "unreachable".to_string(),
+                Some(env) => {
+                    let vars = env
+                        .iter()
+                        .map(|(k, v)| format!("{k}: {}", fmt_val(v)))
+                        .collect::<Vec<_>>()
+                        .join(", ");
+                    format!("{{{vars}}}")
+                }
+            };
+            let _ = writeln!(s, "  n{id} {kind} L{} {state} | {preview}", n.line);
+        }
+        s
+    }
+}
+
+/// One abstract value as stable text: `ty [min, max] vm=0x..` with the
+/// sentinels printed as infinities and the value mask (`!zeros`) only
+/// when informative.
+pub fn fmt_val(v: &AbsVal) -> String {
+    let ty = v.ty.map_or("?", IntTy::name);
+    let lo = if v.min <= MIN_B {
+        "-inf".to_string()
+    } else {
+        v.min.to_string()
+    };
+    let hi = if v.max >= MAX_B {
+        "+inf".to_string()
+    } else {
+        v.max.to_string()
+    };
+    if v.zeros != 0 && v.max < MAX_B {
+        format!(
+            "{ty} [{lo}, {hi}] vm=0x{:x}",
+            !v.zeros & low_ones(bit_len(v.max.max(1)))
+        )
+    } else {
+        format!("{ty} [{lo}, {hi}]")
+    }
+}
+
+// ---------------------------------------------------------------------
+// Workspace seeding
+// ---------------------------------------------------------------------
+
+/// Workspace-level seeds: per-file constant maps and per-function
+/// boundary environments.
+pub struct AbsintWorkspace {
+    /// Per-file `const` values by bare name (parallel to `ws.files`).
+    pub consts: Vec<BTreeMap<String, AbsVal>>,
+    /// Per-function boundary environments (parallel to `ws.fns`).
+    pub boundaries: Vec<Env>,
+}
+
+impl AbsintWorkspace {
+    /// Builds the seeds: file consts, declared parameter types,
+    /// one-level call-site hulls for non-`pub` functions, and
+    /// constructor field facts for never-written fields.
+    pub fn build(ws: &Workspace) -> AbsintWorkspace {
+        let consts: Vec<BTreeMap<String, AbsVal>> =
+            (0..ws.files.len()).map(|fi| file_consts(ws, fi)).collect();
+        let mut boundaries: Vec<Env> = ws
+            .fns
+            .iter()
+            .map(|info| {
+                let mut env = Env::new();
+                for p in &info.item.params {
+                    if p.name == "_" {
+                        continue;
+                    }
+                    if let Some(v) = param_seed(&p.ty) {
+                        env.insert(p.name.clone(), v);
+                    }
+                }
+                env
+            })
+            .collect();
+        seed_call_hulls(ws, &consts, &mut boundaries);
+        seed_constructor_fields(ws, &consts, &mut boundaries);
+        AbsintWorkspace { consts, boundaries }
+    }
+
+    /// Solves one function with the workspace seeds.
+    pub fn solve(&self, ws: &Workspace, f: FnId) -> FnAbsint {
+        let info = &ws.fns[f];
+        let ctx = EvalCtx {
+            toks: &ws.files[info.file].tokens,
+            consts: &self.consts[info.file],
+        };
+        solve_fn(&ctx, info.item.body.clone(), self.boundaries[f].clone())
+    }
+
+    /// The evaluation context for a function's file.
+    pub fn ctx_for<'a>(&'a self, ws: &'a Workspace, f: FnId) -> EvalCtx<'a> {
+        let info = &ws.fns[f];
+        EvalCtx {
+            toks: &ws.files[info.file].tokens,
+            consts: &self.consts[info.file],
+        }
+    }
+}
+
+/// The declared-type seed of one parameter: the type's full range for
+/// plain integers, the `[0, 15]` wrapper contract for `WordIndex`
+/// (callers construct it only from in-range word offsets; the contract
+/// is documented on `WordIndex::new` and is a deliberate assumption
+/// here, not something this module proves).
+fn param_seed(ty: &str) -> Option<AbsVal> {
+    let words: Vec<&str> = ty
+        .split_whitespace()
+        .filter(|w| *w != "&" && *w != "mut")
+        .collect();
+    if words.len() != 1 {
+        return None;
+    }
+    if let Some(t) = IntTy::from_name(words[0]) {
+        return Some(AbsVal::ty_top(t));
+    }
+    if words[0] == "WordIndex" {
+        return Some(
+            AbsVal {
+                ty: Some(IntTy::U8),
+                min: 0,
+                max: 15,
+                zeros: 0,
+            }
+            .canon(),
+        );
+    }
+    None
+}
+
+/// Scans one file's item-level `const NAME: ty = expr;` declarations
+/// (everything outside `fn` bodies, including `impl`-level consts) and
+/// evaluates them. Two rounds resolve intra-file references.
+fn file_consts(ws: &Workspace, fi: usize) -> BTreeMap<String, AbsVal> {
+    let file = &ws.files[fi];
+    let toks = &file.tokens;
+    let mut in_fn = vec![false; toks.len()];
+    for info in ws.fns.iter().filter(|x| x.file == fi) {
+        for k in info.item.span.clone() {
+            if let Some(slot) = in_fn.get_mut(k) {
+                *slot = true;
+            }
+        }
+    }
+    let mut map = BTreeMap::new();
+    for _round in 0..2 {
+        let snapshot = map.clone();
+        let ctx = EvalCtx {
+            toks,
+            consts: &snapshot,
+        };
+        let empty = Env::new();
+        let mut i = 0;
+        while i + 3 < toks.len() {
+            if in_fn[i]
+                || !toks[i].is_ident("const")
+                || toks[i + 1].kind != TokKind::Ident
+                || toks[i + 1].is_ident("fn")
+                || !toks[i + 2].is_punct(':')
+            {
+                i += 1;
+                continue;
+            }
+            let name = toks[i + 1].text.clone();
+            // Depth-0 `=` then `;`.
+            let mut depth = 0i32;
+            let mut eq = None;
+            let mut semi = None;
+            for (k, t) in toks.iter().enumerate().skip(i + 3) {
+                if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                    depth += 1;
+                } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                    depth -= 1;
+                } else if depth == 0 && t.is_punct('=') && eq.is_none() {
+                    eq = Some(k);
+                } else if depth == 0 && t.is_punct(';') {
+                    semi = Some(k);
+                    break;
+                }
+            }
+            let (Some(eq), Some(semi)) = (eq, semi) else {
+                i += 1;
+                continue;
+            };
+            let annot = (eq == i + 4)
+                .then(|| IntTy::from_name(&toks[i + 3].text))
+                .flatten();
+            if let Some(mut v) = eval(&ctx, &empty, eq + 1..semi) {
+                if let Some(ty) = annot {
+                    v = v.with_ty(ty);
+                }
+                map.insert(name, v);
+            }
+            i = semi + 1;
+        }
+    }
+    map
+}
+
+/// One level of call-graph seeding: a non-`pub` function's parameter
+/// narrows to the hull of its arguments over every resolved call site.
+/// Any site that cannot be parsed or bounded poisons the seed back to
+/// the declared type.
+fn seed_call_hulls(ws: &Workspace, consts: &[BTreeMap<String, AbsVal>], boundaries: &mut [Env]) {
+    let mut sites: BTreeMap<FnId, Vec<(usize, usize)>> = BTreeMap::new();
+    for (g, calls) in ws.calls.iter().enumerate() {
+        let gfile = ws.fns[g].file;
+        for site in calls {
+            for &t in &site.targets {
+                if !ws.fns[t].item.is_pub {
+                    sites.entry(t).or_default().push((gfile, site.tok));
+                }
+            }
+        }
+    }
+    for (&f, fsites) in &sites {
+        let params = &ws.fns[f].item.params;
+        if params.is_empty() {
+            continue;
+        }
+        let mut hulls: Vec<Option<AbsVal>> = vec![None; params.len()];
+        let mut poisoned = vec![false; params.len()];
+        let mut all_poisoned = false;
+        for &(file, tok) in fsites {
+            let toks = &ws.files[file].tokens;
+            let open = tok + 1;
+            let parsed = toks
+                .get(open)
+                .filter(|t| t.is_punct('('))
+                .and_then(|_| rules::split_args(toks, open));
+            let Some((args, _)) = parsed else {
+                all_poisoned = true;
+                break;
+            };
+            if args.len() != params.len() {
+                all_poisoned = true;
+                break;
+            }
+            let ctx = EvalCtx {
+                toks,
+                consts: &consts[file],
+            };
+            let empty = Env::new();
+            for (k, a) in args.iter().enumerate() {
+                match eval(&ctx, &empty, a.clone()) {
+                    Some(v) if v != AbsVal::top() => {
+                        hulls[k] = Some(match hulls[k] {
+                            None => v,
+                            Some(prev) => prev.join(&v),
+                        });
+                    }
+                    _ => poisoned[k] = true,
+                }
+            }
+        }
+        if all_poisoned {
+            continue;
+        }
+        for (k, p) in params.iter().enumerate() {
+            if poisoned[k] || p.name == "_" {
+                continue;
+            }
+            let Some(h) = hulls[k] else { continue };
+            let refined = match param_seed(&p.ty) {
+                Some(seed) => AbsVal {
+                    ty: seed.ty.or(h.ty),
+                    min: h.min.max(seed.min),
+                    max: h.max.min(seed.max),
+                    zeros: h.zeros | seed.zeros,
+                }
+                .canon(),
+                None => h,
+            };
+            boundaries[f].insert(p.name.clone(), refined);
+        }
+    }
+}
+
+/// Constructor field facts: a field of type `T` that is never written
+/// anywhere in the workspace (no `.f = ..`, no compound assignment, no
+/// `&mut` borrow, no mutating container method) carries the join of
+/// its values over every struct-literal site into each `self.f` read
+/// in `T`'s methods. Literal sites inside `T`'s own impl are solved
+/// with the full analysis; sites elsewhere are evaluated const-only.
+fn seed_constructor_fields(
+    ws: &Workspace,
+    consts: &[BTreeMap<String, AbsVal>],
+    boundaries: &mut [Env],
+) {
+    // Impl groups: type name -> its methods.
+    let mut impls: BTreeMap<String, Vec<FnId>> = BTreeMap::new();
+    for (f, info) in ws.fns.iter().enumerate() {
+        if info.item.is_method {
+            if let Some((ty, _)) = info.item.qual.rsplit_once("::") {
+                impls.entry(ty.to_string()).or_default().push(f);
+            }
+        }
+    }
+    // Workspace-wide field-write scan (flat names: a write to any
+    // same-named field of any type counts — conservative).
+    let mut written: BTreeSet<String> = BTreeSet::new();
+    let mut rebinds: Vec<(usize, usize)> = Vec::new();
+    for (fi, file) in ws.files.iter().enumerate() {
+        let toks = &file.tokens;
+        for i in 0..toks.len() {
+            let t = &toks[i];
+            if t.kind != TokKind::Ident {
+                continue;
+            }
+            if is_write_after(toks, i + 1) {
+                if i > 0 && toks[i - 1].is_punct('.') {
+                    written.insert(t.text.clone());
+                } else if t.is_ident("self") {
+                    rebinds.push((fi, i)); // `self = ..` / `*self = ..`
+                }
+            }
+            if i > 0
+                && toks[i - 1].is_punct('.')
+                && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+                && MUTATING_METHODS.contains(&t.text.as_str())
+            {
+                // `x.f.push(..)`: the receiver's last segment mutates.
+                if let Some(start) = chain_start(toks, i - 1) {
+                    if let Some(key) = chain_key(toks, start..i - 1) {
+                        if let Some(last) = key.rsplit('.').next() {
+                            written.insert(last.to_string());
+                        }
+                    }
+                }
+            }
+            if t.is_ident("mut") && i > 0 && toks[i - 1].is_punct('&') {
+                let mut j = i + 1;
+                while toks.get(j).is_some_and(|u| u.is_punct('*')) {
+                    j += 1;
+                }
+                if let Some(end) = chain_end(toks, j, toks.len()) {
+                    if let Some(key) = chain_key(toks, j..end) {
+                        if key == "self" && j > i + 1 {
+                            rebinds.push((fi, i)); // `&mut *self`
+                        } else if let Some(last) = key.rsplit('.').next() {
+                            if key.contains('.') {
+                                written.insert(last.to_string());
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // Map each whole-`self` rebind to its impl type; facts for those
+    // types are dropped (a rebind can overwrite every field at once).
+    let mut rebound: BTreeSet<String> = BTreeSet::new();
+    for (file, tok) in rebinds {
+        let owner = ws
+            .fns
+            .iter()
+            .find(|info| info.file == file && info.item.body.contains(&tok));
+        match owner.and_then(|info| info.item.qual.rsplit_once("::")) {
+            Some((ty, _)) => {
+                rebound.insert(ty.to_string());
+            }
+            None => {
+                // The whole model is macro-blind: `macro_rules!` bodies
+                // produce no parsed fns, no impl groups, and no literal
+                // sites, so a rebind inside one cannot touch a tracked
+                // type. Any other unowned rebind gives up wholesale.
+                if in_macro_rules(&ws.files[file].tokens, tok) {
+                    continue;
+                }
+                return;
+            }
+        }
+    }
+    // Struct-literal sites per type.
+    struct Site {
+        f: FnId,
+        open: usize,
+    }
+    let mut sites: BTreeMap<String, Vec<Site>> = BTreeMap::new();
+    for (f, info) in ws.fns.iter().enumerate() {
+        let toks = &ws.files[info.file].tokens;
+        for i in info.item.body.clone() {
+            let t = &toks[i];
+            if t.kind != TokKind::Ident || !toks.get(i + 1).is_some_and(|n| n.is_punct('{')) {
+                continue;
+            }
+            let ty = if t.is_ident("Self") {
+                info.item
+                    .qual
+                    .rsplit_once("::")
+                    .map(|(ty, _)| ty.to_string())
+            } else if impls.contains_key(&t.text) {
+                Some(t.text.clone())
+            } else {
+                None
+            };
+            if let Some(ty) = ty {
+                if impls.contains_key(&ty) {
+                    sites.entry(ty).or_default().push(Site { f, open: i + 1 });
+                }
+            }
+        }
+    }
+    // Per-type field joins. A field must be listed at every site (no
+    // `..rest` coverage) to carry a fact.
+    for (ty, ty_sites) in &sites {
+        if rebound.contains(ty) {
+            continue;
+        }
+        let methods = &impls[ty];
+        let mut field_vals: BTreeMap<String, AbsVal> = BTreeMap::new();
+        let mut listed: BTreeMap<String, usize> = BTreeMap::new();
+        let mut solved: BTreeMap<FnId, FnAbsint> = BTreeMap::new();
+        for site in ty_sites {
+            let info = &ws.fns[site.f];
+            let toks = &ws.files[info.file].tokens;
+            let ctx = EvalCtx {
+                toks,
+                consts: &consts[info.file],
+            };
+            // Solve only sites inside the type's own impl; elsewhere
+            // evaluate const-only (locals read as ⊤, which drops the
+            // fact — conservative).
+            let env = if methods.contains(&site.f) {
+                let fa = solved.entry(site.f).or_insert_with(|| {
+                    solve_fn(&ctx, info.item.body.clone(), boundaries[site.f].clone())
+                });
+                fa.env_at(&ctx, site.open).unwrap_or_default()
+            } else {
+                Env::new()
+            };
+            let close = close_of(toks, site.open, toks.len());
+            let inner = site.open + 1..close.saturating_sub(1);
+            let mut depth = 0i32;
+            let mut start = inner.start;
+            let mut entries: Vec<Range<usize>> = Vec::new();
+            for k in inner.clone() {
+                let t = &toks[k];
+                if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                    depth += 1;
+                } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                    depth -= 1;
+                } else if t.is_punct(',') && depth == 0 {
+                    entries.push(start..k);
+                    start = k + 1;
+                }
+            }
+            entries.push(start..inner.end);
+            for e in entries {
+                if e.is_empty() {
+                    continue;
+                }
+                let head = &toks[e.start];
+                if head.is_punct('.') {
+                    continue; // `..rest`: unlisted fields stay unknown
+                }
+                if head.kind != TokKind::Ident || is_keyword(&head.text) {
+                    continue;
+                }
+                let name = head.text.clone();
+                let val = if e.len() == 1 {
+                    // Shorthand `field` — the binding's value.
+                    env.get(&name).copied().unwrap_or_else(AbsVal::top)
+                } else if toks.get(e.start + 1).is_some_and(|c| c.is_punct(':')) {
+                    eval(&ctx, &env, e.start + 2..e.end).unwrap_or_else(AbsVal::top)
+                } else {
+                    continue;
+                };
+                *listed.entry(name.clone()).or_insert(0) += 1;
+                field_vals
+                    .entry(name)
+                    .and_modify(|prev| *prev = prev.join(&val))
+                    .or_insert(val);
+            }
+        }
+        for (field, val) in field_vals {
+            if written.contains(&field)
+                || listed.get(&field) != Some(&ty_sites.len())
+                || val == AbsVal::top()
+            {
+                continue;
+            }
+            for &m in methods {
+                if ws.fns[m].item.has_self {
+                    boundaries[m].insert(format!("self.{field}"), val);
+                }
+            }
+        }
+    }
+}
+
+/// Is token `tok` inside a `macro_rules!` definition body?
+fn in_macro_rules(toks: &[Token], tok: usize) -> bool {
+    let mut i = 0;
+    while i < tok {
+        if toks[i].is_ident("macro_rules")
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('!'))
+            && toks.get(i + 2).is_some_and(|t| t.kind == TokKind::Ident)
+        {
+            let open = i + 3;
+            if toks
+                .get(open)
+                .is_some_and(|t| t.is_punct('{') || t.is_punct('(') || t.is_punct('['))
+            {
+                let close = close_of(toks, open, toks.len());
+                if (open..close).contains(&tok) {
+                    return true;
+                }
+                i = close;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    false
+}
+
+/// Does a field-write operator start at `at` (`= ..` but not `==` or
+/// `=>`, a compound `op=`, or `<<=`/`>>=`)?
+fn is_write_after(toks: &[Token], at: usize) -> bool {
+    let Some(t) = toks.get(at) else { return false };
+    let glued_next = |k: usize, c: char| {
+        toks.get(k + 1)
+            .is_some_and(|n| n.is_punct(c) && glued(&toks[k], n))
+    };
+    if t.is_punct('=') {
+        return !glued_next(at, '=') && !glued_next(at, '>');
+    }
+    if t.kind == TokKind::Punct && "+-*/%&|^".contains(t.text.as_str()) {
+        return glued_next(at, '=');
+    }
+    if (double_punct(toks, at, '<') || double_punct(toks, at, '>')) && glued_next(at + 1, '=') {
+        return true;
+    }
+    false
+}

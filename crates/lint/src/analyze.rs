@@ -35,6 +35,7 @@
 //!   stats-struct fields and `LineGeometry` address math — to be
 //!   `checked_`/`saturating_`/explicitly wrapping or carry a waiver.
 
+use crate::absint;
 use crate::cfg::Cfg;
 use crate::dataflow::{solve_forward, Analysis, GenKill};
 use crate::lexer::{TokKind, Token};
@@ -75,13 +76,37 @@ impl AnalysisConfig {
 pub fn scan_model(files: &[(String, String)], cfg: &AnalysisConfig) -> Vec<Finding> {
     let ws = Workspace::build(files);
     let mut findings = Vec::new();
-    p2(&ws, cfg, &mut findings);
-    u1(&ws, &mut findings);
-    d3(&ws, &mut findings);
-    s1(&ws, &mut findings);
-    l2(&ws, cfg, &mut findings);
-    o1(&ws, &mut findings);
+    model_rules(&ws, cfg, &mut findings);
+    absint_rules(&ws, &mut findings);
     findings
+}
+
+/// The pre-absint interprocedural rules only (P2/U1/D3/S1/L2/O1) —
+/// split out so `bench-lint` can time the abstract-interpretation
+/// phase separately.
+pub fn scan_model_base(files: &[(String, String)], cfg: &AnalysisConfig) -> Vec<Finding> {
+    let ws = Workspace::build(files);
+    let mut findings = Vec::new();
+    model_rules(&ws, cfg, &mut findings);
+    findings
+}
+
+/// The abstract-interpretation rules only (B1/R1/T1 plus stale-T1
+/// waiver hygiene).
+pub fn scan_model_absint(files: &[(String, String)]) -> Vec<Finding> {
+    let ws = Workspace::build(files);
+    let mut findings = Vec::new();
+    absint_rules(&ws, &mut findings);
+    findings
+}
+
+fn model_rules(ws: &Workspace, cfg: &AnalysisConfig, findings: &mut Vec<Finding>) {
+    p2(ws, cfg, findings);
+    u1(ws, findings);
+    d3(ws, findings);
+    s1(ws, findings);
+    l2(ws, cfg, findings);
+    o1(ws, findings);
 }
 
 fn finding(
@@ -2011,6 +2036,364 @@ fn o1(ws: &Workspace, findings: &mut Vec<Finding>) {
                 }
             }
             i += 1;
+        }
+    }
+}
+
+// --- B1/R1/T1: value-range & known-bits proofs ---------------------------
+
+/// One obligation site found by the token scan.
+struct AbsSite {
+    /// The anchor token: the first `<`/`>` of a shift pair, the
+    /// `wrapping_add` identifier, or the `as` keyword.
+    tok: usize,
+    kind: AbsSiteKind,
+}
+
+enum AbsSiteKind {
+    /// B1: a `<<`/`>>`/`<<=`/`>>=` pair.
+    Shift { assign: bool },
+    /// R1: a flattened-index chain `..wrapping_mul(..).wrapping_add(..)`
+    /// (directly or through one `let`-bound base).
+    WrapIndex {
+        rcv_start: usize,
+        close: usize,
+        /// `Some(name)` when the whole statement is `let name = <chain>;`.
+        let_name: Option<String>,
+    },
+    /// T1: an `as u8`/`as u16`/`as u32` cast.
+    Cast { target: absint::IntTy },
+}
+
+/// Scans one function body for B1/R1/T1 sites, skipping `skip` token
+/// ranges (nested `fn` items, which are analyzed as their own bodies).
+fn collect_absint_sites(toks: &[Token], body: Range<usize>, skip: &[Range<usize>]) -> Vec<AbsSite> {
+    let mut out = Vec::new();
+    let mut i = body.start;
+    while i < body.end {
+        if let Some(r) = skip.iter().find(|r| r.contains(&i)) {
+            i = r.end;
+            continue;
+        }
+        let t = &toks[i];
+        // A glued `<<`/`>>` pair with a gap before it is a shift; a pair
+        // glued to the previous token is a generics closer (`Vec<Vec<u8>>`)
+        // — `cargo fmt` (CI-enforced) guarantees the spacing.
+        if (absint::double_punct(toks, i, '<') || absint::double_punct(toks, i, '>'))
+            && (i == 0 || !absint::glued(&toks[i - 1], &toks[i]))
+        {
+            let assign = toks
+                .get(i + 2)
+                .is_some_and(|n| n.is_punct('=') && absint::glued(&toks[i + 1], n));
+            out.push(AbsSite {
+                tok: i,
+                kind: AbsSiteKind::Shift { assign },
+            });
+            i += if assign { 3 } else { 2 };
+            continue;
+        }
+        if t.is_ident("wrapping_add")
+            && i > 0
+            && toks[i - 1].is_punct('.')
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+        {
+            if let Some(site) = wrap_index_site(toks, &body, i) {
+                out.push(site);
+            }
+            i += 1;
+            continue;
+        }
+        if t.is_ident("as") {
+            let target = toks.get(i + 1).and_then(|n| match n.text.as_str() {
+                "u8" => Some(absint::IntTy::U8),
+                "u16" => Some(absint::IntTy::U16),
+                "u32" => Some(absint::IntTy::U32),
+                _ => None,
+            });
+            if let Some(target) = target {
+                out.push(AbsSite {
+                    tok: i,
+                    kind: AbsSiteKind::Cast { target },
+                });
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Classifies a `.wrapping_add(` at `i` as an R1 flattened-index site:
+/// the receiver chain must contain `wrapping_mul` directly, or be a
+/// single identifier `let`-bound from an expression containing it.
+fn wrap_index_site(toks: &[Token], body: &Range<usize>, i: usize) -> Option<AbsSite> {
+    let rcv_start = absint::operand_start_before(toks, i - 1)?;
+    let rcv = rcv_start..i - 1;
+    let has_mul = toks[rcv.clone()].iter().any(|t| t.is_ident("wrapping_mul"));
+    let from_mul_let = !has_mul
+        && rcv.len() == 1
+        && toks[rcv.start].kind == TokKind::Ident
+        && let_binds_mul(toks, body.start..rcv.start, &toks[rcv.start].text);
+    if !has_mul && !from_mul_let {
+        return None;
+    }
+    // `close` is one past the chain's closing paren (`close_of` is
+    // past-the-end), so the statement's `;` sits exactly at `close`.
+    let close = absint::close_of(toks, i + 1, body.end);
+    // `let name = <chain>;` — the binding's uses carry the obligation.
+    let let_name = (toks.get(close).is_some_and(|n| n.is_punct(';'))
+        && rcv_start >= 3
+        && toks[rcv_start - 1].is_punct('='))
+    .then(|| {
+        let name_at = rcv_start - 2;
+        let kw = rcv_start - 3;
+        let is_let = toks[kw].is_ident("let")
+            || (toks[kw].is_ident("mut") && kw >= 1 && toks[kw - 1].is_ident("let"));
+        (toks[name_at].kind == TokKind::Ident && is_let).then(|| toks[name_at].text.clone())
+    })
+    .flatten();
+    Some(AbsSite {
+        tok: i,
+        kind: AbsSiteKind::WrapIndex {
+            rcv_start,
+            close,
+            let_name,
+        },
+    })
+}
+
+/// Is there a lexically-earlier `let [mut] name = ... wrapping_mul ...;`?
+fn let_binds_mul(toks: &[Token], range: Range<usize>, name: &str) -> bool {
+    for k in range.clone() {
+        if !toks[k].is_ident("let") {
+            continue;
+        }
+        let mut j = k + 1;
+        if toks.get(j).is_some_and(|t| t.is_ident("mut")) {
+            j += 1;
+        }
+        if !toks
+            .get(j)
+            .is_some_and(|t| t.kind == TokKind::Ident && t.text == name)
+            || !toks.get(j + 1).is_some_and(|t| t.is_punct('='))
+        {
+            continue;
+        }
+        let mut m = j + 2;
+        while m < range.end && !toks[m].is_punct(';') {
+            if toks[m].is_ident("wrapping_mul") {
+                return true;
+            }
+            m += 1;
+        }
+    }
+    false
+}
+
+/// Is token `k` inside the parentheses of a checked accessor call
+/// (`.get(..)` / `.get_mut(..)`)? Out-of-range indices through those
+/// come back as `None` instead of corrupting state.
+fn checked_get_encloses(toks: &[Token], start: usize, k: usize) -> bool {
+    let mut depth = 0i32;
+    let mut j = k;
+    while j > start {
+        j -= 1;
+        let t = &toks[j];
+        if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+            depth += 1;
+        } else if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+            if depth == 0 {
+                return t.is_punct('(')
+                    && j > 0
+                    && (toks[j - 1].is_ident("get") || toks[j - 1].is_ident("get_mut"));
+            }
+            depth -= 1;
+        }
+    }
+    false
+}
+
+/// Are all uses of `name` after `from` inside checked accessors? (No
+/// uses at all also passes — a dead binding indexes nothing.)
+fn uses_all_checked(toks: &[Token], body: &Range<usize>, from: usize, name: &str) -> bool {
+    for k in from..body.end {
+        let t = &toks[k];
+        if t.kind != TokKind::Ident || t.text != name {
+            continue;
+        }
+        if k > 0 && toks[k - 1].is_punct('.') {
+            continue; // a field of the same name, not the binding
+        }
+        if !checked_get_encloses(toks, body.start, k) {
+            return false;
+        }
+    }
+    true
+}
+
+/// The abstract-interpretation rules: B1 (shift safety), R1
+/// (packed-index provenance), T1 (lossless truncation) and the stale-T1
+/// waiver-hygiene pass. Proofs run over [`crate::absint`]'s interval +
+/// known-bits domain, seeded from the workspace (consts, parameter
+/// types, one-level call hulls, constructor field facts).
+fn absint_rules(ws: &Workspace, findings: &mut Vec<Finding>) {
+    let aws = absint::AbsintWorkspace::build(ws);
+    // Lines (per file) holding a T1 site the domain could NOT prove:
+    // these are the lines where a T1 waiver is load-bearing.
+    let mut t1_unproven: BTreeMap<usize, BTreeSet<u32>> = BTreeMap::new();
+    for (f, info) in ws.fns.iter().enumerate() {
+        let file = &ws.files[info.file];
+        if !in_unit_scope(&file.path) || info.in_test {
+            continue;
+        }
+        let toks = &file.tokens;
+        let body = info.item.body.clone();
+        let nested: Vec<Range<usize>> = ws
+            .fns
+            .iter()
+            .filter(|o| {
+                o.file == info.file
+                    && o.item.span.start > info.item.span.start
+                    && o.item.span.end <= info.item.span.end
+            })
+            .map(|o| o.item.span.clone())
+            .collect();
+        let sites = collect_absint_sites(toks, body.clone(), &nested);
+        if sites.is_empty() {
+            continue;
+        }
+        let fa = aws.solve(ws, f);
+        let ctx = aws.ctx_for(ws, f);
+        for site in sites {
+            let at = &toks[site.tok];
+            let (line, col) = (at.line, at.col);
+            // Unreachable node: the site is dead code, vacuously safe.
+            let Some(env) = fa.env_at(&ctx, site.tok) else {
+                continue;
+            };
+            match site.kind {
+                AbsSiteKind::Shift { assign } => {
+                    let lhs_ty = absint::operand_start_before(toks, site.tok)
+                        .and_then(|st| absint::eval(&ctx, &env, st..site.tok))
+                        .and_then(|v| v.ty);
+                    // Unknown shifted type (e.g. an unsuffixed literal):
+                    // no width to check against — documented hole.
+                    let Some(ty) = lhs_ty else { continue };
+                    let width = i128::from(ty.bits());
+                    let amt_start = site.tok + 2 + usize::from(assign);
+                    let amt_end = absint::shift_amount_end(toks, amt_start, body.end);
+                    let amt = absint::eval(&ctx, &env, amt_start..amt_end);
+                    let proven = amt.as_ref().is_some_and(|a| a.min >= 0 && a.max < width);
+                    if !proven && !file.in_tests(line) && !file.allows.allows(Rule::B1, line) {
+                        let got = amt
+                            .map(|a| absint::fmt_val(&a))
+                            .unwrap_or_else(|| "unknown".to_string());
+                        findings.push(finding(
+                            ws,
+                            Rule::B1,
+                            info.file,
+                            line,
+                            col,
+                            format!(
+                                "shift amount not provably < {} (the width of `{}`); inferred {got} — an oversized shift panics in debug and wraps the amount in release, so the kernel silently computes the wrong mask",
+                                ty.bits(),
+                                ty.name(),
+                            ),
+                        ));
+                    }
+                }
+                AbsSiteKind::WrapIndex {
+                    rcv_start,
+                    close,
+                    let_name,
+                } => {
+                    let full = absint::eval(&ctx, &env, rcv_start..close);
+                    // Proven: the un-wrapped value stays strictly below
+                    // the type max, so the wrapping ops never wrapped
+                    // (the eval returns the full type range on any
+                    // possible wrap).
+                    let proven = full
+                        .as_ref()
+                        .is_some_and(|v| v.ty.is_some_and(|t| v.max < t.max_val()));
+                    let inert = match &let_name {
+                        Some(name) => uses_all_checked(toks, &body, close + 1, name),
+                        None => checked_get_encloses(toks, body.start, rcv_start),
+                    };
+                    if !proven
+                        && !inert
+                        && !file.in_tests(line)
+                        && !file.allows.allows(Rule::R1, line)
+                    {
+                        findings.push(finding(
+                            ws,
+                            Rule::R1,
+                            info.file,
+                            line,
+                            col,
+                            "flattened arena index not provably in range and not confined to checked accessors; a wrapped index reads the wrong slot as an \"inert\" wrong result — prove the bound, route every use through `.get(..)`, or waive with the construction-time invariant".to_string(),
+                        ));
+                    }
+                }
+                AbsSiteKind::Cast { target } => {
+                    let val = absint::operand_start_before(toks, site.tok)
+                        .and_then(|st| absint::eval(&ctx, &env, st..site.tok));
+                    // An unsigned source no wider than the target cannot
+                    // truncate: not an obligation at all.
+                    if let Some(v) = &val {
+                        if let Some(src) = v.ty {
+                            if !src.signed() && src.bits() <= target.bits() {
+                                continue;
+                            }
+                        }
+                    }
+                    let proven = val
+                        .as_ref()
+                        .is_some_and(|v| v.min >= 0 && v.max <= target.max_val());
+                    if !proven && !file.in_tests(line) {
+                        t1_unproven.entry(info.file).or_default().insert(line);
+                        if !file.allows.allows(Rule::T1, line) {
+                            let got = val
+                                .map(|v| absint::fmt_val(&v))
+                                .unwrap_or_else(|| "unknown".to_string());
+                            findings.push(finding(
+                                ws,
+                                Rule::T1,
+                                info.file,
+                                line,
+                                col,
+                                format!(
+                                    "narrowing `as {}` not provably value-preserving; inferred {got} — a truncated store corrupts packed metadata without a crash",
+                                    target.name(),
+                                ),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // Stale-T1 waiver hygiene: a justified T1 waiver that covers no
+    // unproven cast waives nothing — it is dead weight that will
+    // silently swallow the next real finding on that line.
+    for (idx, file) in ws.files.iter().enumerate() {
+        if !in_unit_scope(&file.path) {
+            continue;
+        }
+        let unproven = t1_unproven.get(&idx);
+        for line in file.allows.justified_lines(Rule::T1) {
+            if file.in_tests(line) {
+                continue;
+            }
+            let used = unproven.is_some_and(|s| s.contains(&line) || s.contains(&(line + 1)));
+            if !used {
+                findings.push(finding(
+                    ws,
+                    Rule::W1,
+                    idx,
+                    line,
+                    1,
+                    "stale `T1` waiver: no unproven narrowing cast on this or the next line — remove it".to_string(),
+                ));
+            }
         }
     }
 }

@@ -28,6 +28,7 @@
 //! crate: the build environment is fully offline, so the crate carries
 //! its own Rust lexer, TOML-subset reader and JSON reader.
 
+pub mod absint;
 pub mod analyze;
 pub mod cfg;
 pub mod dataflow;

@@ -179,6 +179,17 @@ fn bench_lint(root: &Path, out_path: &Path) -> Result<(), String> {
     let cfg_dataflow_s = t.elapsed().as_secs_f64();
 
     let t = Instant::now();
+    let aws = ldis_lint::absint::AbsintWorkspace::build(&ws);
+    let mut absint_nodes = 0usize;
+    for f in 0..ws.fns.len() {
+        let fa = aws.solve(&ws, f);
+        absint_nodes += fa.cfg.nodes.len();
+    }
+    let absint_s = t.elapsed().as_secs_f64();
+    // Keep the optimizer from discarding the solves.
+    assert!(absint_nodes >= fns);
+
+    let t = Instant::now();
     let mut findings = 0usize;
     for (rel, src) in &files {
         findings += ldis_lint::scan_file(rel, src).len();
@@ -203,6 +214,7 @@ fn bench_lint(root: &Path, out_path: &Path) -> Result<(), String> {
         ("parse", parse_s),
         ("call_graph", call_graph_s),
         ("cfg_dataflow", cfg_dataflow_s),
+        ("absint", absint_s),
         ("rules", rules_s),
     ];
     for (i, (phase, secs)) in phases.iter().enumerate() {
@@ -227,11 +239,12 @@ fn bench_lint(root: &Path, out_path: &Path) -> Result<(), String> {
     std::fs::write(out_path, &json).map_err(|e| format!("writing {}: {e}", out_path.display()))?;
     println!(
         "ldis-lint: benched {} files / {lines} lines: parse {:.3}s, call-graph {:.3}s, \
-         cfg+dataflow {:.3}s, rules {:.3}s -> {}",
+         cfg+dataflow {:.3}s, absint {:.3}s, rules {:.3}s -> {}",
         files.len(),
         parse_s,
         call_graph_s,
         cfg_dataflow_s,
+        absint_s,
         rules_s,
         out_path.display()
     );

@@ -295,19 +295,19 @@ pub fn render_json(outcome: &Outcome) -> String {
 /// Renders a whole outcome as a SARIF 2.1.0 log, the interchange format
 /// GitHub code scanning ingests. One run, one result per error and
 /// warning (baselined findings are omitted — they are accepted debt),
-/// with the rule metadata listed once under the driver.
+/// with the full rule registry listed once under the driver — every
+/// rule with its one-line description, not just the rules that fired,
+/// so a clean run still documents what was checked.
 pub fn render_sarif(outcome: &Outcome) -> String {
-    let mut rules: Vec<&str> = outcome
-        .errors
+    let rule_objs = crate::rules::Rule::ALL
         .iter()
-        .chain(&outcome.warnings)
-        .map(|f| f.rule)
-        .collect();
-    rules.sort_unstable();
-    rules.dedup();
-    let rule_objs = rules
-        .iter()
-        .map(|r| format!("{{\"id\":\"{}\"}}", json_escape(r)))
+        .map(|r| {
+            format!(
+                "{{\"id\":\"{}\",\"shortDescription\":{{\"text\":\"{}\"}}}}",
+                json_escape(r.id()),
+                json_escape(r.describe())
+            )
+        })
         .collect::<Vec<_>>()
         .join(",");
     let result = |f: &Finding| {
@@ -521,8 +521,18 @@ mod tests {
         let text = render_sarif(&out);
         assert!(text.contains("\"version\":\"2.1.0\""));
         assert!(text.contains("\"name\":\"ldis-lint\""));
-        assert_eq!(text.matches("{\"id\":\"S1\"}").count(), 1);
-        assert!(text.contains("{\"id\":\"P1X\"}"));
+        // The driver lists the whole registry with descriptions, each
+        // rule exactly once — including the absint rules even when the
+        // run has no finding for them.
+        for rule in crate::rules::Rule::ALL {
+            assert_eq!(
+                text.matches(&format!("{{\"id\":\"{}\"", rule.id())).count(),
+                1,
+                "{} missing from driver rules",
+                rule.id()
+            );
+        }
+        assert!(text.contains("\"shortDescription\""));
         assert!(text.contains(
             "\"artifactLocation\":{\"uri\":\"crates/core/src/a.rs\"},\
              \"region\":{\"startLine\":9,\"startColumn\":1}"

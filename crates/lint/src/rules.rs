@@ -56,6 +56,18 @@ pub enum Rule {
     /// `checked_`/`saturating_`/explicitly wrapping, or carry a
     /// justified waiver.
     O1,
+    /// Shift safety (abstract interpretation): every `<<`/`>>` amount in
+    /// the sim crates must be provably smaller than the bit width of the
+    /// shifted type.
+    B1,
+    /// Packed-index provenance (abstract interpretation): arena-style
+    /// flattened `set * assoc + way` indices must be proven in-range
+    /// given the config bounds.
+    R1,
+    /// Lossless truncation (abstract interpretation): every narrowing
+    /// `as u8`/`as u16`/`as u32` cast in the sim crates must be proven
+    /// value-preserving, or carry a justified waiver.
+    T1,
 }
 
 impl Rule {
@@ -74,6 +86,50 @@ impl Rule {
             Rule::S1 => "S1",
             Rule::L2 => "L2",
             Rule::O1 => "O1",
+            Rule::B1 => "B1",
+            Rule::R1 => "R1",
+            Rule::T1 => "T1",
+        }
+    }
+
+    /// Every rule, in diagnostic order — drives the static SARIF rule
+    /// metadata so tooling sees the full vocabulary even on clean runs.
+    pub const ALL: &'static [Rule] = &[
+        Rule::D1,
+        Rule::D2,
+        Rule::P1,
+        Rule::P1X,
+        Rule::C1,
+        Rule::P2,
+        Rule::U1,
+        Rule::D3,
+        Rule::W1,
+        Rule::S1,
+        Rule::L2,
+        Rule::O1,
+        Rule::B1,
+        Rule::R1,
+        Rule::T1,
+    ];
+
+    /// One-line description for SARIF rule metadata.
+    pub fn describe(self) -> &'static str {
+        match self {
+            Rule::D1 => "no ambient entropy or wall clocks in simulator crates",
+            Rule::D2 => "no hasher-ordered containers observable by reports",
+            Rule::P1 => "no unwrap/expect/panic-family calls in sim core code",
+            Rule::P1X => "raw [..] indexing in sim core code (tracked)",
+            Rule::C1 => "config literals must describe possible geometries",
+            Rule::P2 => "public sim-core functions transitively panic-free",
+            Rule::U1 => "no unit mixing between address/index domains",
+            Rule::D3 => "no order-sensitive float accumulation across sweep cells",
+            Rule::W1 => "every waiver carries a non-empty justification",
+            Rule::S1 => "RNG streams derive from the root seed without collisions",
+            Rule::L2 => "lock order acyclic, no re-entry, no panic under lock",
+            Rule::O1 => "counter arithmetic overflow-checked or justified",
+            Rule::B1 => "shift amounts provably below the shifted type's width",
+            Rule::R1 => "packed arena indices proven within bounds",
+            Rule::T1 => "narrowing casts proven value-preserving or waived",
         }
     }
 
@@ -147,6 +203,16 @@ impl AllowIndex {
     pub fn malformed(&self) -> &[(u32, String)] {
         &self.malformed
     }
+
+    /// Lines carrying a justified waiver for `rule`, for staleness
+    /// checks (a waiver covers its own line and the line below).
+    pub fn justified_lines(&self, rule: Rule) -> Vec<u32> {
+        self.by_line
+            .iter()
+            .filter(|(_, rules)| rules.iter().any(|r| r == rule.id()))
+            .map(|(line, _)| *line)
+            .collect()
+    }
 }
 
 /// Everything a rule needs about one source file.
@@ -213,7 +279,16 @@ pub fn scan_rust(ctx: &FileContext<'_>, rules: &[Rule]) -> Vec<Finding> {
             Rule::C1 => c1(ctx, &mut findings),
             // Interprocedural and flow-sensitive rules run in the
             // workspace pass (`crate::analyze`), not per file.
-            Rule::P2 | Rule::U1 | Rule::D3 | Rule::W1 | Rule::S1 | Rule::L2 | Rule::O1 => {}
+            Rule::P2
+            | Rule::U1
+            | Rule::D3
+            | Rule::W1
+            | Rule::S1
+            | Rule::L2
+            | Rule::O1
+            | Rule::B1
+            | Rule::R1
+            | Rule::T1 => {}
         }
     }
     // Waiver hygiene applies to every linted file regardless of which

@@ -1,0 +1,309 @@
+//! Integration tests for the abstract-interpretation layer: the
+//! interval + known-bits lattice (widening termination, join soundness,
+//! transfer functions), the B1/R1/T1 fixture corpus with exact finding
+//! counts, the T1 waiver-hygiene pass, and the committed domain-state
+//! snapshot pinning the transfer functions byte-for-byte.
+
+use ldis_lint::absint::{self, AbsVal, IntTy};
+use ldis_lint::model::Workspace;
+use std::path::PathBuf;
+
+fn fixture(dir: &str, name: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(dir)
+        .join(name);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("reading fixture {}: {e}", path.display()))
+}
+
+/// Runs the workspace pass over one fixture scanned under a synthetic
+/// in-scope path, returning only findings of `rule`.
+fn model_findings(rule: &str, as_path: &str, src: &str) -> Vec<ldis_lint::report::Finding> {
+    let files = vec![(as_path.to_string(), src.to_string())];
+    ldis_lint::analyze::scan_model(&files, &ldis_lint::analyze::AnalysisConfig::default())
+        .into_iter()
+        .filter(|f| f.rule == rule)
+        .collect()
+}
+
+// --- lattice unit tests ----------------------------------------------
+
+#[test]
+fn join_is_an_upper_bound() {
+    // The join of two values must contain both operands: interval hull
+    // on [min, max], intersection (AND) on the provably-zero bits.
+    let a = AbsVal::range(3, 10);
+    let b = AbsVal::range(-2, 5);
+    let j = a.join(&b);
+    assert!(j.min <= a.min && j.min <= b.min);
+    assert!(j.max >= a.max && j.max >= b.max);
+
+    let x = AbsVal::exact(0b0100, Some(IntTy::U8));
+    let y = AbsVal::exact(0b0001, Some(IntTy::U8));
+    let j = x.join(&y);
+    // Both 4 and 1 must satisfy the joined zeros mask.
+    assert_eq!(4i128 as u128 & j.zeros, 0);
+    assert_eq!(1i128 as u128 & j.zeros, 0);
+    assert!(j.min <= 1 && j.max >= 4);
+}
+
+#[test]
+fn join_with_top_is_top() {
+    let a = AbsVal::range(0, 7);
+    assert_eq!(a.join(&AbsVal::top()), AbsVal::top().join(&a));
+    let j = a.join(&AbsVal::top());
+    assert!(j.min <= AbsVal::top().min && j.max >= AbsVal::top().max);
+}
+
+#[test]
+fn widening_climbs_a_finite_ladder() {
+    // Repeated widen() must reach a fixpoint in a bounded number of
+    // steps from any starting value — this is what caps the solver's
+    // visits per node.
+    for start in [
+        AbsVal::range(0, 1),
+        AbsVal::range(-5, 1_000_000),
+        AbsVal::exact(42, Some(IntTy::U64)),
+        AbsVal::ty_top(IntTy::U32),
+    ] {
+        let mut v = start;
+        let mut steps = 0;
+        loop {
+            let w = v.widen();
+            if w == v {
+                break;
+            }
+            v = w;
+            steps += 1;
+            assert!(steps < 64, "widening did not terminate from {v:?}");
+        }
+    }
+}
+
+#[test]
+fn widening_is_extensive() {
+    // widen(v) must contain v, or the solver would lose sound facts.
+    for v in [
+        AbsVal::range(1, 100),
+        AbsVal::range(-3, 3),
+        AbsVal::exact(0, Some(IntTy::U8)),
+    ] {
+        let w = v.widen();
+        assert!(w.min <= v.min && w.max >= v.max, "{w:?} !>= {v:?}");
+    }
+}
+
+#[test]
+fn shift_transfer_tracks_known_bits() {
+    // (x & 0xf) << 4: the low 4 bits become provably zero and the
+    // interval scales by 16.
+    let x = AbsVal::ty_top(IntTy::U32);
+    let masked = x.bitand(&AbsVal::exact(0xf, None));
+    assert_eq!(masked.min, 0);
+    assert_eq!(masked.max, 0xf);
+    let shifted = masked.shl(&AbsVal::exact(4, None));
+    assert_eq!(shifted.min, 0);
+    assert_eq!(shifted.max, 0xf0);
+    assert_eq!(shifted.zeros & 0xff, 0x0f, "low nibble provably zero");
+}
+
+#[test]
+fn mask_transfer_intersects_zero_bits() {
+    // AND accumulates zeros from both sides; the result's interval is
+    // bounded by the smaller non-negative operand.
+    let a = AbsVal::range(0, 1000);
+    let m = a.bitand(&AbsVal::exact(0x3f, None));
+    assert_eq!(m.min, 0);
+    assert_eq!(m.max, 0x3f);
+    assert_eq!(m.zeros & 0xff, 0xc0, "bits 6..8 provably zero");
+}
+
+#[test]
+fn shr_shrinks_the_interval() {
+    let a = AbsVal::range(0, 255);
+    let s = a.shr(&AbsVal::exact(4, None));
+    assert_eq!(s.min, 0);
+    assert_eq!(s.max, 15);
+}
+
+// --- solver termination over real bodies -----------------------------
+
+#[test]
+fn solver_converges_on_counting_loops() {
+    let src = fixture("absint", "ranges.rs");
+    let files = vec![("crates/mem/src/fixture.rs".to_string(), src)];
+    let ws = Workspace::build(&files);
+    let aws = absint::AbsintWorkspace::build(&ws);
+    for (f, info) in ws.fns.iter().enumerate() {
+        let fa = aws.solve(&ws, f);
+        assert!(
+            fa.sol.converged,
+            "{} did not converge under widening",
+            info.item.qual
+        );
+    }
+}
+
+// --- fixture corpus: exact counts ------------------------------------
+
+/// Each absint rule with its fixture dir, synthetic in-scope path and
+/// exact fail-fixture finding count.
+const ABSINT_CASES: &[(&str, &str, &str, usize)] = &[
+    ("B1", "b1", "crates/mem/src/fixture.rs", 3),
+    ("R1", "r1", "crates/cache/src/fixture.rs", 2),
+    ("T1", "t1", "crates/mem/src/fixture.rs", 3),
+];
+
+#[test]
+fn absint_fail_fixture_counts_are_exact() {
+    for (rule, dir, as_path, expected) in ABSINT_CASES {
+        let src = fixture(dir, "fail.rs");
+        let found = model_findings(rule, as_path, &src);
+        assert_eq!(
+            found.len(),
+            *expected,
+            "{rule} on fixtures/{dir}/fail.rs: {:?}",
+            found
+                .iter()
+                .map(|f| format!("{}:{} {}", f.line, f.col, f.message))
+                .collect::<Vec<_>>()
+        );
+        for f in &found {
+            assert_eq!(f.path, *as_path);
+            assert!(f.line > 0 && f.col > 0, "{rule} finding lacks a location");
+            assert_eq!(f.level, ldis_lint::report::Level::Deny);
+        }
+    }
+}
+
+#[test]
+fn absint_rules_are_silent_on_pass_fixtures() {
+    for (rule, dir, as_path, _) in ABSINT_CASES {
+        let src = fixture(dir, "pass.rs");
+        let found = model_findings(rule, as_path, &src);
+        assert!(
+            found.is_empty(),
+            "{rule} fired on fixtures/{dir}/pass.rs: {:?}",
+            found
+                .iter()
+                .map(|f| format!("{}:{} {}", f.line, f.col, f.message))
+                .collect::<Vec<_>>()
+        );
+    }
+}
+
+#[test]
+fn t1_pass_fixture_waiver_is_not_stale() {
+    // The pass fixture's one waiver covers a genuinely unproven cast,
+    // so the stale-waiver hygiene pass must stay quiet too.
+    let src = fixture("t1", "pass.rs");
+    let found = model_findings("W1", "crates/mem/src/fixture.rs", &src);
+    assert!(
+        found.is_empty(),
+        "stale-waiver pass fired on fixtures/t1/pass.rs: {:?}",
+        found.iter().map(|f| &f.message).collect::<Vec<_>>()
+    );
+}
+
+// --- T1 waiver hygiene ------------------------------------------------
+
+#[test]
+fn stale_t1_waiver_is_a_finding() {
+    // A justified T1 waiver over a provable (or absent) cast waives
+    // nothing: W1 flags it so it cannot swallow the next real finding.
+    let src = "pub fn fine(b: u8) -> u32 {\n\
+               \x20   // ldis: allow(T1, \"nothing to waive here\")\n\
+               \x20   b as u32\n\
+               }\n";
+    let found = model_findings("W1", "crates/mem/src/fixture.rs", src);
+    assert_eq!(found.len(), 1, "{found:?}");
+    assert!(found[0].message.contains("stale `T1` waiver"));
+}
+
+#[test]
+fn unjustified_t1_waiver_does_not_waive() {
+    // A bare `allow(T1)` with no justification is malformed: the cast
+    // still fires and the waiver itself is flagged.
+    let src = "pub fn trunc(x: u32) -> u8 {\n\
+               \x20   // ldis: allow(T1)\n\
+               \x20   x as u8\n\
+               }\n";
+    let t1 = model_findings("T1", "crates/mem/src/fixture.rs", src);
+    assert_eq!(t1.len(), 1, "unjustified waiver must not waive: {t1:?}");
+    // The malformed-waiver finding itself comes from the per-file pass.
+    let w1: Vec<_> = ldis_lint::scan_file("crates/mem/src/fixture.rs", src)
+        .into_iter()
+        .filter(|f| f.rule == "W1")
+        .collect();
+    assert!(
+        w1.iter().any(|f| f.line == 2),
+        "malformed waiver not flagged: {w1:?}"
+    );
+}
+
+#[test]
+fn t1_debt_round_trips_through_update_baseline() {
+    // A T1 finding becomes a TODO [[allow]] entry under
+    // --update-baseline, the B1/R1/T1 tier overrides survive the
+    // rewrite, and the regenerated file parses back and covers the
+    // finding without going stale.
+    let src = "pub fn trunc(x: u32) -> u8 {\n    x as u8\n}\n";
+    let baseline =
+        ldis_lint::report::Baseline::parse("[tier]\nB1 = \"deny\"\nR1 = \"deny\"\nT1 = \"deny\"\n")
+            .expect("tier table parses");
+    let findings = model_findings("T1", "crates/mem/src/fixture.rs", src);
+    let outcome = ldis_lint::report::classify(findings, &baseline);
+    assert_eq!(outcome.errors.len(), 1, "the unbaselined cast must error");
+
+    let entries = ldis_lint::regenerate_baseline(&outcome, &baseline);
+    assert_eq!(entries.len(), 1);
+    assert_eq!(entries[0].rule, "T1");
+    assert!(entries[0].justification.contains("TODO"));
+
+    let text = ldis_lint::report::write_baseline(&entries, &baseline.tiers);
+    for rule in ["B1", "R1", "T1"] {
+        assert!(
+            text.contains(&format!("{rule} = \"deny\"")),
+            "tier override for {rule} dropped by the rewrite:\n{text}"
+        );
+    }
+    let reparsed = ldis_lint::report::Baseline::parse(&text).expect("regenerated file parses");
+    let outcome = ldis_lint::report::classify(
+        model_findings("T1", "crates/mem/src/fixture.rs", src),
+        &reparsed,
+    );
+    assert!(outcome.errors.is_empty(), "{:?}", outcome.errors);
+    assert_eq!(outcome.baselined.len(), 1);
+    assert!(outcome.stale.is_empty());
+}
+
+// --- domain snapshot --------------------------------------------------
+
+#[test]
+fn domain_state_snapshot_is_byte_identical() {
+    let src = fixture("absint", "ranges.rs");
+    let files = vec![("crates/mem/src/fixture.rs".to_string(), src)];
+    let ws = Workspace::build(&files);
+    let aws = absint::AbsintWorkspace::build(&ws);
+    let mut rendered = String::new();
+    for (f, info) in ws.fns.iter().enumerate() {
+        let fa = aws.solve(&ws, f);
+        rendered.push_str(&format!("fn {}\n", info.item.name));
+        rendered.push_str(&fa.render(&ws.files[info.file].tokens));
+        rendered.push('\n');
+    }
+    let snap_path =
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/absint/domain.snap");
+    if std::env::var_os("UPDATE_SNAPSHOTS").is_some() {
+        std::fs::write(&snap_path, &rendered).expect("writing snapshot");
+        return;
+    }
+    let expected = std::fs::read_to_string(&snap_path)
+        .unwrap_or_else(|e| panic!("reading {}: {e}", snap_path.display()));
+    assert_eq!(
+        rendered, expected,
+        "domain render drifted from tests/fixtures/absint/domain.snap; \
+         if the change is intended, regenerate with UPDATE_SNAPSHOTS=1"
+    );
+}

@@ -233,4 +233,15 @@ fn fixtures_are_out_of_workspace_scope() {
             assert_eq!(ldis_lint::rules_for(&rel), None, "{rel} must be skipped");
         }
     }
+    for rel in [
+        "crates/lint/tests/fixtures/b1/pass.rs",
+        "crates/lint/tests/fixtures/b1/fail.rs",
+        "crates/lint/tests/fixtures/r1/pass.rs",
+        "crates/lint/tests/fixtures/r1/fail.rs",
+        "crates/lint/tests/fixtures/t1/pass.rs",
+        "crates/lint/tests/fixtures/t1/fail.rs",
+        "crates/lint/tests/fixtures/absint/ranges.rs",
+    ] {
+        assert_eq!(ldis_lint::rules_for(rel), None, "{rel} must be skipped");
+    }
 }

@@ -1,0 +1,42 @@
+//! Domain snapshot fixture: small functions whose solved abstract
+//! states pin the interval and known-bits transfer functions
+//! byte-for-byte (see `tests/absint.rs`).
+
+/// Straight-line arithmetic: literals, add, mask, shift.
+pub fn straight(x: u32) -> u32 {
+    let a = 12u32;
+    let b = a + 3;
+    let m = x & 0xff;
+    let s = m << 2;
+    b + s
+}
+
+/// Branch refinement and the join at the merge.
+pub fn branchy(v: u32) -> u32 {
+    let mut out = 0u32;
+    if v < 16 {
+        out = v;
+    } else {
+        out = 16;
+    }
+    out
+}
+
+/// A counting loop: the widening ladder must stabilize the state.
+pub fn counting() -> u64 {
+    let mut acc = 0u64;
+    let mut i = 0u32;
+    while i < 64 {
+        acc |= 1u64 << i;
+        i += 1;
+    }
+    acc
+}
+
+/// Narrowing after a guard: the exit state proves the cast.
+pub fn narrow(v: u32) -> u8 {
+    if v >= 256 {
+        return 255;
+    }
+    v as u8
+}

@@ -1,0 +1,20 @@
+//! B1 fail fixture: three shift amounts the domain cannot bound below
+//! the shifted type's width. Exact count pinned by the self-test.
+
+/// Off-by-one guard: `len` may still be exactly 64.
+pub fn off_by_one(len: u32) -> u64 {
+    if len > 64 {
+        return u64::MAX;
+    }
+    (1u64 << len) - 1
+}
+
+/// No bound at all on the amount.
+pub fn unbounded(k: u32) -> u16 {
+    1u16 << k
+}
+
+/// Mask wider than the shifted type: `k & 15` can reach 15 >= 8.
+pub fn wrong_mask(k: u32) -> u8 {
+    1u8 << (k & 15)
+}

@@ -1,0 +1,36 @@
+//! B1 pass fixture: every shift amount is provably below the shifted
+//! type's bit width, through four different proof routes.
+
+/// Branch refinement: the else-arm knows `len < 64`.
+pub fn low_mask(len: u32) -> u64 {
+    if len >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << len) - 1
+    }
+}
+
+/// Known bits: `k & 31` has all bits above 4 provably zero.
+pub fn masked_shift(k: u32) -> u32 {
+    1u32 << (k & 31)
+}
+
+/// Early return: past the guard, `word < 16`.
+pub fn word_bit(word: u8) -> u16 {
+    if word >= 16 {
+        return 0;
+    }
+    1u16 << word
+}
+
+/// Loop refinement: the `while` condition bounds `i` inside the body
+/// even after widening kicks in.
+pub fn loop_shift() -> u64 {
+    let mut acc = 0u64;
+    let mut i = 0u32;
+    while i < 64 {
+        acc |= 1u64 << i;
+        i += 1;
+    }
+    acc
+}

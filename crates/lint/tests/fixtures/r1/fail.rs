@@ -1,0 +1,13 @@
+//! R1 fail fixture: flattened indices with no range proof and at least
+//! one unchecked use. Exact count pinned by the self-test.
+
+/// Direct unchecked indexing with unbounded coordinates.
+pub fn direct_unchecked(data: &[u8], set: usize, ways: usize, way: usize) -> u8 {
+    data[set.wrapping_mul(ways).wrapping_add(way)]
+}
+
+/// Let-bound, but one use escapes the checked accessors.
+pub fn escaped_let(data: &mut [u8], set: usize, ways: usize, way: usize) -> u8 {
+    let i = set.wrapping_mul(ways).wrapping_add(way);
+    data[i]
+}

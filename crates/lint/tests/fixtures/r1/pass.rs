@@ -1,0 +1,29 @@
+//! R1 pass fixture: flattened `set * ways + way` indices discharged by
+//! each of the rule's proof routes.
+
+/// Proven in range: both coordinates bounded, so the product-sum stays
+/// far below `usize::MAX` and the wrapping ops never wrapped.
+pub fn proven(set: usize, way: usize) -> usize {
+    if set >= 1024 || way >= 8 {
+        return 0;
+    }
+    set.wrapping_mul(8).wrapping_add(way)
+}
+
+/// Inert direct form: the whole chain sits inside a checked accessor,
+/// so a wrapped index comes back as `None` instead of corrupting state.
+pub fn inert_direct(data: &[u8], set: usize, ways: usize, way: usize) -> u8 {
+    data.get(set.wrapping_mul(ways).wrapping_add(way))
+        .copied()
+        .unwrap_or(0)
+}
+
+/// Inert let-bound form: every later use of the binding goes through
+/// `.get(..)` / `.get_mut(..)`.
+pub fn inert_let(data: &mut [u8], set: usize, ways: usize, way: usize) -> u8 {
+    let i = set.wrapping_mul(ways).wrapping_add(way);
+    if let Some(v) = data.get_mut(i) {
+        *v = 1;
+    }
+    data.get(i).copied().unwrap_or(0)
+}

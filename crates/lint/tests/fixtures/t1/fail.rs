@@ -1,0 +1,20 @@
+//! T1 fail fixture: narrowing casts the domain cannot prove
+//! value-preserving. Exact count pinned by the self-test.
+
+/// Unconstrained source.
+pub fn unbounded(x: u32) -> u8 {
+    x as u8
+}
+
+/// The sum of two u32 halves can exceed u16.
+pub fn summed(a: u32, b: u32) -> u16 {
+    (a + b) as u16
+}
+
+/// Off-by-one guard: `v` may still be exactly 256.
+pub fn off_by_one(v: u32) -> u8 {
+    if v > 256 {
+        return 0;
+    }
+    v as u8
+}

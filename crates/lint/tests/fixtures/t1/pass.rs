@@ -1,0 +1,33 @@
+//! T1 pass fixture: narrowing casts proven value-preserving, casts that
+//! are not obligations at all, and one justified waiver.
+
+/// Known bits: masking to a byte makes the `as u8` lossless.
+pub fn masked(x: u64) -> u8 {
+    (x & 0xff) as u8
+}
+
+/// Interval from `.min(..)`: the value cannot exceed 255.
+pub fn clamped(n: u32) -> u8 {
+    n.min(255) as u8
+}
+
+/// Branch refinement: past the guard, `v` fits a u16.
+pub fn guarded(v: u32) -> u16 {
+    if v >= 65536 {
+        return 0;
+    }
+    v as u16
+}
+
+/// Not an obligation: an unsigned source no wider than the target
+/// cannot truncate.
+pub fn widening(b: u8) -> u32 {
+    b as u32
+}
+
+/// Unprovable but waived with a justification: the waiver is
+/// load-bearing here, so it is not stale either.
+pub fn waived(raw: u64) -> u8 {
+    // ldis: allow(T1, "fixture: callers pass line counts below 256")
+    raw as u8
+}

@@ -3,11 +3,13 @@
 //! memory, nothing on disk) and checking each one fails the same
 //! classification `ldis-lint --deny` uses.
 //!
-//! Four seeds, matching the defect classes the rules were built for:
+//! Six seeds, matching the defect classes the rules were built for:
 //! (a) a transitive panic behind a public `crates/sfp` entry point,
 //! (b) a word-index/byte-address argument swap in `crates/core`,
-//! (c) a derive-salt collision in `crates/core` (rule S1), and
-//! (d) a lock-order cycle in the experiments executor (rule L2).
+//! (c) a derive-salt collision in `crates/core` (rule S1),
+//! (d) a lock-order cycle in the experiments executor (rule L2),
+//! (e) an off-by-one shift bound next to the span-mask kernels (B1), and
+//! (f) a lossy `words_used as u8` truncation in the arena (T1).
 
 use std::path::PathBuf;
 
@@ -153,4 +155,46 @@ fn injected_lock_order_cycle_in_executor_fails_deny() {
     let msg = &l2[0].message;
     assert!(msg.contains("lock-order cycle"), "{msg}");
     assert!(msg.contains("front") && msg.contains("back"), "{msg}");
+}
+
+#[test]
+fn injected_off_by_one_shift_bound_in_footprint_fails_deny() {
+    // The classic span-mask guard bug: `>` where `>=` was meant, so
+    // `first == 16` reaches the shift and panics in debug / wraps the
+    // amount in release. The interval domain sees [0, 16] past the
+    // guard and refuses the proof.
+    let errors = errors_with_seed(
+        "crates/mem/src/footprint.rs",
+        "\nfn seeded_span_shift(first: u8) -> u16 {\n    \
+         if first > 16 {\n        return 0;\n    }\n    \
+         1u16 << first\n}\n",
+    );
+    let b1: Vec<_> = errors
+        .iter()
+        .filter(|f| f.rule == "B1" && f.path == "crates/mem/src/footprint.rs")
+        .collect();
+    assert_eq!(b1.len(), 1, "seeded shift bound not caught: {errors:?}");
+    let msg = &b1[0].message;
+    assert!(msg.contains("not provably < 16"), "{msg}");
+    assert!(msg.contains("[0, 16]"), "{msg}");
+}
+
+#[test]
+fn injected_words_used_truncation_in_arena_fails_deny() {
+    // A used-word count widened by arena coordinates and stored back
+    // into the u8 packed field: nothing bounds the sum below 256, so
+    // the narrowing cast silently corrupts the count.
+    let errors = errors_with_seed(
+        "crates/cache/src/arena.rs",
+        "\nfn seeded_words_used(total: usize, set: usize, way: usize) -> u8 {\n    \
+         let words_used = total + set + way;\n    \
+         words_used as u8\n}\n",
+    );
+    let t1: Vec<_> = errors
+        .iter()
+        .filter(|f| f.rule == "T1" && f.path == "crates/cache/src/arena.rs")
+        .collect();
+    assert_eq!(t1.len(), 1, "seeded truncation not caught: {errors:?}");
+    let msg = &t1[0].message;
+    assert!(msg.contains("narrowing `as u8`"), "{msg}");
 }

@@ -143,6 +143,7 @@ impl WordIndex {
     /// words-per-line; [`LineGeometry`](crate::LineGeometry) constructors
     /// always do.
     pub const fn new(index: u8) -> Self {
+        debug_assert!(index < 16, "word index must fit a 16-bit footprint");
         WordIndex(index)
     }
 

@@ -85,6 +85,7 @@ pub const fn aligned_stride(slots: u32) -> u64 {
 /// the result ends up set iff slots `o..o+slots` are all free; windows that
 /// would cross the end of the way are cleared by the initial `low_mask`.
 pub const fn free_aligned_windows(valid: u64, words: u32, slots: u32) -> u64 {
+    debug_assert!(slots <= 64, "a window cannot exceed the u64 way");
     let mut free = !valid & low_mask(words);
     let mut step = 1;
     while step < slots {

@@ -287,6 +287,7 @@ impl SimRng {
     /// `geometric` bit for bit.
     pub fn geometric_with_denom(&mut self, denom: f64) -> u32 {
         let u = self.f64().max(f64::MIN_POSITIVE);
+        // ldis: allow(T1, "float-to-int casts saturate rather than truncate, and the next line clamps the result to <= 1_000_000")
         let v = (u.ln() / denom).floor() as u32;
         v.saturating_add(1).min(1_000_000)
     }

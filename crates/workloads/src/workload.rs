@@ -252,6 +252,7 @@ impl Workload {
                     };
                     let a = Access {
                         addr: geom.word_base(visit.line, word),
+                        // ldis: allow(T1, "every workload geometry uses 4- or 8-byte words")
                         size: geom.word_bytes() as u8,
                         kind,
                         insts: self.next_gap(),
